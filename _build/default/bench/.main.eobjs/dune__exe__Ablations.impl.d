@@ -1,0 +1,1 @@
+bench/ablations.ml: Fmt List Proteus Proteus_cache Proteus_tpch Sys Util

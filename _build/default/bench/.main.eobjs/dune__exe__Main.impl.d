@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Analyze Bechamel Benchmark Float Fmt Hashtbl List Measure Proteus Proteus_baselines Proteus_symantec Proteus_tpch Staged Symantec_fig Test Time Toolkit Tpch_figs

@@ -1,0 +1,1 @@
+bench/main.mli:

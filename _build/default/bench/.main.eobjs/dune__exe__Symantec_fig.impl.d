@@ -1,0 +1,1 @@
+bench/symantec_fig.ml: Array Fmt List Proteus Proteus_baselines Proteus_cache Proteus_optimizer Proteus_plugin Proteus_symantec String Sys Util

@@ -1,0 +1,1 @@
+bench/tpch_figs.ml: Float Fmt List Proteus Proteus_baselines Proteus_cache Proteus_engine Proteus_optimizer Proteus_plugin Proteus_tpch String Sys Util

@@ -1,0 +1,1 @@
+bench/util.ml: Fmt Gc List Unix

@@ -1,0 +1,52 @@
+(* Shared benchmark machinery: timing, table rendering. The goal of every
+   figure harness is the *shape* of the paper's plot — who wins, by what
+   factor, where the crossover sits — so we report milliseconds per cell in
+   paper-like rows. *)
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Collect garbage left over from the previous cell once per cell, so its
+   major-GC pauses don't land inside this cell's samples. *)
+let quiesce () = Gc.major ()
+
+(* median-of-k *)
+let measure_n k f =
+  quiesce ();
+  let _, warm = time_once f in
+  if warm > 0.5 then warm
+  else begin
+    let samples =
+      List.sort compare (warm :: List.init (k - 1) (fun _ -> snd (time_once f)))
+    in
+    List.nth samples (k / 2)
+  end
+
+(* median-of-5 for fast cells, single-shot for slow ones *)
+let measure f = measure_n 5 f
+
+let ms t = t *. 1000.
+
+(* A figure table: header of system names, one row per (label, cells). *)
+let print_table ~title ~systems rows =
+  Fmt.pr "@.== %s ==@." title;
+  Fmt.pr "%-26s" "";
+  List.iter (fun s -> Fmt.pr "%14s" s) systems;
+  Fmt.pr "@.";
+  List.iter
+    (fun (label, cells) ->
+      Fmt.pr "%-26s" label;
+      List.iter
+        (fun c ->
+          match c with
+          | Some t -> Fmt.pr "%11.2fms " (ms t)
+          | None -> Fmt.pr "%13s " "-")
+        cells;
+      Fmt.pr "@.")
+    rows
+
+let print_note fmt = Fmt.pr "   %s@." fmt
+
+let selectivities = [ 0.1; 0.2; 0.5; 1.0 ]

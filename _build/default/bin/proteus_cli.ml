@@ -1,0 +1,163 @@
+(* The Proteus command-line interface: register raw files, run one query,
+   print the result.
+
+     proteus_cli \
+       --json 'sailors=people.json:id:int,children:[name:string,age:int]' \
+       --csv  'orders=orders.csv:okey:int,total:float' \
+       -q 'SELECT COUNT(1) FROM orders WHERE total < 10'
+
+   Dataset arguments are NAME=PATH:TYPESPEC (see Proteus.Typespec). *)
+
+open Cmdliner
+open Proteus_model
+
+let split_dataset_arg arg =
+  match String.index_opt arg '=' with
+  | None -> Error (`Msg "dataset argument must be NAME=PATH[:TYPESPEC]")
+  | Some eq -> (
+    let name = String.sub arg 0 eq in
+    let rest = String.sub arg (eq + 1) (String.length arg - eq - 1) in
+    match String.index_opt rest ':' with
+    | None -> Ok (name, rest, None) (* no typespec: infer the schema *)
+    | Some colon ->
+      let path = String.sub rest 0 colon in
+      let spec = String.sub rest (colon + 1) (String.length rest - colon - 1) in
+      (match Proteus.Typespec.parse spec with
+      | element -> Ok (name, path, Some element)
+      | exception Perror.Parse_error { msg; _ } -> Error (`Msg ("bad typespec: " ^ msg))))
+
+let dataset_conv =
+  Arg.conv
+    ( (fun s -> split_dataset_arg s),
+      fun ppf (name, path, element) ->
+        match element with
+        | Some e -> Fmt.pf ppf "%s=%s:%s" name path (Proteus.Typespec.render e)
+        | None -> Fmt.pf ppf "%s=%s" name path )
+
+let json_args =
+  Arg.(
+    value
+    & opt_all dataset_conv []
+    & info [ "json" ] ~docv:"NAME=PATH[:SPEC]"
+        ~doc:"Register a JSON dataset; without :SPEC the schema is inferred.")
+
+let csv_args =
+  Arg.(
+    value
+    & opt_all dataset_conv []
+    & info [ "csv" ] ~docv:"NAME=PATH[:SPEC]"
+        ~doc:"Register a CSV dataset; without :SPEC the schema is inferred \
+              from a header row.")
+
+let query =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "q"; "query" ] ~docv:"QUERY"
+        ~doc:"The query: SQL, or a 'for {...} yield ...' comprehension.")
+
+let engine =
+  Arg.(
+    value
+    & opt (enum [ ("compiled", Proteus.Db.Engine_compiled); ("volcano", Proteus.Db.Engine_volcano) ])
+        Proteus.Db.Engine_compiled
+    & info [ "engine" ] ~doc:"Executor: the per-query compiled engine or the \
+                              Volcano interpreter (for comparison).")
+
+let no_cache =
+  Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable adaptive caching.")
+
+let explain =
+  Arg.(value & flag & info [ "explain" ] ~doc:"Print the optimized plan, not results.")
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log index builds and cache activity.")
+
+let format =
+  Arg.(
+    value
+    & opt (enum [ ("values", `Values); ("json", `Json); ("csv", `Csv); ("table", `Table) ])
+        `Values
+    & info [ "format" ] ~doc:"Result rendering: values, json, csv or table.")
+
+let is_comprehension q =
+  let trimmed = String.trim q in
+  String.length trimmed >= 3 && String.lowercase_ascii (String.sub trimmed 0 3) = "for"
+
+let run jsons csvs q engine no_cache explain verbose format =
+  if verbose then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.Info)
+  end;
+  let db = Proteus.Db.create () in
+  if no_cache then Proteus.Db.set_caching db false;
+  let read_file path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  List.iter
+    (fun (name, path, element) ->
+      match element with
+      | Some element -> Proteus.Db.register_json_file db ~name ~element ~path
+      | None ->
+        let ty = Proteus.Db.register_json_inferred db ~name ~contents:(read_file path) in
+        if verbose then Fmt.epr "inferred %s: %s@." name (Proteus.Typespec.render ty))
+    jsons;
+  begin
+    List.iter
+      (fun (name, path, element) ->
+        match element with
+        | Some element -> Proteus.Db.register_csv_file db ~name ~element ~path ()
+        | None ->
+          let ty =
+            Proteus.Db.register_csv_inferred db ~name ~contents:(read_file path) ()
+          in
+          if verbose then Fmt.epr "inferred %s: %s@." name (Proteus.Typespec.render ty))
+      csvs;
+    if explain then begin
+      let plan =
+        if is_comprehension q then Proteus.Db.plan_comprehension db q
+        else Proteus.Db.plan_sql db q
+      in
+      print_string
+        (Proteus_optimizer.Optimizer.explain (Proteus.Db.catalog db) plan);
+      Ok ()
+    end
+    else begin
+      let t0 = Unix.gettimeofday () in
+      let result =
+        if is_comprehension q then Proteus.Db.comprehension ~engine db q
+        else Proteus.Db.sql ~engine db q
+      in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      (match format with
+      | `Json -> print_string (Proteus.Output.to_json result)
+      | `Csv -> print_string (Proteus.Output.to_csv result)
+      | `Table -> print_string (Proteus.Output.to_table result)
+      | `Values -> (
+        match result with
+        | Value.Coll (_, rows) -> List.iter (fun r -> Fmt.pr "%a@." Value.pp r) rows
+        | v -> Fmt.pr "%a@." Value.pp v));
+      Fmt.epr "(%d ms)@." (int_of_float (elapsed *. 1000.));
+      Ok ()
+    end
+  end
+
+let run jsons csvs q engine no_cache explain verbose format =
+  try run jsons csvs q engine no_cache explain verbose format with
+  | (Perror.Parse_error _ | Perror.Plan_error _ | Perror.Type_error _
+    | Perror.Unsupported _ | Sys_error _) as e ->
+    Error (`Msg (Fmt.str "%a" Perror.pp_exn e))
+
+let cmd =
+  let doc = "query heterogeneous raw data files with one engine" in
+  Cmd.v
+    (Cmd.info "proteus_cli" ~doc)
+    Term.(
+      term_result
+        (const run $ json_args $ csv_args $ query $ engine $ no_cache $ explain
+       $ verbose $ format))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/etl_pipeline.ml: Fmt Proteus Proteus_model Ptype

@@ -1,0 +1,1 @@
+examples/etl_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt List Proteus Proteus_model Ptype Value

@@ -1,0 +1,1 @@
+examples/sailors_and_ships.ml: Fmt List Proteus Proteus_algebra Proteus_model Ptype Value

@@ -1,0 +1,1 @@
+examples/sailors_and_ships.mli:

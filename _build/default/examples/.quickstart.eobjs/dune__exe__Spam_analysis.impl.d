@@ -1,0 +1,1 @@
+examples/spam_analysis.ml: Fmt List Proteus Proteus_cache Proteus_model Proteus_symantec String Unix Value

@@ -1,0 +1,1 @@
+examples/spam_analysis.mli:

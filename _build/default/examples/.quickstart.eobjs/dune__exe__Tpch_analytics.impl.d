@@ -1,0 +1,1 @@
+examples/tpch_analytics.ml: Fmt List Proteus Proteus_engine Proteus_model Proteus_tpch Unix Value

@@ -1,0 +1,47 @@
+(* An ETL-style pipeline: query heterogeneous raw inputs (JSON events +
+   CSV reference data) and flush the result back out through the output
+   plug-ins — as CSV for a spreadsheet, as JSON for the next service, as a
+   table for the terminal.
+
+   Run with: dune exec examples/etl_pipeline.exe *)
+
+open Proteus_model
+
+let events_json =
+  {|{"device": "d1", "kind": "boot",  "ms": 120, "day": "2016-04-01"}
+{"device": "d2", "kind": "boot",  "ms": 340, "day": "2016-04-01"}
+{"device": "d1", "kind": "crash", "ms": 0,   "day": "2016-04-02"}
+{"device": "d3", "kind": "boot",  "ms": 95,  "day": "2016-04-02"}
+{"device": "d1", "kind": "boot",  "ms": 101, "day": "2016-04-03"}
+{"device": "d3", "kind": "crash", "ms": 0,   "day": "2016-04-03"}|}
+
+let devices_csv = "d1,lab-a,2015-11-20\nd2,lab-a,2016-01-05\nd3,field,2016-02-14\n"
+
+let () =
+  let db = Proteus.Db.create () in
+  Proteus.Db.register_json db ~name:"events"
+    ~element:
+      (Ptype.Record
+         [ ("device", Ptype.String); ("kind", Ptype.String); ("ms", Ptype.Int);
+           ("day", Ptype.Date) ])
+    ~contents:events_json;
+  Proteus.Db.register_csv db ~name:"devices"
+    ~element:
+      (Ptype.Record
+         [ ("dev", Ptype.String); ("site", Ptype.String); ("installed", Ptype.Date) ])
+    ~contents:devices_csv ();
+
+  (* transform: join, filter by date, aggregate, order *)
+  let report =
+    Proteus.Db.sql db
+      "SELECT site, COUNT(*) AS events, SUM(ms) AS total_ms \
+       FROM events e JOIN devices d ON device = dev \
+       WHERE day >= DATE '2016-04-01' AND kind = 'boot' \
+       GROUP BY site \
+       ORDER BY total_ms DESC"
+  in
+
+  (* load: three output shapes from the same result *)
+  Fmt.pr "--- terminal table ---@.%s@." (Proteus.Output.to_table report);
+  Fmt.pr "--- csv ---@.%s@." (Proteus.Output.to_csv report);
+  Fmt.pr "--- json lines ---@.%s@." (Proteus.Output.to_json report)

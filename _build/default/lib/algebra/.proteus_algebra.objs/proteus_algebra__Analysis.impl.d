@@ -1,0 +1,1 @@
+lib/algebra/analysis.ml: Expr Hashtbl List Option Plan Proteus_model String

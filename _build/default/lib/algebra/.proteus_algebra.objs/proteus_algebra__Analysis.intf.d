@@ -1,0 +1,1 @@
+lib/algebra/analysis.mli: Expr Plan Proteus_model

@@ -1,0 +1,1 @@
+lib/algebra/fingerprint.ml: Expr Fmt List Option Plan Proteus_model

@@ -1,0 +1,1 @@
+lib/algebra/fingerprint.mli: Expr Plan Proteus_model

@@ -1,0 +1,1 @@
+lib/algebra/interp.ml: Expr Hashtbl List Monoid Perror Plan Proteus_model Value

@@ -1,0 +1,1 @@
+lib/algebra/interp.mli: Expr Plan Proteus_model Value

@@ -1,0 +1,1 @@
+lib/algebra/plan.ml: Expr Fmt List Monoid Option Perror Proteus_model

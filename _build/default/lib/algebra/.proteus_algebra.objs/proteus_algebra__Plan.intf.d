@@ -1,0 +1,1 @@
+lib/algebra/plan.mli: Expr Format Monoid Proteus_model

@@ -1,0 +1,55 @@
+open Proteus_model
+
+let rec all_exprs (p : Plan.t) : Expr.t list =
+  let own =
+    match p with
+    | Plan.Scan _ -> []
+    | Plan.Select { pred; _ } -> [ pred ]
+    | Plan.Join { pred; left_key; right_key; _ } ->
+      (pred :: Option.to_list left_key) @ Option.to_list right_key
+    | Plan.Unnest { path; pred; _ } -> [ path; pred ]
+    | Plan.Reduce { monoid_output; pred; _ } ->
+      pred :: List.map (fun (a : Plan.agg) -> a.expr) monoid_output
+    | Plan.Nest { keys; aggs; pred; _ } ->
+      (pred :: List.map snd keys) @ List.map (fun (a : Plan.agg) -> a.expr) aggs
+    | Plan.Project { fields; _ } -> List.map snd fields
+    | Plan.Sort { keys; _ } -> List.map fst keys
+  in
+  own @ List.concat_map all_exprs (Plan.children p)
+
+let path_of e =
+  let rec go acc = function
+    | Expr.Var v -> Some (v, String.concat "." acc)
+    | Expr.Field (base, f) -> go (f :: acc) base
+    | Expr.Const _ | Expr.Binop _ | Expr.Unop _ | Expr.If _ | Expr.Record_ctor _
+    | Expr.Coll_ctor _ ->
+      None
+  in
+  go [] e
+
+let required_paths exprs =
+  let tbl : (string, [ `Whole | `Paths of string list ]) Hashtbl.t = Hashtbl.create 8 in
+  let add_path v p =
+    match Hashtbl.find_opt tbl v with
+    | Some `Whole -> ()
+    | Some (`Paths ps) -> if not (List.mem p ps) then Hashtbl.replace tbl v (`Paths (ps @ [ p ]))
+    | None -> Hashtbl.replace tbl v (`Paths [ p ])
+  in
+  let add_whole v = Hashtbl.replace tbl v `Whole in
+  let rec go e =
+    match path_of e with
+    | Some (v, "") -> add_whole v
+    | Some (v, p) -> add_path v p
+    | None -> (
+      match e with
+      | Expr.Const _ -> ()
+      | Expr.Var v -> add_whole v
+      | Expr.Field (base, _) -> go base
+      | Expr.Binop (_, l, r) -> go l; go r
+      | Expr.Unop (_, x) -> go x
+      | Expr.If (c, t, f) -> go c; go t; go f
+      | Expr.Record_ctor fs -> List.iter (fun (_, x) -> go x) fs
+      | Expr.Coll_ctor (_, xs) -> List.iter go xs)
+  in
+  List.iter go exprs;
+  Hashtbl.fold (fun v r acc -> (v, r) :: acc) tbl []

@@ -1,0 +1,18 @@
+(** Static analyses over plans and expressions, shared by the optimizer and
+    both executors. *)
+
+open Proteus_model
+
+(** Every expression appearing anywhere in a plan. *)
+val all_exprs : Plan.t -> Expr.t list
+
+(** [path_of e] decomposes [e] into a variable and a dotted path when it is
+    a pure path expression ([x.a.b] → [Some ("x", "a.b")], [x] →
+    [Some ("x", "")]). *)
+val path_of : Expr.t -> (string * string) option
+
+(** [required_paths exprs] maps each free variable to either [`Whole] (used
+    bare somewhere) or [`Paths ps] (only these dotted paths are read). This
+    is the projection-pushdown analysis: a scan only needs to extract the
+    paths listed for its binding. *)
+val required_paths : Expr.t list -> (string * [ `Whole | `Paths of string list ]) list

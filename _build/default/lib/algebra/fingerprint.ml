@@ -1,0 +1,98 @@
+open Proteus_model
+
+(* Rename every binding to $k, numbering in a post-order walk so that
+   structurally equal plans get identical names regardless of source-level
+   variable choice. A substitution environment maps original names to
+   canonical ones while rewriting the expressions above each binder. *)
+
+let canonical (plan : Plan.t) : Plan.t =
+  let counter = ref 0 in
+  let fresh () =
+    let n = Fmt.str "$%d" !counter in
+    incr counter;
+    n
+  in
+  let rename_expr subst e =
+    List.fold_left (fun e (old_name, new_name) -> Expr.rename old_name new_name e) e subst
+  in
+  let rec go (t : Plan.t) : Plan.t * (string * string) list =
+    match t with
+    | Scan s ->
+      let b = fresh () in
+      (Scan { s with binding = b }, [ (s.binding, b) ])
+    | Select { pred; input } ->
+      let input, subst = go input in
+      (Select { pred = rename_expr subst pred; input }, subst)
+    | Join r ->
+      let left, sl = go r.left in
+      let right, sr = go r.right in
+      let subst = sl @ sr in
+      ( Join
+          {
+            r with
+            left;
+            right;
+            pred = rename_expr subst r.pred;
+            left_key = Option.map (rename_expr sl) r.left_key;
+            right_key = Option.map (rename_expr sr) r.right_key;
+          },
+        subst )
+    | Unnest r ->
+      let input, subst = go r.input in
+      let b = fresh () in
+      let subst' = (r.binding, b) :: subst in
+      ( Unnest
+          {
+            r with
+            input;
+            binding = b;
+            path = rename_expr subst r.path;
+            pred = rename_expr subst' r.pred;
+          },
+        subst' )
+    | Reduce r ->
+      let input, subst = go r.input in
+      ( Reduce
+          {
+            monoid_output =
+              List.map (fun (a : Plan.agg) -> { a with expr = rename_expr subst a.expr })
+                r.monoid_output;
+            pred = rename_expr subst r.pred;
+            input;
+          },
+        [] )
+    | Nest r ->
+      let input, subst = go r.input in
+      let b = fresh () in
+      ( Nest
+          {
+            keys = List.map (fun (n, e) -> (n, rename_expr subst e)) r.keys;
+            aggs =
+              List.map (fun (a : Plan.agg) -> { a with expr = rename_expr subst a.expr })
+                r.aggs;
+            pred = rename_expr subst r.pred;
+            binding = b;
+            input;
+          },
+        [ (r.binding, b) ] )
+    | Project r ->
+      let input, subst = go r.input in
+      let b = fresh () in
+      ( Project
+          {
+            binding = b;
+            fields = List.map (fun (n, e) -> (n, rename_expr subst e)) r.fields;
+            input;
+          },
+        [ (r.binding, b) ] )
+    | Sort r ->
+      let input, subst = go r.input in
+      ( Sort
+          { r with input; keys = List.map (fun (e, d) -> (rename_expr subst e, d)) r.keys },
+        subst )
+  in
+  fst (go plan)
+
+let plan t = Plan.to_string (canonical t)
+
+let expr ~binding e = Expr.to_string (Expr.rename binding "$0" e)

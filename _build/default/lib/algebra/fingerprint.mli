@@ -1,0 +1,21 @@
+(** Canonical plan fingerprints.
+
+    The caching manager keys materialized results by the plan that produced
+    them and matches sub-plans of incoming queries against those keys
+    (Section 6 "Cache Matching"). Two plans that differ only in the names of
+    their bound variables must collide, so fingerprints are computed after
+    renaming every binding to a de-Bruijn-style canonical name. *)
+
+open Proteus_model
+
+(** [plan t] is a canonical string for the whole plan. *)
+val plan : Plan.t -> string
+
+(** [expr ~binding e] canonicalizes a single-variable expression (used for
+    field-level cache keys, e.g. "dataset lineitem, expression x.l_tax"):
+    the variable [binding] is renamed to ["$0"]. *)
+val expr : binding:string -> Expr.t -> string
+
+(** [canonical t] is the plan with canonically renamed bindings (exposed for
+    tests). *)
+val canonical : Plan.t -> Plan.t

@@ -1,0 +1,134 @@
+open Proteus_model
+
+let fold_aggs (aggs : Plan.agg list) (envs : Expr.env list) : Value.t =
+  let eval_one (a : Plan.agg) =
+    match a.monoid with
+    | Monoid.Primitive p ->
+      let acc = Monoid.acc_create p in
+      List.iter (fun env -> Monoid.acc_step acc (Expr.eval env a.expr)) envs;
+      Monoid.acc_value acc
+    | Monoid.Collection c -> Monoid.collect c (List.map (fun env -> Expr.eval env a.expr) envs)
+  in
+  match aggs with
+  | [] -> Perror.plan_error "fold with no aggregates"
+  | [ a ] -> eval_one a
+  | many -> Value.record (List.map (fun a -> (a.Plan.agg_name, eval_one a)) many)
+
+let rec stream ~lookup (plan : Plan.t) : Expr.env list =
+  match plan with
+  | Scan { dataset; binding; _ } ->
+    List.map (fun v -> [ (binding, v) ]) (lookup dataset)
+  | Select { pred; input } ->
+    List.filter (fun env -> Expr.eval_pred env pred) (stream ~lookup input)
+  | Join { kind; left; right; pred; _ } ->
+    let ls = stream ~lookup left and rs = stream ~lookup right in
+    let null_right = List.map (fun b -> (b, Value.Null)) (Plan.bindings right) in
+    List.concat_map
+      (fun lenv ->
+        let matches =
+          List.filter_map
+            (fun renv ->
+              let env = lenv @ renv in
+              if Expr.eval_pred env pred then Some env else None)
+            rs
+        in
+        match kind, matches with
+        | Inner, ms -> ms
+        | Left_outer, [] -> [ lenv @ null_right ]
+        | Left_outer, ms -> ms)
+      ls
+  | Unnest { outer; path; binding; pred; input } ->
+    List.concat_map
+      (fun env ->
+        let elems =
+          match Expr.eval env path with
+          | Value.Coll (_, es) -> es
+          | Value.Null -> []
+          | v -> Perror.type_error "unnest over non-collection %a" Value.pp v
+        in
+        let matches =
+          List.filter_map
+            (fun e ->
+              let env' = (binding, e) :: env in
+              if Expr.eval_pred env' pred then Some ((binding, e) :: env) else None)
+            elems
+        in
+        match outer, matches with
+        | false, ms -> ms
+        | true, [] -> [ (binding, Value.Null) :: env ]
+        | true, ms -> ms)
+      (stream ~lookup input)
+  | Reduce _ -> Perror.plan_error "Reduce has no environment stream; use run"
+  | Nest { keys; aggs; pred; binding; input } ->
+    let envs =
+      List.filter (fun env -> Expr.eval_pred env pred) (stream ~lookup input)
+    in
+    (* Group by the tuple of key values, preserving first-seen order. *)
+    let groups : (Value.t list, Expr.env list ref) Hashtbl.t = Hashtbl.create 64 in
+    let order = ref [] in
+    List.iter
+      (fun env ->
+        let kv = List.map (fun (_, e) -> Expr.eval env e) keys in
+        match Hashtbl.find_opt groups kv with
+        | Some cell -> cell := env :: !cell
+        | None ->
+          Hashtbl.add groups kv (ref [ env ]);
+          order := kv :: !order)
+      envs;
+    List.rev_map
+      (fun kv ->
+        let members = List.rev !(Hashtbl.find groups kv) in
+        let key_fields = List.map2 (fun (n, _) v -> (n, v)) keys kv in
+        let agg_fields =
+          List.map (fun (a : Plan.agg) -> (a.agg_name, fold_aggs [ a ] members)) aggs
+        in
+        [ (binding, Value.record (key_fields @ agg_fields)) ])
+      !order
+  | Project { binding; fields; input } ->
+    List.map
+      (fun env ->
+        [ (binding, Value.record (List.map (fun (n, e) -> (n, Expr.eval env e)) fields)) ])
+      (stream ~lookup input)
+  | Sort { keys; limit; input } ->
+    let envs = stream ~lookup input in
+    let decorated =
+      List.map (fun env -> (List.map (fun (e, _) -> Expr.eval env e) keys, env)) envs
+    in
+    let cmp (ka, _) (kb, _) =
+      let rec go ks ds =
+        match ks, ds with
+        | (a, b) :: rest, (_, d) :: drest ->
+          let c = Value.compare a b in
+          if c <> 0 then (match (d : Plan.sort_dir) with Plan.Asc -> c | Plan.Desc -> -c)
+          else go rest drest
+        | _, _ -> 0
+      in
+      go (List.combine ka kb) keys
+    in
+    let sorted = List.stable_sort cmp decorated in
+    let sorted = List.map snd sorted in
+    (match limit with
+    | None -> sorted
+    | Some n -> List.filteri (fun i _ -> i < n) sorted)
+
+let run ~lookup (plan : Plan.t) : Value.t =
+  match plan with
+  | Reduce { monoid_output; pred; input } ->
+    let envs =
+      List.filter (fun env -> Expr.eval_pred env pred) (stream ~lookup input)
+    in
+    fold_aggs monoid_output envs
+  | _ ->
+    let envs = stream ~lookup plan in
+    let visible = Plan.bindings plan in
+    let shape env =
+      match visible with
+      | [ b ] -> ( match List.assoc_opt b env with Some v -> v | None -> Value.Null)
+      | bs ->
+        Value.record
+          (List.map
+             (fun b ->
+               (b, match List.assoc_opt b env with Some v -> v | None -> Value.Null))
+             bs)
+    in
+    Value.bag (List.map shape envs)

@@ -1,0 +1,20 @@
+(** Reference evaluator for the nested relational algebra.
+
+    Deliberately naive: boxed values, list streams, nested-loop joins. It is
+    the semantic oracle that both real executors (the Volcano interpreter and
+    the compiled engine) are differentially tested against — not a query
+    path. *)
+
+open Proteus_model
+
+(** [run ~lookup plan] evaluates [plan], resolving dataset names to their
+    boxed elements through [lookup].
+
+    Result shape: a [Reduce] root yields the fold's value directly (a record
+    when it has several aggregates). Any other root yields a bag containing,
+    per output environment, the single bound value when exactly one variable
+    is visible, or a record of all visible bindings otherwise. *)
+val run : lookup:(string -> Value.t list) -> Plan.t -> Value.t
+
+(** [stream ~lookup plan] exposes the raw environment stream (for tests). *)
+val stream : lookup:(string -> Value.t list) -> Plan.t -> Expr.env list

@@ -1,0 +1,205 @@
+open Proteus_model
+
+type join_kind = Inner | Left_outer
+
+type join_algo = Radix_hash | Nested_loop
+
+type scan = { dataset : string; binding : string; fields : string list option }
+
+type agg = { agg_name : string; monoid : Monoid.t; expr : Expr.t }
+
+type t =
+  | Scan of scan
+  | Select of { pred : Expr.t; input : t }
+  | Join of {
+      kind : join_kind;
+      algo : join_algo;
+      left : t;
+      right : t;
+      left_key : Expr.t option;
+      right_key : Expr.t option;
+      pred : Expr.t;
+    }
+  | Unnest of { outer : bool; path : Expr.t; binding : string; pred : Expr.t; input : t }
+  | Reduce of { monoid_output : agg list; pred : Expr.t; input : t }
+  | Nest of {
+      keys : (string * Expr.t) list;
+      aggs : agg list;
+      pred : Expr.t;
+      binding : string;
+      input : t;
+    }
+  | Project of { binding : string; fields : (string * Expr.t) list; input : t }
+  | Sort of { keys : (Expr.t * sort_dir) list; limit : int option; input : t }
+
+and sort_dir = Asc | Desc
+
+let scan ?fields ~dataset ~binding () = Scan { dataset; binding; fields }
+
+let select pred input = Select { pred; input }
+
+let join ?(kind = Inner) ?(algo = Radix_hash) ~pred left right =
+  Join { kind; algo; left; right; left_key = None; right_key = None; pred }
+
+let unnest ?(outer = false) ?(pred = Expr.bool true) ~path ~binding input =
+  Unnest { outer; path; binding; pred; input }
+
+let reduce ?(pred = Expr.bool true) monoid_output input =
+  Reduce { monoid_output; pred; input }
+
+let nest ?(pred = Expr.bool true) ~keys ~aggs ~binding input =
+  Nest { keys; aggs; pred; binding; input }
+
+let project ~binding ~fields input = Project { binding; fields; input }
+
+let sort ?limit ~keys input = Sort { keys; limit; input }
+
+let agg_counter = ref 0
+
+let agg ?name monoid expr =
+  let agg_name =
+    match name with
+    | Some n -> n
+    | None ->
+      incr agg_counter;
+      Fmt.str "agg%d" !agg_counter
+  in
+  { agg_name; monoid; expr }
+
+let rec bindings = function
+  | Scan { binding; _ } -> [ binding ]
+  | Select { input; _ } | Sort { input; _ } -> bindings input
+  | Join { left; right; _ } -> bindings left @ bindings right
+  | Unnest { binding; input; _ } -> bindings input @ [ binding ]
+  | Reduce _ -> []
+  | Nest { binding; _ } -> [ binding ]
+  | Project { binding; _ } -> [ binding ]
+
+let rec datasets = function
+  | Scan { dataset; _ } -> [ dataset ]
+  | Select { input; _ } | Unnest { input; _ } | Reduce { input; _ }
+  | Nest { input; _ } | Project { input; _ } | Sort { input; _ } ->
+    datasets input
+  | Join { left; right; _ } -> datasets left @ datasets right
+
+let children = function
+  | Scan _ -> []
+  | Select { input; _ } | Unnest { input; _ } | Reduce { input; _ }
+  | Nest { input; _ } | Project { input; _ } | Sort { input; _ } ->
+    [ input ]
+  | Join { left; right; _ } -> [ left; right ]
+
+let map_children f = function
+  | Scan _ as t -> t
+  | Select r -> Select { r with input = f r.input }
+  | Unnest r -> Unnest { r with input = f r.input }
+  | Reduce r -> Reduce { r with input = f r.input }
+  | Nest r -> Nest { r with input = f r.input }
+  | Project r -> Project { r with input = f r.input }
+  | Sort r -> Sort { r with input = f r.input }
+  | Join r -> Join { r with left = f r.left; right = f r.right }
+
+let check_expr bound e =
+  List.iter
+    (fun v ->
+      if not (List.mem v bound) then
+        Perror.plan_error "expression %a references unbound variable %s" Expr.pp e v)
+    (Expr.free_vars e)
+
+let validate t =
+  let rec go t =
+    (* returns bound variables *)
+    match t with
+    | Scan { binding; _ } -> [ binding ]
+    | Select { pred; input } ->
+      let bound = go input in
+      check_expr bound pred;
+      bound
+    | Join { left; right; pred; left_key; right_key; _ } ->
+      let bl = go left and br = go right in
+      List.iter
+        (fun v ->
+          if List.mem v br then Perror.plan_error "join sides both bind %s" v)
+        bl;
+      check_expr (bl @ br) pred;
+      Option.iter (check_expr bl) left_key;
+      Option.iter (check_expr br) right_key;
+      bl @ br
+    | Unnest { path; binding; pred; input; _ } ->
+      let bound = go input in
+      if List.mem binding bound then Perror.plan_error "unnest shadows binding %s" binding;
+      check_expr bound path;
+      check_expr (binding :: bound) pred;
+      bound @ [ binding ]
+    | Reduce { monoid_output; pred; input } ->
+      let bound = go input in
+      check_expr bound pred;
+      List.iter (fun a -> check_expr bound a.expr) monoid_output;
+      []
+    | Nest { keys; aggs; pred; binding; input } ->
+      let bound = go input in
+      check_expr bound pred;
+      List.iter (fun (_, e) -> check_expr bound e) keys;
+      List.iter (fun a -> check_expr bound a.expr) aggs;
+      [ binding ]
+    | Project { binding; fields; input } ->
+      let bound = go input in
+      List.iter (fun (_, e) -> check_expr bound e) fields;
+      [ binding ]
+    | Sort { keys; limit; input } ->
+      let bound = go input in
+      List.iter (fun (e, _) -> check_expr bound e) keys;
+      (match limit with
+      | Some n when n < 0 -> Perror.plan_error "negative LIMIT %d" n
+      | _ -> ());
+      bound
+  in
+  ignore (go t)
+
+let pp_agg ppf a = Fmt.pf ppf "%s=%a(%a)" a.agg_name Monoid.pp a.monoid Expr.pp a.expr
+
+let rec pp ppf t =
+  match t with
+  | Scan { dataset; binding; fields } ->
+    Fmt.pf ppf "scan(%s as %s%a)" dataset binding
+      Fmt.(option (fun ppf fs -> Fmt.pf ppf " [%a]" (list ~sep:(any ",") string) fs))
+      fields
+  | Select { pred; input } -> Fmt.pf ppf "@[<v 1>select(%a)@,%a@]" Expr.pp pred pp input
+  | Join { kind; algo; left; right; pred; _ } ->
+    Fmt.pf ppf "@[<v 1>%s%s(%a)@,%a@,%a@]"
+      (match kind with Inner -> "join" | Left_outer -> "outerjoin")
+      (match algo with Radix_hash -> "" | Nested_loop -> "_nl")
+      Expr.pp pred pp left pp right
+  | Unnest { outer; path; binding; pred; input } ->
+    Fmt.pf ppf "@[<v 1>%s(%a as %s | %a)@,%a@]"
+      (if outer then "outer-unnest" else "unnest")
+      Expr.pp path binding Expr.pp pred pp input
+  | Reduce { monoid_output; pred; input } ->
+    Fmt.pf ppf "@[<v 1>reduce(%a | %a)@,%a@]"
+      Fmt.(list ~sep:(any ", ") pp_agg)
+      monoid_output Expr.pp pred pp input
+  | Nest { keys; aggs; pred; binding; input } ->
+    let pp_key ppf (n, e) = Fmt.pf ppf "%s=%a" n Expr.pp e in
+    Fmt.pf ppf "@[<v 1>nest(by %a; %a | %a as %s)@,%a@]"
+      Fmt.(list ~sep:(any ", ") pp_key)
+      keys
+      Fmt.(list ~sep:(any ", ") pp_agg)
+      aggs Expr.pp pred binding pp input
+  | Project { binding; fields; input } ->
+    let pp_field ppf (n, e) = Fmt.pf ppf "%s=%a" n Expr.pp e in
+    Fmt.pf ppf "@[<v 1>project(%a as %s)@,%a@]"
+      Fmt.(list ~sep:(any ", ") pp_field)
+      fields binding pp input
+  | Sort { keys; limit; input } ->
+    let pp_key ppf (e, dir) =
+      Fmt.pf ppf "%a %s" Expr.pp e (match dir with Asc -> "asc" | Desc -> "desc")
+    in
+    Fmt.pf ppf "@[<v 1>sort(%a%a)@,%a@]"
+      Fmt.(list ~sep:(any ", ") pp_key)
+      keys
+      Fmt.(option (fun ppf n -> Fmt.pf ppf "; limit %d" n))
+      limit pp input
+
+let to_string t = Fmt.str "%a" pp t
+
+let equal a b = a = b

@@ -1,0 +1,116 @@
+(** The nested relational algebra (Table 1 of the paper).
+
+    A plan node produces a stream of {e environments}: sets of named
+    bindings. [Scan] binds one variable per dataset element; [Join] merges
+    the environments of its sides; [Unnest] extends the environment with one
+    binding per element of a nested collection; [Reduce] folds the stream
+    into a single value; [Nest] groups it. Selection, join, unnest and the
+    fold operators all carry an embedded filtering expression [pred], as in
+    the paper's operator definitions (σ is just [Select]).
+
+    The same AST serves as logical and physical plan; the optimizer fills in
+    physical details (join keys and algorithm, pushed-down scan fields). *)
+
+open Proteus_model
+
+type join_kind = Inner | Left_outer
+
+type join_algo =
+  | Radix_hash  (** the radix hash join of [39]/[9] — default for equijoins *)
+  | Nested_loop
+
+type scan = {
+  dataset : string;
+  binding : string;
+  fields : string list option;
+      (** projection pushdown: [Some] = only these root fields are needed;
+          [None] = the whole element escapes (no pushdown yet) *)
+}
+
+type agg = {
+  agg_name : string;
+  monoid : Monoid.t;
+  expr : Expr.t;
+}
+
+type t =
+  | Scan of scan
+  | Select of { pred : Expr.t; input : t }
+  | Join of {
+      kind : join_kind;
+      algo : join_algo;
+      left : t;
+      right : t;
+      left_key : Expr.t option;   (** equi-key on the left side, if extracted *)
+      right_key : Expr.t option;
+      pred : Expr.t;              (** full predicate (includes the key equality) *)
+    }
+  | Unnest of {
+      outer : bool;
+      path : Expr.t;     (** collection-valued path, e.g. [s.children] *)
+      binding : string;  (** variable bound to each element *)
+      pred : Expr.t;     (** embedded filter on the extended environment *)
+      input : t;
+    }
+  | Reduce of {
+      monoid_output : agg list;  (** one → scalar/collection; many → record *)
+      pred : Expr.t;
+      input : t;
+    }
+  | Nest of {
+      keys : (string * Expr.t) list;  (** group-by expressions, named *)
+      aggs : agg list;
+      pred : Expr.t;     (** filter applied before grouping *)
+      binding : string;  (** variable bound to each output group record *)
+      input : t;
+    }
+  | Project of {
+      binding : string;
+      fields : (string * Expr.t) list;
+      input : t;
+    }  (** binds [binding] to a freshly constructed record; drops other bindings *)
+  | Sort of {
+      keys : (Expr.t * sort_dir) list;  (** lexicographic; empty = limit only *)
+      limit : int option;
+      input : t;
+    }
+      (** pipeline breaker: materializes, orders (stably) and optionally
+          truncates the stream; bindings pass through *)
+
+and sort_dir = Asc | Desc
+
+(** {1 Constructors} *)
+
+val scan : ?fields:string list -> dataset:string -> binding:string -> unit -> t
+val select : Expr.t -> t -> t
+val join : ?kind:join_kind -> ?algo:join_algo -> pred:Expr.t -> t -> t -> t
+val unnest : ?outer:bool -> ?pred:Expr.t -> path:Expr.t -> binding:string -> t -> t
+val reduce : ?pred:Expr.t -> agg list -> t -> t
+val nest :
+  ?pred:Expr.t -> keys:(string * Expr.t) list -> aggs:agg list -> binding:string -> t -> t
+val project : binding:string -> fields:(string * Expr.t) list -> t -> t
+val sort : ?limit:int -> keys:(Expr.t * sort_dir) list -> t -> t
+val agg : ?name:string -> Monoid.t -> Expr.t -> agg
+
+(** {1 Analysis} *)
+
+(** Variables bound by (visible above) this plan node. *)
+val bindings : t -> string list
+
+(** Datasets scanned anywhere below this node. *)
+val datasets : t -> string list
+
+(** Direct children. *)
+val children : t -> t list
+
+(** [map_children f t] rebuilds [t] with children [f c]. *)
+val map_children : (t -> t) -> t -> t
+
+(** [validate t] checks that every expression only references bound
+    variables and that bindings are not shadowed.
+    Raises [Perror.Plan_error] on violations. *)
+val validate : t -> unit
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/baselines/colstore.ml: Array Expr Float Fun Hashtbl Int List Monoid Option Perror Proteus_algebra Proteus_engine Proteus_format Proteus_model Ptype Schema String Value

@@ -1,0 +1,1 @@
+lib/baselines/docstore.ml: Access Array Hashtbl List Perror Proteus_algebra Proteus_engine Proteus_format Proteus_model Proteus_plugin Ptype Source String Value

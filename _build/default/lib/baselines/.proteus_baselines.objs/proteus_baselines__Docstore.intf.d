@@ -1,0 +1,1 @@
+lib/baselines/docstore.mli: Proteus_algebra Proteus_model Ptype Value

@@ -1,0 +1,1 @@
+lib/baselines/federation.ml: Colstore Docstore Expr Hashtbl List Monoid Perror Proteus_algebra Proteus_format Proteus_model Ptype String Unix Value

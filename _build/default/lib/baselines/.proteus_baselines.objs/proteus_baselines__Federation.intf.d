@@ -1,0 +1,1 @@
+lib/baselines/federation.mli: Colstore Docstore Proteus_algebra Proteus_format Proteus_model Ptype Value

@@ -1,0 +1,1 @@
+lib/baselines/rowstore.mli: Proteus_algebra Proteus_format Proteus_model Ptype Value

@@ -1,0 +1,704 @@
+open Proteus_model
+module Plan = Proteus_algebra.Plan
+module Analysis = Proteus_algebra.Analysis
+module Json = Proteus_format.Json
+module Counters = Proteus_engine.Counters
+
+type config = {
+  dictionary_strings : bool;
+  sideways_passing : bool;
+  count_from_buckets : bool;
+}
+
+let monetdb_config =
+  { dictionary_strings = false; sideways_passing = false; count_from_buckets = true }
+
+let dbmsc_config =
+  { dictionary_strings = true; sideways_passing = true; count_from_buckets = false }
+
+(* physical columns *)
+type phys =
+  | Ints of int array
+  | Floats of float array
+  | Bools of bool array
+  | Strs of string array
+  | Dict of int array * string array   (* codes + dictionary *)
+  | Vals of Value.t array
+
+type table =
+  | Columns of { element : Ptype.t; len : int; cols : (string * phys) list;
+                 sort_key : string option }
+  | Documents of { element : Ptype.t; docs : string array }
+
+type t = { config : config; tables : (string, table) Hashtbl.t }
+
+let create config () = { config; tables = Hashtbl.create 8 }
+
+let phys_get p i : Value.t =
+  match p with
+  | Ints a -> Value.Int a.(i)
+  | Floats a -> Value.Float a.(i)
+  | Bools a -> Value.Bool a.(i)
+  | Strs a -> Value.String a.(i)
+  | Dict (codes, dict) -> Value.String dict.(codes.(i))
+  | Vals a -> a.(i)
+
+let dict_encode strings =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] and next = ref 0 in
+  let codes =
+    Array.map
+      (fun s ->
+        match Hashtbl.find_opt tbl s with
+        | Some c -> c
+        | None ->
+          let c = !next in
+          Hashtbl.replace tbl s c;
+          order := s :: !order;
+          incr next;
+          c)
+      strings
+  in
+  (codes, Array.of_list (List.rev !order))
+
+let phys_of_values config ty (vs : Value.t array) : phys =
+  match Ptype.unwrap_option ty with
+  | Ptype.Int | Ptype.Date -> Ints (Array.map Value.to_int vs)
+  | Ptype.Float -> Floats (Array.map Value.to_float vs)
+  | Ptype.Bool -> Bools (Array.map Value.to_bool vs)
+  | Ptype.String ->
+    let raw = Array.map Value.to_str vs in
+    if config.dictionary_strings then
+      let codes, dict = dict_encode raw in
+      Dict (codes, dict)
+    else Strs raw
+  | Ptype.Record _ | Ptype.Collection _ | Ptype.Option _ -> Vals vs
+
+let load_relational t ~name ?sort_key ~element records =
+  let schema = Schema.of_type element in
+  let records =
+    match sort_key with
+    | None -> records
+    | Some key ->
+      List.sort
+        (fun a b -> Value.compare (Value.field a key) (Value.field b key))
+        records
+  in
+  let arr = Array.of_list records in
+  let cols =
+    List.map
+      (fun (f : Schema.field) ->
+        ( f.name,
+          phys_of_values t.config f.ty
+            (Array.map
+               (fun r ->
+                 match Value.field_opt r f.name with Some v -> v | None -> Value.Null)
+               arr) ))
+      (Schema.fields schema)
+  in
+  Hashtbl.replace t.tables name
+    (Columns { element; len = Array.length arr; cols; sort_key })
+
+let load_csv t ~name ?(config = Proteus_format.Csv.default_config) ?sort_key ~element
+    text =
+  let schema = Schema.of_type element in
+  load_relational t ~name ?sort_key ~element (Proteus_format.Csv.read_all config schema text)
+
+let load_json t ~name ~element text =
+  let docs = Json.parse_seq text |> List.map Json.to_string |> Array.of_list in
+  Hashtbl.replace t.tables name (Documents { element; docs })
+
+let find_table t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some tbl -> tbl
+  | None -> Perror.plan_error "colstore: unknown table %s" name
+
+let row_count t name =
+  match find_table t name with
+  | Columns { len; _ } -> len
+  | Documents { docs; _ } -> Array.length docs
+
+(* --- intermediate relations ----------------------------------------------- *)
+
+(* An operator output: fully materialized columns keyed by "binding" or
+   "binding.path". [sorted] records that the rows are physically ordered by
+   that column (survives range selections only). *)
+type rel = {
+  len : int;
+  cols : (string * phys) list;
+  sorted : string option;
+}
+
+let col rel name =
+  match List.assoc_opt name rel.cols with
+  | Some p -> p
+  | None -> Perror.plan_error "colstore: no column %s" name
+
+(* gather: materialize the selected rows of every column — the
+   operator-at-a-time cost the paper measures *)
+let gather_phys p idx =
+  Counters.add_materialized (Array.length idx);
+  match p with
+  | Ints a -> Ints (Array.map (fun i -> a.(i)) idx)
+  | Floats a -> Floats (Array.map (fun i -> a.(i)) idx)
+  | Bools a -> Bools (Array.map (fun i -> a.(i)) idx)
+  | Strs a -> Strs (Array.map (fun i -> a.(i)) idx)
+  | Dict (codes, dict) -> Dict (Array.map (fun i -> codes.(i)) idx, dict)
+  | Vals a -> Vals (Array.map (fun i -> a.(i)) idx)
+
+let gather rel idx =
+  {
+    len = Array.length idx;
+    cols = List.map (fun (n, p) -> (n, gather_phys p idx)) rel.cols;
+    sorted = None;
+  }
+
+let slice_phys p lo hi =
+  Counters.add_materialized (hi - lo);
+  match p with
+  | Ints a -> Ints (Array.sub a lo (hi - lo))
+  | Floats a -> Floats (Array.sub a lo (hi - lo))
+  | Bools a -> Bools (Array.sub a lo (hi - lo))
+  | Strs a -> Strs (Array.sub a lo (hi - lo))
+  | Dict (codes, dict) -> Dict (Array.sub codes lo (hi - lo), dict)
+  | Vals a -> Vals (Array.sub a lo (hi - lo))
+
+let slice rel lo hi =
+  {
+    len = hi - lo;
+    cols = List.map (fun (n, p) -> (n, slice_phys p lo hi)) rel.cols;
+    sorted = rel.sorted;
+  }
+
+(* --- vectorized expression evaluation ------------------------------------- *)
+
+(* evaluate an expression into a full column (materialized) *)
+let rec eval_column rel (e : Expr.t) : phys =
+  match Analysis.path_of e with
+  | Some (v, "") -> col rel v
+  | Some (v, p) -> (
+    match List.assoc_opt (v ^ "." ^ p) rel.cols with
+    | Some c -> c
+    | None ->
+      (* sub-path of a boxed column *)
+      let base = col rel v in
+      let segs = String.split_on_char '.' p in
+      Counters.add_materialized rel.len;
+      Vals
+        (Array.init rel.len (fun i ->
+             List.fold_left
+               (fun acc seg ->
+                 match acc with
+                 | Value.Record _ as r -> (
+                   match Value.field_opt r seg with Some x -> x | None -> Value.Null)
+                 | _ -> Value.Null)
+               (phys_get base i) segs)))
+  | None -> (
+    match e with
+    | Expr.Const (Value.Int k) -> Ints (Array.make rel.len k)
+    | Expr.Const (Value.Float f) -> Floats (Array.make rel.len f)
+    | Expr.Const v -> Vals (Array.make rel.len v)
+    | Expr.Binop (op, l, r) -> (
+      let lc = eval_column rel l and rc = eval_column rel r in
+      Counters.add_materialized rel.len;
+      match op, lc, rc with
+      | Expr.Add, Ints a, Ints b -> Ints (Array.init rel.len (fun i -> a.(i) + b.(i)))
+      | Expr.Sub, Ints a, Ints b -> Ints (Array.init rel.len (fun i -> a.(i) - b.(i)))
+      | Expr.Mul, Ints a, Ints b -> Ints (Array.init rel.len (fun i -> a.(i) * b.(i)))
+      | Expr.Mod, Ints a, Ints b -> Ints (Array.init rel.len (fun i -> a.(i) mod b.(i)))
+      | Expr.Add, Floats a, Floats b ->
+        Floats (Array.init rel.len (fun i -> a.(i) +. b.(i)))
+      | Expr.Mul, Floats a, Floats b ->
+        Floats (Array.init rel.len (fun i -> a.(i) *. b.(i)))
+      | op, lc, rc ->
+        Vals
+          (Array.init rel.len (fun i ->
+               Expr.apply_binop op (phys_get lc i) (phys_get rc i))))
+    | e ->
+      (* generic fallback: row-wise interpreted *)
+      Counters.add_materialized rel.len;
+      Vals
+        (Array.init rel.len (fun i ->
+             let env =
+               List.filter_map
+                 (fun (n, p) ->
+                   if String.contains n '.' then None else Some (n, phys_get p i))
+                 rel.cols
+             in
+             Expr.eval env e)))
+
+(* selection vector for one conjunct: two passes (count, then fill) so no
+   per-row allocation happens — the materialized output is the index array *)
+let two_pass len (test : int -> bool) =
+  let n = ref 0 in
+  for i = 0 to len - 1 do
+    if test i then incr n
+  done;
+  let arr = Array.make !n 0 in
+  let k = ref 0 in
+  for i = 0 to len - 1 do
+    if test i then begin
+      arr.(!k) <- i;
+      incr k
+    end
+  done;
+  Counters.add_materialized !n;
+  arr
+
+let conjunct_sel rel (c : Expr.t) : int array =
+  (match c with
+  | Expr.Binop (op, l, r) -> (
+    let cmp_kernel (a : phys) (b : phys) =
+      let test : int -> bool =
+        match op, a, b with
+        | Expr.Lt, Ints x, Ints y -> fun i -> x.(i) < y.(i)
+        | Expr.Le, Ints x, Ints y -> fun i -> x.(i) <= y.(i)
+        | Expr.Gt, Ints x, Ints y -> fun i -> x.(i) > y.(i)
+        | Expr.Ge, Ints x, Ints y -> fun i -> x.(i) >= y.(i)
+        | Expr.Eq, Ints x, Ints y -> fun i -> x.(i) = y.(i)
+        | Expr.Neq, Ints x, Ints y -> fun i -> x.(i) <> y.(i)
+        | Expr.Lt, Floats x, Floats y -> fun i -> x.(i) < y.(i)
+        | Expr.Le, Floats x, Floats y -> fun i -> x.(i) <= y.(i)
+        | Expr.Gt, Floats x, Floats y -> fun i -> x.(i) > y.(i)
+        | Expr.Ge, Floats x, Floats y -> fun i -> x.(i) >= y.(i)
+        | Expr.Eq, Floats x, Floats y -> fun i -> Float.equal x.(i) y.(i)
+        | Expr.Eq, Dict (codes, dict), Strs y ->
+          (* dictionary equality: compare codes after one dict lookup *)
+          let target = y.(0) in
+          let code = ref (-1) in
+          Array.iteri (fun c s -> if String.equal s target then code := c) dict;
+          let wanted = !code in
+          fun i -> codes.(i) = wanted
+        | Expr.Like, Dict (codes, dict), Strs y ->
+          (* evaluate LIKE once per dictionary entry *)
+          let pattern = y.(0) in
+          let ok = Array.map (fun s -> Expr.like ~pattern s) dict in
+          fun i -> ok.(codes.(i))
+        | Expr.Eq, Strs x, Strs y -> fun i -> String.equal x.(i) y.(i)
+        | Expr.Like, Strs x, Strs y -> fun i -> Expr.like ~pattern:y.(i) x.(i)
+        | op, a, b ->
+          fun i ->
+            (match Expr.apply_binop op (phys_get a i) (phys_get b i) with
+            | Value.Bool bo -> bo
+            | Value.Null -> false
+            | v -> Perror.type_error "predicate column of %a" Value.pp v)
+      in
+      two_pass rel.len test
+    in
+    cmp_kernel (eval_column rel l) (eval_column rel r))
+  | c -> (
+    match eval_column rel c with
+    | Bools flags -> two_pass rel.len (fun i -> flags.(i))
+    | p ->
+      two_pass rel.len (fun i ->
+          match phys_get p i with Value.Bool true -> true | _ -> false)))
+
+(* binary-search bounds of [op const] over a sorted int column (DBMS C's
+   data skipping) *)
+let sorted_range (a : int array) (op : Expr.binop) k : (int * int) option =
+  let n = Array.length a in
+  let lower_bound v =
+    (* first index with a.(i) >= v *)
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if a.(mid) < v then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  match op with
+  | Expr.Lt -> Some (0, lower_bound k)
+  | Expr.Le -> Some (0, lower_bound (k + 1))
+  | Expr.Ge -> Some (lower_bound k, n)
+  | Expr.Gt -> Some (lower_bound (k + 1), n)
+  | Expr.Eq -> Some (lower_bound k, lower_bound (k + 1))
+  | Expr.Neq | Expr.Add | Expr.Sub | Expr.Mul | Expr.Div | Expr.Mod | Expr.And
+  | Expr.Or | Expr.Concat | Expr.Like ->
+    None
+
+(* try the skip path: predicate [binding.path op const] on the column the
+   rel is sorted by *)
+let try_skip rel (c : Expr.t) : (int * int) option =
+  match rel.sorted, c with
+  | Some sorted_name, Expr.Binop (op, l, Expr.Const (Value.Int k)) -> (
+    match Analysis.path_of l with
+    | Some (v, p) when String.equal (v ^ "." ^ p) sorted_name -> (
+      match List.assoc_opt sorted_name rel.cols with
+      | Some (Ints a) -> sorted_range a op k
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+let apply_select rel pred =
+  List.fold_left
+    (fun rel c ->
+      match try_skip rel c with
+      | Some (lo, hi) -> slice rel lo hi
+      | None -> gather rel (conjunct_sel rel c))
+    rel (Expr.conjuncts pred)
+
+(* --- aggregation kernels --------------------------------------------------- *)
+
+let agg_over rel (a : Plan.agg) : Value.t =
+  match a.monoid with
+  | Monoid.Primitive Monoid.Count -> Value.Int rel.len
+  | Monoid.Primitive prim -> (
+    match prim, eval_column rel a.expr with
+    | Monoid.Sum, Ints xs -> Value.Int (Array.fold_left ( + ) 0 xs)
+    | Monoid.Sum, Floats xs -> Value.Float (Array.fold_left ( +. ) 0. xs)
+    | Monoid.Max, Ints xs ->
+      if rel.len = 0 then Value.Null else Value.Int (Array.fold_left max min_int xs)
+    | Monoid.Min, Ints xs ->
+      if rel.len = 0 then Value.Null else Value.Int (Array.fold_left min max_int xs)
+    | Monoid.Max, Floats xs ->
+      if rel.len = 0 then Value.Null
+      else Value.Float (Array.fold_left Float.max neg_infinity xs)
+    | Monoid.Min, Floats xs ->
+      if rel.len = 0 then Value.Null
+      else Value.Float (Array.fold_left Float.min infinity xs)
+    | Monoid.Avg, Ints xs ->
+      if rel.len = 0 then Value.Null
+      else
+        Value.Float
+          (float_of_int (Array.fold_left ( + ) 0 xs) /. float_of_int rel.len)
+    | Monoid.Avg, Floats xs ->
+      if rel.len = 0 then Value.Null
+      else Value.Float (Array.fold_left ( +. ) 0. xs /. float_of_int rel.len)
+    | prim, p ->
+      let acc = Monoid.acc_create prim in
+      for i = 0 to rel.len - 1 do
+        Monoid.acc_step acc (phys_get p i)
+      done;
+      Monoid.acc_value acc)
+  | Monoid.Collection coll ->
+    let p = eval_column rel a.expr in
+    Monoid.collect coll (List.init rel.len (phys_get p))
+
+(* --- scans ------------------------------------------------------------------ *)
+
+let json_walk v path =
+  List.fold_left
+    (fun acc seg ->
+      match acc with
+      | Value.Record _ as r -> (
+        match Value.field_opt r seg with Some x -> x | None -> Value.Null)
+      | _ -> Value.Null)
+    v (String.split_on_char '.' path)
+
+let scan_table t required_of (s : Plan.scan) : rel =
+  match find_table t s.dataset with
+  | Columns { len; cols; sort_key; _ } -> (
+    match required_of s.binding with
+    | `Whole ->
+      (* whole-record use: box every row (expensive, rarely needed) *)
+      Counters.add_materialized len;
+      let boxed =
+        Array.init len (fun i ->
+            Value.record (List.map (fun (n, p) -> (n, phys_get p i)) cols))
+      in
+      { len; cols = [ (s.binding, Vals boxed) ]; sorted = None }
+    | `Paths ps ->
+      let pick p =
+        let root = List.hd (String.split_on_char '.' p) in
+        match List.assoc_opt root cols with
+        | Some c -> (s.binding ^ "." ^ p, c)
+        | None -> Perror.plan_error "colstore: table %s has no column %s" s.dataset root
+      in
+      {
+        len;
+        cols = List.map pick ps;
+        sorted = Option.map (fun k -> s.binding ^ "." ^ k) sort_key;
+      })
+  | Documents { docs; _ } -> (
+    (* immature JSON: one full parse per required path per document *)
+    let len = Array.length docs in
+    match required_of s.binding with
+    | `Whole ->
+      Counters.add_materialized len;
+      {
+        len;
+        cols =
+          [ (s.binding, Vals (Array.map (fun d -> Json.to_value (Json.parse_string d)) docs)) ];
+        sorted = None;
+      }
+    | `Paths ps ->
+      let column p =
+        Counters.add_materialized len;
+        Vals
+          (Array.map
+             (fun d -> json_walk (Json.to_value (Json.parse_string d)) p)
+             docs)
+      in
+      { len; cols = List.map (fun p -> (s.binding ^ "." ^ p, column p)) ps; sorted = None })
+
+(* --- the operator-at-a-time evaluator --------------------------------------- *)
+
+module VH = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+let rec eval_rel t required_of (p : Plan.t) : rel =
+  match p with
+  | Plan.Scan s -> scan_table t required_of s
+  | Plan.Select { pred; input } -> apply_select (eval_rel t required_of input) pred
+  | Plan.Project { binding; fields; input } ->
+    let rel = eval_rel t required_of input in
+    {
+      len = rel.len;
+      cols = List.map (fun (n, e) -> (binding ^ "." ^ n, eval_column rel e)) fields;
+      sorted = None;
+    }
+  | Plan.Join { kind = Plan.Left_outer; _ } ->
+    Perror.unsupported "colstore: left outer join"
+  | Plan.Unnest { outer = true; _ } -> Perror.unsupported "colstore: outer unnest"
+  | Plan.Unnest { path; binding; pred; input; _ } ->
+    let rel = eval_rel t required_of input in
+    let coll = eval_column rel path in
+    (* explode: boxed elements + repeated parent row ids, fully materialized *)
+    let parent = ref [] and elems = ref [] and n = ref 0 in
+    for i = 0 to rel.len - 1 do
+      match phys_get coll i with
+      | Value.Coll (_, es) ->
+        List.iter
+          (fun e ->
+            parent := i :: !parent;
+            elems := e :: !elems;
+            incr n)
+          es
+      | Value.Null -> ()
+      | v -> Perror.type_error "unnest over %a" Value.pp v
+    done;
+    let parent_idx = Array.make !n 0 and elem_arr = Array.make !n Value.Null in
+    List.iteri (fun k i -> parent_idx.(!n - 1 - k) <- i) !parent;
+    List.iteri (fun k e -> elem_arr.(!n - 1 - k) <- e) !elems;
+    let exploded = gather rel parent_idx in
+    let rel' =
+      { exploded with cols = (binding, Vals elem_arr) :: exploded.cols }
+    in
+    apply_select rel' pred
+  | Plan.Join { left; right; pred; left_key; right_key; _ } ->
+    let lrel = eval_rel t required_of left and rrel = eval_rel t required_of right in
+    let equi =
+      match left_key, right_key with
+      | Some lk, Some rk -> Some (lk, rk)
+      | _ ->
+        let lb = Plan.bindings left and rb = Plan.bindings right in
+        let subset vs bs = List.for_all (fun v -> List.mem v bs) vs in
+        List.find_map
+          (fun c ->
+            match (c : Expr.t) with
+            | Expr.Binop (Expr.Eq, l, r) ->
+              if subset (Expr.free_vars l) lb && subset (Expr.free_vars r) rb then
+                Some (l, r)
+              else if subset (Expr.free_vars l) rb && subset (Expr.free_vars r) lb then
+                Some (r, l)
+              else None
+            | _ -> None)
+          (Expr.conjuncts pred)
+    in
+    (match equi with
+    | None ->
+      (* cross product then filter: columnar engines avoid this; we support
+         it for completeness *)
+      let li = ref [] and ri = ref [] and n = ref 0 in
+      for i = 0 to lrel.len - 1 do
+        for j = 0 to rrel.len - 1 do
+          li := i :: !li;
+          ri := j :: !ri;
+          incr n
+        done
+      done;
+      let la = Array.make !n 0 and ra = Array.make !n 0 in
+      List.iteri (fun k i -> la.(!n - 1 - k) <- i) !li;
+      List.iteri (fun k j -> ra.(!n - 1 - k) <- j) !ri;
+      let joined =
+        {
+          len = !n;
+          cols = (gather lrel la).cols @ (gather rrel ra).cols;
+          sorted = None;
+        }
+      in
+      apply_select joined pred
+    | Some (lk, rk) ->
+      (* sideways information passing (DBMS C): a range restriction already
+         applied to one side's sorted join key is applied to the other
+         side's sorted key before joining *)
+      let lrel, rrel =
+        if not t.config.sideways_passing then (lrel, rrel)
+        else begin
+          let key_range rel key =
+            match Analysis.path_of key with
+            | Some (v, p) -> (
+              match List.assoc_opt (v ^ "." ^ p) rel.cols with
+              | Some (Ints a) when Array.length a > 0 ->
+                Some (Array.fold_left min max_int a, Array.fold_left max min_int a)
+              | _ -> None)
+            | None -> None
+          in
+          let restrict rel key (lo, hi) =
+            match Analysis.path_of key with
+            | Some (v, p) when rel.sorted = Some (v ^ "." ^ p) -> (
+              match List.assoc_opt (v ^ "." ^ p) rel.cols with
+              | Some (Ints a) -> (
+                match sorted_range a Expr.Ge lo, sorted_range a Expr.Le hi with
+                | Some (l1, _), Some (_, h2) -> slice rel l1 (max l1 h2)
+                | _ -> rel)
+              | _ -> rel)
+            | _ -> rel
+          in
+          match key_range lrel lk, key_range rrel rk with
+          | Some lr, Some rr ->
+            (restrict lrel lk rr, restrict rrel rk lr)
+          | _ -> (lrel, rrel)
+        end
+      in
+      let lkeys = eval_column lrel lk and rkeys = eval_column rrel rk in
+      let li = ref [] and ri = ref [] and n = ref 0 in
+      (match lkeys, rkeys with
+      | Ints la, Ints ra ->
+        let table : (int, int list) Hashtbl.t = Hashtbl.create (Array.length ra) in
+        Array.iteri
+          (fun j k ->
+            Hashtbl.replace table k (j :: (try Hashtbl.find table k with Not_found -> [])))
+          ra;
+        Array.iteri
+          (fun i k ->
+            match Hashtbl.find_opt table k with
+            | Some js ->
+              List.iter
+                (fun j ->
+                  li := i :: !li;
+                  ri := j :: !ri;
+                  incr n)
+                js
+            | None -> ())
+          la
+      | lp, rp ->
+        let table : int list VH.t = VH.create 256 in
+        for j = 0 to rrel.len - 1 do
+          match phys_get rp j with
+          | Value.Null -> ()
+          | k -> VH.replace table k (j :: (try VH.find table k with Not_found -> []))
+        done;
+        for i = 0 to lrel.len - 1 do
+          match phys_get lp i with
+          | Value.Null -> ()
+          | k -> (
+            match VH.find_opt table k with
+            | Some js ->
+              List.iter
+                (fun j ->
+                  li := i :: !li;
+                  ri := j :: !ri;
+                  incr n)
+                js
+            | None -> ())
+        done);
+      let la = Array.make !n 0 and ra = Array.make !n 0 in
+      List.iteri (fun k i -> la.(!n - 1 - k) <- i) !li;
+      List.iteri (fun k j -> ra.(!n - 1 - k) <- j) !ri;
+      let joined =
+        {
+          len = !n;
+          cols = (gather lrel la).cols @ (gather rrel ra).cols;
+          sorted = None;
+        }
+      in
+      (* residual conjuncts beyond the key equality *)
+      let residual =
+        List.filter
+          (fun c ->
+            match (c : Expr.t) with
+            | Expr.Binop (Expr.Eq, a, b) ->
+              not (Expr.equal a lk && Expr.equal b rk)
+              && not (Expr.equal a rk && Expr.equal b lk)
+            | _ -> true)
+          (Expr.conjuncts pred)
+      in
+      apply_select joined (Expr.conjoin residual))
+  | Plan.Sort { keys; limit; input } ->
+    let rel = eval_rel t required_of input in
+    let key_cols = List.map (fun (e, d) -> (eval_column rel e, d)) keys in
+    let idx = Array.init rel.len Fun.id in
+    let cmp i j =
+      let rec go = function
+        | [] -> Int.compare i j (* stable tie-break on original position *)
+        | (col, d) :: rest ->
+          let c = Value.compare (phys_get col i) (phys_get col j) in
+          if c <> 0 then (match (d : Plan.sort_dir) with Plan.Asc -> c | Plan.Desc -> -c)
+          else go rest
+      in
+      go key_cols
+    in
+    Array.sort cmp idx;
+    let idx =
+      match limit with
+      | Some n when n < Array.length idx -> Array.sub idx 0 n
+      | _ -> idx
+    in
+    gather rel idx
+  | Plan.Nest _ | Plan.Reduce _ ->
+    Perror.plan_error "colstore: fold operator below another operator"
+
+let required_table (p : Plan.t) =
+  let req = Analysis.required_paths (Analysis.all_exprs p) in
+  fun binding ->
+    match List.assoc_opt binding req with
+    | Some r -> r
+    | None -> `Paths []
+
+let run t (plan : Plan.t) : Value.t =
+  let required_of = required_table plan in
+  match plan with
+  | Plan.Reduce { monoid_output; pred; input } ->
+    let rel = apply_select (eval_rel t required_of input) pred in
+    (match monoid_output with
+    | [ a ] -> agg_over rel a
+    | aggs -> Value.record (List.map (fun (a : Plan.agg) -> (a.agg_name, agg_over rel a)) aggs))
+  | Plan.Nest { keys; aggs; pred; input; _ } ->
+    let rel = apply_select (eval_rel t required_of input) pred in
+    let key_cols = List.map (fun (_, e) -> eval_column rel e) keys in
+    (* group ids via hashing the boxed key tuple *)
+    let groups : int list ref VH.t = VH.create 64 in
+    let order = ref [] in
+    for i = 0 to rel.len - 1 do
+      let kv = Value.Coll (Ptype.List, List.map (fun c -> phys_get c i) key_cols) in
+      match VH.find_opt groups kv with
+      | Some cell -> cell := i :: !cell
+      | None ->
+        VH.add groups kv (ref [ i ]);
+        order := kv :: !order
+    done;
+    let rows =
+      List.rev_map
+        (fun kv ->
+          let members = !(VH.find groups kv) in
+          let kvs = match kv with Value.Coll (_, vs) -> vs | _ -> assert false in
+          let key_fields = List.map2 (fun (n, _) v -> (n, v)) keys kvs in
+          let agg_fields =
+            List.map
+              (fun (a : Plan.agg) ->
+                match a.monoid, t.config.count_from_buckets with
+                | Monoid.Primitive Monoid.Count, true ->
+                  (* MonetDB: a count is the bucket size — no gather *)
+                  (a.agg_name, Value.Int (List.length members))
+                | _ ->
+                  let idx = Array.of_list (List.rev members) in
+                  (a.agg_name, agg_over (gather rel idx) a))
+              aggs
+          in
+          Value.record (key_fields @ agg_fields))
+        !order
+    in
+    Value.bag rows
+  | Plan.Project { binding; fields; input } ->
+    let rel = eval_rel t required_of input in
+    let cols = List.map (fun (n, e) -> (n, eval_column rel e)) fields in
+    ignore binding;
+    Value.bag
+      (List.init rel.len (fun i ->
+           Value.record (List.map (fun (n, p) -> (n, phys_get p i)) cols)))
+  | _ -> Perror.unsupported "colstore: plan must be rooted at Reduce, Nest or Project"

@@ -1,0 +1,52 @@
+(** A column-at-a-time, operator-at-a-time analytical engine — the columnar
+    comparators of the evaluation.
+
+    Every operator {e fully materializes} its output (selection vectors,
+    gathered columns, join index pairs) before the next operator runs, as
+    MonetDB-style engines do [15]; the paper's Figures 6/8/10/12 hinge on
+    exactly this materialization cost growing with selectivity, against
+    Proteus' pipelining.
+
+    Two configurations reproduce the two systems:
+    - {!monetdb_config}: plain columns; strings stored raw; group-by COUNT
+      answered from the grouping hash table's bucket sizes (the trick the
+      paper observes in Figure 12); JSON support "immature" — documents are
+      a string column re-parsed per path access;
+    - {!dbmsc_config}: sorts each table on a load key and serves range
+      predicates on it by binary search (data skipping), dictionary-encodes
+      strings, and performs sideways information passing across equi-joins
+      on sorted keys. *)
+
+open Proteus_model
+
+type config = {
+  dictionary_strings : bool;
+  sideways_passing : bool;
+  count_from_buckets : bool;
+}
+
+val monetdb_config : config
+val dbmsc_config : config
+
+type t
+
+val create : config -> unit -> t
+
+(** [load_relational t ~name ?sort_key ~element records] loads a table;
+    [sort_key] (DBMS C) sorts the stored columns on that field. *)
+val load_relational :
+  t -> name:string -> ?sort_key:string -> element:Ptype.t -> Value.t list -> unit
+
+val load_csv :
+  t -> name:string -> ?config:Proteus_format.Csv.config -> ?sort_key:string ->
+  element:Ptype.t -> string -> unit
+
+(** [load_json t ~name ~element text] stores documents as a string column
+    (the immature JSON path). *)
+val load_json : t -> name:string -> element:Ptype.t -> string -> unit
+
+(** [run t plan] evaluates operator-at-a-time. Supports plans rooted at
+    Reduce, Nest or Project; raises [Perror.Unsupported] otherwise. *)
+val run : t -> Proteus_algebra.Plan.t -> Value.t
+
+val row_count : t -> string -> int

@@ -1,0 +1,137 @@
+open Proteus_model
+open Proteus_plugin
+module Plan = Proteus_algebra.Plan
+module Json = Proteus_format.Json
+module Binjson = Proteus_format.Binjson
+
+type collection = { element : Ptype.t; docs : string array }
+
+type t = { collections : (string, collection) Hashtbl.t }
+
+let create () = { collections = Hashtbl.create 8 }
+
+let load_json t ~name ~element text =
+  let docs = Json.parse_seq text |> List.map Binjson.encode |> Array.of_list in
+  Hashtbl.replace t.collections name { element; docs }
+
+let load_records t ~name ~element records =
+  let docs =
+    List.map (fun r -> Binjson.encode (Json.of_value r)) records |> Array.of_list
+  in
+  Hashtbl.replace t.collections name { element; docs }
+
+let find t name =
+  match Hashtbl.find_opt t.collections name with
+  | Some c -> c
+  | None -> Perror.plan_error "docstore: unknown collection %s" name
+
+let doc_count t name = Array.length (find t name).docs
+
+let collection_bytes t name =
+  Array.fold_left (fun acc d -> acc + String.length d) 0 (find t name).docs
+
+(* A source over the BSON storage. Field access navigates the binary
+   encoding; the unnest spec iterates array element offsets without decoding
+   the whole array — the document store's home turf. *)
+let source (c : collection) : Source.t =
+  let cur = ref 0 in
+  let field path =
+    Access.boxed
+      (Ptype.Option Ptype.Int)
+      (fun () ->
+        let doc = c.docs.(!cur) in
+        match Binjson.find_path doc 0 path with
+        | Some off -> Binjson.value_at doc off
+        | None -> Value.Null)
+  in
+  let whole () = Binjson.value_at c.docs.(!cur) 0 in
+  let unnest path =
+    match Ptype.unwrap_option (Source.field_type c.element path) with
+    | Ptype.Collection (_, elem_ty) ->
+      let elem_off = ref (-1) in
+      let u_iter ~on_elem =
+        let doc = c.docs.(!cur) in
+        match Binjson.find_path doc 0 path with
+        | Some off when (try Binjson.array_offsets doc off <> [] with _ -> false) ->
+          List.iter
+            (fun o ->
+              elem_off := o;
+              on_elem ())
+            (Binjson.array_offsets doc off)
+        | Some _ | None -> ()
+      in
+      let u_field f =
+        Access.boxed
+          (Ptype.Option Ptype.Int)
+          (fun () ->
+            let doc = c.docs.(!cur) in
+            match Binjson.find_path doc !elem_off f with
+            | Some off -> Binjson.value_at doc off
+            | None -> Value.Null)
+      in
+      let u_value () = Binjson.value_at c.docs.(!cur) !elem_off in
+      Some { Source.u_elem_ty = elem_ty; u_prepare = (fun _ -> ()); u_iter; u_field; u_value }
+    | _ -> None
+    | exception Perror.Plan_error _ -> None
+  in
+  {
+    Source.element = c.element;
+    count = Array.length c.docs;
+    seek = (fun i -> cur := i);
+    field;
+    whole;
+    unnest;
+  }
+
+let rec has_join (p : Plan.t) =
+  match p with
+  | Plan.Join _ -> true
+  | p -> List.exists has_join (Plan.children p)
+
+(* The per-document pipeline: interpreted evaluation where each stage
+   materializes a projected document. We reuse the Volcano interpreter —
+   its scan already builds one boxed record of the required paths per
+   document, which is exactly the aggregation pipeline's $project
+   materialization. *)
+let run_pipeline t plan =
+  Proteus_engine.Volcano.execute_with
+    (fun ~dataset ~required:_ -> source (find t dataset))
+    plan
+
+(* Map-reduce emulation for joins: every document of every involved
+   collection is fully deserialized up front (the map phase), and the
+   interpreted evaluation then works over the boxed copies — the shuffle
+   groups by key, so the join itself is hash-based, but it pays full
+   deserialization, boxed field walks and per-tuple interpretation. *)
+let boxed_source (c : collection) : Source.t =
+  let decoded = Array.map (fun d -> Binjson.value_at d 0) c.docs in
+  let cur = ref 0 in
+  let field path =
+    let segs = String.split_on_char '.' path in
+    Access.boxed
+      (Ptype.Option Ptype.Int)
+      (fun () ->
+        List.fold_left
+          (fun acc seg ->
+            match acc with
+            | Value.Record _ as r -> (
+              match Value.field_opt r seg with Some x -> x | None -> Value.Null)
+            | _ -> Value.Null)
+          decoded.(!cur) segs)
+  in
+  {
+    Source.element = c.element;
+    count = Array.length decoded;
+    seek = (fun i -> cur := i);
+    field;
+    whole = (fun () -> decoded.(!cur));
+    unnest = (fun _ -> None);
+  }
+
+let run_map_reduce t plan =
+  Proteus_engine.Volcano.execute_with
+    (fun ~dataset ~required:_ -> boxed_source (find t dataset))
+    plan
+
+let run t plan =
+  if has_join plan then run_map_reduce t plan else run_pipeline t plan

@@ -1,0 +1,35 @@
+(** A document store — the MongoDB comparator.
+
+    Collections are loaded into a BSON-like binary serialization. Queries
+    over a single collection run as an interpreted per-document pipeline
+    that materializes a projected document per input document (the
+    aggregation-pipeline overhead that makes multi-aggregate queries
+    disproportionately expensive in the paper's Figure 5); unnesting of
+    embedded arrays is a first-class, efficient operation (Figure 9's
+    "Unnest" case, which MongoDB wins against the row stores).
+
+    Joins have no first-class support: a plan containing a join falls back
+    to a map-reduce-style evaluation that fully deserializes every involved
+    collection and nested-loops over boxed documents — the deliberately
+    poor path the paper observes ("MongoDB is unsuitable for such
+    operations"). *)
+
+open Proteus_model
+
+type t
+
+val create : unit -> t
+
+val load_json : t -> name:string -> element:Ptype.t -> string -> unit
+
+(** Also accepts relational rows (stored as documents) so the federation
+    can park small exports here if needed. *)
+val load_records : t -> name:string -> element:Ptype.t -> Value.t list -> unit
+
+val run : t -> Proteus_algebra.Plan.t -> Value.t
+
+val doc_count : t -> string -> int
+
+(** BSON bytes for a collection (the paper quotes 30GB for the 20GB JSON
+    lineitem file). *)
+val collection_bytes : t -> string -> int

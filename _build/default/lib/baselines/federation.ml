@@ -1,0 +1,83 @@
+open Proteus_model
+module Plan = Proteus_algebra.Plan
+
+type home = In_colstore | In_docstore
+
+type t = {
+  col : Colstore.t;
+  doc : Docstore.t;
+  homes : (string, home) Hashtbl.t;
+  shipped : (string, unit) Hashtbl.t;  (* doc collections already exported *)
+  mutable middleware : float;
+}
+
+let create () =
+  {
+    col = Colstore.create Colstore.dbmsc_config ();
+    doc = Docstore.create ();
+    homes = Hashtbl.create 8;
+    shipped = Hashtbl.create 4;
+    middleware = 0.;
+  }
+
+let colstore t = t.col
+let docstore t = t.doc
+
+let load_relational t ~name ?sort_key ~element records =
+  Colstore.load_relational t.col ~name ?sort_key ~element records;
+  Hashtbl.replace t.homes name In_colstore
+
+let load_csv t ~name ?config ?sort_key ~element text =
+  Colstore.load_csv t.col ~name ?config ?sort_key ~element text;
+  Hashtbl.replace t.homes name In_colstore
+
+let load_json t ~name ~element text =
+  Docstore.load_json t.doc ~name ~element text;
+  Hashtbl.replace t.homes name In_docstore
+
+let home t name =
+  match Hashtbl.find_opt t.homes name with
+  | Some h -> h
+  | None -> Perror.plan_error "federation: unknown dataset %s" name
+
+(* Ship one document collection into the column store: full deserialization,
+   text re-serialization ("data exchange between systems"), reload. *)
+let ship t name =
+  if not (Hashtbl.mem t.shipped name) then begin
+    let t0 = Unix.gettimeofday () in
+    let plan =
+      Plan.reduce
+        [ Plan.agg ~name:"all" (Monoid.Collection Ptype.Bag) (Expr.var "d") ]
+        (Plan.scan ~dataset:name ~binding:"d" ())
+    in
+    let docs = Value.elements (Docstore.run t.doc plan) in
+    (* the middleware moves data as a neutral text format *)
+    let text =
+      String.concat "\n"
+        (List.map (fun d -> Proteus_format.Json.to_string (Proteus_format.Json.of_value d)) docs)
+    in
+    let element =
+      match docs with
+      | d :: _ -> Value.type_of d
+      | [] -> Ptype.Record []
+    in
+    let reparsed =
+      List.map Proteus_format.Json.to_value (Proteus_format.Json.parse_seq text)
+    in
+    Colstore.load_relational t.col ~name ~element reparsed;
+    Hashtbl.replace t.shipped name ();
+    t.middleware <- t.middleware +. (Unix.gettimeofday () -. t0)
+  end
+
+let run t plan =
+  let datasets = List.sort_uniq String.compare (Plan.datasets plan) in
+  let homes = List.map (fun d -> (d, home t d)) datasets in
+  let all h = List.for_all (fun (_, h') -> h' = h) homes in
+  if all In_docstore then Docstore.run t.doc plan
+  else if all In_colstore then Colstore.run t.col plan
+  else begin
+    List.iter (fun (d, h) -> if h = In_docstore then ship t d) homes;
+    Colstore.run t.col plan
+  end
+
+let middleware_seconds t = t.middleware

@@ -1,0 +1,37 @@
+(** The polystore approach of Section 7.2: "packaging together multiple
+    query engines, using the appropriate one for each specialized scenario,
+    and relying on a middleware layer to integrate data from different
+    sources" — concretely DBMS C for relational/CSV data plus MongoDB for
+    JSON, glued by a mediating layer.
+
+    Routing: a query touching only document collections runs on the
+    document store; only relational tables → the column store; a
+    cross-format query pays the middleware: the needed fields of each
+    involved document collection are exported, shipped, and loaded into a
+    temporary column-store table, and the whole query runs there. The
+    accumulated data-exchange time is reported separately (Table 3's
+    "Middleware" row). *)
+
+open Proteus_model
+
+type t
+
+(** The column store is created with the DBMS C configuration. *)
+val create : unit -> t
+
+val colstore : t -> Colstore.t
+val docstore : t -> Docstore.t
+
+val load_relational :
+  t -> name:string -> ?sort_key:string -> element:Ptype.t -> Value.t list -> unit
+
+val load_csv :
+  t -> name:string -> ?config:Proteus_format.Csv.config -> ?sort_key:string ->
+  element:Ptype.t -> string -> unit
+
+val load_json : t -> name:string -> element:Ptype.t -> string -> unit
+
+val run : t -> Proteus_algebra.Plan.t -> Value.t
+
+(** Accumulated middleware (export/ship/load) seconds so far. *)
+val middleware_seconds : t -> float

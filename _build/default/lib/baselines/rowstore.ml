@@ -1,0 +1,176 @@
+open Proteus_model
+open Proteus_storage
+open Proteus_plugin
+module Plan = Proteus_algebra.Plan
+module Json = Proteus_format.Json
+module Binjson = Proteus_format.Binjson
+
+type json_encoding = Jsonb | Text
+
+type table =
+  | Relational of { page : Rowpage.t; element : Ptype.t; from_csv : bool }
+  | Documents of { element : Ptype.t; docs : string array; encoding : json_encoding }
+
+type t = { json_encoding : json_encoding; tables : (string, table) Hashtbl.t }
+
+let create ?(json_encoding = Jsonb) () = { json_encoding; tables = Hashtbl.create 8 }
+
+let load_records t ~name ~element ~from_csv records =
+  let schema = Schema.of_type element in
+  Hashtbl.replace t.tables name
+    (Relational { page = Rowpage.of_records schema records; element; from_csv })
+
+let load_relational t ~name ~element records =
+  load_records t ~name ~element ~from_csv:false records
+
+let load_csv t ~name ?(config = Proteus_format.Csv.default_config) ~element text =
+  let schema = Schema.of_type element in
+  let records = Proteus_format.Csv.read_all config schema text in
+  load_records t ~name ~element ~from_csv:true records
+
+let load_json t ~name ~element text =
+  let docs =
+    Json.parse_seq text
+    |> List.map (fun j ->
+           match t.json_encoding with
+           | Jsonb -> Binjson.encode j
+           | Text -> Json.to_string j)
+    |> Array.of_list
+  in
+  Hashtbl.replace t.tables name (Documents { element; docs; encoding = t.json_encoding })
+
+let find t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some tbl -> tbl
+  | None -> Perror.plan_error "rowstore: unknown table %s" name
+
+let row_count t name =
+  match find t name with
+  | Relational { page; _ } -> Rowpage.count page
+  | Documents { docs; _ } -> Array.length docs
+
+let table_bytes t name =
+  match find t name with
+  | Relational { page; _ } -> Rowpage.byte_size page
+  | Documents { docs; _ } ->
+    Array.fold_left (fun acc d -> acc + String.length d) 0 docs
+
+(* --- sources over the loaded storage ------------------------------------- *)
+
+let relational_source page element = Binary_plugin.of_rowpage page |> fun s ->
+  { s with Source.element }
+
+(* jsonb: navigate the binary encoding per access; text: re-parse the whole
+   document per access (the DBMS X penalty). Field accessors here are
+   deliberately boxed-only: this system has no per-query specialization. *)
+let document_source element docs encoding =
+  let cur = ref 0 in
+  let boxed_walk v path =
+    let rec go v = function
+      | [] -> v
+      | seg :: rest -> (
+        match v with
+        | Value.Record _ as r -> (
+          match Value.field_opt r seg with Some x -> go x rest | None -> Value.Null)
+        | _ -> Value.Null)
+    in
+    go v (String.split_on_char '.' path)
+  in
+  let is_collection path =
+    match Ptype.unwrap_option (Source.field_type element path) with
+    | Ptype.Collection _ -> true
+    | _ -> false
+    | exception Perror.Plan_error _ -> false
+  in
+  let field path =
+    match encoding with
+    | Jsonb when is_collection path ->
+      (* Nested collections are reached through built-in set-returning
+         functions, which operate on the whole value: the document is fully
+         deserialized per access (the paper's unnest penalty for the row
+         stores). *)
+      Access.boxed
+        (Ptype.Option Ptype.Int)
+        (fun () -> boxed_walk (Binjson.value_at docs.(!cur) 0) path)
+    | Jsonb ->
+      Access.boxed
+        (Ptype.Option Ptype.Int)
+        (fun () ->
+          let doc = docs.(!cur) in
+          match Binjson.find_path doc 0 path with
+          | Some off -> Binjson.value_at doc off
+          | None -> Value.Null)
+    | Text ->
+      Access.boxed
+        (Ptype.Option Ptype.Int)
+        (fun () ->
+          (* character-based storage: full parse on every access *)
+          boxed_walk (Json.to_value (Json.parse_string docs.(!cur))) path)
+  in
+  let whole () =
+    match encoding with
+    | Jsonb -> Binjson.value_at docs.(!cur) 0
+    | Text -> Json.to_value (Json.parse_string docs.(!cur))
+  in
+  {
+    Source.element;
+    count = Array.length docs;
+    seek = (fun i -> cur := i);
+    field;
+    whole;
+    unnest = (fun _ -> None);
+  }
+
+let source t name =
+  match find t name with
+  | Relational { page; element; _ } -> relational_source page element
+  | Documents { element; docs; encoding } -> document_source element docs encoding
+
+(* The optimizer-blindness rewrite (the paper's Q39): when a join mixes a
+   relational table with a JSON one, the JSON side is a BLOB-like value the
+   optimizer cannot estimate, and it falls back to a nested-loop plan.
+   JSON⋈JSON joins keep their hash plan (both sides look equally opaque, so
+   the default join method applies). *)
+let binding_kind t plan binding =
+  let rec go (p : Plan.t) =
+    match p with
+    | Plan.Scan { dataset; binding = b; _ } when String.equal b binding -> (
+      match Hashtbl.find_opt t.tables dataset with
+      | Some (Documents _) -> Some `Doc
+      | Some (Relational { from_csv = true; _ }) -> Some `Csv
+      | Some (Relational _) -> Some `Rel
+      | None -> None)
+    | p -> List.find_map go (Plan.children p)
+  in
+  go plan
+
+let rec blind_to_json t (plan : Plan.t) (p : Plan.t) : Plan.t =
+  let p = Plan.map_children (blind_to_json t plan) p in
+  match p with
+  | Plan.Join ({ algo = Plan.Radix_hash; pred; _ } as r) ->
+    let mixed_formats =
+      (* the trap fires when a just-loaded CSV table (no statistics) joins a
+         JSON column: the optimizer can estimate neither side *)
+      List.exists
+        (fun c ->
+          match (c : Expr.t) with
+          | Expr.Binop (Expr.Eq, l, rr) -> (
+            let side e =
+              match Proteus_algebra.Analysis.path_of e with
+              | Some (v, path) when path <> "" -> binding_kind t plan v
+              | _ -> None
+            in
+            match side l, side rr with
+            | Some `Csv, Some `Doc | Some `Doc, Some `Csv -> true
+            | _ -> false)
+          | _ -> false)
+        (Expr.conjuncts pred)
+    in
+    if mixed_formats then Plan.Join { r with algo = Plan.Nested_loop } else p
+  | p -> p
+
+let run t plan =
+  let plan = blind_to_json t plan plan in
+  Proteus_engine.Volcano.execute_with
+    (fun ~dataset ~required:_ -> source t dataset)
+    plan

@@ -1,0 +1,42 @@
+(** A generic interpreted row store — the "RDBMS extended with richer data
+    models" comparator of the evaluation (PostgreSQL / DBMS X).
+
+    - Relational tables live in binary row pages, built by an explicit
+      {e load} step (load time is part of the paper's Table 3 accounting).
+    - JSON collections are loaded into a per-document serialized column:
+      [Jsonb] (a binary, length-prefixed encoding — PostgreSQL's [jsonb])
+      or [Text] (raw characters, re-parsed on every field access — the
+      paper's DBMS X, which it blames for slow JSON queries).
+    - Execution is Volcano-style interpretation.
+    - Optimizer blindness to JSON (Section 7.2, Q39): an equi-join whose
+      key reaches into a JSON column falls back to a nested-loop join,
+      exactly the trap the paper demonstrates on PostgreSQL. *)
+
+open Proteus_model
+
+type json_encoding = Jsonb | Text
+
+type t
+
+val create : ?json_encoding:json_encoding -> unit -> t
+
+(** [load_relational t ~name ~element records] loads a flat table into row
+    pages. *)
+val load_relational : t -> name:string -> element:Ptype.t -> Value.t list -> unit
+
+(** [load_csv t ~name ~element text] parses the whole CSV and loads it. *)
+val load_csv :
+  t -> name:string -> ?config:Proteus_format.Csv.config -> element:Ptype.t ->
+  string -> unit
+
+(** [load_json t ~name ~element text] parses and serializes every object. *)
+val load_json : t -> name:string -> element:Ptype.t -> string -> unit
+
+(** [run t plan] interprets an algebra plan over the loaded tables. *)
+val run : t -> Proteus_algebra.Plan.t -> Value.t
+
+val row_count : t -> string -> int
+
+(** Bytes used to store a table (the paper quotes e.g. 27GB jsonb for a
+    20GB JSON file). *)
+val table_bytes : t -> string -> int

@@ -1,0 +1,1 @@
+lib/cache/manager.ml: Catalog Column Dataset Expr Fmt Hashtbl List Logs Memory Proteus_catalog Proteus_model Proteus_plugin Proteus_storage Ptype String Subsume

@@ -1,0 +1,1 @@
+lib/cache/manager.mli: Catalog Proteus_catalog Proteus_plugin

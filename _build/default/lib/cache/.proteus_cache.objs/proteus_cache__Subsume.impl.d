@@ -1,0 +1,1 @@
+lib/cache/subsume.ml: Expr Float List Proteus_algebra Proteus_model String Value

@@ -1,0 +1,1 @@
+lib/cache/subsume.mli: Expr Proteus_model

@@ -1,0 +1,336 @@
+open Proteus_model
+open Proteus_storage
+open Proteus_catalog
+module Cache_iface = Proteus_plugin.Cache_iface
+
+let src_log = Logs.Src.create "proteus.cache" ~doc:"Proteus caching manager"
+
+module Log = (val Logs.src_log src_log : Logs.LOG)
+
+type config = {
+  cache_csv_fields : bool;
+  cache_json_fields : bool;
+  cache_strings : bool;
+  cache_join_sides : bool;
+  cache_select_results : bool;
+  subsumption : bool;
+}
+
+let default_config =
+  {
+    cache_csv_fields = true;
+    cache_json_fields = true;
+    cache_strings = false;
+    cache_join_sides = true;
+    cache_select_results = false;
+    subsumption = true;
+  }
+
+let config_disabled =
+  {
+    cache_csv_fields = false;
+    cache_json_fields = false;
+    cache_strings = false;
+    cache_join_sides = false;
+    cache_select_results = false;
+    subsumption = false;
+  }
+
+type stats = {
+  field_hits : int;
+  field_misses : int;
+  field_stores : int;
+  packed_hits : int;
+  packed_misses : int;
+  packed_stores : int;
+  select_hits : int;      (* exact σ-result matches *)
+  select_subsumed : int;  (* matches that needed a residual re-filter *)
+  select_stores : int;
+}
+
+type t = {
+  config : config;
+  catalog : Catalog.t;
+  arena : Memory.Arena.t;
+  fields : (string * string, Column.t) Hashtbl.t;    (* (dataset, path) *)
+  packed : (string, Cache_iface.packed * string list) Hashtbl.t;  (* key -> (cols, datasets) *)
+  selects : (string, select_entry list ref) Hashtbl.t;  (* dataset -> entries *)
+  mutable field_hits : int;
+  mutable field_misses : int;
+  mutable field_stores : int;
+  mutable packed_hits : int;
+  mutable packed_misses : int;
+  mutable packed_stores : int;
+  mutable select_hits : int;
+  mutable select_subsumed : int;
+  mutable select_stores : int;
+}
+
+and select_entry = {
+  se_id : string;            (* arena block id *)
+  se_pred : Expr.t;          (* canonicalized over binding "$0" *)
+  se_paths : string list;
+  se_packed : Cache_iface.packed;
+}
+
+let create ?(config = default_config) catalog =
+  {
+    config;
+    catalog;
+    arena = Memory.Arena.of_mgr (Catalog.memory catalog);
+    fields = Hashtbl.create 32;
+    packed = Hashtbl.create 16;
+    selects = Hashtbl.create 8;
+    field_hits = 0;
+    field_misses = 0;
+    field_stores = 0;
+    packed_hits = 0;
+    packed_misses = 0;
+    packed_stores = 0;
+    select_hits = 0;
+    select_subsumed = 0;
+    select_stores = 0;
+  }
+
+let field_id dataset path = Fmt.str "field:%s:%s" dataset path
+
+let packed_id key = "packed:" ^ key
+
+let packed_size (p : Cache_iface.packed) =
+  List.fold_left (fun acc (_, c) -> acc + Column.byte_size c) 0 p.Cache_iface.cols
+
+let lookup_field t ~dataset ~path =
+  match Hashtbl.find_opt t.fields (dataset, path) with
+  | Some col ->
+    t.field_hits <- t.field_hits + 1;
+    ignore (Memory.Arena.touch t.arena (field_id dataset path));
+    Some col
+  | None ->
+    t.field_misses <- t.field_misses + 1;
+    None
+
+let store_field t ~dataset ~path ~bias col =
+  let id = field_id dataset path in
+  let size = Column.byte_size col in
+  (match
+     Memory.Arena.put t.arena ~id ~size ~bias ~on_evict:(fun () ->
+         Hashtbl.remove t.fields (dataset, path))
+   with
+  | () ->
+    Hashtbl.replace t.fields (dataset, path) col;
+    t.field_stores <- t.field_stores + 1;
+    Log.info (fun m -> m "cached %s.%s (%d bytes)" dataset path size)
+  | exception Invalid_argument _ ->
+    (* larger than the whole arena: skip caching rather than fail the query *)
+    Log.warn (fun m -> m "cache column %s.%s larger than arena; skipped" dataset path))
+
+let should_cache_field t ~dataset ~path:_ ~ty =
+  let format_ok =
+    match (Catalog.find t.catalog dataset).Dataset.format with
+    | Dataset.Csv _ -> t.config.cache_csv_fields
+    | Dataset.Json -> t.config.cache_json_fields
+    | Dataset.Binary_row | Dataset.Binary_column -> false
+  in
+  let type_ok =
+    match Ptype.unwrap_option ty with
+    | Ptype.String -> t.config.cache_strings
+    | Ptype.Int | Ptype.Float | Ptype.Bool | Ptype.Date -> true
+    | Ptype.Record _ | Ptype.Collection _ | Ptype.Option _ -> false
+  in
+  format_ok && type_ok
+
+let lookup_packed t ~key =
+  match Hashtbl.find_opt t.packed key with
+  | Some (p, _) ->
+    t.packed_hits <- t.packed_hits + 1;
+    ignore (Memory.Arena.touch t.arena (packed_id key));
+    Some p
+  | None ->
+    t.packed_misses <- t.packed_misses + 1;
+    None
+
+let store_packed t ~key ~datasets ~bias p =
+  if t.config.cache_join_sides then begin
+    let id = packed_id key in
+    match
+      Memory.Arena.put t.arena ~id ~size:(packed_size p) ~bias ~on_evict:(fun () ->
+          Hashtbl.remove t.packed key)
+    with
+    | () ->
+      Hashtbl.replace t.packed key (p, datasets);
+      t.packed_stores <- t.packed_stores + 1;
+      Log.info (fun m ->
+          m "cached materialized side %s (%d rows, %d bytes)" key p.Cache_iface.length
+            (packed_size p))
+    | exception Invalid_argument _ ->
+      Log.warn (fun m -> m "packed cache %s larger than arena; skipped" key)
+  end
+
+(* --- sigma-result caching with subsumption (Section 6 extension) --------- *)
+
+let subset a b = List.for_all (fun x -> List.mem x b) a
+
+let canon ~binding pred = Expr.rename binding "$0" pred
+
+let lookup_select t ~dataset ~binding ~pred ~paths =
+  match Hashtbl.find_opt t.selects dataset with
+  | None -> None
+  | Some entries ->
+    let q = canon ~binding pred in
+    let exact =
+      List.find_opt
+        (fun e -> Expr.equal e.se_pred q && subset paths e.se_paths)
+        !entries
+    in
+    (match exact with
+    | Some e ->
+      t.select_hits <- t.select_hits + 1;
+      ignore (Memory.Arena.touch t.arena e.se_id);
+      Some (e.se_packed, None)
+    | None when t.config.subsumption ->
+      let weaker =
+        List.find_opt
+          (fun e -> subset paths e.se_paths && Subsume.covers ~cached:e.se_pred ~query:q)
+          !entries
+      in
+      (match weaker with
+      | Some e ->
+        t.select_subsumed <- t.select_subsumed + 1;
+        ignore (Memory.Arena.touch t.arena e.se_id);
+        Some (e.se_packed, Some pred)
+      | None -> None)
+    | None -> None)
+
+let store_select t ~dataset ~binding ~pred ~paths ~bias packed =
+  let q = canon ~binding pred in
+  let id = Fmt.str "select:%s:%d" dataset (Hashtbl.hash (Expr.to_string q, paths)) in
+  let entries =
+    match Hashtbl.find_opt t.selects dataset with
+    | Some cell -> cell
+    | None ->
+      let cell = ref [] in
+      Hashtbl.replace t.selects dataset cell;
+      cell
+  in
+  match
+    Memory.Arena.put t.arena ~id ~size:(packed_size packed) ~bias ~on_evict:(fun () ->
+        entries := List.filter (fun e -> not (String.equal e.se_id id)) !entries)
+  with
+  | () ->
+    entries :=
+      { se_id = id; se_pred = q; se_paths = paths; se_packed = packed }
+      :: List.filter (fun e -> not (String.equal e.se_id id)) !entries;
+    t.select_stores <- t.select_stores + 1;
+    Log.info (fun m ->
+        m "cached sigma-result over %s (%d rows): %a" dataset packed.Cache_iface.length
+          Expr.pp q)
+  | exception Invalid_argument _ ->
+    Log.warn (fun m -> m "sigma-result cache for %s larger than arena; skipped" dataset)
+
+let should_cache_select t ~dataset =
+  t.config.cache_select_results
+  &&
+  match (Catalog.find t.catalog dataset).Dataset.format with
+  | Dataset.Csv _ | Dataset.Json -> true
+  | Dataset.Binary_row | Dataset.Binary_column -> false
+
+let iface t : Cache_iface.t =
+  {
+    Cache_iface.lookup_field = (fun ~dataset ~path -> lookup_field t ~dataset ~path);
+    store_field = (fun ~dataset ~path ~bias col -> store_field t ~dataset ~path ~bias col);
+    should_cache_field =
+      (fun ~dataset ~path ~ty -> should_cache_field t ~dataset ~path ~ty);
+    lookup_packed = (fun ~key -> lookup_packed t ~key);
+    store_packed =
+      (fun ~key ~datasets ~bias p -> store_packed t ~key ~datasets ~bias p);
+    lookup_select =
+      (fun ~dataset ~binding ~pred ~paths -> lookup_select t ~dataset ~binding ~pred ~paths);
+    store_select =
+      (fun ~dataset ~binding ~pred ~paths ~bias p ->
+        store_select t ~dataset ~binding ~pred ~paths ~bias p);
+    should_cache_select = (fun ~dataset -> should_cache_select t ~dataset);
+  }
+
+let stats t =
+  {
+    field_hits = t.field_hits;
+    field_misses = t.field_misses;
+    field_stores = t.field_stores;
+    packed_hits = t.packed_hits;
+    packed_misses = t.packed_misses;
+    packed_stores = t.packed_stores;
+    select_hits = t.select_hits;
+    select_subsumed = t.select_subsumed;
+    select_stores = t.select_stores;
+  }
+
+let field_bytes_for t ~dataset =
+  Hashtbl.fold
+    (fun (ds, _) col acc ->
+      if String.equal ds dataset then acc + Column.byte_size col else acc)
+    t.fields 0
+
+let bytes_for t ~dataset =
+  let fields =
+    Hashtbl.fold
+      (fun (ds, _) col acc -> if String.equal ds dataset then acc + Column.byte_size col else acc)
+      t.fields 0
+  in
+  let packed =
+    Hashtbl.fold
+      (fun _ (p, datasets) acc ->
+        if List.mem dataset datasets then acc + packed_size p else acc)
+      t.packed 0
+  in
+  let selects =
+    match Hashtbl.find_opt t.selects dataset with
+    | Some entries ->
+      List.fold_left (fun acc e -> acc + packed_size e.se_packed) 0 !entries
+    | None -> 0
+  in
+  fields + packed + selects
+
+let resident_bytes t =
+  Hashtbl.fold (fun _ col acc -> acc + Column.byte_size col) t.fields 0
+  + Hashtbl.fold (fun _ (p, _) acc -> acc + packed_size p) t.packed 0
+  + Hashtbl.fold
+      (fun _ entries acc ->
+        List.fold_left (fun acc e -> acc + packed_size e.se_packed) acc !entries)
+      t.selects 0
+
+let invalidate_dataset t ~dataset =
+  let field_keys =
+    Hashtbl.fold
+      (fun (ds, path) _ acc -> if String.equal ds dataset then (ds, path) :: acc else acc)
+      t.fields []
+  in
+  List.iter
+    (fun (ds, path) ->
+      Hashtbl.remove t.fields (ds, path);
+      Memory.Arena.remove t.arena (field_id ds path))
+    field_keys;
+  let packed_keys =
+    Hashtbl.fold
+      (fun key (_, datasets) acc -> if List.mem dataset datasets then key :: acc else acc)
+      t.packed []
+  in
+  List.iter
+    (fun key ->
+      Hashtbl.remove t.packed key;
+      Memory.Arena.remove t.arena (packed_id key))
+    packed_keys;
+  (match Hashtbl.find_opt t.selects dataset with
+  | Some entries ->
+    List.iter (fun e -> Memory.Arena.remove t.arena e.se_id) !entries;
+    Hashtbl.remove t.selects dataset
+  | None -> ())
+
+let clear t =
+  Hashtbl.iter (fun (ds, path) _ -> Memory.Arena.remove t.arena (field_id ds path)) t.fields;
+  Hashtbl.iter (fun key _ -> Memory.Arena.remove t.arena (packed_id key)) t.packed;
+  Hashtbl.iter
+    (fun _ entries -> List.iter (fun e -> Memory.Arena.remove t.arena e.se_id) !entries)
+    t.selects;
+  Hashtbl.reset t.fields;
+  Hashtbl.reset t.packed;
+  Hashtbl.reset t.selects

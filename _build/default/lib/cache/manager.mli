@@ -1,0 +1,78 @@
+(** The Caching Manager (Section 6 "Adapting Storage to Workload").
+
+    Caches are populated as a side-effect of query execution and exposed to
+    later queries as an extra binary input:
+
+    - {b field caches}: evaluated field expressions of raw CSV/JSON scans,
+      packed into binary columns aligned with the dataset's OIDs. Policy
+      (Section 6 "Cache Policies"): eager for primitive values of verbose
+      formats, never for variable-length strings (they pollute the cache);
+    - {b packed caches}: materialized intermediate relations — join build
+      sides — keyed by the canonical fingerprint of the sub-plan that
+      produced them ("implicit caching"; the partial-match reuse of one
+      already-materialized radix-join side).
+
+    All blocks live in the memory manager's pinned arena and are evicted by
+    its format-biased LRU (JSON caches outlive CSV, CSV outlive binary). *)
+
+open Proteus_catalog
+
+type config = {
+  cache_csv_fields : bool;
+  cache_json_fields : bool;
+  cache_strings : bool;      (** default false, as in the paper *)
+  cache_join_sides : bool;
+  cache_select_results : bool;
+      (** materialize sigma-over-scan results (explicit caching operators near
+          the leaves); default false *)
+  subsumption : bool;
+      (** let a cached weaker predicate answer a stricter query with a
+          residual re-filter — the future-work extension of Section 6;
+          default true (only observable when sigma-results exist) *)
+}
+
+val default_config : config
+
+val config_disabled : config
+
+type t
+
+val create : ?config:config -> Catalog.t -> t
+
+(** The interface handed to the execution layer. *)
+val iface : t -> Proteus_plugin.Cache_iface.t
+
+(** {1 Introspection} *)
+
+type stats = {
+  field_hits : int;
+  field_misses : int;
+  field_stores : int;
+  packed_hits : int;
+  packed_misses : int;
+  packed_stores : int;
+  select_hits : int;
+  select_subsumed : int;
+  select_stores : int;
+}
+
+val stats : t -> stats
+
+(** [bytes_for t ~dataset] is the total resident cache bytes built from one
+    dataset (field caches plus materialized join sides and sigma-results). *)
+val bytes_for : t -> dataset:string -> int
+
+(** [field_bytes_for t ~dataset] counts only the OID-aligned field-cache
+    columns — the quantity behind the cache-size/file-size ratios of
+    Section 7.2. *)
+val field_bytes_for : t -> dataset:string -> int
+
+(** Total resident cache bytes. *)
+val resident_bytes : t -> int
+
+(** [invalidate_dataset t ~dataset] drops every cache derived from the
+    dataset (the paper's update handling: affected auxiliary structures are
+    dropped and rebuilt). *)
+val invalidate_dataset : t -> dataset:string -> unit
+
+val clear : t -> unit

@@ -1,0 +1,77 @@
+open Proteus_model
+module Analysis = Proteus_algebra.Analysis
+
+(* A conjunct normalized to "path ⟨bound⟩": an upper and/or lower bound on a
+   numeric path. *)
+type bound = { value : float; strict : bool }
+
+type constraint_ = { path : string; upper : bound option; lower : bound option }
+
+let const_float (e : Expr.t) =
+  match e with
+  | Expr.Const (Value.Int i) -> Some (float_of_int i)
+  | Expr.Const (Value.Float f) -> Some f
+  | _ -> None
+
+let normalize (c : Expr.t) : constraint_ option =
+  let mk path upper lower = Some { path; upper; lower } in
+  let of_parts op path k =
+    match (op : Expr.binop) with
+    | Expr.Lt -> mk path (Some { value = k; strict = true }) None
+    | Expr.Le -> mk path (Some { value = k; strict = false }) None
+    | Expr.Gt -> mk path None (Some { value = k; strict = true })
+    | Expr.Ge -> mk path None (Some { value = k; strict = false })
+    | Expr.Eq ->
+      mk path (Some { value = k; strict = false }) (Some { value = k; strict = false })
+    | _ -> None
+  in
+  let flip (op : Expr.binop) =
+    match op with
+    | Expr.Lt -> Expr.Gt
+    | Expr.Le -> Expr.Ge
+    | Expr.Gt -> Expr.Lt
+    | Expr.Ge -> Expr.Le
+    | op -> op
+  in
+  match c with
+  | Expr.Binop (op, l, r) -> (
+    match Analysis.path_of l, const_float r with
+    | Some (_, p), Some k when p <> "" -> of_parts op p k
+    | _ -> (
+      match Analysis.path_of r, const_float l with
+      | Some (_, p), Some k when p <> "" -> of_parts (flip op) p k
+      | _ -> None))
+  | _ -> None
+
+(* does the q-bound imply the c-bound? (all x under q's bound satisfy c's) *)
+let upper_implies (q : bound) (c : bound) =
+  q.value < c.value
+  || (Float.equal q.value c.value && (q.strict || not c.strict))
+
+let lower_implies (q : bound) (c : bound) =
+  q.value > c.value
+  || (Float.equal q.value c.value && (q.strict || not c.strict))
+
+let covers ~cached ~query =
+  let cached_cs = List.map normalize (Expr.conjuncts cached) in
+  let query_cs = List.filter_map normalize (Expr.conjuncts query) in
+  (* every cached conjunct must be implied by some query conjunct; a cached
+     conjunct we cannot normalize blocks the match *)
+  List.for_all
+    (fun c ->
+      match c with
+      | None -> false
+      | Some c ->
+        List.exists
+          (fun q ->
+            String.equal q.path c.path
+            && (match c.upper with
+               | None -> true
+               | Some cu -> (
+                 match q.upper with Some qu -> upper_implies qu cu | None -> false))
+            && (match c.lower with
+               | None -> true
+               | Some cl -> (
+                 match q.lower with Some ql -> lower_implies ql cl | None -> false)))
+          query_cs)
+    cached_cs

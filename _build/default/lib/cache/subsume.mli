@@ -1,0 +1,15 @@
+(** Predicate subsumption for cache matching — the extension Section 6 lists
+    as future work: a cached [σ x>0 (A)] can answer [σ x>10 (A)] as long as
+    the stricter predicate is re-applied on the cached rows.
+
+    The test is conservative: it only certifies implication between
+    conjunctions of numeric comparisons of the form [path op constant]; any
+    conjunct it cannot analyze makes the answer [false]. *)
+
+open Proteus_model
+
+(** [covers ~cached ~query] is true when every row satisfying [query] also
+    satisfies [cached] (so the cached result is a superset and [query] can
+    be re-applied on it). Both predicates must be expressed over the same
+    single binding. *)
+val covers : cached:Expr.t -> query:Expr.t -> bool

@@ -1,0 +1,1 @@
+lib/calculus/calc.ml: Expr Fmt Hashtbl List Monoid Perror Proteus_model Ptype Value

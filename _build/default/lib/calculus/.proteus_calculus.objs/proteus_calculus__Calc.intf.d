@@ -1,0 +1,1 @@
+lib/calculus/calc.mli: Expr Format Monoid Proteus_model Ptype Value

@@ -1,0 +1,1 @@
+lib/calculus/normalize.ml: Calc Expr List Proteus_model Ptype String Value

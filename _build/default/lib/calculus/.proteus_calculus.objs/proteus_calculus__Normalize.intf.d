@@ -1,0 +1,1 @@
+lib/calculus/normalize.mli: Calc Proteus_model

@@ -1,0 +1,1 @@
+lib/calculus/to_algebra.ml: Calc Expr List Monoid Perror Proteus_algebra Proteus_model

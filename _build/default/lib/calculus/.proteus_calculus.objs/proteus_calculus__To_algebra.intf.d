@@ -1,0 +1,1 @@
+lib/calculus/to_algebra.mli: Calc Proteus_algebra

@@ -1,0 +1,107 @@
+open Proteus_model
+
+let rec fold_constants (e : Expr.t) : Expr.t =
+  let e =
+    match e with
+    | Expr.Const _ | Expr.Var _ -> e
+    | Expr.Field (inner, n) -> Expr.Field (fold_constants inner, n)
+    | Expr.Binop (op, l, r) -> Expr.Binop (op, fold_constants l, fold_constants r)
+    | Expr.Unop (op, inner) -> Expr.Unop (op, fold_constants inner)
+    | Expr.If (c, t, f) -> Expr.If (fold_constants c, fold_constants t, fold_constants f)
+    | Expr.Record_ctor fs -> Expr.Record_ctor (List.map (fun (n, e) -> (n, fold_constants e)) fs)
+    | Expr.Coll_ctor (c, es) -> Expr.Coll_ctor (c, List.map fold_constants es)
+  in
+  match e with
+  | Expr.Binop (op, Expr.Const a, Expr.Const b) -> (
+    (* Evaluate closed applications, but never fold an expression that would
+       raise (division by zero etc.) — keep it residual instead. *)
+    match Expr.eval [] (Expr.Binop (op, Expr.Const a, Expr.Const b)) with
+    | v -> Expr.Const v
+    | exception _ -> e)
+  | Expr.Binop (And, Expr.Const (Value.Bool true), r) -> r
+  | Expr.Binop (And, l, Expr.Const (Value.Bool true)) -> l
+  | Expr.Binop (And, (Expr.Const (Value.Bool false) as f), _) -> f
+  | Expr.Binop (Or, Expr.Const (Value.Bool false), r) -> r
+  | Expr.Binop (Or, l, Expr.Const (Value.Bool false)) -> l
+  | Expr.Binop (Or, (Expr.Const (Value.Bool true) as t), _) -> t
+  | Expr.Unop (Not, Expr.Const (Value.Bool b)) -> Expr.Const (Value.Bool (not b))
+  | Expr.If (Expr.Const (Value.Bool true), t, _) -> t
+  | Expr.If (Expr.Const (Value.Bool false), _, f) -> f
+  | e -> e
+
+let map_output_exprs f (o : Calc.output) : Calc.output =
+  match o with
+  | Calc.Collect (c, e) -> Calc.Collect (c, f e)
+  | Calc.Aggregate aggs -> Calc.Aggregate (List.map (fun (n, m, e) -> (n, m, f e)) aggs)
+  | Calc.Group { keys; aggs } ->
+    Calc.Group
+      {
+        keys = List.map (fun (n, e) -> (n, f e)) keys;
+        aggs = List.map (fun (n, m, e) -> (n, m, f e)) aggs;
+      }
+
+let rec subst_comp name replacement (c : Calc.t) : Calc.t =
+  let f = Expr.subst name replacement in
+  let rec go_quals = function
+    | [] -> []
+    | Calc.Pred e :: rest -> Calc.Pred (f e) :: go_quals rest
+    | Calc.Gen (x, src) :: rest ->
+      let src =
+        match src with
+        | Calc.Dataset _ -> src
+        | Calc.Path e -> Calc.Path (f e)
+        | Calc.Sub inner -> Calc.Sub (subst_comp name replacement inner)
+      in
+      (* generators bind; stop substituting if shadowed (validate forbids
+         shadowing anyway, so this is belt and braces) *)
+      if String.equal x name then Calc.Gen (x, src) :: rest
+      else Calc.Gen (x, src) :: go_quals rest
+  in
+  { quals = go_quals c.quals; output = map_output_exprs f c.output }
+
+(* One rewrite pass; returns (changed, c'). *)
+let pass (c : Calc.t) : bool * Calc.t =
+  let changed = ref false in
+  (* 1. split conjunctive predicates, drop trues, fold constants *)
+  let quals =
+    List.concat_map
+      (function
+        | Calc.Pred e ->
+          let e' = fold_constants e in
+          let cs = Expr.conjuncts e' in
+          if (not (Expr.equal e e')) || List.length cs <> 1 then changed := true;
+          List.filter_map
+            (fun p ->
+              match p with
+              | Expr.Const (Value.Bool true) ->
+                changed := true;
+                None
+              | p -> Some (Calc.Pred p))
+            cs
+        | q -> [ q ])
+      c.quals
+  in
+  (* 2. unnest bag sub-comprehensions in generator position (rule N8):
+        x <- bag{ e | qs }  ==>  qs, x := e  (by substitution) *)
+  let rec unnest acc = function
+    | [] -> (List.rev acc, None)
+    | Calc.Gen (x, Calc.Sub { output = Calc.Collect (Ptype.Bag, head); quals = inner })
+      :: rest ->
+      (List.rev acc @ inner, Some (x, head, rest))
+    | q :: rest -> unnest (q :: acc) rest
+  in
+  match unnest [] quals with
+  | prefix, Some (x, head, rest) ->
+    changed := true;
+    let rest_comp = subst_comp x head { Calc.quals = rest; output = c.output } in
+    (true, { Calc.quals = prefix @ rest_comp.quals; output = rest_comp.output })
+  | quals, None -> (!changed, { c with quals })
+
+let run c =
+  let rec fix c n =
+    if n > 64 then c
+    else
+      let changed, c' = pass c in
+      if changed then fix c' (n + 1) else c'
+  in
+  fix c 0

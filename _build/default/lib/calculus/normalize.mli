@@ -1,0 +1,21 @@
+(** Normalization of monoid comprehensions (the rewrite rules of [24],
+    Section 4 "Query Optimization": the first, syntactic phase).
+
+    The rules implemented:
+    - {b predicate splitting}: a conjunction qualifier becomes several
+      qualifiers, enabling independent placement (selection pushdown);
+    - {b generator unnesting} (rule N8): a generator over a bag
+      sub-comprehension [x <- bag{ e | qs }] splices [qs] into the outer
+      qualifier list and substitutes [e] for [x] — this is what removes
+      nested queries before the algebra ever sees them;
+    - {b trivial-predicate elimination}: [true] qualifiers disappear;
+      a [false] qualifier empties the comprehension (the output becomes the
+      monoid's identity);
+    - {b constant folding} inside qualifier predicates (conservative). *)
+
+(** [run c] applies the rules to a fixpoint. The result evaluates to the
+    same value as [c] (property-tested). *)
+val run : Calc.t -> Calc.t
+
+(** [fold_constants e] conservatively folds constant sub-expressions. *)
+val fold_constants : Proteus_model.Expr.t -> Proteus_model.Expr.t

@@ -1,0 +1,68 @@
+open Proteus_model
+module Plan = Proteus_algebra.Plan
+
+(* Predicates stay "pending" until an operator can host them: a join or an
+   unnest absorbs every pending predicate whose variables are in scope there
+   (the embedded filtering expressions of Table 1); whatever is left at the
+   end folds into the root Reduce/Nest predicate. *)
+
+let subset vars bound = List.for_all (fun v -> List.mem v bound) vars
+
+let take_applicable pending bound =
+  List.partition (fun p -> subset (Expr.free_vars p) bound) pending
+
+let run (c : Calc.t) : Plan.t =
+  let plan = ref None in
+  let bound = ref [] in
+  let pending = ref [] in
+  let add_gen x src =
+    match src with
+    | Calc.Sub _ ->
+      Perror.unsupported "sub-comprehension generator survived normalization"
+    | Calc.Dataset d ->
+      let scan = Plan.scan ~dataset:d ~binding:x () in
+      (match !plan with
+      | None ->
+        plan := Some scan;
+        bound := [ x ]
+      | Some left ->
+        let bound' = x :: !bound in
+        let applicable, rest = take_applicable !pending bound' in
+        pending := rest;
+        plan := Some (Plan.join ~pred:(Expr.conjoin applicable) left scan);
+        bound := bound')
+    | Calc.Path e ->
+      if not (subset (Expr.free_vars e) !bound) then
+        Perror.plan_error "unnest path %a references unbound variables" Expr.pp e;
+      (match !plan with
+      | None -> Perror.plan_error "first generator cannot range over a path"
+      | Some input ->
+        let bound' = x :: !bound in
+        let applicable, rest = take_applicable !pending bound' in
+        pending := rest;
+        plan :=
+          Some (Plan.unnest ~pred:(Expr.conjoin applicable) ~path:e ~binding:x input);
+        bound := bound')
+  in
+  List.iter
+    (function
+      | Calc.Gen (x, src) -> add_gen x src
+      | Calc.Pred e -> pending := !pending @ [ e ])
+    c.quals;
+  let input =
+    match !plan with
+    | Some p -> p
+    | None -> Perror.plan_error "comprehension has no generators"
+  in
+  let residual = Expr.conjoin !pending in
+  match c.output with
+  | Calc.Collect (coll, e) ->
+    Plan.reduce ~pred:residual [ Plan.agg ~name:"result" (Monoid.Collection coll) e ] input
+  | Calc.Aggregate aggs ->
+    Plan.reduce ~pred:residual
+      (List.map (fun (n, m, e) -> Plan.agg ~name:n (Monoid.Primitive m) e) aggs)
+      input
+  | Calc.Group { keys; aggs } ->
+    Plan.nest ~pred:residual ~keys
+      ~aggs:(List.map (fun (n, m, e) -> Plan.agg ~name:n (Monoid.Primitive m) e) aggs)
+      ~binding:"group" input

@@ -1,0 +1,13 @@
+(** Rewriting a normalized comprehension into a nested-relational-algebra
+    plan (the second rewriting phase of Section 4).
+
+    Generators over datasets become scans joined left-to-right; generators
+    over collection paths become Unnest operators (as in Figure 1);
+    predicates are attached at the lowest operator where all their variables
+    are in scope (an initial selection/join-condition placement that the
+    optimizer refines further); the output clause becomes Reduce or Nest. *)
+
+(** [run c] translates comprehension [c].
+    Raises [Perror.Unsupported] for sub-comprehension generators — run
+    {!Normalize.run} first; it removes them. *)
+val run : Calc.t -> Proteus_algebra.Plan.t

@@ -1,0 +1,1 @@
+lib/catalog/catalog.ml: Dataset Hashtbl List Memory Perror Proteus_model Proteus_storage Stats String

@@ -1,0 +1,1 @@
+lib/catalog/catalog.mli: Dataset Memory Proteus_storage Stats

@@ -1,0 +1,1 @@
+lib/catalog/dataset.ml: Column Fmt Memory Proteus_format Proteus_model Proteus_storage Ptype Rowpage Schema

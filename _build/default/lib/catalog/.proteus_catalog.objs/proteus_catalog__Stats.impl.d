@@ -1,0 +1,1 @@
+lib/catalog/stats.ml: Float Fmt Hashtbl Proteus_model Value

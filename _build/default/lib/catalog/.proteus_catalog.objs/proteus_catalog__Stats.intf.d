@@ -1,0 +1,1 @@
+lib/catalog/stats.mli: Format Proteus_model Value

@@ -1,0 +1,47 @@
+open Proteus_model
+open Proteus_storage
+
+type t = {
+  memory : Memory.t;
+  datasets : (string, Dataset.t) Hashtbl.t;
+  stats : (string, Stats.t) Hashtbl.t;
+}
+
+let create ?cache_budget () =
+  {
+    memory = Memory.create ?cache_budget ();
+    datasets = Hashtbl.create 16;
+    stats = Hashtbl.create 16;
+  }
+
+let memory t = t.memory
+
+let register t (d : Dataset.t) = Hashtbl.replace t.datasets d.name d
+
+let find_opt t name = Hashtbl.find_opt t.datasets name
+
+let find t name =
+  match find_opt t name with
+  | Some d -> d
+  | None -> Perror.plan_error "unknown dataset %s" name
+
+let names t = Hashtbl.fold (fun n _ acc -> n :: acc) t.datasets [] |> List.sort String.compare
+
+let remove t name =
+  Hashtbl.remove t.datasets name;
+  Hashtbl.remove t.stats name
+
+let stats t name =
+  match Hashtbl.find_opt t.stats name with
+  | Some s -> s
+  | None ->
+    let s = Stats.create () in
+    Hashtbl.replace t.stats name s;
+    s
+
+let contents t (d : Dataset.t) =
+  match d.location with
+  | Dataset.File path -> Memory.load_file t.memory path
+  | Dataset.Blob name -> Memory.contents t.memory name
+  | Dataset.Rows _ | Dataset.Columns _ ->
+    Perror.plan_error "dataset %s has no raw byte image" d.name

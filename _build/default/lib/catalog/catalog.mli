@@ -1,0 +1,32 @@
+(** The catalog: named datasets, their statistics, and the shared memory
+    manager. One catalog backs one Proteus session. *)
+
+open Proteus_storage
+
+type t
+
+val create : ?cache_budget:int -> unit -> t
+
+val memory : t -> Memory.t
+
+(** [register t dataset] adds (or replaces) a dataset. *)
+val register : t -> Dataset.t -> unit
+
+(** [find t name] looks a dataset up.
+    Raises [Perror.Plan_error] for unknown names. *)
+val find : t -> string -> Dataset.t
+
+val find_opt : t -> string -> Dataset.t option
+
+val names : t -> string list
+
+val remove : t -> string -> unit
+
+(** [stats t name] is the (mutable) statistics record of a dataset,
+    created on first use. *)
+val stats : t -> string -> Stats.t
+
+(** [contents t dataset] resolves a [File]/[Blob] location to its bytes via
+    the memory manager. Raises [Perror.Plan_error] for [Rows]/[Columns]
+    datasets, which have no byte image. *)
+val contents : t -> Dataset.t -> string

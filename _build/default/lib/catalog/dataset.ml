@@ -1,0 +1,39 @@
+open Proteus_model
+open Proteus_storage
+
+type format =
+  | Csv of Proteus_format.Csv.config
+  | Json
+  | Binary_row
+  | Binary_column
+
+type location =
+  | File of string
+  | Blob of string
+  | Rows of Rowpage.t
+  | Columns of (string * Column.t) list
+
+type t = {
+  name : string;
+  format : format;
+  location : location;
+  element : Ptype.t;
+}
+
+let make ~name ~format ~location ~element = { name; format; location; element }
+
+let schema t = Schema.of_type t.element
+
+let format_name = function
+  | Csv _ -> "csv"
+  | Json -> "json"
+  | Binary_row -> "binary-row"
+  | Binary_column -> "binary-column"
+
+let bias = function
+  | Json -> Memory.Arena.Bias_json
+  | Csv _ -> Memory.Arena.Bias_csv
+  | Binary_row | Binary_column -> Memory.Arena.Bias_binary
+
+let pp ppf t =
+  Fmt.pf ppf "%s [%s] : %a" t.name (format_name t.format) Ptype.pp t.element

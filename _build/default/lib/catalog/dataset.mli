@@ -1,0 +1,41 @@
+(** Dataset descriptors: what the engine knows about an input before the
+    relevant input plug-in takes over. *)
+
+open Proteus_model
+open Proteus_storage
+
+type format =
+  | Csv of Proteus_format.Csv.config
+  | Json
+  | Binary_row
+  | Binary_column
+
+(** Where the bytes live. [File]/[Blob] inputs go through the memory
+    manager; [Rows]/[Columns] are binary datasets already in their native
+    in-memory layout (as produced by a loader or a generator). *)
+type location =
+  | File of string
+  | Blob of string
+  | Rows of Rowpage.t
+  | Columns of (string * Column.t) list
+
+type t = {
+  name : string;
+  format : format;
+  location : location;
+  element : Ptype.t;  (** type of one element; a record for all current formats *)
+}
+
+val make : name:string -> format:format -> location:location -> element:Ptype.t -> t
+
+(** The element type viewed as a schema.
+    Raises [Invalid_argument] for non-record element types. *)
+val schema : t -> Schema.t
+
+val format_name : format -> string
+
+(** Eviction bias class of the dataset's format (Section 6 "Cache
+    Policies": JSON > CSV > binary). *)
+val bias : format -> Memory.Arena.bias
+
+val pp : Format.formatter -> t -> unit

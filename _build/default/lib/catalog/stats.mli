@@ -1,0 +1,41 @@
+(** Per-source statistics (Section 5.2 "Enabling Cost-based Optimizations").
+
+    The metadata store keeps dataset cardinalities and min/max values per
+    attribute. Statistics collection is delegated to the input plug-ins,
+    which fold observations in (i) during cold first accesses, (ii) when a
+    blocking operator materializes values, and (iii) when an explicit
+    refresh — the paper's idle-time daemon — runs. *)
+
+open Proteus_model
+
+type field_stats = {
+  min : Value.t;
+  max : Value.t;
+  nonnull : int;
+  distinct_estimate : int;  (** coarse: min(nonnull, sample-based guess) *)
+}
+
+type t
+
+val create : unit -> t
+
+val set_cardinality : t -> int -> unit
+val cardinality : t -> int option
+
+(** [observe t path v] folds one value into field [path]'s running stats. *)
+val observe : t -> string -> Value.t -> unit
+
+val field : t -> string -> field_stats option
+
+(** [selectivity t path ~op ~value] estimates the fraction of rows
+    satisfying [path op value] under a uniform distribution between the
+    recorded min and max. [op] is one of [`Lt | `Le | `Gt | `Ge | `Eq].
+    Falls back to the textbook default of 10% ([default_selectivity]) when
+    no stats exist — the plug-in skeleton behaviour the paper describes. *)
+val selectivity : t -> string -> op:[ `Lt | `Le | `Gt | `Ge | `Eq ] -> value:Value.t -> float
+
+val default_selectivity : float
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/engine/agg.ml: Exprc List Monoid Proteus_model Value

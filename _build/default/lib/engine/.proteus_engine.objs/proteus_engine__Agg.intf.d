@@ -1,0 +1,1 @@
+lib/engine/agg.mli: Exprc Monoid Proteus_model Value

@@ -1,0 +1,1 @@
+lib/engine/compiled.mli: Expr Proteus_algebra Proteus_model Proteus_plugin Registry Value

@@ -1,0 +1,1 @@
+lib/engine/counters.ml: Fmt

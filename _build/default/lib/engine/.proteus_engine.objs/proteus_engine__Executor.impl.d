@@ -1,0 +1,1 @@
+lib/engine/executor.ml: Compiled Proteus_algebra Volcano

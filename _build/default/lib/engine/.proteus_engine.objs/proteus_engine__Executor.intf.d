@@ -1,0 +1,1 @@
+lib/engine/executor.mli: Proteus_algebra Proteus_model Proteus_plugin

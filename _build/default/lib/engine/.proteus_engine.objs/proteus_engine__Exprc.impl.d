@@ -1,0 +1,1 @@
+lib/engine/exprc.ml: Access Array Expr Hashtbl List Monoid Perror Proteus_algebra Proteus_model Proteus_plugin Ptype Source String Value

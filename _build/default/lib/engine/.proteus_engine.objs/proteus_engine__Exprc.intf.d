@@ -1,0 +1,1 @@
+lib/engine/exprc.mli: Expr Hashtbl Proteus_model Proteus_plugin Source Value

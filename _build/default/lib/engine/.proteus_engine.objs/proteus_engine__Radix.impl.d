@@ -1,0 +1,1 @@
+lib/engine/radix.ml: Array Int

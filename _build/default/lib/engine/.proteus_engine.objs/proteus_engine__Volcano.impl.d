@@ -1,0 +1,1 @@
+lib/engine/volcano.ml: Access Compiled Counters Expr Exprc Hashtbl List Monoid Option Perror Proteus_algebra Proteus_model Proteus_plugin Ptype Registry Source String Value

@@ -1,0 +1,1 @@
+lib/engine/volcano.mli: Proteus_algebra Proteus_model Proteus_plugin Registry Source Value

@@ -1,0 +1,105 @@
+open Proteus_model
+
+type instance = { step : unit -> unit; value : unit -> Value.t }
+
+let boxed_factory prim (get : unit -> Value.t) () =
+  let acc = Monoid.acc_create prim in
+  { step = (fun () -> Monoid.acc_step acc (get ())); value = (fun () -> Monoid.acc_value acc) }
+
+let factory (m : Monoid.t) (c : Exprc.compiled) : unit -> instance =
+  match m, c with
+  | Monoid.Primitive Monoid.Count, _ ->
+    fun () ->
+      let n = ref 0 in
+      { step = (fun () -> incr n); value = (fun () -> Value.Int !n) }
+  | Monoid.Primitive Monoid.Sum, Exprc.C_int get ->
+    fun () ->
+      let s = ref 0 in
+      { step = (fun () -> s := !s + get ()); value = (fun () -> Value.Int !s) }
+  | Monoid.Primitive Monoid.Sum, Exprc.C_float get ->
+    fun () ->
+      let s = ref 0. in
+      { step = (fun () -> s := !s +. get ()); value = (fun () -> Value.Float !s) }
+  | Monoid.Primitive Monoid.Max, Exprc.C_int get ->
+    fun () ->
+      let best = ref min_int and seen = ref false in
+      {
+        step =
+          (fun () ->
+            let v = get () in
+            if v > !best then best := v;
+            seen := true);
+        value = (fun () -> if !seen then Value.Int !best else Value.Null);
+      }
+  | Monoid.Primitive Monoid.Min, Exprc.C_int get ->
+    fun () ->
+      let best = ref max_int and seen = ref false in
+      {
+        step =
+          (fun () ->
+            let v = get () in
+            if v < !best then best := v;
+            seen := true);
+        value = (fun () -> if !seen then Value.Int !best else Value.Null);
+      }
+  | Monoid.Primitive Monoid.Max, Exprc.C_float get ->
+    fun () ->
+      let best = ref neg_infinity and seen = ref false in
+      {
+        step =
+          (fun () ->
+            let v = get () in
+            if v > !best then best := v;
+            seen := true);
+        value = (fun () -> if !seen then Value.Float !best else Value.Null);
+      }
+  | Monoid.Primitive Monoid.Min, Exprc.C_float get ->
+    fun () ->
+      let best = ref infinity and seen = ref false in
+      {
+        step =
+          (fun () ->
+            let v = get () in
+            if v < !best then best := v;
+            seen := true);
+        value = (fun () -> if !seen then Value.Float !best else Value.Null);
+      }
+  | Monoid.Primitive Monoid.Avg, Exprc.C_int get ->
+    fun () ->
+      let s = ref 0. and n = ref 0 in
+      {
+        step =
+          (fun () ->
+            s := !s +. float_of_int (get ());
+            incr n);
+        value =
+          (fun () -> if !n = 0 then Value.Null else Value.Float (!s /. float_of_int !n));
+      }
+  | Monoid.Primitive Monoid.Avg, Exprc.C_float get ->
+    fun () ->
+      let s = ref 0. and n = ref 0 in
+      {
+        step =
+          (fun () ->
+            s := !s +. get ();
+            incr n);
+        value =
+          (fun () -> if !n = 0 then Value.Null else Value.Float (!s /. float_of_int !n));
+      }
+  | Monoid.Primitive Monoid.All, Exprc.C_bool get ->
+    fun () ->
+      let b = ref true in
+      { step = (fun () -> b := !b && get ()); value = (fun () -> Value.Bool !b) }
+  | Monoid.Primitive Monoid.Any, Exprc.C_bool get ->
+    fun () ->
+      let b = ref false in
+      { step = (fun () -> b := !b || get ()); value = (fun () -> Value.Bool !b) }
+  | Monoid.Primitive prim, c -> boxed_factory prim (Exprc.to_val c)
+  | Monoid.Collection coll, c ->
+    let get = Exprc.to_val c in
+    fun () ->
+      let acc = ref [] in
+      {
+        step = (fun () -> acc := get () :: !acc);
+        value = (fun () -> Monoid.collect coll (List.rev !acc));
+      }

@@ -1,0 +1,17 @@
+(** Staged aggregate accumulators.
+
+    A factory builds per-group accumulator instances whose [step] closure was
+    specialized once per query: integer sums accumulate into an [int ref]
+    with no boxing per tuple, float folds into a [float ref], and only
+    genuinely dynamic cases fall back to the boxed {!Monoid.acc}. *)
+
+open Proteus_model
+
+type instance = {
+  step : unit -> unit;       (** fold the current tuple in *)
+  value : unit -> Value.t;   (** read the aggregate out *)
+}
+
+(** [factory monoid compiled] stages the accumulator for folding the values
+    of [compiled]; each call to the factory starts a fresh group. *)
+val factory : Monoid.t -> Exprc.compiled -> unit -> instance

@@ -1,0 +1,768 @@
+open Proteus_model
+open Proteus_plugin
+module Plan = Proteus_algebra.Plan
+module Fingerprint = Proteus_algebra.Fingerprint
+
+module VH = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+(* Growable boxed vector for materialized join sides. *)
+module Vec = struct
+  type t = { mutable a : Value.t array; mutable n : int }
+
+  let create () = { a = Array.make 64 Value.Null; n = 0 }
+
+  let clear t = t.n <- 0
+
+  let push t v =
+    if t.n >= Array.length t.a then begin
+      let bigger = Array.make (2 * t.n) Value.Null in
+      Array.blit t.a 0 bigger 0 t.n;
+      t.a <- bigger
+    end;
+    t.a.(t.n) <- v;
+    t.n <- t.n + 1
+
+  let to_array t = Array.sub t.a 0 t.n
+end
+
+let all_exprs = Proteus_algebra.Analysis.all_exprs
+
+type ctx = {
+  reg : Registry.t;
+  cenv : Exprc.cenv;
+  required : (string * [ `Whole | `Paths of string list ]) list;
+}
+
+let subset vars bound = List.for_all (fun v -> List.mem v bound) vars
+
+(* Find an equi-join conjunct splitting cleanly across the two sides. *)
+let extract_equi pred left_bound right_bound =
+  List.find_map
+    (fun c ->
+      match (c : Expr.t) with
+      | Expr.Binop (Expr.Eq, l, r) ->
+        let fl = Expr.free_vars l and fr = Expr.free_vars r in
+        if subset fl left_bound && subset fr right_bound then Some (l, r)
+        else if subset fl right_bound && subset fr left_bound then Some (r, l)
+        else None
+      | _ -> None)
+    (Expr.conjuncts pred)
+
+(* The payload a join materializes for its build side: one boxed vector per
+   (binding, path) the ancestors read. *)
+type payload_slot = {
+  ps_binding : string;
+  ps_path : string;  (* "" = whole record *)
+  ps_get : unit -> Value.t;   (* compiled against the live build pipeline *)
+  ps_vec : Vec.t;
+  ps_arr : Value.t array ref; (* swapped in after materialization *)
+  ps_packable : bool;
+  ps_ty : Ptype.t option;     (* for packing to a cache column *)
+}
+
+(* sigma-result caching applies when the scan's required paths are all
+   primitive (packable into binary columns) *)
+let select_paths ctx binding =
+  match List.assoc_opt binding ctx.required with
+  | Some (`Paths ps) when ps <> [] -> Some ps
+  | _ -> None
+
+let select_cache_should_store ctx ~dataset ~binding =
+  (Registry.cache ctx.reg).Cache_iface.should_cache_select ~dataset
+  &&
+  match select_paths ctx binding with
+  | None -> false
+  | Some paths -> (
+    match Proteus_catalog.Catalog.find_opt (Registry.catalog ctx.reg) dataset with
+    | Some d ->
+      List.for_all
+        (fun p ->
+          match Source.field_type d.Proteus_catalog.Dataset.element p with
+          | ty -> Ptype.is_primitive (Ptype.unwrap_option ty)
+          | exception Perror.Plan_error _ -> false)
+        paths
+    | None -> false)
+
+let rec compile (ctx : ctx) (p : Plan.t) : (unit -> unit) -> unit -> unit =
+  match p with
+  | Plan.Scan { dataset; binding; fields = _ } ->
+    let required =
+      match List.assoc_opt binding ctx.required with
+      | Some (`Paths ps) -> ps
+      | Some `Whole | None -> []
+    in
+    let scan = Registry.scan ctx.reg ~dataset ~required in
+    Hashtbl.replace ctx.cenv binding (Exprc.Scan_repr scan.Registry.sc_source);
+    fun consumer () ->
+      scan.Registry.sc_run ~on_tuple:(fun () ->
+          Counters.add_tuples 1;
+          consumer ())
+  | Plan.Select { pred; input = Plan.Scan { dataset; binding; _ } as scan }
+    when select_paths ctx binding <> None ->
+    compile_select_scan ctx ~pred ~dataset ~binding ~scan
+  | Plan.Select { pred; input } ->
+    let run_input = compile ctx input in
+    let pred_c = Exprc.to_pred (Exprc.compile ctx.cenv pred) in
+    fun consumer ->
+      run_input (fun () ->
+          Counters.add_branch_points 1;
+          if pred_c () then consumer ())
+  | Plan.Project { binding; fields; input } ->
+    let run_input = compile ctx input in
+    let getters =
+      List.map (fun (n, e) -> (n, Exprc.to_val (Exprc.compile ctx.cenv e))) fields
+    in
+    let reg = ref Value.Null in
+    Hashtbl.replace ctx.cenv binding (Exprc.Boxed_repr reg);
+    fun consumer ->
+      run_input (fun () ->
+          reg := Value.record (List.map (fun (n, g) -> (n, g ())) getters);
+          consumer ())
+  | Plan.Unnest { outer; path; binding; pred; input } -> compile_unnest ctx ~outer ~path ~binding ~pred ~input
+  | Plan.Nest { keys; aggs; pred; binding; input } -> (
+    let run_input = compile ctx input in
+    let pred_c = Exprc.to_pred (Exprc.compile ctx.cenv pred) in
+    let compiled_keys = List.map (fun (n, e) -> (n, Exprc.compile ctx.cenv e)) keys in
+    let factories =
+      List.map
+        (fun (a : Plan.agg) -> (a.agg_name, Agg.factory a.monoid (Exprc.compile ctx.cenv a.expr)))
+        aggs
+    in
+    let group_reg = ref Value.Null in
+    Hashtbl.replace ctx.cenv binding (Exprc.Boxed_repr group_reg);
+    let emit consumer key_fields instances =
+      let agg_fields =
+        List.map2 (fun (n, _) (i : Agg.instance) -> (n, i.value ())) factories instances
+      in
+      group_reg := Value.record (key_fields @ agg_fields);
+      consumer ()
+    in
+    match compiled_keys with
+    | [ (kname, Exprc.C_int kget) ] ->
+      (* single integer grouping key: the hash-based grouping runs over raw
+         ints, no boxing per tuple *)
+      fun consumer ->
+        let groups : (int, Agg.instance list) Hashtbl.t = Hashtbl.create 64 in
+        let order = ref [] in
+        let feeder =
+          run_input (fun () ->
+              if pred_c () then begin
+                let k = kget () in
+                let instances =
+                  match Hashtbl.find_opt groups k with
+                  | Some instances -> instances
+                  | None ->
+                    let instances = List.map (fun (_, f) -> f ()) factories in
+                    Hashtbl.add groups k instances;
+                    order := k :: !order;
+                    Counters.add_materialized 1;
+                    instances
+                in
+                List.iter (fun (i : Agg.instance) -> i.step ()) instances
+              end)
+        in
+        fun () ->
+          Hashtbl.reset groups;
+          order := [];
+          feeder ();
+          List.iter
+            (fun k ->
+              emit consumer [ (kname, Value.Int k) ] (Hashtbl.find groups k))
+            (List.rev !order)
+    | _ ->
+      let key_getters = List.map (fun (n, c) -> (n, Exprc.to_val c)) compiled_keys in
+      fun consumer ->
+        let groups : (Value.t list * Agg.instance list) VH.t = VH.create 64 in
+        let order = ref [] in
+        let feeder =
+          run_input (fun () ->
+              if pred_c () then begin
+                let kvs = List.map (fun (_, g) -> g ()) key_getters in
+                let key = Value.Coll (Ptype.List, kvs) in
+                let _, instances =
+                  match VH.find_opt groups key with
+                  | Some cell -> cell
+                  | None ->
+                    let cell = (kvs, List.map (fun (_, f) -> f ()) factories) in
+                    VH.add groups key cell;
+                    order := key :: !order;
+                    Counters.add_materialized (List.length kvs);
+                    cell
+                in
+                List.iter (fun (i : Agg.instance) -> i.step ()) instances
+              end)
+        in
+        fun () ->
+          VH.reset groups;
+          order := [];
+          feeder ();
+          List.iter
+            (fun key ->
+              let kvs, instances = VH.find groups key in
+              let key_fields = List.map2 (fun (n, _) v -> (n, v)) keys kvs in
+              emit consumer key_fields instances)
+            (List.rev !order))
+  | Plan.Sort { keys; limit; input } ->
+    let run_input = compile ctx input in
+    let visible = Plan.bindings input in
+    (* getters against the live pipeline, compiled before re-registration *)
+    let getters =
+      List.map (fun b -> Exprc.to_val (Exprc.compile ctx.cenv (Expr.Var b))) visible
+    in
+    let key_getters =
+      List.map (fun (e, d) -> (Exprc.to_val (Exprc.compile ctx.cenv e), d)) keys
+    in
+    (* above the sort, bindings read from boxed registers *)
+    let regs = List.map (fun b -> (b, ref Value.Null)) visible in
+    List.iter
+      (fun (b, r) -> Hashtbl.replace ctx.cenv b (Exprc.Boxed_repr r))
+      regs;
+    fun consumer () ->
+      let rows = ref [] in
+      (run_input (fun () ->
+           Counters.add_materialized (List.length visible);
+           rows :=
+             ( List.map (fun (g, _) -> g ()) key_getters,
+               List.map (fun g -> g ()) getters )
+             :: !rows))
+        ();
+      let cmp (ka, _) (kb, _) =
+        let rec go ks ds =
+          match ks, ds with
+          | (a, b) :: rest, (_, d) :: drest ->
+            let c = Value.compare a b in
+            if c <> 0 then (match (d : Plan.sort_dir) with Plan.Asc -> c | Plan.Desc -> -c)
+            else go rest drest
+          | _, _ -> 0
+        in
+        go (List.combine ka kb) keys
+      in
+      let sorted = List.stable_sort cmp (List.rev !rows) in
+      let sorted =
+        match limit with
+        | None -> sorted
+        | Some n -> List.filteri (fun i _ -> i < n) sorted
+      in
+      List.iter
+        (fun (_, values) ->
+          List.iter2 (fun (_, r) v -> r := v) regs values;
+          consumer ())
+        sorted
+  | Plan.Reduce _ ->
+    Perror.plan_error "Reduce below the plan root is not supported"
+  | Plan.Join { kind; algo; left; right; left_key; right_key; pred } ->
+    compile_join ctx ~kind ~algo ~left ~right ~left_key ~right_key ~pred
+
+and compile_select_scan ctx ~pred ~dataset ~binding ~scan =
+  let paths = Option.get (select_paths ctx binding) in
+  let cache = Registry.cache ctx.reg in
+  match cache.Cache_iface.lookup_select ~dataset ~binding ~pred ~paths with
+  | Some (packed, residual) -> (
+    (* cache matching replaced this sigma-over-scan sub-tree with a scan of a
+       materialized binary result (Section 6 "Cache Matching"); a subsuming
+       match re-applies the stricter predicate as residual *)
+    let element =
+      (Proteus_catalog.Catalog.find (Registry.catalog ctx.reg) dataset)
+        .Proteus_catalog.Dataset.element
+    in
+    let src = Binary_plugin.of_columns ~element packed.Cache_iface.cols in
+    Hashtbl.replace ctx.cenv binding (Exprc.Scan_repr src);
+    match residual with
+    | None ->
+      fun consumer () ->
+        Source.run src ~on_tuple:(fun () ->
+            Counters.add_tuples 1;
+            consumer ())
+    | Some residual ->
+      let pred_c = Exprc.to_pred (Exprc.compile ctx.cenv residual) in
+      fun consumer () ->
+        Source.run src ~on_tuple:(fun () ->
+            Counters.add_tuples 1;
+            Counters.add_branch_points 1;
+            if pred_c () then consumer ()))
+  | None when select_cache_should_store ctx ~dataset ~binding ->
+    (* explicit caching close to the leaves: materialize the qualifying rows'
+       required fields as a side-effect and register the sigma-result *)
+    let run_input = compile ctx scan in
+    let pred_c = Exprc.to_pred (Exprc.compile ctx.cenv pred) in
+    let src =
+      match Hashtbl.find_opt ctx.cenv binding with
+      | Some (Exprc.Scan_repr src) -> src
+      | _ -> Perror.plan_error "scan binding %s not registered" binding
+    in
+    let typed =
+      List.map
+        (fun p ->
+          let a = src.Source.field p in
+          (p, Ptype.unwrap_option a.Access.ty, a))
+        paths
+    in
+    let bias =
+      Proteus_catalog.Dataset.bias
+        (Proteus_catalog.Catalog.find (Registry.catalog ctx.reg) dataset)
+          .Proteus_catalog.Dataset.format
+    in
+    fun consumer () ->
+      let builders =
+        List.map
+          (fun (p, ty, a) -> (p, Proteus_storage.Column.Builder.create ty, a))
+          typed
+      in
+      let rows = ref 0 in
+      (run_input (fun () ->
+           Counters.add_branch_points 1;
+           if pred_c () then begin
+             incr rows;
+             List.iter
+               (fun (_, b, a) ->
+                 Proteus_storage.Column.Builder.add_value b (a.Access.get_val ()))
+               builders;
+             consumer ()
+           end))
+        ();
+      cache.Cache_iface.store_select ~dataset ~binding ~pred ~paths ~bias
+        {
+          Cache_iface.length = !rows;
+          cols =
+            List.map
+              (fun (p, b, _) -> (p, Proteus_storage.Column.Builder.finish b))
+              builders;
+        }
+  | None ->
+    let run_input = compile ctx scan in
+    let pred_c = Exprc.to_pred (Exprc.compile ctx.cenv pred) in
+    fun consumer ->
+      run_input (fun () ->
+          Counters.add_branch_points 1;
+          if pred_c () then consumer ())
+
+and compile_unnest ctx ~outer ~path ~binding ~pred ~input =
+  let run_input = compile ctx input in
+  (* Fast path: inner unnest of a direct field of a raw scan — iterate the
+     structural index's array spans without boxing elements. *)
+  let fast =
+    if outer then None
+    else
+      match Exprc.path_of path with
+      | Some (v, p) when p <> "" -> (
+        match Hashtbl.find_opt ctx.cenv v with
+        | Some (Exprc.Scan_repr src) -> (
+          match src.Source.unnest p with
+          | Some spec -> Some spec
+          | None -> None)
+        | _ -> None)
+      | _ -> None
+  in
+  match fast with
+  | Some spec ->
+    (* tell the plug-in which element fields this query reads, so it can
+       fuse their extraction into the element scan (Section 5.2) *)
+    (match List.assoc_opt binding ctx.required with
+    | Some (`Paths ps) -> spec.Source.u_prepare ps
+    | Some `Whole | None -> ());
+    Hashtbl.replace ctx.cenv binding (Exprc.Unnest_repr spec);
+    let pred_c = Exprc.to_pred (Exprc.compile ctx.cenv pred) in
+    fun consumer ->
+      run_input (fun () ->
+          spec.Source.u_iter ~on_elem:(fun () -> if pred_c () then consumer ()))
+  | None ->
+    let path_c = Exprc.to_val (Exprc.compile ctx.cenv path) in
+    let elem = ref Value.Null in
+    Hashtbl.replace ctx.cenv binding (Exprc.Boxed_repr elem);
+    let pred_c = Exprc.to_pred (Exprc.compile ctx.cenv pred) in
+    fun consumer ->
+      run_input (fun () ->
+          let elems =
+            match path_c () with
+            | Value.Coll (_, es) -> es
+            | Value.Null -> []
+            | v -> Perror.type_error "unnest over non-collection %a" Value.pp v
+          in
+          let matched = ref false in
+          List.iter
+            (fun e ->
+              elem := e;
+              if pred_c () then begin
+                matched := true;
+                consumer ()
+              end)
+            elems;
+          if outer && not !matched then begin
+            elem := Value.Null;
+            consumer ()
+          end)
+
+and compile_join ctx ~kind ~algo ~left ~right ~left_key ~right_key ~pred =
+  let run_right = compile ctx right in
+  let right_bindings = Plan.bindings right in
+  (* Payload: what the ancestors (and the residual predicate) read from the
+     build side. The global required-paths analysis over-approximates this
+     safely. *)
+  let payload : payload_slot list =
+    List.concat_map
+      (fun b ->
+        let mk path e =
+          let c = Exprc.compile ctx.cenv e in
+          let packable, ty =
+            match c with
+            | Exprc.C_int _ -> (true, Some Ptype.Int)
+            | Exprc.C_float _ -> (true, Some Ptype.Float)
+            | Exprc.C_bool _ -> (true, Some Ptype.Bool)
+            | Exprc.C_str _ -> (true, Some Ptype.String)
+            | Exprc.C_val _ -> (false, None)
+          in
+          {
+            ps_binding = b;
+            ps_path = path;
+            ps_get = Exprc.to_val c;
+            ps_vec = Vec.create ();
+            ps_arr = ref [||];
+            ps_packable = packable;
+            ps_ty = ty;
+          }
+        in
+        match List.assoc_opt b ctx.required with
+        | Some `Whole | None -> [ mk "" (Expr.Var b) ]
+        | Some (`Paths ps) ->
+          List.map (fun p -> mk p (Expr.path b (String.split_on_char '.' p))) ps)
+      right_bindings
+  in
+  (* Keys: prefer the optimizer's choice, else extract one here. *)
+  let left_bindings_of p = Plan.bindings p in
+  let equi =
+    match left_key, right_key with
+    | Some l, Some r -> Some (l, r)
+    | _ -> extract_equi pred (left_bindings_of left) right_bindings
+  in
+  let use_hash = algo = Plan.Radix_hash && equi <> None in
+  let right_key_get =
+    match equi with
+    | Some (_, rk) when use_hash -> Some (Exprc.compile ctx.cenv rk)
+    | _ -> None
+  in
+  let key_vec = Vec.create () in
+  (* Implicit-caching key: fingerprint of the build side wrapped in a
+     Project listing exactly what gets materialized (key + payload). *)
+  let cache_key =
+    let fields =
+      ("__key",
+       match equi with Some (_, rk) -> rk | None -> Expr.bool true)
+      :: List.mapi
+           (fun i slot ->
+             ( Fmt.str "c%d" i,
+               if slot.ps_path = "" then Expr.Var slot.ps_binding
+               else Expr.path slot.ps_binding (String.split_on_char '.' slot.ps_path) ))
+           payload
+    in
+    "joinside:" ^ Fingerprint.plan (Plan.Project { binding = "__m"; fields; input = right })
+  in
+  let key_ty =
+    match right_key_get with
+    | Some (Exprc.C_int _) -> Some Ptype.Int
+    | Some (Exprc.C_float _) -> Some Ptype.Float
+    | Some (Exprc.C_str _) -> Some Ptype.String
+    | Some (Exprc.C_bool _) -> Some Ptype.Bool
+    | Some (Exprc.C_val _) | None -> None
+  in
+  let packable =
+    use_hash && List.for_all (fun s -> s.ps_packable) payload && key_ty <> None
+  in
+  let right_key_val = Option.map Exprc.to_val right_key_get in
+  (* integer-keyed joins take the radix-clustered path (the radix hash join
+     the paper adopts from [39]/[9]); other key types use a boxed table *)
+  let int_keys =
+    match right_key_get with Some (Exprc.C_int g) -> Some g | _ -> None
+  in
+  let ikey_vec = ref [||] and ikey_n = ref 0 in
+  let ikey_push k =
+    if !ikey_n >= Array.length !ikey_vec then begin
+      let bigger = Array.make (max 64 (2 * !ikey_n)) 0 in
+      Array.blit !ikey_vec 0 bigger 0 !ikey_n;
+      ikey_vec := bigger
+    end;
+    !ikey_vec.(!ikey_n) <- k;
+    ikey_n := !ikey_n + 1
+  in
+  let bias =
+    let ranks =
+      List.map
+        (fun ds ->
+          Proteus_catalog.Dataset.bias
+            (Proteus_catalog.Catalog.find (Registry.catalog ctx.reg) ds).format)
+        (Plan.datasets right)
+    in
+    List.fold_left
+      (fun acc b -> if b > acc then b else acc)
+      Proteus_storage.Memory.Arena.Bias_binary ranks
+  in
+  (* Re-register build-side bindings: above the join they read the
+     materialized vectors. *)
+  let m_cur = ref 0 in
+  let null_row = ref false in
+  let by_binding = Hashtbl.create 4 in
+  List.iter
+    (fun slot ->
+      let cols = try Hashtbl.find by_binding slot.ps_binding with Not_found -> [] in
+      Hashtbl.replace by_binding slot.ps_binding ((slot.ps_path, slot.ps_arr) :: cols))
+    payload;
+  Hashtbl.iter
+    (fun b cols -> Hashtbl.replace ctx.cenv b (Exprc.Row_repr (cols, m_cur, null_row)))
+    by_binding;
+  (* Left side stays live (streaming probe). *)
+  let run_left = compile ctx left in
+  let left_key_get =
+    match equi with
+    | Some (lk, _) when use_hash -> Some (Exprc.compile ctx.cenv lk)
+    | _ -> None
+  in
+  (* Both index paths compare keys exactly (the radix index on raw ints,
+     the boxed table via Value equality), so the equi conjunct needs no
+     re-check: the residual predicate drops it, and joins whose other
+     conjuncts were pushed below have no per-match predicate at all. *)
+  let residual =
+    match equi with
+    | Some (lk, rk) when use_hash ->
+      Expr.conjoin
+        (List.filter
+           (fun c ->
+             match (c : Expr.t) with
+             | Expr.Binop (Expr.Eq, a, b) ->
+               not
+                 ((Expr.equal a lk && Expr.equal b rk)
+                 || (Expr.equal a rk && Expr.equal b lk))
+             | _ -> true)
+           (Expr.conjuncts pred))
+    | _ -> pred
+  in
+  let pred_c =
+    match residual with
+    | Expr.Const (Value.Bool true) -> None
+    | residual -> Some (Exprc.to_pred (Exprc.compile ctx.cenv residual))
+  in
+  (* the radix path needs unboxed keys on BOTH sides; a probe key compiled
+     against materialized rows is boxed, so such joins use the boxed table *)
+  let int_keys =
+    match int_keys, left_key_get with
+    | Some g, Some (Exprc.C_int _) -> Some g
+    | _ -> None
+  in
+  fun consumer ->
+    let mat_rows = ref 0 in
+    let mat_consumer () =
+      incr mat_rows;
+      (match int_keys with
+      | Some g -> ikey_push (g ())
+      | None -> (
+        match right_key_val with
+        | Some kv -> Vec.push key_vec (kv ())
+        | None -> ()));
+      List.iter
+        (fun slot ->
+          Vec.push slot.ps_vec (slot.ps_get ());
+          Counters.add_materialized 1)
+        payload
+    in
+    let right_runner = run_right mat_consumer in
+    (* boxed fallback table; integer keys use the radix index instead *)
+    let table : int list VH.t = VH.create 1024 in
+    let radix : Radix.t option ref = ref None in
+    let keys = ref [||] in
+    let emit_match =
+      match pred_c with
+      | None ->
+        fun row ->
+          m_cur := row;
+          consumer ();
+          true
+      | Some pred_c ->
+        fun row ->
+          m_cur := row;
+          Counters.add_branch_points 1;
+          if pred_c () then begin
+            consumer ();
+            true
+          end
+          else false
+    in
+    let probe_consumer =
+      match left_key_get, int_keys with
+      | Some (Exprc.C_int lg), Some _ ->
+        (* both sides integer-typed: radix probe, no boxing per tuple *)
+        fun () ->
+          let k = lg () in
+          let matched = ref false in
+          (match !radix with
+          | Some r -> Radix.iter r k ~f:(fun row -> if emit_match row then matched := true)
+          | None -> ());
+          if kind = Plan.Left_outer && not !matched then begin
+            null_row := true;
+            consumer ();
+            null_row := false
+          end
+      | Some kc, _ ->
+        let kv = Exprc.to_val kc in
+        fun () ->
+          let k = kv () in
+          let matched = ref false in
+          (match k with
+          | Value.Null -> ()
+          | k -> (
+            match VH.find_opt table k with
+            | Some rows -> List.iter (fun r -> if emit_match r then matched := true) rows
+            | None -> ()));
+          if kind = Plan.Left_outer && not !matched then begin
+            null_row := true;
+            consumer ();
+            null_row := false
+          end
+      | None, _ ->
+        (* nested-loop fallback *)
+        fun () ->
+          let n = !mat_rows in
+          let matched = ref false in
+          for row = 0 to n - 1 do
+            if emit_match row then matched := true
+          done;
+          if kind = Plan.Left_outer && not !matched then begin
+            null_row := true;
+            consumer ();
+            null_row := false
+          end
+    in
+    let left_runner = run_left probe_consumer in
+    fun () ->
+      mat_rows := 0;
+      ikey_n := 0;
+      Vec.clear key_vec;
+      List.iter (fun slot -> Vec.clear slot.ps_vec) payload;
+      let cache = Registry.cache ctx.reg in
+      let loaded =
+        if not packable then false
+        else
+          match cache.Cache_iface.lookup_packed ~key:cache_key with
+          | Some packed ->
+            mat_rows := packed.Cache_iface.length;
+            (match List.assoc_opt "__key" packed.Cache_iface.cols with
+            | Some (Proteus_storage.Column.Ints a) when int_keys <> None ->
+              ikey_vec := Array.copy a;
+              ikey_n := Array.length a
+            | Some kcol ->
+              keys :=
+                Array.init packed.Cache_iface.length
+                  (Proteus_storage.Column.get kcol)
+            | None -> ());
+            List.iteri
+              (fun i slot ->
+                match List.assoc_opt (Fmt.str "c%d" i) packed.Cache_iface.cols with
+                | Some col ->
+                  slot.ps_arr :=
+                    Array.init packed.Cache_iface.length
+                      (Proteus_storage.Column.get col)
+                | None -> ())
+              payload;
+            true
+          | None -> false
+      in
+      if not loaded then begin
+        right_runner ();
+        keys := Vec.to_array key_vec;
+        (* trim the int-key scratch to its live prefix *)
+        if int_keys <> None then ikey_vec := Array.sub !ikey_vec 0 !ikey_n;
+        List.iter (fun slot -> slot.ps_arr := Vec.to_array slot.ps_vec) payload;
+        if packable then begin
+          let cols =
+            ( "__key",
+              match int_keys with
+              | Some _ -> Proteus_storage.Column.Ints (Array.copy !ikey_vec)
+              | None ->
+                Proteus_storage.Column.of_values
+                  (Option.value key_ty ~default:Ptype.Int)
+                  (Array.to_list !keys) )
+            :: List.mapi
+                 (fun i slot ->
+                   ( Fmt.str "c%d" i,
+                     Proteus_storage.Column.of_values
+                       (Option.value slot.ps_ty ~default:Ptype.Int)
+                       (Array.to_list !(slot.ps_arr)) ))
+                 payload
+          in
+          cache.Cache_iface.store_packed ~key:cache_key ~datasets:(Plan.datasets right)
+            ~bias
+            { Cache_iface.length = !mat_rows; cols }
+        end
+      end;
+      (* cluster/build the index over the materialized keys *)
+      (match left_key_get, int_keys with
+      | Some _, Some _ -> radix := Some (Radix.build !ikey_vec)
+      | Some _, None ->
+        VH.reset table;
+        let ks = !keys in
+        for row = Array.length ks - 1 downto 0 do
+          match ks.(row) with
+          | Value.Null -> ()
+          | k ->
+            let prev = try VH.find table k with Not_found -> [] in
+            VH.replace table k (row :: prev)
+        done
+      | None, _ -> ());
+      left_runner ()
+
+(* Sort materializes the whole record of every binding it carries, so those
+   bindings' producers must be able to reconstruct full values. *)
+let rec sort_bindings (p : Plan.t) =
+  (match p with Plan.Sort { input; _ } -> Plan.bindings input | _ -> [])
+  @ List.concat_map sort_bindings (Plan.children p)
+
+let prepare (reg : Registry.t) (plan : Plan.t) : unit -> Value.t =
+  let cenv : Exprc.cenv = Hashtbl.create 16 in
+  let required = Exprc.required_paths (all_exprs plan) in
+  let required =
+    List.fold_left
+      (fun req b -> (b, `Whole) :: List.remove_assoc b req)
+      required (sort_bindings plan)
+  in
+  let ctx = { reg; cenv; required } in
+  match plan with
+  | Plan.Reduce { monoid_output; pred; input } ->
+    let run_input = compile ctx input in
+    let pred_c = Exprc.to_pred (Exprc.compile cenv pred) in
+    let factories =
+      List.map
+        (fun (a : Plan.agg) ->
+          (a.agg_name, Agg.factory a.monoid (Exprc.compile cenv a.expr)))
+        monoid_output
+    in
+    fun () ->
+      let instances = List.map (fun (n, f) -> (n, f ())) factories in
+      let steps = List.map (fun (_, (i : Agg.instance)) -> i.step) instances in
+      let consumer =
+        match steps with
+        | [ s ] -> fun () -> if pred_c () then s ()
+        | ss -> fun () -> if pred_c () then List.iter (fun s -> s ()) ss
+      in
+      (run_input consumer) ();
+      (match instances with
+      | [ (_, i) ] -> i.value ()
+      | many -> Value.record (List.map (fun (n, (i : Agg.instance)) -> (n, i.value ())) many))
+  | _ ->
+    let run = compile ctx plan in
+    let visible = Plan.bindings plan in
+    let getters =
+      List.map (fun b -> (b, Exprc.to_val (Exprc.compile cenv (Expr.Var b)))) visible
+    in
+    let shape =
+      match getters with
+      | [ (_, g) ] -> g
+      | gs -> fun () -> Value.record (List.map (fun (b, g) -> (b, g ())) gs)
+    in
+    fun () ->
+      let rows = ref [] in
+      (run (fun () -> rows := shape () :: !rows)) ();
+      Value.bag (List.rev !rows)
+
+let execute reg plan = prepare reg plan ()

@@ -1,0 +1,36 @@
+(** The on-demand engine of Section 5: one specialized implementation per
+    query.
+
+    [execute] traverses the physical plan once, in post-order DFS exactly as
+    the paper describes, and for every visited operator constructs the
+    closures that implement it — typed accessors from the input plug-ins,
+    typed expression closures from the expression generators, typed
+    aggregate accumulators. The operator logic is stitched into a single
+    push-based pipeline (a consumer chain), so per-tuple work contains no
+    plan interpretation, no operator boundaries, and no type dispatch: the
+    analogue, in OCaml closures, of the paper's LLVM code generation.
+
+    Pipeline breakers: the hash join materializes its build (right) side
+    into value vectors — the paper's radix join materializes its inputs —
+    and the probe side streams; Nest materializes its groups. When a caching
+    manager is wired in, (i) scans serve fields from cached binary columns
+    and fill new ones as a side-effect (Section 6), and (ii) join build
+    sides are cached and reused across queries keyed by their canonical
+    sub-plan fingerprint ("implicit caching"). *)
+
+open Proteus_model
+open Proteus_plugin
+
+(** [execute registry plan] compiles and runs [plan]. Result shape matches
+    {!Proteus_algebra.Interp.run}. Raises [Perror.*] on malformed plans. *)
+val execute : Registry.t -> Proteus_algebra.Plan.t -> Value.t
+
+(** Every expression appearing anywhere in a plan (shared by the Volcano
+    executor's required-path analysis). *)
+val all_exprs : Proteus_algebra.Plan.t -> Expr.t list
+
+(** [prepare registry plan] compiles the plan and returns a thunk that can
+    be executed repeatedly (each run re-scans the inputs). Used to separate
+    "code generation" time from execution time, as the paper reports them
+    separately (~50ms compilation per query). *)
+val prepare : Registry.t -> Proteus_algebra.Plan.t -> unit -> Value.t

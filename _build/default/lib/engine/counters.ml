@@ -1,0 +1,34 @@
+type snapshot = {
+  tuples : int;
+  dispatches : int;
+  materialized : int;
+  branch_points : int;
+}
+
+let tuples = ref 0
+let dispatches = ref 0
+let materialized = ref 0
+let branch_points = ref 0
+
+let reset () =
+  tuples := 0;
+  dispatches := 0;
+  materialized := 0;
+  branch_points := 0
+
+let snapshot () =
+  {
+    tuples = !tuples;
+    dispatches = !dispatches;
+    materialized = !materialized;
+    branch_points = !branch_points;
+  }
+
+let add_tuples n = tuples := !tuples + n
+let add_dispatches n = dispatches := !dispatches + n
+let add_materialized n = materialized := !materialized + n
+let add_branch_points n = branch_points := !branch_points + n
+
+let pp ppf s =
+  Fmt.pf ppf "tuples=%d dispatches=%d materialized=%d branches=%d" s.tuples
+    s.dispatches s.materialized s.branch_points

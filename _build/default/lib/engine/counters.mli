@@ -1,0 +1,28 @@
+(** Proxy performance counters.
+
+    The paper explains Proteus' join wins over MonetDB with hardware
+    counters (dTLB misses, LLC misses, branches). Hardware counters are not
+    reachable from portable OCaml, so both executors maintain software
+    proxies that expose the same mechanism: per-tuple interpretation
+    dispatches, boxed values materialized at pipeline breakers, and
+    per-tuple control-flow branch points. *)
+
+type snapshot = {
+  tuples : int;          (** tuples pushed through scan loops *)
+  dispatches : int;
+      (** dynamic-dispatch events: one per interpreted expression node
+          evaluation (Volcano) — the compiled engine resolves these at
+          query-compile time *)
+  materialized : int;    (** boxed values written at pipeline breakers *)
+  branch_points : int;   (** per-tuple control-flow decisions taken *)
+}
+
+val reset : unit -> unit
+val snapshot : unit -> snapshot
+
+val add_tuples : int -> unit
+val add_dispatches : int -> unit
+val add_materialized : int -> unit
+val add_branch_points : int -> unit
+
+val pp : Format.formatter -> snapshot -> unit

@@ -1,0 +1,8 @@
+
+type engine = Engine_compiled | Engine_volcano
+
+let run reg ~engine plan =
+  Proteus_algebra.Plan.validate plan;
+  match engine with
+  | Engine_compiled -> Compiled.execute reg plan
+  | Engine_volcano -> Volcano.execute reg plan

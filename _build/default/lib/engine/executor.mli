@@ -1,0 +1,12 @@
+(** Unified entry point over the two executors. *)
+
+type engine =
+  | Engine_compiled  (** the on-demand specialized engine (Section 5) *)
+  | Engine_volcano   (** the iterator interpreter baseline *)
+
+(** [run registry ~engine plan] validates and executes [plan]. *)
+val run :
+  Proteus_plugin.Registry.t ->
+  engine:engine ->
+  Proteus_algebra.Plan.t ->
+  Proteus_model.Value.t

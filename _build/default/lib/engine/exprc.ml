@@ -1,0 +1,240 @@
+open Proteus_model
+open Proteus_plugin
+
+type repr =
+  | Scan_repr of Source.t
+  | Unnest_repr of Source.unnest_spec
+  | Boxed_repr of Value.t ref
+  | Row_repr of (string * Value.t array ref) list * int ref * bool ref
+
+type cenv = (string, repr) Hashtbl.t
+
+type compiled =
+  | C_int of (unit -> int)
+  | C_float of (unit -> float)
+  | C_bool of (unit -> bool)
+  | C_str of (unit -> string)
+  | C_val of (unit -> Value.t)
+
+let to_val = function
+  | C_int f -> fun () -> Value.Int (f ())
+  | C_float f -> fun () -> Value.Float (f ())
+  | C_bool f -> fun () -> Value.Bool (f ())
+  | C_str f -> fun () -> Value.String (f ())
+  | C_val f -> f
+
+let to_pred = function
+  | C_bool f -> f
+  | C_val f ->
+    fun () ->
+      (match f () with
+      | Value.Bool b -> b
+      | Value.Null -> false
+      | v -> Perror.type_error "predicate evaluated to %a" Value.pp v)
+  | C_int _ | C_float _ | C_str _ ->
+    Perror.type_error "non-boolean predicate"
+
+let path_of = Proteus_algebra.Analysis.path_of
+
+let required_paths = Proteus_algebra.Analysis.required_paths
+
+(* Boxed field walk for dotted paths on boxed values. *)
+let boxed_path get path : unit -> Value.t =
+  let parts = String.split_on_char '.' path in
+  fun () ->
+    List.fold_left
+      (fun v name ->
+        match v with
+        | Value.Null -> Value.Null
+        | Value.Record _ as r -> (
+          match Value.field_opt r name with Some x -> x | None -> Value.Null)
+        | v -> Perror.type_error "field %s of non-record %a" name Value.pp v)
+      (get ()) parts
+
+(* Lift a plug-in accessor into a compiled closure: typed when the accessor
+   is non-nullable and offers the matching fast path. *)
+let of_access (a : Access.t) : compiled =
+  if a.Access.nullable then C_val a.Access.get_val
+  else
+    match a.Access.get_int, a.Access.get_float, a.Access.get_bool, a.Access.get_str with
+    | Some g, _, _, _ -> (
+      (* Dates surface as ints in expressions via the typed lane, but their
+         boxed view must stay Date for result fidelity. *)
+      match Ptype.unwrap_option a.Access.ty with
+      | Ptype.Date -> C_val a.Access.get_val
+      | _ -> C_int g)
+    | None, Some g, _, _ -> C_float g
+    | None, None, Some g, _ -> C_bool g
+    | None, None, None, Some g -> C_str g
+    | None, None, None, None -> C_val a.Access.get_val
+
+let compile_var_path (cenv : cenv) v path : compiled =
+  let repr =
+    match Hashtbl.find_opt cenv v with
+    | Some r -> r
+    | None -> Perror.plan_error "unbound variable %s at code generation" v
+  in
+  match repr, path with
+  | Scan_repr src, "" -> C_val src.Source.whole
+  | Scan_repr src, p -> of_access (src.Source.field p)
+  | Unnest_repr u, "" -> C_val u.Source.u_value
+  | Unnest_repr u, p -> of_access (u.Source.u_field p)
+  | Boxed_repr r, "" -> C_val (fun () -> !r)
+  | Boxed_repr r, p -> C_val (boxed_path (fun () -> !r) p)
+  | Row_repr (cols, cur, null_row), p -> (
+    match List.assoc_opt p cols with
+    | Some arr ->
+      C_val (fun () -> if !null_row then Value.Null else !arr.(!cur))
+    | None -> (
+      (* dotted sub-path of a materialized whole record *)
+      match List.assoc_opt "" cols with
+      | Some arr when p <> "" ->
+        C_val
+          (boxed_path (fun () -> if !null_row then Value.Null else !arr.(!cur)) p)
+      | _ -> Perror.plan_error "materialized side has no column for %s.%s" v p))
+
+(* Numeric combination: stay in int when both sides are ints, widen to float
+   otherwise; drop to boxed when a side is boxed. *)
+let arith op (l : compiled) (r : compiled) : compiled =
+  let int_op : (int -> int -> int) option =
+    match (op : Expr.binop) with
+    | Add -> Some ( + )
+    | Sub -> Some ( - )
+    | Mul -> Some ( * )
+    | Div ->
+      Some
+        (fun a b -> if b = 0 then Perror.type_error "division by zero" else a / b)
+    | Mod ->
+      Some (fun a b -> if b = 0 then Perror.type_error "modulo by zero" else a mod b)
+    | Eq | Neq | Lt | Le | Gt | Ge | And | Or | Concat | Like -> None
+  in
+  let float_op : (float -> float -> float) option =
+    match (op : Expr.binop) with
+    | Add -> Some ( +. )
+    | Sub -> Some ( -. )
+    | Mul -> Some ( *. )
+    | Div -> Some ( /. )
+    | Mod | Eq | Neq | Lt | Le | Gt | Ge | And | Or | Concat | Like -> None
+  in
+  match l, r, int_op, float_op with
+  | C_int a, C_int b, Some iop, _ -> C_int (fun () -> iop (a ()) (b ()))
+  | C_int a, C_float b, _, Some fop -> C_float (fun () -> fop (float_of_int (a ())) (b ()))
+  | C_float a, C_int b, _, Some fop -> C_float (fun () -> fop (a ()) (float_of_int (b ())))
+  | C_float a, C_float b, _, Some fop -> C_float (fun () -> fop (a ()) (b ()))
+  | l, r, _, _ ->
+    let lv = to_val l and rv = to_val r in
+    C_val (fun () -> Expr.apply_binop op (lv ()) (rv ()))
+
+let comparison op (l : compiled) (r : compiled) : compiled =
+  let icmp : (int -> int -> bool) option =
+    match (op : Expr.binop) with
+    | Eq -> Some ( = )
+    | Neq -> Some ( <> )
+    | Lt -> Some ( < )
+    | Le -> Some ( <= )
+    | Gt -> Some ( > )
+    | Ge -> Some ( >= )
+    | Add | Sub | Mul | Div | Mod | And | Or | Concat | Like -> None
+  in
+  match icmp with
+  | None -> assert false
+  | Some cmp -> (
+    match l, r with
+    | C_int a, C_int b -> C_bool (fun () -> cmp (a ()) (b ()))
+    | C_float a, C_float b -> C_bool (fun () -> cmp (compare (a ()) (b ())) 0)
+    | C_int a, C_float b ->
+      C_bool (fun () -> cmp (compare (float_of_int (a ())) (b ())) 0)
+    | C_float a, C_int b ->
+      C_bool (fun () -> cmp (compare (a ()) (float_of_int (b ()))) 0)
+    | C_str a, C_str b -> C_bool (fun () -> cmp (String.compare (a ()) (b ())) 0)
+    | C_bool a, C_bool b -> C_bool (fun () -> cmp (compare (a ()) (b ())) 0)
+    | l, r ->
+      let lv = to_val l and rv = to_val r in
+      C_val (fun () -> Expr.apply_binop op (lv ()) (rv ())))
+
+let rec compile (cenv : cenv) (e : Expr.t) : compiled =
+  match path_of e with
+  | Some (v, path) -> compile_var_path cenv v path
+  | None -> (
+    match e with
+    | Expr.Const (Value.Int i) -> C_int (fun () -> i)
+    | Expr.Const (Value.Float f) -> C_float (fun () -> f)
+    | Expr.Const (Value.Bool b) -> C_bool (fun () -> b)
+    | Expr.Const (Value.String s) -> C_str (fun () -> s)
+    | Expr.Const v -> C_val (fun () -> v)
+    | Expr.Var _ | Expr.Field _ -> assert false (* handled by path_of *)
+    | Expr.Binop (Expr.And, l, r) ->
+      let lp = to_pred (compile cenv l) and rp = to_pred (compile cenv r) in
+      C_bool (fun () -> lp () && rp ())
+    | Expr.Binop (Expr.Or, l, r) ->
+      let lp = to_pred (compile cenv l) and rp = to_pred (compile cenv r) in
+      C_bool (fun () -> lp () || rp ())
+    | Expr.Binop (((Expr.Add | Expr.Sub | Expr.Mul | Expr.Div | Expr.Mod) as op), l, r)
+      ->
+      arith op (compile cenv l) (compile cenv r)
+    | Expr.Binop
+        (((Expr.Eq | Expr.Neq | Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge) as op), l, r) ->
+      comparison op (compile cenv l) (compile cenv r)
+    | Expr.Binop (Expr.Concat, l, r) -> (
+      match compile cenv l, compile cenv r with
+      | C_str a, C_str b -> C_str (fun () -> a () ^ b ())
+      | l, r ->
+        let lv = to_val l and rv = to_val r in
+        C_val (fun () -> Expr.apply_binop Expr.Concat (lv ()) (rv ())))
+    | Expr.Binop (Expr.Like, l, r) -> (
+      match compile cenv l, compile cenv r with
+      | C_str a, C_str b -> C_bool (fun () -> Expr.like ~pattern:(b ()) (a ()))
+      | l, r ->
+        let lv = to_val l and rv = to_val r in
+        C_val (fun () -> Expr.apply_binop Expr.Like (lv ()) (rv ())))
+    | Expr.Unop (Expr.Neg, x) -> (
+      match compile cenv x with
+      | C_int a -> C_int (fun () -> -a ())
+      | C_float a -> C_float (fun () -> -.a ())
+      | c ->
+        let v = to_val c in
+        C_val (fun () -> Expr.apply_unop Expr.Neg (v ())))
+    | Expr.Unop (Expr.Not, x) -> (
+      match compile cenv x with
+      | C_bool a -> C_bool (fun () -> not (a ()))
+      | c ->
+        let v = to_val c in
+        C_val (fun () -> Expr.apply_unop Expr.Not (v ())))
+    | Expr.Unop (Expr.Is_null, x) -> (
+      match compile cenv x with
+      | C_int _ | C_float _ | C_bool _ | C_str _ ->
+        (* statically non-nullable: decided at compile time *)
+        C_bool (fun () -> false)
+      | C_val v -> C_bool (fun () -> Value.is_null (v ())))
+    | Expr.Unop (Expr.To_float, x) -> (
+      match compile cenv x with
+      | C_int a -> C_float (fun () -> float_of_int (a ()))
+      | C_float _ as c -> c
+      | c ->
+        let v = to_val c in
+        C_val (fun () -> Expr.apply_unop Expr.To_float (v ())))
+    | Expr.Unop (Expr.To_int, x) -> (
+      match compile cenv x with
+      | C_int _ as c -> c
+      | C_float a -> C_int (fun () -> int_of_float (a ()))
+      | c ->
+        let v = to_val c in
+        C_val (fun () -> Expr.apply_unop Expr.To_int (v ())))
+    | Expr.If (c, t, f) -> (
+      let cp = to_pred (compile cenv c) in
+      match compile cenv t, compile cenv f with
+      | C_int a, C_int b -> C_int (fun () -> if cp () then a () else b ())
+      | C_float a, C_float b -> C_float (fun () -> if cp () then a () else b ())
+      | C_bool a, C_bool b -> C_bool (fun () -> if cp () then a () else b ())
+      | C_str a, C_str b -> C_str (fun () -> if cp () then a () else b ())
+      | t, f ->
+        let tv = to_val t and fv = to_val f in
+        C_val (fun () -> if cp () then tv () else fv ()))
+    | Expr.Record_ctor fields ->
+      let compiled =
+        List.map (fun (n, x) -> (n, to_val (compile cenv x))) fields
+      in
+      C_val (fun () -> Value.record (List.map (fun (n, g) -> (n, g ())) compiled))
+    | Expr.Coll_ctor (c, xs) ->
+      let compiled = List.map (fun x -> to_val (compile cenv x)) xs in
+      C_val (fun () -> Monoid.collect c (List.map (fun g -> g ()) compiled)))

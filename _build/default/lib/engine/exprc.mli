@@ -1,0 +1,58 @@
+(** The expression generators (Section 5.2).
+
+    [compile] turns an algebraic expression into a closure, resolving — once
+    per query — everything a tuple-at-a-time interpreter would re-decide per
+    tuple: which plug-in accessor serves each path, the numeric type of each
+    operator, nullability, and constant values. The result is a {e typed}
+    closure whenever the operand types can be pinned down statically
+    (non-nullable int/float/bool/string paths); otherwise a boxed closure
+    with exactly the interpreter's semantics.
+
+    Operators are agnostic to where a value comes from: the compile
+    environment maps each bound variable to a {!repr} describing its current
+    physical representation — raw-scan accessors, structural-index unnest
+    spans, a boxed register, or materialized columns — and the compiled
+    closure reads whichever it is ("the operators are oblivious to whether a
+    value ... is not fully materialized yet"). *)
+
+open Proteus_model
+open Proteus_plugin
+
+(** Physical representation of a bound variable at this point of the
+    pipeline. *)
+type repr =
+  | Scan_repr of Source.t            (** live scan cursor *)
+  | Unnest_repr of Source.unnest_spec  (** current nested element (span) *)
+  | Boxed_repr of Value.t ref        (** boxed register *)
+  | Row_repr of (string * Value.t array ref) list * int ref * bool ref
+      (** materialized rows: per-path arrays, row cursor, null-row flag
+          (for outer-join padding) *)
+
+type cenv = (string, repr) Hashtbl.t
+
+type compiled =
+  | C_int of (unit -> int)
+  | C_float of (unit -> float)
+  | C_bool of (unit -> bool)
+  | C_str of (unit -> string)
+  | C_val of (unit -> Value.t)
+
+val compile : cenv -> Expr.t -> compiled
+
+(** [to_val c] is the boxed view of a compiled closure. *)
+val to_val : compiled -> unit -> Value.t
+
+(** [to_pred c] views a compiled closure as a predicate (boxed results
+    follow the interpreter's null-is-false rule).
+    Raises [Perror.Type_error] if the closure cannot yield booleans. *)
+val to_pred : compiled -> unit -> bool
+
+(** [path_of e] decomposes [e] into a variable and a dotted path when it is
+    a pure path expression ([x.a.b] → [Some ("x", "a.b")], [x] →
+    [Some ("x", "")]). *)
+val path_of : Expr.t -> (string * string) option
+
+(** [required_paths exprs] maps each free variable to either [`Whole] (used
+    bare) or [`Paths ps] (only these dotted paths are read) across all
+    [exprs] — the engine's projection-pushdown analysis. *)
+val required_paths : Expr.t list -> (string * [ `Whole | `Paths of string list ]) list

@@ -1,0 +1,87 @@
+type t = {
+  bits : int;
+  (* clustered copies: keys and their original row ids, partition by
+     partition, each partition sorted by key *)
+  keys : int array;
+  rows : int array;
+  bounds : int array;  (* partition p occupies [bounds.(p), bounds.(p+1)) *)
+}
+
+(* Fibonacci hashing spreads consecutive keys across partitions. The
+   multiplier is 2^62/phi, masked into OCaml's 63-bit int range. *)
+let hash_of key = key * 0x1F9D25E8C1E95A4D land max_int
+
+let partition_of t key = hash_of key lsr (62 - t.bits) land ((1 lsl t.bits) - 1)
+
+let build ?bits keys =
+  let n = Array.length keys in
+  let bits =
+    match bits with
+    | Some b -> b
+    | None ->
+      (* aim for partitions of ~256 entries, within [2, 12] bits *)
+      let rec fit b = if b >= 12 || n lsr b <= 256 then b else fit (b + 1) in
+      fit 2
+  in
+  let nparts = 1 lsl bits in
+  let shift = 62 - bits in
+  let part key = hash_of key lsr shift land (nparts - 1) in
+  (* pass 1: histogram *)
+  let counts = Array.make (nparts + 1) 0 in
+  for i = 0 to n - 1 do
+    let p = part keys.(i) in
+    counts.(p + 1) <- counts.(p + 1) + 1
+  done;
+  for p = 1 to nparts do
+    counts.(p) <- counts.(p) + counts.(p - 1)
+  done;
+  let bounds = Array.copy counts in
+  (* pass 2: scatter *)
+  let ckeys = Array.make n 0 and crows = Array.make n 0 in
+  let cursor = Array.copy counts in
+  for i = 0 to n - 1 do
+    let p = part keys.(i) in
+    let at = cursor.(p) in
+    ckeys.(at) <- keys.(i);
+    crows.(at) <- i;
+    cursor.(p) <- at + 1
+  done;
+  (* order each partition so equal keys are adjacent (stable on row id so
+     matches stream in input order) *)
+  for p = 0 to nparts - 1 do
+    let lo = bounds.(p) and hi = bounds.(p + 1) in
+    let len = hi - lo in
+    if len > 1 then begin
+      let idx = Array.init len (fun i -> lo + i) in
+      Array.sort
+        (fun a b ->
+          match Int.compare ckeys.(a) ckeys.(b) with
+          | 0 -> Int.compare crows.(a) crows.(b)
+          | c -> c)
+        idx;
+      let tk = Array.map (fun i -> ckeys.(i)) idx in
+      let tr = Array.map (fun i -> crows.(i)) idx in
+      Array.blit tk 0 ckeys lo len;
+      Array.blit tr 0 crows lo len
+    end
+  done;
+  { bits; keys = ckeys; rows = crows; bounds }
+
+let iter t key ~f =
+  let p = partition_of t key in
+  let lo = t.bounds.(p) and hi = t.bounds.(p + 1) in
+  if hi > lo then begin
+    (* binary search for the first occurrence of [key] *)
+    let a = ref lo and b = ref hi in
+    while !a < !b do
+      let mid = (!a + !b) / 2 in
+      if t.keys.(mid) < key then a := mid + 1 else b := mid
+    done;
+    let i = ref !a in
+    while !i < hi && t.keys.(!i) = key do
+      f t.rows.(!i);
+      incr i
+    done
+  end
+
+let partitions t = 1 lsl t.bits

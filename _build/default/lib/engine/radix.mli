@@ -1,0 +1,21 @@
+(** Radix-clustered join index over integer keys — the radix hash join of
+    Manegold et al. [39] as adapted by Balkesen et al. [9], which the paper's
+    Proteus uses for joins and grouping.
+
+    [build] is the blocking part the paper wraps in a pre-compiled function
+    ("clustering the materialized entries based on their hash values"): keys
+    are scattered into 2^bits cache-friendly partitions by a multiplicative
+    hash (two passes: count, then permute), and each partition is ordered so
+    equal keys are adjacent. [iter] then touches exactly one partition per
+    probe. *)
+
+type t
+
+(** [build keys] indexes [keys.(row) = key] for all rows. *)
+val build : ?bits:int -> int array -> t
+
+(** [iter t key ~f] calls [f row] for every row whose key equals [key]. *)
+val iter : t -> int -> f:(int -> unit) -> unit
+
+(** Number of partitions (for tests). *)
+val partitions : t -> int

@@ -1,0 +1,1 @@
+lib/format_/binjson.ml: Buffer Bytes Char Int64 Json List Perror Proteus_model String Value

@@ -1,0 +1,1 @@
+lib/format_/binjson.mli: Json Proteus_model Value

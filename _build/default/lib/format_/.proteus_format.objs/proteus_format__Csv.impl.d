@@ -1,0 +1,1 @@
+lib/format_/csv.ml: Array Buffer Char Date_util List Numparse Perror Printf Proteus_model Ptype Schema String Value

@@ -1,0 +1,1 @@
+lib/format_/csv.mli: Buffer Proteus_model Ptype Schema Value

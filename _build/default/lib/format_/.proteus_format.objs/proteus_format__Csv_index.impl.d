@@ -1,0 +1,1 @@
+lib/format_/csv_index.ml: Array Csv List Proteus_model String

@@ -1,0 +1,1 @@
+lib/format_/csv_index.mli: Csv

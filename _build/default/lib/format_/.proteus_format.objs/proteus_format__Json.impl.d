@@ -1,0 +1,1 @@
+lib/format_/json.ml: Array Buffer Char Date_util Float List Perror Printf Proteus_model String Value

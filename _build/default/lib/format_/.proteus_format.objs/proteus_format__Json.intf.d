@@ -1,0 +1,1 @@
+lib/format_/json.mli: Buffer Proteus_model Value

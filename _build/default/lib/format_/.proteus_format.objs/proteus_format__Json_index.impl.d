@@ -1,0 +1,1 @@
+lib/format_/json_index.ml: Array Bytes Char Hashtbl Int Json List Numparse Perror Proteus_model String Value

@@ -1,0 +1,1 @@
+lib/format_/json_index.mli: Proteus_model

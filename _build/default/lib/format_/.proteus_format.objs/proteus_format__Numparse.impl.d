@@ -1,0 +1,1 @@
+lib/format_/numparse.ml: Array Char Perror Proteus_model String

@@ -1,0 +1,1 @@
+lib/format_/numparse.mli:

@@ -1,0 +1,200 @@
+open Proteus_model
+
+let tag_null = '\000'
+let tag_false = '\001'
+let tag_true = '\002'
+let tag_int = '\003'
+let tag_float = '\004'
+let tag_string = '\005'
+let tag_array = '\006'
+let tag_object = '\007'
+
+let put_i32 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff))
+
+let put_i16 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff))
+
+let put_i64 buf v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  Buffer.add_bytes buf b
+
+let get_i32 src pos =
+  Char.code src.[pos]
+  lor (Char.code src.[pos + 1] lsl 8)
+  lor (Char.code src.[pos + 2] lsl 16)
+  lor (Char.code src.[pos + 3] lsl 24)
+
+let get_i16 src pos = Char.code src.[pos] lor (Char.code src.[pos + 1] lsl 8)
+
+let get_i64 src pos =
+  let b = Bytes.unsafe_of_string src in
+  Bytes.get_int64_le b pos
+
+let rec encode_into buf (j : Json.t) =
+  match j with
+  | Null -> Buffer.add_char buf tag_null
+  | Bool false -> Buffer.add_char buf tag_false
+  | Bool true -> Buffer.add_char buf tag_true
+  | Int i ->
+    Buffer.add_char buf tag_int;
+    put_i64 buf (Int64.of_int i)
+  | Float f ->
+    Buffer.add_char buf tag_float;
+    put_i64 buf (Int64.bits_of_float f)
+  | Str s ->
+    Buffer.add_char buf tag_string;
+    put_i32 buf (String.length s);
+    Buffer.add_string buf s
+  | Arr elems ->
+    let body = Buffer.create 64 in
+    List.iter (encode_into body) elems;
+    Buffer.add_char buf tag_array;
+    put_i32 buf (List.length elems);
+    put_i32 buf (Buffer.length body);
+    Buffer.add_buffer buf body
+  | Obj fields ->
+    let body = Buffer.create 64 in
+    List.iter
+      (fun (n, v) ->
+        put_i16 body (String.length n);
+        Buffer.add_string body n;
+        encode_into body v)
+      fields;
+    Buffer.add_char buf tag_object;
+    put_i32 buf (List.length fields);
+    put_i32 buf (Buffer.length body);
+    Buffer.add_buffer buf body
+
+let encode j =
+  let buf = Buffer.create 256 in
+  encode_into buf j;
+  Buffer.contents buf
+
+let value_size src pos =
+  match src.[pos] with
+  | c when c = tag_null || c = tag_false || c = tag_true -> 1
+  | c when c = tag_int || c = tag_float -> 9
+  | c when c = tag_string -> 5 + get_i32 src (pos + 1)
+  | c when c = tag_array || c = tag_object -> 9 + get_i32 src (pos + 5)
+  | c -> Perror.type_error "binjson: bad tag %d" (Char.code c)
+
+let rec decode_at src pos : Json.t =
+  match src.[pos] with
+  | c when c = tag_null -> Null
+  | c when c = tag_false -> Bool false
+  | c when c = tag_true -> Bool true
+  | c when c = tag_int -> Int (Int64.to_int (get_i64 src (pos + 1)))
+  | c when c = tag_float -> Float (Int64.float_of_bits (get_i64 src (pos + 1)))
+  | c when c = tag_string ->
+    let len = get_i32 src (pos + 1) in
+    Str (String.sub src (pos + 5) len)
+  | c when c = tag_array ->
+    let count = get_i32 src (pos + 1) in
+    let rec go i off acc =
+      if i >= count then List.rev acc
+      else
+        let v = decode_at src off in
+        go (i + 1) (off + value_size src off) (v :: acc)
+    in
+    Arr (go 0 (pos + 9) [])
+  | c when c = tag_object ->
+    let count = get_i32 src (pos + 1) in
+    let rec go i off acc =
+      if i >= count then List.rev acc
+      else begin
+        let nlen = get_i16 src off in
+        let name = String.sub src (off + 2) nlen in
+        let voff = off + 2 + nlen in
+        let v = decode_at src voff in
+        go (i + 1) (voff + value_size src voff) ((name, v) :: acc)
+      end
+    in
+    Obj (go 0 (pos + 9) [])
+  | c -> Perror.type_error "binjson: bad tag %d" (Char.code c)
+
+let decode src = decode_at src 0
+
+let find_field src pos name =
+  if src.[pos] <> tag_object then None
+  else begin
+    let count = get_i32 src (pos + 1) in
+    let nlen_wanted = String.length name in
+    let rec go i off =
+      if i >= count then None
+      else begin
+        let nlen = get_i16 src off in
+        let voff = off + 2 + nlen in
+        if nlen = nlen_wanted && String.sub src (off + 2) nlen = name then Some voff
+        else go (i + 1) (voff + value_size src voff)
+      end
+    in
+    go 0 (pos + 9)
+  end
+
+let find_path src pos path =
+  let parts = String.split_on_char '.' path in
+  let rec go pos = function
+    | [] -> Some pos
+    | name :: rest -> (
+      match find_field src pos name with
+      | Some voff -> go voff rest
+      | None -> None)
+  in
+  go pos parts
+
+let read_int src pos =
+  if src.[pos] = tag_int then Int64.to_int (get_i64 src (pos + 1))
+  else Perror.type_error "binjson: expected int tag, got %d" (Char.code src.[pos])
+
+let read_float src pos =
+  if src.[pos] = tag_float then Int64.float_of_bits (get_i64 src (pos + 1))
+  else if src.[pos] = tag_int then float_of_int (Int64.to_int (get_i64 src (pos + 1)))
+  else Perror.type_error "binjson: expected float tag, got %d" (Char.code src.[pos])
+
+let read_bool src pos =
+  if src.[pos] = tag_true then true
+  else if src.[pos] = tag_false then false
+  else Perror.type_error "binjson: expected bool tag, got %d" (Char.code src.[pos])
+
+let read_string src pos =
+  if src.[pos] = tag_string then String.sub src (pos + 5) (get_i32 src (pos + 1))
+  else Perror.type_error "binjson: expected string tag, got %d" (Char.code src.[pos])
+
+let array_offsets src pos =
+  if src.[pos] <> tag_array then
+    Perror.type_error "binjson: expected array tag, got %d" (Char.code src.[pos]);
+  let count = get_i32 src (pos + 1) in
+  let rec go i off acc =
+    if i >= count then List.rev acc
+    else go (i + 1) (off + value_size src off) (off :: acc)
+  in
+  go 0 (pos + 9) []
+
+let rec value_at src pos : Value.t =
+  match src.[pos] with
+  | c when c = tag_null -> Value.Null
+  | c when c = tag_false -> Value.Bool false
+  | c when c = tag_true -> Value.Bool true
+  | c when c = tag_int -> Value.Int (Int64.to_int (get_i64 src (pos + 1)))
+  | c when c = tag_float -> Value.Float (Int64.float_of_bits (get_i64 src (pos + 1)))
+  | c when c = tag_string -> Value.String (read_string src pos)
+  | c when c = tag_array -> Value.list_ (List.map (value_at src) (array_offsets src pos))
+  | c when c = tag_object ->
+    let count = get_i32 src (pos + 1) in
+    let rec go i off acc =
+      if i >= count then List.rev acc
+      else begin
+        let nlen = get_i16 src off in
+        let name = String.sub src (off + 2) nlen in
+        let voff = off + 2 + nlen in
+        go (i + 1) (voff + value_size src voff) ((name, value_at src voff) :: acc)
+      end
+    in
+    Value.record (go 0 (pos + 9) [])
+  | c -> Perror.type_error "binjson: bad tag %d" (Char.code c)

@@ -1,0 +1,50 @@
+(** A BSON/jsonb-like binary serialization of JSON documents.
+
+    This substrate backs two comparator systems from the paper's evaluation:
+    MongoDB's BSON storage and PostgreSQL's [jsonb] column type. Documents
+    are fully converted at load time (the cost the paper charges to those
+    systems), after which field access navigates length-prefixed binary
+    structures without text parsing.
+
+    Layout (little-endian):
+    - tag byte: 0 null, 1 false, 2 true, 3 int64, 4 float64, 5 string,
+      6 array, 7 object
+    - string: [len:4][bytes]
+    - array: [count:4][total:4][elem...] where each elem is a tagged value
+    - object: [count:4][total:4][field...] where each field is
+      [name_len:2][name][value] — values carry their own lengths, so a
+      reader can skip fields it does not need. *)
+
+open Proteus_model
+
+val encode : Json.t -> string
+
+val decode : string -> Json.t
+
+(** [decode_at src pos] decodes the tagged value at [pos]. *)
+val decode_at : string -> int -> Json.t
+
+(** [find_field src pos name] is the offset of field [name]'s tagged value
+    within the object at [pos]; [None] when absent or not an object. *)
+val find_field : string -> int -> string -> int option
+
+(** [find_path src pos path] chains {!find_field} over a dotted path. *)
+val find_path : string -> int -> string -> int option
+
+(** {1 Typed readers at an offset} — raise [Perror.Type_error] on tag
+    mismatch (ints widen to float for [read_float]). *)
+
+val read_int : string -> int -> int
+val read_float : string -> int -> float
+val read_bool : string -> int -> bool
+val read_string : string -> int -> string
+
+(** [array_offsets src pos] is the offsets of the elements of the array at
+    [pos]. *)
+val array_offsets : string -> int -> int list
+
+(** [value_at src pos] boxes the tagged value at [pos] into the data model. *)
+val value_at : string -> int -> Value.t
+
+(** Size in bytes of the tagged value at [pos], header included. *)
+val value_size : string -> int -> int

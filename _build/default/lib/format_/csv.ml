@@ -1,0 +1,214 @@
+open Proteus_model
+
+type config = { separator : char; has_header : bool }
+
+let default_config = { separator = ','; has_header = false }
+
+let needs_quoting config s =
+  let bad c = Char.equal c config.separator || c = '\n' || c = '\r' || c = '"' in
+  String.exists bad s
+
+let write_field buf config s =
+  if needs_quoting config s then begin
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+  end
+  else Buffer.add_string buf s
+
+let render_value (v : Value.t) =
+  match v with
+  | Null -> ""
+  | Bool b -> if b then "true" else "false"
+  | Int i -> string_of_int i
+  | Date d -> Date_util.to_string d
+  | Float f ->
+    (* Round-trippable, compact float rendering. *)
+    let s = Printf.sprintf "%.12g" f in
+    s
+  | String s -> s
+  | Record _ | Coll _ -> Perror.type_error "CSV cannot render %a" Value.pp v
+
+let write_row buf config values =
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char buf config.separator;
+      write_field buf config (render_value v))
+    values;
+  Buffer.add_char buf '\n'
+
+let of_records config schema records =
+  let names = Schema.field_names schema in
+  let buf = Buffer.create 4096 in
+  if config.has_header then begin
+    List.iteri
+      (fun i n ->
+        if i > 0 then Buffer.add_char buf config.separator;
+        Buffer.add_string buf n)
+      names;
+    Buffer.add_char buf '\n'
+  end;
+  List.iter
+    (fun r ->
+      let row =
+        Array.of_list
+          (List.map
+             (fun n -> match Value.field_opt r n with Some v -> v | None -> Value.Null)
+             names)
+      in
+      write_row buf config row)
+    records;
+  Buffer.contents buf
+
+let row_bounds src ~pos =
+  let n = String.length src in
+  let rec find_eol i in_quotes =
+    if i >= n then i
+    else
+      match src.[i] with
+      | '"' -> find_eol (i + 1) (not in_quotes)
+      | '\n' when not in_quotes -> i
+      | _ -> find_eol (i + 1) in_quotes
+  in
+  let eol = find_eol pos false in
+  let stop = if eol > pos && src.[eol - 1] = '\r' then eol - 1 else eol in
+  (pos, stop, min n (eol + 1))
+
+let data_start config src =
+  if not config.has_header then 0
+  else
+    let _, _, next = row_bounds src ~pos:0 in
+    next
+
+(* Scan one field starting at [i]; returns (field_start, field_stop,
+   position after the separator or [stop]). Quoted fields include their
+   quotes in the span; parse_string strips them. *)
+let scan_field config src ~stop i =
+  if i < stop && src.[i] = '"' then begin
+    let rec close j =
+      if j >= stop then j
+      else if src.[j] = '"' then
+        if j + 1 < stop && src.[j + 1] = '"' then close (j + 2) else j + 1
+      else close (j + 1)
+    in
+    let fstop = close (i + 1) in
+    let next = if fstop < stop && src.[fstop] = config.separator then fstop + 1 else fstop in
+    (i, fstop, next)
+  end
+  else begin
+    let rec go j = if j >= stop || src.[j] = config.separator then j else go (j + 1) in
+    let fstop = go i in
+    let next = if fstop < stop then fstop + 1 else fstop in
+    (i, fstop, next)
+  end
+
+let field_spans config src ~start ~stop =
+  if start >= stop then []
+  else begin
+    let rec go i acc =
+      let fstart, fstop, next = scan_field config src ~stop i in
+      let acc = (fstart, fstop) :: acc in
+      if next >= stop then List.rev acc else go next acc
+    in
+    go start []
+  end
+
+let nth_field_span config src ~start ~stop n =
+  let rec go i k =
+    let fstart, fstop, next = scan_field config src ~stop i in
+    if k = n then (fstart, fstop)
+    else if next >= stop then
+      Perror.parse_error ~what:"csv" ~pos:start "row has fewer than %d fields" (n + 1)
+    else go next (k + 1)
+  in
+  go start 0
+
+let parse_int src ~start ~stop =
+  try Numparse.int_span src ~start ~stop
+  with Perror.Parse_error { pos; msg; _ } ->
+    Perror.parse_error ~what:"csv" ~pos "bad int field: %s" msg
+
+let parse_float src ~start ~stop =
+  try Numparse.float_span src ~start ~stop with
+  | Perror.Parse_error { msg; _ } ->
+    Perror.parse_error ~what:"csv" ~pos:start "bad float field: %s" msg
+  | Failure _ -> Perror.parse_error ~what:"csv" ~pos:start "bad float field"
+
+let parse_bool src ~start ~stop =
+  let len = stop - start in
+  if len = 4 && String.sub src start 4 = "true" then true
+  else if len = 5 && String.sub src start 5 = "false" then false
+  else if len = 1 && src.[start] = '1' then true
+  else if len = 1 && src.[start] = '0' then false
+  else Perror.parse_error ~what:"csv" ~pos:start "bad bool field"
+
+let parse_string src ~start ~stop =
+  if stop > start && src.[start] = '"' && src.[stop - 1] = '"' then begin
+    let buf = Buffer.create (stop - start - 2) in
+    let rec go i =
+      if i < stop - 1 then
+        if src.[i] = '"' && i + 1 < stop - 1 && src.[i + 1] = '"' then begin
+          Buffer.add_char buf '"';
+          go (i + 2)
+        end
+        else begin
+          Buffer.add_char buf src.[i];
+          go (i + 1)
+        end
+    in
+    go (start + 1);
+    Buffer.contents buf
+  end
+  else String.sub src start (stop - start)
+
+let rec parse_value ty src ~start ~stop : Value.t =
+  match (ty : Ptype.t) with
+  | Option inner ->
+    if start >= stop then Value.Null else parse_value inner src ~start ~stop
+  | Int -> Value.Int (parse_int src ~start ~stop)
+  | Date ->
+    (* dates appear as ISO strings in files; bare integers (epoch days) are
+       also accepted *)
+    if stop - start = 10 && src.[start + 4] = '-' then
+      Value.Date (Date_util.of_span src ~start ~stop)
+    else Value.Date (parse_int src ~start ~stop)
+  | Float -> Value.Float (parse_float src ~start ~stop)
+  | Bool -> Value.Bool (parse_bool src ~start ~stop)
+  | String -> Value.String (parse_string src ~start ~stop)
+  | Record _ | Collection _ ->
+    Perror.type_error "CSV field of non-primitive type %a" Ptype.pp ty
+
+let read_all config schema src =
+  let fields = Schema.fields schema in
+  let n = String.length src in
+  let rec rows pos acc =
+    if pos >= n then List.rev acc
+    else
+      let start, stop, next = row_bounds src ~pos in
+      if start = stop then rows next acc (* skip blank line *)
+      else begin
+        let spans = field_spans config src ~start ~stop in
+        let record =
+          Value.record
+            (List.map2
+               (fun (f : Schema.field) (fstart, fstop) ->
+                 (f.name, parse_value f.ty src ~start:fstart ~stop:fstop))
+               fields spans)
+        in
+        rows next (record :: acc)
+      end
+  in
+  rows (data_start config src) []
+
+let row_count config src =
+  let n = String.length src in
+  let rec go pos acc =
+    if pos >= n then acc
+    else
+      let start, stop, next = row_bounds src ~pos in
+      go next (if start = stop then acc else acc + 1)
+  in
+  go (data_start config src) 0

@@ -1,0 +1,60 @@
+(** CSV reading and writing.
+
+    The reader operates over the raw file bytes as served by the memory
+    manager — it never materializes a parsed copy of the file (queries over
+    raw data, Section 5.2). Quoting: a field that starts with ["] runs to the
+    closing ["] (doubled quotes escape); otherwise fields run to the next
+    separator or newline. *)
+
+open Proteus_model
+
+type config = {
+  separator : char;       (** e.g. [','] or TPC-H's ['|'] *)
+  has_header : bool;
+}
+
+val default_config : config
+
+(** {1 Writing} *)
+
+(** [write_row buf config values] appends one CSV line. *)
+val write_row : Buffer.t -> config -> Value.t array -> unit
+
+(** [of_records config schema records] renders a full file. *)
+val of_records : config -> Schema.t -> Value.t list -> string
+
+(** {1 Reading} *)
+
+(** [row_bounds src ~pos] is [(start, stop, next)] for the row beginning at
+    [pos]: the data spans [start..stop) and the next row starts at [next]. *)
+val row_bounds : string -> pos:int -> int * int * int
+
+(** [data_start config src] is the offset of the first data row (skips the
+    header when [has_header]). *)
+val data_start : config -> string -> int
+
+(** [field_spans config src ~start ~stop] splits the row [start..stop) into
+    field spans [(fstart, fstop)] in order. *)
+val field_spans : config -> string -> start:int -> stop:int -> (int * int) list
+
+(** [nth_field_span config src ~start ~stop n] is the span of field [n]
+    (0-based) of the row, scanning from [start]. *)
+val nth_field_span : config -> string -> start:int -> stop:int -> int -> int * int
+
+(** {1 Field decoding} — parse a span without allocating when possible. *)
+
+val parse_int : string -> start:int -> stop:int -> int
+val parse_float : string -> start:int -> stop:int -> float
+val parse_bool : string -> start:int -> stop:int -> bool
+val parse_string : string -> start:int -> stop:int -> string
+
+(** [parse_value ty src ~start ~stop] boxes a field according to [ty]; the
+    empty span decodes to [Null] for [Option] types. *)
+val parse_value : Ptype.t -> string -> start:int -> stop:int -> Value.t
+
+(** [read_all config schema src] parses a whole file into records (used by
+    loaders of the baseline systems, not by Proteus query paths). *)
+val read_all : config -> Schema.t -> string -> Value.t list
+
+(** [row_count config src] counts data rows without parsing fields. *)
+val row_count : config -> string -> int

@@ -1,0 +1,114 @@
+type t = {
+  src : string;
+  config : Csv.config;
+  every : int;
+  arity : int;
+  fixed : fixed option;        (* Some => fixed-width fast path *)
+  row_starts : int array;      (* row byte offsets; empty in fixed mode *)
+  row_stops : int array;
+  anchors : int array array;   (* anchors.(row).(k) = start of field k*every *)
+}
+
+and fixed = {
+  first_row : int;             (* offset of the first data row *)
+  row_len : int;               (* bytes per row including the newline *)
+  field_offsets : int array;   (* offset of each field within a row *)
+  field_stops : int array;     (* end offset of each field within a row *)
+  nrows : int;
+}
+
+let config t = t.config
+let stride t = t.every
+let arity t = t.arity
+let is_fixed_width t = t.fixed <> None
+
+let row_count t =
+  match t.fixed with Some f -> f.nrows | None -> Array.length t.row_starts
+
+let build cfg ?(every = 5) src =
+  let n = String.length src in
+  let start0 = Csv.data_start cfg src in
+  (* First pass over the first row to learn arity and candidate fixed layout. *)
+  let starts = ref [] and stops = ref [] and anchor_rows = ref [] in
+  let arity = ref 0 in
+  let fixed_candidate = ref None in
+  let fixed_ok = ref true in
+  let pos = ref start0 in
+  while !pos < n do
+    let rstart, rstop, next = Csv.row_bounds src ~pos:!pos in
+    if rstart = rstop then pos := next
+    else begin
+      let spans = Csv.field_spans cfg src ~start:rstart ~stop:rstop in
+      let nf = List.length spans in
+      if !arity = 0 then arity := nf
+      else if nf <> !arity then
+        Proteus_model.Perror.parse_error ~what:"csv" ~pos:rstart
+          "row arity %d differs from first row arity %d" nf !arity;
+      (* Fixed-width check: identical relative offsets and row length. *)
+      let rel =
+        ( next - rstart,
+          List.map (fun (a, b) -> (a - rstart, b - rstart)) spans )
+      in
+      (match !fixed_candidate with
+      | None -> fixed_candidate := Some rel
+      | Some c -> if c <> rel then fixed_ok := false);
+      let anchors =
+        List.filteri (fun i _ -> i mod every = 0) spans
+        |> List.map fst |> Array.of_list
+      in
+      starts := rstart :: !starts;
+      stops := rstop :: !stops;
+      anchor_rows := anchors :: !anchor_rows;
+      pos := next
+    end
+  done;
+  let row_starts = Array.of_list (List.rev !starts) in
+  let row_stops = Array.of_list (List.rev !stops) in
+  let anchors = Array.of_list (List.rev !anchor_rows) in
+  let fixed =
+    match !fixed_candidate with
+    | Some (row_len, rel_spans) when !fixed_ok && Array.length row_starts > 0 ->
+      Some
+        {
+          first_row = start0;
+          row_len;
+          field_offsets = Array.of_list (List.map fst rel_spans);
+          field_stops = Array.of_list (List.map snd rel_spans);
+          nrows = Array.length row_starts;
+        }
+    | _ -> None
+  in
+  if fixed <> None then
+    (* Positions are now computable; drop the per-row arrays entirely. *)
+    { src; config = cfg; every; arity = !arity; fixed;
+      row_starts = [||]; row_stops = [||]; anchors = [||] }
+  else
+    { src; config = cfg; every; arity = !arity; fixed = None;
+      row_starts; row_stops; anchors }
+
+let row_span t row =
+  match t.fixed with
+  | Some f ->
+    let start = f.first_row + (row * f.row_len) in
+    (* stop = start of the last field's end *)
+    (start, start + f.field_stops.(Array.length f.field_stops - 1))
+  | None -> (t.row_starts.(row), t.row_stops.(row))
+
+let field_span t ~row ~field =
+  match t.fixed with
+  | Some f ->
+    let base = f.first_row + (row * f.row_len) in
+    (base + f.field_offsets.(field), base + f.field_stops.(field))
+  | None ->
+    let anchor = field / t.every in
+    let apos = t.anchors.(row).(anchor) in
+    let stop = t.row_stops.(row) in
+    (* Scan forward from the anchored field over (field mod every) fields. *)
+    Csv.nth_field_span t.config t.src ~start:apos ~stop (field mod t.every)
+
+let byte_size t =
+  match t.fixed with
+  | Some f -> 8 * (4 + (2 * Array.length f.field_offsets))
+  | None ->
+    (8 * 2 * Array.length t.row_starts)
+    + Array.fold_left (fun acc a -> acc + (8 * Array.length a)) 0 t.anchors

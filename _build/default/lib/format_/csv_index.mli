@@ -1,0 +1,36 @@
+(** Positional structural index for CSV files (Section 5.2, after NoDB [5]).
+
+    The index stores, for each data row, its start offset and the byte
+    positions of every [N]th field. Locating field [k] then means jumping to
+    the closest anchored field at or before [k] and scanning forward over at
+    most [N-1] separators, instead of re-tokenizing the row from its start.
+
+    When the file has fixed-length rows (every row the same byte length and
+    every field at the same offset), the per-row machinery is dropped and
+    field positions are computed arithmetically — the paper's
+    "specializing per dataset contents" fast path. *)
+
+type t
+
+(** [build config ?every src] scans the file once. [every] is the anchor
+    stride N (default 5; stride 1 anchors every field). *)
+val build : Csv.config -> ?every:int -> string -> t
+
+val config : t -> Csv.config
+val row_count : t -> int
+val stride : t -> int
+
+(** True when the fixed-width fast path is active. *)
+val is_fixed_width : t -> bool
+
+(** [row_span t row] is [(start, stop)] of the row's bytes. *)
+val row_span : t -> int -> int * int
+
+(** [field_span t ~row ~field] is the span of one field, using the anchors. *)
+val field_span : t -> row:int -> field:int -> int * int
+
+(** Number of fields per row (from the first row). *)
+val arity : t -> int
+
+(** Index footprint in bytes (for the size ratios reported in Section 7.1). *)
+val byte_size : t -> int

@@ -1,0 +1,625 @@
+open Proteus_model
+
+type kind = Kobj | Karr | Kstr | Kint | Kfloat | Kbool | Knull
+
+type entry = { start : int; stop : int; kind : kind }
+
+(* Per-object storage is packed into raw bytes so the index footprint stays
+   a small fraction of the input (the paper reports ~15-25%):
+
+   - entry i (1-based; 0 is the synthesized whole-object root):
+     5 bytes at [5*(i-1)]: rel_start:u16, len:u16, kind:u8 — positions are
+     relative to the object base, so u16 suffices for objects <64 KiB;
+   - flexible-schema Level 0 follows the entries: 3 bytes per field,
+     path_id:u16 (interned globally) + slot:u8, sorted by path_id.
+
+   Objects too large for the packed widths fall back to a boxed "wide"
+   representation. *)
+type packed_obj = {
+  base : int;
+  size : int;
+  pdata : Bytes.t;
+  nentries : int;   (* excluding the root *)
+  nlevel0 : int;    (* 0 in fixed-schema mode *)
+}
+
+type obj_repr =
+  | Packed of packed_obj
+  | Wide of {
+      w_base : int;
+      w_size : int;
+      w_entries : entry array;           (* excluding the root *)
+      w_level0 : (int * int) array;      (* (path_id, slot), sorted by id *)
+    }
+
+type t = {
+  src : string;
+  objects : obj_repr array;
+  shared : (string * int) array option;  (* fixed-schema shared Level 0, sorted *)
+  all_paths : string list;
+  path_ids : (string, int) Hashtbl.t;    (* interned path names *)
+  path_names : string array;
+}
+
+let source t = t.src
+let object_count t = Array.length t.objects
+let is_fixed_schema t = t.shared <> None
+
+let fail pos fmt = Perror.parse_error ~what:"json-index" ~pos fmt
+
+let kind_code = function
+  | Kobj -> 0
+  | Karr -> 1
+  | Kstr -> 2
+  | Kint -> 3
+  | Kfloat -> 4
+  | Kbool -> 5
+  | Knull -> 6
+
+let kind_of_code = function
+  | 0 -> Kobj
+  | 1 -> Karr
+  | 2 -> Kstr
+  | 3 -> Kint
+  | 4 -> Kfloat
+  | 5 -> Kbool
+  | _ -> Knull
+
+(* --- raw scanning ------------------------------------------------------- *)
+
+let skip_string src pos =
+  (* pos at opening quote; returns position after closing quote *)
+  let n = String.length src in
+  let rec go i =
+    if i >= n then fail i "unterminated string"
+    else
+      match src.[i] with
+      | '\\' -> go (i + 2)
+      | '"' -> i + 1
+      | _ -> go (i + 1)
+  in
+  go (pos + 1)
+
+let num_kind src start stop =
+  let rec go i =
+    if i >= stop then Kint
+    else match src.[i] with '.' | 'e' | 'E' -> Kfloat | _ -> go (i + 1)
+  in
+  go start
+
+(* Containers are skipped by a flat depth-counting automaton: this loop is
+   the floor of every unnest over raw JSON, so it avoids per-value calls.
+   [pos] at the opening bracket; returns the position after the matching
+   closing one. Inputs reaching this point were validated at build time. *)
+let skip_container src pos =
+  let n = String.length src in
+  let i = ref pos and depth = ref 0 and fin = ref (-1) in
+  while !fin < 0 do
+    if !i >= n then fail !i "unterminated container";
+    (match String.unsafe_get src !i with
+    | '{' | '[' -> incr depth
+    | '}' | ']' ->
+      decr depth;
+      if !depth = 0 then fin := !i + 1
+    | '"' -> i := skip_string src !i - 1
+    | _ -> ());
+    incr i
+  done;
+  !fin
+
+let skip_value src pos =
+  let pos = Json.skip_ws src pos in
+  let n = String.length src in
+  if pos >= n then fail pos "unexpected end of input";
+  match src.[pos] with
+  | '"' -> skip_string src pos
+  | '{' | '[' -> skip_container src pos
+  | 'n' | 't' -> pos + 4
+  | 'f' -> pos + 5
+  | '-' | '0' .. '9' ->
+    let rec go i =
+      if i < n && (match src.[i] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false)
+      then go (i + 1)
+      else i
+    in
+    go pos
+  | c -> fail pos "unexpected character %C" c
+
+(* --- indexing one object ------------------------------------------------ *)
+
+(* Walk the object at [pos], registering entries for every field path
+   reachable through nested objects. Returns (entries_rev, level0_rev,
+   next_entry_id, end_pos). *)
+let index_object src pos =
+  let entries = ref [] and level0 = ref [] and next_id = ref 0 in
+  let add_entry e =
+    entries := e :: !entries;
+    incr next_id;
+    !next_id - 1
+  in
+  let rec walk_obj prefix pos =
+    (* pos at '{'; registers the fields; returns end position. *)
+    let n = String.length src in
+    let rec members i =
+      let i = Json.skip_ws src i in
+      if i >= n then fail i "unterminated object"
+      else if src.[i] = '}' then i + 1
+      else begin
+        let name, after_name = Json.parse_string_lit src i in
+        let i = Json.skip_ws src after_name in
+        if i >= n || src.[i] <> ':' then fail i "expected ':'";
+        let vstart = Json.skip_ws src (i + 1) in
+        let path = if prefix = "" then name else prefix ^ "." ^ name in
+        let vend =
+          match src.[vstart] with
+          | '{' ->
+            let vend = skip_container src vstart in
+            let id = add_entry { start = vstart; stop = vend; kind = Kobj } in
+            level0 := (path, id) :: !level0;
+            (* Recurse to register nested paths ("register nested records in
+               Level 0", Fig. 4: pointer to c.d.d1). *)
+            let _end2 = walk_obj path vstart in
+            vend
+          | '[' ->
+            let vend = skip_container src vstart in
+            let id = add_entry { start = vstart; stop = vend; kind = Karr } in
+            level0 := (path, id) :: !level0;
+            vend
+          | '"' ->
+            let vend = skip_string src vstart in
+            let id = add_entry { start = vstart; stop = vend; kind = Kstr } in
+            level0 := (path, id) :: !level0;
+            vend
+          | 't' | 'f' ->
+            let vend = skip_value src vstart in
+            let id = add_entry { start = vstart; stop = vend; kind = Kbool } in
+            level0 := (path, id) :: !level0;
+            vend
+          | 'n' ->
+            let vend = skip_value src vstart in
+            let id = add_entry { start = vstart; stop = vend; kind = Knull } in
+            level0 := (path, id) :: !level0;
+            vend
+          | _ ->
+            let vend = skip_value src vstart in
+            let id = add_entry { start = vstart; stop = vend; kind = num_kind src vstart vend } in
+            level0 := (path, id) :: !level0;
+            vend
+        in
+        let i = Json.skip_ws src vend in
+        if i < n && src.[i] = ',' then members (i + 1)
+        else if i < n && src.[i] = '}' then i + 1
+        else fail i "expected ',' or '}'"
+      end
+    in
+    members (pos + 1)
+  in
+  if src.[pos] <> '{' then fail pos "dataset element is not an object";
+  let stop = walk_obj "" pos in
+  (* slots are 1-based above the synthesized root entry *)
+  let level0 =
+    List.rev_map (fun (p, id) -> (p, id + 1)) !level0
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> Array.of_list
+  in
+  (List.rev !entries, level0, stop)
+
+let pack_object ~path_id ~keep_level0 ~base ~stop entries level0 : obj_repr =
+  (* [entries]/[level0] exclude/are relative to the root (slot 0) *)
+  let size = stop - base in
+  let n = List.length entries in
+  let l0 = if keep_level0 then level0 else [] in
+  let fits =
+    size < 0x10000
+    && n < 255
+    && List.for_all (fun (e : entry) -> e.stop - e.start < 0x10000) entries
+  in
+  if fits then begin
+    let nlevel0 = List.length l0 in
+    let pdata = Bytes.create ((5 * n) + (3 * nlevel0)) in
+    List.iteri
+      (fun i (e : entry) ->
+        let off = 5 * i in
+        Bytes.set_uint16_le pdata off (e.start - base);
+        Bytes.set_uint16_le pdata (off + 2) (e.stop - e.start);
+        Bytes.set_uint8 pdata (off + 4) (kind_code e.kind))
+      entries;
+    let sorted =
+      List.map (fun (p, slot) -> (path_id p, slot)) l0
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    in
+    List.iteri
+      (fun i (id, slot) ->
+        let off = (5 * n) + (3 * i) in
+        Bytes.set_uint16_le pdata off id;
+        Bytes.set_uint8 pdata (off + 2) slot)
+      sorted;
+    Packed { base; size; pdata; nentries = n; nlevel0 }
+  end
+  else
+    Wide
+      {
+        w_base = base;
+        w_size = size;
+        w_entries = Array.of_list entries;
+        w_level0 =
+          List.map (fun (p, slot) -> (path_id p, slot)) l0
+          |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+          |> Array.of_list;
+      }
+
+let build src =
+  let n = String.length src in
+  let objects = ref [] in
+  let rec go pos =
+    let pos = Json.skip_ws src pos in
+    if pos < n then begin
+      let entries, level0, stop = index_object src pos in
+      objects := (pos, stop, entries, level0) :: !objects;
+      go stop
+    end
+  in
+  go 0;
+  let objs = Array.of_list (List.rev !objects) in
+  (* Fixed-schema detection: identical Level-0 keyset and identical document
+     order of slots across all objects. *)
+  let fixed =
+    if Array.length objs = 0 then None
+    else begin
+      let _, _, _, first = objs.(0) in
+      let same =
+        Array.for_all
+          (fun (_, _, _, l0) ->
+            Array.length l0 = Array.length first
+            && Array.for_all2
+                 (fun (pa, sa) (pb, sb) -> String.equal pa pb && sa = sb)
+                 l0 first)
+          objs
+      in
+      if same && Array.length first > 0 then Some first else None
+    end
+  in
+  let path_ids = Hashtbl.create 64 in
+  let names = ref [] and next_id = ref 0 in
+  let path_id p =
+    match Hashtbl.find_opt path_ids p with
+    | Some id -> id
+    | None ->
+      let id = !next_id in
+      if id > 0xFFFF then Perror.unsupported "json index: more than 65536 field paths";
+      Hashtbl.replace path_ids p id;
+      names := p :: !names;
+      incr next_id;
+      id
+  in
+  let all_paths =
+    match fixed with
+    | Some m -> Array.to_list (Array.map fst m)
+    | None ->
+      let tbl = Hashtbl.create 64 in
+      Array.iter
+        (fun (_, _, _, l0) -> Array.iter (fun (p, _) -> Hashtbl.replace tbl p ()) l0)
+        objs;
+      Hashtbl.fold (fun p () acc -> p :: acc) tbl [] |> List.sort String.compare
+  in
+  (* register paths in a deterministic order *)
+  List.iter (fun p -> ignore (path_id p)) all_paths;
+  let objects =
+    Array.map
+      (fun (base, stop, entries, l0) ->
+        (* slots stored 0-based relative to the first non-root entry *)
+        let l0 = Array.to_list (Array.map (fun (p, s) -> (p, s - 1)) l0) in
+        pack_object ~path_id ~keep_level0:(fixed = None) ~base ~stop entries l0)
+      objs
+  in
+  {
+    src;
+    objects;
+    shared = fixed;
+    all_paths;
+    path_ids;
+    path_names = Array.of_list (List.rev !names);
+  }
+
+(* --- per-object entry access --------------------------------------------- *)
+
+let object_span t obj =
+  match t.objects.(obj) with
+  | Packed { base; size; _ } -> (base, base + size)
+  | Wide { w_base; w_size; _ } -> (w_base, w_base + w_size)
+
+let paths t = t.all_paths
+
+(* slot numbering: 0 = root, 1.. = stored entries *)
+let entry_at t ~obj ~slot =
+  match t.objects.(obj) with
+  | Packed p ->
+    if slot = 0 then { start = p.base; stop = p.base + p.size; kind = Kobj }
+    else begin
+      let off = 5 * (slot - 1) in
+      let rel = Bytes.get_uint16_le p.pdata off in
+      let len = Bytes.get_uint16_le p.pdata (off + 2) in
+      let kind = kind_of_code (Bytes.get_uint8 p.pdata (off + 4)) in
+      { start = p.base + rel; stop = p.base + rel + len; kind }
+    end
+  | Wide w ->
+    if slot = 0 then { start = w.w_base; stop = w.w_base + w.w_size; kind = Kobj }
+    else w.w_entries.(slot - 1)
+
+let entry_count t ~obj =
+  match t.objects.(obj) with
+  | Packed p -> p.nentries + 1
+  | Wide w -> Array.length w.w_entries + 1
+
+let bsearch (arr : (string * int) array) path =
+  let lo = ref 0 and hi = ref (Array.length arr - 1) and found = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let k, v = arr.(mid) in
+    let c = String.compare path k in
+    if c = 0 then begin
+      found := v;
+      lo := !hi + 1
+    end
+    else if c < 0 then hi := mid - 1
+    else lo := mid + 1
+  done;
+  if !found >= 0 then Some !found else None
+
+let slot t path = match t.shared with Some m -> bsearch m path | None -> None
+
+(* Level-0 lookup by interned path id, over the packed or wide layout. *)
+let find_slot_by_id t ~obj ~id =
+  match t.objects.(obj) with
+  | Packed p ->
+    let base = 5 * p.nentries in
+    let lo = ref 0 and hi = ref (p.nlevel0 - 1) and found = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let k = Bytes.get_uint16_le p.pdata (base + (3 * mid)) in
+      if k = id then begin
+        found := Bytes.get_uint8 p.pdata (base + (3 * mid) + 2) + 1;
+        lo := !hi + 1
+      end
+      else if id < k then hi := mid - 1
+      else lo := mid + 1
+    done;
+    if !found >= 0 then Some !found else None
+  | Wide w ->
+    let lo = ref 0 and hi = ref (Array.length w.w_level0 - 1) and found = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let k, s = w.w_level0.(mid) in
+      if k = id then begin
+        found := s + 1;
+        lo := !hi + 1
+      end
+      else if id < k then hi := mid - 1
+      else lo := mid + 1
+    done;
+    if !found >= 0 then Some !found else None
+
+let path_id t path = Hashtbl.find_opt t.path_ids path
+
+let find_by_id t ~obj ~id =
+  match find_slot_by_id t ~obj ~id with
+  | Some s -> Some (entry_at t ~obj ~slot:s)
+  | None -> None
+
+let find t ~obj ~path =
+  match t.shared with
+  | Some m -> (
+    match bsearch m path with
+    | Some s -> if s < entry_count t ~obj then Some (entry_at t ~obj ~slot:s) else None
+    | None -> None)
+  | None -> (
+    match path_id t path with
+    | Some id -> find_by_id t ~obj ~id
+    | None -> None)
+
+(* --- span decoding ------------------------------------------------------ *)
+
+let read_int t (e : entry) = Numparse.int_span t.src ~start:e.start ~stop:e.stop
+
+let read_float t (e : entry) = Numparse.float_span t.src ~start:e.start ~stop:e.stop
+
+let read_bool t (e : entry) = t.src.[e.start] = 't'
+
+let read_string_span t ~start ~stop =
+  (* The span includes the quotes; decode escapes only if present. *)
+  let raw_start = start + 1 and raw_stop = stop - 1 in
+  let has_escape = ref false in
+  for i = raw_start to raw_stop - 1 do
+    if t.src.[i] = '\\' then has_escape := true
+  done;
+  if not !has_escape then String.sub t.src raw_start (raw_stop - raw_start)
+  else
+    let s, _ = Json.parse_string_lit t.src start in
+    s
+
+let read_string t (e : entry) = read_string_span t ~start:e.start ~stop:e.stop
+
+let read_value t (e : entry) : Value.t =
+  match e.kind with
+  | Kint -> Value.Int (read_int t e)
+  | Kfloat -> Value.Float (read_float t e)
+  | Kbool -> Value.Bool (read_bool t e)
+  | Knull -> Value.Null
+  | Kstr -> Value.String (read_string t e)
+  | Kobj | Karr ->
+    let j, _ = Json.parse t.src ~pos:e.start in
+    Json.to_value j
+
+let kind_at src pos =
+  match src.[pos] with
+  | '{' -> Kobj
+  | '[' -> Karr
+  | '"' -> Kstr
+  | 't' | 'f' -> Kbool
+  | 'n' -> Knull
+  | _ -> Kint (* refined below *)
+
+(* Allocation-free element iteration for the Unnest hot path: [f] receives
+   each element's span; no entry records or lists are built. *)
+let iter_array_spans t (e : entry) ~f =
+  let src = t.src in
+  let stop = e.stop - 1 in
+  let rec go i =
+    let i = Json.skip_ws src i in
+    if i < stop then
+      if src.[i] = ',' then go (i + 1)
+      else begin
+        let vend = skip_value src i in
+        f ~start:i ~stop:vend;
+        go vend
+      end
+  in
+  go (e.start + 1)
+
+let array_elements t (e : entry) =
+  let src = t.src in
+  let stop = e.stop - 1 in
+  let rec go i acc =
+    let i = Json.skip_ws src i in
+    if i >= stop then List.rev acc
+    else if src.[i] = ',' then go (i + 1) acc
+    else begin
+      let vend = skip_value src i in
+      let kind =
+        match kind_at src i with Kint -> num_kind src i vend | k -> k
+      in
+      go vend ({ start = i; stop = vend; kind } :: acc)
+    end
+  in
+  go (e.start + 1) []
+
+(* Bounded field extraction for the Unnest code path: walk the members of
+   the object span once, filling the value spans of the requested names, and
+   stop as soon as all of them are found. [starts.(i) = -1] marks a missing
+   field. Names are compared against the raw bytes. *)
+let scan_span_fields t ~start ~stop ~names ~starts ~stops =
+  let src = t.src in
+  Array.fill starts 0 (Array.length starts) (-1);
+  let remaining = ref (Array.length names) in
+  let name_index qstart =
+    let rec try_name k =
+      if k >= Array.length names then -1
+      else begin
+        let name = names.(k) in
+        let n = String.length name in
+        let rec cmp i j =
+          if j >= n then if src.[i] = '"' then k else try_name (k + 1)
+          else if src.[i] = '\\' then begin
+            (* escaped name: decode and compare outright *)
+            let decoded, _ = Json.parse_string_lit src qstart in
+            if String.equal decoded name then k else try_name (k + 1)
+          end
+          else if Char.equal src.[i] name.[j] then cmp (i + 1) (j + 1)
+          else try_name (k + 1)
+        in
+        cmp (qstart + 1) 0
+      end
+    in
+    try_name 0
+  in
+  if src.[start] <> '{' then fail start "unnest element is not an object";
+  let rec members i =
+    let i = Json.skip_ws src i in
+    if i >= stop || src.[i] = '}' then ()
+    else begin
+      let slot = name_index i in
+      let after_name = skip_string src i in
+      let i = Json.skip_ws src after_name in
+      if i >= stop || src.[i] <> ':' then fail i "expected ':'";
+      let vstart = Json.skip_ws src (i + 1) in
+      let vend = skip_value src vstart in
+      if slot >= 0 && starts.(slot) < 0 then begin
+        starts.(slot) <- vstart;
+        stops.(slot) <- vend;
+        decr remaining
+      end;
+      if !remaining > 0 then begin
+        let i = Json.skip_ws src vend in
+        if i < stop && src.[i] = ',' then members (i + 1)
+      end
+    end
+  in
+  members (start + 1)
+
+let find_parts_in_span t ~start ~stop ~parts =
+  (* Scan the (un-indexed) object at [start,stop) for a pre-split dotted
+     path. This is the Unnest hot path, so field names are compared against
+     the raw bytes without decoding (escaped names fall back to the
+     decoder), and callers pre-split the path once per query. *)
+  let src = t.src in
+  let name_matches qstart name =
+    (* qstart at the opening quote *)
+    let n = String.length name in
+    let rec go i j =
+      if j >= n then src.[i] = '"'
+      else
+        match src.[i] with
+        | '\\' -> (
+          (* escaped name: decode properly *)
+          match Json.parse_string_lit src qstart with
+          | decoded, _ -> String.equal decoded name)
+        | c -> Char.equal c name.[j] && go (i + 1) (j + 1)
+    in
+    go (qstart + 1) 0
+  in
+  let rec find_field ostart ostop name =
+    (* linear scan of the object's members for [name] *)
+    let rec members i =
+      let i = Json.skip_ws src i in
+      if i >= ostop || src.[i] = '}' then None
+      else begin
+        let matched = name_matches i name in
+        let after = skip_string src i in
+        let i = Json.skip_ws src after in
+        if src.[i] <> ':' then fail i "expected ':'";
+        let vstart = Json.skip_ws src (i + 1) in
+        let vend = skip_value src vstart in
+        if matched then Some (vstart, vend)
+        else begin
+          let i = Json.skip_ws src vend in
+          if i < ostop && src.[i] = ',' then members (i + 1) else None
+        end
+      end
+    in
+    if src.[ostart] <> '{' then None else members (ostart + 1)
+  and follow ostart ostop = function
+    | [] -> None
+    | [ name ] -> (
+      match find_field ostart ostop name with
+      | Some (vs, ve) ->
+        let kind = match kind_at src vs with Kint -> num_kind src vs ve | k -> k in
+        Some { start = vs; stop = ve; kind }
+      | None -> None)
+    | name :: rest -> (
+      match find_field ostart ostop name with
+      | Some (vs, ve) -> follow vs ve rest
+      | None -> None)
+  in
+  follow start stop parts
+
+let find_in_span t ~start ~stop ~path =
+  find_parts_in_span t ~start ~stop ~parts:(String.split_on_char '.' path)
+
+let byte_size t =
+  let per_obj =
+    Array.fold_left
+      (fun acc o ->
+        match o with
+        | Packed p -> acc + 16 + Bytes.length p.pdata
+        | Wide w -> acc + 16 + (24 * Array.length w.w_entries) + (16 * Array.length w.w_level0))
+      0 t.objects
+  in
+  let interned =
+    Array.fold_left (fun acc p -> acc + String.length p + 16) 0 t.path_names
+  in
+  let shared =
+    match t.shared with
+    | Some m -> Array.fold_left (fun acc (p, _) -> acc + String.length p + 8) 0 m
+    | None -> 0
+  in
+  per_obj + interned + shared

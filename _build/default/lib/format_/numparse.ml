@@ -1,0 +1,65 @@
+open Proteus_model
+
+let fail pos fmt = Perror.parse_error ~what:"number" ~pos fmt
+
+let int_span src ~start ~stop =
+  if start >= stop then fail start "empty int span";
+  let neg = src.[start] = '-' in
+  let i0 = if neg || src.[start] = '+' then start + 1 else start in
+  if i0 >= stop then fail start "sign without digits";
+  let rec go i acc =
+    if i >= stop then acc
+    else
+      let c = src.[i] in
+      if c >= '0' && c <= '9' then go (i + 1) ((acc * 10) + (Char.code c - 48))
+      else fail i "bad digit %C" c
+  in
+  let v = go i0 0 in
+  if neg then -v else v
+
+(* Powers of ten are exact doubles up to 1e15. *)
+let pow10 =
+  [| 1e0; 1e1; 1e2; 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9; 1e10; 1e11; 1e12; 1e13;
+     1e14; 1e15 |]
+
+(* Fast path for "ddd.ddd": accumulate all digits into one integer [m] and
+   divide once by 10^frac_digits — a single rounding, so the result is the
+   correctly-rounded double of the decimal (identical to [float_of_string])
+   as long as [m] stays within 2^53 and the scale within the exact powers.
+   Anything else (exponents, long digit strings) falls back to
+   [float_of_string] on a substring. *)
+let float_span src ~start ~stop =
+  if start >= stop then fail start "empty float span";
+  let neg = src.[start] = '-' in
+  let i0 = if neg || src.[start] = '+' then start + 1 else start in
+  let slow () = float_of_string (String.sub src start (stop - start)) in
+  let rec digits i m count =
+    if i >= stop then Some (i, m, count)
+    else
+      let c = src.[i] in
+      if c >= '0' && c <= '9' then
+        if count >= 15 then None
+        else digits (i + 1) ((m * 10) + (Char.code c - 48)) (count + 1)
+      else Some (i, m, count)
+  in
+  match digits i0 0 0 with
+  | None -> slow ()
+  | Some (i, m, count) ->
+    if i >= stop then begin
+      if count = 0 then fail start "no digits";
+      let v = float_of_int m in
+      if neg then -.v else v
+    end
+    else if src.[i] = '.' then begin
+      match digits (i + 1) m count with
+      | None -> slow ()
+      | Some (j, m, total) ->
+        if j < stop then slow () (* exponent suffix *)
+        else begin
+          let frac_digits = total - count in
+          let v = float_of_int m /. pow10.(frac_digits) in
+          if neg then -.v else v
+        end
+    end
+    else if src.[i] = 'e' || src.[i] = 'E' then slow ()
+    else fail i "bad float character %C" src.[i]

@@ -1,0 +1,14 @@
+(** Allocation-free numeric span parsing.
+
+    Raw-data engines convert text to numbers on every access; a substring
+    allocation per conversion would dominate the generated scan loops, so
+    the common forms (optional sign, digits, decimal fraction) are parsed
+    directly from the byte span. Exponent forms fall back to
+    [float_of_string]. *)
+
+(** [float_span src ~start ~stop] parses the float in [src.[start..stop)].
+    Raises [Perror.Parse_error] on malformed input. *)
+val float_span : string -> start:int -> stop:int -> float
+
+(** [int_span src ~start ~stop] parses a decimal integer. *)
+val int_span : string -> start:int -> stop:int -> int

@@ -1,0 +1,1 @@
+lib/lang/comprehension.ml: Expr Expr_parser Fmt Lexer List Monoid Perror Proteus_calculus Proteus_model Ptype String

@@ -1,0 +1,1 @@
+lib/lang/comprehension.mli: Lexer Proteus_calculus Proteus_model

@@ -1,0 +1,1 @@
+lib/lang/expr_parser.ml: Date_util Expr Fmt Hashtbl Lexer List Proteus_model Value

@@ -1,0 +1,1 @@
+lib/lang/expr_parser.mli: Expr Lexer Proteus_model

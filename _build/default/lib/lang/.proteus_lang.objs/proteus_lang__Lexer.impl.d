@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Array Buffer Fmt List Perror Proteus_model String

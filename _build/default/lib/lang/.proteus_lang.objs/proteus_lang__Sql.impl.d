@@ -1,0 +1,1 @@
+lib/lang/sql.ml: Comprehension Expr Expr_parser Fmt Lexer List Monoid Option Perror Proteus_algebra Proteus_calculus Proteus_model Ptype String

@@ -1,0 +1,1 @@
+lib/lang/sql.mli: Proteus_algebra Proteus_calculus Proteus_model

@@ -1,0 +1,126 @@
+module Calc = Proteus_calculus.Calc
+open Proteus_model
+module C = Lexer.Cursor
+
+let agg_names = [ "sum"; "min"; "max"; "count"; "avg"; "prod"; "all"; "any" ]
+
+let monoid_of_name name : Monoid.primitive =
+  match String.lowercase_ascii name with
+  | "sum" -> Sum
+  | "min" -> Min
+  | "max" -> Max
+  | "count" -> Count
+  | "avg" -> Avg
+  | "prod" -> Prod
+  | "all" -> All
+  | "any" -> Any
+  | other -> Perror.plan_error "unknown aggregate %s" other
+
+let at_agg c =
+  match C.peek c, C.peek2 c with
+  | Lexer.Ident name, Lexer.Punct "(" ->
+    List.mem (String.lowercase_ascii name) agg_names
+  | _ -> false
+
+(* agg ::= name "(" (expr | "*") ")" ["as" ident] *)
+let parse_agg c i =
+  let name = C.ident c in
+  let monoid = monoid_of_name name in
+  C.expect_punct c "(";
+  let expr =
+    if C.accept_punct c "*" then Expr.int 1 else Expr_parser.parse c
+  in
+  C.expect_punct c ")";
+  let label =
+    if C.accept_kw c "as" then C.ident c
+    else Fmt.str "%s_%d" (String.lowercase_ascii name) (i + 1)
+  in
+  (label, monoid, expr)
+
+let parse_agg_list c =
+  let rec go i acc =
+    let a = parse_agg c i in
+    if C.accept_punct c "," then go (i + 1) (a :: acc) else List.rev (a :: acc)
+  in
+  go 0 []
+
+let rec parse_comp c : Calc.t =
+  C.expect_kw c "for";
+  C.expect_punct c "{";
+  let rec quals acc =
+    let q = parse_qual c in
+    if C.accept_punct c "," then quals (q :: acc)
+    else begin
+      C.expect_punct c "}";
+      List.rev (q :: acc)
+    end
+  in
+  let quals = quals [] in
+  let output =
+    if C.accept_kw c "group" then begin
+      C.expect_kw c "by";
+      let rec keys i acc =
+        let e = Expr_parser.parse c in
+        let name =
+          if C.accept_kw c "as" then C.ident c else Expr_parser.auto_field_name i e
+        in
+        if C.accept_punct c "," then keys (i + 1) ((name, e) :: acc)
+        else List.rev ((name, e) :: acc)
+      in
+      let keys = keys 0 [] in
+      C.expect_kw c "yield";
+      Calc.Group { keys; aggs = parse_agg_list c }
+    end
+    else begin
+      C.expect_kw c "yield";
+      match C.peek c with
+      | t when Lexer.is_kw t "bag" ->
+        ignore (C.advance c);
+        Calc.Collect (Ptype.Bag, Expr_parser.parse c)
+      | t when Lexer.is_kw t "set" ->
+        ignore (C.advance c);
+        Calc.Collect (Ptype.Set, Expr_parser.parse c)
+      | t when Lexer.is_kw t "list" ->
+        ignore (C.advance c);
+        Calc.Collect (Ptype.List, Expr_parser.parse c)
+      | _ when at_agg c -> Calc.Aggregate (parse_agg_list c)
+      | t -> C.error c "expected bag/set/list or an aggregate, got %a" Lexer.pp_token t
+    end
+  in
+  { Calc.quals; output }
+
+and parse_qual c : Calc.qual =
+  (* generator when we see: ident <- *)
+  match C.peek c, C.peek2 c with
+  | Lexer.Ident x, Lexer.Punct "<-" ->
+    ignore (C.advance c);
+    ignore (C.advance c);
+    let source =
+      match C.peek c with
+      | Lexer.Punct "(" ->
+        ignore (C.advance c);
+        let sub = parse_comp c in
+        C.expect_punct c ")";
+        Calc.Sub sub
+      | Lexer.Ident _ -> (
+        let first = C.ident c in
+        if C.accept_punct c "." then begin
+          let rec fields e =
+            let e = Expr.Field (e, C.ident c) in
+            if C.accept_punct c "." then fields e else e
+          in
+          Calc.Path (fields (Expr.Var first))
+        end
+        else Calc.Dataset first)
+      | t -> C.error c "expected generator source, got %a" Lexer.pp_token t
+    in
+    Calc.Gen (x, source)
+  | _ -> Calc.Pred (Expr_parser.parse c)
+
+let parse src =
+  let tokens = Lexer.tokenize ~what:"comprehension" src in
+  let c = C.make ~what:"comprehension" tokens in
+  let comp = parse_comp c in
+  if not (C.at_eof c) then C.error c "trailing input after comprehension";
+  Calc.validate comp;
+  comp

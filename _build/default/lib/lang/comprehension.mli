@@ -1,0 +1,30 @@
+(** Parser for the query comprehension syntax exposed to users for queries
+    over nested data (Section 3, Example 3.1).
+
+    Grammar:
+    {v
+    comp   ::= "for" "{" qual ("," qual)* "}" tail
+    qual   ::= ident "<-" source | expr
+    source ::= ident                       -- dataset
+             | expr "." ident ...          -- nested collection path
+             | "(" comp ")"                -- sub-comprehension
+    tail   ::= "yield" ("bag"|"set"|"list") expr
+             | "yield" agg ("," agg)*
+             | "group" "by" named ("," named)* "yield" agg ("," agg)*
+    agg    ::= ("sum"|"min"|"max"|"count"|"avg"|"prod"|"all"|"any")
+               "(" (expr | "*") ")" ["as" ident]
+    named  ::= expr ["as" ident]
+    v} *)
+
+(** [parse src] parses and scope-checks one comprehension.
+    Raises [Perror.Parse_error] / [Perror.Plan_error]. *)
+val parse : string -> Proteus_calculus.Calc.t
+
+(** {1 Shared with the SQL frontend} *)
+
+(** True when the cursor is at an aggregate call like [sum(]. *)
+val at_agg : Lexer.Cursor.cursor -> bool
+
+(** Maps an aggregate name to its monoid.
+    Raises [Perror.Plan_error] on unknown names. *)
+val monoid_of_name : string -> Proteus_model.Monoid.primitive

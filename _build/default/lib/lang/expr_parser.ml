@@ -1,0 +1,212 @@
+open Proteus_model
+module C = Lexer.Cursor
+
+let auto_field_name i (e : Expr.t) =
+  let rec last = function
+    | Expr.Field (_, n) -> Some n
+    | Expr.Var n -> Some n
+    | Expr.Unop (_, e) -> last e
+    | Expr.Const _ | Expr.Binop _ | Expr.If _ | Expr.Record_ctor _ | Expr.Coll_ctor _ ->
+      None
+  in
+  match last e with Some n -> n | None -> Fmt.str "_%d" (i + 1)
+
+(* Dedup positional names: a, b, a -> a, b, a_3 *)
+let dedup_names fields =
+  let seen = Hashtbl.create 8 in
+  List.mapi
+    (fun i (n, e) ->
+      if Hashtbl.mem seen n then (Fmt.str "%s_%d" n (i + 1), e)
+      else begin
+        Hashtbl.replace seen n ();
+        (n, e)
+      end)
+    fields
+
+let rec parse c = parse_or c
+
+and parse_or c =
+  let l = parse_and c in
+  if C.accept_kw c "or" then Expr.Binop (Or, l, parse_or c) else l
+
+and parse_and c =
+  let l = parse_not c in
+  if C.accept_kw c "and" then Expr.Binop (And, l, parse_and c) else l
+
+and parse_not c =
+  if C.accept_kw c "not" then Expr.Unop (Not, parse_not c) else parse_cmp c
+
+and parse_cmp c =
+  let l = parse_add c in
+  match C.peek c with
+  | Lexer.Punct "=" ->
+    ignore (C.advance c);
+    Expr.Binop (Eq, l, parse_add c)
+  | Lexer.Punct "<>" ->
+    ignore (C.advance c);
+    Expr.Binop (Neq, l, parse_add c)
+  | Lexer.Punct "<" ->
+    ignore (C.advance c);
+    Expr.Binop (Lt, l, parse_add c)
+  | Lexer.Punct "<=" ->
+    ignore (C.advance c);
+    Expr.Binop (Le, l, parse_add c)
+  | Lexer.Punct ">" ->
+    ignore (C.advance c);
+    Expr.Binop (Gt, l, parse_add c)
+  | Lexer.Punct ">=" ->
+    ignore (C.advance c);
+    Expr.Binop (Ge, l, parse_add c)
+  | t when Lexer.is_kw t "like" ->
+    ignore (C.advance c);
+    Expr.Binop (Like, l, parse_add c)
+  | t when Lexer.is_kw t "between" ->
+    ignore (C.advance c);
+    let lo = parse_add c in
+    C.expect_kw c "and";
+    let hi = parse_add c in
+    Expr.(Binop (And, Binop (Ge, l, lo), Binop (Le, l, hi)))
+  | t when Lexer.is_kw t "is" ->
+    ignore (C.advance c);
+    let negated = C.accept_kw c "not" in
+    C.expect_kw c "null";
+    let test = Expr.Unop (Is_null, l) in
+    if negated then Expr.Unop (Not, test) else test
+  | _ -> l
+
+and parse_add c =
+  let rec loop l =
+    match C.peek c with
+    | Lexer.Punct "+" ->
+      ignore (C.advance c);
+      loop (Expr.Binop (Add, l, parse_mul c))
+    | Lexer.Punct "-" ->
+      ignore (C.advance c);
+      loop (Expr.Binop (Sub, l, parse_mul c))
+    | Lexer.Punct "||" ->
+      ignore (C.advance c);
+      loop (Expr.Binop (Concat, l, parse_mul c))
+    | _ -> l
+  in
+  loop (parse_mul c)
+
+and parse_mul c =
+  let rec loop l =
+    match C.peek c with
+    | Lexer.Punct "*" ->
+      ignore (C.advance c);
+      loop (Expr.Binop (Mul, l, parse_unary c))
+    | Lexer.Punct "/" ->
+      ignore (C.advance c);
+      loop (Expr.Binop (Div, l, parse_unary c))
+    | Lexer.Punct "%" ->
+      ignore (C.advance c);
+      loop (Expr.Binop (Mod, l, parse_unary c))
+    | _ -> l
+  in
+  loop (parse_unary c)
+
+and parse_unary c =
+  if C.accept_punct c "-" then Expr.Unop (Neg, parse_unary c) else parse_postfix c
+
+and parse_postfix c =
+  let rec fields e =
+    if C.accept_punct c "." then fields (Expr.Field (e, C.ident c)) else e
+  in
+  fields (parse_primary c)
+
+and parse_primary c =
+  match C.peek c with
+  | Lexer.Int_lit i ->
+    ignore (C.advance c);
+    Expr.int i
+  | Lexer.Float_lit f ->
+    ignore (C.advance c);
+    Expr.float f
+  | Lexer.String_lit s ->
+    ignore (C.advance c);
+    Expr.str s
+  | Lexer.Punct "(" ->
+    ignore (C.advance c);
+    parse_paren c
+  | t when Lexer.is_kw t "true" ->
+    ignore (C.advance c);
+    Expr.bool true
+  | t when Lexer.is_kw t "false" ->
+    ignore (C.advance c);
+    Expr.bool false
+  | t when Lexer.is_kw t "null" ->
+    ignore (C.advance c);
+    Expr.null
+  | Lexer.Ident name when Lexer.is_kw (Lexer.Ident name) "date" -> (
+    ignore (C.advance c);
+    (* DATE 'YYYY-MM-DD' is a literal; a bare "date" stays an identifier *)
+    match C.peek c with
+    | Lexer.String_lit s ->
+      ignore (C.advance c);
+      Expr.Const (Value.Date (Date_util.of_string s))
+    | _ -> Expr.Var name)
+  | t when Lexer.is_kw t "if" ->
+    ignore (C.advance c);
+    let cond = parse c in
+    C.expect_kw c "then";
+    let then_ = parse c in
+    C.expect_kw c "else";
+    let else_ = parse c in
+    Expr.If (cond, then_, else_)
+  | t when Lexer.is_kw t "case" ->
+    ignore (C.advance c);
+    C.expect_kw c "when";
+    let cond = parse c in
+    C.expect_kw c "then";
+    let then_ = parse c in
+    C.expect_kw c "else";
+    let else_ = parse c in
+    C.expect_kw c "end";
+    Expr.If (cond, then_, else_)
+  | Lexer.Ident _ -> Expr.Var (C.ident c)
+  | t -> C.error c "expected expression, got %a" Lexer.pp_token t
+
+and parse_paren c =
+  (* Either a grouped expression, or a record constructor:
+     (name: e, ...) or a positional tuple (e1, e2, ...). *)
+  let named =
+    match C.peek c, C.peek2 c with
+    | Lexer.Ident _, Lexer.Punct ":" -> true
+    | _ -> false
+  in
+  if named then begin
+    let rec fields acc =
+      let name = C.ident c in
+      C.expect_punct c ":";
+      let e = parse c in
+      let acc = (name, e) :: acc in
+      if C.accept_punct c "," then fields acc
+      else begin
+        C.expect_punct c ")";
+        List.rev acc
+      end
+    in
+    Expr.Record_ctor (fields [])
+  end
+  else begin
+    let first = parse c in
+    if C.accept_punct c "," then begin
+      let rec elems acc =
+        let e = parse c in
+        let acc = e :: acc in
+        if C.accept_punct c "," then elems acc
+        else begin
+          C.expect_punct c ")";
+          List.rev acc
+        end
+      in
+      let all = first :: elems [] in
+      let fields = List.mapi (fun i e -> (auto_field_name i e, e)) all in
+      Expr.Record_ctor (dedup_names fields)
+    end
+    else begin
+      C.expect_punct c ")";
+      first
+    end
+  end

@@ -1,0 +1,20 @@
+(** Expression grammar shared by the SQL and comprehension frontends.
+
+    Precedence, loosest first: OR; AND; NOT; comparisons (=, <>, <, <=, >,
+    >=, LIKE, BETWEEN..AND, IS [NOT] NULL); additive (+, -, || concat);
+    multiplicative [*], [/], [%]; unary minus; field access (postfix [.name]).
+
+    Primaries: literals, identifiers (yielded as [Expr.Var] — frontends
+    resolve them), parenthesized expressions, record constructors
+    [(name: e, ...)] / [(e1, e2)] (auto-named), [if c then a else b], and
+    SQL [CASE WHEN c THEN a ELSE b END]. *)
+
+open Proteus_model
+
+(** [parse cursor] parses one expression starting at the cursor. *)
+val parse : Lexer.Cursor.cursor -> Expr.t
+
+(** [auto_field_name i e] is the record-field name for the [i]-th positional
+    element of a tuple constructor: the last path component when [e] is a
+    path, else ["_i"]. *)
+val auto_field_name : int -> Expr.t -> string

@@ -1,0 +1,163 @@
+open Proteus_model
+
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Punct of string
+  | Eof
+
+type t = { token : token; pos : int }
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let tokenize ~what src =
+  let n = String.length src in
+  let out = ref [] in
+  let emit token pos = out := { token; pos } :: !out in
+  let rec go i =
+    if i >= n then emit Eof i
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '-' when i + 1 < n && src.[i + 1] = '-' ->
+        (* SQL line comment *)
+        let rec eol j = if j < n && src.[j] <> '\n' then eol (j + 1) else j in
+        go (eol (i + 2))
+      | c when is_ident_start c ->
+        let rec stop j = if j < n && is_ident_char src.[j] then stop (j + 1) else j in
+        let j = stop i in
+        emit (Ident (String.sub src i (j - i))) i;
+        go j
+      | c when c >= '0' && c <= '9' ->
+        let rec stop j is_float =
+          if j < n then
+            match src.[j] with
+            | '0' .. '9' -> stop (j + 1) is_float
+            | '.' when j + 1 < n && src.[j + 1] >= '0' && src.[j + 1] <= '9' ->
+              stop (j + 1) true
+            | 'e' | 'E'
+              when j + 1 < n
+                   && (src.[j + 1] = '-' || src.[j + 1] = '+'
+                      || (src.[j + 1] >= '0' && src.[j + 1] <= '9')) ->
+              stop (j + 2) true
+            | _ -> (j, is_float)
+          else (j, is_float)
+        in
+        let j, is_float = stop i false in
+        let text = String.sub src i (j - i) in
+        if is_float then emit (Float_lit (float_of_string text)) i
+        else emit (Int_lit (int_of_string text)) i;
+        go j
+      | ('\'' | '"') as quote ->
+        let buf = Buffer.create 16 in
+        let rec scan j =
+          if j >= n then Perror.parse_error ~what ~pos:i "unterminated string literal"
+          else if src.[j] = quote then
+            if j + 1 < n && src.[j + 1] = quote then begin
+              Buffer.add_char buf quote;
+              scan (j + 2)
+            end
+            else j + 1
+          else begin
+            Buffer.add_char buf src.[j];
+            scan (j + 1)
+          end
+        in
+        let j = scan (i + 1) in
+        emit (String_lit (Buffer.contents buf)) i;
+        go j
+      | '<' ->
+        if i + 1 < n && src.[i + 1] = '-' then (emit (Punct "<-") i; go (i + 2))
+        else if i + 1 < n && src.[i + 1] = '=' then (emit (Punct "<=") i; go (i + 2))
+        else if i + 1 < n && src.[i + 1] = '>' then (emit (Punct "<>") i; go (i + 2))
+        else (emit (Punct "<") i; go (i + 1))
+      | '>' ->
+        if i + 1 < n && src.[i + 1] = '=' then (emit (Punct ">=") i; go (i + 2))
+        else (emit (Punct ">") i; go (i + 1))
+      | '!' ->
+        if i + 1 < n && src.[i + 1] = '=' then (emit (Punct "<>") i; go (i + 2))
+        else Perror.parse_error ~what ~pos:i "unexpected '!'"
+      | '|' ->
+        if i + 1 < n && src.[i + 1] = '|' then (emit (Punct "||") i; go (i + 2))
+        else Perror.parse_error ~what ~pos:i "unexpected '|'"
+      | ('(' | ')' | '{' | '}' | '[' | ']' | ',' | ';' | ':' | '.' | '=' | '+' | '-'
+        | '*' | '/' | '%') as c ->
+        emit (Punct (String.make 1 c)) i;
+        go (i + 1)
+      | c -> Perror.parse_error ~what ~pos:i "unexpected character %C" c
+  in
+  go 0;
+  Array.of_list (List.rev !out)
+
+let is_kw token kw =
+  match token with
+  | Ident s -> String.lowercase_ascii s = String.lowercase_ascii kw
+  | Int_lit _ | Float_lit _ | String_lit _ | Punct _ | Eof -> false
+
+let pp_token ppf = function
+  | Ident s -> Fmt.pf ppf "identifier %s" s
+  | Int_lit i -> Fmt.pf ppf "integer %d" i
+  | Float_lit f -> Fmt.pf ppf "float %g" f
+  | String_lit s -> Fmt.pf ppf "string %S" s
+  | Punct p -> Fmt.pf ppf "%S" p
+  | Eof -> Fmt.pf ppf "end of input"
+
+module Cursor = struct
+  type cursor = { what : string; tokens : t array; mutable index : int }
+
+  let make ~what tokens = { what; tokens; index = 0 }
+
+  let peek c = c.tokens.(c.index).token
+
+  let peek2 c =
+    if c.index + 1 < Array.length c.tokens then c.tokens.(c.index + 1).token else Eof
+
+  let pos c = c.tokens.(c.index).pos
+
+  let advance c =
+    let t = c.tokens.(c.index).token in
+    if c.index + 1 < Array.length c.tokens then c.index <- c.index + 1;
+    t
+
+  let error c fmt =
+    Fmt.kstr
+      (fun msg ->
+        raise (Perror.Parse_error { what = c.what; pos = pos c; msg }))
+      fmt
+
+  let expect_punct c p =
+    match peek c with
+    | Punct q when String.equal p q -> ignore (advance c)
+    | t -> error c "expected %S, got %a" p pp_token t
+
+  let accept_punct c p =
+    match peek c with
+    | Punct q when String.equal p q ->
+      ignore (advance c);
+      true
+    | _ -> false
+
+  let expect_kw c kw =
+    if is_kw (peek c) kw then ignore (advance c)
+    else error c "expected %s, got %a" kw pp_token (peek c)
+
+  let accept_kw c kw =
+    if is_kw (peek c) kw then begin
+      ignore (advance c);
+      true
+    end
+    else false
+
+  let ident c =
+    match peek c with
+    | Ident s ->
+      ignore (advance c);
+      s
+    | t -> error c "expected identifier, got %a" pp_token t
+
+  let at_eof c = peek c = Eof
+end

@@ -1,0 +1,54 @@
+(** Shared lexer for the two query frontends (SQL and comprehensions).
+
+    Keywords are recognized case-insensitively and yielded as [Ident]; the
+    parsers decide which identifiers are keywords in their grammar. *)
+
+type token =
+  | Ident of string     (** identifiers and keywords, original case *)
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string  (** ['...'] or ["..."] *)
+  | Punct of string
+      (** one of: ( ) { } [ ] , ; : . <- < <= > >= = <> != + - * / % || *)
+  | Eof
+
+type t = { token : token; pos : int }
+
+(** [tokenize what src] lexes the whole input. [what] names the input for
+    error messages. Raises [Perror.Parse_error] on bad characters. *)
+val tokenize : what:string -> string -> t array
+
+(** Case-insensitive keyword test. *)
+val is_kw : token -> string -> bool
+
+val pp_token : Format.formatter -> token -> unit
+
+(** Mutable cursor over a token array. *)
+module Cursor : sig
+  type cursor
+
+  val make : what:string -> t array -> cursor
+  val peek : cursor -> token
+  val peek2 : cursor -> token
+  val pos : cursor -> int
+  val advance : cursor -> token
+
+  (** [error c fmt] raises [Perror.Parse_error] at the current token. *)
+  val error : cursor -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+  (** [expect_punct c p] consumes punctuation [p] or fails. *)
+  val expect_punct : cursor -> string -> unit
+
+  (** [accept_punct c p] consumes [p] if present; returns whether it did. *)
+  val accept_punct : cursor -> string -> bool
+
+  (** [expect_kw c kw] consumes keyword [kw] (case-insensitive) or fails. *)
+  val expect_kw : cursor -> string -> unit
+
+  val accept_kw : cursor -> string -> bool
+
+  (** [ident c] consumes and returns an identifier. *)
+  val ident : cursor -> string
+
+  val at_eof : cursor -> bool
+end

@@ -1,0 +1,314 @@
+module Calc = Proteus_calculus.Calc
+open Proteus_model
+module C = Lexer.Cursor
+
+type resolver = aliases:(string * string) list -> column:string -> string option
+
+type item =
+  | Agg_item of string option * Monoid.primitive * Expr.t
+  | Plain_item of string option * Expr.t
+  | Star
+
+type tref =
+  | Table of { dataset : string; alias : string }
+  | Unnest_ref of { path : Expr.t; alias : string }
+
+let keywords =
+  [ "select"; "from"; "where"; "group"; "by"; "join"; "on"; "as"; "and"; "or"; "not";
+    "like"; "between"; "is"; "null"; "unnest"; "order"; "limit"; "having";
+    "asc"; "desc"; "distinct" ]
+
+let parse_alias c ~default =
+  if C.accept_kw c "as" then C.ident c
+  else
+    match C.peek c with
+    | Lexer.Ident name when not (List.mem (String.lowercase_ascii name) keywords) ->
+      ignore (C.advance c);
+      name
+    | _ -> default
+
+let parse_tref c =
+  if C.accept_kw c "unnest" then begin
+    C.expect_punct c "(";
+    let path = Expr_parser.parse c in
+    C.expect_punct c ")";
+    let alias = parse_alias c ~default:"u" in
+    Unnest_ref { path; alias }
+  end
+  else begin
+    let dataset = C.ident c in
+    let alias = parse_alias c ~default:dataset in
+    Table { dataset; alias }
+  end
+
+let parse_item c =
+  if C.accept_punct c "*" then Star
+  else if Comprehension.at_agg c then begin
+    let name = C.ident c in
+    let monoid = Comprehension.monoid_of_name name in
+    C.expect_punct c "(";
+    let expr = if C.accept_punct c "*" then Expr.int 1 else Expr_parser.parse c in
+    C.expect_punct c ")";
+    let label = if C.accept_kw c "as" then Some (C.ident c) else None in
+    Agg_item (label, monoid, expr)
+  end
+  else begin
+    let e = Expr_parser.parse c in
+    let label = if C.accept_kw c "as" then Some (C.ident c) else None in
+    Plain_item (label, e)
+  end
+
+(* Resolve unqualified column references: any free variable that is not a
+   table alias is treated as a column name and rewritten to alias.column. *)
+let resolve_expr ~resolve ~aliases e =
+  let alias_names = List.map fst aliases in
+  List.fold_left
+    (fun e v ->
+      if List.mem v alias_names then e
+      else
+        match resolve ~aliases ~column:v with
+        | Some owner -> Expr.subst v (Expr.Field (Expr.Var owner, v)) e
+        | None -> Perror.plan_error "cannot resolve column %s" v)
+    e (Expr.free_vars e)
+
+let default_resolver ~aliases ~column:_ =
+  match aliases with [ (alias, _) ] -> Some alias | _ -> None
+
+type statement = {
+  body : Calc.t;
+  having : Expr.t option;
+  order_by : (Expr.t * Proteus_algebra.Plan.sort_dir) list;
+  limit : int option;
+}
+
+let parse_statement ?(resolve = default_resolver) src =
+  let tokens = Lexer.tokenize ~what:"sql" src in
+  let c = C.make ~what:"sql" tokens in
+  C.expect_kw c "select";
+  let distinct = C.accept_kw c "distinct" in
+  let rec items acc =
+    let item = parse_item c in
+    if C.accept_punct c "," then items (item :: acc) else List.rev (item :: acc)
+  in
+  let items = items [] in
+  C.expect_kw c "from";
+  (* table references and explicit JOIN ... ON *)
+  let first = parse_tref c in
+  let rec trefs acc preds =
+    if C.accept_punct c "," then
+      let r = parse_tref c in
+      trefs (r :: acc) preds
+    else if C.accept_kw c "join" then begin
+      let r = parse_tref c in
+      C.expect_kw c "on";
+      let p = Expr_parser.parse c in
+      trefs (r :: acc) (p :: preds)
+    end
+    else (List.rev acc, List.rev preds)
+  in
+  let refs, join_preds = trefs [ first ] [] in
+  let where = if C.accept_kw c "where" then Some (Expr_parser.parse c) else None in
+  let group_by =
+    if C.accept_kw c "group" then begin
+      C.expect_kw c "by";
+      let rec keys acc =
+        let e = Expr_parser.parse c in
+        let name = if C.accept_kw c "as" then Some (C.ident c) else None in
+        if C.accept_punct c "," then keys ((name, e) :: acc)
+        else List.rev ((name, e) :: acc)
+      in
+      Some (keys [])
+    end
+    else None
+  in
+  let having = if C.accept_kw c "having" then Some (Expr_parser.parse c) else None in
+  let order_by =
+    if C.accept_kw c "order" then begin
+      C.expect_kw c "by";
+      let rec keys acc =
+        let e = Expr_parser.parse c in
+        let dir =
+          if C.accept_kw c "desc" then Proteus_algebra.Plan.Desc
+          else begin
+            ignore (C.accept_kw c "asc");
+            Proteus_algebra.Plan.Asc
+          end
+        in
+        if C.accept_punct c "," then keys ((e, dir) :: acc)
+        else List.rev ((e, dir) :: acc)
+      in
+      keys []
+    end
+    else []
+  in
+  let limit =
+    if C.accept_kw c "limit" then begin
+      match C.peek c with
+      | Lexer.Int_lit n ->
+        ignore (C.advance c);
+        Some n
+      | t -> C.error c "expected an integer after LIMIT, got %a" Lexer.pp_token t
+    end
+    else None
+  in
+  ignore (C.accept_punct c ";");
+  if not (C.at_eof c) then C.error c "trailing input after statement";
+  (* alias environment *)
+  let aliases =
+    List.map
+      (function
+        | Table { dataset; alias } -> (alias, dataset)
+        | Unnest_ref { alias; _ } -> (alias, "<unnest>"))
+      refs
+  in
+  (match
+     List.sort_uniq String.compare (List.map fst aliases)
+     |> List.length
+   with
+  | n when n <> List.length aliases -> Perror.plan_error "duplicate table alias"
+  | _ -> ());
+  let resolve_e e = resolve_expr ~resolve ~aliases e in
+  (* generators *)
+  let gens =
+    List.map
+      (function
+        | Table { dataset; alias } -> Calc.Gen (alias, Calc.Dataset dataset)
+        | Unnest_ref { path; alias } -> Calc.Gen (alias, Calc.Path (resolve_e path)))
+      refs
+  in
+  let preds =
+    List.map (fun p -> Calc.Pred (resolve_e p)) join_preds
+    @ (match where with Some p -> [ Calc.Pred (resolve_e p) ] | None -> [])
+  in
+  (* output clause *)
+  let auto i label e =
+    match label with Some n -> n | None -> Expr_parser.auto_field_name i e
+  in
+  let output =
+    match group_by with
+    | Some keys ->
+      let aggs =
+        List.filter_map
+          (function
+            | Agg_item (label, m, e) -> Some (label, m, resolve_e e)
+            | Plain_item _ | Star -> None)
+          items
+      in
+      let plain =
+        List.filter_map
+          (function
+            | Plain_item (label, e) -> Some (label, resolve_e e)
+            | Agg_item _ | Star -> None)
+          items
+      in
+      let keys =
+        List.mapi
+          (fun i (name, e) ->
+            let e = resolve_e e in
+            (* prefer the select-list label of a matching plain item *)
+            let name =
+              match name with
+              | Some n -> n
+              | None -> (
+                match List.find_opt (fun (_, pe) -> Expr.equal pe e) plain with
+                | Some (Some n, _) -> n
+                | Some (None, pe) -> Expr_parser.auto_field_name i pe
+                | None -> Expr_parser.auto_field_name i e)
+            in
+            (name, e))
+          keys
+      in
+      (* every plain select item must be a group key *)
+      List.iter
+        (fun (_, pe) ->
+          if not (List.exists (fun (_, ke) -> Expr.equal ke pe) keys) then
+            Perror.plan_error "selected expression %a is not in GROUP BY" Expr.pp pe)
+        plain;
+      let aggs =
+        List.mapi (fun i (label, m, e) -> (auto i label e, m, e)) aggs
+      in
+      if aggs = [] then Perror.plan_error "GROUP BY without aggregates";
+      Calc.Group { keys; aggs }
+    | None ->
+      let has_agg =
+        List.exists (function Agg_item _ -> true | Plain_item _ | Star -> false) items
+      in
+      if has_agg then begin
+        let aggs =
+          List.mapi
+            (fun i item ->
+              match item with
+              | Agg_item (label, m, e) ->
+                let e = resolve_e e in
+                let name =
+                  match label with Some n -> n | None -> Fmt.str "agg_%d" (i + 1)
+                in
+                (name, m, e)
+              | Plain_item _ | Star ->
+                Perror.plan_error "mixing aggregates and plain columns requires GROUP BY")
+            items
+        in
+        Calc.Aggregate aggs
+      end
+      else begin
+        let coll = if distinct then Ptype.Set else Ptype.Bag in
+        match items with
+        | [ Star ] -> (
+          match aliases with
+          | [ (alias, _) ] -> Calc.Collect (coll, Expr.Var alias)
+          | many ->
+            Calc.Collect
+              (coll, Expr.Record_ctor (List.map (fun (a, _) -> (a, Expr.Var a)) many)))
+        | [ Plain_item (None, e) ] -> Calc.Collect (coll, resolve_e e)
+        | items ->
+          let fields =
+            List.mapi
+              (fun i item ->
+                match item with
+                | Plain_item (label, e) ->
+                  let e = resolve_e e in
+                  (auto i label e, e)
+                | Star -> Perror.plan_error "* cannot be mixed with other select items"
+                | Agg_item _ -> assert false)
+              items
+          in
+          Calc.Collect (coll, Expr.Record_ctor fields)
+      end
+  in
+  let comp = { Calc.quals = gens @ preds; output } in
+  Calc.validate comp;
+  (* names of the statement's output columns (for ORDER BY resolution) *)
+  let output_names =
+    match output with
+    | Calc.Collect (_, Expr.Record_ctor fs) -> List.map fst fs
+    | Calc.Collect _ -> [ "value" ]
+    | Calc.Aggregate aggs -> List.map (fun (n, _, _) -> n) aggs
+    | Calc.Group { keys; aggs } ->
+      List.map fst keys @ List.map (fun (n, _, _) -> n) aggs
+  in
+  (* in ORDER BY / HAVING, a variable naming an output column stays a bare
+     Var marker for the engine; any other variable resolves like a WHERE
+     column reference *)
+  let resolve_order_key e =
+    List.fold_left
+      (fun e v ->
+        if List.mem v output_names then e
+        else
+          match resolve ~aliases ~column:v with
+          | Some owner -> Expr.subst v (Expr.Field (Expr.Var owner, v)) e
+          | None -> Perror.plan_error "cannot resolve column %s" v)
+      e (Expr.free_vars e)
+  in
+  let order_by = List.map (fun (e, d) -> (resolve_order_key e, d)) order_by in
+  let having = Option.map resolve_order_key having in
+  (match having, output with
+  | Some _, Calc.Group _ -> ()
+  | Some _, _ -> Perror.plan_error "HAVING requires GROUP BY"
+  | None, _ -> ());
+  { body = comp; having; order_by; limit }
+
+let parse ?resolve src =
+  let stmt = parse_statement ?resolve src in
+  if stmt.order_by <> [] || stmt.limit <> None || stmt.having <> None then
+    Perror.unsupported "ORDER BY/LIMIT/HAVING requires parse_statement";
+  stmt.body

@@ -1,0 +1,48 @@
+(** SQL frontend.
+
+    For relational queries over flat data, Proteus accepts SQL statements and
+    desugars them to monoid comprehensions (Section 3). The supported subset
+    covers the paper's evaluation workloads:
+
+    {v
+    SELECT item, ...            -- expressions, aggregates, *
+    FROM t [AS] a [, u [AS] b | JOIN u [AS] b ON pred]...
+         [, UNNEST(a.path) [AS] x]      -- extension for nested collections
+    [WHERE pred]
+    [GROUP BY expr [AS name], ...]
+    [HAVING pred]               -- over output-column aliases
+    [ORDER BY expr [ASC|DESC], ...]
+    [LIMIT n]
+    v}
+
+    [SELECT DISTINCT ...] yields a set (the set monoid of the calculus)
+    instead of a bag.
+
+    Unqualified column names are resolved through a resolver callback: given
+    the table aliases in scope (alias, dataset) and a column name, it returns
+    the owning alias (the engine supplies one backed by catalog schemas).
+    Without a resolver, unqualified columns are legal only in single-table
+    queries. *)
+
+type resolver = aliases:(string * string) list -> column:string -> string option
+
+(** A parsed statement: the calculus body plus the ordering clause, which
+    the calculus (a bag world) does not express — the engine applies it as
+    a Sort operator over the translated plan. In [order_by] expressions, a
+    bare [Var n] naming an output column refers to that column; anything
+    else was resolved like a WHERE expression. *)
+type statement = {
+  body : Proteus_calculus.Calc.t;
+  having : Proteus_model.Expr.t option;
+      (** filter over the grouped output; references output aliases *)
+  order_by : (Proteus_model.Expr.t * Proteus_algebra.Plan.sort_dir) list;
+  limit : int option;
+}
+
+val parse_statement : ?resolve:resolver -> string -> statement
+
+(** [parse ?resolve src] parses and desugars one SQL statement into the
+    calculus. Raises [Perror.Parse_error] on syntax errors,
+    [Perror.Plan_error] on unresolvable columns, and [Perror.Unsupported]
+    when the statement has ORDER BY/LIMIT (use {!parse_statement}). *)
+val parse : ?resolve:resolver -> string -> Proteus_calculus.Calc.t

@@ -1,0 +1,1 @@
+lib/model/date_util.mli:

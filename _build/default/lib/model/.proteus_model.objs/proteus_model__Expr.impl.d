@@ -1,0 +1,1 @@
+lib/model/expr.ml: Char Float Fmt Hashtbl Int List Monoid Perror Ptype Stdlib String Value

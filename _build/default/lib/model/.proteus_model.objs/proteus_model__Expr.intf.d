@@ -1,0 +1,1 @@
+lib/model/expr.mli: Format Ptype Value

@@ -1,0 +1,1 @@
+lib/model/monoid.ml: Fmt Perror Ptype Value

@@ -1,0 +1,1 @@
+lib/model/monoid.mli: Format Ptype Value

@@ -1,0 +1,1 @@
+lib/model/perror.ml: Fmt Printexc

@@ -1,0 +1,1 @@
+lib/model/ptype.ml: Fmt List Stdlib String

@@ -1,0 +1,1 @@
+lib/model/ptype.mli: Format

@@ -1,0 +1,1 @@
+lib/model/schema.ml: Fmt List Ptype String

@@ -1,0 +1,1 @@
+lib/model/schema.mli: Format Ptype

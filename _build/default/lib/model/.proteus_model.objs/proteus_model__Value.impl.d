@@ -1,0 +1,1 @@
+lib/model/value.ml: Array Bool Float Fmt Hashtbl Int List Perror Ptype Stdlib String

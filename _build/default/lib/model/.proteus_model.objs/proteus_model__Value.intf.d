@@ -1,0 +1,1 @@
+lib/model/value.mli: Format Ptype

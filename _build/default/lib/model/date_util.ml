@@ -1,0 +1,56 @@
+let fail pos fmt = Perror.parse_error ~what:"date" ~pos fmt
+
+(* days-from-civil (Hinnant): exact for the proleptic Gregorian calendar *)
+let of_ymd ~y ~m ~d =
+  let y = if m <= 2 then y - 1 else y in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let doy = ((153 * (if m > 2 then m - 3 else m + 9)) + 2) / 5 + d - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+let to_ymd days =
+  let z = days + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let d = doy - (((153 * mp) + 2) / 5) + 1 in
+  let m = if mp < 10 then mp + 3 else mp - 9 in
+  ((if m <= 2 then y + 1 else y), m, d)
+
+let days_in_month ~y ~m =
+  match m with
+  | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+  | 4 | 6 | 9 | 11 -> 30
+  | 2 -> if (y mod 4 = 0 && y mod 100 <> 0) || y mod 400 = 0 then 29 else 28
+  | _ -> 0
+
+let of_span src ~start ~stop =
+  (* YYYY-MM-DD, fixed shape *)
+  if stop - start <> 10 || src.[start + 4] <> '-' || src.[start + 7] <> '-' then
+    fail start "expected YYYY-MM-DD";
+  let num a b =
+    let rec go i acc =
+      if i >= b then acc
+      else
+        let c = src.[i] in
+        if c >= '0' && c <= '9' then go (i + 1) ((acc * 10) + (Char.code c - 48))
+        else fail i "bad digit %C in date" c
+    in
+    go a 0
+  in
+  let y = num start (start + 4) in
+  let m = num (start + 5) (start + 7) in
+  let d = num (start + 8) (start + 10) in
+  if m < 1 || m > 12 then fail start "month %d out of range" m;
+  if d < 1 || d > days_in_month ~y ~m then fail start "day %d out of range" d;
+  of_ymd ~y ~m ~d
+
+let of_string s = of_span s ~start:0 ~stop:(String.length s)
+
+let to_string days =
+  let y, m, d = to_ymd days in
+  Printf.sprintf "%04d-%02d-%02d" y m d

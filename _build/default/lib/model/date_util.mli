@@ -1,0 +1,20 @@
+(** Calendar dates.
+
+    The data model stores a date as days since 1970-01-01 ([Value.Date]).
+    These helpers convert to and from ISO-8601 [YYYY-MM-DD] strings — the
+    form dates take in CSV and JSON files — using the proleptic Gregorian
+    calendar (Howard Hinnant's civil-days algorithm). *)
+
+(** [of_string s] parses [YYYY-MM-DD].
+    Raises [Perror.Parse_error] on malformed input or impossible dates. *)
+val of_string : string -> int
+
+(** [of_span src ~start ~stop] parses without allocating a substring. *)
+val of_span : string -> start:int -> stop:int -> int
+
+val to_string : int -> string
+
+(** [of_ymd ~y ~m ~d] — no range validation beyond month/day shape. *)
+val of_ymd : y:int -> m:int -> d:int -> int
+
+val to_ymd : int -> int * int * int

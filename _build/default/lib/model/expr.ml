@@ -1,0 +1,316 @@
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+  | Concat
+  | Like
+
+type unop = Neg | Not | Is_null | To_float | To_int
+
+type t =
+  | Const of Value.t
+  | Var of string
+  | Field of t * string
+  | Binop of binop * t * t
+  | Unop of unop * t
+  | If of t * t * t
+  | Record_ctor of (string * t) list
+  | Coll_ctor of Ptype.coll * t list
+
+let int i = Const (Value.Int i)
+let float f = Const (Value.Float f)
+let str s = Const (Value.String s)
+let bool b = Const (Value.Bool b)
+let null = Const Value.Null
+let var v = Var v
+
+let path v fields = List.fold_left (fun acc f -> Field (acc, f)) (Var v) fields
+
+let ( &&& ) a b = Binop (And, a, b)
+let ( ||| ) a b = Binop (Or, a, b)
+let ( ==. ) a b = Binop (Eq, a, b)
+let ( <. ) a b = Binop (Lt, a, b)
+let ( <=. ) a b = Binop (Le, a, b)
+let ( >. ) a b = Binop (Gt, a, b)
+let ( >=. ) a b = Binop (Ge, a, b)
+let ( +. ) a b = Binop (Add, a, b)
+let ( -. ) a b = Binop (Sub, a, b)
+let ( *. ) a b = Binop (Mul, a, b)
+let ( /. ) a b = Binop (Div, a, b)
+
+let rec equal a b =
+  match a, b with
+  | Const va, Const vb -> Value.equal va vb
+  | Var a, Var b -> String.equal a b
+  | Field (ea, na), Field (eb, nb) -> String.equal na nb && equal ea eb
+  | Binop (oa, la, ra), Binop (ob, lb, rb) -> oa = ob && equal la lb && equal ra rb
+  | Unop (oa, ea), Unop (ob, eb) -> oa = ob && equal ea eb
+  | If (ca, ta, ea), If (cb, tb, eb) -> equal ca cb && equal ta tb && equal ea eb
+  | Record_ctor fa, Record_ctor fb ->
+    List.length fa = List.length fb
+    && List.for_all2 (fun (na, ea) (nb, eb) -> String.equal na nb && equal ea eb) fa fb
+  | Coll_ctor (ca, la), Coll_ctor (cb, lb) ->
+    ca = cb && List.length la = List.length lb && List.for_all2 equal la lb
+  | (Const _ | Var _ | Field _ | Binop _ | Unop _ | If _ | Record_ctor _ | Coll_ctor _), _
+    ->
+    false
+
+let compare = Stdlib.compare
+
+let rec hash = function
+  | Const v -> Value.hash v
+  | Var v -> Hashtbl.hash v lxor 0x51
+  | Field (e, n) -> (hash e * 31) + Hashtbl.hash n
+  | Binop (o, l, r) -> (Hashtbl.hash o * 7) + (hash l * 31) + hash r
+  | Unop (o, e) -> (Hashtbl.hash o * 13) + hash e
+  | If (c, t, e) -> (hash c * 31) + (hash t * 7) + hash e
+  | Record_ctor fs -> List.fold_left (fun acc (n, e) -> (acc * 31) + Hashtbl.hash n + hash e) 3 fs
+  | Coll_ctor (c, es) -> List.fold_left (fun acc e -> (acc * 31) + hash e) (Hashtbl.hash c) es
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "=" | Neq -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "and" | Or -> "or" | Concat -> "||" | Like -> "like"
+
+let unop_name = function
+  | Neg -> "-" | Not -> "not" | Is_null -> "is_null"
+  | To_float -> "float" | To_int -> "int"
+
+let rec pp ppf = function
+  | Const v -> Value.pp ppf v
+  | Var v -> Fmt.string ppf v
+  | Field (e, n) -> Fmt.pf ppf "%a.%s" pp e n
+  | Binop (o, l, r) -> Fmt.pf ppf "(%a %s %a)" pp l (binop_name o) pp r
+  | Unop (o, e) -> Fmt.pf ppf "%s(%a)" (unop_name o) pp e
+  | If (c, t, e) -> Fmt.pf ppf "(if %a then %a else %a)" pp c pp t pp e
+  | Record_ctor fs ->
+    let pp_field ppf (n, e) = Fmt.pf ppf "%s: %a" n pp e in
+    Fmt.pf ppf "<%a>" Fmt.(list ~sep:(any ", ") pp_field) fs
+  | Coll_ctor (c, es) ->
+    Fmt.pf ppf "%s[%a]"
+      (match c with Ptype.Bag -> "bag" | Ptype.Set -> "set" | Ptype.List -> "list")
+      Fmt.(list ~sep:(any ", ") pp)
+      es
+
+let to_string e = Fmt.str "%a" pp e
+
+let rec fold_vars acc = function
+  | Const _ -> acc
+  | Var v -> if List.mem v acc then acc else v :: acc
+  | Field (e, _) | Unop (_, e) -> fold_vars acc e
+  | Binop (_, l, r) -> fold_vars (fold_vars acc l) r
+  | If (c, t, e) -> fold_vars (fold_vars (fold_vars acc c) t) e
+  | Record_ctor fs -> List.fold_left (fun acc (_, e) -> fold_vars acc e) acc fs
+  | Coll_ctor (_, es) -> List.fold_left fold_vars acc es
+
+let free_vars e = List.rev (fold_vars [] e)
+
+let rec subst name replacement e =
+  match e with
+  | Const _ -> e
+  | Var v -> if String.equal v name then replacement else e
+  | Field (e, n) -> Field (subst name replacement e, n)
+  | Binop (o, l, r) -> Binop (o, subst name replacement l, subst name replacement r)
+  | Unop (o, e) -> Unop (o, subst name replacement e)
+  | If (c, t, e) ->
+    If (subst name replacement c, subst name replacement t, subst name replacement e)
+  | Record_ctor fs -> Record_ctor (List.map (fun (n, e) -> (n, subst name replacement e)) fs)
+  | Coll_ctor (c, es) -> Coll_ctor (c, List.map (subst name replacement) es)
+
+let rename old_name new_name e = subst old_name (Var new_name) e
+
+let fields_of_var name e =
+  (* Collect root fields accessed as [Var name].f...; a bare [Var name] in a
+     non-Field position means the whole record escapes. *)
+  let whole = ref false in
+  let fields = ref [] in
+  let add f = if not (List.mem f !fields) then fields := f :: !fields in
+  let rec go = function
+    | Const _ -> ()
+    | Var v -> if String.equal v name then whole := true
+    | Field (Var v, f) -> if String.equal v name then add f else ()
+    | Field (e, _) -> go e
+    | Binop (_, l, r) -> go l; go r
+    | Unop (_, e) -> go e
+    | If (c, t, e) -> go c; go t; go e
+    | Record_ctor fs -> List.iter (fun (_, e) -> go e) fs
+    | Coll_ctor (_, es) -> List.iter go es
+  in
+  go e;
+  if !whole then None else Some (List.rev !fields)
+
+let rec conjuncts = function
+  | Binop (And, l, r) -> conjuncts l @ conjuncts r
+  | Const (Value.Bool true) -> []
+  | e -> [ e ]
+
+let conjoin = function
+  | [] -> Const (Value.Bool true)
+  | e :: rest -> List.fold_left (fun acc e -> Binop (And, acc, e)) e rest
+
+type env = (string * Value.t) list
+
+let like ~pattern s =
+  (* Classic backtracking matcher for SQL LIKE: '%' matches any run, '_'
+     matches one character. *)
+  let np = String.length pattern and ns = String.length s in
+  let rec go pi si =
+    if pi >= np then si >= ns
+    else
+      match pattern.[pi] with
+      | '%' ->
+        let rec try_at k = k <= ns && (go (pi + 1) k || try_at (k + 1)) in
+        try_at si
+      | '_' -> si < ns && go (pi + 1) (si + 1)
+      | c -> si < ns && Char.equal s.[si] c && go (pi + 1) (si + 1)
+  in
+  go 0 0
+
+let num2 op_i op_f l r : Value.t =
+  match (l : Value.t), (r : Value.t) with
+  | Int a, Int b -> Int (op_i a b)
+  | Float a, Float b -> Float (op_f a b)
+  | Int a, Float b -> Float (op_f (float_of_int a) b)
+  | Float a, Int b -> Float (op_f a (float_of_int b))
+  | Null, _ | _, Null -> Null
+  | a, b -> Perror.type_error "arithmetic over %a and %a" Value.pp a Value.pp b
+
+let cmp op l r : Value.t =
+  match (l : Value.t), (r : Value.t) with
+  | Null, _ | _, Null -> Bool false
+  | Int a, Float b -> Bool (op (Float.compare (float_of_int a) b) 0)
+  | Float a, Int b -> Bool (op (Float.compare a (float_of_int b)) 0)
+  (* dates are epoch-day counts; they compare with plain integers *)
+  | Date a, Int b | Int a, Date b -> Bool (op (Int.compare a b) 0)
+  | a, b -> Bool (op (Value.compare a b) 0)
+
+let rec eval env e : Value.t =
+  match e with
+  | Const v -> v
+  | Var v -> (
+    match List.assoc_opt v env with
+    | Some value -> value
+    | None -> Perror.plan_error "unbound variable %s" v)
+  | Field (e, n) -> (
+    match eval env e with
+    | Value.Null -> Value.Null
+    | Value.Record _ as r -> ( match Value.field_opt r n with Some v -> v | None -> Value.Null)
+    | v -> Perror.type_error "field %s of non-record %a" n Value.pp v)
+  | Binop (op, l, r) -> eval_binop env op l r
+  | Unop (op, e) -> apply_unop op (eval env e)
+  | If (c, t, e) -> if eval_pred env c then eval env t else eval env e
+  | Record_ctor fs -> Value.record (List.map (fun (n, e) -> (n, eval env e)) fs)
+  | Coll_ctor (c, es) -> Monoid.collect c (List.map (eval env) es)
+
+and apply_unop op v : Value.t =
+  match op, v with
+  | Neg, Value.Int i -> Value.Int (-i)
+  | Neg, Value.Float f -> Value.Float (Stdlib.( ~-. ) f)
+  | Neg, Value.Null -> Value.Null
+  | Neg, v -> Perror.type_error "negation of %a" Value.pp v
+  | Not, Value.Bool b -> Value.Bool (not b)
+  | Not, Value.Null -> Value.Bool true
+  | Not, v -> Perror.type_error "not of %a" Value.pp v
+  | Is_null, v -> Value.Bool (Value.is_null v)
+  | To_float, Value.Null -> Value.Null
+  | To_float, v -> Value.Float (Value.to_float v)
+  | To_int, Value.Null -> Value.Null
+  | To_int, Value.Float f -> Value.Int (int_of_float f)
+  | To_int, Value.Int i -> Value.Int i
+  | To_int, Value.String s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some i -> Value.Int i
+    | None -> Perror.type_error "cannot convert %S to int" s)
+  | To_int, v -> Perror.type_error "to_int of %a" Value.pp v
+
+and apply_binop op l r : Value.t =
+  match op with
+  | And -> Value.Bool (value_truth l && value_truth r)
+  | Or -> Value.Bool (value_truth l || value_truth r)
+  | Add -> num2 ( + ) Stdlib.( +. ) l r
+  | Sub -> num2 ( - ) Stdlib.( -. ) l r
+  | Mul -> num2 ( * ) Stdlib.( *. ) l r
+  | Div -> (
+    match l, r with
+    | _, Value.Int 0 -> Perror.type_error "division by zero"
+    | l, r -> num2 ( / ) Stdlib.( /. ) l r)
+  | Mod -> (
+    match l, r with
+    | Value.Int a, Value.Int b ->
+      if b = 0 then Perror.type_error "modulo by zero" else Value.Int (a mod b)
+    | Value.Null, _ | _, Value.Null -> Value.Null
+    | a, b -> Perror.type_error "mod over %a and %a" Value.pp a Value.pp b)
+  | Eq -> (
+    match l, r with
+    | Value.Null, _ | _, Value.Null -> Value.Bool false
+    | a, b ->
+      Value.Bool
+        (Value.compare a b = 0
+        ||
+        match a, b with
+        | Value.Int i, Value.Float f | Value.Float f, Value.Int i ->
+          Float.equal (float_of_int i) f
+        | Value.Date d, Value.Int i | Value.Int i, Value.Date d -> d = i
+        | _ -> false))
+  | Neq -> (
+    match apply_binop Eq l r with Value.Bool b -> Value.Bool (not b) | v -> v)
+  | Lt -> cmp ( < ) l r
+  | Le -> cmp ( <= ) l r
+  | Gt -> cmp ( > ) l r
+  | Ge -> cmp ( >= ) l r
+  | Concat -> (
+    match l, r with
+    | Value.String a, Value.String b -> Value.String (a ^ b)
+    | Value.Null, _ | _, Value.Null -> Value.Null
+    | a, b -> Perror.type_error "concat over %a and %a" Value.pp a Value.pp b)
+  | Like -> (
+    match l, r with
+    | Value.String s, Value.String pattern -> Value.Bool (like ~pattern s)
+    | Value.Null, _ | _, Value.Null -> Value.Bool false
+    | a, b -> Perror.type_error "like over %a and %a" Value.pp a Value.pp b)
+
+and value_truth = function
+  | Value.Bool b -> b
+  | Value.Null -> false
+  | v -> Perror.type_error "predicate evaluated to %a" Value.pp v
+
+and eval_binop env op l r : Value.t =
+  match op with
+  | And ->
+    (* short-circuit *)
+    if eval_pred env l then Value.Bool (eval_pred env r) else Value.Bool false
+  | Or -> if eval_pred env l then Value.Bool true else Value.Bool (eval_pred env r)
+  | op -> apply_binop op (eval env l) (eval env r)
+
+and eval_pred env e =
+  match eval env e with
+  | Value.Bool b -> b
+  | Value.Null -> false
+  | v -> Perror.type_error "predicate evaluated to %a" Value.pp v
+
+let rec type_of tenv e : Ptype.t =
+  match e with
+  | Const v -> Value.type_of v
+  | Var v -> (
+    match List.assoc_opt v tenv with
+    | Some t -> t
+    | None -> Perror.type_error "unbound variable %s in type environment" v)
+  | Field (e, n) -> (
+    match Ptype.unwrap_option (type_of tenv e) with
+    | Ptype.Record _ as r -> Ptype.field_type r n
+    | t -> Perror.type_error "field %s of non-record type %a" n Ptype.pp t)
+  | Binop ((Add | Sub | Mul | Div | Mod), l, r) -> (
+    match Ptype.unwrap_option (type_of tenv l), Ptype.unwrap_option (type_of tenv r) with
+    | Ptype.Int, Ptype.Int -> Ptype.Int
+    | (Ptype.Int | Ptype.Float), (Ptype.Int | Ptype.Float) -> Ptype.Float
+    | a, b -> Perror.type_error "arithmetic over %a and %a" Ptype.pp a Ptype.pp b)
+  | Binop ((Eq | Neq | Lt | Le | Gt | Ge | And | Or | Like), _, _) -> Ptype.Bool
+  | Binop (Concat, _, _) -> Ptype.String
+  | Unop (Neg, e) -> type_of tenv e
+  | Unop (Not, _) | Unop (Is_null, _) -> Ptype.Bool
+  | Unop (To_float, _) -> Ptype.Float
+  | Unop (To_int, _) -> Ptype.Int
+  | If (_, t, _) -> type_of tenv t
+  | Record_ctor fs -> Ptype.Record (List.map (fun (n, e) -> (n, type_of tenv e)) fs)
+  | Coll_ctor (c, []) -> Ptype.Collection (c, Ptype.Option Ptype.Int)
+  | Coll_ctor (c, e :: _) -> Ptype.Collection (c, type_of tenv e)

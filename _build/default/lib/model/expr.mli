@@ -1,0 +1,111 @@
+(** Algebraic expressions shared by the calculus, the algebra, the expression
+    generators of the compiled engine, and the cache fingerprints.
+
+    Expressions are evaluated against an environment binding the variables
+    introduced by plan operators (scans bind one variable per input "tuple",
+    unnests bind one variable per nested element). *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+  | Concat                          (** string concatenation *)
+  | Like                            (** SQL LIKE with [%] and [_] wildcards *)
+
+type unop = Neg | Not | Is_null | To_float | To_int
+
+type t =
+  | Const of Value.t
+  | Var of string
+  | Field of t * string             (** path step: [e.name] *)
+  | Binop of binop * t * t
+  | Unop of unop * t
+  | If of t * t * t
+  | Record_ctor of (string * t) list
+  | Coll_ctor of Ptype.coll * t list
+
+(** {1 Construction helpers} *)
+
+val int : int -> t
+val float : float -> t
+val str : string -> t
+val bool : bool -> t
+val null : t
+val var : string -> t
+
+(** [path v fields] is [v.f1.f2...] *)
+val path : string -> string list -> t
+
+val ( &&& ) : t -> t -> t
+val ( ||| ) : t -> t -> t
+val ( ==. ) : t -> t -> t
+val ( <. ) : t -> t -> t
+val ( <=. ) : t -> t -> t
+val ( >. ) : t -> t -> t
+val ( >=. ) : t -> t -> t
+val ( +. ) : t -> t -> t
+val ( -. ) : t -> t -> t
+val ( *. ) : t -> t -> t
+val ( /. ) : t -> t -> t
+
+(** {1 Analysis} *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Free variables of the expression. *)
+val free_vars : t -> string list
+
+(** [subst name replacement e] substitutes [replacement] for [Var name]. *)
+val subst : string -> t -> t -> t
+
+(** [rename old_name new_name e] renames a free variable. *)
+val rename : string -> string -> t -> t
+
+(** [fields_of_var name e] is the set of root field names accessed on
+    variable [name] (e.g. [x.a.b] contributes ["a"]). Used for projection
+    pushdown to scans. Returns [None] when the variable is used whole
+    (so all fields are needed). *)
+val fields_of_var : string -> t -> string list option
+
+(** [conjuncts e] splits a predicate on top-level [And]s. *)
+val conjuncts : t -> t list
+
+(** [conjoin es] rebuilds a conjunction ([Const true] for the empty list). *)
+val conjoin : t list -> t
+
+(** {1 Evaluation} *)
+
+type env = (string * Value.t) list
+
+(** [eval env e] evaluates [e]. Arithmetic widens Int to Float when mixed.
+    [Null] propagates through arithmetic; comparisons involving [Null]
+    evaluate to [Bool false] (SQL-like, collapsed to two-valued logic);
+    [Is_null] observes nulls. Raises [Perror.Type_error] on genuine type
+    mismatches and [Perror.Plan_error] on unbound variables. *)
+val eval : env -> t -> Value.t
+
+(** [eval_pred env e] evaluates a predicate; [Null] counts as false. *)
+val eval_pred : env -> t -> bool
+
+(** [apply_binop op l r] applies a non-logical operator to already-evaluated
+    operands with exactly the semantics of {!eval} (null propagation,
+    numeric widening). [And]/[Or] are treated strictly (no short-circuit) —
+    compiled code handles those itself. Exposed so the staged expression
+    compiler's boxed fallback agrees with the interpreter bit-for-bit. *)
+val apply_binop : binop -> Value.t -> Value.t -> Value.t
+
+(** [apply_unop op v] — same contract as {!apply_binop}. *)
+val apply_unop : unop -> Value.t -> Value.t
+
+(** [like ~pattern s] implements SQL LIKE matching. *)
+val like : pattern:string -> string -> bool
+
+(** {1 Typing} *)
+
+(** [type_of tenv e] infers the type of [e] under variable typing [tenv].
+    Raises [Perror.Type_error] on mismatch. *)
+val type_of : (string * Ptype.t) list -> t -> Ptype.t

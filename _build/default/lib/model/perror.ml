@@ -1,0 +1,33 @@
+(* Errors shared across the whole engine. Kept in one place so that every
+   layer (parser, optimizer, plug-ins, executors) reports failures uniformly
+   and tests can assert on them. *)
+
+exception Type_error of string
+(** A value did not have the type an operation required. *)
+
+exception Parse_error of { what : string; pos : int; msg : string }
+(** Raised by the query-language parsers and the CSV/JSON readers.
+    [what] names the input (query text, file name); [pos] is a byte offset. *)
+
+exception Plan_error of string
+(** An algebraic plan is malformed (unbound variable, arity mismatch...). *)
+
+exception Unsupported of string
+(** A feature combination the engine deliberately does not implement. *)
+
+let type_error fmt = Fmt.kstr (fun s -> raise (Type_error s)) fmt
+
+let plan_error fmt = Fmt.kstr (fun s -> raise (Plan_error s)) fmt
+
+let parse_error ~what ~pos fmt =
+  Fmt.kstr (fun msg -> raise (Parse_error { what; pos; msg })) fmt
+
+let unsupported fmt = Fmt.kstr (fun s -> raise (Unsupported s)) fmt
+
+let pp_exn ppf = function
+  | Type_error m -> Fmt.pf ppf "type error: %s" m
+  | Parse_error { what; pos; msg } ->
+    Fmt.pf ppf "parse error in %s at byte %d: %s" what pos msg
+  | Plan_error m -> Fmt.pf ppf "plan error: %s" m
+  | Unsupported m -> Fmt.pf ppf "unsupported: %s" m
+  | e -> Fmt.pf ppf "%s" (Printexc.to_string e)

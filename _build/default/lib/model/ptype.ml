@@ -1,0 +1,76 @@
+type coll = Bag | Set | List
+
+type t =
+  | Bool
+  | Int
+  | Float
+  | String
+  | Date
+  | Record of (string * t) list
+  | Collection of coll * t
+  | Option of t
+
+let rec equal a b =
+  match a, b with
+  | Bool, Bool | Int, Int | Float, Float | String, String | Date, Date -> true
+  | Record fa, Record fb ->
+    List.length fa = List.length fb
+    && List.for_all2 (fun (na, ta) (nb, tb) -> String.equal na nb && equal ta tb) fa fb
+  | Collection (ca, ta), Collection (cb, tb) -> ca = cb && equal ta tb
+  | Option ta, Option tb -> equal ta tb
+  | (Bool | Int | Float | String | Date | Record _ | Collection _ | Option _), _ -> false
+
+let compare = Stdlib.compare
+
+let coll_name = function Bag -> "bag" | Set -> "set" | List -> "list"
+
+let rec pp ppf = function
+  | Bool -> Fmt.string ppf "bool"
+  | Int -> Fmt.string ppf "int"
+  | Float -> Fmt.string ppf "float"
+  | String -> Fmt.string ppf "string"
+  | Date -> Fmt.string ppf "date"
+  | Record fields ->
+    let pp_field ppf (n, t) = Fmt.pf ppf "%s: %a" n pp t in
+    Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") pp_field) fields
+  | Collection (c, t) -> Fmt.pf ppf "%s(%a)" (coll_name c) pp t
+  | Option t -> Fmt.pf ppf "%a?" pp t
+
+let to_string t = Fmt.str "%a" pp t
+
+let field_type t name =
+  match t with
+  | Record fields ->
+    (try List.assoc name fields
+     with Not_found ->
+       invalid_arg (Fmt.str "Ptype.field_type: no field %s in %a" name pp t))
+  | Bool | Int | Float | String | Date | Collection _ | Option _ ->
+    invalid_arg (Fmt.str "Ptype.field_type: %a is not a record" pp t)
+
+let field_index t name =
+  match t with
+  | Record fields ->
+    let rec go i = function
+      | [] -> invalid_arg (Fmt.str "Ptype.field_index: no field %s in %a" name pp t)
+      | (n, _) :: rest -> if String.equal n name then i else go (i + 1) rest
+    in
+    go 0 fields
+  | Bool | Int | Float | String | Date | Collection _ | Option _ ->
+    invalid_arg (Fmt.str "Ptype.field_index: %a is not a record" pp t)
+
+let is_primitive = function
+  | Bool | Int | Float | String | Date -> true
+  | Record _ | Collection _ | Option _ -> false
+
+let unwrap_option = function Option t -> t | t -> t
+
+let element_type = function
+  | Collection (_, t) -> t
+  | t -> invalid_arg (Fmt.str "Ptype.element_type: %a is not a collection" pp t)
+
+let binary_width = function
+  | Bool -> 1
+  | Int | Float | Date -> 8
+  | String -> 16
+  | (Record _ | Collection _ | Option _) as t ->
+    invalid_arg (Fmt.str "Ptype.binary_width: %a is not primitive" pp t)

@@ -1,0 +1,53 @@
+(** Types of the Proteus data model.
+
+    The model is richer than the relational one (Section 3 of the paper): it
+    supports arbitrary nestings of records and collections, where collections
+    carry a monoid kind (bag, set, list). All supported data formats — CSV,
+    JSON, binary row/column — map their values into this single model. *)
+
+(** Collection kinds, mirroring the collection monoids of the monoid
+    comprehension calculus. *)
+type coll =
+  | Bag   (** unordered, duplicates allowed — the default query output *)
+  | Set   (** unordered, duplicates removed *)
+  | List  (** ordered, duplicates allowed — JSON arrays map here *)
+
+type t =
+  | Bool
+  | Int
+  | Float
+  | String
+  | Date                          (** days since epoch, stored as int *)
+  | Record of (string * t) list   (** field order is significant for layout *)
+  | Collection of coll * t
+  | Option of t                   (** nullable: outer joins / missing JSON fields *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** [field_type t name] is the type of field [name] of record type [t].
+    Raises [Invalid_argument] if [t] is not a record or lacks the field. *)
+val field_type : t -> string -> t
+
+(** [field_index t name] is the position of field [name] in record type [t]. *)
+val field_index : t -> string -> int
+
+(** [is_primitive t] holds for [Bool], [Int], [Float], [String] and [Date]. *)
+val is_primitive : t -> bool
+
+(** [unwrap_option t] strips one [Option] layer if present. *)
+val unwrap_option : t -> t
+
+(** [element_type t] is the element type of a collection type.
+    Raises [Invalid_argument] otherwise. *)
+val element_type : t -> t
+
+(** Width in bytes of a primitive value in the binary row format.
+    Strings are stored as (offset,len) pairs, hence 16 bytes.
+    Raises [Invalid_argument] on non-primitive types. *)
+val binary_width : t -> int

@@ -1,0 +1,54 @@
+type field = { name : string; ty : Ptype.t }
+
+type t = { fields : field list }
+
+let make l = { fields = List.map (fun (name, ty) -> { name; ty }) l }
+
+let fields t = t.fields
+
+let field_names t = List.map (fun f -> f.name) t.fields
+
+let arity t = List.length t.fields
+
+let find t name = List.find (fun f -> String.equal f.name name) t.fields
+
+let mem t name = List.exists (fun f -> String.equal f.name name) t.fields
+
+let index t name =
+  let rec go i = function
+    | [] -> raise Not_found
+    | f :: rest -> if String.equal f.name name then i else go (i + 1) rest
+  in
+  go 0 t.fields
+
+let project t names = { fields = List.map (find t) names }
+
+let to_type t = Ptype.Record (List.map (fun f -> (f.name, f.ty)) t.fields)
+
+let of_type = function
+  | Ptype.Record fs -> make fs
+  | ty -> invalid_arg (Fmt.str "Schema.of_type: %a is not a record" Ptype.pp ty)
+
+let is_flat t = List.for_all (fun f -> Ptype.is_primitive (Ptype.unwrap_option f.ty)) t.fields
+
+let row_width t =
+  List.fold_left
+    (fun acc f -> acc + Ptype.binary_width (Ptype.unwrap_option f.ty))
+    0 t.fields
+
+let field_offset t name =
+  let rec go off = function
+    | [] -> raise Not_found
+    | f :: rest ->
+      if String.equal f.name name then off
+      else go (off + Ptype.binary_width (Ptype.unwrap_option f.ty)) rest
+  in
+  go 0 t.fields
+
+let equal a b =
+  List.length a.fields = List.length b.fields
+  && List.for_all2
+       (fun fa fb -> String.equal fa.name fb.name && Ptype.equal fa.ty fb.ty)
+       a.fields b.fields
+
+let pp ppf t = Ptype.pp ppf (to_type t)

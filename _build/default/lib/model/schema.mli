@@ -1,0 +1,54 @@
+(** Dataset schemas.
+
+    A schema describes the type of one element ("tuple", JSON object, row) of
+    a dataset, plus per-field ordering metadata used by the binary formats. *)
+
+type field = {
+  name : string;
+  ty : Ptype.t;
+}
+
+type t
+
+val make : (string * Ptype.t) list -> t
+
+val fields : t -> field list
+
+val field_names : t -> string list
+
+val arity : t -> int
+
+(** [find t name] is the field named [name].
+    @raise Not_found when absent. *)
+val find : t -> string -> field
+
+val mem : t -> string -> bool
+
+(** [index t name] is the position of [name].
+    @raise Not_found when absent. *)
+val index : t -> string -> int
+
+(** [project t names] restricts the schema to [names], keeping their order in
+    [names]. Raises [Not_found] on unknown fields. *)
+val project : t -> string list -> t
+
+(** The record type of one dataset element. *)
+val to_type : t -> Ptype.t
+
+(** [of_type ty] views a record type as a schema.
+    Raises [Invalid_argument] if [ty] is not a record. *)
+val of_type : Ptype.t -> t
+
+(** [is_flat t] holds when every field is primitive — i.e. the dataset is
+    relational (CSV / binary). *)
+val is_flat : t -> bool
+
+(** Byte width of one row in the binary row format (sum of field widths).
+    Only valid for flat schemas. *)
+val row_width : t -> int
+
+(** [field_offset t name] is the byte offset of a field within a binary row. *)
+val field_offset : t -> string -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,165 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Date of int
+  | Record of (string * t) array
+  | Coll of Ptype.coll * t list
+
+let rec equal a b =
+  match a, b with
+  | Null, Null -> true
+  | Bool a, Bool b -> a = b
+  | Int a, Int b -> a = b
+  | Float a, Float b -> Float.equal a b
+  | String a, String b -> String.equal a b
+  | Date a, Date b -> a = b
+  | Record fa, Record fb ->
+    Array.length fa = Array.length fb
+    && (let n = Array.length fa in
+        let rec go i =
+          i >= n
+          || (let na, va = fa.(i) and nb, vb = fb.(i) in
+              String.equal na nb && equal va vb && go (i + 1))
+        in
+        go 0)
+  | Coll (ca, la), Coll (cb, lb) ->
+    ca = cb && List.length la = List.length lb && List.for_all2 equal la lb
+  | (Null | Bool _ | Int _ | Float _ | String _ | Date _ | Record _ | Coll _), _ ->
+    false
+
+(* Rank constructors so the order is total across constructors; within a
+   constructor use the natural order. *)
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 3
+  | Date _ -> 4
+  | String _ -> 5
+  | Record _ -> 6
+  | Coll _ -> 7
+
+let rec compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Bool a, Bool b -> Bool.compare a b
+  | Int a, Int b -> Int.compare a b
+  | Float a, Float b -> Float.compare a b
+  | Date a, Date b -> Int.compare a b
+  | String a, String b -> String.compare a b
+  | Record fa, Record fb ->
+    let ca = Int.compare (Array.length fa) (Array.length fb) in
+    if ca <> 0 then ca
+    else begin
+      let n = Array.length fa in
+      let rec go i =
+        if i >= n then 0
+        else
+          let na, va = fa.(i) and nb, vb = fb.(i) in
+          let c = String.compare na nb in
+          if c <> 0 then c
+          else
+            let c = compare va vb in
+            if c <> 0 then c else go (i + 1)
+      in
+      go 0
+    end
+  | Coll (ca, la), Coll (cb, lb) ->
+    let c = Stdlib.compare ca cb in
+    if c <> 0 then c else List.compare compare la lb
+  | a, b -> Int.compare (rank a) (rank b)
+
+let rec hash v =
+  match v with
+  | Null -> 17
+  | Bool b -> Hashtbl.hash b
+  | Int i -> Hashtbl.hash i
+  | Float f -> Hashtbl.hash f
+  | Date d -> Hashtbl.hash (d + 0x9e37)
+  | String s -> Hashtbl.hash s
+  | Record fields ->
+    Array.fold_left (fun acc (n, v) -> (acc * 31) + Hashtbl.hash n + hash v) 7 fields
+  | Coll (_, elems) -> List.fold_left (fun acc v -> (acc * 131) + hash v) 11 elems
+
+let coll_open = function Ptype.Bag -> "{|" | Ptype.Set -> "{" | Ptype.List -> "["
+let coll_close = function Ptype.Bag -> "|}" | Ptype.Set -> "}" | Ptype.List -> "]"
+
+let rec pp ppf = function
+  | Null -> Fmt.string ppf "null"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.pf ppf "%g" f
+  | Date d -> Fmt.pf ppf "date(%d)" d
+  | String s -> Fmt.pf ppf "%S" s
+  | Record fields ->
+    let pp_field ppf (n, v) = Fmt.pf ppf "%s: %a" n pp v in
+    Fmt.pf ppf "(%a)" Fmt.(array ~sep:(any ", ") pp_field) fields
+  | Coll (c, elems) ->
+    Fmt.pf ppf "%s%a%s" (coll_open c) Fmt.(list ~sep:(any ", ") pp) elems (coll_close c)
+
+let to_string v = Fmt.str "%a" pp v
+
+let to_bool = function
+  | Bool b -> b
+  | v -> Perror.type_error "expected bool, got %a" pp v
+
+let to_int = function
+  | Int i | Date i -> i
+  | v -> Perror.type_error "expected int, got %a" pp v
+
+let to_float = function
+  | Float f -> f
+  | Int i -> float_of_int i
+  | v -> Perror.type_error "expected float, got %a" pp v
+
+let to_str = function
+  | String s -> s
+  | v -> Perror.type_error "expected string, got %a" pp v
+
+let fields = function
+  | Record fs -> fs
+  | v -> Perror.type_error "expected record, got %a" pp v
+
+let elements = function
+  | Coll (_, es) -> es
+  | v -> Perror.type_error "expected collection, got %a" pp v
+
+let field_opt v name =
+  match v with
+  | Record fs ->
+    let n = Array.length fs in
+    let rec go i =
+      if i >= n then None
+      else
+        let fname, fv = fs.(i) in
+        if String.equal fname name then Some fv else go (i + 1)
+    in
+    go 0
+  | _ -> None
+
+let field v name =
+  match field_opt v name with
+  | Some fv -> fv
+  | None -> Perror.type_error "no field %s in %a" name pp v
+
+let record fs = Record (Array.of_list fs)
+let bag vs = Coll (Ptype.Bag, vs)
+let list_ vs = Coll (Ptype.List, vs)
+let set vs = Coll (Ptype.Set, List.sort_uniq compare vs)
+
+let is_null = function Null -> true | _ -> false
+
+let rec type_of = function
+  | Null -> Ptype.Option Ptype.Int
+  | Bool _ -> Ptype.Bool
+  | Int _ -> Ptype.Int
+  | Float _ -> Ptype.Float
+  | Date _ -> Ptype.Date
+  | String _ -> Ptype.String
+  | Record fs ->
+    Ptype.Record (Array.to_list (Array.map (fun (n, v) -> (n, type_of v)) fs))
+  | Coll (c, []) -> Ptype.Collection (c, Ptype.Option Ptype.Int)
+  | Coll (c, e :: _) -> Ptype.Collection (c, type_of e)

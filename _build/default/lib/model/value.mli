@@ -1,0 +1,62 @@
+(** Runtime values of the Proteus data model.
+
+    Boxed values are the lingua franca of the un-specialized execution paths
+    (the Volcano interpreter, the reference evaluator, query results). The
+    compiled engine avoids them on the hot path by staging typed accessors,
+    but it still produces them at pipeline breakers and for final output. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Date of int                       (** days since 1970-01-01 *)
+  | Record of (string * t) array
+  | Coll of Ptype.coll * t list
+
+val equal : t -> t -> bool
+
+(** Total order used by set semantics, sorting and hash-table keys.
+    [Null] sorts before everything; numeric types compare within their own
+    constructor only. *)
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** {1 Accessors} — raise [Perror.Type_error] on mismatch. *)
+
+val to_bool : t -> bool
+val to_int : t -> int
+val to_float : t -> float
+(** [to_float] also accepts [Int] values (numeric widening). *)
+
+val to_str : t -> string
+val fields : t -> (string * t) array
+val elements : t -> t list
+
+(** [field v name] projects field [name] out of record value [v]. *)
+val field : t -> string -> t
+
+(** [field_opt v name] is [Some] of the field or [None] when the record lacks
+    it (schema-flexible JSON). *)
+val field_opt : t -> string -> t option
+
+(** {1 Constructors} *)
+
+val record : (string * t) list -> t
+val bag : t list -> t
+val list_ : t list -> t
+val set : t list -> t
+(** [set vs] sorts and deduplicates [vs]. *)
+
+val is_null : t -> bool
+
+(** [type_of v] reconstructs a type for [v]. Collections of heterogeneous or
+    unknown element type get element type [Option Int] as a fallback; empty
+    collections too. Used mainly in tests and error messages. *)
+val type_of : t -> Ptype.t

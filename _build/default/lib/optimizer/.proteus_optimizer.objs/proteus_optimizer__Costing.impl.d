@@ -1,0 +1,1 @@
+lib/optimizer/costing.ml: Catalog Dataset Expr Float List Proteus_algebra Proteus_catalog Proteus_model Stats Value

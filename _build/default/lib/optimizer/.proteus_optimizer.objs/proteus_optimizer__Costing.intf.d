@@ -1,0 +1,1 @@
+lib/optimizer/costing.mli: Catalog Dataset Expr Proteus_algebra Proteus_catalog Proteus_model

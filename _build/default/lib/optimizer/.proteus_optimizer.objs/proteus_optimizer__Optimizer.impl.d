@@ -1,0 +1,1 @@
+lib/optimizer/optimizer.ml: Buffer Costing Fmt List Planner Proteus_algebra Proteus_calculus Proteus_model Rewrite String

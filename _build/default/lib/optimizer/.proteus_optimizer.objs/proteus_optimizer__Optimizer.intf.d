@@ -1,0 +1,1 @@
+lib/optimizer/optimizer.mli: Catalog Proteus_algebra Proteus_calculus Proteus_catalog

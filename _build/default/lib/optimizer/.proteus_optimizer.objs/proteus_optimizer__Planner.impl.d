@@ -1,0 +1,1 @@
+lib/optimizer/planner.ml: Costing Expr Float List Option Proteus_algebra Proteus_model

@@ -1,0 +1,1 @@
+lib/optimizer/planner.mli: Catalog Proteus_algebra Proteus_catalog

@@ -1,0 +1,1 @@
+lib/optimizer/rewrite.ml: Analysis Expr List Plan Proteus_algebra Proteus_model String

@@ -1,0 +1,1 @@
+lib/optimizer/rewrite.mli: Plan Proteus_algebra

@@ -1,0 +1,30 @@
+(** Cost model (Section 5.2 "Enabling Cost-based Optimizations").
+
+    Statistics and access costing are per input plug-in: each format carries
+    its own per-tuple access factor (raw JSON is the most expensive to
+    touch, binary columns the cheapest), instantiated with the catalog's
+    gathered statistics. When no statistics exist, the textbook skeleton
+    defaults apply (10% predicate selectivity, default cardinality). *)
+
+open Proteus_model
+open Proteus_catalog
+
+(** Per-tuple access cost factor of a format ("cost formulas per input
+    plug-in"). *)
+val format_factor : Dataset.format -> float
+
+val default_cardinality : int
+
+(** [selectivity cat ~dataset_of pred] estimates the fraction of the input
+    satisfying [pred]. [dataset_of] maps a binding to its dataset, letting
+    path predicates consult that dataset's statistics; non-decomposable
+    conjuncts contribute the default 10%. *)
+val selectivity : Catalog.t -> dataset_of:(string -> string option) -> Expr.t -> float
+
+(** [cardinality cat plan] estimates the output cardinality of a plan. *)
+val cardinality : Catalog.t -> Proteus_algebra.Plan.t -> float
+
+(** [cost cat plan] estimates total execution cost (arbitrary units:
+    tuples-touched weighted by access factors, plus materialization at
+    pipeline breakers). *)
+val cost : Catalog.t -> Proteus_algebra.Plan.t -> float

@@ -1,0 +1,56 @@
+module Plan = Proteus_algebra.Plan
+
+let optimize cat plan =
+  let plan = Rewrite.pushdown_selections plan in
+  let plan = Planner.reorder_joins cat plan in
+  (* reordering can surface a residual Select; sink it again *)
+  let plan = Rewrite.pushdown_selections plan in
+  let plan = Rewrite.extract_join_keys plan in
+  let plan = Rewrite.pushdown_projections plan in
+  Plan.validate plan;
+  plan
+
+let plan_of_calculus cat calc =
+  let calc = Proteus_calculus.Normalize.run calc in
+  let plan = Proteus_calculus.To_algebra.run calc in
+  optimize cat plan
+
+let explain cat plan =
+  let buf = Buffer.create 256 in
+  let rec go indent p =
+    let label =
+      match (p : Plan.t) with
+      | Plan.Scan { dataset; binding; fields } ->
+        Fmt.str "scan %s as %s%s" dataset binding
+          (match fields with
+          | Some fs -> " [" ^ String.concat "," fs ^ "]"
+          | None -> "")
+      | Plan.Select { pred; _ } ->
+        Fmt.str "select %s" (Proteus_model.Expr.to_string pred)
+      | Plan.Join { kind; algo; pred; _ } ->
+        Fmt.str "%s%s on %s"
+          (match kind with Plan.Inner -> "join" | Plan.Left_outer -> "outer join")
+          (match algo with Plan.Radix_hash -> " (radix-hash)" | Plan.Nested_loop -> " (nested-loop)")
+          (Proteus_model.Expr.to_string pred)
+      | Plan.Unnest { path; binding; _ } ->
+        Fmt.str "unnest %s as %s" (Proteus_model.Expr.to_string path) binding
+      | Plan.Reduce { monoid_output; _ } ->
+        Fmt.str "reduce [%s]"
+          (String.concat ", "
+             (List.map (fun (a : Plan.agg) -> a.agg_name) monoid_output))
+      | Plan.Nest { keys; _ } ->
+        Fmt.str "group by [%s]" (String.concat ", " (List.map fst keys))
+      | Plan.Project { fields; _ } ->
+        Fmt.str "project [%s]" (String.concat ", " (List.map fst fields))
+      | Plan.Sort { keys; limit; _ } ->
+        Fmt.str "sort (%d key%s)%s" (List.length keys)
+          (if List.length keys = 1 then "" else "s")
+          (match limit with Some n -> Fmt.str " limit %d" n | None -> "")
+    in
+    Buffer.add_string buf
+      (Fmt.str "%s%-60s rows≈%-10.0f cost≈%.0f\n"
+         (String.make indent ' ') label (Costing.cardinality cat p) (Costing.cost cat p));
+    List.iter (go (indent + 2)) (Plan.children p)
+  in
+  go 0 plan;
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** The optimizer pipeline: rule-based rewrites, then cost-based join
+    reordering over plug-in-provided statistics, then physical annotations
+    (join keys, scan field lists). *)
+
+open Proteus_catalog
+
+(** [optimize cat plan] — result-preserving (property-tested); the output
+    validates. *)
+val optimize : Catalog.t -> Proteus_algebra.Plan.t -> Proteus_algebra.Plan.t
+
+(** [plan_of_calculus cat calc] is the full logical pipeline: normalize the
+    comprehension, rewrite to the algebra, optimize. *)
+val plan_of_calculus :
+  Catalog.t -> Proteus_calculus.Calc.t -> Proteus_algebra.Plan.t
+
+(** [explain cat plan] renders the plan tree with the cost model's per-node
+    estimates (rows, cumulative cost) — what the CLI's [--explain] shows. *)
+val explain : Catalog.t -> Proteus_algebra.Plan.t -> string

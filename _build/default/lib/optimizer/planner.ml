@@ -1,0 +1,97 @@
+open Proteus_model
+module Plan = Proteus_algebra.Plan
+
+let subset vars bound = List.for_all (fun v -> List.mem v bound) vars
+
+(* Flatten a maximal tree of inner hash joins into units + predicate pool.
+   A unit is any non-inner-join subplan (scan, select/unnest chain, ...). *)
+let rec flatten (p : Plan.t) : Plan.t list * Expr.t list =
+  match p with
+  | Plan.Join { kind = Plan.Inner; algo = Plan.Radix_hash; left; right; pred; _ } ->
+    let lu, lp = flatten left in
+    let ru, rp = flatten right in
+    (lu @ ru, lp @ rp @ Expr.conjuncts pred)
+  | p -> ([ p ], [])
+
+let connected preds acc_bindings unit_bindings =
+  List.exists
+    (fun c ->
+      let fv = Expr.free_vars c in
+      subset fv (acc_bindings @ unit_bindings)
+      && List.exists (fun v -> List.mem v acc_bindings) fv
+      && List.exists (fun v -> List.mem v unit_bindings) fv)
+    preds
+
+(* Rebuild a left-deep tree: acc joins each chosen unit as its build side. *)
+let rebuild cat units preds =
+  let card u = Costing.cardinality cat u in
+  match List.sort (fun a b -> Float.compare (card a) (card b)) units with
+  | [] -> Proteus_model.Perror.plan_error "empty join flattening"
+  | first :: rest ->
+    (* Start from the largest-stream side? No: the paper's radix join
+       materializes the build side; we stream the first (probe) unit, so
+       starting from the *largest* unit as the probe base avoids
+       materializing it. Choose probe base = unit with max cardinality,
+       then attach the rest smallest-first. *)
+    let all = first :: rest in
+    let base =
+      List.fold_left (fun acc u -> if card u > card acc then u else acc) first all
+    in
+    let remaining = List.filter (fun u -> u != base) all in
+    let used = ref [] in
+    let take_pred acc_bindings u_bindings preds =
+      List.partition
+        (fun c ->
+          (not (List.memq c !used)) && subset (Expr.free_vars c) (acc_bindings @ u_bindings))
+        preds
+    in
+    let rec attach acc remaining =
+      match remaining with
+      | [] -> acc
+      | _ ->
+        let acc_bindings = Plan.bindings acc in
+        (* prefer connected units; among them, smallest estimated result *)
+        let score u =
+          let c = card u in
+          if connected preds acc_bindings (Plan.bindings u) then c else c *. 1000.0
+        in
+        let best =
+          List.fold_left
+            (fun best u ->
+              match best with
+              | None -> Some u
+              | Some b -> if score u < score b then Some u else best)
+            None remaining
+        in
+        let u = Option.get best in
+        let applicable, _ = take_pred acc_bindings (Plan.bindings u) preds in
+        used := applicable @ !used;
+        let joined =
+          Plan.Join
+            {
+              kind = Plan.Inner;
+              algo = Plan.Radix_hash;
+              left = acc;
+              right = u;
+              left_key = None;
+              right_key = None;
+              pred = Expr.conjoin applicable;
+            }
+        in
+        attach joined (List.filter (fun v -> v != u) remaining)
+    in
+    let tree = attach base remaining in
+    let leftover = List.filter (fun c -> not (List.memq c !used)) preds in
+    (match leftover with
+    | [] -> tree
+    | ps -> Plan.Select { pred = Expr.conjoin ps; input = tree })
+
+let rec reorder_joins cat (p : Plan.t) : Plan.t =
+  match p with
+  | Plan.Join { kind = Plan.Inner; algo = Plan.Radix_hash; _ } ->
+    let units, preds = flatten p in
+    let units = List.map (reorder_joins cat) units in
+    if List.length units <= 1 then (
+      match units with [ u ] -> u | _ -> assert false)
+    else rebuild cat units preds
+  | p -> Plan.map_children (reorder_joins cat) p

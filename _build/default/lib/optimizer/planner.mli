@@ -1,0 +1,17 @@
+(** Cost-based join ordering (Section 4: "the optimizer ... follows a
+    bottom-up strategy and relies on gathered statistics to perform access
+    path selection and join re-ordering").
+
+    Maximal inner-join subtrees are flattened into a set of join units
+    (scan/select/unnest chains) plus a conjunct pool, then rebuilt greedily:
+    start from the cheapest unit and repeatedly attach the unit that
+    minimizes the estimated cardinality of the intermediate result,
+    preferring units connected through a join predicate. The executor
+    materializes the {e right} (build) side of each join and streams the
+    left, so each step also places the smaller input on the right. *)
+
+open Proteus_catalog
+
+(** [reorder_joins cat p] — result-preserving (property-tested). Outer
+    joins and nested-loop joins are left untouched. *)
+val reorder_joins : Catalog.t -> Proteus_algebra.Plan.t -> Proteus_algebra.Plan.t

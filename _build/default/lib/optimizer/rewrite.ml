@@ -1,0 +1,106 @@
+open Proteus_model
+open Proteus_algebra
+
+let subset vars bound = List.for_all (fun v -> List.mem v bound) vars
+
+let bound_by pred bindings = subset (Expr.free_vars pred) bindings
+
+let wrap pending p =
+  match pending with [] -> p | ps -> Plan.Select { pred = Expr.conjoin ps; input = p }
+
+(* Sink every pending conjunct to the lowest operator whose scope binds it.
+   [pending] predicates are always bound by the scope of the node they are
+   pushed into (the caller guarantees it). *)
+let rec push (pending : Expr.t list) (p : Plan.t) : Plan.t =
+  match p with
+  | Plan.Select { pred; input } -> push (Expr.conjuncts pred @ pending) input
+  | Plan.Scan _ -> wrap pending p
+  | Plan.Join r ->
+    let all = pending @ Expr.conjuncts r.pred in
+    let lb = Plan.bindings r.left and rb = Plan.bindings r.right in
+    (* For outer joins only the probe (left) side may absorb filters: a
+       right-side filter changes padding semantics if hoisted/sunk. Here
+       predicates sink, which is safe for Inner; for Left_outer we keep
+       everything at the join. *)
+    if r.kind = Plan.Left_outer then
+      let mine, above = List.partition (fun c -> bound_by c (lb @ rb)) all in
+      wrap above (Plan.Join { r with pred = Expr.conjoin mine })
+    else begin
+      let left_only, rest = List.partition (fun c -> bound_by c lb) all in
+      let right_only, here = List.partition (fun c -> bound_by c rb) rest in
+      Plan.Join
+        {
+          r with
+          left = push left_only r.left;
+          right = push right_only r.right;
+          pred = Expr.conjoin here;
+        }
+    end
+  | Plan.Unnest r ->
+    let all = pending @ Expr.conjuncts r.pred in
+    let input_bound = Plan.bindings r.input in
+    let below, here = List.partition (fun c -> bound_by c input_bound) all in
+    Plan.Unnest { r with input = push below r.input; pred = Expr.conjoin here }
+  | Plan.Reduce r ->
+    assert (pending = []);
+    Plan.Reduce
+      { r with pred = Expr.conjoin []; input = push (Expr.conjuncts r.pred) r.input }
+  | Plan.Nest r ->
+    (* predicates above a Nest reference the group binding: they stay above *)
+    wrap pending
+      (Plan.Nest
+         { r with pred = Expr.conjoin []; input = push (Expr.conjuncts r.pred) r.input })
+  | Plan.Project r ->
+    wrap pending (Plan.Project { r with input = push [] r.input })
+  | Plan.Sort r ->
+    (* selections commute with ordering: sink them below the sort *)
+    Plan.Sort { r with input = push pending r.input }
+
+let pushdown_selections p = push [] p
+
+let rec extract_join_keys (p : Plan.t) : Plan.t =
+  let p = Plan.map_children extract_join_keys p in
+  match p with
+  | Plan.Join ({ algo = Plan.Radix_hash; left_key = None; _ } as r) ->
+    let lb = Plan.bindings r.left and rb = Plan.bindings r.right in
+    let equi =
+      List.find_map
+        (fun c ->
+          match (c : Expr.t) with
+          | Expr.Binop (Expr.Eq, l, r) ->
+            if subset (Expr.free_vars l) lb && subset (Expr.free_vars r) rb then
+              Some (l, r)
+            else if subset (Expr.free_vars l) rb && subset (Expr.free_vars r) lb then
+              Some (r, l)
+            else None
+          | _ -> None)
+        (Expr.conjuncts r.pred)
+    in
+    (match equi with
+    | Some (lk, rk) -> Plan.Join { r with left_key = Some lk; right_key = Some rk }
+    | None -> Plan.Join { r with algo = Plan.Nested_loop })
+  | p -> p
+
+let pushdown_projections (p : Plan.t) : Plan.t =
+  let required = Analysis.required_paths (Analysis.all_exprs p) in
+  let rec go (p : Plan.t) =
+    match p with
+    | Plan.Scan s ->
+      let fields =
+        match List.assoc_opt s.binding required with
+        | Some `Whole | None -> None
+        | Some (`Paths ps) ->
+          (* root segments, deduplicated, in first-use order *)
+          let roots =
+            List.fold_left
+              (fun acc p ->
+                let root = List.hd (String.split_on_char '.' p) in
+                if List.mem root acc then acc else acc @ [ root ])
+              [] ps
+          in
+          Some roots
+      in
+      Plan.Scan { s with fields }
+    | p -> Plan.map_children go p
+  in
+  go p

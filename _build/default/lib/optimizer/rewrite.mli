@@ -1,0 +1,23 @@
+(** Rule-based plan rewrites (Section 4 "Query Optimization").
+
+    - {b selection pushdown}: every predicate conjunct sinks to the lowest
+      operator where its variables are in scope — below joins, into the
+      embedded filters of unnests, directly above scans;
+    - {b join-key extraction}: equi-join conjuncts are identified once here
+      so the executor need not re-derive them;
+    - {b projection pushdown}: each scan is annotated with the root fields
+      actually read above it, so plug-ins extract only those (Section 5.2). *)
+
+open Proteus_algebra
+
+(** [pushdown_selections p] re-places predicates. Result-preserving
+    (property-tested). *)
+val pushdown_selections : Plan.t -> Plan.t
+
+(** [extract_join_keys p] fills [left_key]/[right_key] on hash joins that
+    have an extractable equi conjunct; downgrades hash joins without one to
+    nested loops. *)
+val extract_join_keys : Plan.t -> Plan.t
+
+(** [pushdown_projections p] sets [Scan.fields]. *)
+val pushdown_projections : Plan.t -> Plan.t

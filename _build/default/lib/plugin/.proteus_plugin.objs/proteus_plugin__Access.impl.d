@@ -1,0 +1,1 @@
+lib/plugin/access.ml: Array Column Proteus_model Proteus_storage Ptype Value

@@ -1,0 +1,1 @@
+lib/plugin/access.mli: Proteus_model Proteus_storage Ptype Value

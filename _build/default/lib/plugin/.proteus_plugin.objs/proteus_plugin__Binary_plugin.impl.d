@@ -1,0 +1,1 @@
+lib/plugin/binary_plugin.ml: Access Column List Perror Proteus_model Proteus_storage Ptype Rowpage Schema Source Value

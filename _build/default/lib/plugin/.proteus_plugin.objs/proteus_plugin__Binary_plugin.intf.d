@@ -1,0 +1,1 @@
+lib/plugin/binary_plugin.mli: Column Proteus_model Proteus_storage Ptype Rowpage Source

@@ -1,0 +1,1 @@
+lib/plugin/cache_iface.ml: Column Memory Proteus_model Proteus_storage

@@ -1,0 +1,1 @@
+lib/plugin/cache_iface.mli: Column Expr Memory Proteus_model Proteus_storage Ptype

@@ -1,0 +1,1 @@
+lib/plugin/csv_plugin.ml: Access Date_util List Perror Proteus_format Proteus_model Ptype Schema Source String Value

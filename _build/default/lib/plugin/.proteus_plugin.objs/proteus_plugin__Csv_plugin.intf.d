@@ -1,0 +1,1 @@
+lib/plugin/csv_plugin.mli: Proteus_format Proteus_model Schema Source

@@ -1,0 +1,1 @@
+lib/plugin/json_plugin.ml: Access Array Date_util Hashtbl List Perror Proteus_format Proteus_model Ptype Source String Value

@@ -1,0 +1,1 @@
+lib/plugin/json_plugin.mli: Proteus_format Proteus_model Ptype Source

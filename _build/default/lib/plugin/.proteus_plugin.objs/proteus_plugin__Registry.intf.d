@@ -1,0 +1,1 @@
+lib/plugin/registry.mli: Cache_iface Catalog Proteus_catalog Source

@@ -1,0 +1,1 @@
+lib/plugin/source.ml: Access List Perror Proteus_model Ptype String Value

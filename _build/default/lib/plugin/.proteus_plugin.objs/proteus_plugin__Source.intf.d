@@ -1,0 +1,1 @@
+lib/plugin/source.mli: Access Proteus_model Ptype Value

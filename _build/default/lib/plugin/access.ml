@@ -1,0 +1,118 @@
+open Proteus_model
+open Proteus_storage
+
+type t = {
+  ty : Ptype.t;
+  nullable : bool;
+  get_int : (unit -> int) option;
+  get_float : (unit -> float) option;
+  get_bool : (unit -> bool) option;
+  get_str : (unit -> string) option;
+  is_null : (unit -> bool) option;
+  get_val : unit -> Value.t;
+}
+
+let wrap_ty null ty = match null with None -> ty | Some _ -> Ptype.Option ty
+
+let of_int ?null get =
+  {
+    ty = wrap_ty null Ptype.Int;
+    nullable = null <> None;
+    get_int = Some get;
+    get_float = Some (fun () -> float_of_int (get ()));
+    get_bool = None;
+    get_str = None;
+    is_null = null;
+    get_val =
+      (match null with
+      | None -> fun () -> Value.Int (get ())
+      | Some isnull -> fun () -> if isnull () then Value.Null else Value.Int (get ()));
+  }
+
+let of_date ?null get =
+  {
+    (of_int ?null get) with
+    ty = wrap_ty null Ptype.Date;
+    get_val =
+      (match null with
+      | None -> fun () -> Value.Date (get ())
+      | Some isnull -> fun () -> if isnull () then Value.Null else Value.Date (get ()));
+  }
+
+let of_float ?null get =
+  {
+    ty = wrap_ty null Ptype.Float;
+    nullable = null <> None;
+    get_int = None;
+    get_float = Some get;
+    get_bool = None;
+    get_str = None;
+    is_null = null;
+    get_val =
+      (match null with
+      | None -> fun () -> Value.Float (get ())
+      | Some isnull -> fun () -> if isnull () then Value.Null else Value.Float (get ()));
+  }
+
+let of_bool ?null get =
+  {
+    ty = wrap_ty null Ptype.Bool;
+    nullable = null <> None;
+    get_int = None;
+    get_float = None;
+    get_bool = Some get;
+    get_str = None;
+    is_null = null;
+    get_val =
+      (match null with
+      | None -> fun () -> Value.Bool (get ())
+      | Some isnull -> fun () -> if isnull () then Value.Null else Value.Bool (get ()));
+  }
+
+let of_str ?null get =
+  {
+    ty = wrap_ty null Ptype.String;
+    nullable = null <> None;
+    get_int = None;
+    get_float = None;
+    get_bool = None;
+    get_str = Some get;
+    is_null = null;
+    get_val =
+      (match null with
+      | None -> fun () -> Value.String (get ())
+      | Some isnull -> fun () -> if isnull () then Value.Null else Value.String (get ()));
+  }
+
+let boxed ty get_val =
+  {
+    ty;
+    nullable = (match ty with Ptype.Option _ -> true | _ -> false);
+    get_int = None;
+    get_float = None;
+    get_bool = None;
+    get_str = None;
+    is_null = None;
+    get_val;
+  }
+
+let of_column col ~cur ty =
+  match (col : Column.t) with
+  | Column.Ints a -> (
+    match Ptype.unwrap_option ty with
+    | Ptype.Date -> of_date (fun () -> a.(!cur))
+    | _ -> of_int (fun () -> a.(!cur)))
+  | Column.Floats a -> of_float (fun () -> a.(!cur))
+  | Column.Bools a -> of_bool (fun () -> a.(!cur))
+  | Column.Strings a -> of_str (fun () -> a.(!cur))
+  | Column.Nullmask (mask, inner) -> (
+    let null = Some (fun () -> mask.(!cur)) in
+    match inner with
+    | Column.Ints a -> (
+      match Ptype.unwrap_option ty with
+      | Ptype.Date -> of_date ?null (fun () -> a.(!cur))
+      | _ -> of_int ?null (fun () -> a.(!cur)))
+    | Column.Floats a -> of_float ?null (fun () -> a.(!cur))
+    | Column.Bools a -> of_bool ?null (fun () -> a.(!cur))
+    | Column.Strings a -> of_str ?null (fun () -> a.(!cur))
+    | Column.Nullmask _ -> boxed ty (fun () -> Column.get col !cur))

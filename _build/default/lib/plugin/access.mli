@@ -1,0 +1,41 @@
+(** Typed field accessors — the runtime face of an input plug-in.
+
+    An accessor reads one field of the input element a scan cursor currently
+    points at. The plug-in constructs it {e once per query} (Section 5.1's
+    code generation, staged here as closure construction): the format
+    dispatch, byte offsets, index slots and type checks are all resolved at
+    construction time, so each per-tuple call is a monomorphic closure.
+
+    The typed getters ([get_int], ...) are present only when the plug-in
+    could specialize for that type; [get_val] always works and is the boxed
+    fallback used by un-specialized consumers (the Volcano interpreter, and
+    any expression whose type the compiler could not pin down). *)
+
+open Proteus_model
+
+type t = {
+  ty : Ptype.t;                        (** static type, [Option]-wrapped if nullable *)
+  nullable : bool;
+  get_int : (unit -> int) option;
+  get_float : (unit -> float) option;
+  get_bool : (unit -> bool) option;
+  get_str : (unit -> string) option;
+  is_null : (unit -> bool) option;     (** present when [nullable] with typed paths *)
+  get_val : unit -> Value.t;           (** boxed read; yields [Null] for nulls *)
+}
+
+(** {1 Constructors} *)
+
+val of_int : ?null:(unit -> bool) -> (unit -> int) -> t
+val of_date : ?null:(unit -> bool) -> (unit -> int) -> t
+val of_float : ?null:(unit -> bool) -> (unit -> float) -> t
+val of_bool : ?null:(unit -> bool) -> (unit -> bool) -> t
+val of_str : ?null:(unit -> bool) -> (unit -> string) -> t
+
+(** [boxed ty f] wraps a boxed-only accessor (nested values etc.). *)
+val boxed : Ptype.t -> (unit -> Value.t) -> t
+
+(** [of_column col ~cur ty] reads a {!Proteus_storage.Column.t} at the row
+    index in [cur] — the access path for binary columns, caches, and
+    materialized intermediates. Typed fast paths match the column payload. *)
+val of_column : Proteus_storage.Column.t -> cur:int ref -> Ptype.t -> t

@@ -1,0 +1,16 @@
+(** Input plug-ins for relational binary data (Section 5.2): row-oriented
+    pages and column files, plus column sets backing caches and materialized
+    intermediates. The generated access primitives read fixed memory
+    positions — no parsing, no per-tuple type dispatch. *)
+
+open Proteus_model
+open Proteus_storage
+
+(** [of_rowpage page] serves a binary row-oriented dataset. *)
+val of_rowpage : Rowpage.t -> Source.t
+
+(** [of_columns ~element cols] serves OID-aligned binary columns (the
+    MonetDB-style column files of the evaluation, cache columns, and
+    materialized join sides). [cols] keys are dotted field paths; all
+    columns must have equal length. *)
+val of_columns : element:Ptype.t -> (string * Column.t) list -> Source.t

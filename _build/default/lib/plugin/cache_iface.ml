@@ -1,0 +1,40 @@
+open Proteus_storage
+
+type packed = { length : int; cols : (string * Proteus_storage.Column.t) list }
+
+type t = {
+  lookup_field : dataset:string -> path:string -> Column.t option;
+  store_field :
+    dataset:string -> path:string -> bias:Memory.Arena.bias -> Column.t -> unit;
+  should_cache_field : dataset:string -> path:string -> ty:Proteus_model.Ptype.t -> bool;
+  lookup_packed : key:string -> packed option;
+  store_packed :
+    key:string -> datasets:string list -> bias:Memory.Arena.bias -> packed -> unit;
+  lookup_select :
+    dataset:string ->
+    binding:string ->
+    pred:Proteus_model.Expr.t ->
+    paths:string list ->
+    (packed * Proteus_model.Expr.t option) option;
+  store_select :
+    dataset:string ->
+    binding:string ->
+    pred:Proteus_model.Expr.t ->
+    paths:string list ->
+    bias:Memory.Arena.bias ->
+    packed ->
+    unit;
+  should_cache_select : dataset:string -> bool;
+}
+
+let disabled =
+  {
+    lookup_field = (fun ~dataset:_ ~path:_ -> None);
+    store_field = (fun ~dataset:_ ~path:_ ~bias:_ _ -> ());
+    should_cache_field = (fun ~dataset:_ ~path:_ ~ty:_ -> false);
+    lookup_packed = (fun ~key:_ -> None);
+    store_packed = (fun ~key:_ ~datasets:_ ~bias:_ _ -> ());
+    lookup_select = (fun ~dataset:_ ~binding:_ ~pred:_ ~paths:_ -> None);
+    store_select = (fun ~dataset:_ ~binding:_ ~pred:_ ~paths:_ ~bias:_ _ -> ());
+    should_cache_select = (fun ~dataset:_ -> false);
+  }

@@ -1,0 +1,44 @@
+(** The narrow interface through which the execution layer talks to the
+    caching manager (implemented in [proteus_cache]; wired by the facade).
+    Keeping it here avoids a dependency cycle: plug-ins fill caches as a
+    side-effect of scanning, the engine consults them when compiling. *)
+
+open Proteus_model
+open Proteus_storage
+
+(** A materialized relation: OID-aligned columns keyed by field path. *)
+type packed = {
+  length : int;
+  cols : (string * Column.t) list;
+}
+
+type t = {
+  lookup_field : dataset:string -> path:string -> Column.t option;
+      (** a binary column caching expression [x.path] over [dataset] *)
+  store_field : dataset:string -> path:string -> bias:Memory.Arena.bias -> Column.t -> unit;
+  should_cache_field : dataset:string -> path:string -> ty:Ptype.t -> bool;
+      (** the caching policy: e.g. eager for CSV/JSON primitives, never for
+          variable-length strings (Section 6 "Cache Policies") *)
+  lookup_packed : key:string -> packed option;
+      (** a materialized sub-plan result, keyed by plan fingerprint *)
+  store_packed :
+    key:string -> datasets:string list -> bias:Memory.Arena.bias -> packed -> unit;
+      (** [datasets] are the raw inputs the packed result derives from (for
+          invalidation and accounting) *)
+  lookup_select :
+    dataset:string -> binding:string -> pred:Expr.t -> paths:string list ->
+    (packed * Expr.t option) option;
+      (** a materialized σ-over-scan result covering [pred] over [dataset]
+          and carrying at least [paths]. An exact predicate match returns
+          [(packed, None)]; a {e subsuming} match — a cached weaker
+          predicate, e.g. [x > 0] answering [x > 10] — returns the residual
+          predicate to re-apply (Section 6 lists this as future work; it is
+          implemented here behind a policy flag) *)
+  store_select :
+    dataset:string -> binding:string -> pred:Expr.t -> paths:string list ->
+    bias:Memory.Arena.bias -> packed -> unit;
+  should_cache_select : dataset:string -> bool;
+}
+
+(** A cache handle that never hits and never stores (caching disabled). *)
+val disabled : t

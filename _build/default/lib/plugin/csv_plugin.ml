@@ -1,0 +1,86 @@
+open Proteus_model
+module Csv = Proteus_format.Csv
+module Csv_index = Proteus_format.Csv_index
+
+let make ~config ~schema ~index ~src =
+  let row = ref 0 in
+  let fields = Schema.fields schema in
+  (* Resolve everything per-field once: index position, span fetch, typed
+     parser. The per-tuple work is just "span + parse". *)
+  let accessor (f : Schema.field) fidx : Access.t =
+    let span () = Csv_index.field_span index ~row:!row ~field:fidx in
+    match Ptype.unwrap_option f.ty with
+    | Ptype.Int ->
+      let get () =
+        let s, e = span () in
+        Csv.parse_int src ~start:s ~stop:e
+      in
+      (match f.ty with
+      | Ptype.Option _ ->
+        Access.of_int
+          ~null:(fun () ->
+            let s, e = span () in
+            s >= e)
+          get
+      | _ -> Access.of_int get)
+    | Ptype.Date ->
+      let get () =
+        let s, e = span () in
+        if e - s = 10 && src.[s + 4] = '-' then Date_util.of_span src ~start:s ~stop:e
+        else Csv.parse_int src ~start:s ~stop:e
+      in
+      Access.of_date get
+    | Ptype.Float ->
+      let get () =
+        let s, e = span () in
+        Csv.parse_float src ~start:s ~stop:e
+      in
+      (match f.ty with
+      | Ptype.Option _ ->
+        Access.of_float
+          ~null:(fun () ->
+            let s, e = span () in
+            s >= e)
+          get
+      | _ -> Access.of_float get)
+    | Ptype.Bool ->
+      let get () =
+        let s, e = span () in
+        Csv.parse_bool src ~start:s ~stop:e
+      in
+      Access.of_bool get
+    | Ptype.String ->
+      let get () =
+        let s, e = span () in
+        Csv.parse_string src ~start:s ~stop:e
+      in
+      (match f.ty with
+      | Ptype.Option _ ->
+        Access.of_str
+          ~null:(fun () ->
+            let s, e = span () in
+            s >= e)
+          get
+      | _ -> Access.of_str get)
+    | other -> Perror.type_error "CSV field %s of non-primitive type %a" f.name Ptype.pp other
+  in
+  let accessors =
+    List.mapi (fun i (f : Schema.field) -> (f.name, accessor f i)) fields
+  in
+  let field path =
+    match List.assoc_opt path accessors with
+    | Some a -> a
+    | None -> Perror.plan_error "CSV dataset has no field %s" path
+  in
+  let whole () =
+    Value.record (List.map (fun (name, a) -> (name, a.Access.get_val ())) accessors)
+  in
+  ignore config;
+  {
+    Source.element = Schema.to_type schema;
+    count = Csv_index.row_count index;
+    seek = (fun i -> row := i);
+    field;
+    whole;
+    unnest = (fun _ -> None);
+  }

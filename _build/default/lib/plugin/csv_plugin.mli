@@ -1,0 +1,17 @@
+(** CSV input plug-in: serves queries directly over the raw CSV bytes using
+    the positional structural index — no loading step (Section 5.2).
+
+    When the index detects fixed-width rows, field positions are computed
+    arithmetically instead of via per-row anchors ("specializing per dataset
+    contents"). *)
+
+open Proteus_model
+
+(** [make ~config ~schema ~index ~src] builds a source over the raw bytes
+    [src]. [index] must have been built over the same bytes. *)
+val make :
+  config:Proteus_format.Csv.config ->
+  schema:Schema.t ->
+  index:Proteus_format.Csv_index.t ->
+  src:string ->
+  Source.t

@@ -1,0 +1,207 @@
+open Proteus_model
+module Ji = Proteus_format.Json_index
+
+let nullable_of_ty ty = match ty with Ptype.Option _ -> true | _ -> false
+
+let make ~element ~index =
+  let index_src = Ji.source index in
+  let obj = ref 0 in
+  (* One entry-resolver per path, built once per query. Fixed-schema inputs
+     resolve the Level-0 slot here, at "code generation" time; flexible
+     inputs fall back to a per-object Level-0 lookup, memoized per OID so
+     that a predicate and a projection on the same field share the lookup. *)
+  let entry_resolver path : unit -> Ji.entry option =
+    match Ji.slot index path with
+    | Some slot -> fun () -> Some (Ji.entry_at index ~obj:!obj ~slot)
+    | None -> (
+      (* flexible mode: intern the path once here; per tuple only an
+         integer binary search over the object's Level 0 remains *)
+      match Ji.path_id index path with
+      | None -> fun () -> None
+      | Some id ->
+        let cached_obj = ref (-1) in
+        let cached : Ji.entry option ref = ref None in
+        fun () ->
+          if !cached_obj <> !obj then begin
+            cached := Ji.find_by_id index ~obj:!obj ~id;
+            cached_obj := !obj
+          end;
+          !cached)
+  in
+  let accessor_of ~(ty : Ptype.t) ~(entry : unit -> Ji.entry option) : Access.t =
+    let base = Ptype.unwrap_option ty in
+    let is_null () =
+      match entry () with
+      | None -> true
+      | Some e -> e.Ji.kind = Ji.Knull
+    in
+    let require what =
+      match entry () with
+      | Some e when e.Ji.kind <> Ji.Knull -> e
+      | Some _ | None ->
+        Perror.type_error "JSON: null/%s value where %s expected" "missing" what
+    in
+    let null = if nullable_of_ty ty then Some is_null else None in
+    match base with
+    | Ptype.Int -> Access.of_int ?null (fun () -> Ji.read_int index (require "int"))
+    | Ptype.Date ->
+      Access.of_date ?null (fun () ->
+          let e = require "date" in
+          match e.Ji.kind with
+          | Ji.Kstr ->
+            Date_util.of_span (Ji.source index) ~start:(e.Ji.start + 1)
+              ~stop:(e.Ji.stop - 1)
+          | _ -> Ji.read_int index e)
+    | Ptype.Float ->
+      (* JSON renders round floats without a decimal point, so accept Kint
+         spans too. *)
+      Access.of_float ?null (fun () ->
+          let e = require "float" in
+          match e.Ji.kind with
+          | Ji.Kint -> float_of_int (Ji.read_int index e)
+          | _ -> Ji.read_float index e)
+    | Ptype.Bool -> Access.of_bool ?null (fun () -> Ji.read_bool index (require "bool"))
+    | Ptype.String -> Access.of_str ?null (fun () -> Ji.read_string index (require "string"))
+    | Ptype.Record _ | Ptype.Collection _ ->
+      Access.boxed ty (fun () ->
+          match entry () with
+          | None -> Value.Null
+          | Some e -> Ji.read_value index e)
+    | Ptype.Option _ -> assert false
+  in
+  let accessor_cache : (string, Access.t) Hashtbl.t = Hashtbl.create 8 in
+  let field path =
+    match Hashtbl.find_opt accessor_cache path with
+    | Some a -> a
+    | None ->
+      let ty = Source.field_type element path in
+      let a = accessor_of ~ty ~entry:(entry_resolver path) in
+      Hashtbl.replace accessor_cache path a;
+      a
+  in
+  let whole () =
+    let start, stop = Ji.object_span index !obj in
+    Ji.read_value index { Ji.start; stop; kind = Ji.Kobj }
+  in
+  let unnest path =
+    match Ptype.unwrap_option (Source.field_type element path) with
+    | Ptype.Collection (_, elem_ty) ->
+      let entry = entry_resolver path in
+      (* current nested element span, valid during u_iter callbacks *)
+      let elem_start = ref 0 and elem_stop = ref 0 in
+      (* Fused extraction (u_prepare): the element-boundary walk also
+         records the value spans of the fields the query reads, so each
+         element is scanned exactly once. *)
+      let wanted = ref [||] in
+      let slot_starts = ref [||] and slot_stops = ref [||] in
+      let u_prepare paths =
+        let simple =
+          List.filter
+            (fun f ->
+              (not (String.contains f '.'))
+              && Ptype.is_primitive
+                   (Ptype.unwrap_option (Source.field_type elem_ty f)))
+            paths
+        in
+        wanted := Array.of_list simple;
+        slot_starts := Array.make (Array.length !wanted) (-1);
+        slot_stops := Array.make (Array.length !wanted) (-1)
+      in
+      let elem_scanned = ref false in
+      let u_iter ~on_elem =
+        match entry () with
+        | None -> ()
+        | Some e when e.Ji.kind = Ji.Knull -> ()
+        | Some e ->
+          Ji.iter_array_spans index e ~f:(fun ~start ~stop ->
+              elem_start := start;
+              elem_stop := stop;
+              elem_scanned := false;
+              on_elem ())
+      in
+      (* one early-exit member walk per element, run on the first prepared
+         field access and shared by all of them *)
+      let ensure_scanned () =
+        if not !elem_scanned then begin
+          Ji.scan_span_fields index ~start:!elem_start ~stop:!elem_stop
+            ~names:!wanted ~starts:!slot_starts ~stops:!slot_stops;
+          elem_scanned := true
+        end
+      in
+      let slot_of f =
+        let rec go k =
+          if k >= Array.length !wanted then None
+          else if String.equal !wanted.(k) f then Some k
+          else go (k + 1)
+        in
+        go 0
+      in
+      let elem_field_cache : (string, Access.t) Hashtbl.t = Hashtbl.create 4 in
+      let u_field f =
+        match Hashtbl.find_opt elem_field_cache f with
+        | Some a -> a
+        | None ->
+          let fty = Source.field_type elem_ty f in
+          let a =
+            match slot_of f with
+            | Some k ->
+              (* read from the shared per-element scan's slots *)
+              let starts = !slot_starts and stops = !slot_stops in
+              let span_missing () =
+                ensure_scanned ();
+                starts.(k) < 0 || index_src.[starts.(k)] = 'n'
+              in
+              let null = if nullable_of_ty fty then Some span_missing else None in
+              let base = Ptype.unwrap_option fty in
+              (match base with
+              | Ptype.Int ->
+                Access.of_int ?null (fun () ->
+                    ensure_scanned ();
+                    Proteus_format.Numparse.int_span index_src ~start:starts.(k)
+                      ~stop:stops.(k))
+              | Ptype.Date ->
+                Access.of_date ?null (fun () ->
+                    ensure_scanned ();
+                    Proteus_format.Numparse.int_span index_src ~start:starts.(k)
+                      ~stop:stops.(k))
+              | Ptype.Float ->
+                Access.of_float ?null (fun () ->
+                    ensure_scanned ();
+                    Proteus_format.Numparse.float_span index_src ~start:starts.(k)
+                      ~stop:stops.(k))
+              | Ptype.Bool ->
+                Access.of_bool ?null (fun () ->
+                    ensure_scanned ();
+                    index_src.[starts.(k)] = 't')
+              | Ptype.String ->
+                Access.of_str ?null (fun () ->
+                    ensure_scanned ();
+                    Ji.read_string_span index ~start:starts.(k) ~stop:stops.(k))
+              | _ -> assert false (* u_prepare keeps primitives only *))
+            | None ->
+              (* un-fused fallback: scan the element span for the path *)
+              let parts = String.split_on_char '.' f in
+              let entry () =
+                Ji.find_parts_in_span index ~start:!elem_start ~stop:!elem_stop ~parts
+              in
+              accessor_of ~ty:fty ~entry
+          in
+          Hashtbl.replace elem_field_cache f a;
+          a
+      in
+      let u_value () =
+        let j, _ = Proteus_format.Json.parse index_src ~pos:!elem_start in
+        Proteus_format.Json.to_value j
+      in
+      Some { Source.u_elem_ty = elem_ty; u_prepare; u_iter; u_field; u_value }
+    | _ -> None
+    | exception Perror.Plan_error _ -> None
+  in
+  {
+    Source.element;
+    count = Ji.object_count index;
+    seek = (fun i -> obj := i);
+    field;
+    whole;
+    unnest;
+  }

@@ -1,0 +1,14 @@
+(** JSON input plug-in: navigates raw JSON bytes through the two-level
+    structural index (Section 5.2, Figure 4).
+
+    Per-query specialization: in fixed-schema mode the path→slot resolution
+    happens {e once here}, so the per-tuple accessor is a direct Level-1
+    array read; in flexible mode it is a per-object Level-0 binary search.
+    Nested record paths ("c.d.d1") dereference in one step. Unnest walks
+    array spans without boxing elements. *)
+
+open Proteus_model
+
+(** [make ~element ~index] builds a source. [element] is the declared type
+    of one object; fields may be [Option]-typed to allow absence. *)
+val make : element:Ptype.t -> index:Proteus_format.Json_index.t -> Source.t

@@ -1,0 +1,208 @@
+open Proteus_model
+open Proteus_catalog
+module Csv_index = Proteus_format.Csv_index
+module Json_index = Proteus_format.Json_index
+
+let src_log = Logs.Src.create "proteus.plugin" ~doc:"Proteus input plug-ins"
+
+module Log = (val Logs.src_log src_log : Logs.LOG)
+
+type index_info = {
+  size_bytes : int;
+  input_bytes : int;
+  build_seconds : float;
+  fixed_schema : bool;
+}
+
+type t = {
+  catalog : Catalog.t;
+  mutable cache : Cache_iface.t;
+  sources : (string, Source.t) Hashtbl.t;
+  infos : (string, index_info) Hashtbl.t;
+}
+
+let create ?(cache = Cache_iface.disabled) catalog =
+  { catalog; cache; sources = Hashtbl.create 16; infos = Hashtbl.create 16 }
+
+let catalog t = t.catalog
+let cache t = t.cache
+let set_cache t c = t.cache <- c
+
+(* Cold-access statistics: cardinality plus min/max of numeric top-level
+   fields, observed through the freshly built source. *)
+let collect_stats t (d : Dataset.t) (src : Source.t) =
+  let stats = Catalog.stats t.catalog d.name in
+  Stats.set_cardinality stats src.Source.count;
+  let numeric_paths =
+    match d.element with
+    | Ptype.Record fields ->
+      List.filter_map
+        (fun (name, ty) ->
+          match Ptype.unwrap_option ty with
+          | Ptype.Int | Ptype.Float | Ptype.Date -> Some name
+          | _ -> None)
+        fields
+    | _ -> []
+  in
+  List.iter
+    (fun path ->
+      match src.Source.field path with
+      | access ->
+        for i = 0 to src.Source.count - 1 do
+          src.Source.seek i;
+          match access.Access.get_val () with
+          | v -> Stats.observe stats path v
+          | exception Perror.Type_error _ -> ()
+        done
+      | exception Perror.Plan_error _ -> ())
+    numeric_paths
+
+let build_source t (d : Dataset.t) : Source.t =
+  match d.format, d.location with
+  | Dataset.Binary_row, Dataset.Rows page -> Binary_plugin.of_rowpage page
+  | Dataset.Binary_column, Dataset.Columns cols ->
+    Binary_plugin.of_columns ~element:d.element cols
+  | Dataset.Binary_row, (Dataset.File _ | Dataset.Blob _) ->
+    let bytes = Catalog.contents t.catalog d in
+    let page =
+      Proteus_storage.Rowpage.of_bytes (Dataset.schema d) (Bytes.of_string bytes)
+    in
+    Binary_plugin.of_rowpage page
+  | Dataset.Csv config, (Dataset.File _ | Dataset.Blob _) ->
+    let bytes = Catalog.contents t.catalog d in
+    let t0 = Unix.gettimeofday () in
+    let index = Csv_index.build config bytes in
+    let info =
+      {
+        size_bytes = Csv_index.byte_size index;
+        input_bytes = String.length bytes;
+        build_seconds = Unix.gettimeofday () -. t0;
+        fixed_schema = Csv_index.is_fixed_width index;
+      }
+    in
+    Hashtbl.replace t.infos d.name info;
+    Log.info (fun m ->
+        m "built CSV index for %s: %d rows, %.1f%% of input" d.name
+          (Csv_index.row_count index)
+          (100. *. float_of_int info.size_bytes /. float_of_int (max 1 info.input_bytes)));
+    Csv_plugin.make ~config ~schema:(Dataset.schema d) ~index ~src:bytes
+  | Dataset.Json, (Dataset.File _ | Dataset.Blob _) ->
+    let bytes = Catalog.contents t.catalog d in
+    let t0 = Unix.gettimeofday () in
+    let index = Json_index.build bytes in
+    let info =
+      {
+        size_bytes = Json_index.byte_size index;
+        input_bytes = String.length bytes;
+        build_seconds = Unix.gettimeofday () -. t0;
+        fixed_schema = Json_index.is_fixed_schema index;
+      }
+    in
+    Hashtbl.replace t.infos d.name info;
+    Log.info (fun m ->
+        m "built JSON index for %s: %d objects, %.1f%% of input%s" d.name
+          (Json_index.object_count index)
+          (100. *. float_of_int info.size_bytes /. float_of_int (max 1 info.input_bytes))
+          (if info.fixed_schema then " (fixed schema)" else ""));
+    Json_plugin.make ~element:d.element ~index
+  | (Dataset.Csv _ | Dataset.Json), (Dataset.Rows _ | Dataset.Columns _)
+  | Dataset.Binary_row, Dataset.Columns _
+  | Dataset.Binary_column, (Dataset.File _ | Dataset.Blob _ | Dataset.Rows _) ->
+    Perror.plan_error "dataset %s: location does not match format %s" d.name
+      (Dataset.format_name d.format)
+
+let source t name =
+  match Hashtbl.find_opt t.sources name with
+  | Some s -> s
+  | None ->
+    let d = Catalog.find t.catalog name in
+    let s = build_source t d in
+    Hashtbl.replace t.sources name s;
+    collect_stats t d s;
+    s
+
+let index_info t name = Hashtbl.find_opt t.infos name
+
+let invalidate t name =
+  Hashtbl.remove t.sources name;
+  Hashtbl.remove t.infos name
+
+type scan = {
+  sc_source : Source.t;
+  sc_run : on_tuple:(unit -> unit) -> unit;
+  sc_cache_hits : string list;
+}
+
+(* A cache fill: evaluates one path per row into a column builder, using the
+   typed fast path when the accessor offers one. *)
+let make_fill (access : Access.t) builder : unit -> unit =
+  let open Proteus_storage.Column in
+  match access.Access.is_null, access.Access.get_int, access.Access.get_float,
+        access.Access.get_bool, access.Access.get_str with
+  | None, Some get, _, _, _ -> fun () -> Builder.add_int builder (get ())
+  | None, _, Some get, _, _ -> fun () -> Builder.add_float builder (get ())
+  | None, _, _, Some get, _ -> fun () -> Builder.add_bool builder (get ())
+  | None, _, _, _, Some get -> fun () -> Builder.add_string builder (get ())
+  | _ -> fun () -> Builder.add_value builder (access.Access.get_val ())
+
+let scan t ~dataset ~required =
+  let d = Catalog.find t.catalog dataset in
+  let raw = source t dataset in
+  let oid = ref 0 in
+  let bias = Dataset.bias d.format in
+  (* Route each required path: cache hit -> column accessor; miss elected by
+     the policy -> raw accessor + fill into a fresh cache column. *)
+  let routed = Hashtbl.create 8 in
+  let to_fill = ref [] in
+  let hits = ref [] in
+  List.iter
+    (fun path ->
+      match t.cache.Cache_iface.lookup_field ~dataset ~path with
+      | Some col ->
+        let ty = Source.field_type d.element path in
+        Hashtbl.replace routed path (Access.of_column col ~cur:oid ty);
+        hits := path :: !hits
+      | None ->
+        let ty = try Some (Source.field_type d.element path) with Perror.Plan_error _ -> None in
+        (match ty with
+        | Some ty
+          when Ptype.is_primitive (Ptype.unwrap_option ty)
+               && t.cache.Cache_iface.should_cache_field ~dataset ~path ~ty ->
+          to_fill := (path, ty, raw.Source.field path) :: !to_fill
+        | _ -> ()))
+    required;
+  let field path =
+    match Hashtbl.find_opt routed path with
+    | Some a -> a
+    | None -> raw.Source.field path
+  in
+  let seek i =
+    raw.Source.seek i;
+    oid := i
+  in
+  let sc_source = { raw with Source.field; seek } in
+  let sc_run ~on_tuple =
+    match !to_fill with
+    | [] -> Source.run sc_source ~on_tuple
+    | to_fill ->
+      (* Builders are created per run so that re-executing the compiled
+         query cannot append duplicate rows to a cache column. *)
+      let fills =
+        List.map
+          (fun (path, ty, access) ->
+            let builder = Proteus_storage.Column.Builder.create ty in
+            (path, builder, make_fill access builder))
+          to_fill
+      in
+      for i = 0 to raw.Source.count - 1 do
+        seek i;
+        List.iter (fun (_, _, fill) -> fill ()) fills;
+        on_tuple ()
+      done;
+      List.iter
+        (fun (path, builder, _) ->
+          t.cache.Cache_iface.store_field ~dataset ~path ~bias
+            (Proteus_storage.Column.Builder.finish builder))
+        fills
+  in
+  { sc_source; sc_run; sc_cache_hits = List.rev !hits }

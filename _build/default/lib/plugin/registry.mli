@@ -1,0 +1,51 @@
+(** The plug-in runtime: builds (and memoizes) structural indexes on first
+    access, collects cold-access statistics into the catalog (Section 5.2
+    "Enabling Cost-based Optimizations"), and splices the caching manager
+    into scans — serving cached binary columns instead of raw bytes, and
+    filling new caches as a side-effect of scanning (Section 6). *)
+
+open Proteus_catalog
+
+type t
+
+(** Construction cost and footprint of a structural index, for the ratios
+    reported in Section 7.1. *)
+type index_info = {
+  size_bytes : int;
+  input_bytes : int;
+  build_seconds : float;
+  fixed_schema : bool;  (** meaningful for JSON only *)
+}
+
+val create : ?cache:Cache_iface.t -> Catalog.t -> t
+
+val catalog : t -> Catalog.t
+val cache : t -> Cache_iface.t
+val set_cache : t -> Cache_iface.t -> unit
+
+(** [source t name] is the raw source for a dataset (builds the structural
+    index on first access — the paper's "cold" query). No cache routing. *)
+val source : t -> string -> Source.t
+
+(** [index_info t name] is available after the first access to a CSV or
+    JSON dataset. *)
+val index_info : t -> string -> index_info option
+
+(** Invalidate the memoized index of a dataset (data updates: "drop and
+    rebuild affected auxiliary structures", Section 4). *)
+val invalidate : t -> string -> unit
+
+(** A cache-aware scan over one dataset. *)
+type scan = {
+  sc_source : Source.t;
+      (** like {!source}, but [field] serves cache-hit paths from their
+          binary cache columns *)
+  sc_run : on_tuple:(unit -> unit) -> unit;
+      (** full scan; populates cache columns for the required paths the
+          policy elects, registering them at scan end *)
+  sc_cache_hits : string list;  (** required paths served from cache *)
+}
+
+(** [scan t ~dataset ~required] prepares a scan reading the [required]
+    dotted paths. *)
+val scan : t -> dataset:string -> required:string list -> scan

@@ -1,0 +1,50 @@
+open Proteus_model
+
+type unnest_spec = {
+  u_elem_ty : Ptype.t;
+  u_prepare : string list -> unit;
+  u_iter : on_elem:(unit -> unit) -> unit;
+  u_field : string -> Access.t;
+  u_value : unit -> Value.t;
+}
+
+type t = {
+  element : Ptype.t;
+  count : int;
+  seek : int -> unit;
+  field : string -> Access.t;
+  whole : unit -> Value.t;
+  unnest : string -> unnest_spec option;
+}
+
+let run t ~on_tuple =
+  for i = 0 to t.count - 1 do
+    t.seek i;
+    on_tuple ()
+  done
+
+let boxed_iter t =
+  let i = ref 0 in
+  fun () ->
+    if !i >= t.count then None
+    else begin
+      t.seek !i;
+      incr i;
+      Some (t.whole ())
+    end
+
+let field_type element path =
+  let parts = String.split_on_char '.' path in
+  let rec go ty parts nullable =
+    match parts with
+    | [] -> if nullable then Ptype.Option (Ptype.unwrap_option ty) else ty
+    | name :: rest -> (
+      let nullable = nullable || (match ty with Ptype.Option _ -> true | _ -> false) in
+      match Ptype.unwrap_option ty with
+      | Ptype.Record fields -> (
+        match List.assoc_opt name fields with
+        | Some fty -> go fty rest nullable
+        | None -> Perror.plan_error "no field %s reachable via path %s" name path)
+      | other -> Perror.plan_error "path %s traverses non-record %a" path Ptype.pp other)
+  in
+  go element parts false

@@ -1,0 +1,55 @@
+(** The input plug-in contract (Table 2 of the paper), staged for the
+    closure-compiled engine.
+
+    A [Source.t] is the result of pointing a plug-in at a dataset for one
+    query: a positioned cursor plus accessors that read {e at the current
+    cursor}. The correspondence with the paper's API:
+
+    - [generate()] → {!run} / {!seek}: drive the scan loop;
+    - [readValue()/readPath()] → {!field} (dotted paths reach nested
+      records in one step, via the structural index's Level 0);
+    - [flushValue()] → {!whole} (reconstruct the full element, boxed);
+    - [unnestInit()/unnestHasNext()/unnestGetNext()] → {!unnest};
+    - [hashValue()] is subsumed by the typed getters of {!Access.t} (the
+      engine hashes unboxed values directly). *)
+
+open Proteus_model
+
+type unnest_spec = {
+  u_elem_ty : Ptype.t;  (** element type of the nested collection *)
+  u_prepare : string list -> unit;
+      (** [u_prepare paths] tells the plug-in, at engine-generation time,
+          which element fields the query reads: the plug-in can then fuse
+          their extraction into the element-boundary scan ("generate code
+          processing only the required data fields", Section 5.2). Optional
+          optimization — accessors must work without it. *)
+  u_iter : on_elem:(unit -> unit) -> unit;
+      (** iterate the collection of the {e current} element; during each
+          [on_elem] call the element accessors below are valid *)
+  u_field : string -> Access.t;  (** field of the current nested element *)
+  u_value : unit -> Value.t;     (** current nested element, boxed *)
+}
+
+type t = {
+  element : Ptype.t;            (** type of one dataset element *)
+  count : int;                  (** number of elements (known after indexing) *)
+  seek : int -> unit;           (** position the cursor at an OID *)
+  field : string -> Access.t;
+      (** accessor for a dotted path; raises [Perror.Plan_error] on unknown
+          paths whose absence the schema does not allow *)
+  whole : unit -> Value.t;      (** the full current element, boxed *)
+  unnest : string -> unnest_spec option;
+      (** [None] when the path is not a nested collection *)
+}
+
+(** [run t ~on_tuple] is the scan loop: seek 0..count-1, calling [on_tuple]
+    at each position. *)
+val run : t -> on_tuple:(unit -> unit) -> unit
+
+(** [boxed_iter t] is a pull-based boxed iterator (the Volcano scan). *)
+val boxed_iter : t -> unit -> Value.t option
+
+(** [field_type element path] resolves a dotted path against an element
+    type; [Option] layers encountered on the way make the result nullable.
+    Raises [Perror.Plan_error] for unknown fields. *)
+val field_type : Ptype.t -> string -> Ptype.t

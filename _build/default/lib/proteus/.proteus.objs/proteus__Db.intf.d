@@ -1,0 +1,1 @@
+lib/proteus/db.mli: Catalog Column Proteus_algebra Proteus_cache Proteus_catalog Proteus_engine Proteus_format Proteus_model Proteus_plugin Proteus_storage Ptype Value

@@ -1,0 +1,1 @@
+lib/proteus/output.ml: Array Buffer List Perror Proteus_format Proteus_model String Value

@@ -1,0 +1,1 @@
+lib/proteus/output.mli: Proteus_model Value

@@ -1,0 +1,1 @@
+lib/proteus/typeinfer.ml: Array Date_util List Perror Proteus_format Proteus_model Ptype String

@@ -1,0 +1,1 @@
+lib/proteus/typeinfer.mli: Proteus_format Proteus_model Ptype

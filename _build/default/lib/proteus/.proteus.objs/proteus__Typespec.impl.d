@@ -1,0 +1,1 @@
+lib/proteus/typespec.ml: List Perror Proteus_model Ptype String

@@ -1,0 +1,1 @@
+lib/proteus/typespec.mli: Proteus_model

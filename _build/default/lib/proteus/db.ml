@@ -1,0 +1,284 @@
+open Proteus_model
+open Proteus_storage
+open Proteus_catalog
+module Registry = Proteus_plugin.Registry
+module Manager = Proteus_cache.Manager
+module Executor = Proteus_engine.Executor
+
+type t = {
+  catalog : Catalog.t;
+  registry : Registry.t;
+  cache : Manager.t;
+}
+
+type engine = Proteus_engine.Executor.engine = Engine_compiled | Engine_volcano
+
+let create ?cache_budget ?(caching = Manager.default_config) () =
+  let catalog = Catalog.create ?cache_budget () in
+  let cache = Manager.create ~config:caching catalog in
+  let registry = Registry.create ~cache:(Manager.iface cache) catalog in
+  { catalog; registry; cache }
+
+let catalog t = t.catalog
+let registry t = t.registry
+let cache_manager t = t.cache
+
+let set_caching ?(clear = false) t enabled =
+  if clear then Manager.clear t.cache;
+  Registry.set_cache t.registry
+    (if enabled then Manager.iface t.cache else Proteus_plugin.Cache_iface.disabled)
+
+let register t d =
+  Catalog.register t.catalog d;
+  Registry.invalidate t.registry d.Dataset.name
+
+let register_csv t ~name ?(config = Proteus_format.Csv.default_config) ~element
+    ~contents () =
+  let blob = name ^ ".csv" in
+  Memory.register_blob (Catalog.memory t.catalog) ~name:blob contents;
+  register t
+    (Dataset.make ~name ~format:(Dataset.Csv config) ~location:(Dataset.Blob blob)
+       ~element)
+
+let register_csv_file t ~name ?(config = Proteus_format.Csv.default_config) ~element
+    ~path () =
+  register t
+    (Dataset.make ~name ~format:(Dataset.Csv config) ~location:(Dataset.File path)
+       ~element)
+
+let register_json t ~name ~element ~contents =
+  let blob = name ^ ".json" in
+  Memory.register_blob (Catalog.memory t.catalog) ~name:blob contents;
+  register t
+    (Dataset.make ~name ~format:Dataset.Json ~location:(Dataset.Blob blob) ~element)
+
+let register_json_inferred t ~name ~contents =
+  let element = Typeinfer.of_json contents in
+  register_json t ~name ~element ~contents;
+  element
+
+let register_csv_inferred t ~name ?(config = Proteus_format.Csv.default_config)
+    ~contents () =
+  let config = { config with Proteus_format.Csv.has_header = true } in
+  let element = Typeinfer.of_csv ~config contents in
+  register_csv t ~name ~config ~element ~contents ();
+  element
+
+let register_json_file t ~name ~element ~path =
+  register t
+    (Dataset.make ~name ~format:Dataset.Json ~location:(Dataset.File path) ~element)
+
+let register_rows t ~name ~element records =
+  let schema = Schema.of_type element in
+  register t
+    (Dataset.make ~name ~format:Dataset.Binary_row
+       ~location:(Dataset.Rows (Rowpage.of_records schema records))
+       ~element)
+
+let register_columns t ~name ~element cols =
+  register t
+    (Dataset.make ~name ~format:Dataset.Binary_column ~location:(Dataset.Columns cols)
+       ~element)
+
+let register_columns_of t ~name ~element records =
+  let schema = Schema.of_type element in
+  let cols =
+    List.map
+      (fun (f : Schema.field) ->
+        ( f.name,
+          Column.of_values f.ty
+            (List.map
+               (fun r ->
+                 match Value.field_opt r f.name with Some v -> v | None -> Value.Null)
+               records) ))
+      (Schema.fields schema)
+  in
+  register_columns t ~name ~element cols
+
+let drop t name =
+  Catalog.remove t.catalog name;
+  Registry.invalidate t.registry name;
+  Manager.invalidate_dataset t.cache ~dataset:name
+
+let append t ~name contents =
+  let d = Catalog.find t.catalog name in
+  let blob =
+    match d.Dataset.location with
+    | Dataset.Blob b -> b
+    | Dataset.File path ->
+      (* pull the file through the memory manager once, then keep the
+         appended image as a blob under the same name *)
+      let current = Memory.load_file (Catalog.memory t.catalog) path in
+      Memory.register_blob (Catalog.memory t.catalog) ~name:path current;
+      path
+    | Dataset.Rows _ | Dataset.Columns _ ->
+      Perror.plan_error "dataset %s has no appendable byte image" name
+  in
+  let mem = Catalog.memory t.catalog in
+  let current = Memory.contents mem blob in
+  Memory.register_blob mem ~name:blob (current ^ contents);
+  (* drop and rebuild affected auxiliary structures (Section 4) *)
+  Registry.invalidate t.registry name;
+  Manager.invalidate_dataset t.cache ~dataset:name
+
+(* Column resolution against registered schemas: a column belongs to the
+   unique table alias whose dataset's element type has a field of that
+   name. *)
+let resolver t : Proteus_lang.Sql.resolver =
+ fun ~aliases ~column ->
+  let owners =
+    List.filter
+      (fun (_, ds) ->
+        match Catalog.find_opt t.catalog ds with
+        | Some d -> (
+          match d.Dataset.element with
+          | Ptype.Record fields -> List.mem_assoc column fields
+          | _ -> false)
+        | None -> false)
+      aliases
+  in
+  match owners with
+  | [ (alias, _) ] -> Some alias
+  | [] | _ :: _ :: _ -> ( match aliases with [ (a, _) ] -> Some a | _ -> None)
+
+let run_plan ?(engine = Executor.Engine_compiled) ?(optimize = true) t plan =
+  let plan = if optimize then Proteus_optimizer.Optimizer.optimize t.catalog plan else plan in
+  Executor.run t.registry ~engine plan
+
+let of_calc t calc = Proteus_optimizer.Optimizer.plan_of_calculus t.catalog calc
+
+(* ORDER BY / LIMIT: the calculus is a bag world, so ordering applies as a
+   Sort operator over the translated plan. Keys naming output columns read
+   the root binding's record; other key expressions are computed alongside
+   the select list as hidden fields and projected away again. *)
+let wrap_ordering t (stmt : Proteus_lang.Sql.statement) =
+  let plan = of_calc t stmt.Proteus_lang.Sql.body in
+  (* HAVING: a selection over the grouped output records *)
+  let plan =
+    match stmt.Proteus_lang.Sql.having, plan with
+    | None, _ -> plan
+    | Some pred, Proteus_algebra.Plan.Nest { keys; aggs; binding; _ } ->
+      let names =
+        List.map fst keys
+        @ List.map (fun (a : Proteus_algebra.Plan.agg) -> a.agg_name) aggs
+      in
+      let resolved =
+        List.fold_left
+          (fun e n ->
+            if List.mem n names then Expr.subst n (Expr.path binding [ n ]) e else e)
+          pred (Expr.free_vars pred)
+      in
+      Proteus_algebra.Plan.select resolved plan
+    | Some _, _ -> Perror.plan_error "HAVING requires GROUP BY"
+  in
+  match stmt.Proteus_lang.Sql.order_by, stmt.Proteus_lang.Sql.limit with
+  | [], None -> plan
+  | order_by, limit -> (
+    let module Plan = Proteus_algebra.Plan in
+    let sort_over ~binding ~names input rebuild =
+      (* resolve each key: output-column marker or hidden computed field *)
+      let hidden = ref [] in
+      let keys =
+        List.mapi
+          (fun i (e, d) ->
+            match e with
+            | Expr.Var n when List.mem n names -> (Expr.path binding [ n ], d)
+            | e ->
+              let h = Fmt.str "__ord%d" i in
+              hidden := (h, e) :: !hidden;
+              (Expr.path binding [ h ], d))
+          order_by
+      in
+      rebuild (List.rev !hidden) (fun inner -> Plan.sort ?limit ~keys inner) input
+    in
+    match plan with
+    | Plan.Reduce
+        {
+          monoid_output = [ { monoid = Monoid.Collection Ptype.Bag; expr; _ } ];
+          pred;
+          input;
+        } ->
+      (* plain SELECT: stream → project row records → sort *)
+      let fields =
+        match expr with
+        | Expr.Record_ctor fs -> fs
+        | e ->
+          let last_segment = function
+            | Expr.Field (_, n) -> Some n
+            | Expr.Var n -> Some n
+            | _ -> None
+          in
+          [ (Option.value (last_segment e) ~default:"value", e) ]
+      in
+      let names = List.map fst fields in
+      let filtered =
+        match pred with
+        | Expr.Const (Value.Bool true) -> input
+        | pred -> Plan.select pred input
+      in
+      sort_over ~binding:"row" ~names filtered (fun hidden mk_sort inner ->
+          let projected =
+            Plan.project ~binding:"row" ~fields:(fields @ hidden) inner
+          in
+          let sorted = mk_sort projected in
+          if hidden = [] then sorted
+          else
+            (* drop the hidden sort keys from the visible output *)
+            Plan.project ~binding:"row"
+              ~fields:(List.map (fun n -> (n, Expr.path "row" [ n ])) names)
+              sorted)
+    | Plan.Nest { keys = gkeys; aggs; binding; _ }
+    | Plan.Select { input = Plan.Nest { keys = gkeys; aggs; binding; _ }; _ } ->
+      let names =
+        List.map fst gkeys @ List.map (fun (a : Plan.agg) -> a.agg_name) aggs
+      in
+      sort_over ~binding ~names plan (fun hidden mk_sort inner ->
+          if hidden <> [] then
+            Perror.unsupported
+              "ORDER BY over a GROUP BY query must reference output columns";
+          mk_sort inner)
+    | _ ->
+      Perror.unsupported "ORDER BY/LIMIT requires a row-returning statement")
+
+let sql ?(engine = Executor.Engine_compiled) t q =
+  let stmt = Proteus_lang.Sql.parse_statement ~resolve:(resolver t) q in
+  Executor.run t.registry ~engine (wrap_ordering t stmt)
+
+let comprehension ?(engine = Executor.Engine_compiled) t q =
+  let calc = Proteus_lang.Comprehension.parse q in
+  Executor.run t.registry ~engine (of_calc t calc)
+
+let plan_sql t q = wrap_ordering t (Proteus_lang.Sql.parse_statement ~resolve:(resolver t) q)
+
+let plan_comprehension t q = of_calc t (Proteus_lang.Comprehension.parse q)
+
+type prepared = { compile_seconds : float; run : unit -> Value.t }
+
+let prepare_plan t plan =
+  let t0 = Unix.gettimeofday () in
+  let plan = Proteus_optimizer.Optimizer.optimize t.catalog plan in
+  Proteus_algebra.Plan.validate plan;
+  let run = Proteus_engine.Compiled.prepare t.registry plan in
+  { compile_seconds = Unix.gettimeofday () -. t0; run }
+
+let prepare_sql t q =
+  let t0 = Unix.gettimeofday () in
+  let stmt = Proteus_lang.Sql.parse_statement ~resolve:(resolver t) q in
+  let plan = wrap_ordering t stmt in
+  Proteus_algebra.Plan.validate plan;
+  let run = Proteus_engine.Compiled.prepare t.registry plan in
+  { compile_seconds = Unix.gettimeofday () -. t0; run }
+
+let prepare_comprehension t q =
+  let calc = Proteus_lang.Comprehension.parse q in
+  prepare_plan t
+    (Proteus_calculus.To_algebra.run (Proteus_calculus.Normalize.run calc))
+
+let refresh_stats t =
+  List.iter
+    (fun name ->
+      Proteus_catalog.Stats.clear (Catalog.stats t.catalog name);
+      Registry.invalidate t.registry name;
+      (* re-accessing rebuilds the source and re-collects cold statistics *)
+      ignore (Registry.source t.registry name))
+    (Catalog.names t.catalog)

@@ -1,0 +1,140 @@
+(** A Proteus session: the single query interface over heterogeneous data
+    the paper promises.
+
+    Register datasets of any supported format, then ask SQL (flat,
+    relational) or comprehension (nested) queries; each query runs through
+    the full pipeline — parse → calculus normalization → nested relational
+    algebra → rule- and cost-based optimization → cache matching → engine
+    generation (closure compilation) → execution — and the session's caching
+    manager adapts the storage to the workload as a side effect.
+
+    {[
+      let db = Proteus.Db.create () in
+      Proteus.Db.register_json db ~name:"sailors" ~element:... ~contents;
+      Proteus.Db.sql db "SELECT COUNT(*) FROM sailors WHERE age > 30"
+    ]} *)
+
+open Proteus_model
+open Proteus_storage
+open Proteus_catalog
+
+type t
+
+(** [create ()] — [caching] defaults to enabled with the paper's policies;
+    [cache_budget] is the arena size in bytes. *)
+val create :
+  ?cache_budget:int -> ?caching:Proteus_cache.Manager.config -> unit -> t
+
+val catalog : t -> Catalog.t
+val registry : t -> Proteus_plugin.Registry.t
+val cache_manager : t -> Proteus_cache.Manager.t
+
+(** Switch caching on/off mid-session (existing caches are kept unless
+    [clear] is passed). *)
+val set_caching : ?clear:bool -> t -> bool -> unit
+
+(** {1 Dataset registration} *)
+
+val register_csv :
+  t ->
+  name:string ->
+  ?config:Proteus_format.Csv.config ->
+  element:Ptype.t ->
+  contents:string ->
+  unit ->
+  unit
+
+val register_csv_file :
+  t ->
+  name:string ->
+  ?config:Proteus_format.Csv.config ->
+  element:Ptype.t ->
+  path:string ->
+  unit ->
+  unit
+
+val register_json : t -> name:string -> element:Ptype.t -> contents:string -> unit
+
+(** [register_json_inferred db ~name ~contents] infers the element type
+    from the data ({!Typeinfer.of_json}) and returns it. *)
+val register_json_inferred : t -> name:string -> contents:string -> Ptype.t
+
+(** [register_csv_inferred db ~name ~contents ()] — the CSV must carry a
+    header row; returns the inferred element type. *)
+val register_csv_inferred :
+  t ->
+  name:string ->
+  ?config:Proteus_format.Csv.config ->
+  contents:string ->
+  unit ->
+  Ptype.t
+
+val register_json_file : t -> name:string -> element:Ptype.t -> path:string -> unit
+
+(** [register_rows db ~name ~element records] packs boxed records into the
+    binary row format. *)
+val register_rows : t -> name:string -> element:Ptype.t -> Value.t list -> unit
+
+(** [register_columns db ~name ~element cols] registers binary columns. *)
+val register_columns :
+  t -> name:string -> element:Ptype.t -> (string * Column.t) list -> unit
+
+(** [register_columns_of db ~name ~element records] builds the columns from
+    boxed records. *)
+val register_columns_of : t -> name:string -> element:Ptype.t -> Value.t list -> unit
+
+(** [drop db name] unregisters a dataset and invalidates its indexes and
+    caches (the paper's update handling). *)
+val drop : t -> string -> unit
+
+(** [append db ~name contents] appends raw bytes to a blob-backed CSV or
+    JSON dataset — the append-like workloads of Section 4. Affected
+    auxiliary structures (structural indexes, caches) are dropped and
+    rebuilt on the next access, exactly as the paper prescribes for
+    updates. Raises [Perror.Plan_error] for datasets without a raw byte
+    image. *)
+val append : t -> name:string -> string -> unit
+
+(** {1 Querying} *)
+
+type engine = Proteus_engine.Executor.engine =
+  | Engine_compiled
+  | Engine_volcano
+
+(** [sql db q] parses, optimizes, compiles and runs a SQL statement.
+    Unqualified columns resolve against the registered schemas. *)
+val sql : ?engine:engine -> t -> string -> Value.t
+
+(** [comprehension db q] — same for the [for {...} yield ...] syntax. *)
+val comprehension : ?engine:engine -> t -> string -> Value.t
+
+(** [run_plan db plan] optimizes and runs an already-built algebra plan. *)
+val run_plan : ?engine:engine -> ?optimize:bool -> t -> Proteus_algebra.Plan.t -> Value.t
+
+(** [plan_sql db q] is the optimized physical plan (EXPLAIN). *)
+val plan_sql : t -> string -> Proteus_algebra.Plan.t
+
+val plan_comprehension : t -> string -> Proteus_algebra.Plan.t
+
+(** {1 Prepared queries}
+
+    [prepare_*] separates engine generation from execution, as the paper
+    reports them separately (LLVM compilation is ~50 ms per query there;
+    closure staging here is far cheaper). The prepared thunk can run
+    repeatedly; every run re-scans the inputs. *)
+
+type prepared = {
+  compile_seconds : float;  (** time spent generating this query's engine *)
+  run : unit -> Value.t;
+}
+
+val prepare_sql : t -> string -> prepared
+
+val prepare_comprehension : t -> string -> prepared
+
+(** [prepare_plan db plan] optimizes and compiles an algebra plan. *)
+val prepare_plan : t -> Proteus_algebra.Plan.t -> prepared
+
+(** [refresh_stats db] re-collects statistics for every registered dataset —
+    the paper's idle-time statistics daemon, exposed as an explicit hook. *)
+val refresh_stats : t -> unit

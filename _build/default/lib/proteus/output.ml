@@ -1,0 +1,86 @@
+open Proteus_model
+module Json = Proteus_format.Json
+
+let to_json (v : Value.t) =
+  match v with
+  | Value.Coll (_, rows) ->
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun r ->
+        Json.to_buffer buf (Json.of_value r);
+        Buffer.add_char buf '\n')
+      rows;
+    Buffer.contents buf
+  | v -> Json.to_string (Json.of_value v)
+
+let rows_and_header (v : Value.t) =
+  match v with
+  | Value.Coll (_, rows) ->
+    let header =
+      match rows with
+      | Value.Record fields :: _ -> Array.to_list (Array.map fst fields)
+      | [] -> []
+      | _ -> [ "value" ]
+    in
+    let cells r =
+      match r with
+      | Value.Record fields -> Array.to_list (Array.map snd fields)
+      | v -> [ v ]
+    in
+    (header, List.map cells rows)
+  | v -> ([ "value" ], [ [ v ] ])
+
+let render_cell (v : Value.t) =
+  match v with
+  | Value.String s -> s
+  | Value.Null -> ""
+  | v -> Value.to_string v
+
+let to_csv (v : Value.t) =
+  let header, rows = rows_and_header v in
+  List.iter
+    (fun cells ->
+      List.iter
+        (fun c ->
+          match (c : Value.t) with
+          | Value.Record _ | Value.Coll (_, _ :: _) ->
+            Perror.type_error "CSV output requires flat rows, got %a" Value.pp c
+          | _ -> ())
+        cells)
+    rows;
+  let buf = Buffer.create 256 in
+  let config = Proteus_format.Csv.default_config in
+  Buffer.add_string buf (String.concat "," header);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun cells -> Proteus_format.Csv.write_row buf config (Array.of_list cells))
+    rows;
+  Buffer.contents buf
+
+let to_table (v : Value.t) =
+  let header, rows = rows_and_header v in
+  let rendered = List.map (fun cells -> List.map render_cell cells) rows in
+  let widths =
+    List.fold_left
+      (fun acc row ->
+        List.map2 (fun w c -> max w (String.length c)) acc
+          (* pad ragged rows defensively *)
+          (if List.length row = List.length acc then row
+           else List.mapi (fun i _ -> try List.nth row i with _ -> "") acc))
+      (List.map String.length header)
+      rendered
+  in
+  let buf = Buffer.create 256 in
+  let emit_row cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf c;
+        Buffer.add_string buf (String.make (max 0 (List.nth widths i - String.length c)) ' '))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  emit_row (List.map (fun w -> String.make w '-') widths);
+  List.iter emit_row rendered;
+  Buffer.contents buf

@@ -1,0 +1,17 @@
+(** Output plug-ins: flushing query results out in a chosen format
+    (Section 4's Output Plug-ins also serve result emission — the engine is
+    not tied to one output shape any more than to one input shape). *)
+
+open Proteus_model
+
+(** [to_json v] renders a result value as JSON — a collection becomes one
+    object/value per line, matching the input convention. *)
+val to_json : Value.t -> string
+
+(** [to_csv v] renders a bag/list of flat records as CSV with a header row.
+    Raises [Perror.Type_error] when rows are not flat records or the result
+    is a scalar. *)
+val to_csv : Value.t -> string
+
+(** [to_table v] renders a result as an aligned text table for terminals. *)
+val to_table : Value.t -> string

@@ -1,0 +1,154 @@
+open Proteus_model
+module Json = Proteus_format.Json
+module Csv = Proteus_format.Csv
+
+(* The inference lattice: Bot joins with anything (a null or an empty
+   array), and [opt] records that an actual null / missing field was seen. *)
+type ity =
+  | Bot
+  | Prim of Ptype.t            (* Int, Float, Bool, String, Date *)
+  | Arr of ity
+  | Obj of (string * field) list  (* insertion-ordered *)
+
+and field = { mutable ity : ity; mutable opt : bool; mutable seen : int }
+
+let rec join a b =
+  match a, b with
+  | Bot, t | t, Bot -> t
+  | Prim Ptype.Int, Prim Ptype.Float | Prim Ptype.Float, Prim Ptype.Int ->
+    Prim Ptype.Float
+  | Prim x, Prim y when Ptype.equal x y -> a
+  | Arr x, Arr y -> Arr (join x y)
+  | Obj fa, Obj fb ->
+    (* union of fields; a field absent on one side becomes optional *)
+    let merged = ref (List.map (fun (n, f) -> (n, f)) fa) in
+    let names_a = List.map fst fa in
+    List.iter
+      (fun (n, f) ->
+        match List.assoc_opt n !merged with
+        | Some g ->
+          g.ity <- join g.ity f.ity;
+          g.opt <- g.opt || f.opt;
+          g.seen <- g.seen + f.seen
+        | None -> merged := !merged @ [ (n, f) ])
+      fb;
+    ignore names_a;
+    Obj !merged
+  | a, b ->
+    let rec pp = function
+      | Bot -> "null"
+      | Prim t -> Ptype.to_string t
+      | Arr t -> "[" ^ pp t ^ "]"
+      | Obj _ -> "{...}"
+    in
+    Perror.type_error "cannot unify inferred types %s and %s" (pp a) (pp b)
+
+let rec of_jvalue (j : Json.t) : ity =
+  match j with
+  | Json.Null -> Bot
+  | Json.Bool _ -> Prim Ptype.Bool
+  | Json.Int _ -> Prim Ptype.Int
+  | Json.Float _ -> Prim Ptype.Float
+  | Json.Str _ -> Prim Ptype.String
+  | Json.Arr elems -> Arr (List.fold_left (fun acc e -> join acc (of_jvalue e)) Bot elems)
+  | Json.Obj fields ->
+    Obj
+      (List.map
+         (fun (n, v) ->
+           let t = of_jvalue v in
+           (n, { ity = t; opt = (t = Bot); seen = 1 }))
+         fields)
+
+let rec finalize (t : ity) : Ptype.t =
+  match t with
+  | Bot -> Ptype.Option Ptype.Int   (* only nulls seen: a degenerate column *)
+  | Prim p -> p
+  | Arr e -> Ptype.Collection (Ptype.List, finalize e)
+  | Obj fields ->
+    Ptype.Record
+      (List.map
+         (fun (n, f) ->
+           let base = finalize f.ity in
+           (n, if f.opt then Ptype.Option (Ptype.unwrap_option base) else base))
+         fields)
+
+let of_json contents =
+  match Json.parse_seq contents with
+  | [] -> invalid_arg "Typeinfer.of_json: empty input"
+  | objs ->
+    let total = List.length objs in
+    let joined = List.fold_left (fun acc o -> join acc (of_jvalue o)) Bot objs in
+    (* a field seen in fewer objects than exist is optional *)
+    (match joined with
+    | Obj fields ->
+      List.iter (fun (_, f) -> if f.seen < total then f.opt <- true) fields
+    | _ -> ());
+    (match finalize joined with
+    | Ptype.Record _ as r -> r
+    | t -> Perror.type_error "JSON elements are %a, not objects" Ptype.pp t)
+
+(* --- CSV ------------------------------------------------------------------- *)
+
+let parses f src start stop =
+  match f src ~start ~stop with _ -> true | exception _ -> false
+
+let of_csv ?(config = Csv.default_config) contents =
+  let config = { config with Csv.has_header = true } in
+  let header_stop =
+    let _, stop, _ = Csv.row_bounds contents ~pos:0 in
+    stop
+  in
+  let names =
+    Csv.field_spans config contents ~start:0 ~stop:header_stop
+    |> List.map (fun (s, e) -> Csv.parse_string contents ~start:s ~stop:e)
+  in
+  if names = [] then invalid_arg "Typeinfer.of_csv: empty input";
+  let ncols = List.length names in
+  (* per column: which parsers still succeed on every non-empty value *)
+  let can_int = Array.make ncols true in
+  let can_float = Array.make ncols true in
+  let can_date = Array.make ncols true in
+  let can_bool = Array.make ncols true in
+  let has_empty = Array.make ncols false in
+  let nonempty = Array.make ncols 0 in
+  let n = String.length contents in
+  let rec rows pos =
+    if pos < n then begin
+      let start, stop, next = Csv.row_bounds contents ~pos in
+      if start < stop then begin
+        let spans = Csv.field_spans config contents ~start ~stop in
+        if List.length spans <> ncols then
+          Perror.parse_error ~what:"csv-infer" ~pos:start
+            "row arity %d differs from header arity %d" (List.length spans) ncols;
+        List.iteri
+          (fun i (s, e) ->
+            if s >= e then has_empty.(i) <- true
+            else begin
+              nonempty.(i) <- nonempty.(i) + 1;
+              if can_int.(i) then can_int.(i) <- parses Csv.parse_int contents s e;
+              if can_float.(i) then can_float.(i) <- parses Csv.parse_float contents s e;
+              if can_date.(i) then
+                can_date.(i) <-
+                  e - s = 10 && contents.[s + 4] = '-'
+                  && parses (fun src ~start ~stop -> Date_util.of_span src ~start ~stop)
+                       contents s e;
+              if can_bool.(i) then can_bool.(i) <- parses Csv.parse_bool contents s e
+            end)
+          spans
+      end;
+      rows next
+    end
+  in
+  rows (Csv.data_start config contents);
+  let col_type i =
+    let base =
+      if nonempty.(i) = 0 then Ptype.String
+      else if can_int.(i) then Ptype.Int
+      else if can_float.(i) then Ptype.Float
+      else if can_date.(i) then Ptype.Date
+      else if can_bool.(i) then Ptype.Bool
+      else Ptype.String
+    in
+    if has_empty.(i) then Ptype.Option base else base
+  in
+  Ptype.Record (List.mapi (fun i name -> (name, col_type i)) names)

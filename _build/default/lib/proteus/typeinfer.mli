@@ -1,0 +1,27 @@
+(** Schema inference for raw files.
+
+    The engine needs the element type of a dataset before it can generate
+    access code; when no schema is given, these functions derive one from
+    the data itself:
+
+    - JSON: the types of all objects are unified — fields missing from some
+      objects become [Option], [Int] joins with [Float] as [Float], arrays
+      unify their element types, nested objects unify field-wise;
+    - CSV: the header row names the columns, and each column gets the
+      narrowest type that parses every value ([Int] → [Float] → [Date] →
+      [Bool] → [String]); columns with empty fields become [Option].
+
+    Genuinely conflicting types (a field that is sometimes a number and
+    sometimes an object) raise [Perror.Type_error] rather than guessing. *)
+
+open Proteus_model
+
+(** [of_json contents] infers the element type of a JSON object sequence.
+    Raises [Perror.Parse_error] on malformed JSON, [Perror.Type_error] on
+    unresolvable conflicts, [Invalid_argument] on empty input. *)
+val of_json : string -> Ptype.t
+
+(** [of_csv ?config contents] infers from a CSV file {e with a header row}
+    (the header requirement is implicit; [config]'s [has_header] is
+    ignored). *)
+val of_csv : ?config:Proteus_format.Csv.config -> string -> Ptype.t

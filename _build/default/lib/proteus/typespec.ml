@@ -1,0 +1,100 @@
+open Proteus_model
+
+let fail pos fmt = Perror.parse_error ~what:"typespec" ~pos fmt
+
+let parse s : Ptype.t =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t') do
+      incr pos
+    done
+  in
+  let ident () =
+    skip_ws ();
+    let start = !pos in
+    while
+      !pos < n
+      && (match s.[!pos] with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+         | _ -> false)
+    do
+      incr pos
+    done;
+    if !pos = start then fail !pos "expected identifier";
+    String.sub s start (!pos - start)
+  in
+  let expect c =
+    skip_ws ();
+    if peek () = Some c then incr pos else fail !pos "expected %C" c
+  in
+  let rec ty () : Ptype.t =
+    skip_ws ();
+    let base =
+      match peek () with
+      | Some '[' ->
+        incr pos;
+        let inner = spec () in
+        expect ']';
+        Ptype.Collection (Ptype.List, inner)
+      | Some '{' ->
+        incr pos;
+        let inner = spec () in
+        expect '}';
+        inner
+      | _ -> (
+        match ident () with
+        | "int" -> Ptype.Int
+        | "float" -> Ptype.Float
+        | "bool" -> Ptype.Bool
+        | "string" -> Ptype.String
+        | "date" -> Ptype.Date
+        | other -> fail !pos "unknown type %s" other)
+    in
+    skip_ws ();
+    if peek () = Some '?' then begin
+      incr pos;
+      Ptype.Option base
+    end
+    else base
+  and spec () : Ptype.t =
+    let rec fields acc =
+      let name = ident () in
+      expect ':';
+      let t = ty () in
+      let acc = (name, t) :: acc in
+      skip_ws ();
+      if peek () = Some ',' then begin
+        incr pos;
+        fields acc
+      end
+      else List.rev acc
+    in
+    Ptype.Record (fields [])
+  in
+  let result = spec () in
+  skip_ws ();
+  if !pos <> n then fail !pos "trailing input";
+  result
+
+(* field-position types brace nested records; the top-level spec does not *)
+let rec render_ty (ty : Ptype.t) =
+  match ty with
+  | Ptype.Int -> "int"
+  | Ptype.Float -> "float"
+  | Ptype.Bool -> "bool"
+  | Ptype.String -> "string"
+  | Ptype.Date -> "date"
+  | Ptype.Option t -> render_ty t ^ "?"
+  | Ptype.Collection (_, (Ptype.Record _ as r)) -> "[" ^ render_fields r ^ "]"
+  | Ptype.Collection (_, t) -> "[" ^ render_ty t ^ "]"
+  | Ptype.Record _ as r -> "{" ^ render_fields r ^ "}"
+
+and render_fields = function
+  | Ptype.Record fields ->
+    String.concat "," (List.map (fun (n, t) -> n ^ ":" ^ render_ty t) fields)
+  | t -> render_ty t
+
+let render (ty : Ptype.t) =
+  match ty with Ptype.Record _ -> render_fields ty | t -> render_ty t

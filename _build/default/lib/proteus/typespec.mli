@@ -1,0 +1,20 @@
+(** A compact textual syntax for element types, used by the CLI to declare
+    dataset schemas on the command line.
+
+    {v
+    spec  ::= field ("," field)*
+    field ::= name ":" ty
+    ty    ::= "int" | "float" | "bool" | "string" | "date"
+            | ty "?"                 nullable
+            | "[" spec "]"           list of records
+            | "{" spec "}"           nested record
+    v}
+
+    Example: ["id:int,children:[name:string,age:int]"]. *)
+
+(** [parse s] — raises [Perror.Parse_error] on malformed specs. *)
+val parse : string -> Proteus_model.Ptype.t
+
+(** [render ty] prints a type back in the spec syntax (inverse of {!parse}
+    for supported types). *)
+val render : Proteus_model.Ptype.t -> string

@@ -1,0 +1,1 @@
+lib/storage/column.ml: Array List Perror Proteus_model Ptype String Value

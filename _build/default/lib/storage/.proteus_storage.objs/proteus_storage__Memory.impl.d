@@ -1,0 +1,1 @@
+lib/storage/memory.ml: Fmt Hashtbl Int List Logs

@@ -1,0 +1,1 @@
+lib/storage/rowpage.ml: Array Buffer Bytes Char Int64 List Perror Proteus_model Ptype Schema String Value

@@ -1,0 +1,1 @@
+lib/storage/rowpage.mli: Proteus_model Schema Value

@@ -1,0 +1,53 @@
+(** Typed column chunks — the binary column format, in memory.
+
+    Used by (i) the binary-column input plug-in (the "MonetDB-like" files the
+    paper's Proteus reads), (ii) the caching manager (caches are binary
+    columns materialized from evaluated expressions, Section 6), and (iii)
+    the column-store baseline engine. *)
+
+open Proteus_model
+
+type t =
+  | Ints of int array
+  | Floats of float array
+  | Bools of bool array
+  | Strings of string array
+  | Nullmask of bool array * t
+      (** validity-tagged column: [mask.(i)] true means value [i] is NULL *)
+
+val length : t -> int
+
+(** [get c i] boxes element [i]. Dates are stored in [Ints] columns; callers
+    that care about dates re-wrap via the schema. *)
+val get : t -> int -> Value.t
+
+(** [of_values ty vs] packs boxed values into a typed column. Null values
+    force a [Nullmask] wrapper. *)
+val of_values : Ptype.t -> Value.t list -> t
+
+(** Builders: dynamic typed arrays, for streaming materialization. *)
+module Builder : sig
+  type column = t
+  type t
+
+  val create : Ptype.t -> t
+
+  (** Fast paths that avoid boxing. Using one on a column of a different type
+      raises [Perror.Type_error]. *)
+  val add_int : t -> int -> unit
+
+  val add_float : t -> float -> unit
+  val add_bool : t -> bool -> unit
+  val add_string : t -> string -> unit
+
+  val add_value : t -> Value.t -> unit
+  val length : t -> int
+  val finish : t -> column
+end
+
+(** Approximate memory footprint in bytes (for cache budgeting). *)
+val byte_size : t -> int
+
+(** [min_max c] is [(min, max)] over non-null elements, [None] when empty.
+    Used by the statistics collectors. *)
+val min_max : t -> (Value.t * Value.t) option

@@ -1,0 +1,142 @@
+let src = Logs.Src.create "proteus.memory" ~doc:"Proteus memory manager"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type block = {
+  id : string;
+  size : int;
+  bias : int;                   (* 0 = binary, 1 = csv, 2 = json *)
+  mutable last_use : int;
+  mutable pinned : bool;
+  on_evict : unit -> unit;
+}
+
+type t = {
+  inputs : (string, string) Hashtbl.t;
+  blocks : (string, block) Hashtbl.t;
+  budget : int;
+  mutable used : int;
+  mutable clock : int;
+}
+
+let create ?(cache_budget = 256 * 1024 * 1024) () =
+  {
+    inputs = Hashtbl.create 16;
+    blocks = Hashtbl.create 64;
+    budget = cache_budget;
+    used = 0;
+    clock = 0;
+  }
+
+let load_file t path =
+  match Hashtbl.find_opt t.inputs path with
+  | Some s -> s
+  | None ->
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Hashtbl.replace t.inputs path s;
+    Log.debug (fun m -> m "loaded %s (%d bytes)" path n);
+    s
+
+let register_blob t ~name contents = Hashtbl.replace t.inputs name contents
+
+let contents t name =
+  match Hashtbl.find_opt t.inputs name with
+  | Some s -> s
+  | None -> raise Not_found
+
+let is_registered t name = Hashtbl.mem t.inputs name
+
+let forget t name = Hashtbl.remove t.inputs name
+
+module Arena = struct
+  type mgr = t
+  type nonrec t = t
+  type bias = Bias_binary | Bias_csv | Bias_json
+
+  let bias_rank = function Bias_binary -> 0 | Bias_csv -> 1 | Bias_json -> 2
+
+  let of_mgr t = t
+  let budget t = t.budget
+  let used t = t.used
+
+  let tick t =
+    t.clock <- t.clock + 1;
+    t.clock
+
+  (* Eviction order: unpinned blocks, lowest bias class first, then least
+     recently used within the class. *)
+  let victim t =
+    Hashtbl.fold
+      (fun _ b best ->
+        if b.pinned then best
+        else
+          match best with
+          | None -> Some b
+          | Some v ->
+            if b.bias < v.bias || (b.bias = v.bias && b.last_use < v.last_use) then Some b
+            else best)
+      t.blocks None
+
+  let remove_block t b ~run_hook =
+    Hashtbl.remove t.blocks b.id;
+    t.used <- t.used - b.size;
+    if run_hook then b.on_evict ()
+
+  let put t ~id ~size ~bias ~on_evict =
+    if size > t.budget then
+      invalid_arg (Fmt.str "Arena.put: block %s (%d bytes) exceeds budget %d" id size t.budget);
+    (match Hashtbl.find_opt t.blocks id with
+    | Some old -> remove_block t old ~run_hook:false
+    | None -> ());
+    let rec make_room () =
+      if t.used + size > t.budget then
+        match victim t with
+        | Some v ->
+          Log.debug (fun m -> m "evicting cache block %s (%d bytes)" v.id v.size);
+          remove_block t v ~run_hook:true;
+          make_room ()
+        | None ->
+          invalid_arg
+            (Fmt.str "Arena.put: cannot fit %s: all %d resident bytes pinned" id t.used)
+    in
+    make_room ();
+    let b =
+      { id; size; bias = bias_rank bias; last_use = tick t; pinned = false; on_evict }
+    in
+    Hashtbl.replace t.blocks id b;
+    t.used <- t.used + size
+
+  let touch t id =
+    match Hashtbl.find_opt t.blocks id with
+    | Some b ->
+      b.last_use <- tick t;
+      true
+    | None -> false
+
+  let mem t id = Hashtbl.mem t.blocks id
+
+  let remove t id =
+    match Hashtbl.find_opt t.blocks id with
+    | Some b -> remove_block t b ~run_hook:false
+    | None -> ()
+
+  let pin t id =
+    match Hashtbl.find_opt t.blocks id with
+    | Some b -> b.pinned <- true
+    | None -> ()
+
+  let unpin t id =
+    match Hashtbl.find_opt t.blocks id with
+    | Some b -> b.pinned <- false
+    | None -> ()
+
+  let block_count t = Hashtbl.length t.blocks
+
+  let resident t =
+    Hashtbl.fold (fun _ b acc -> b :: acc) t.blocks []
+    |> List.sort (fun a b -> Int.compare b.last_use a.last_use)
+    |> List.map (fun b -> b.id)
+end

@@ -1,0 +1,69 @@
+(** The Memory Manager (Section 4).
+
+    Two concerns, as in the paper:
+
+    - {b Input files} are memory-mapped and paging is left to the OS. Here a
+      file is read into an immutable string once per registration and served
+      byte-addressably from then on; in-memory datasets register as blobs
+      under a synthetic name, so generators can feed the engine without
+      touching the disk.
+
+    - {b Caching structures} live in a pinned arena with a budget; when the
+      budget is exceeded a format-biased LRU evicts the cheapest-to-rebuild
+      blocks first (bias order: JSON > CSV > binary, Section 6 "Cache
+      Policies"). *)
+
+type t
+
+val create : ?cache_budget:int -> unit -> t
+(** [cache_budget] is the arena size in bytes (default 256 MiB). *)
+
+(** {1 Input registry} *)
+
+(** [load_file t path] reads [path] once and memoizes its contents. *)
+val load_file : t -> string -> string
+
+(** [register_blob t ~name contents] registers an in-memory "file". *)
+val register_blob : t -> name:string -> string -> unit
+
+(** [contents t name] is the bytes of a registered blob or loaded file.
+    @raise Not_found when [name] was never registered or loaded. *)
+val contents : t -> string -> string
+
+val is_registered : t -> string -> bool
+
+(** [forget t name] drops a registered input (tests / update handling). *)
+val forget : t -> string -> unit
+
+(** {1 Cache arena} *)
+
+module Arena : sig
+  type mgr = t
+  type t
+
+  (** Eviction preference class; bigger bias = kept longer. *)
+  type bias = Bias_binary | Bias_csv | Bias_json
+
+  val of_mgr : mgr -> t
+  val budget : t -> int
+  val used : t -> int
+
+  (** [put t ~id ~size ~bias ~on_evict] inserts (or replaces) block [id],
+      evicting unpinned blocks — lowest bias first, then least recently
+      used — until the block fits. Raises [Invalid_argument] if [size]
+      exceeds the whole budget. [on_evict] runs when the block is evicted
+      (not when it is replaced by [put] with the same id). *)
+  val put : t -> id:string -> size:int -> bias:bias -> on_evict:(unit -> unit) -> unit
+
+  (** [touch t id] marks the block as recently used; false if absent. *)
+  val touch : t -> string -> bool
+
+  val mem : t -> string -> bool
+  val remove : t -> string -> unit
+  val pin : t -> string -> unit
+  val unpin : t -> string -> unit
+  val block_count : t -> int
+
+  (** Ids currently resident, most recently used first. *)
+  val resident : t -> string list
+end

@@ -1,0 +1,131 @@
+open Proteus_model
+
+type t = {
+  schema : Schema.t;
+  data : bytes;          (* count * width row bytes *)
+  heap : string;         (* string payloads *)
+  count : int;
+  width : int;           (* fields + null bitmap *)
+  offsets : int array;   (* per-field byte offset within a row *)
+}
+
+let schema t = t.schema
+let count t = t.count
+let row_width t = t.width
+
+let bitmap_bytes arity = (arity + 7) / 8
+
+let layout schema =
+  let fields = Schema.fields schema in
+  let offsets = Array.make (List.length fields) 0 in
+  let fixed =
+    List.fold_left
+      (fun (i, off) (f : Schema.field) ->
+        offsets.(i) <- off;
+        (i + 1, off + Ptype.binary_width (Ptype.unwrap_option f.ty)))
+      (0, 0) fields
+    |> snd
+  in
+  (offsets, fixed + bitmap_bytes (List.length fields))
+
+let of_rows schema rows =
+  let offsets, width = layout schema in
+  let fields = Array.of_list (Schema.fields schema) in
+  let arity = Array.length fields in
+  let n = List.length rows in
+  let data = Bytes.make (n * width) '\000' in
+  let heap = Buffer.create 1024 in
+  let bitmap_off = width - bitmap_bytes arity in
+  List.iteri
+    (fun row values ->
+      if Array.length values <> arity then
+        Perror.plan_error "Rowpage.of_rows: row arity %d, schema arity %d"
+          (Array.length values) arity;
+      let base = row * width in
+      Array.iteri
+        (fun i (v : Value.t) ->
+          let off = base + offsets.(i) in
+          match v with
+          | Null ->
+            let byte = base + bitmap_off + (i / 8) in
+            Bytes.set data byte
+              (Char.chr (Char.code (Bytes.get data byte) lor (1 lsl (i mod 8))))
+          | Int x | Date x -> Bytes.set_int64_le data off (Int64.of_int x)
+          | Float f -> Bytes.set_int64_le data off (Int64.bits_of_float f)
+          | Bool b -> Bytes.set data off (if b then '\001' else '\000')
+          | String s ->
+            Bytes.set_int64_le data off (Int64.of_int (Buffer.length heap));
+            Bytes.set_int64_le data (off + 8) (Int64.of_int (String.length s));
+            Buffer.add_string heap s
+          | Record _ | Coll _ ->
+            Perror.type_error "Rowpage: non-primitive value %a" Value.pp v)
+        values)
+    rows;
+  { schema; data; heap = Buffer.contents heap; count = n; width; offsets }
+
+let of_records schema records =
+  let names = Schema.field_names schema in
+  let rows =
+    List.map
+      (fun r ->
+        Array.of_list
+          (List.map
+             (fun name ->
+               match Value.field_opt r name with Some v -> v | None -> Value.Null)
+             names))
+      records
+  in
+  of_rows schema rows
+
+let get_int t ~row ~off = Int64.to_int (Bytes.get_int64_le t.data ((row * t.width) + off))
+
+let get_float t ~row ~off =
+  Int64.float_of_bits (Bytes.get_int64_le t.data ((row * t.width) + off))
+
+let get_bool t ~row ~off = Bytes.get t.data ((row * t.width) + off) <> '\000'
+
+let get_string t ~row ~off =
+  let base = (row * t.width) + off in
+  let hoff = Int64.to_int (Bytes.get_int64_le t.data base) in
+  let len = Int64.to_int (Bytes.get_int64_le t.data (base + 8)) in
+  String.sub t.heap hoff len
+
+let is_null t ~row ~field =
+  let arity = Schema.arity t.schema in
+  let bitmap_off = t.width - bitmap_bytes arity in
+  let byte = (row * t.width) + bitmap_off + (field / 8) in
+  Char.code (Bytes.get t.data byte) land (1 lsl (field mod 8)) <> 0
+
+let get_value t ~row ~field =
+  if is_null t ~row ~field then Value.Null
+  else
+    let f = List.nth (Schema.fields t.schema) field in
+    let off = t.offsets.(field) in
+    match Ptype.unwrap_option f.ty with
+    | Ptype.Int -> Value.Int (get_int t ~row ~off)
+    | Ptype.Date -> Value.Date (get_int t ~row ~off)
+    | Ptype.Float -> Value.Float (get_float t ~row ~off)
+    | Ptype.Bool -> Value.Bool (get_bool t ~row ~off)
+    | Ptype.String -> Value.String (get_string t ~row ~off)
+    | ty -> Perror.type_error "Rowpage.get_value: non-primitive %a" Ptype.pp ty
+
+let get_record t ~row =
+  let fields = Schema.fields t.schema in
+  Value.record (List.mapi (fun i (f : Schema.field) -> (f.name, get_value t ~row ~field:i)) fields)
+
+let byte_size t = Bytes.length t.data + String.length t.heap
+
+(* On-disk image: [count:8][heap_len:8][heap][rows] *)
+let to_bytes t =
+  let header = Bytes.create 16 in
+  Bytes.set_int64_le header 0 (Int64.of_int t.count);
+  Bytes.set_int64_le header 8 (Int64.of_int (String.length t.heap));
+  Bytes.concat Bytes.empty [ header; Bytes.of_string t.heap; t.data ]
+
+let of_bytes schema b =
+  let offsets, width = layout schema in
+  let count = Int64.to_int (Bytes.get_int64_le b 0) in
+  let heap_len = Int64.to_int (Bytes.get_int64_le b 8) in
+  let heap = Bytes.sub_string b 16 heap_len in
+  let data = Bytes.sub b (16 + heap_len) (count * width) in
+  { schema; data; heap; count; width; offsets }

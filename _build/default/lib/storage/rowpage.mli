@@ -1,0 +1,54 @@
+(** Packed binary rows — the binary row format ("relational binary data",
+    row-oriented) and the page layout of the row-store baseline.
+
+    Layout per row: fixed-width field slots in schema order (bool 1 byte,
+    int/float/date 8 bytes little-endian, string 16 bytes of (offset, length)
+    into a shared string heap), followed by a null bitmap of
+    [ceil(arity / 8)] bytes. *)
+
+open Proteus_model
+
+type t
+
+val schema : t -> Schema.t
+val count : t -> int
+
+(** Width in bytes of one row, bitmap included. *)
+val row_width : t -> int
+
+(** [of_rows schema rows] packs boxed records (given as value arrays in
+    schema field order). *)
+val of_rows : Schema.t -> Value.t array list -> t
+
+(** [of_records schema records] packs boxed [Value.Record]s. *)
+val of_records : Schema.t -> Value.t list -> t
+
+(** {1 Raw typed accessors}
+
+    [off] is the byte offset of the field within the row
+    ([Schema.field_offset]). These are the primitives the compiled engine's
+    binary-row plug-in stitches into its generated scan loops; they perform
+    no type or bounds checks beyond what [bytes] accesses do. *)
+
+val get_int : t -> row:int -> off:int -> int
+val get_float : t -> row:int -> off:int -> float
+val get_bool : t -> row:int -> off:int -> bool
+val get_string : t -> row:int -> off:int -> string
+
+(** [is_null t ~row ~field] tests the null bitmap ([field] is the schema
+    index, not a byte offset). *)
+val is_null : t -> row:int -> field:int -> bool
+
+(** [get_value t ~row ~field] boxes one field. *)
+val get_value : t -> row:int -> field:int -> Value.t
+
+(** [get_record t ~row] boxes a whole row. *)
+val get_record : t -> row:int -> Value.t
+
+(** Approximate memory footprint in bytes. *)
+val byte_size : t -> int
+
+(** {1 Serialization} — a stable on-disk image (used by tests and the CLI). *)
+
+val to_bytes : t -> bytes
+val of_bytes : Schema.t -> bytes -> t

@@ -1,0 +1,1 @@
+lib/symantec/symantec.ml: Array Buffer Expr Fmt Int64 List Monoid Proteus_algebra Proteus_format Proteus_model Ptype Schema String Value

@@ -1,0 +1,1 @@
+lib/symantec/symantec.mli: Proteus_algebra Proteus_model Ptype Value

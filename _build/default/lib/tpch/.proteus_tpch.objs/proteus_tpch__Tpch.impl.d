@@ -1,0 +1,1 @@
+lib/tpch/tpch.ml: Array Buffer Expr Hashtbl Int64 List Monoid Proteus_algebra Proteus_format Proteus_model Proteus_storage Ptype Schema Value

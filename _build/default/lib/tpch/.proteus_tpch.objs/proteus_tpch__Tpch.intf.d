@@ -1,0 +1,1 @@
+lib/tpch/tpch.mli: Proteus_algebra Proteus_model Proteus_storage Ptype Value

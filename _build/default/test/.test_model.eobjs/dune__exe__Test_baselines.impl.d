@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Colstore Docstore Expr Federation Fmt Lazy List Monoid Perror Proteus_algebra Proteus_baselines Proteus_format Proteus_model Ptype Rowstore String Value

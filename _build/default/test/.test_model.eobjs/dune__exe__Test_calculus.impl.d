@@ -1,0 +1,1 @@
+test/test_calculus.ml: Alcotest Calc Expr List Monoid Normalize Perror Proteus_algebra Proteus_calculus Proteus_model Ptype QCheck2 QCheck_alcotest To_algebra Value

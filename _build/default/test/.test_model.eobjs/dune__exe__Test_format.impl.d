@@ -1,0 +1,1 @@
+test/test_format.ml: Alcotest Binjson Csv Csv_index Float Fmt Fun Json Json_index List Numparse Perror Proteus_format Proteus_model Ptype QCheck2 QCheck_alcotest Schema String Value

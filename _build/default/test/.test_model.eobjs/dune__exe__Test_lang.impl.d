@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Calc Comprehension Lexer List Normalize Option Perror Proteus_algebra Proteus_calculus Proteus_lang Proteus_model Ptype Sql String To_algebra Value

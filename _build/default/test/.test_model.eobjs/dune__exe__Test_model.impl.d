@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Date_util Expr Fmt List Monoid Perror Proteus_model Ptype QCheck2 QCheck_alcotest Schema Value

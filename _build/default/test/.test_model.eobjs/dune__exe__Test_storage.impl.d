@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Column Fun List Memory Perror Proteus_model Proteus_storage Ptype QCheck2 QCheck_alcotest Rowpage Schema Value

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Db Float Fmt Lazy List Perror Proteus Proteus_algebra Proteus_baselines Proteus_format Proteus_model Proteus_symantec Proteus_tpch Ptype Schema String Value

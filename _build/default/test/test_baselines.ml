@@ -1,0 +1,292 @@
+(* Differential tests for the comparator systems: every baseline must
+   compute the same answers as the reference interpreter on the plans it
+   supports — they differ in *how* (and how fast), never in *what*. *)
+
+open Proteus_model
+open Proteus_baselines
+module Plan = Proteus_algebra.Plan
+module Interp = Proteus_algebra.Interp
+
+let check_value = Alcotest.testable Value.pp Value.equal
+
+let item_type =
+  Ptype.Record
+    [ ("k", Ptype.Int); ("grp", Ptype.Int); ("price", Ptype.Float);
+      ("name", Ptype.String) ]
+
+let items =
+  List.init 300 (fun i ->
+      Value.record
+        [ ("k", Value.Int i); ("grp", Value.Int (i mod 7));
+          ("price", Value.Float (float_of_int ((i * 13) mod 50) /. 2.));
+          ("name", Value.String (Fmt.str "n%d" (i mod 11))) ])
+
+let groups_type = Ptype.Record [ ("gid", Ptype.Int); ("label", Ptype.String) ]
+
+let groups =
+  List.init 7 (fun g ->
+      Value.record [ ("gid", Value.Int g); ("label", Value.String (Fmt.str "g%d" g)) ])
+
+let nested_type =
+  Ptype.Record
+    [
+      ("id", Ptype.Int);
+      ( "tags",
+        Ptype.Collection
+          (Ptype.List, Ptype.Record [ ("w", Ptype.Int); ("lbl", Ptype.String) ]) );
+    ]
+
+let nested =
+  List.init 50 (fun i ->
+      Value.record
+        [
+          ("id", Value.Int i);
+          ( "tags",
+            Value.list_
+              (List.init (i mod 4) (fun j ->
+                   Value.record
+                     [ ("w", Value.Int ((i * 3) + j)); ("lbl", Value.String (Fmt.str "t%d" j)) ])) );
+        ])
+
+let to_json records =
+  String.concat "\n"
+    (List.map
+       (fun r -> Proteus_format.Json.to_string (Proteus_format.Json.of_value r))
+       records)
+
+let lookup = function
+  | "items" -> items
+  | "groups" -> groups
+  | "nested" -> nested
+  | other -> Perror.plan_error "no dataset %s" other
+
+let sort_bag v =
+  match v with
+  | Value.Coll (Ptype.Bag, es) -> Value.Coll (Ptype.Bag, List.sort Value.compare es)
+  | v -> v
+
+(* --- fixtures -------------------------------------------------------------- *)
+
+let rowstore_pg =
+  lazy
+    (let s = Rowstore.create ~json_encoding:Rowstore.Jsonb () in
+     Rowstore.load_relational s ~name:"items" ~element:item_type items;
+     Rowstore.load_relational s ~name:"groups" ~element:groups_type groups;
+     Rowstore.load_json s ~name:"nested" ~element:nested_type (to_json nested);
+     s)
+
+let rowstore_x =
+  lazy
+    (let s = Rowstore.create ~json_encoding:Rowstore.Text () in
+     Rowstore.load_relational s ~name:"items" ~element:item_type items;
+     Rowstore.load_relational s ~name:"groups" ~element:groups_type groups;
+     Rowstore.load_json s ~name:"nested" ~element:nested_type (to_json nested);
+     s)
+
+let monetdb =
+  lazy
+    (let s = Colstore.create Colstore.monetdb_config () in
+     Colstore.load_relational s ~name:"items" ~element:item_type items;
+     Colstore.load_relational s ~name:"groups" ~element:groups_type groups;
+     Colstore.load_json s ~name:"nested" ~element:nested_type (to_json nested);
+     s)
+
+let dbmsc =
+  lazy
+    (let s = Colstore.create Colstore.dbmsc_config () in
+     Colstore.load_relational s ~name:"items" ~sort_key:"k" ~element:item_type items;
+     Colstore.load_relational s ~name:"groups" ~sort_key:"gid" ~element:groups_type groups;
+     Colstore.load_json s ~name:"nested" ~element:nested_type (to_json nested);
+     s)
+
+let mongo =
+  lazy
+    (let s = Docstore.create () in
+     Docstore.load_json s ~name:"nested" ~element:nested_type (to_json nested);
+     Docstore.load_records s ~name:"items" ~element:item_type items;
+     Docstore.load_records s ~name:"groups" ~element:groups_type groups;
+     s)
+
+let fed =
+  lazy
+    (let s = Federation.create () in
+     Federation.load_relational s ~name:"items" ~sort_key:"k" ~element:item_type items;
+     Federation.load_relational s ~name:"groups" ~element:groups_type groups;
+     Federation.load_json s ~name:"nested" ~element:nested_type (to_json nested);
+     s)
+
+let check_all ?(skip = []) name plan =
+  let expected = sort_bag (Interp.run ~lookup plan) in
+  let check sys run =
+    if not (List.mem sys skip) then
+      Alcotest.check check_value
+        (Fmt.str "%s (%s)" name sys)
+        expected
+        (sort_bag (run plan))
+  in
+  check "postgres" (Rowstore.run (Lazy.force rowstore_pg));
+  check "dbms-x" (Rowstore.run (Lazy.force rowstore_x));
+  check "monetdb" (Colstore.run (Lazy.force monetdb));
+  check "dbms-c" (Colstore.run (Lazy.force dbmsc));
+  check "mongo" (Docstore.run (Lazy.force mongo));
+  check "federation" (Federation.run (Lazy.force fed))
+
+(* --- plans ------------------------------------------------------------------ *)
+
+let count_filter =
+  Plan.reduce
+    ~pred:Expr.(Field (var "x", "k") <. int 120)
+    [ Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1) ]
+    (Plan.scan ~dataset:"items" ~binding:"x" ())
+
+let multi_agg =
+  Plan.reduce
+    [
+      Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1);
+      Plan.agg ~name:"mx" (Monoid.Primitive Monoid.Max) Expr.(Field (var "x", "price"));
+      Plan.agg ~name:"sm" (Monoid.Primitive Monoid.Sum) Expr.(Field (var "x", "k"));
+    ]
+    (Plan.select
+       Expr.(Field (var "x", "grp") ==. int 3)
+       (Plan.scan ~dataset:"items" ~binding:"x" ()))
+
+let string_pred =
+  Plan.reduce
+    ~pred:Expr.(Binop (Like, Field (var "x", "name"), str "n1%"))
+    [ Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1) ]
+    (Plan.scan ~dataset:"items" ~binding:"x" ())
+
+let group_by =
+  Plan.nest
+    ~keys:[ ("g", Expr.(Field (var "x", "grp"))) ]
+    ~aggs:
+      [
+        Plan.agg ~name:"n" (Monoid.Primitive Monoid.Count) (Expr.int 1);
+        Plan.agg ~name:"s" (Monoid.Primitive Monoid.Sum) Expr.(Field (var "x", "k"));
+      ]
+    ~binding:"grp"
+    (Plan.scan ~dataset:"items" ~binding:"x" ())
+
+let join_plan =
+  Plan.reduce
+    [ Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1) ]
+    (Plan.select
+       Expr.(Field (var "x", "k") <. int 200)
+       (Plan.join
+          ~pred:Expr.(Field (var "x", "grp") ==. Field (var "g", "gid"))
+          (Plan.scan ~dataset:"items" ~binding:"x" ())
+          (Plan.scan ~dataset:"groups" ~binding:"g" ())))
+
+let json_agg =
+  Plan.reduce
+    ~pred:Expr.(Field (var "n", "id") <. int 30)
+    [ Plan.agg ~name:"s" (Monoid.Primitive Monoid.Sum) Expr.(Field (var "n", "id")) ]
+    (Plan.scan ~dataset:"nested" ~binding:"n" ())
+
+let json_unnest =
+  Plan.reduce
+    [ Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1) ]
+    (Plan.unnest
+       ~pred:Expr.(Field (var "t", "w") >. int 20)
+       ~path:Expr.(Field (var "n", "tags"))
+       ~binding:"t"
+       (Plan.scan ~dataset:"nested" ~binding:"n" ()))
+
+let mixed_join =
+  (* JSON ⋈ relational: exercises the federation middleware and the row
+     stores' JSON-join path *)
+  Plan.reduce
+    [ Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1) ]
+    (Plan.join
+       ~pred:Expr.(Binop (Mod, Field (var "n", "id"), int 7) ==. Field (var "g", "gid"))
+       (Plan.scan ~dataset:"nested" ~binding:"n" ())
+       (Plan.scan ~dataset:"groups" ~binding:"g" ()))
+
+let test_count_filter () = check_all "count+filter" count_filter
+let test_multi_agg () = check_all "multi-agg" multi_agg
+let test_string_pred () = check_all "string pred" string_pred
+let test_group_by () = check_all "group by" group_by
+let test_join () = check_all "join" join_plan
+let test_json_agg () = check_all "json agg" json_agg
+
+let test_json_unnest () =
+  (* colstore-based engines handle this through their (slow) JSON columns *)
+  check_all "json unnest" json_unnest
+
+let test_mixed_join () = check_all "mixed join" mixed_join
+
+let test_federation_routes () =
+  (* a fresh federation: the shared fixture may already have shipped *)
+  let f = Federation.create () in
+  Federation.load_relational f ~name:"items" ~sort_key:"k" ~element:item_type items;
+  Federation.load_relational f ~name:"groups" ~element:groups_type groups;
+  Federation.load_json f ~name:"nested" ~element:nested_type (to_json nested);
+  let before = Federation.middleware_seconds f in
+  (* JSON-only: no middleware *)
+  ignore (Federation.run f json_agg);
+  Alcotest.(check bool) "doc-only is free" true
+    (Federation.middleware_seconds f = before);
+  (* mixed: pays once *)
+  ignore (Federation.run f mixed_join);
+  let after_first = Federation.middleware_seconds f in
+  Alcotest.(check bool) "mixed pays middleware" true (after_first > before);
+  ignore (Federation.run f mixed_join);
+  Alcotest.(check bool) "shipping is one-time" true
+    (Federation.middleware_seconds f = after_first)
+
+let test_dbmsc_skipping_correct () =
+  (* range predicates on the sort key must hit the binary-search path and
+     stay correct at the boundaries *)
+  let s = Lazy.force dbmsc in
+  List.iter
+    (fun (op, k) ->
+      let plan =
+        Plan.reduce
+          ~pred:(Expr.Binop (op, Expr.(Field (var "x", "k")), Expr.int k))
+          [ Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1) ]
+          (Plan.scan ~dataset:"items" ~binding:"x" ())
+      in
+      Alcotest.check check_value
+        (Fmt.str "skip %d" k)
+        (Interp.run ~lookup plan) (Colstore.run s plan))
+    [ (Expr.Lt, 0); (Expr.Lt, 150); (Expr.Le, 299); (Expr.Gt, 299); (Expr.Ge, 0);
+      (Expr.Eq, 123); (Expr.Eq, -5); (Expr.Lt, 1000) ]
+
+let test_rowstore_json_join_is_nested_loop () =
+  (* the optimizer-blindness effect exists (correctness unchanged) *)
+  let s = Lazy.force rowstore_pg in
+  Alcotest.check check_value "blind join correct"
+    (Interp.run ~lookup mixed_join)
+    (Rowstore.run s mixed_join)
+
+let test_table_sizes_reported () =
+  let pg = Lazy.force rowstore_pg in
+  let mg = Lazy.force mongo in
+  Alcotest.(check bool) "jsonb bytes" true (Rowstore.table_bytes pg "nested" > 0);
+  Alcotest.(check bool) "bson bytes" true (Docstore.collection_bytes mg "nested" > 0);
+  Alcotest.(check int) "row counts agree" (Rowstore.row_count pg "nested")
+    (Docstore.doc_count mg "nested")
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "count+filter" `Quick test_count_filter;
+          Alcotest.test_case "multi-agg" `Quick test_multi_agg;
+          Alcotest.test_case "string pred" `Quick test_string_pred;
+          Alcotest.test_case "group by" `Quick test_group_by;
+          Alcotest.test_case "join" `Quick test_join;
+          Alcotest.test_case "json agg" `Quick test_json_agg;
+          Alcotest.test_case "json unnest" `Quick test_json_unnest;
+          Alcotest.test_case "mixed join" `Quick test_mixed_join;
+        ] );
+      ( "behaviour",
+        [
+          Alcotest.test_case "federation routing" `Quick test_federation_routes;
+          Alcotest.test_case "dbms-c skipping" `Quick test_dbmsc_skipping_correct;
+          Alcotest.test_case "rowstore json join" `Quick
+            test_rowstore_json_join_is_nested_loop;
+          Alcotest.test_case "table sizes" `Quick test_table_sizes_reported;
+        ] );
+    ]

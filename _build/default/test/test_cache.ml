@@ -1,0 +1,299 @@
+(* Tests for the caching manager and its integration with scans and joins:
+   policies, population as a side-effect, hits on re-query, eviction wiring,
+   invalidation. *)
+
+open Proteus_model
+open Proteus_catalog
+open Proteus_plugin
+open Proteus_cache
+module Plan = Proteus_algebra.Plan
+module Executor = Proteus_engine.Executor
+
+let check_value = Alcotest.testable Value.pp Value.equal
+
+let item_type =
+  Ptype.Record
+    [ ("k", Ptype.Int); ("v", Ptype.Float); ("s", Ptype.String) ]
+
+let items =
+  List.init 100 (fun i ->
+      Value.record
+        [ ("k", Value.Int i); ("v", Value.Float (float_of_int (i mod 10)));
+          ("s", Value.String (Fmt.str "str%d" i)) ])
+
+let to_json records =
+  String.concat "\n"
+    (List.map
+       (fun r -> Proteus_format.Json.to_string (Proteus_format.Json.of_value r))
+       records)
+
+let make_session ?config () =
+  let cat = Catalog.create () in
+  let mem = Catalog.memory cat in
+  Proteus_storage.Memory.register_blob mem ~name:"items.json" (to_json items);
+  Catalog.register cat
+    (Dataset.make ~name:"items" ~format:Dataset.Json
+       ~location:(Dataset.Blob "items.json") ~element:item_type);
+  Proteus_storage.Memory.register_blob mem ~name:"items.csv"
+    (Proteus_format.Csv.of_records Proteus_format.Csv.default_config
+       (Schema.of_type item_type) items);
+  Catalog.register cat
+    (Dataset.make ~name:"items_csv"
+       ~format:(Dataset.Csv Proteus_format.Csv.default_config)
+       ~location:(Dataset.Blob "items.csv") ~element:item_type);
+  let mgr = Manager.create ?config cat in
+  let reg = Registry.create ~cache:(Manager.iface mgr) cat in
+  (cat, mgr, reg)
+
+let count_plan ds =
+  Plan.reduce
+    ~pred:Expr.(Field (var "x", "k") <. int 50)
+    [ Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1) ]
+    (Plan.scan ~dataset:ds ~binding:"x" ())
+
+let test_fill_then_hit () =
+  let _, mgr, reg = make_session () in
+  let r1 = Executor.run reg ~engine:Executor.Engine_compiled (count_plan "items") in
+  Alcotest.check check_value "first run" (Value.Int 50) r1;
+  let s = Manager.stats mgr in
+  Alcotest.(check bool) "populated k column" true (s.Manager.field_stores >= 1);
+  let before_hits = s.Manager.field_hits in
+  let r2 = Executor.run reg ~engine:Executor.Engine_compiled (count_plan "items") in
+  Alcotest.check check_value "second run same result" (Value.Int 50) r2;
+  let s2 = Manager.stats mgr in
+  Alcotest.(check bool) "second run hits the cache" true
+    (s2.Manager.field_hits > before_hits)
+
+let test_strings_not_cached () =
+  let _, mgr, reg = make_session () in
+  let plan =
+    Plan.reduce
+      ~pred:Expr.(Binop (Like, Field (var "x", "s"), str "str1%"))
+      [ Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1) ]
+      (Plan.scan ~dataset:"items" ~binding:"x" ())
+  in
+  ignore (Executor.run reg ~engine:Executor.Engine_compiled plan);
+  let s = Manager.stats mgr in
+  Alcotest.(check int) "no string columns stored" 0 s.Manager.field_stores
+
+let test_csv_policy_toggle () =
+  let config = { Manager.default_config with cache_csv_fields = false } in
+  let _, mgr, reg = make_session ~config () in
+  ignore (Executor.run reg ~engine:Executor.Engine_compiled (count_plan "items_csv"));
+  Alcotest.(check int) "csv caching disabled" 0 (Manager.stats mgr).Manager.field_stores;
+  ignore (Executor.run reg ~engine:Executor.Engine_compiled (count_plan "items"));
+  Alcotest.(check bool) "json caching still on" true
+    ((Manager.stats mgr).Manager.field_stores > 0)
+
+let test_cached_result_identical () =
+  (* results and cache-backed results must agree on every engine *)
+  let _, _, reg = make_session () in
+  let plan =
+    Plan.nest
+      ~keys:[ ("vv", Expr.(Field (var "x", "v"))) ]
+      ~aggs:[ Plan.agg ~name:"n" (Monoid.Primitive Monoid.Count) (Expr.int 1) ]
+      ~binding:"g"
+      (Plan.scan ~dataset:"items" ~binding:"x" ())
+  in
+  let r1 = Executor.run reg ~engine:Executor.Engine_compiled plan in
+  let r2 = Executor.run reg ~engine:Executor.Engine_compiled plan in
+  Alcotest.check check_value "idempotent under caching" r1 r2
+
+let test_join_side_cached () =
+  let _, mgr, reg = make_session () in
+  let plan =
+    Plan.reduce
+      [ Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1) ]
+      (Plan.join
+         ~pred:Expr.(Field (var "a", "v") ==. Field (var "b", "v"))
+         (Plan.scan ~dataset:"items_csv" ~binding:"a" ())
+         (Plan.scan ~dataset:"items" ~binding:"b" ()))
+  in
+  let r1 = Executor.run reg ~engine:Executor.Engine_compiled plan in
+  let s1 = Manager.stats mgr in
+  Alcotest.(check bool) "build side stored" true (s1.Manager.packed_stores >= 1);
+  let r2 = Executor.run reg ~engine:Executor.Engine_compiled plan in
+  let s2 = Manager.stats mgr in
+  Alcotest.check check_value "same result from packed cache" r1 r2;
+  Alcotest.(check bool) "packed hit" true (s2.Manager.packed_hits > s1.Manager.packed_hits)
+
+let test_bytes_accounting () =
+  let _, mgr, reg = make_session () in
+  ignore (Executor.run reg ~engine:Executor.Engine_compiled (count_plan "items"));
+  Alcotest.(check bool) "bytes attributed to dataset" true
+    (Manager.bytes_for mgr ~dataset:"items" > 0);
+  Alcotest.(check int) "other dataset untouched" 0
+    (Manager.bytes_for mgr ~dataset:"items_csv")
+
+let test_invalidate_dataset () =
+  let _, mgr, reg = make_session () in
+  ignore (Executor.run reg ~engine:Executor.Engine_compiled (count_plan "items"));
+  Manager.invalidate_dataset mgr ~dataset:"items";
+  Alcotest.(check int) "caches dropped" 0 (Manager.bytes_for mgr ~dataset:"items");
+  (* and the query still works, re-populating *)
+  Alcotest.check check_value "requery ok" (Value.Int 50)
+    (Executor.run reg ~engine:Executor.Engine_compiled (count_plan "items"))
+
+let test_eviction_under_pressure () =
+  (* tiny arena: caches must be evicted, queries must stay correct *)
+  let cat = Catalog.create ~cache_budget:2_000 () in
+  let mem = Catalog.memory cat in
+  Proteus_storage.Memory.register_blob mem ~name:"items.json" (to_json items);
+  Catalog.register cat
+    (Dataset.make ~name:"items" ~format:Dataset.Json
+       ~location:(Dataset.Blob "items.json") ~element:item_type);
+  let mgr = Manager.create cat in
+  let reg = Registry.create ~cache:(Manager.iface mgr) cat in
+  for _ = 1 to 3 do
+    Alcotest.check check_value "stable under eviction" (Value.Int 50)
+      (Executor.run reg ~engine:Executor.Engine_compiled (count_plan "items"))
+  done
+
+let test_disabled_config_stores_nothing () =
+  let _, mgr, reg = make_session ~config:Manager.config_disabled () in
+  ignore (Executor.run reg ~engine:Executor.Engine_compiled (count_plan "items"));
+  let s = Manager.stats mgr in
+  Alcotest.(check int) "no field stores" 0 s.Manager.field_stores;
+  Alcotest.(check int) "no resident bytes" 0 (Manager.resident_bytes mgr)
+
+(* --- sigma-result caching and predicate subsumption ------------------------ *)
+
+let select_config =
+  { Manager.default_config with cache_select_results = true }
+
+let count_k_lt ds k =
+  Plan.reduce
+    [ Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1) ]
+    (Plan.select
+       Expr.(Field (var "x", "k") <. int k)
+       (Plan.scan ~dataset:ds ~binding:"x" ()))
+
+let test_select_cache_exact_hit () =
+  let _, mgr, reg = make_session ~config:select_config () in
+  let r1 = Executor.run reg ~engine:Executor.Engine_compiled (count_k_lt "items" 50) in
+  let s1 = Manager.stats mgr in
+  Alcotest.(check bool) "stored" true (s1.Manager.select_stores >= 1);
+  let r2 = Executor.run reg ~engine:Executor.Engine_compiled (count_k_lt "items" 50) in
+  let s2 = Manager.stats mgr in
+  Alcotest.check check_value "same result" r1 r2;
+  Alcotest.(check bool) "exact hit" true (s2.Manager.select_hits > s1.Manager.select_hits)
+
+let test_select_cache_subsumption () =
+  let _, mgr, reg = make_session ~config:select_config () in
+  (* prime with the weaker predicate k < 80 *)
+  ignore (Executor.run reg ~engine:Executor.Engine_compiled (count_k_lt "items" 80));
+  (* the stricter k < 20 must be answered from the cached superset *)
+  let r = Executor.run reg ~engine:Executor.Engine_compiled (count_k_lt "items" 20) in
+  Alcotest.check check_value "correct despite reuse" (Value.Int 20) r;
+  let s = Manager.stats mgr in
+  Alcotest.(check bool) "subsumed match" true (s.Manager.select_subsumed >= 1)
+
+let test_select_cache_no_false_subsumption () =
+  let _, mgr, reg = make_session ~config:select_config () in
+  (* prime with the stricter predicate; the weaker query must NOT reuse it *)
+  ignore (Executor.run reg ~engine:Executor.Engine_compiled (count_k_lt "items" 20));
+  let r = Executor.run reg ~engine:Executor.Engine_compiled (count_k_lt "items" 80) in
+  Alcotest.check check_value "full answer" (Value.Int 80) r;
+  Alcotest.(check int) "no subsumed match" 0 (Manager.stats mgr).Manager.select_subsumed
+
+let test_select_cache_subsumption_off () =
+  let config = { select_config with Manager.subsumption = false } in
+  let _, mgr, reg = make_session ~config () in
+  ignore (Executor.run reg ~engine:Executor.Engine_compiled (count_k_lt "items" 80));
+  let r = Executor.run reg ~engine:Executor.Engine_compiled (count_k_lt "items" 20) in
+  Alcotest.check check_value "still correct" (Value.Int 20) r;
+  Alcotest.(check int) "no subsumption" 0 (Manager.stats mgr).Manager.select_subsumed
+
+(* Property: priming the sigma-cache with any predicate and then querying
+   with any other predicate must give exactly the uncached answer —
+   whatever combination of exact hit, subsumption, or miss occurs. *)
+let subsumption_sound_prop =
+  let open QCheck2.Gen in
+  let pred_gen =
+    let cmp =
+      oneofl [ Expr.Lt; Expr.Le; Expr.Gt; Expr.Ge; Expr.Eq ]
+    in
+    let atom =
+      map2
+        (fun op k -> Expr.Binop (op, Expr.path "x" [ "k" ], Expr.int k))
+        cmp (int_range 0 100)
+    in
+    oneof [ atom; map2 (fun a b -> Expr.(a &&& b)) atom atom ]
+  in
+  QCheck2.Test.make ~name:"sigma-cache + subsumption is sound" ~count:100
+    (pair pred_gen pred_gen) (fun (prime, query) ->
+      let _, _, reg = make_session ~config:select_config () in
+      let plan pred =
+        Plan.reduce
+          [ Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1);
+            Plan.agg ~name:"s" (Monoid.Primitive Monoid.Sum)
+              Expr.(Field (var "x", "k")) ]
+          (Plan.select pred (Plan.scan ~dataset:"items" ~binding:"x" ()))
+      in
+      ignore (Executor.run reg ~engine:Executor.Engine_compiled (plan prime));
+      let cached = Executor.run reg ~engine:Executor.Engine_compiled (plan query) in
+      let _, _, reg_fresh = make_session ~config:Manager.config_disabled () in
+      let expected =
+        Executor.run reg_fresh ~engine:Executor.Engine_compiled (plan query)
+      in
+      Value.equal cached expected)
+
+let test_subsume_covers () =
+  let x op k = Expr.Binop (op, Expr.path "$0" [ "v" ], Expr.int k) in
+  let checks =
+    [
+      (* cached, query, expected *)
+      (x Expr.Lt 10, x Expr.Lt 5, true);
+      (x Expr.Lt 5, x Expr.Lt 10, false);
+      (x Expr.Lt 10, x Expr.Lt 10, true);
+      (x Expr.Le 10, x Expr.Lt 10, true);
+      (x Expr.Lt 10, x Expr.Le 10, false);
+      (x Expr.Gt 5, x Expr.Gt 10, true);
+      (x Expr.Gt 10, x Expr.Gt 5, false);
+      (x Expr.Lt 10, x Expr.Eq 5, true);
+      (x Expr.Lt 10, x Expr.Eq 10, false);
+      (Expr.bool true, x Expr.Lt 3, true);       (* full-scan cache covers all *)
+      (x Expr.Lt 10, Expr.bool true, false);     (* opposite direction *)
+      (* conjunctions: every cached conjunct needs an implying query conjunct *)
+      (Expr.(x Expr.Lt 10 &&& x Expr.Gt 0), Expr.(x Expr.Lt 5 &&& x Expr.Gt 2), true);
+      (Expr.(x Expr.Lt 10 &&& x Expr.Gt 5), x Expr.Lt 5, false);
+      (* unanalyzable cached conjunct blocks the match *)
+      ( Expr.Binop (Expr.Like, Expr.path "$0" [ "s" ], Expr.str "a%"),
+        x Expr.Lt 5, false );
+    ]
+  in
+  List.iteri
+    (fun i (cached, query, expected) ->
+      Alcotest.(check bool)
+        (Fmt.str "case %d" i)
+        expected
+        (Proteus_cache.Subsume.covers ~cached ~query))
+    checks
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "subsumption",
+        [
+          Alcotest.test_case "exact hit" `Quick test_select_cache_exact_hit;
+          Alcotest.test_case "subsumption reuse" `Quick test_select_cache_subsumption;
+          Alcotest.test_case "no false subsumption" `Quick
+            test_select_cache_no_false_subsumption;
+          Alcotest.test_case "subsumption off" `Quick test_select_cache_subsumption_off;
+          Alcotest.test_case "covers matrix" `Quick test_subsume_covers;
+          QCheck_alcotest.to_alcotest subsumption_sound_prop;
+        ] );
+      ( "manager",
+        [
+          Alcotest.test_case "fill then hit" `Quick test_fill_then_hit;
+          Alcotest.test_case "strings not cached" `Quick test_strings_not_cached;
+          Alcotest.test_case "csv policy toggle" `Quick test_csv_policy_toggle;
+          Alcotest.test_case "cached result identical" `Quick test_cached_result_identical;
+          Alcotest.test_case "join side cached" `Quick test_join_side_cached;
+          Alcotest.test_case "bytes accounting" `Quick test_bytes_accounting;
+          Alcotest.test_case "invalidate dataset" `Quick test_invalidate_dataset;
+          Alcotest.test_case "eviction under pressure" `Quick test_eviction_under_pressure;
+          Alcotest.test_case "disabled stores nothing" `Quick
+            test_disabled_config_stores_nothing;
+        ] );
+    ]

@@ -1,0 +1,461 @@
+(* Tests for the monoid comprehension calculus, its normalizer, the nested
+   relational algebra, and the calculus->algebra translation. The key
+   properties: normalization preserves evaluation, and the algebra plan
+   evaluates to the same result as the calculus. *)
+
+open Proteus_model
+open Proteus_calculus
+module Plan = Proteus_algebra.Plan
+module Interp = Proteus_algebra.Interp
+module Fingerprint = Proteus_algebra.Fingerprint
+
+let check_value = Alcotest.testable Value.pp Value.equal
+
+(* --- shared fixtures ----------------------------------------------------- *)
+
+let sailors =
+  [
+    Value.record
+      [
+        ("id", Value.Int 1);
+        ( "children",
+          Value.list_
+            [
+              Value.record [ ("name", Value.String "ann"); ("age", Value.Int 20) ];
+              Value.record [ ("name", Value.String "bob"); ("age", Value.Int 10) ];
+            ] );
+      ];
+    Value.record
+      [
+        ("id", Value.Int 2);
+        ( "children",
+          Value.list_
+            [ Value.record [ ("name", Value.String "cat"); ("age", Value.Int 30) ] ] );
+      ];
+    Value.record [ ("id", Value.Int 3); ("children", Value.list_ []) ];
+  ]
+
+let ships =
+  [
+    Value.record
+      [ ("name", Value.String "K1"); ("personnel", Value.list_ [ Value.Int 1 ]) ];
+    Value.record
+      [
+        ("name", Value.String "K2");
+        ("personnel", Value.list_ [ Value.Int 2; Value.Int 3 ]);
+      ];
+  ]
+
+let numbers = List.map (fun i -> Value.record [ ("v", Value.Int i) ]) [ 1; 2; 3; 4; 5 ]
+
+let lookup name =
+  match name with
+  | "Sailor" -> sailors
+  | "Ship" -> ships
+  | "numbers" -> numbers
+  | other -> Perror.plan_error "no dataset %s" other
+
+(* Example 3.1 of the paper. *)
+let example_31 : Calc.t =
+  let open Expr in
+  {
+    Calc.quals =
+      [
+        Calc.Gen ("s1", Calc.Dataset "Sailor");
+        Calc.Gen ("c", Calc.Path (Field (var "s1", "children")));
+        Calc.Gen ("s2", Calc.Dataset "Ship");
+        Calc.Gen ("p", Calc.Path (Field (var "s2", "personnel")));
+        Calc.Pred (Field (var "s1", "id") ==. var "p");
+        Calc.Pred (Field (var "c", "age") >. int 18);
+      ];
+    output =
+      Calc.Collect
+        ( Ptype.Bag,
+          Expr.Record_ctor
+            [
+              ("id", Field (var "s1", "id"));
+              ("ship", Field (var "s2", "name"));
+              ("child", Field (var "c", "name"));
+            ] );
+  }
+
+let expected_31 =
+  Value.bag
+    [
+      Value.record
+        [ ("id", Value.Int 1); ("ship", Value.String "K1"); ("child", Value.String "ann") ];
+      Value.record
+        [ ("id", Value.Int 2); ("ship", Value.String "K2"); ("child", Value.String "cat") ];
+    ]
+
+let sort_bag v =
+  match v with
+  | Value.Coll (Ptype.Bag, es) -> Value.Coll (Ptype.Bag, List.sort Value.compare es)
+  | v -> v
+
+let check_same_bag msg a b = Alcotest.check check_value msg (sort_bag a) (sort_bag b)
+
+(* --- calculus direct evaluation ------------------------------------------ *)
+
+let test_calc_example31 () =
+  check_same_bag "example 3.1" expected_31 (Calc.eval ~lookup example_31)
+
+let test_calc_aggregate () =
+  let c =
+    {
+      Calc.quals =
+        [ Calc.Gen ("n", Calc.Dataset "numbers");
+          Calc.Pred Expr.(Field (var "n", "v") >. int 2) ];
+      output = Calc.Aggregate [ ("cnt", Monoid.Count, Expr.int 1) ];
+    }
+  in
+  Alcotest.check check_value "count" (Value.Int 3) (Calc.eval ~lookup c)
+
+let test_calc_group () =
+  let c =
+    {
+      Calc.quals = [ Calc.Gen ("n", Calc.Dataset "numbers") ];
+      output =
+        Calc.Group
+          {
+            keys = [ ("parity", Expr.(Binop (Mod, Field (var "n", "v"), int 2))) ];
+            aggs = [ ("total", Monoid.Sum, Expr.Field (Expr.var "n", "v")) ];
+          };
+    }
+  in
+  check_same_bag "grouping"
+    (Value.bag
+       [
+         Value.record [ ("parity", Value.Int 1); ("total", Value.Int 9) ];
+         Value.record [ ("parity", Value.Int 0); ("total", Value.Int 6) ];
+       ])
+    (Calc.eval ~lookup c)
+
+let test_calc_validate_unbound () =
+  let bad =
+    {
+      Calc.quals = [ Calc.Gen ("n", Calc.Dataset "numbers") ];
+      output = Calc.Collect (Ptype.Bag, Expr.var "zzz");
+    }
+  in
+  Alcotest.(check bool) "unbound rejected" true
+    (try
+       Calc.validate bad;
+       false
+     with Perror.Plan_error _ -> true)
+
+(* --- normalization ------------------------------------------------------- *)
+
+let test_normalize_splits_conjunction () =
+  let c =
+    {
+      Calc.quals =
+        [
+          Calc.Gen ("n", Calc.Dataset "numbers");
+          Calc.Pred
+            Expr.(
+              (Field (var "n", "v") >. int 1) &&& (Field (var "n", "v") <. int 5));
+        ];
+      output = Calc.Aggregate [ ("c", Monoid.Count, Expr.int 1) ];
+    }
+  in
+  let c' = Normalize.run c in
+  Alcotest.(check int) "3 qualifiers" 3 (List.length c'.Calc.quals);
+  Alcotest.check check_value "same result" (Calc.eval ~lookup c) (Calc.eval ~lookup c')
+
+let test_normalize_unnests_subquery () =
+  (* x <- bag{ n.v | n <- numbers, n.v > 2 } ; x < 5 -> spliced *)
+  let inner =
+    {
+      Calc.quals =
+        [ Calc.Gen ("n", Calc.Dataset "numbers");
+          Calc.Pred Expr.(Field (var "n", "v") >. int 2) ];
+      output = Calc.Collect (Ptype.Bag, Expr.Field (Expr.var "n", "v"));
+    }
+  in
+  let outer =
+    {
+      Calc.quals =
+        [ Calc.Gen ("x", Calc.Sub inner); Calc.Pred Expr.(var "x" <. int 5) ];
+      output = Calc.Collect (Ptype.Bag, Expr.var "x");
+    }
+  in
+  let c' = Normalize.run outer in
+  let no_subs =
+    List.for_all
+      (function Calc.Gen (_, Calc.Sub _) -> false | _ -> true)
+      c'.Calc.quals
+  in
+  Alcotest.(check bool) "subquery eliminated" true no_subs;
+  check_same_bag "same result" (Calc.eval ~lookup outer) (Calc.eval ~lookup c')
+
+let test_normalize_false_pred () =
+  let c =
+    {
+      Calc.quals =
+        [ Calc.Gen ("n", Calc.Dataset "numbers");
+          Calc.Pred Expr.(bool true &&& bool false) ];
+      output = Calc.Aggregate [ ("c", Monoid.Count, Expr.int 1) ];
+    }
+  in
+  let c' = Normalize.run c in
+  Alcotest.check check_value "zero rows" (Value.Int 0) (Calc.eval ~lookup c')
+
+let test_fold_constants () =
+  let open Expr in
+  let e = Normalize.fold_constants ((int 2 +. int 3) *. var "x") in
+  Alcotest.(check bool) "folded" true (Expr.equal e (int 5 *. var "x"));
+  (* division by zero must not be folded away into a crash at rewrite time *)
+  let e2 = Normalize.fold_constants (int 1 /. int 0) in
+  Alcotest.(check bool) "unsafe not folded" true (Expr.equal e2 (int 1 /. int 0))
+
+(* --- algebra: reference interpreter -------------------------------------- *)
+
+let test_interp_scan_select () =
+  let plan =
+    Plan.select
+      Expr.(Field (var "n", "v") >=. int 4)
+      (Plan.scan ~dataset:"numbers" ~binding:"n" ())
+  in
+  check_same_bag "filtered"
+    (Value.bag
+       [
+         Value.record [ ("v", Value.Int 4) ];
+         Value.record [ ("v", Value.Int 5) ];
+       ])
+    (Interp.run ~lookup plan)
+
+let test_interp_join () =
+  let plan =
+    Plan.join
+      ~pred:Expr.(Field (var "a", "v") ==. Field (var "b", "v"))
+      (Plan.scan ~dataset:"numbers" ~binding:"a" ())
+      (Plan.scan ~dataset:"numbers" ~binding:"b" ())
+  in
+  let result = Interp.run ~lookup plan in
+  Alcotest.(check int) "5 matches" 5 (List.length (Value.elements result))
+
+let test_interp_outer_join () =
+  let plan =
+    Plan.join ~kind:Plan.Left_outer
+      ~pred:Expr.(Field (var "a", "v") ==. Field (var "b", "v") &&& (Field (var "b", "v") <. int 3))
+      (Plan.scan ~dataset:"numbers" ~binding:"a" ())
+      (Plan.scan ~dataset:"numbers" ~binding:"b" ())
+  in
+  let rows = Value.elements (Interp.run ~lookup plan) in
+  Alcotest.(check int) "every left row survives" 5 (List.length rows);
+  let nulls =
+    List.filter (fun r -> Value.is_null (Value.field r "b")) rows
+  in
+  Alcotest.(check int) "unmatched padded" 3 (List.length nulls)
+
+let test_interp_unnest () =
+  let plan =
+    Plan.reduce
+      [ Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1) ]
+      (Plan.unnest
+         ~pred:Expr.(Field (var "c", "age") >. int 18)
+         ~path:Expr.(Field (var "s", "children"))
+         ~binding:"c"
+         (Plan.scan ~dataset:"Sailor" ~binding:"s" ()))
+  in
+  Alcotest.check check_value "adult children" (Value.Int 2) (Interp.run ~lookup plan)
+
+let test_interp_outer_unnest () =
+  let plan =
+    Plan.unnest ~outer:true
+      ~path:Expr.(Field (var "s", "children"))
+      ~binding:"c"
+      (Plan.scan ~dataset:"Sailor" ~binding:"s" ())
+  in
+  let rows = Value.elements (Interp.run ~lookup plan) in
+  (* sailor 3 has no children but must still appear *)
+  Alcotest.(check int) "rows" 4 (List.length rows)
+
+let test_interp_nest () =
+  let plan =
+    Plan.nest
+      ~keys:[ ("parity", Expr.(Binop (Mod, Field (var "n", "v"), int 2))) ]
+      ~aggs:[ Plan.agg ~name:"total" (Monoid.Primitive Monoid.Sum) Expr.(Field (var "n", "v")) ]
+      ~binding:"g"
+      (Plan.scan ~dataset:"numbers" ~binding:"n" ())
+  in
+  check_same_bag "nest"
+    (Value.bag
+       [
+         Value.record [ ("parity", Value.Int 1); ("total", Value.Int 9) ];
+         Value.record [ ("parity", Value.Int 0); ("total", Value.Int 6) ];
+       ])
+    (Interp.run ~lookup plan)
+
+let test_interp_reduce_multi_agg () =
+  let plan =
+    Plan.reduce
+      [
+        Plan.agg ~name:"cnt" (Monoid.Primitive Monoid.Count) (Expr.int 1);
+        Plan.agg ~name:"mx" (Monoid.Primitive Monoid.Max) Expr.(Field (var "n", "v"));
+      ]
+      (Plan.scan ~dataset:"numbers" ~binding:"n" ())
+  in
+  Alcotest.check check_value "record of aggs"
+    (Value.record [ ("cnt", Value.Int 5); ("mx", Value.Int 5) ])
+    (Interp.run ~lookup plan)
+
+let test_plan_validate () =
+  let bad =
+    Plan.select Expr.(var "zzz" >. int 0) (Plan.scan ~dataset:"numbers" ~binding:"n" ())
+  in
+  Alcotest.(check bool) "unbound var rejected" true
+    (try
+       Plan.validate bad;
+       false
+     with Perror.Plan_error _ -> true)
+
+(* --- calculus -> algebra ------------------------------------------------- *)
+
+let translate c = To_algebra.run (Normalize.run c)
+
+let test_to_algebra_example31 () =
+  let plan = translate example_31 in
+  Plan.validate plan;
+  check_same_bag "algebra agrees with calculus" expected_31 (Interp.run ~lookup plan)
+
+let test_to_algebra_introduces_unnest () =
+  let plan = translate example_31 in
+  let rec count_unnests (p : Plan.t) =
+    (match p with Plan.Unnest _ -> 1 | _ -> 0)
+    + List.fold_left (fun acc c -> acc + count_unnests c) 0 (Plan.children p)
+  in
+  Alcotest.(check int) "two unnest operators (Figure 1)" 2 (count_unnests plan)
+
+let test_to_algebra_group () =
+  let c =
+    {
+      Calc.quals = [ Calc.Gen ("n", Calc.Dataset "numbers") ];
+      output =
+        Calc.Group
+          {
+            keys = [ ("parity", Expr.(Binop (Mod, Field (var "n", "v"), int 2))) ];
+            aggs = [ ("total", Monoid.Sum, Expr.Field (Expr.var "n", "v")) ];
+          };
+    }
+  in
+  check_same_bag "group translation" (Calc.eval ~lookup c) (Interp.run ~lookup (translate c))
+
+(* Random single-dataset comprehensions: calculus eval == algebra eval. *)
+let comp_gen : Calc.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let field = Expr.Field (Expr.var "n", "v") in
+  let pred_gen =
+    oneof
+      [
+        map (fun k -> Expr.(field >. int k)) (int_range 0 6);
+        map (fun k -> Expr.(field <. int k)) (int_range 0 6);
+        map (fun k -> Expr.(Binop (Mod, field, int 2) ==. int k)) (int_range 0 1);
+      ]
+  in
+  let output_gen =
+    oneof
+      [
+        return (Calc.Collect (Ptype.Bag, field));
+        return (Calc.Aggregate [ ("s", Monoid.Sum, field) ]);
+        return (Calc.Aggregate [ ("c", Monoid.Count, Expr.int 1) ]);
+        return
+          (Calc.Group
+             {
+               keys = [ ("p", Expr.(Binop (Mod, field, int 2))) ];
+               aggs = [ ("m", Monoid.Max, field) ];
+             });
+      ]
+  in
+  map2
+    (fun preds output ->
+      {
+        Calc.quals =
+          Calc.Gen ("n", Calc.Dataset "numbers")
+          :: List.map (fun p -> Calc.Pred p) preds;
+        output;
+      })
+    (list_size (int_range 0 3) pred_gen)
+    output_gen
+
+let calc_algebra_agree_prop =
+  QCheck2.Test.make ~name:"calculus eval == algebra eval" ~count:200 comp_gen
+    (fun c ->
+      let direct = Calc.eval ~lookup c in
+      let via_algebra = Interp.run ~lookup (translate c) in
+      Value.equal (sort_bag direct) (sort_bag via_algebra))
+
+let normalize_preserves_prop =
+  QCheck2.Test.make ~name:"normalization preserves evaluation" ~count:200 comp_gen
+    (fun c ->
+      Value.equal (sort_bag (Calc.eval ~lookup c))
+        (sort_bag (Calc.eval ~lookup (Normalize.run c))))
+
+(* --- fingerprints -------------------------------------------------------- *)
+
+let test_fingerprint_alpha_equivalence () =
+  let mk b =
+    Plan.select
+      Expr.(Field (var b, "v") >. int 2)
+      (Plan.scan ~dataset:"numbers" ~binding:b ())
+  in
+  Alcotest.(check string) "alpha-equivalent plans collide"
+    (Fingerprint.plan (mk "x")) (Fingerprint.plan (mk "y"));
+  let other =
+    Plan.select
+      Expr.(Field (var "x", "v") >. int 3)
+      (Plan.scan ~dataset:"numbers" ~binding:"x" ())
+  in
+  Alcotest.(check bool) "different predicate differs" true
+    (Fingerprint.plan (mk "x") <> Fingerprint.plan other)
+
+let test_fingerprint_expr () =
+  Alcotest.(check string) "expr fingerprint renames binding"
+    (Fingerprint.expr ~binding:"a" Expr.(Field (var "a", "x")))
+    (Fingerprint.expr ~binding:"b" Expr.(Field (var "b", "x")))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "calculus"
+    [
+      ( "calc",
+        [
+          Alcotest.test_case "example 3.1" `Quick test_calc_example31;
+          Alcotest.test_case "aggregate" `Quick test_calc_aggregate;
+          Alcotest.test_case "group" `Quick test_calc_group;
+          Alcotest.test_case "validate unbound" `Quick test_calc_validate_unbound;
+        ] );
+      ( "normalize",
+        [
+          Alcotest.test_case "splits conjunctions" `Quick test_normalize_splits_conjunction;
+          Alcotest.test_case "unnests subqueries" `Quick test_normalize_unnests_subquery;
+          Alcotest.test_case "false predicate" `Quick test_normalize_false_pred;
+          Alcotest.test_case "constant folding" `Quick test_fold_constants;
+        ]
+        @ qsuite [ normalize_preserves_prop ] );
+      ( "interp",
+        [
+          Alcotest.test_case "scan+select" `Quick test_interp_scan_select;
+          Alcotest.test_case "join" `Quick test_interp_join;
+          Alcotest.test_case "outer join" `Quick test_interp_outer_join;
+          Alcotest.test_case "unnest" `Quick test_interp_unnest;
+          Alcotest.test_case "outer unnest" `Quick test_interp_outer_unnest;
+          Alcotest.test_case "nest" `Quick test_interp_nest;
+          Alcotest.test_case "multi-agg reduce" `Quick test_interp_reduce_multi_agg;
+          Alcotest.test_case "validate" `Quick test_plan_validate;
+        ] );
+      ( "to_algebra",
+        [
+          Alcotest.test_case "example 3.1" `Quick test_to_algebra_example31;
+          Alcotest.test_case "unnest operators" `Quick test_to_algebra_introduces_unnest;
+          Alcotest.test_case "group" `Quick test_to_algebra_group;
+        ]
+        @ qsuite [ calc_algebra_agree_prop ] );
+      ( "fingerprint",
+        [
+          Alcotest.test_case "alpha equivalence" `Quick test_fingerprint_alpha_equivalence;
+          Alcotest.test_case "expression keys" `Quick test_fingerprint_expr;
+        ] );
+    ]

@@ -1,0 +1,462 @@
+(* Tests for the raw-data access layer: CSV, JSON, structural indexes,
+   binary JSON. *)
+
+open Proteus_model
+open Proteus_format
+
+let check_value = Alcotest.testable Value.pp Value.equal
+
+(* --- CSV ----------------------------------------------------------------- *)
+
+let cfg = Csv.default_config
+
+let schema =
+  Schema.make [ ("a", Ptype.Int); ("b", Ptype.String); ("c", Ptype.Float) ]
+
+let sample = "1,hello,2.5\n2,\"quo,ted\",3.0\n3,,4.25\n"
+
+let test_csv_read_all () =
+  let rows = Csv.read_all cfg schema sample in
+  Alcotest.(check int) "rows" 3 (List.length rows);
+  let r1 = List.nth rows 1 in
+  Alcotest.check check_value "quoted field" (Value.String "quo,ted") (Value.field r1 "b");
+  Alcotest.check check_value "float" (Value.Float 3.0) (Value.field r1 "c")
+
+let test_csv_roundtrip () =
+  let records = Csv.read_all cfg schema sample in
+  let rendered = Csv.of_records cfg schema records in
+  let records' = Csv.read_all cfg schema rendered in
+  Alcotest.(check bool) "roundtrip" true (List.for_all2 Value.equal records records')
+
+let test_csv_field_spans () =
+  let start, stop, _ = Csv.row_bounds sample ~pos:0 in
+  let spans = Csv.field_spans cfg sample ~start ~stop in
+  Alcotest.(check int) "3 fields" 3 (List.length spans);
+  let s, e = List.nth spans 1 in
+  Alcotest.(check string) "middle span" "hello" (String.sub sample s (e - s))
+
+let test_csv_empty_field_null () =
+  let rows = Csv.read_all cfg (Schema.make [ ("a", Ptype.Int); ("b", Ptype.Option Ptype.String); ("c", Ptype.Float) ]) sample in
+  Alcotest.check check_value "empty optional is null" Value.Null
+    (Value.field (List.nth rows 2) "b")
+
+let test_csv_header () =
+  let cfg = { Csv.separator = ','; has_header = true } in
+  let src = "a,b,c\n7,x,1.5\n" in
+  let rows = Csv.read_all cfg schema src in
+  Alcotest.(check int) "one data row" 1 (List.length rows);
+  Alcotest.(check int) "count" 1 (Csv.row_count cfg src)
+
+let test_csv_bad_int () =
+  Alcotest.(check bool) "parse error" true
+    (try
+       ignore (Csv.parse_int "xx" ~start:0 ~stop:2);
+       false
+     with Perror.Parse_error _ -> true)
+
+(* --- CSV structural index ------------------------------------------------ *)
+
+let wide_row i =
+  String.concat "," (List.init 12 (fun f -> string_of_int ((i * 100) + f)))
+
+let wide_src = String.concat "\n" (List.init 20 wide_row) ^ "\n"
+
+let test_csv_index_positions () =
+  let idx = Csv_index.build cfg ~every:5 wide_src in
+  Alcotest.(check int) "rows" 20 (Csv_index.row_count idx);
+  Alcotest.(check int) "arity" 12 (Csv_index.arity idx);
+  for row = 0 to 19 do
+    for field = 0 to 11 do
+      let s, e = Csv_index.field_span idx ~row ~field in
+      Alcotest.(check string)
+        (Fmt.str "field %d.%d" row field)
+        (string_of_int ((row * 100) + field))
+        (String.sub wide_src s (e - s))
+    done
+  done
+
+let test_csv_index_fixed_width () =
+  (* All rows identical length -> fixed-width fast path *)
+  let src = "11,22,33\n44,55,66\n77,88,99\n" in
+  let idx = Csv_index.build cfg src in
+  Alcotest.(check bool) "fixed" true (Csv_index.is_fixed_width idx);
+  let s, e = Csv_index.field_span idx ~row:2 ~field:1 in
+  Alcotest.(check string) "field" "88" (String.sub src s (e - s))
+
+let test_csv_index_variable_width () =
+  let src = "1,2,3\n1000,2,3\n" in
+  let idx = Csv_index.build cfg src in
+  Alcotest.(check bool) "not fixed" false (Csv_index.is_fixed_width idx);
+  let s, e = Csv_index.field_span idx ~row:1 ~field:0 in
+  Alcotest.(check string) "field" "1000" (String.sub src s (e - s))
+
+let test_csv_index_ragged_rejected () =
+  Alcotest.(check bool) "arity mismatch raises" true
+    (try
+       ignore (Csv_index.build cfg "1,2,3\n4,5\n");
+       false
+     with Perror.Parse_error _ -> true)
+
+(* --- JSON ---------------------------------------------------------------- *)
+
+let test_json_parse_basics () =
+  let j = Json.parse_string {|{"a": 1, "b": [true, null, 2.5], "s": "x\ny"}|} in
+  match j with
+  | Json.Obj [ ("a", Json.Int 1); ("b", Json.Arr [ Json.Bool true; Json.Null; Json.Float 2.5 ]); ("s", Json.Str "x\ny") ] -> ()
+  | _ -> Alcotest.failf "bad parse: %s" (Json.to_string j)
+
+let test_json_roundtrip () =
+  let texts =
+    [
+      {|{"a":1,"b":{"c":[1,2,3]},"d":"hi"}|};
+      {|[{"x":-5},{"y":1e3}]|};
+      {|{"esc":"a\"b\\c"}|};
+    ]
+  in
+  List.iter
+    (fun t ->
+      let j = Json.parse_string t in
+      let j' = Json.parse_string (Json.to_string j) in
+      Alcotest.(check bool) t true (j = j'))
+    texts
+
+let test_json_seq () =
+  let objs = Json.parse_seq "{\"a\":1}\n{\"a\":2}\n{\"a\":3}\n" in
+  Alcotest.(check int) "3 objects" 3 (List.length objs)
+
+let test_json_malformed () =
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) bad true
+        (try
+           ignore (Json.parse_string bad);
+           false
+         with Perror.Parse_error _ -> true))
+    [ "{"; "{\"a\":}"; "[1,]"; "tru"; "\"unterminated"; "{\"a\" 1}" ]
+
+let test_json_value_conversion () =
+  let v = Json.to_value (Json.parse_string {|{"a":1,"kids":[{"n":"x"}]}|}) in
+  Alcotest.check check_value "nested" (Value.String "x")
+    (Value.field (List.hd (Value.elements (Value.field v "kids"))) "n")
+
+(* --- JSON structural index ----------------------------------------------- *)
+
+let flexible_src =
+  (* same fields, different order -> flexible schema *)
+  {|{"a": 1, "b": "x", "c": {"d": {"d1": 10}}, "arr": [1,2,3]}
+{"b": "y", "a": 2, "arr": [4], "c": {"d": {"d1": 20}}}
+{"a": 3, "c": {"d": {"d1": 30}}, "b": "z", "arr": []}|}
+
+let fixed_src =
+  {|{"a": 1, "b": "x"}
+{"a": 22, "b": "yy"}
+{"a": 333, "b": "zzz"}|}
+
+let test_json_index_basic () =
+  let idx = Json_index.build flexible_src in
+  Alcotest.(check int) "objects" 3 (Json_index.object_count idx);
+  Alcotest.(check bool) "flexible" false (Json_index.is_fixed_schema idx);
+  (* level-0 lookup despite field order differences *)
+  List.iteri
+    (fun i expect ->
+      match Json_index.find idx ~obj:i ~path:"a" with
+      | Some e -> Alcotest.(check int) "a value" expect (Json_index.read_int idx e)
+      | None -> Alcotest.fail "field a not found")
+    [ 1; 2; 3 ]
+
+let test_json_index_nested_path () =
+  let idx = Json_index.build flexible_src in
+  (* nested record path registered in level 0 -> one-step dereference *)
+  match Json_index.find idx ~obj:1 ~path:"c.d.d1" with
+  | Some e -> Alcotest.(check int) "nested" 20 (Json_index.read_int idx e)
+  | None -> Alcotest.fail "nested path missing"
+
+let test_json_index_array_not_registered () =
+  let idx = Json_index.build flexible_src in
+  (* array contents are not level-0 entries, but the array itself is *)
+  match Json_index.find idx ~obj:0 ~path:"arr" with
+  | Some e ->
+    Alcotest.(check bool) "is array" true (e.Json_index.kind = Json_index.Karr);
+    let elems = Json_index.array_elements idx e in
+    Alcotest.(check int) "3 elements" 3 (List.length elems);
+    Alcotest.(check int) "first" 1 (Json_index.read_int idx (List.hd elems))
+  | None -> Alcotest.fail "arr missing"
+
+let test_json_index_fixed_schema () =
+  let idx = Json_index.build fixed_src in
+  Alcotest.(check bool) "fixed" true (Json_index.is_fixed_schema idx);
+  (* slot resolution once, reuse across objects *)
+  match Json_index.slot idx "b" with
+  | Some slot ->
+    let e = Json_index.entry_at idx ~obj:2 ~slot in
+    Alcotest.(check string) "b of obj2" "zzz" (Json_index.read_string idx e)
+  | None -> Alcotest.fail "no shared slot"
+
+let test_json_index_missing_field () =
+  let src = {|{"a":1}
+{"a":2,"extra":7}|} in
+  let idx = Json_index.build src in
+  Alcotest.(check bool) "flexible" false (Json_index.is_fixed_schema idx);
+  Alcotest.(check bool) "missing in obj0" true
+    (Json_index.find idx ~obj:0 ~path:"extra" = None);
+  match Json_index.find idx ~obj:1 ~path:"extra" with
+  | Some e -> Alcotest.(check int) "present in obj1" 7 (Json_index.read_int idx e)
+  | None -> Alcotest.fail "extra missing in obj1"
+
+let test_json_index_find_in_span () =
+  let src = {|{"items": [{"id": 1, "qty": 5}, {"id": 2, "qty": 7}]}|} in
+  let idx = Json_index.build src in
+  match Json_index.find idx ~obj:0 ~path:"items" with
+  | None -> Alcotest.fail "items missing"
+  | Some arr ->
+    let elems = Json_index.array_elements idx arr in
+    Alcotest.(check int) "2 elems" 2 (List.length elems);
+    let e1 = List.nth elems 1 in
+    (match
+       Json_index.find_in_span idx ~start:e1.Json_index.start ~stop:e1.Json_index.stop
+         ~path:"qty"
+     with
+    | Some q -> Alcotest.(check int) "qty" 7 (Json_index.read_int idx q)
+    | None -> Alcotest.fail "qty not found in element span")
+
+let test_json_index_find_in_span_escaped_names () =
+  (* the raw-bytes name matcher must fall back to decoding for escaped
+     field names *)
+  let src = {|{"items": [{"a\"b": 7, "plain": 1}]}|} in
+  let idx = Json_index.build src in
+  match Json_index.find idx ~obj:0 ~path:"items" with
+  | None -> Alcotest.fail "items missing"
+  | Some arr -> (
+    let e = List.hd (Json_index.array_elements idx arr) in
+    (match
+       Json_index.find_in_span idx ~start:e.Json_index.start ~stop:e.Json_index.stop
+         ~path:{|a"b|}
+     with
+    | Some v -> Alcotest.(check int) "escaped name" 7 (Json_index.read_int idx v)
+    | None -> Alcotest.fail "escaped name not found");
+    match
+      Json_index.find_in_span idx ~start:e.Json_index.start ~stop:e.Json_index.stop
+        ~path:"plain"
+    with
+    | Some v -> Alcotest.(check int) "plain name" 1 (Json_index.read_int idx v)
+    | None -> Alcotest.fail "plain name not found")
+
+let test_json_index_name_prefix_not_matched () =
+  (* "ab" must not match a field named "abc" and vice versa *)
+  let src = {|{"arr": [{"ab": 1, "abc": 2, "a": 3}]}|} in
+  let idx = Json_index.build src in
+  match Json_index.find idx ~obj:0 ~path:"arr" with
+  | None -> Alcotest.fail "arr missing"
+  | Some arr ->
+    let e = List.hd (Json_index.array_elements idx arr) in
+    List.iter
+      (fun (name, expect) ->
+        match
+          Json_index.find_in_span idx ~start:e.Json_index.start ~stop:e.Json_index.stop
+            ~path:name
+        with
+        | Some v -> Alcotest.(check int) name expect (Json_index.read_int idx v)
+        | None -> Alcotest.failf "%s not found" name)
+      [ ("ab", 1); ("abc", 2); ("a", 3) ]
+
+let test_json_index_read_value_matches_parser () =
+  let idx = Json_index.build flexible_src in
+  let parsed = List.map Json.to_value (Json.parse_seq flexible_src) in
+  List.iteri
+    (fun i expect ->
+      let start, stop = Json_index.object_span idx i in
+      let via_index =
+        Json_index.read_value idx { Json_index.start; stop; kind = Json_index.Kobj }
+      in
+      Alcotest.check check_value "object roundtrip" expect via_index)
+    parsed
+
+let test_json_index_size_reported () =
+  let idx = Json_index.build flexible_src in
+  Alcotest.(check bool) "positive size" true (Json_index.byte_size idx > 0)
+
+(* --- numeric span parsing -------------------------------------------------- *)
+
+let numparse_matches_stdlib =
+  (* the fast path must agree bit-for-bit with float_of_string *)
+  let open QCheck2.Gen in
+  let decimal_gen =
+    let* sign = oneofl [ ""; "-" ] in
+    let* whole = int_range 0 999_999_999 in
+    let* frac_digits = int_range 0 6 in
+    let* frac = int_range 0 999_999 in
+    return
+      (if frac_digits = 0 then Fmt.str "%s%d" sign whole
+       else Fmt.str "%s%d.%0*d" sign whole frac_digits (frac mod (int_of_float (10. ** float_of_int frac_digits))))
+  in
+  QCheck2.Test.make ~name:"float_span == float_of_string" ~count:500 decimal_gen
+    (fun s ->
+      Float.equal
+        (Numparse.float_span s ~start:0 ~stop:(String.length s))
+        (float_of_string s))
+
+let test_numparse_edges () =
+  let f s = Numparse.float_span s ~start:0 ~stop:(String.length s) in
+  Alcotest.(check (float 0.0)) "int form" 42.0 (f "42");
+  Alcotest.(check (float 0.0)) "neg" (-3.25) (f "-3.25");
+  Alcotest.(check (float 0.0)) "exp fallback" 1500.0 (f "1.5e3");
+  Alcotest.(check (float 0.0)) "long digits fallback" 1.2345678901234567
+    (f "1.2345678901234567");
+  Alcotest.(check int) "int span" (-120) (Numparse.int_span "-120" ~start:0 ~stop:4);
+  Alcotest.(check bool) "garbage rejected" true
+    (try ignore (f "abc"); false with Perror.Parse_error _ -> true)
+
+(* --- Binary JSON --------------------------------------------------------- *)
+
+let binjson_roundtrip_texts =
+  [
+    {|{"a":1,"b":[1,2,{"c":true}],"d":null,"e":"str"}|};
+    {|{"nested":{"deep":{"deeper":[1.5,-2]}}}|};
+    {|[]|};
+    {|{"empty":{},"earr":[]}|};
+  ]
+
+let test_binjson_roundtrip () =
+  List.iter
+    (fun t ->
+      let j = Json.parse_string t in
+      let j' = Binjson.decode (Binjson.encode j) in
+      Alcotest.(check bool) t true (j = j'))
+    binjson_roundtrip_texts
+
+let test_binjson_path_access () =
+  let j = Json.parse_string {|{"a": {"b": 42}, "s": "hi", "f": 1.5}|} in
+  let bin = Binjson.encode j in
+  (match Binjson.find_path bin 0 "a.b" with
+  | Some off -> Alcotest.(check int) "a.b" 42 (Binjson.read_int bin off)
+  | None -> Alcotest.fail "a.b not found");
+  (match Binjson.find_path bin 0 "s" with
+  | Some off -> Alcotest.(check string) "s" "hi" (Binjson.read_string bin off)
+  | None -> Alcotest.fail "s not found");
+  Alcotest.(check bool) "missing path" true (Binjson.find_path bin 0 "a.z" = None)
+
+let test_binjson_array_offsets () =
+  let bin = Binjson.encode (Json.parse_string "[10,20,30]") in
+  let offs = Binjson.array_offsets bin 0 in
+  Alcotest.(check (list int)) "values" [ 10; 20; 30 ]
+    (List.map (Binjson.read_int bin) offs)
+
+let test_binjson_value_at () =
+  let j = Json.parse_string {|{"a":[1,{"b":"x"}]}|} in
+  let bin = Binjson.encode j in
+  Alcotest.check check_value "boxed" (Json.to_value j) (Binjson.value_at bin 0)
+
+let json_gen : Json.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+    let base =
+      oneof
+        [
+          return Json.Null;
+          map (fun b -> Json.Bool b) bool;
+          map (fun i -> Json.Int i) small_signed_int;
+          map (fun s -> Json.Str s) (small_string ~gen:(char_range 'a' 'z'));
+        ]
+    in
+    if n <= 0 then base
+    else
+      frequency
+        [
+          (3, base);
+          ( 1,
+            map
+              (fun vs -> Json.Obj (List.mapi (fun i v -> (Fmt.str "k%d" i, v)) vs))
+              (list_size (int_range 0 4) (self (n / 2))) );
+          (1, map (fun vs -> Json.Arr vs) (list_size (int_range 0 4) (self (n / 2))));
+        ])
+
+let json_roundtrip_prop =
+  QCheck2.Test.make ~name:"json print/parse roundtrip" ~count:300 json_gen (fun j ->
+      Json.parse_string (Json.to_string j) = j)
+
+let binjson_roundtrip_prop =
+  QCheck2.Test.make ~name:"binjson encode/decode roundtrip" ~count:300 json_gen
+    (fun j -> Binjson.decode (Binjson.encode j) = j)
+
+let json_index_agrees_prop =
+  (* For any list of generated objects, reading each whole object via the
+     structural index equals the reference parser's result. *)
+  let open QCheck2.Gen in
+  let obj_gen =
+    map
+      (fun vs -> Json.Obj (List.mapi (fun i v -> (Fmt.str "k%d" i, v)) vs))
+      (list_size (int_range 1 5) json_gen)
+  in
+  QCheck2.Test.make ~name:"structural index agrees with parser" ~count:100
+    (list_size (int_range 1 8) obj_gen) (fun objs ->
+      let src = String.concat "\n" (List.map Json.to_string objs) in
+      let idx = Json_index.build src in
+      Json_index.object_count idx = List.length objs
+      && List.for_all2
+           (fun j i ->
+             let start, stop = Json_index.object_span idx i in
+             Value.equal (Json.to_value j)
+               (Json_index.read_value idx
+                  { Json_index.start; stop; kind = Json_index.Kobj }))
+           objs
+           (List.init (List.length objs) Fun.id))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "format"
+    [
+      ( "csv",
+        [
+          Alcotest.test_case "read_all" `Quick test_csv_read_all;
+          Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "field spans" `Quick test_csv_field_spans;
+          Alcotest.test_case "empty optional" `Quick test_csv_empty_field_null;
+          Alcotest.test_case "header" `Quick test_csv_header;
+          Alcotest.test_case "bad int" `Quick test_csv_bad_int;
+        ] );
+      ( "csv-index",
+        [
+          Alcotest.test_case "all positions" `Quick test_csv_index_positions;
+          Alcotest.test_case "fixed width" `Quick test_csv_index_fixed_width;
+          Alcotest.test_case "variable width" `Quick test_csv_index_variable_width;
+          Alcotest.test_case "ragged rejected" `Quick test_csv_index_ragged_rejected;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "parse basics" `Quick test_json_parse_basics;
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "sequence" `Quick test_json_seq;
+          Alcotest.test_case "malformed" `Quick test_json_malformed;
+          Alcotest.test_case "to_value" `Quick test_json_value_conversion;
+        ]
+        @ qsuite [ json_roundtrip_prop ] );
+      ( "json-index",
+        [
+          Alcotest.test_case "basic lookup" `Quick test_json_index_basic;
+          Alcotest.test_case "nested path" `Quick test_json_index_nested_path;
+          Alcotest.test_case "arrays" `Quick test_json_index_array_not_registered;
+          Alcotest.test_case "fixed schema" `Quick test_json_index_fixed_schema;
+          Alcotest.test_case "missing field" `Quick test_json_index_missing_field;
+          Alcotest.test_case "find in span" `Quick test_json_index_find_in_span;
+          Alcotest.test_case "escaped names in span" `Quick
+            test_json_index_find_in_span_escaped_names;
+          Alcotest.test_case "no prefix matches" `Quick
+            test_json_index_name_prefix_not_matched;
+          Alcotest.test_case "read_value vs parser" `Quick
+            test_json_index_read_value_matches_parser;
+          Alcotest.test_case "size reported" `Quick test_json_index_size_reported;
+        ]
+        @ qsuite [ json_index_agrees_prop ] );
+      ( "numparse",
+        [ Alcotest.test_case "edge cases" `Quick test_numparse_edges ]
+        @ qsuite [ numparse_matches_stdlib ] );
+      ( "binjson",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_binjson_roundtrip;
+          Alcotest.test_case "path access" `Quick test_binjson_path_access;
+          Alcotest.test_case "array offsets" `Quick test_binjson_array_offsets;
+          Alcotest.test_case "value_at" `Quick test_binjson_value_at;
+        ]
+        @ qsuite [ binjson_roundtrip_prop ] );
+    ]

@@ -1,0 +1,289 @@
+(* Tests for the query frontends: lexer, SQL, comprehension syntax. *)
+
+open Proteus_model
+open Proteus_calculus
+open Proteus_lang
+
+let check_value = Alcotest.testable Value.pp Value.equal
+
+let numbers = List.map (fun i -> Value.record [ ("v", Value.Int i) ]) [ 1; 2; 3; 4; 5 ]
+
+let orders =
+  List.map
+    (fun (k, total) ->
+      Value.record [ ("o_orderkey", Value.Int k); ("o_total", Value.Float total) ])
+    [ (1, 10.0); (2, 20.0); (3, 30.0) ]
+
+let lineitems =
+  List.map
+    (fun (k, ln, qty) ->
+      Value.record
+        [ ("l_orderkey", Value.Int k); ("l_linenumber", Value.Int ln);
+          ("l_quantity", Value.Int qty) ])
+    [ (1, 1, 5); (1, 2, 7); (2, 1, 3); (3, 1, 9); (3, 2, 1) ]
+
+let sailors =
+  [
+    Value.record
+      [
+        ("id", Value.Int 1);
+        ( "children",
+          Value.list_
+            [ Value.record [ ("name", Value.String "ann"); ("age", Value.Int 20) ] ] );
+      ];
+  ]
+
+let lookup = function
+  | "numbers" -> numbers
+  | "orders" -> orders
+  | "lineitem" -> lineitems
+  | "Sailor" -> sailors
+  | other -> Perror.plan_error "no dataset %s" other
+
+(* Column resolver for multi-table SQL: TPC-H style prefixes. *)
+let resolve ~aliases ~column =
+  let owner_of prefix =
+    List.find_opt (fun (_, ds) -> String.equal ds prefix) aliases |> Option.map fst
+  in
+  if String.length column > 2 && String.sub column 0 2 = "o_" then owner_of "orders"
+  else if String.length column > 2 && String.sub column 0 2 = "l_" then owner_of "lineitem"
+  else match aliases with [ (a, _) ] -> Some a | _ -> None
+
+let run_sql ?resolve:(r = resolve) src =
+  Calc.eval ~lookup (Sql.parse ~resolve:r src)
+
+let run_comp src = Calc.eval ~lookup (Comprehension.parse src)
+
+let sort_bag v =
+  match v with
+  | Value.Coll (Ptype.Bag, es) -> Value.Coll (Ptype.Bag, List.sort Value.compare es)
+  | v -> v
+
+(* --- lexer ---------------------------------------------------------------- *)
+
+let test_lexer_tokens () =
+  let toks = Lexer.tokenize ~what:"t" "SELECT a <= 1.5, 'it''s' <- <>" in
+  let kinds = Array.to_list (Array.map (fun { Lexer.token; _ } -> token) toks) in
+  Alcotest.(check bool) "shape" true
+    (kinds
+    = [
+        Lexer.Ident "SELECT"; Lexer.Ident "a"; Lexer.Punct "<="; Lexer.Float_lit 1.5;
+        Lexer.Punct ","; Lexer.String_lit "it's"; Lexer.Punct "<-"; Lexer.Punct "<>";
+        Lexer.Eof;
+      ])
+
+let test_lexer_comment () =
+  let toks = Lexer.tokenize ~what:"t" "a -- comment\nb" in
+  Alcotest.(check int) "comment skipped" 3 (Array.length toks)
+
+let test_lexer_bad_char () =
+  Alcotest.(check bool) "rejects" true
+    (try
+       ignore (Lexer.tokenize ~what:"t" "a ? b");
+       false
+     with Perror.Parse_error _ -> true)
+
+(* --- SQL ------------------------------------------------------------------ *)
+
+let test_sql_count () =
+  Alcotest.check check_value "count" (Value.Int 3)
+    (run_sql "SELECT COUNT(*) FROM numbers WHERE v > 2")
+
+let test_sql_multi_agg () =
+  Alcotest.check check_value "count+max"
+    (Value.record [ ("c", Value.Int 5); ("m", Value.Int 5) ])
+    (run_sql "SELECT COUNT(*) AS c, MAX(v) AS m FROM numbers")
+
+let test_sql_projection () =
+  Alcotest.check check_value "bare column bag"
+    (sort_bag (Value.bag (List.map (fun i -> Value.Int i) [ 3; 4; 5 ])))
+    (sort_bag (run_sql "SELECT v FROM numbers WHERE v >= 3"))
+
+let test_sql_join () =
+  Alcotest.check check_value "join count" (Value.Int 5)
+    (run_sql
+       "SELECT COUNT(*) FROM orders o JOIN lineitem l ON o_orderkey = l_orderkey")
+
+let test_sql_join_comma_where () =
+  Alcotest.check check_value "comma join" (Value.Int 5)
+    (run_sql
+       "SELECT COUNT(*) FROM orders o, lineitem l WHERE o.o_orderkey = l.l_orderkey")
+
+let test_sql_group_by () =
+  Alcotest.check check_value "group"
+    (sort_bag
+       (Value.bag
+          [
+            Value.record [ ("l_orderkey", Value.Int 1); ("q", Value.Int 12) ];
+            Value.record [ ("l_orderkey", Value.Int 2); ("q", Value.Int 3) ];
+            Value.record [ ("l_orderkey", Value.Int 3); ("q", Value.Int 10) ];
+          ]))
+    (sort_bag
+       (run_sql
+          "SELECT l_orderkey, SUM(l_quantity) AS q FROM lineitem GROUP BY l_orderkey"))
+
+let test_sql_between_like_null () =
+  Alcotest.check check_value "between" (Value.Int 3)
+    (run_sql "SELECT COUNT(*) FROM numbers WHERE v BETWEEN 2 AND 4");
+  Alcotest.check check_value "is null" (Value.Int 0)
+    (run_sql "SELECT COUNT(*) FROM numbers WHERE v IS NULL");
+  Alcotest.check check_value "is not null" (Value.Int 5)
+    (run_sql "SELECT COUNT(*) FROM numbers WHERE v IS NOT NULL")
+
+let test_sql_unnest_extension () =
+  Alcotest.check check_value "unnest" (Value.Int 1)
+    (run_sql "SELECT COUNT(*) FROM Sailor s, UNNEST(s.children) c WHERE c.age > 18")
+
+let test_sql_arith_in_agg () =
+  Alcotest.check check_value "sum of expr" (Value.Int 30)
+    (run_sql "SELECT SUM(v * 2) FROM numbers")
+
+let test_sql_select_star () =
+  let v = run_sql "SELECT * FROM numbers WHERE v = 1" in
+  Alcotest.check check_value "star" (Value.bag [ Value.record [ ("v", Value.Int 1) ] ]) v
+
+let test_sql_errors () =
+  let fails src =
+    Alcotest.(check bool) src true
+      (try
+         ignore (Sql.parse ~resolve src);
+         false
+       with Perror.Parse_error _ | Perror.Plan_error _ -> true)
+  in
+  fails "SELECT";
+  fails "SELECT FROM t";
+  fails "SELECT COUNT(*) FROM";
+  fails "SELECT v, COUNT(*) FROM numbers";            (* mixed without GROUP BY *)
+  fails "SELECT nosuchcol FROM orders o, lineitem l"; (* unresolvable *)
+  fails "SELECT v FROM numbers GROUP BY v"            (* group without aggregate *)
+
+(* --- comprehensions ------------------------------------------------------- *)
+
+let test_comp_example31 () =
+  let v =
+    run_comp
+      "for { s1 <- Sailor, c <- s1.children, c.age > 18 } yield bag (s1.id, c.name)"
+  in
+  Alcotest.check check_value "example"
+    (Value.bag [ Value.record [ ("id", Value.Int 1); ("name", Value.String "ann") ] ])
+    v
+
+let test_comp_aggregate () =
+  Alcotest.check check_value "sum" (Value.Int 15)
+    (run_comp "for { n <- numbers } yield sum(n.v)")
+
+let test_comp_multi_aggregate () =
+  Alcotest.check check_value "multi"
+    (Value.record [ ("c", Value.Int 5); ("mx", Value.Int 5) ])
+    (run_comp "for { n <- numbers } yield count(*) as c, max(n.v) as mx")
+
+let test_comp_group () =
+  Alcotest.check check_value "group"
+    (sort_bag
+       (Value.bag
+          [
+            Value.record [ ("p", Value.Int 0); ("s", Value.Int 6) ];
+            Value.record [ ("p", Value.Int 1); ("s", Value.Int 9) ];
+          ]))
+    (sort_bag
+       (run_comp "for { n <- numbers } group by n.v % 2 as p yield sum(n.v) as s"))
+
+let test_comp_set () =
+  Alcotest.check check_value "set dedups"
+    (Value.set [ Value.Int 0; Value.Int 1 ])
+    (run_comp "for { n <- numbers } yield set n.v % 2")
+
+let test_comp_named_record () =
+  let v = run_comp "for { n <- numbers, n.v = 1 } yield bag (double: n.v * 2)" in
+  Alcotest.check check_value "named ctor"
+    (Value.bag [ Value.record [ ("double", Value.Int 2) ] ])
+    v
+
+let test_comp_subquery () =
+  (* sub-comprehension in generator position; normalization must splice it *)
+  let c =
+    Comprehension.parse
+      "for { x <- (for { n <- numbers, n.v > 2 } yield bag n.v), x < 5 } yield sum(x)"
+  in
+  Alcotest.check check_value "subquery" (Value.Int 7) (Calc.eval ~lookup c);
+  let normalized = Normalize.run c in
+  Alcotest.check check_value "after normalize" (Value.Int 7)
+    (Calc.eval ~lookup normalized)
+
+let test_comp_errors () =
+  let fails src =
+    Alcotest.(check bool) src true
+      (try
+         ignore (Comprehension.parse src);
+         false
+       with Perror.Parse_error _ | Perror.Plan_error _ -> true)
+  in
+  fails "for { } yield bag 1";
+  fails "for { n <- numbers } yield";
+  fails "for { n <- numbers } yield frob(n.v)";
+  fails "for { n <- numbers, n <- numbers } yield bag 1"; (* shadowing *)
+  fails "for { n <- numbers } yield bag zzz.v"       (* unbound *)
+
+(* --- end-to-end through the algebra -------------------------------------- *)
+
+let test_pipeline_sql_to_algebra () =
+  let calc =
+    Sql.parse ~resolve
+      "SELECT COUNT(*) FROM orders o JOIN lineitem l ON o_orderkey = l_orderkey WHERE l_quantity < 7"
+  in
+  let plan = To_algebra.run (Normalize.run calc) in
+  Proteus_algebra.Plan.validate plan;
+  (* qualifying lineitems: qty 5, 3 and 1 *)
+  Alcotest.check check_value "pipeline" (Value.Int 3)
+    (Proteus_algebra.Interp.run ~lookup plan)
+
+let test_pipeline_comp_to_algebra () =
+  let calc =
+    Comprehension.parse
+      "for { s <- Sailor, c <- s.children, c.age > 18 } yield count(*)"
+  in
+  let plan = To_algebra.run (Normalize.run calc) in
+  Proteus_algebra.Plan.validate plan;
+  Alcotest.check check_value "pipeline" (Value.Int 1)
+    (Proteus_algebra.Interp.run ~lookup plan)
+
+let () =
+  Alcotest.run "lang"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+          Alcotest.test_case "comments" `Quick test_lexer_comment;
+          Alcotest.test_case "bad char" `Quick test_lexer_bad_char;
+        ] );
+      ( "sql",
+        [
+          Alcotest.test_case "count" `Quick test_sql_count;
+          Alcotest.test_case "multi aggregate" `Quick test_sql_multi_agg;
+          Alcotest.test_case "projection" `Quick test_sql_projection;
+          Alcotest.test_case "join on" `Quick test_sql_join;
+          Alcotest.test_case "comma join" `Quick test_sql_join_comma_where;
+          Alcotest.test_case "group by" `Quick test_sql_group_by;
+          Alcotest.test_case "between/like/null" `Quick test_sql_between_like_null;
+          Alcotest.test_case "unnest extension" `Quick test_sql_unnest_extension;
+          Alcotest.test_case "arith in agg" `Quick test_sql_arith_in_agg;
+          Alcotest.test_case "select star" `Quick test_sql_select_star;
+          Alcotest.test_case "errors" `Quick test_sql_errors;
+        ] );
+      ( "comprehension",
+        [
+          Alcotest.test_case "example 3.1 style" `Quick test_comp_example31;
+          Alcotest.test_case "aggregate" `Quick test_comp_aggregate;
+          Alcotest.test_case "multi aggregate" `Quick test_comp_multi_aggregate;
+          Alcotest.test_case "group by" `Quick test_comp_group;
+          Alcotest.test_case "set monoid" `Quick test_comp_set;
+          Alcotest.test_case "named record" `Quick test_comp_named_record;
+          Alcotest.test_case "subquery" `Quick test_comp_subquery;
+          Alcotest.test_case "errors" `Quick test_comp_errors;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "sql to algebra" `Quick test_pipeline_sql_to_algebra;
+          Alcotest.test_case "comp to algebra" `Quick test_pipeline_comp_to_algebra;
+        ] );
+    ]

@@ -1,0 +1,296 @@
+(* Unit and property tests for the data model: types, values, monoids,
+   schemas, expressions. *)
+
+open Proteus_model
+
+let check_value = Alcotest.testable Value.pp Value.equal
+
+(* --- generators ---------------------------------------------------------- *)
+
+let value_gen : Value.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+    let base =
+      oneof
+        [
+          return Value.Null;
+          map (fun b -> Value.Bool b) bool;
+          map (fun i -> Value.Int i) small_signed_int;
+          map (fun f -> Value.Float f) (float_bound_inclusive 1000.0);
+          map (fun s -> Value.String s) (small_string ~gen:printable);
+        ]
+    in
+    if n <= 0 then base
+    else
+      frequency
+        [
+          (3, base);
+          ( 1,
+            map
+              (fun vs -> Value.record (List.mapi (fun i v -> (Fmt.str "f%d" i, v)) vs))
+              (list_size (int_range 0 4) (self (n / 2))) );
+          (1, map Value.bag (list_size (int_range 0 4) (self (n / 2))));
+        ])
+
+(* --- Ptype --------------------------------------------------------------- *)
+
+let test_ptype_field_ops () =
+  let r = Ptype.Record [ ("a", Ptype.Int); ("b", Ptype.String) ] in
+  Alcotest.(check int) "index of b" 1 (Ptype.field_index r "b");
+  Alcotest.(check bool) "type of a" true (Ptype.equal (Ptype.field_type r "a") Ptype.Int);
+  Alcotest.check_raises "missing field"
+    (Invalid_argument "Ptype.field_type: no field z in {a: int, b: string}")
+    (fun () -> ignore (Ptype.field_type r "z"))
+
+let test_ptype_widths () =
+  Alcotest.(check int) "int width" 8 (Ptype.binary_width Ptype.Int);
+  Alcotest.(check int) "bool width" 1 (Ptype.binary_width Ptype.Bool);
+  Alcotest.(check int) "string width" 16 (Ptype.binary_width Ptype.String)
+
+(* --- Value --------------------------------------------------------------- *)
+
+let test_value_accessors () =
+  let r = Value.record [ ("x", Value.Int 3); ("y", Value.String "hi") ] in
+  Alcotest.check check_value "field x" (Value.Int 3) (Value.field r "x");
+  Alcotest.(check bool) "missing field" true (Value.field_opt r "z" = None);
+  Alcotest.(check int) "to_int" 3 (Value.to_int (Value.field r "x"))
+
+let test_value_set_dedup () =
+  match Value.set [ Value.Int 2; Value.Int 1; Value.Int 2 ] with
+  | Value.Coll (Ptype.Set, [ Value.Int 1; Value.Int 2 ]) -> ()
+  | v -> Alcotest.failf "bad set: %a" Value.pp v
+
+let test_value_compare_total =
+  QCheck2.Test.make ~name:"compare is antisymmetric and transitive" ~count:200
+    QCheck2.Gen.(triple value_gen value_gen value_gen)
+    (fun (a, b, c) ->
+      let sgn x = compare x 0 in
+      sgn (Value.compare a b) = -sgn (Value.compare b a)
+      && ((not (Value.compare a b <= 0 && Value.compare b c <= 0))
+         || Value.compare a c <= 0))
+
+let test_value_equal_consistent_hash =
+  QCheck2.Test.make ~name:"equal values hash equally" ~count:200
+    QCheck2.Gen.(pair value_gen value_gen)
+    (fun (a, b) -> (not (Value.equal a b)) || Value.hash a = Value.hash b)
+
+(* --- Monoid -------------------------------------------------------------- *)
+
+let fold_prim p vs =
+  let acc = Monoid.acc_create p in
+  List.iter (Monoid.acc_step acc) vs;
+  Monoid.acc_value acc
+
+let test_monoid_sum_int () =
+  Alcotest.check check_value "sum" (Value.Int 6)
+    (fold_prim Monoid.Sum [ Value.Int 1; Value.Int 2; Value.Int 3 ])
+
+let test_monoid_sum_widens () =
+  Alcotest.check check_value "sum widens" (Value.Float 3.5)
+    (fold_prim Monoid.Sum [ Value.Int 1; Value.Float 2.5 ])
+
+let test_monoid_minmax_empty () =
+  Alcotest.check check_value "min of empty" Value.Null (fold_prim Monoid.Min []);
+  Alcotest.check check_value "max skips null" (Value.Int 4)
+    (fold_prim Monoid.Max [ Value.Null; Value.Int 4 ])
+
+let test_monoid_count_avg () =
+  Alcotest.check check_value "count counts everything" (Value.Int 3)
+    (fold_prim Monoid.Count [ Value.Int 9; Value.Null; Value.Bool true ]);
+  Alcotest.check check_value "avg" (Value.Float 2.0)
+    (fold_prim Monoid.Avg [ Value.Int 1; Value.Int 3 ]);
+  Alcotest.check check_value "avg empty" Value.Null (fold_prim Monoid.Avg [])
+
+let test_monoid_bool () =
+  Alcotest.check check_value "all" (Value.Bool false)
+    (fold_prim Monoid.All [ Value.Bool true; Value.Bool false ]);
+  Alcotest.check check_value "any empty" (Value.Bool false) (fold_prim Monoid.Any [])
+
+let test_monoid_sum_order_irrelevant =
+  QCheck2.Test.make ~name:"int sum is order-insensitive" ~count:200
+    QCheck2.Gen.(list small_signed_int)
+    (fun xs ->
+      let vs = List.map (fun i -> Value.Int i) xs in
+      Value.equal (fold_prim Monoid.Sum vs) (fold_prim Monoid.Sum (List.rev vs)))
+
+(* --- Schema -------------------------------------------------------------- *)
+
+let test_schema_offsets () =
+  let s = Schema.make [ ("a", Ptype.Int); ("b", Ptype.Bool); ("c", Ptype.String) ] in
+  Alcotest.(check int) "offset a" 0 (Schema.field_offset s "a");
+  Alcotest.(check int) "offset b" 8 (Schema.field_offset s "b");
+  Alcotest.(check int) "offset c" 9 (Schema.field_offset s "c");
+  Alcotest.(check int) "row width" 25 (Schema.row_width s);
+  Alcotest.(check bool) "flat" true (Schema.is_flat s)
+
+let test_schema_project () =
+  let s = Schema.make [ ("a", Ptype.Int); ("b", Ptype.Bool) ] in
+  let p = Schema.project s [ "b" ] in
+  Alcotest.(check (list string)) "projected" [ "b" ] (Schema.field_names p)
+
+let test_schema_nested_not_flat () =
+  let s =
+    Schema.make
+      [ ("a", Ptype.Int); ("kids", Ptype.Collection (Ptype.List, Ptype.Int)) ]
+  in
+  Alcotest.(check bool) "not flat" false (Schema.is_flat s)
+
+(* --- Expr ---------------------------------------------------------------- *)
+
+let test_expr_eval_arith () =
+  let open Expr in
+  let env = [ ("x", Value.Int 4) ] in
+  Alcotest.check check_value "int arith" (Value.Int 11)
+    (eval env (int 3 +. (var "x" *. int 2)));
+  Alcotest.check check_value "mixed widens" (Value.Float 6.5)
+    (eval env (var "x" +. float 2.5));
+  Alcotest.check check_value "null propagates" Value.Null (eval env (null +. int 1))
+
+let test_expr_eval_cmp () =
+  let open Expr in
+  Alcotest.check check_value "lt" (Value.Bool true) (eval [] (int 1 <. int 2));
+  Alcotest.check check_value "null cmp false" (Value.Bool false) (eval [] (null <. int 2));
+  Alcotest.check check_value "int/float eq" (Value.Bool true) (eval [] (int 2 ==. float 2.))
+
+let test_expr_eval_field_of_null () =
+  let open Expr in
+  Alcotest.check check_value "field of null is null" Value.Null
+    (eval [ ("r", Value.Null) ] (Field (var "r", "a")))
+
+let test_expr_like () =
+  Alcotest.(check bool) "percent" true (Expr.like ~pattern:"ab%z" "abcdz");
+  Alcotest.(check bool) "underscore" true (Expr.like ~pattern:"a_c" "abc");
+  Alcotest.(check bool) "no match" false (Expr.like ~pattern:"a_c" "abbc");
+  Alcotest.(check bool) "empty pattern" false (Expr.like ~pattern:"" "x");
+  Alcotest.(check bool) "all" true (Expr.like ~pattern:"%" "anything")
+
+let test_expr_free_vars_subst () =
+  let open Expr in
+  let e = Field (var "a", "x") +. var "b" in
+  Alcotest.(check (list string)) "free vars" [ "a"; "b" ] (free_vars e);
+  let e' = subst "b" (int 7) e in
+  Alcotest.check check_value "after subst" (Value.Int 10)
+    (eval [ ("a", Value.record [ ("x", Value.Int 3) ]) ] e')
+
+let test_expr_fields_of_var () =
+  let open Expr in
+  let e = Field (var "a", "x") +. Field (Field (var "a", "y"), "z") in
+  (match fields_of_var "a" e with
+  | Some [ "x"; "y" ] -> ()
+  | other ->
+    Alcotest.failf "root fields: %a"
+      Fmt.(option (list ~sep:(any ",") string))
+      other);
+  Alcotest.(check bool) "whole var escapes" true
+    (fields_of_var "a" (Record_ctor [ ("w", var "a") ]) = None)
+
+let test_expr_conjuncts () =
+  let open Expr in
+  let p = (var "a" ==. int 1) &&& ((var "b" ==. int 2) &&& bool true) in
+  Alcotest.(check int) "split, true dropped" 2 (List.length (conjuncts p));
+  Alcotest.(check bool) "conjoin of empty is true" true (Expr.eval_pred [] (conjoin []))
+
+let test_expr_div_by_zero () =
+  Alcotest.check_raises "div by zero" (Perror.Type_error "division by zero") (fun () ->
+      ignore (Expr.eval [] Expr.(int 1 /. int 0)))
+
+let test_expr_type_of () =
+  let open Expr in
+  let tenv = [ ("x", Ptype.Record [ ("a", Ptype.Int); ("b", Ptype.Float) ]) ] in
+  Alcotest.(check bool) "int+int" true
+    (Ptype.equal (type_of tenv (Field (var "x", "a") +. int 1)) Ptype.Int);
+  Alcotest.(check bool) "int+float widens" true
+    (Ptype.equal (type_of tenv (Field (var "x", "a") +. Field (var "x", "b"))) Ptype.Float);
+  Alcotest.(check bool) "cmp is bool" true
+    (Ptype.equal (type_of tenv (Field (var "x", "a") <. int 3)) Ptype.Bool)
+
+let test_expr_short_circuit () =
+  (* And must not evaluate its right side when the left is false: the right
+     side here would raise a type error. *)
+  let open Expr in
+  let bomb = Field (int 1, "nope") in
+  Alcotest.check check_value "and short-circuits" (Value.Bool false)
+    (eval [] (bool false &&& bomb));
+  Alcotest.check check_value "or short-circuits" (Value.Bool true)
+    (eval [] (bool true ||| bomb))
+
+(* --- Date_util ------------------------------------------------------------ *)
+
+let test_date_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string) s s (Date_util.to_string (Date_util.of_string s)))
+    [ "1970-01-01"; "2016-08-29"; "2000-02-29"; "1900-02-28"; "1969-12-31"; "2400-02-29" ]
+
+let test_date_epoch () =
+  Alcotest.(check int) "epoch" 0 (Date_util.of_string "1970-01-01");
+  Alcotest.(check int) "next day" 1 (Date_util.of_string "1970-01-02");
+  Alcotest.(check int) "before epoch" (-1) (Date_util.of_string "1969-12-31")
+
+let test_date_invalid () =
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) bad true
+        (try
+           ignore (Date_util.of_string bad);
+           false
+         with Perror.Parse_error _ -> true))
+    [ "2016-13-01"; "2016-02-30"; "1900-02-29"; "2016/01/01"; "16-01-01"; "" ]
+
+let date_roundtrip_prop =
+  QCheck2.Test.make ~name:"date of/to roundtrip over a wide range" ~count:500
+    QCheck2.Gen.(int_range (-200_000) 200_000)
+    (fun days -> Date_util.of_string (Date_util.to_string days) = days)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "model"
+    [
+      ( "ptype",
+        [
+          Alcotest.test_case "field ops" `Quick test_ptype_field_ops;
+          Alcotest.test_case "binary widths" `Quick test_ptype_widths;
+        ] );
+      ( "value",
+        [
+          Alcotest.test_case "accessors" `Quick test_value_accessors;
+          Alcotest.test_case "set dedup" `Quick test_value_set_dedup;
+        ]
+        @ qsuite [ test_value_compare_total; test_value_equal_consistent_hash ] );
+      ( "monoid",
+        [
+          Alcotest.test_case "sum int" `Quick test_monoid_sum_int;
+          Alcotest.test_case "sum widens" `Quick test_monoid_sum_widens;
+          Alcotest.test_case "min/max empty+null" `Quick test_monoid_minmax_empty;
+          Alcotest.test_case "count/avg" `Quick test_monoid_count_avg;
+          Alcotest.test_case "all/any" `Quick test_monoid_bool;
+        ]
+        @ qsuite [ test_monoid_sum_order_irrelevant ] );
+      ( "schema",
+        [
+          Alcotest.test_case "offsets" `Quick test_schema_offsets;
+          Alcotest.test_case "project" `Quick test_schema_project;
+          Alcotest.test_case "nested not flat" `Quick test_schema_nested_not_flat;
+        ] );
+      ( "date",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_date_roundtrip;
+          Alcotest.test_case "epoch" `Quick test_date_epoch;
+          Alcotest.test_case "invalid" `Quick test_date_invalid;
+        ]
+        @ qsuite [ date_roundtrip_prop ] );
+      ( "expr",
+        [
+          Alcotest.test_case "arith" `Quick test_expr_eval_arith;
+          Alcotest.test_case "comparisons" `Quick test_expr_eval_cmp;
+          Alcotest.test_case "field of null" `Quick test_expr_eval_field_of_null;
+          Alcotest.test_case "like" `Quick test_expr_like;
+          Alcotest.test_case "free vars / subst" `Quick test_expr_free_vars_subst;
+          Alcotest.test_case "fields_of_var" `Quick test_expr_fields_of_var;
+          Alcotest.test_case "conjuncts" `Quick test_expr_conjuncts;
+          Alcotest.test_case "div by zero" `Quick test_expr_div_by_zero;
+          Alcotest.test_case "type_of" `Quick test_expr_type_of;
+          Alcotest.test_case "short circuit" `Quick test_expr_short_circuit;
+        ] );
+    ]

@@ -1,0 +1,354 @@
+(* Tests for the optimizer: rewrites preserve results, selections sink to
+   scans, join keys get extracted, join order follows the statistics. *)
+
+open Proteus_model
+open Proteus_catalog
+open Proteus_optimizer
+module Plan = Proteus_algebra.Plan
+module Interp = Proteus_algebra.Interp
+
+let check_value = Alcotest.testable Value.pp Value.equal
+
+let big =
+  List.init 500 (fun i ->
+      Value.record [ ("bk", Value.Int i); ("bg", Value.Int (i mod 10)) ])
+
+let small =
+  List.init 10 (fun i ->
+      Value.record [ ("sk", Value.Int i); ("label", Value.String (Fmt.str "s%d" i)) ])
+
+let nested =
+  List.init 30 (fun i ->
+      Value.record
+        [
+          ("id", Value.Int i);
+          ( "kids",
+            Value.list_
+              (List.init (i mod 3) (fun j ->
+                   Value.record [ ("age", Value.Int ((i + j) mod 25)) ])) );
+        ])
+
+let lookup = function
+  | "big" -> big
+  | "small" -> small
+  | "nested" -> nested
+  | other -> Perror.plan_error "no dataset %s" other
+
+(* a catalog with statistics for the three datasets, as the cold-access
+   collector would have produced *)
+let make_catalog () =
+  let cat = Catalog.create () in
+  let register name element records =
+    (* descriptors only: the optimizer consults formats and statistics, the
+       reference interpreter supplies the data through [lookup] *)
+    Catalog.register cat
+      (Dataset.make ~name ~format:Dataset.Binary_column
+         ~location:(Dataset.Columns []) ~element);
+    let stats = Catalog.stats cat name in
+    Stats.set_cardinality stats (List.length records);
+    List.iter
+      (fun r ->
+        match r with
+        | Value.Record fields ->
+          Array.iter
+            (fun (n, v) ->
+              match v with
+              | Value.Int _ | Value.Float _ -> Stats.observe stats n v
+              | _ -> ())
+            fields
+        | _ -> ())
+      records
+  in
+  register "big" (Ptype.Record [ ("bk", Ptype.Int); ("bg", Ptype.Int) ]) big;
+  register "small" (Ptype.Record [ ("sk", Ptype.Int); ("label", Ptype.String) ]) small;
+  register "nested"
+    (Ptype.Record
+       [ ("id", Ptype.Int);
+         ("kids", Ptype.Collection (Ptype.List, Ptype.Record [ ("age", Ptype.Int) ])) ])
+    nested;
+  cat
+
+let catalog = lazy (make_catalog ())
+
+let sort_bag v =
+  match v with
+  | Value.Coll (Ptype.Bag, es) -> Value.Coll (Ptype.Bag, List.sort Value.compare es)
+  | v -> v
+
+let check_preserves ?(name = "optimize") plan =
+  let cat = Lazy.force catalog in
+  let optimized = Optimizer.optimize cat plan in
+  Plan.validate optimized;
+  Alcotest.check check_value name
+    (sort_bag (Interp.run ~lookup plan))
+    (sort_bag (Interp.run ~lookup optimized));
+  optimized
+
+(* --- pushdown shape ------------------------------------------------------- *)
+
+let join_big_small ~pred () =
+  Plan.reduce
+    [ Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1) ]
+    (Plan.select pred
+       (Plan.join
+          ~pred:Expr.(Field (var "b", "bg") ==. Field (var "s", "sk"))
+          (Plan.scan ~dataset:"big" ~binding:"b" ())
+          (Plan.scan ~dataset:"small" ~binding:"s" ())))
+
+let rec find_select_over_scan ds (p : Plan.t) =
+  match p with
+  | Plan.Select { input = Plan.Scan { dataset; _ }; _ } when dataset = ds -> true
+  | p -> List.exists (find_select_over_scan ds) (Plan.children p)
+
+let test_selection_sinks_below_join () =
+  let plan = join_big_small ~pred:Expr.(Field (var "b", "bk") <. int 100) () in
+  let optimized = check_preserves ~name:"pushdown preserves" plan in
+  Alcotest.(check bool) "select sits on the big scan" true
+    (find_select_over_scan "big" optimized)
+
+let test_reduce_pred_sinks () =
+  let plan =
+    Plan.reduce
+      ~pred:Expr.(Field (var "b", "bk") <. int 10)
+      [ Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1) ]
+      (Plan.scan ~dataset:"big" ~binding:"b" ())
+  in
+  let optimized = check_preserves ~name:"reduce pred" plan in
+  (match optimized with
+  | Plan.Reduce { pred; input = Plan.Select _; _ } ->
+    Alcotest.(check bool) "reduce pred cleared" true
+      (Expr.equal pred (Expr.conjoin []))
+  | p -> Alcotest.failf "unexpected shape: %s" (Plan.to_string p))
+
+let test_unnest_pred_split () =
+  (* input-only conjunct sinks below the unnest; element conjunct stays *)
+  let plan =
+    Plan.reduce
+      [ Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1) ]
+      (Plan.select
+         Expr.(
+           (Field (var "n", "id") <. int 20) &&& (Field (var "k", "age") >. int 5))
+         (Plan.unnest
+            ~path:Expr.(Field (var "n", "kids"))
+            ~binding:"k"
+            (Plan.scan ~dataset:"nested" ~binding:"n" ())))
+  in
+  let optimized = check_preserves ~name:"unnest pred" plan in
+  let rec find_unnest_pred (p : Plan.t) =
+    match p with
+    | Plan.Unnest { pred; _ } -> Some pred
+    | p -> List.find_map find_unnest_pred (Plan.children p)
+  in
+  match find_unnest_pred optimized with
+  | Some pred ->
+    Alcotest.(check bool) "element pred embedded" true
+      (List.exists
+         (fun c -> List.mem "k" (Expr.free_vars c))
+         (Expr.conjuncts pred));
+    Alcotest.(check bool) "input pred sank below" true
+      (find_select_over_scan "nested" optimized)
+  | None -> Alcotest.fail "unnest disappeared"
+
+let test_join_keys_extracted () =
+  let plan = join_big_small ~pred:Expr.(Field (var "b", "bk") >=. int 0) () in
+  let optimized = check_preserves ~name:"keys" plan in
+  let rec find_join_keys (p : Plan.t) =
+    match p with
+    | Plan.Join { left_key; right_key; _ } -> Some (left_key, right_key)
+    | p -> List.find_map find_join_keys (Plan.children p)
+  in
+  match find_join_keys optimized with
+  | Some (lk, rk) -> Alcotest.(check bool) "keys set" true (lk <> None && rk <> None)
+  | None -> Alcotest.fail "join disappeared"
+
+let test_non_equi_becomes_nested_loop () =
+  let plan =
+    Plan.reduce
+      [ Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1) ]
+      (Plan.join
+         ~pred:Expr.(Field (var "b", "bg") >. Field (var "s", "sk"))
+         (Plan.scan ~dataset:"big" ~binding:"b" ())
+         (Plan.scan ~dataset:"small" ~binding:"s" ()))
+  in
+  let optimized = check_preserves ~name:"non-equi" plan in
+  let rec find_join_algo (p : Plan.t) =
+    match p with
+    | Plan.Join { algo; _ } -> Some algo
+    | p -> List.find_map find_join_algo (Plan.children p)
+  in
+  match find_join_algo optimized with
+  | Some algo -> Alcotest.(check bool) "downgraded" true (algo = Plan.Nested_loop)
+  | None -> Alcotest.fail "join disappeared"
+
+let test_small_side_built () =
+  (* big ⋈ small with big on the right: the planner must flip so the small
+     relation is materialized (right side) and the big one streams *)
+  let plan =
+    Plan.reduce
+      [ Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1) ]
+      (Plan.join
+         ~pred:Expr.(Field (var "s", "sk") ==. Field (var "b", "bg"))
+         (Plan.scan ~dataset:"small" ~binding:"s" ())
+         (Plan.scan ~dataset:"big" ~binding:"b" ()))
+  in
+  let optimized = check_preserves ~name:"build side" plan in
+  let rec find_join_right (p : Plan.t) =
+    match p with
+    | Plan.Join { right; _ } -> Some right
+    | p -> List.find_map find_join_right (Plan.children p)
+  in
+  match find_join_right optimized with
+  | Some right ->
+    Alcotest.(check (list string)) "small on the right" [ "small" ]
+      (Plan.datasets right)
+  | None -> Alcotest.fail "join disappeared"
+
+let test_projection_pushdown_sets_fields () =
+  let plan =
+    Plan.reduce
+      [ Plan.agg ~name:"m" (Monoid.Primitive Monoid.Max) Expr.(Field (var "b", "bk")) ]
+      (Plan.scan ~dataset:"big" ~binding:"b" ())
+  in
+  let optimized = check_preserves ~name:"projection" plan in
+  let rec find_scan (p : Plan.t) =
+    match p with
+    | Plan.Scan s -> Some s
+    | p -> List.find_map find_scan (Plan.children p)
+  in
+  match find_scan optimized with
+  | Some s -> Alcotest.(check bool) "fields restricted" true (s.fields = Some [ "bk" ])
+  | None -> Alcotest.fail "scan disappeared"
+
+let test_outer_join_untouched () =
+  let plan =
+    Plan.reduce
+      [ Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1) ]
+      (Plan.join ~kind:Plan.Left_outer
+         ~pred:Expr.(Field (var "b", "bg") ==. Field (var "s", "sk") &&& (Field (var "s", "sk") <. int 3))
+         (Plan.scan ~dataset:"big" ~binding:"b" ())
+         (Plan.scan ~dataset:"small" ~binding:"s" ()))
+  in
+  ignore (check_preserves ~name:"outer join preserved" plan)
+
+(* --- costing sanity -------------------------------------------------------- *)
+
+let test_cardinality_estimates () =
+  let cat = Lazy.force catalog in
+  let scan = Plan.scan ~dataset:"big" ~binding:"b" () in
+  Alcotest.(check (float 1.0)) "scan card" 500.0 (Costing.cardinality cat scan);
+  let half =
+    Plan.select Expr.(Field (var "b", "bk") <. int 250) scan
+  in
+  let c = Costing.cardinality cat half in
+  Alcotest.(check bool) "selection halves" true (c > 150.0 && c < 350.0)
+
+let test_format_cost_order () =
+  let open Proteus_catalog.Dataset in
+  Alcotest.(check bool) "json > csv > row > col" true
+    (Costing.format_factor Json > Costing.format_factor (Csv Proteus_format.Csv.default_config)
+    && Costing.format_factor (Csv Proteus_format.Csv.default_config)
+       > Costing.format_factor Binary_row
+    && Costing.format_factor Binary_row > Costing.format_factor Binary_column)
+
+let test_selectivity_uses_stats () =
+  let cat = Lazy.force catalog in
+  let dataset_of = function "b" -> Some "big" | _ -> None in
+  let sel k = Costing.selectivity cat ~dataset_of Expr.(Field (var "b", "bk") <. int k) in
+  Alcotest.(check bool) "monotone in constant" true (sel 50 < sel 400);
+  Alcotest.(check bool) "tight bounds" true (sel 50 < 0.25 && sel 450 > 0.75)
+
+let test_explain_renders_costs () =
+  let cat = Lazy.force catalog in
+  let plan =
+    Optimizer.optimize cat (join_big_small ~pred:Expr.(Field (var "b", "bk") <. int 100) ())
+  in
+  let s = Optimizer.explain cat plan in
+  let contains needle =
+    let n = String.length needle and h = String.length s in
+    let rec go i = i + n <= h && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions rows" true (contains "rows");
+  Alcotest.(check bool) "mentions cost" true (contains "cost");
+  Alcotest.(check bool) "names the join algorithm" true (contains "radix-hash");
+  Alcotest.(check bool) "names both scans" true (contains "scan big" && contains "scan small")
+
+(* --- randomized preservation ---------------------------------------------- *)
+
+let plan_gen : Plan.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let bfield f = Expr.Field (Expr.var "b", f) in
+  let* k = int_range 0 500 in
+  let* g = int_range 0 10 in
+  let* shape = int_range 0 3 in
+  let base = Plan.scan ~dataset:"big" ~binding:"b" () in
+  let joined =
+    Plan.join
+      ~pred:Expr.(bfield "bg" ==. Field (var "s", "sk"))
+      base
+      (Plan.scan ~dataset:"small" ~binding:"s" ())
+  in
+  let pred = Expr.(bfield "bk" <. int k &&& (bfield "bg" >=. int (g - 5))) in
+  match shape with
+  | 0 ->
+    return
+      (Plan.reduce ~pred
+         [ Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1) ]
+         base)
+  | 1 ->
+    return
+      (Plan.reduce
+         [ Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1) ]
+         (Plan.select pred joined))
+  | 2 ->
+    return
+      (Plan.nest
+         ~keys:[ ("g", bfield "bg") ]
+         ~aggs:[ Plan.agg ~name:"m" (Monoid.Primitive Monoid.Max) (bfield "bk") ]
+         ~binding:"grp" (Plan.select pred base))
+  | _ ->
+    return
+      (Plan.reduce
+         [ Plan.agg ~name:"s" (Monoid.Primitive Monoid.Sum) (bfield "bk") ]
+         (Plan.select
+            Expr.(pred &&& (Field (var "s", "label") <. str "s5"))
+            joined))
+
+let optimize_preserves_prop =
+  QCheck2.Test.make ~name:"optimization preserves results" ~count:80 plan_gen
+    (fun plan ->
+      let cat = Lazy.force catalog in
+      let optimized = Optimizer.optimize cat plan in
+      Plan.validate optimized;
+      Value.equal
+        (sort_bag (Interp.run ~lookup plan))
+        (sort_bag (Interp.run ~lookup optimized)))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "optimizer"
+    [
+      ( "rewrites",
+        [
+          Alcotest.test_case "selection sinks below join" `Quick
+            test_selection_sinks_below_join;
+          Alcotest.test_case "reduce pred sinks" `Quick test_reduce_pred_sinks;
+          Alcotest.test_case "unnest pred split" `Quick test_unnest_pred_split;
+          Alcotest.test_case "join keys extracted" `Quick test_join_keys_extracted;
+          Alcotest.test_case "non-equi to nested loop" `Quick
+            test_non_equi_becomes_nested_loop;
+          Alcotest.test_case "small side built" `Quick test_small_side_built;
+          Alcotest.test_case "projection pushdown" `Quick
+            test_projection_pushdown_sets_fields;
+          Alcotest.test_case "outer join untouched" `Quick test_outer_join_untouched;
+        ] );
+      ( "costing",
+        [
+          Alcotest.test_case "cardinality" `Quick test_cardinality_estimates;
+          Alcotest.test_case "format order" `Quick test_format_cost_order;
+          Alcotest.test_case "selectivity from stats" `Quick test_selectivity_uses_stats;
+          Alcotest.test_case "explain" `Quick test_explain_renders_costs;
+        ] );
+      ("property", qsuite [ optimize_preserves_prop ]);
+    ]

@@ -1,0 +1,230 @@
+(* Tests for columns, row pages, and the memory manager / cache arena. *)
+
+open Proteus_model
+open Proteus_storage
+
+let check_value = Alcotest.testable Value.pp Value.equal
+
+(* --- Column -------------------------------------------------------------- *)
+
+let test_column_roundtrip () =
+  let vs = [ Value.Int 1; Value.Int 2; Value.Int 3 ] in
+  let c = Column.of_values Ptype.Int vs in
+  Alcotest.(check int) "length" 3 (Column.length c);
+  List.iteri (fun i v -> Alcotest.check check_value "get" v (Column.get c i)) vs
+
+let test_column_nulls () =
+  let vs = [ Value.Int 1; Value.Null; Value.Int 3 ] in
+  let c = Column.of_values (Ptype.Option Ptype.Int) vs in
+  Alcotest.check check_value "null survives" Value.Null (Column.get c 1);
+  Alcotest.check check_value "value survives" (Value.Int 3) (Column.get c 2)
+
+let test_column_builder_fast_paths () =
+  let b = Column.Builder.create Ptype.Float in
+  for i = 1 to 100 do
+    Column.Builder.add_float b (float_of_int i)
+  done;
+  let c = Column.Builder.finish b in
+  Alcotest.(check int) "length" 100 (Column.length c);
+  Alcotest.check check_value "get 99" (Value.Float 100.) (Column.get c 99)
+
+let test_column_builder_type_mismatch () =
+  let b = Column.Builder.create Ptype.Int in
+  Alcotest.check_raises "wrong fast path"
+    (Perror.Type_error "Builder.add_float on non-float column") (fun () ->
+      Column.Builder.add_float b 1.0)
+
+let test_column_minmax () =
+  let c = Column.of_values Ptype.Int [ Value.Int 5; Value.Int (-2); Value.Int 9 ] in
+  match Column.min_max c with
+  | Some (Value.Int (-2), Value.Int 9) -> ()
+  | _ -> Alcotest.fail "bad min/max"
+
+let column_roundtrip_prop =
+  QCheck2.Test.make ~name:"column of_values/get roundtrip" ~count:200
+    QCheck2.Gen.(list (map (fun i -> Value.Int i) small_signed_int))
+    (fun vs ->
+      let c = Column.of_values Ptype.Int vs in
+      List.for_all2 Value.equal vs (List.init (Column.length c) (Column.get c)))
+
+(* --- Rowpage ------------------------------------------------------------- *)
+
+let schema =
+  Schema.make
+    [ ("id", Ptype.Int); ("price", Ptype.Float); ("flag", Ptype.Bool);
+      ("name", Ptype.String) ]
+
+let sample_rows =
+  [
+    [| Value.Int 1; Value.Float 3.5; Value.Bool true; Value.String "ann" |];
+    [| Value.Int 2; Value.Float (-1.0); Value.Bool false; Value.String "" |];
+    [| Value.Int 3; Value.Null; Value.Bool true; Value.String "carol carol" |];
+  ]
+
+let test_rowpage_typed_accessors () =
+  let p = Rowpage.of_rows schema sample_rows in
+  Alcotest.(check int) "count" 3 (Rowpage.count p);
+  let off_id = Schema.field_offset schema "id" in
+  let off_price = Schema.field_offset schema "price" in
+  let off_name = Schema.field_offset schema "name" in
+  Alcotest.(check int) "id row1" 2 (Rowpage.get_int p ~row:1 ~off:off_id);
+  Alcotest.(check (float 1e-9)) "price row0" 3.5 (Rowpage.get_float p ~row:0 ~off:off_price);
+  Alcotest.(check string) "name row2" "carol carol"
+    (Rowpage.get_string p ~row:2 ~off:off_name)
+
+let test_rowpage_nulls () =
+  let p = Rowpage.of_rows schema sample_rows in
+  Alcotest.(check bool) "null bit" true (Rowpage.is_null p ~row:2 ~field:1);
+  Alcotest.(check bool) "non-null bit" false (Rowpage.is_null p ~row:0 ~field:1);
+  Alcotest.check check_value "boxed null" Value.Null (Rowpage.get_value p ~row:2 ~field:1)
+
+let test_rowpage_record_roundtrip () =
+  let p = Rowpage.of_rows schema sample_rows in
+  match Rowpage.get_record p ~row:0 with
+  | Value.Record fs ->
+    Alcotest.(check int) "arity" 4 (Array.length fs);
+    Alcotest.check check_value "id" (Value.Int 1) (snd fs.(0))
+  | v -> Alcotest.failf "not a record: %a" Value.pp v
+
+let test_rowpage_serialization () =
+  let p = Rowpage.of_rows schema sample_rows in
+  let p' = Rowpage.of_bytes schema (Rowpage.to_bytes p) in
+  for row = 0 to 2 do
+    Alcotest.check check_value "row roundtrip"
+      (Rowpage.get_record p ~row)
+      (Rowpage.get_record p' ~row)
+  done
+
+let rowpage_roundtrip_prop =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 0 40)
+        (quad small_signed_int (float_bound_inclusive 100.0) bool
+           (small_string ~gen:printable)))
+  in
+  QCheck2.Test.make ~name:"rowpage preserves all rows" ~count:100 gen (fun rows ->
+      let vrows =
+        List.map
+          (fun (i, f, b, s) ->
+            [| Value.Int i; Value.Float f; Value.Bool b; Value.String s |])
+          rows
+      in
+      let p = Rowpage.of_rows schema vrows in
+      List.for_all2
+        (fun expect row ->
+          Value.equal
+            (Value.record
+               (List.map2
+                  (fun (f : Schema.field) v -> (f.name, v))
+                  (Schema.fields schema) (Array.to_list expect)))
+            (Rowpage.get_record p ~row))
+        vrows
+        (List.init (Rowpage.count p) Fun.id))
+
+(* --- Memory manager / arena ---------------------------------------------- *)
+
+let test_memory_blob_registry () =
+  let m = Memory.create () in
+  Memory.register_blob m ~name:"data" "hello";
+  Alcotest.(check string) "contents" "hello" (Memory.contents m "data");
+  Alcotest.(check bool) "registered" true (Memory.is_registered m "data");
+  Memory.forget m "data";
+  Alcotest.(check bool) "forgotten" false (Memory.is_registered m "data")
+
+let test_arena_eviction_lru () =
+  let m = Memory.create ~cache_budget:100 () in
+  let a = Memory.Arena.of_mgr m in
+  let evicted = ref [] in
+  let put id size =
+    Memory.Arena.put a ~id ~size ~bias:Memory.Arena.Bias_json ~on_evict:(fun () ->
+        evicted := id :: !evicted)
+  in
+  put "a" 40;
+  put "b" 40;
+  ignore (Memory.Arena.touch a "a");
+  (* "b" is now least recently used; inserting 40 more evicts it *)
+  put "c" 40;
+  Alcotest.(check (list string)) "evicted b" [ "b" ] !evicted;
+  Alcotest.(check bool) "a resident" true (Memory.Arena.mem a "a");
+  Alcotest.(check bool) "c resident" true (Memory.Arena.mem a "c")
+
+let test_arena_format_bias () =
+  (* Binary blocks are evicted before JSON blocks even when more recently
+     used (cache policy of Section 6). *)
+  let m = Memory.create ~cache_budget:100 () in
+  let a = Memory.Arena.of_mgr m in
+  let evicted = ref [] in
+  Memory.Arena.put a ~id:"json" ~size:40 ~bias:Memory.Arena.Bias_json
+    ~on_evict:(fun () -> evicted := "json" :: !evicted);
+  Memory.Arena.put a ~id:"bin" ~size:40 ~bias:Memory.Arena.Bias_binary
+    ~on_evict:(fun () -> evicted := "bin" :: !evicted);
+  ignore (Memory.Arena.touch a "bin");
+  Memory.Arena.put a ~id:"more" ~size:40 ~bias:Memory.Arena.Bias_csv
+    ~on_evict:(fun () -> evicted := "more" :: !evicted);
+  Alcotest.(check (list string)) "binary evicted first" [ "bin" ] !evicted
+
+let test_arena_pinning () =
+  let m = Memory.create ~cache_budget:100 () in
+  let a = Memory.Arena.of_mgr m in
+  Memory.Arena.put a ~id:"p" ~size:60 ~bias:Memory.Arena.Bias_binary
+    ~on_evict:(fun () -> Alcotest.fail "pinned block evicted");
+  Memory.Arena.pin a "p";
+  Memory.Arena.put a ~id:"q" ~size:40 ~bias:Memory.Arena.Bias_binary
+    ~on_evict:(fun () -> ());
+  (* inserting another 40 must evict q, not the pinned p *)
+  Memory.Arena.put a ~id:"r" ~size:40 ~bias:Memory.Arena.Bias_binary
+    ~on_evict:(fun () -> ());
+  Alcotest.(check bool) "pinned stays" true (Memory.Arena.mem a "p");
+  Alcotest.(check bool) "q gone" false (Memory.Arena.mem a "q")
+
+let test_arena_oversized_block () =
+  let m = Memory.create ~cache_budget:100 () in
+  let a = Memory.Arena.of_mgr m in
+  Alcotest.(check bool) "raises" true
+    (try
+       Memory.Arena.put a ~id:"huge" ~size:101 ~bias:Memory.Arena.Bias_json
+         ~on_evict:(fun () -> ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_arena_replace_same_id () =
+  let m = Memory.create ~cache_budget:100 () in
+  let a = Memory.Arena.of_mgr m in
+  Memory.Arena.put a ~id:"x" ~size:60 ~bias:Memory.Arena.Bias_csv ~on_evict:(fun () ->
+      Alcotest.fail "replace must not run evict hook");
+  Memory.Arena.put a ~id:"x" ~size:80 ~bias:Memory.Arena.Bias_csv ~on_evict:(fun () -> ());
+  Alcotest.(check int) "used reflects replacement" 80 (Memory.Arena.used a);
+  Alcotest.(check int) "one block" 1 (Memory.Arena.block_count a)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "column",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_column_roundtrip;
+          Alcotest.test_case "nulls" `Quick test_column_nulls;
+          Alcotest.test_case "builder fast paths" `Quick test_column_builder_fast_paths;
+          Alcotest.test_case "builder type mismatch" `Quick test_column_builder_type_mismatch;
+          Alcotest.test_case "min/max" `Quick test_column_minmax;
+        ]
+        @ qsuite [ column_roundtrip_prop ] );
+      ( "rowpage",
+        [
+          Alcotest.test_case "typed accessors" `Quick test_rowpage_typed_accessors;
+          Alcotest.test_case "nulls" `Quick test_rowpage_nulls;
+          Alcotest.test_case "record roundtrip" `Quick test_rowpage_record_roundtrip;
+          Alcotest.test_case "serialization" `Quick test_rowpage_serialization;
+        ]
+        @ qsuite [ rowpage_roundtrip_prop ] );
+      ( "memory",
+        [
+          Alcotest.test_case "blob registry" `Quick test_memory_blob_registry;
+          Alcotest.test_case "LRU eviction" `Quick test_arena_eviction_lru;
+          Alcotest.test_case "format bias" `Quick test_arena_format_bias;
+          Alcotest.test_case "pinning" `Quick test_arena_pinning;
+          Alcotest.test_case "oversized block" `Quick test_arena_oversized_block;
+          Alcotest.test_case "replace same id" `Quick test_arena_replace_same_id;
+        ] );
+    ]

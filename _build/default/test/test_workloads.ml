@@ -1,0 +1,328 @@
+(* Tests for the benchmark workloads: the TPC-H generator's invariants, and
+   agreement of every system (Proteus engines, all baselines) on the actual
+   benchmark queries over small instances. *)
+
+open Proteus_model
+open Proteus
+module Plan = Proteus_algebra.Plan
+module Tpch = Proteus_tpch.Tpch
+module Symantec = Proteus_symantec.Symantec
+module B = Proteus_baselines
+
+(* Floating-point aggregates are summed in engine-specific orders, so values
+   may differ in the last few ULPs; compare with a relative tolerance. *)
+let rec approx_equal (a : Value.t) (b : Value.t) =
+  match a, b with
+  | Value.Float x, Value.Float y ->
+    Float.equal x y
+    || Float.abs (x -. y) <= 1e-9 *. Float.max 1.0 (Float.max (Float.abs x) (Float.abs y))
+  | Value.Record fa, Value.Record fb ->
+    Array.length fa = Array.length fb
+    && Array.for_all2
+         (fun (na, va) (nb, vb) -> String.equal na nb && approx_equal va vb)
+         fa fb
+  | Value.Coll (ca, la), Value.Coll (cb, lb) ->
+    ca = cb && List.length la = List.length lb && List.for_all2 approx_equal la lb
+  | a, b -> Value.equal a b
+
+let check_value = Alcotest.testable Value.pp approx_equal
+
+let sort_bag v =
+  match v with
+  | Value.Coll (Ptype.Bag, es) -> Value.Coll (Ptype.Bag, List.sort Value.compare es)
+  | v -> v
+
+(* --- TPC-H generator ------------------------------------------------------- *)
+
+let sf = 0.0005 (* ~750 orders, ~3000 lineitems *)
+
+let data = lazy (Tpch.generate ~sf ())
+
+let test_tpch_deterministic () =
+  let a = Tpch.generate ~sf () and b = Tpch.generate ~sf () in
+  Alcotest.(check bool) "same data" true (a.Tpch.lineitems = b.Tpch.lineitems);
+  let c = Tpch.generate ~seed:43 ~sf () in
+  Alcotest.(check bool) "seed changes data" true (a.Tpch.lineitems <> c.Tpch.lineitems)
+
+let test_tpch_shape () =
+  let d = Lazy.force data in
+  Alcotest.(check int) "order count" d.Tpch.order_count (List.length d.Tpch.orders);
+  let n = List.length d.Tpch.lineitems in
+  Alcotest.(check bool) "~4 lineitems per order" true
+    (n > 3 * d.Tpch.order_count && n < 5 * d.Tpch.order_count);
+  List.iter
+    (fun li ->
+      let q = Value.to_int (Value.field li "l_quantity") in
+      let ln = Value.to_int (Value.field li "l_linenumber") in
+      Alcotest.(check bool) "quantity in 1..50" true (q >= 1 && q <= 50);
+      Alcotest.(check bool) "linenumber in 1..7" true (ln >= 1 && ln <= 7))
+    d.Tpch.lineitems
+
+let test_tpch_selectivity () =
+  (* the selectivity knob gives approximately that fraction of lineitems *)
+  let d = Lazy.force data in
+  let total = List.length d.Tpch.lineitems in
+  List.iter
+    (fun sel ->
+      let plan =
+        Tpch.Queries.projection ~lineitem:"li" ~order_count:d.Tpch.order_count
+          ~variant:Tpch.Queries.Count1 ~selectivity:sel
+      in
+      let lookup = function
+        | "li" -> d.Tpch.lineitems
+        | o -> Perror.plan_error "no dataset %s" o
+      in
+      match Proteus_algebra.Interp.run ~lookup plan with
+      | Value.Int n ->
+        let frac = float_of_int n /. float_of_int total in
+        Alcotest.(check bool)
+          (Fmt.str "selectivity %.1f -> %.3f" sel frac)
+          true
+          (Float.abs (frac -. sel) < 0.08)
+      | v -> Alcotest.failf "unexpected %a" Value.pp v)
+    [ 0.1; 0.2; 0.5; 1.0 ]
+
+let test_tpch_denormalized () =
+  let d = Lazy.force data in
+  let denorm = Tpch.denormalized_orders d in
+  let total =
+    List.fold_left
+      (fun acc o -> acc + List.length (Value.elements (Value.field o "lineitems")))
+      0 denorm
+  in
+  Alcotest.(check int) "all lineitems embedded" (List.length d.Tpch.lineitems) total
+
+(* --- cross-system agreement on the benchmark queries ---------------------- *)
+
+(* one shared tiny TPC-H instance registered everywhere *)
+let systems =
+  lazy
+    (let d = Lazy.force data in
+     let li_csv = Tpch.lineitem_csv d and li_json = Tpch.lineitem_json d in
+     let ord_json = Tpch.orders_json d in
+     (* Proteus: lineitem as JSON + CSV + columns; orders as JSON + columns *)
+     let db = Db.create () in
+     Db.register_json db ~name:"li_json" ~element:Tpch.lineitem_type ~contents:li_json;
+     Db.register_csv db ~name:"li_csv" ~element:Tpch.lineitem_type ~contents:li_csv ();
+     Db.register_columns_of db ~name:"li_col" ~element:Tpch.lineitem_type
+       d.Tpch.lineitems;
+     Db.register_json db ~name:"ord_json" ~element:Tpch.order_type ~contents:ord_json;
+     Db.register_columns_of db ~name:"ord_col" ~element:Tpch.order_type d.Tpch.orders;
+     Db.register_json db ~name:"denorm" ~element:Tpch.denorm_order_type
+       ~contents:(Tpch.denormalized_json d);
+     (* baselines *)
+     let pg = B.Rowstore.create ~json_encoding:B.Rowstore.Jsonb () in
+     B.Rowstore.load_json pg ~name:"li_json" ~element:Tpch.lineitem_type li_json;
+     B.Rowstore.load_json pg ~name:"ord_json" ~element:Tpch.order_type ord_json;
+     B.Rowstore.load_relational pg ~name:"li_col" ~element:Tpch.lineitem_type
+       d.Tpch.lineitems;
+     B.Rowstore.load_relational pg ~name:"ord_col" ~element:Tpch.order_type d.Tpch.orders;
+     B.Rowstore.load_json pg ~name:"denorm" ~element:Tpch.denorm_order_type
+       (Tpch.denormalized_json d);
+     let mdb = B.Colstore.create B.Colstore.monetdb_config () in
+     B.Colstore.load_relational mdb ~name:"li_col" ~element:Tpch.lineitem_type
+       d.Tpch.lineitems;
+     B.Colstore.load_relational mdb ~name:"ord_col" ~element:Tpch.order_type
+       d.Tpch.orders;
+     B.Colstore.load_json mdb ~name:"li_json" ~element:Tpch.lineitem_type li_json;
+     let dc = B.Colstore.create B.Colstore.dbmsc_config () in
+     B.Colstore.load_relational dc ~name:"li_col" ~sort_key:"l_orderkey"
+       ~element:Tpch.lineitem_type d.Tpch.lineitems;
+     B.Colstore.load_relational dc ~name:"ord_col" ~sort_key:"o_orderkey"
+       ~element:Tpch.order_type d.Tpch.orders;
+     let mongo = B.Docstore.create () in
+     B.Docstore.load_json mongo ~name:"li_json" ~element:Tpch.lineitem_type li_json;
+     B.Docstore.load_json mongo ~name:"ord_json" ~element:Tpch.order_type ord_json;
+     B.Docstore.load_json mongo ~name:"denorm" ~element:Tpch.denorm_order_type
+       (Tpch.denormalized_json d);
+     (d, db, pg, mdb, dc, mongo))
+
+let oracle plan =
+  let d, _, _, _, _, _ = Lazy.force systems in
+  let lookup = function
+    | "li_json" | "li_csv" | "li_col" -> d.Tpch.lineitems
+    | "ord_json" | "ord_col" -> d.Tpch.orders
+    | "denorm" -> Tpch.denormalized_orders d
+    | o -> Perror.plan_error "no dataset %s" o
+  in
+  sort_bag (Proteus_algebra.Interp.run ~lookup plan)
+
+let test_fig5_agreement () =
+  let d, db, pg, mdb, _, mongo = Lazy.force systems in
+  List.iter
+    (fun variant ->
+      List.iter
+        (fun sel ->
+          let plan =
+            Tpch.Queries.projection ~lineitem:"li_json" ~order_count:d.Tpch.order_count
+              ~variant ~selectivity:sel
+          in
+          let expected = oracle plan in
+          Alcotest.check check_value "proteus" expected
+            (sort_bag (Db.run_plan db plan));
+          Alcotest.check check_value "volcano" expected
+            (sort_bag (Db.run_plan ~engine:Db.Engine_volcano db plan));
+          Alcotest.check check_value "postgres" expected
+            (sort_bag (B.Rowstore.run pg plan));
+          Alcotest.check check_value "monetdb" expected
+            (sort_bag (B.Colstore.run mdb plan));
+          Alcotest.check check_value "mongo" expected
+            (sort_bag (B.Docstore.run mongo plan)))
+        [ 0.1; 0.5; 1.0 ])
+    [ Tpch.Queries.Count1; Tpch.Queries.Max1; Tpch.Queries.Agg4 ]
+
+let test_fig6_agreement () =
+  let d, db, pg, mdb, dc, _ = Lazy.force systems in
+  List.iter
+    (fun sel ->
+      let plan =
+        Tpch.Queries.projection ~lineitem:"li_col" ~order_count:d.Tpch.order_count
+          ~variant:Tpch.Queries.Agg4 ~selectivity:sel
+      in
+      let expected = oracle plan in
+      Alcotest.check check_value "proteus" expected (sort_bag (Db.run_plan db plan));
+      Alcotest.check check_value "postgres" expected (sort_bag (B.Rowstore.run pg plan));
+      Alcotest.check check_value "monetdb" expected (sort_bag (B.Colstore.run mdb plan));
+      Alcotest.check check_value "dbms-c" expected (sort_bag (B.Colstore.run dc plan)))
+    [ 0.1; 1.0 ]
+
+let test_fig9_join_and_unnest_agreement () =
+  let d, db, pg, _, _, mongo = Lazy.force systems in
+  let join =
+    Tpch.Queries.join ~orders:"ord_json" ~lineitem:"li_json"
+      ~order_count:d.Tpch.order_count ~variant:Tpch.Queries.JAgg2 ~selectivity:0.2
+  in
+  let expected = oracle join in
+  Alcotest.check check_value "proteus join" expected (sort_bag (Db.run_plan db join));
+  Alcotest.check check_value "postgres join" expected (sort_bag (B.Rowstore.run pg join));
+  Alcotest.check check_value "mongo mapreduce join" expected
+    (sort_bag (B.Docstore.run mongo join));
+  let unnest =
+    Tpch.Queries.unnest_count ~denorm:"denorm" ~order_count:d.Tpch.order_count
+      ~selectivity:0.2
+  in
+  let expected = oracle unnest in
+  Alcotest.check check_value "proteus unnest" expected (sort_bag (Db.run_plan db unnest));
+  Alcotest.check check_value "postgres unnest" expected
+    (sort_bag (B.Rowstore.run pg unnest));
+  Alcotest.check check_value "mongo unnest" expected
+    (sort_bag (B.Docstore.run mongo unnest))
+
+let test_fig11_groupby_agreement () =
+  let d, db, pg, mdb, _, mongo = Lazy.force systems in
+  List.iter
+    (fun aggregates ->
+      let plan =
+        Tpch.Queries.group_by ~lineitem:"li_json" ~order_count:d.Tpch.order_count
+          ~aggregates ~selectivity:0.5
+      in
+      let expected = oracle plan in
+      Alcotest.check check_value "proteus" expected (sort_bag (Db.run_plan db plan));
+      Alcotest.check check_value "postgres" expected (sort_bag (B.Rowstore.run pg plan));
+      Alcotest.check check_value "monetdb" expected (sort_bag (B.Colstore.run mdb plan));
+      Alcotest.check check_value "mongo" expected (sort_bag (B.Docstore.run mongo plan)))
+    [ 1; 3; 4 ]
+
+(* --- Symantec workload ------------------------------------------------------ *)
+
+let sym_params =
+  { Symantec.default_params with json_objects = 300; csv_rows = 1200; bin_rows = 2000 }
+
+let sym = lazy (Symantec.generate ~params:sym_params ())
+
+let sym_lookup =
+  lazy
+    (let s = Lazy.force sym in
+     let json_records =
+       List.map Proteus_format.Json.to_value
+         (Proteus_format.Json.parse_seq s.Symantec.json_text)
+     in
+     let csv_records =
+       Proteus_format.Csv.read_all Proteus_format.Csv.default_config
+         (Schema.of_type Symantec.csv_type) s.Symantec.csv_text
+     in
+     fun name ->
+       if name = Symantec.json_name then json_records
+       else if name = Symantec.csv_name then csv_records
+       else if name = Symantec.bin_name then s.Symantec.bin_records
+       else Perror.plan_error "no dataset %s" name)
+
+let test_symantec_50_queries () =
+  Alcotest.(check int) "50 queries" 50
+    (List.length (Symantec.queries (Lazy.force sym)))
+
+let test_symantec_groups () =
+  Alcotest.(check string) "Q1" "BIN" (Symantec.group_of "Q1");
+  Alcotest.(check string) "Q39" "CSVJSON" (Symantec.group_of "Q39");
+  Alcotest.(check string) "Q50" "BINCSVJSON" (Symantec.group_of "Q50")
+
+let test_symantec_proteus_vs_oracle () =
+  let s = Lazy.force sym in
+  let lookup = Lazy.force sym_lookup in
+  let db = Db.create () in
+  Db.register_json db ~name:Symantec.json_name ~element:Symantec.json_type
+    ~contents:s.Symantec.json_text;
+  Db.register_csv db ~name:Symantec.csv_name ~element:Symantec.csv_type
+    ~contents:s.Symantec.csv_text ();
+  Db.register_rows db ~name:Symantec.bin_name ~element:Symantec.bin_type
+    s.Symantec.bin_records;
+  List.iter
+    (fun (name, plan) ->
+      let expected = sort_bag (Proteus_algebra.Interp.run ~lookup plan) in
+      Alcotest.check check_value (name ^ " compiled") expected
+        (sort_bag (Db.run_plan db plan));
+      Alcotest.check check_value (name ^ " volcano") expected
+        (sort_bag (Db.run_plan ~engine:Db.Engine_volcano db plan)))
+    (Symantec.queries s)
+
+let test_symantec_baselines_vs_oracle () =
+  let s = Lazy.force sym in
+  let lookup = Lazy.force sym_lookup in
+  let pg = B.Rowstore.create ~json_encoding:B.Rowstore.Jsonb () in
+  B.Rowstore.load_json pg ~name:Symantec.json_name ~element:Symantec.json_type
+    s.Symantec.json_text;
+  B.Rowstore.load_csv pg ~name:Symantec.csv_name ~element:Symantec.csv_type
+    s.Symantec.csv_text;
+  B.Rowstore.load_relational pg ~name:Symantec.bin_name ~element:Symantec.bin_type
+    s.Symantec.bin_records;
+  let fed = B.Federation.create () in
+  B.Federation.load_json fed ~name:Symantec.json_name ~element:Symantec.json_type
+    s.Symantec.json_text;
+  B.Federation.load_csv fed ~name:Symantec.csv_name ~sort_key:"day"
+    ~element:Symantec.csv_type s.Symantec.csv_text;
+  B.Federation.load_relational fed ~name:Symantec.bin_name ~sort_key:"day"
+    ~element:Symantec.bin_type s.Symantec.bin_records;
+  List.iter
+    (fun (name, plan) ->
+      let expected = sort_bag (Proteus_algebra.Interp.run ~lookup plan) in
+      Alcotest.check check_value (name ^ " postgres") expected
+        (sort_bag (B.Rowstore.run pg plan));
+      Alcotest.check check_value (name ^ " federation") expected
+        (sort_bag (B.Federation.run fed plan)))
+    (Symantec.queries s)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "tpch",
+        [
+          Alcotest.test_case "deterministic" `Quick test_tpch_deterministic;
+          Alcotest.test_case "shape" `Quick test_tpch_shape;
+          Alcotest.test_case "selectivity knob" `Quick test_tpch_selectivity;
+          Alcotest.test_case "denormalized" `Quick test_tpch_denormalized;
+        ] );
+      ( "tpch-agreement",
+        [
+          Alcotest.test_case "fig5 projections" `Quick test_fig5_agreement;
+          Alcotest.test_case "fig6 binary projections" `Quick test_fig6_agreement;
+          Alcotest.test_case "fig9 join+unnest" `Quick test_fig9_join_and_unnest_agreement;
+          Alcotest.test_case "fig11 group-bys" `Quick test_fig11_groupby_agreement;
+        ] );
+      ( "symantec",
+        [
+          Alcotest.test_case "50 queries" `Quick test_symantec_50_queries;
+          Alcotest.test_case "groups" `Quick test_symantec_groups;
+          Alcotest.test_case "proteus vs oracle" `Slow test_symantec_proteus_vs_oracle;
+          Alcotest.test_case "baselines vs oracle" `Slow test_symantec_baselines_vs_oracle;
+        ] );
+    ]
