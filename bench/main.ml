@@ -87,5 +87,6 @@ let () =
   Fmt.pr "(shapes, not absolute numbers: the substrate is an OCaml simulator)@.";
   let je, be = Tpch_figs.run_all () in
   Symantec_fig.run_all ();
+  Parallel_fig.run_all je be;
   Ablations.run_all ();
   run_bechamel (bechamel_suite je be)

@@ -1,0 +1,136 @@
+(* Morsel-driven parallel execution: the specialized engine at 1..N OCaml
+   domains over the paper's workload shapes — TPC-H Q1/Q6-style cells on the
+   JSON and binary instances, plus Symantec spam-workload cells with the
+   adaptive caches warm.
+
+   Every (cell, domain count, median ms) triple is also dumped to
+   BENCH_engine.json so regressions are machine-checkable. Domain counts
+   beyond the machine's core count measure overhead, not speedup; the
+   determinism guarantee (identical results at any count) still holds. *)
+
+module Tpch = Proteus_tpch.Tpch
+module Q = Tpch.Queries
+module Symantec = Proteus_symantec.Symantec
+
+let max_domains =
+  try int_of_string (Sys.getenv "PROTEUS_BENCH_DOMAINS") with Not_found -> 4
+
+let tune plan =
+  Proteus_optimizer.Rewrite.extract_join_keys
+    (Proteus_optimizer.Rewrite.pushdown_selections plan)
+
+(* accumulated (cell, domains, median seconds); domains = 0 marks the plain
+   serial engine entry *)
+let records : (string * int * float) list ref = ref []
+
+let measure_at db ~domains plan =
+  let prepared = Proteus.Db.prepare_plan ~domains db plan in
+  Util.measure_n 9 (fun () -> ignore (prepared.Proteus.Db.run ()))
+
+let domain_counts =
+  List.sort_uniq compare [ 1; 2; max_domains ]
+
+let cell name db plan =
+  let plan = tune plan in
+  let serial = measure_at db ~domains:1 plan in
+  records := (name, 0, serial) :: !records;
+  let at =
+    List.map
+      (fun d ->
+        let t = measure_at db ~domains:d plan in
+        records := (name, d, t) :: !records;
+        Some t)
+      domain_counts
+  in
+  (name, Some serial :: at)
+
+let scaling_row name db plan =
+  let plan = tune plan in
+  Fmt.pr "   scaling, %s:" name;
+  List.iter
+    (fun d ->
+      let t = measure_at db ~domains:d plan in
+      records := (name ^ " (scaling)", d, t) :: !records;
+      Fmt.pr " %dd=%.2fms" d (Util.ms t))
+    [ 1; 2; 4; 8 ];
+  Fmt.pr "@."
+
+let emit_json path =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"figure\": \"parallel engine\",\n  \"cells\": [\n";
+  let entries = List.rev !records in
+  List.iteri
+    (fun i (name, domains, t) ->
+      Buffer.add_string buf
+        (Fmt.str "    {\"cell\": %S, \"engine\": %S, \"domains\": %d, \"median_ms\": %.4f}%s\n"
+           name
+           (if domains = 0 then "serial" else "parallel")
+           (max 1 domains) (Util.ms t)
+           (if i = List.length entries - 1 then "" else ",")))
+    entries;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "   wrote %s (%d measurements)@." path (List.length entries)
+
+let run_all (je : Tpch_figs.json_env) (be : Tpch_figs.bin_env) =
+  let joc = je.Tpch_figs.jd.Tpch.order_count in
+  let boc = be.Tpch_figs.bd.Tpch.order_count in
+  let jdb = je.Tpch_figs.j_proteus and bdb = be.Tpch_figs.b_proteus in
+  let q6 oc = Q.projection ~lineitem:"lineitem" ~order_count:oc ~variant:Q.Agg4 ~selectivity:0.5 in
+  let q1 oc = Q.group_by ~lineitem:"lineitem" ~order_count:oc ~aggregates:4 ~selectivity:1.0 in
+  let join oc =
+    Q.join ~orders:"orders" ~lineitem:"lineitem" ~order_count:oc ~variant:Q.JAgg2
+      ~selectivity:0.2
+  in
+  let rows =
+    [
+      cell "JSON Q6-shape (4 aggr)" jdb (q6 joc);
+      cell "JSON Q1-shape (group-by)" jdb (q1 joc);
+      cell "bin Q6-shape (4 aggr)" bdb (q6 boc);
+      cell "bin Q1-shape (group-by)" bdb (q1 boc);
+      cell "bin join (2 aggr)" bdb (join boc);
+    ]
+  in
+  (* Symantec: warm the adaptive caches with one serial pass (cache fills
+     are always serial), then measure over the warm session *)
+  let s =
+    Symantec.generate
+      ~params:
+        {
+          Symantec.default_params with
+          json_objects = 500;
+          csv_rows = 4_000;
+          bin_rows = 6_000;
+        }
+      ()
+  in
+  let sdb = Proteus.Db.create () in
+  Proteus.Db.register_json sdb ~name:Symantec.json_name ~element:Symantec.json_type
+    ~contents:s.Symantec.json_text;
+  Proteus.Db.register_csv sdb ~name:Symantec.csv_name ~element:Symantec.csv_type
+    ~contents:s.Symantec.csv_text ();
+  Proteus.Db.register_rows sdb ~name:Symantec.bin_name ~element:Symantec.bin_type
+    s.Symantec.bin_records;
+  let squeries = Symantec.queries s in
+  List.iter (fun (_, plan) -> ignore (Proteus.Db.run_plan sdb (tune plan))) squeries;
+  let srows =
+    List.filter_map
+      (fun qname ->
+        match List.assoc_opt qname squeries with
+        | Some plan -> Some (cell ("Symantec " ^ qname) sdb plan)
+        | None -> None)
+      [ "Q16"; "Q39" ]
+  in
+  Util.print_table
+    ~title:
+      (Fmt.str "Parallel engine: serial vs morsel-parallel (max %d domains)" max_domains)
+    ~systems:
+      ("serial" :: List.map (fun d -> Fmt.str "%d domain(s)" d) domain_counts)
+    (rows @ srows);
+  Util.print_note
+    "1 domain runs the identical serial engine; cells where parallel trails serial \
+     on this machine indicate fewer cores than domains";
+  scaling_row "bin Q6-shape (4 aggr)" bdb (q6 boc);
+  emit_json "BENCH_engine.json"

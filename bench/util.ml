@@ -12,15 +12,14 @@ let time_once f =
    major-GC pauses don't land inside this cell's samples. *)
 let quiesce () = Gc.major ()
 
-(* median-of-k *)
+(* median-of-k; the warm-up run pays one-time costs (index builds, cache
+   fills, lazy allocation) and is excluded from the median *)
 let measure_n k f =
   quiesce ();
   let _, warm = time_once f in
   if warm > 0.5 then warm
   else begin
-    let samples =
-      List.sort compare (warm :: List.init (k - 1) (fun _ -> snd (time_once f)))
-    in
+    let samples = List.sort compare (List.init k (fun _ -> snd (time_once f))) in
     List.nth samples (k / 2)
   end
 

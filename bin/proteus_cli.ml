@@ -64,6 +64,15 @@ let engine =
     & info [ "engine" ] ~doc:"Executor: the per-query compiled engine or the \
                               Volcano interpreter (for comparison).")
 
+let domains =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Run the compiled engine with morsel-driven parallel execution \
+              over $(docv) OCaml domains; 1 (the default) is the serial \
+              engine. Composes with the default --engine only.")
+
 let no_cache =
   Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable adaptive caching.")
 
@@ -84,7 +93,7 @@ let is_comprehension q =
   let trimmed = String.trim q in
   String.length trimmed >= 3 && String.lowercase_ascii (String.sub trimmed 0 3) = "for"
 
-let run jsons csvs q engine no_cache explain verbose format =
+let run jsons csvs q engine domains no_cache explain verbose format =
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Info)
@@ -128,8 +137,8 @@ let run jsons csvs q engine no_cache explain verbose format =
     else begin
       let t0 = Unix.gettimeofday () in
       let result =
-        if is_comprehension q then Proteus.Db.comprehension ~engine db q
-        else Proteus.Db.sql ~engine db q
+        if is_comprehension q then Proteus.Db.comprehension ~engine ~domains db q
+        else Proteus.Db.sql ~engine ~domains db q
       in
       let elapsed = Unix.gettimeofday () -. t0 in
       (match format with
@@ -145,8 +154,8 @@ let run jsons csvs q engine no_cache explain verbose format =
     end
   end
 
-let run jsons csvs q engine no_cache explain verbose format =
-  try run jsons csvs q engine no_cache explain verbose format with
+let run jsons csvs q engine domains no_cache explain verbose format =
+  try run jsons csvs q engine domains no_cache explain verbose format with
   | (Perror.Parse_error _ | Perror.Plan_error _ | Perror.Type_error _
     | Perror.Unsupported _ | Sys_error _) as e ->
     Error (`Msg (Fmt.str "%a" Perror.pp_exn e))
@@ -157,7 +166,7 @@ let cmd =
     (Cmd.info "proteus_cli" ~doc)
     Term.(
       term_result
-        (const run $ json_args $ csv_args $ query $ engine $ no_cache $ explain
-       $ verbose $ format))
+        (const run $ json_args $ csv_args $ query $ engine $ domains $ no_cache
+       $ explain $ verbose $ format))
 
 let () = exit (Cmd.eval cmd)

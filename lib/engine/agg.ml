@@ -1,68 +1,91 @@
 open Proteus_model
 
-type instance = { step : unit -> unit; value : unit -> Value.t }
+type instance = {
+  step : unit -> unit;
+  value : unit -> Value.t;
+  partial : unit -> Value.t;
+}
+
+(* Avg is the one primitive whose final value is not mergeable: partials
+   carry (sum, count) explicitly and [finalize] divides at the end. *)
+let avg_partial s n () = Value.record [ ("sum", Value.Float !s); ("n", Value.Int !n) ]
+
+let no_partial () =
+  Perror.unsupported "collection monoids have no mergeable partial aggregate"
 
 let boxed_factory prim (get : unit -> Value.t) () =
   let acc = Monoid.acc_create prim in
-  { step = (fun () -> Monoid.acc_step acc (get ())); value = (fun () -> Monoid.acc_value acc) }
+  let value () = Monoid.acc_value acc in
+  { step = (fun () -> Monoid.acc_step acc (get ())); value; partial = value }
 
 let factory (m : Monoid.t) (c : Exprc.compiled) : unit -> instance =
   match m, c with
   | Monoid.Primitive Monoid.Count, _ ->
     fun () ->
       let n = ref 0 in
-      { step = (fun () -> incr n); value = (fun () -> Value.Int !n) }
+      let value () = Value.Int !n in
+      { step = (fun () -> incr n); value; partial = value }
   | Monoid.Primitive Monoid.Sum, Exprc.C_int get ->
     fun () ->
       let s = ref 0 in
-      { step = (fun () -> s := !s + get ()); value = (fun () -> Value.Int !s) }
+      let value () = Value.Int !s in
+      { step = (fun () -> s := !s + get ()); value; partial = value }
   | Monoid.Primitive Monoid.Sum, Exprc.C_float get ->
     fun () ->
       let s = ref 0. in
-      { step = (fun () -> s := !s +. get ()); value = (fun () -> Value.Float !s) }
+      let value () = Value.Float !s in
+      { step = (fun () -> s := !s +. get ()); value; partial = value }
   | Monoid.Primitive Monoid.Max, Exprc.C_int get ->
     fun () ->
       let best = ref min_int and seen = ref false in
+      let value () = if !seen then Value.Int !best else Value.Null in
       {
         step =
           (fun () ->
             let v = get () in
             if v > !best then best := v;
             seen := true);
-        value = (fun () -> if !seen then Value.Int !best else Value.Null);
+        value;
+        partial = value;
       }
   | Monoid.Primitive Monoid.Min, Exprc.C_int get ->
     fun () ->
       let best = ref max_int and seen = ref false in
+      let value () = if !seen then Value.Int !best else Value.Null in
       {
         step =
           (fun () ->
             let v = get () in
             if v < !best then best := v;
             seen := true);
-        value = (fun () -> if !seen then Value.Int !best else Value.Null);
+        value;
+        partial = value;
       }
   | Monoid.Primitive Monoid.Max, Exprc.C_float get ->
     fun () ->
       let best = ref neg_infinity and seen = ref false in
+      let value () = if !seen then Value.Float !best else Value.Null in
       {
         step =
           (fun () ->
             let v = get () in
             if v > !best then best := v;
             seen := true);
-        value = (fun () -> if !seen then Value.Float !best else Value.Null);
+        value;
+        partial = value;
       }
   | Monoid.Primitive Monoid.Min, Exprc.C_float get ->
     fun () ->
       let best = ref infinity and seen = ref false in
+      let value () = if !seen then Value.Float !best else Value.Null in
       {
         step =
           (fun () ->
             let v = get () in
             if v < !best then best := v;
             seen := true);
-        value = (fun () -> if !seen then Value.Float !best else Value.Null);
+        value;
+        partial = value;
       }
   | Monoid.Primitive Monoid.Avg, Exprc.C_int get ->
     fun () ->
@@ -74,6 +97,7 @@ let factory (m : Monoid.t) (c : Exprc.compiled) : unit -> instance =
             incr n);
         value =
           (fun () -> if !n = 0 then Value.Null else Value.Float (!s /. float_of_int !n));
+        partial = avg_partial s n;
       }
   | Monoid.Primitive Monoid.Avg, Exprc.C_float get ->
     fun () ->
@@ -85,15 +109,36 @@ let factory (m : Monoid.t) (c : Exprc.compiled) : unit -> instance =
             incr n);
         value =
           (fun () -> if !n = 0 then Value.Null else Value.Float (!s /. float_of_int !n));
+        partial = avg_partial s n;
+      }
+  | Monoid.Primitive Monoid.Avg, c ->
+    (* boxed Avg keeps explicit (sum, count) state so partials stay
+       mergeable; semantics match Monoid.acc_step (Null values skipped) *)
+    let get = Exprc.to_val c in
+    fun () ->
+      let s = ref 0. and n = ref 0 in
+      {
+        step =
+          (fun () ->
+            match get () with
+            | Value.Null -> ()
+            | v ->
+              s := !s +. Value.to_float v;
+              incr n);
+        value =
+          (fun () -> if !n = 0 then Value.Null else Value.Float (!s /. float_of_int !n));
+        partial = avg_partial s n;
       }
   | Monoid.Primitive Monoid.All, Exprc.C_bool get ->
     fun () ->
       let b = ref true in
-      { step = (fun () -> b := !b && get ()); value = (fun () -> Value.Bool !b) }
+      let value () = Value.Bool !b in
+      { step = (fun () -> b := !b && get ()); value; partial = value }
   | Monoid.Primitive Monoid.Any, Exprc.C_bool get ->
     fun () ->
       let b = ref false in
-      { step = (fun () -> b := !b || get ()); value = (fun () -> Value.Bool !b) }
+      let value () = Value.Bool !b in
+      { step = (fun () -> b := !b || get ()); value; partial = value }
   | Monoid.Primitive prim, c -> boxed_factory prim (Exprc.to_val c)
   | Monoid.Collection coll, c ->
     let get = Exprc.to_val c in
@@ -102,4 +147,46 @@ let factory (m : Monoid.t) (c : Exprc.compiled) : unit -> instance =
       {
         step = (fun () -> acc := get () :: !acc);
         value = (fun () -> Monoid.collect coll (List.rev !acc));
+        partial = no_partial;
       }
+
+let merge (m : Monoid.t) (a : Value.t) (b : Value.t) : Value.t =
+  match m with
+  | Monoid.Primitive Monoid.Count ->
+    (* the generic fold-both-partials trick would count the partials
+       themselves; Count partials add *)
+    Value.Int (Value.to_int a + Value.to_int b)
+  | Monoid.Primitive Monoid.Avg -> (
+    match
+      ( Value.field_opt a "sum", Value.field_opt a "n",
+        Value.field_opt b "sum", Value.field_opt b "n" )
+    with
+    | Some (Value.Float sa), Some (Value.Int na), Some (Value.Float sb), Some (Value.Int nb)
+      ->
+      Value.record [ ("sum", Value.Float (sa +. sb)); ("n", Value.Int (na + nb)) ]
+    | _ -> Perror.type_error "malformed Avg partial: %a / %a" Value.pp a Value.pp b)
+  | Monoid.Primitive prim ->
+    (* associative-commutative monoids merge by folding both partials into a
+       fresh accumulator; Null partials (empty Min/Max) are skipped by
+       acc_step *)
+    let acc = Monoid.acc_create prim in
+    Monoid.acc_step acc a;
+    Monoid.acc_step acc b;
+    Monoid.acc_value acc
+  | Monoid.Collection _ ->
+    Perror.unsupported "collection monoids have no mergeable partial aggregate"
+
+let finalize (m : Monoid.t) (v : Value.t) : Value.t =
+  match m with
+  | Monoid.Primitive Monoid.Avg -> (
+    match Value.field_opt v "sum", Value.field_opt v "n" with
+    | Some (Value.Float s), Some (Value.Int n) ->
+      if n = 0 then Value.Null else Value.Float (s /. float_of_int n)
+    | _ -> Perror.type_error "malformed Avg partial: %a" Value.pp v)
+  | _ -> v
+
+let mergeable ms =
+  List.for_all
+    (fun (m : Monoid.t) ->
+      match m with Monoid.Primitive _ -> true | Monoid.Collection _ -> false)
+    ms

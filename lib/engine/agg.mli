@@ -3,15 +3,36 @@
     A factory builds per-group accumulator instances whose [step] closure was
     specialized once per query: integer sums accumulate into an [int ref]
     with no boxing per tuple, float folds into a [float ref], and only
-    genuinely dynamic cases fall back to the boxed {!Monoid.acc}. *)
+    genuinely dynamic cases fall back to the boxed {!Monoid.acc}.
+
+    For morsel-driven parallel execution each worker folds its morsels into
+    a private instance; [partial] then exports the worker's state and
+    {!merge}/{!finalize} combine the per-worker partials into the final
+    aggregate ([Avg] exports a (sum, count) record, everything else its
+    plain accumulated value). *)
 
 open Proteus_model
 
 type instance = {
-  step : unit -> unit;       (** fold the current tuple in *)
-  value : unit -> Value.t;   (** read the aggregate out *)
+  step : unit -> unit;        (** fold the current tuple in *)
+  value : unit -> Value.t;    (** read the final aggregate out *)
+  partial : unit -> Value.t;
+      (** read the mergeable partial state out; raises [Perror.Unsupported]
+          for collection monoids, which have no order-insensitive partial *)
 }
 
 (** [factory monoid compiled] stages the accumulator for folding the values
     of [compiled]; each call to the factory starts a fresh group. *)
 val factory : Monoid.t -> Exprc.compiled -> unit -> instance
+
+(** [merge m a b] combines two partials of monoid [m]. Raises
+    [Perror.Unsupported] for collection monoids. *)
+val merge : Monoid.t -> Value.t -> Value.t -> Value.t
+
+(** [finalize m partial] turns a merged partial into the aggregate value
+    ([Avg] divides sum by count; every other monoid is the identity). *)
+val finalize : Monoid.t -> Value.t -> Value.t
+
+(** Whether every monoid in the list supports partial-aggregate merging
+    (i.e. no collection monoids). *)
+val mergeable : Monoid.t list -> bool

@@ -32,11 +32,73 @@ end
 
 let all_exprs = Proteus_algebra.Analysis.all_exprs
 
+(* The build-side state a spine join publishes for probe-only worker
+   pipelines: materialized payload columns plus the finished lookup
+   structure, all read-only during the probe phase. *)
+type shared_join = {
+  sj_cols : (string * (string * Value.t array ref) list) list;
+      (** per build-side binding: (path, materialized column) pairs *)
+  sj_rows : int ref;
+  sj_radix : Radix.t option ref;
+  sj_table : int list VH.t;
+  sj_mode : [ `Radix | `Boxed | `Loop ];
+  sj_kind : Plan.join_kind;
+  sj_residual : Expr.t;
+  sj_left_key : Expr.t option;
+}
+
+(* Per-pipeline-instance parallel state. Worker 0 is the template: it
+   compiles build sides and publishes [shared_join]s; workers > 0 compile
+   probe-only spines against them. [par_spine] is true only on the path
+   from the root to the driving (left-most) scan — everything off that
+   path compiles and runs exactly as in the serial engine. *)
+type par = {
+  par_worker : int;
+  par_spine : bool;
+  par_disp : Pool.Dispenser.t;
+  par_morsel : int ref;  (** index of the morsel this worker is scanning *)
+  par_joins : (int, shared_join) Hashtbl.t;
+  par_join_ctr : int ref;  (** spine joins seen so far by this instance *)
+  par_builds : (unit -> unit) list ref;
+      (** build phases the template registers; run serially before fan-out *)
+  par_select : (Cache_iface.packed * Expr.t option) option;
+      (** pre-resolved sigma-cache decision for the driving select-scan *)
+}
+
 type ctx = {
   reg : Registry.t;
   cenv : Exprc.cenv;
   required : (string * [ `Whole | `Paths of string list ]) list;
+  par : par option;
+  splice : (Plan.t * (unit -> (unit -> unit) -> unit -> unit)) option;
+      (** parallelism substitution: when the serial compile reaches this
+          exact plan node, the provided maker supplies its producer (a
+          parallel fleet behind a serial replay) instead of compiling it *)
 }
+
+let par_spine ctx = match ctx.par with Some p -> p.par_spine | None -> false
+
+let off_spine ctx =
+  match ctx.par with
+  | Some p when p.par_spine -> { ctx with par = Some { p with par_spine = false } }
+  | _ -> ctx
+
+(* The morsel loop replacing the full scan loop on a parallel spine: pull
+   the next row range from the shared dispenser until the input is dry. *)
+let par_runner (p : par) run_range consumer () =
+  let on_tuple () =
+    Counters.add_tuples 1;
+    consumer ()
+  in
+  let rec loop () =
+    match Pool.Dispenser.next p.par_disp with
+    | None -> ()
+    | Some (m, lo, hi) ->
+      p.par_morsel := m;
+      run_range ~lo ~hi ~on_tuple;
+      loop ()
+  in
+  loop ()
 
 let subset vars bound = List.for_all (fun v -> List.mem v bound) vars
 
@@ -88,20 +150,100 @@ let select_cache_should_store ctx ~dataset ~binding =
         paths
     | None -> false)
 
+(* Per-match emission at a join probe, shared by the serial and worker
+   paths: position the materialized-row cursor, apply the residual, feed the
+   consumer; reports whether the row qualified (for outer-join padding). *)
+let make_emit ~pred_c ~(m_cur : int ref) ~(consumer : unit -> unit) : int -> bool =
+  match pred_c with
+  | None ->
+    fun row ->
+      m_cur := row;
+      consumer ();
+      true
+  | Some pred_c ->
+    fun row ->
+      m_cur := row;
+      Counters.add_branch_points 1;
+      if pred_c () then begin
+        consumer ();
+        true
+      end
+      else false
+
+(* The probe-side consumer of a join, over the (finished) build state:
+   radix index for unboxed int keys, boxed table otherwise, nested loop
+   when no equi key exists. *)
+let join_probe ~(kind : Plan.join_kind) ~mode ~left_key ~(rows : int ref)
+    ~(radix : Radix.t option ref) ~(table : int list VH.t) ~(null_row : bool ref)
+    ~(emit : int -> bool) ~(consumer : unit -> unit) : unit -> unit =
+  let pad matched =
+    if kind = Plan.Left_outer && not matched then begin
+      null_row := true;
+      consumer ();
+      null_row := false
+    end
+  in
+  match mode, left_key with
+  | `Radix, Some (Exprc.C_int lg) ->
+    (* both sides integer-typed: radix probe, no boxing per tuple *)
+    fun () ->
+      let k = lg () in
+      let matched = ref false in
+      (match !radix with
+      | Some r -> Radix.iter r k ~f:(fun row -> if emit row then matched := true)
+      | None -> ());
+      pad !matched
+  | `Boxed, Some kc ->
+    let kv = Exprc.to_val kc in
+    fun () ->
+      let k = kv () in
+      let matched = ref false in
+      (match k with
+      | Value.Null -> ()
+      | k -> (
+        match VH.find_opt table k with
+        | Some rows -> List.iter (fun r -> if emit r then matched := true) rows
+        | None -> ()));
+      pad !matched
+  | `Loop, _ ->
+    (* nested-loop fallback *)
+    fun () ->
+      let n = !rows in
+      let matched = ref false in
+      for row = 0 to n - 1 do
+        if emit row then matched := true
+      done;
+      pad !matched
+  | (`Radix | `Boxed), _ ->
+    Perror.plan_error "join probe: key representation mismatch across pipeline instances"
+
 let rec compile (ctx : ctx) (p : Plan.t) : (unit -> unit) -> unit -> unit =
+  match ctx.splice with
+  | Some (target, mk) when target == p -> mk ()
+  | _ -> compile_node ctx p
+
+and compile_node (ctx : ctx) (p : Plan.t) : (unit -> unit) -> unit -> unit =
   match p with
-  | Plan.Scan { dataset; binding; fields = _ } ->
+  | Plan.Scan { dataset; binding; fields = _ } -> (
     let required =
       match List.assoc_opt binding ctx.required with
       | Some (`Paths ps) -> ps
       | Some `Whole | None -> []
     in
-    let scan = Registry.scan ctx.reg ~dataset ~required in
-    Hashtbl.replace ctx.cenv binding (Exprc.Scan_repr scan.Registry.sc_source);
-    fun consumer () ->
-      scan.Registry.sc_run ~on_tuple:(fun () ->
-          Counters.add_tuples 1;
-          consumer ())
+    match ctx.par with
+    | Some p when p.par_spine ->
+      (* the driving scan of a parallel pipeline: a private cursor view over
+         the shared index, driven by the morsel dispenser *)
+      let scan = Registry.scan_view ctx.reg ~dataset ~required in
+      Hashtbl.replace ctx.cenv binding (Exprc.Scan_repr scan.Registry.sc_source);
+      par_runner p scan.Registry.sc_run_range
+    | _ ->
+      let scan = Registry.scan ctx.reg ~dataset ~required in
+      Hashtbl.replace ctx.cenv binding (Exprc.Scan_repr scan.Registry.sc_source);
+      fun consumer () ->
+        scan.Registry.sc_run ~on_tuple:(fun () ->
+            Counters.add_tuples 1;
+            consumer ()))
   | Plan.Select { pred; input = Plan.Scan { dataset; binding; _ } as scan }
     when select_paths ctx binding <> None ->
     compile_select_scan ctx ~pred ~dataset ~binding ~scan
@@ -125,6 +267,8 @@ let rec compile (ctx : ctx) (p : Plan.t) : (unit -> unit) -> unit -> unit =
           consumer ())
   | Plan.Unnest { outer; path; binding; pred; input } -> compile_unnest ctx ~outer ~path ~binding ~pred ~input
   | Plan.Nest { keys; aggs; pred; binding; input } -> (
+    if par_spine ctx then
+      Perror.plan_error "Nest on a parallel spine (the driver must fall back)";
     let run_input = compile ctx input in
     let pred_c = Exprc.to_pred (Exprc.compile ctx.cenv pred) in
     let compiled_keys = List.map (fun (n, e) -> (n, Exprc.compile ctx.cenv e)) keys in
@@ -208,6 +352,8 @@ let rec compile (ctx : ctx) (p : Plan.t) : (unit -> unit) -> unit -> unit =
               emit consumer key_fields instances)
             (List.rev !order))
   | Plan.Sort { keys; limit; input } ->
+    if par_spine ctx then
+      Perror.plan_error "Sort on a parallel spine (the driver must fall back)";
     let run_input = compile ctx input in
     let visible = Plan.bindings input in
     (* getters against the live pipeline, compiled before re-registration *)
@@ -259,6 +405,40 @@ let rec compile (ctx : ctx) (p : Plan.t) : (unit -> unit) -> unit -> unit =
     compile_join ctx ~kind ~algo ~left ~right ~left_key ~right_key ~pred
 
 and compile_select_scan ctx ~pred ~dataset ~binding ~scan =
+  match ctx.par with
+  | Some p when p.par_spine -> (
+    (* the sigma-cache decision was resolved once during pre-analysis
+       ([par_select]) so that N pipeline instances agree and the cache's
+       stat counters tick once per query, as in the serial engine *)
+    match p.par_select with
+    | Some (packed, residual) -> (
+      let element =
+        (Proteus_catalog.Catalog.find (Registry.catalog ctx.reg) dataset)
+          .Proteus_catalog.Dataset.element
+      in
+      let src = Binary_plugin.of_columns ~element packed.Cache_iface.cols in
+      Hashtbl.replace ctx.cenv binding (Exprc.Scan_repr src);
+      let run_range ~lo ~hi ~on_tuple = Source.run_range src ~lo ~hi ~on_tuple in
+      match residual with
+      | None -> par_runner p run_range
+      | Some residual ->
+        let pred_c = Exprc.to_pred (Exprc.compile ctx.cenv residual) in
+        fun consumer ->
+          par_runner p run_range (fun () ->
+              Counters.add_branch_points 1;
+              if pred_c () then consumer ()))
+    | None ->
+      (* plain filter over the (morsel-driven) scan; the store-electing case
+         fell back to the serial engine during pre-analysis *)
+      let run_input = compile ctx scan in
+      let pred_c = Exprc.to_pred (Exprc.compile ctx.cenv pred) in
+      fun consumer ->
+        run_input (fun () ->
+            Counters.add_branch_points 1;
+            if pred_c () then consumer ()))
+  | _ -> compile_select_scan_serial ctx ~pred ~dataset ~binding ~scan
+
+and compile_select_scan_serial ctx ~pred ~dataset ~binding ~scan =
   let paths = Option.get (select_paths ctx binding) in
   let cache = Registry.cache ctx.reg in
   match cache.Cache_iface.lookup_select ~dataset ~binding ~pred ~paths with
@@ -398,7 +578,26 @@ and compile_unnest ctx ~outer ~path ~binding ~pred ~input =
           end)
 
 and compile_join ctx ~kind ~algo ~left ~right ~left_key ~right_key ~pred =
-  let run_right = compile ctx right in
+  (* On a parallel spine the template instance (worker 0) compiles the build
+     side and publishes its materialized state under a per-spine join index;
+     worker instances compile probe-only pipelines against it. Spine joins
+     are numbered in compile order, which is identical across instances
+     because every instance walks the same left spine. *)
+  let share =
+    match ctx.par with
+    | Some p when p.par_spine ->
+      let idx = !(p.par_join_ctr) in
+      incr p.par_join_ctr;
+      Some (p, idx)
+    | _ -> None
+  in
+  match share with
+  | Some (p, idx) when p.par_worker > 0 ->
+    compile_join_probe ctx (Hashtbl.find p.par_joins idx) ~left
+  | _ ->
+  (* the build (right) side never fans out: it runs to completion, serially,
+     before probe morsels are handed out *)
+  let run_right = compile (off_spine ctx) right in
   let right_bindings = Plan.bindings right in
   (* Payload: what the ancestors (and the residual predicate) read from the
      build side. The global required-paths analysis over-approximates this
@@ -551,8 +750,37 @@ and compile_join ctx ~kind ~algo ~left ~right ~left_key ~right_key ~pred =
     | Some g, Some (Exprc.C_int _) -> Some g
     | _ -> None
   in
+  (* The materialized build state lives at the compile stage so probe-only
+     worker pipelines can share it read-only; the build phase rearms it at
+     the start of every run. *)
+  let mat_rows = ref 0 in
+  (* boxed fallback table; integer keys use the radix index instead *)
+  let table : int list VH.t = VH.create 1024 in
+  let radix : Radix.t option ref = ref None in
+  let keys = ref [||] in
+  let mode =
+    match left_key_get, int_keys with
+    | Some (Exprc.C_int _), Some _ -> `Radix
+    | Some _, _ -> `Boxed
+    | None, _ -> `Loop
+  in
+  (match share with
+  | Some (p, idx) ->
+    let sj_cols = Hashtbl.fold (fun b cols acc -> (b, cols) :: acc) by_binding [] in
+    Hashtbl.replace p.par_joins idx
+      {
+        sj_cols;
+        sj_rows = mat_rows;
+        sj_radix = radix;
+        sj_table = table;
+        sj_mode = mode;
+        sj_kind = kind;
+        sj_residual = residual;
+        sj_left_key =
+          (match equi with Some (lk, _) when use_hash -> Some lk | _ -> None);
+      }
+  | None -> ());
   fun consumer ->
-    let mat_rows = ref 0 in
     let mat_consumer () =
       incr mat_rows;
       (match int_keys with
@@ -568,74 +796,13 @@ and compile_join ctx ~kind ~algo ~left ~right ~left_key ~right_key ~pred =
         payload
     in
     let right_runner = run_right mat_consumer in
-    (* boxed fallback table; integer keys use the radix index instead *)
-    let table : int list VH.t = VH.create 1024 in
-    let radix : Radix.t option ref = ref None in
-    let keys = ref [||] in
-    let emit_match =
-      match pred_c with
-      | None ->
-        fun row ->
-          m_cur := row;
-          consumer ();
-          true
-      | Some pred_c ->
-        fun row ->
-          m_cur := row;
-          Counters.add_branch_points 1;
-          if pred_c () then begin
-            consumer ();
-            true
-          end
-          else false
-    in
+    let emit_match = make_emit ~pred_c ~m_cur ~consumer in
     let probe_consumer =
-      match left_key_get, int_keys with
-      | Some (Exprc.C_int lg), Some _ ->
-        (* both sides integer-typed: radix probe, no boxing per tuple *)
-        fun () ->
-          let k = lg () in
-          let matched = ref false in
-          (match !radix with
-          | Some r -> Radix.iter r k ~f:(fun row -> if emit_match row then matched := true)
-          | None -> ());
-          if kind = Plan.Left_outer && not !matched then begin
-            null_row := true;
-            consumer ();
-            null_row := false
-          end
-      | Some kc, _ ->
-        let kv = Exprc.to_val kc in
-        fun () ->
-          let k = kv () in
-          let matched = ref false in
-          (match k with
-          | Value.Null -> ()
-          | k -> (
-            match VH.find_opt table k with
-            | Some rows -> List.iter (fun r -> if emit_match r then matched := true) rows
-            | None -> ()));
-          if kind = Plan.Left_outer && not !matched then begin
-            null_row := true;
-            consumer ();
-            null_row := false
-          end
-      | None, _ ->
-        (* nested-loop fallback *)
-        fun () ->
-          let n = !mat_rows in
-          let matched = ref false in
-          for row = 0 to n - 1 do
-            if emit_match row then matched := true
-          done;
-          if kind = Plan.Left_outer && not !matched then begin
-            null_row := true;
-            consumer ();
-            null_row := false
-          end
+      join_probe ~kind ~mode ~left_key:left_key_get ~rows:mat_rows ~radix ~table
+        ~null_row ~emit:emit_match ~consumer
     in
     let left_runner = run_left probe_consumer in
-    fun () ->
+    let build () =
       mat_rows := 0;
       ikey_n := 0;
       Vec.clear key_vec;
@@ -697,7 +864,7 @@ and compile_join ctx ~kind ~algo ~left ~right ~left_key ~right_key ~pred =
         end
       end;
       (* cluster/build the index over the materialized keys *)
-      (match left_key_get, int_keys with
+      match left_key_get, int_keys with
       | Some _, Some _ -> radix := Some (Radix.build !ikey_vec)
       | Some _, None ->
         VH.reset table;
@@ -709,8 +876,44 @@ and compile_join ctx ~kind ~algo ~left ~right ~left_key ~right_key ~pred =
             let prev = try VH.find table k with Not_found -> [] in
             VH.replace table k (row :: prev)
         done
-      | None, _ -> ());
-      left_runner ()
+      | None, _ -> ()
+    in
+    match share with
+    | Some (p, _) ->
+      (* template: the build phase runs once, serially, before fan-out *)
+      p.par_builds := build :: !(p.par_builds);
+      fun () -> left_runner ()
+    | None ->
+      fun () ->
+        build ();
+        left_runner ()
+
+(* A probe-only join instance for workers > 0: re-register the build-side
+   bindings over the template's materialized columns (with a private row
+   cursor), compile the left spine and the residual against them, and probe
+   the shared, finished lookup structure read-only. *)
+and compile_join_probe ctx (sj : shared_join) ~left =
+  let m_cur = ref 0 in
+  let null_row = ref false in
+  List.iter
+    (fun (b, cols) ->
+      Hashtbl.replace ctx.cenv b (Exprc.Row_repr (cols, m_cur, null_row)))
+    sj.sj_cols;
+  let run_left = compile ctx left in
+  let left_key = Option.map (Exprc.compile ctx.cenv) sj.sj_left_key in
+  let pred_c =
+    match sj.sj_residual with
+    | Expr.Const (Value.Bool true) -> None
+    | residual -> Some (Exprc.to_pred (Exprc.compile ctx.cenv residual))
+  in
+  fun consumer ->
+    let emit = make_emit ~pred_c ~m_cur ~consumer in
+    let probe_consumer =
+      join_probe ~kind:sj.sj_kind ~mode:sj.sj_mode ~left_key ~rows:sj.sj_rows
+        ~radix:sj.sj_radix ~table:sj.sj_table ~null_row ~emit ~consumer
+    in
+    let left_runner = run_left probe_consumer in
+    fun () -> left_runner ()
 
 (* Sort materializes the whole record of every binding it carries, so those
    bindings' producers must be able to reconstruct full values. *)
@@ -718,15 +921,14 @@ let rec sort_bindings (p : Plan.t) =
   (match p with Plan.Sort { input; _ } -> Plan.bindings input | _ -> [])
   @ List.concat_map sort_bindings (Plan.children p)
 
-let prepare (reg : Registry.t) (plan : Plan.t) : unit -> Value.t =
-  let cenv : Exprc.cenv = Hashtbl.create 16 in
+let build_required (plan : Plan.t) =
   let required = Exprc.required_paths (all_exprs plan) in
-  let required =
-    List.fold_left
-      (fun req b -> (b, `Whole) :: List.remove_assoc b req)
-      required (sort_bindings plan)
-  in
-  let ctx = { reg; cenv; required } in
+  List.fold_left
+    (fun req b -> (b, `Whole) :: List.remove_assoc b req)
+    required (sort_bindings plan)
+
+let prepare_with (ctx : ctx) (plan : Plan.t) : unit -> Value.t =
+  let cenv = ctx.cenv in
   match plan with
   | Plan.Reduce { monoid_output; pred; input } ->
     let run_input = compile ctx input in
@@ -765,4 +967,473 @@ let prepare (reg : Registry.t) (plan : Plan.t) : unit -> Value.t =
       (run (fun () -> rows := shape () :: !rows)) ();
       Value.bag (List.rev !rows)
 
+let prepare (reg : Registry.t) (plan : Plan.t) : unit -> Value.t =
+  let ctx =
+    {
+      reg;
+      cenv = Hashtbl.create 16;
+      required = build_required plan;
+      par = None;
+      splice = None;
+    }
+  in
+  prepare_with ctx plan
+
 let execute reg plan = prepare reg plan ()
+
+(* ------------------------------------------------------------------ *)
+(* Morsel-driven parallel execution (Section "Parallelism substitution"
+   in DESIGN.md).
+
+   The driver analyses the spine — the path from the root through
+   Select/Project/Unnest and join probe (left) sides down to the driving
+   scan — and instantiates the compiled pipeline once per domain. Each
+   instance owns its closures and its scan cursor; they share the morsel
+   dispenser, the (template-built) join build sides, and nothing else.
+   Per-morsel partial states are merged on the calling domain in morsel
+   order, so results do not depend on which worker ran which morsel. *)
+
+(* What drives the fan-out: the row count the dispenser carves into
+   morsels, plus the pre-resolved sigma-cache decision for a driving
+   select-over-scan (resolved once so all instances agree and the cache's
+   statistics tick once per query, as in the serial engine). *)
+type drive = {
+  dr_count : int;
+  dr_select : (Cache_iface.packed * Expr.t option) option;
+}
+
+(* Walk the spine to the driving scan. [None] means this sub-plan cannot
+   fan out: a breaker sits on the spine, or the scan would fill cache
+   columns as a side effect (a morsel range cannot produce a complete
+   column — the query runs serially once and parallelizes when warm). *)
+let rec spine_drive (actx : ctx) (p : Plan.t) : drive option =
+  match p with
+  | Plan.Select { pred; input = Plan.Scan { dataset; binding; _ }; _ }
+    when select_paths actx binding <> None -> (
+    let paths = Option.get (select_paths actx binding) in
+    let cache = Registry.cache actx.reg in
+    match cache.Cache_iface.lookup_select ~dataset ~binding ~pred ~paths with
+    | Some (packed, residual) ->
+      Some { dr_count = packed.Cache_iface.length; dr_select = Some (packed, residual) }
+    | None ->
+      if select_cache_should_store actx ~dataset ~binding then None
+      else drive_scan actx ~dataset ~binding)
+  | Plan.Scan { dataset; binding; _ } -> drive_scan actx ~dataset ~binding
+  | Plan.Select { input; _ } | Plan.Project { input; _ } | Plan.Unnest { input; _ } ->
+    spine_drive actx input
+  | Plan.Join { left; _ } -> spine_drive actx left
+  | Plan.Nest _ | Plan.Sort _ | Plan.Reduce _ -> None
+
+and drive_scan actx ~dataset ~binding =
+  let required =
+    match List.assoc_opt binding actx.required with
+    | Some (`Paths ps) -> ps
+    | Some `Whole | None -> []
+  in
+  let scan = Registry.scan actx.reg ~dataset ~required in
+  if scan.Registry.sc_fills then None
+  else Some { dr_count = scan.Registry.sc_count; dr_select = None }
+
+(* The pipeline breaker closest to the driving scan; everything below it
+   streams and can fan out, everything above it runs serially over the
+   merged stream. *)
+let rec bottom_breaker (p : Plan.t) : Plan.t option =
+  match p with
+  | Plan.Scan _ -> None
+  | Plan.Select { input; _ } | Plan.Project { input; _ } | Plan.Unnest { input; _ } ->
+    bottom_breaker input
+  | Plan.Join { left; _ } -> bottom_breaker left
+  | Plan.Nest { input; _ } | Plan.Sort { input; _ } | Plan.Reduce { input; _ } -> (
+    match bottom_breaker input with Some b -> Some b | None -> Some p)
+
+(* Compile [domains] pipeline instances of [subplan] — worker 0 first: the
+   template compiles join build sides and publishes their state for the
+   probe-only instances. [finish w ctx par compiled] extracts whatever the
+   caller needs from each instance. Returns the instances plus the per-run
+   fleet driver: rearm the dispenser, stage the template (registering the
+   run's build phases), run the builds serially, stage the workers, fan
+   out. *)
+let compile_instances reg required ~domains ~(drive : drive) subplan ~finish =
+  let disp = Pool.Dispenser.create () in
+  let builds = ref [] in
+  let joins : (int, shared_join) Hashtbl.t = Hashtbl.create 4 in
+  let mk w =
+    let p =
+      {
+        par_worker = w;
+        par_spine = true;
+        par_disp = disp;
+        par_morsel = ref 0;
+        par_joins = joins;
+        par_join_ctr = ref 0;
+        par_builds = builds;
+        par_select = drive.dr_select;
+      }
+    in
+    let ctx = { reg; cenv = Hashtbl.create 16; required; par = Some p; splice = None } in
+    let compiled = compile ctx subplan in
+    finish ctx p compiled
+  in
+  let template = mk 0 in
+  let instances = Array.init domains (fun w -> if w = 0 then template else mk w) in
+  let run_fleet wire =
+    Pool.Dispenser.reset disp ~total:drive.dr_count ~workers:domains;
+    builds := [];
+    let runners = Array.make domains (fun () -> ()) in
+    runners.(0) <- wire 0 instances.(0);
+    List.iter (fun b -> b ()) (List.rev !builds);
+    for w = 1 to domains - 1 do
+      runners.(w) <- wire w instances.(w)
+    done;
+    Pool.run ~domains (fun w -> runners.(w) ())
+  in
+  (instances, disp, run_fleet)
+
+(* Root Reduce over primitive monoids: every morsel folds into its own
+   accumulator set; partials merge in morsel order (deterministic for any
+   worker count, since the morsel size does not depend on it). *)
+let par_reduce reg required ~domains ~(drive : drive) ~monoid_output ~pred input =
+  let monoids = List.map (fun (a : Plan.agg) -> a.monoid) monoid_output in
+  let instances, disp, run_fleet =
+    compile_instances reg required ~domains ~drive input ~finish:(fun ctx p compiled ->
+        let pred_c = Exprc.to_pred (Exprc.compile ctx.cenv pred) in
+        let factories =
+          List.map
+            (fun (a : Plan.agg) ->
+              (a.agg_name, Agg.factory a.monoid (Exprc.compile ctx.cenv a.expr)))
+            monoid_output
+        in
+        (compiled, pred_c, factories, p))
+  in
+  let _, _, factories0, _ = instances.(0) in
+  fun () ->
+    let all = Array.make domains [||] in
+    let wire w (run_input, pred_c, factories, (p : par)) =
+      let buckets = Array.make (Pool.Dispenser.morsels disp) None in
+      all.(w) <- buckets;
+      let cur = ref (-1) in
+      let cur_step = ref (fun () -> ()) in
+      let consumer () =
+        if pred_c () then begin
+          let mi = !(p.par_morsel) in
+          if !cur <> mi then begin
+            cur := mi;
+            let insts = List.map (fun (_, f) -> f ()) factories in
+            buckets.(mi) <- Some insts;
+            cur_step :=
+              (match insts with
+              | [ (i : Agg.instance) ] -> i.step
+              | is -> fun () -> List.iter (fun (i : Agg.instance) -> i.step ()) is)
+          end;
+          !cur_step ()
+        end
+      in
+      run_input consumer
+    in
+    run_fleet wire;
+    let nm = Pool.Dispenser.morsels disp in
+    let merged = ref None in
+    for mi = 0 to nm - 1 do
+      for w = 0 to domains - 1 do
+        match all.(w).(mi) with
+        | None -> ()
+        | Some insts ->
+          let parts = List.map (fun (i : Agg.instance) -> i.partial ()) insts in
+          merged :=
+            Some
+              (match !merged with
+              | None -> parts
+              | Some acc ->
+                List.map2
+                  (fun m (a, b) -> Agg.merge m a b)
+                  monoids (List.combine acc parts))
+      done
+    done;
+    let finals =
+      match !merged with
+      | Some parts -> List.map2 Agg.finalize monoids parts
+      | None ->
+        (* empty input: a fresh accumulator's value, as in the serial engine *)
+        List.map (fun (_, f) -> ((f () : Agg.instance)).value ()) factories0
+    in
+    match List.map2 (fun (a : Plan.agg) v -> (a.agg_name, v)) monoid_output finals with
+    | [ (_, v) ] -> v
+    | many -> Value.record many
+
+(* Root Reduce into a single collection monoid (the shape of a plain
+   SELECT): qualifying values buffer per morsel and concatenate in morsel
+   order — exactly the serial scan order. *)
+let par_collect_reduce reg required ~domains ~(drive : drive) ~coll ~(agg : Plan.agg)
+    ~pred input =
+  let _, disp, run_fleet =
+    compile_instances reg required ~domains ~drive input ~finish:(fun ctx p compiled ->
+        let pred_c = Exprc.to_pred (Exprc.compile ctx.cenv pred) in
+        let get = Exprc.to_val (Exprc.compile ctx.cenv agg.expr) in
+        (compiled, pred_c, get, p))
+  in
+  fun () ->
+    let all = Array.make domains [||] in
+    let wire w (run_input, pred_c, get, (p : par)) =
+      let buckets = Array.make (Pool.Dispenser.morsels disp) [] in
+      all.(w) <- buckets;
+      let m = p.par_morsel in
+      let consumer () = if pred_c () then buckets.(!m) <- get () :: buckets.(!m) in
+      run_input consumer
+    in
+    run_fleet wire;
+    let nm = Pool.Dispenser.morsels disp in
+    let out = ref [] in
+    for mi = nm - 1 downto 0 do
+      for w = domains - 1 downto 0 do
+        List.iter (fun v -> out := v :: !out) all.(w).(mi)
+      done
+    done;
+    Monoid.collect coll !out
+
+(* Parallelism substitution for a streaming sub-plan under a serial
+   consumer (a Sort, or the bag-collecting root): N instances scan and
+   buffer their visible bindings' values per morsel; the buffered rows
+   replay serially, in morsel order — the serial scan order — through
+   boxed registers the consumer's getters read. *)
+let buffered_splice reg required ~domains ~(drive : drive) subplan
+    ~(serial_cenv : Exprc.cenv) () =
+  let visible = Plan.bindings subplan in
+  let _, disp, run_fleet =
+    compile_instances reg required ~domains ~drive subplan ~finish:(fun ctx p compiled ->
+        let getters =
+          List.map (fun b -> Exprc.to_val (Exprc.compile ctx.cenv (Expr.Var b))) visible
+        in
+        (compiled, getters, p))
+  in
+  let regs = List.map (fun b -> (b, ref Value.Null)) visible in
+  List.iter (fun (b, r) -> Hashtbl.replace serial_cenv b (Exprc.Boxed_repr r)) regs;
+  fun consumer () ->
+    let all = Array.make domains [||] in
+    let wire w (run_input, getters, (p : par)) =
+      let buckets = Array.make (Pool.Dispenser.morsels disp) [] in
+      all.(w) <- buckets;
+      let m = p.par_morsel in
+      let push () = buckets.(!m) <- List.map (fun g -> g ()) getters :: buckets.(!m) in
+      run_input push
+    in
+    run_fleet wire;
+    let nm = Pool.Dispenser.morsels disp in
+    for mi = 0 to nm - 1 do
+      for w = 0 to domains - 1 do
+        List.iter
+          (fun row ->
+            List.iter2 (fun (_, r) v -> r := v) regs row;
+            consumer ())
+          (List.rev all.(w).(mi))
+      done
+    done
+
+(* Parallelism substitution at a Nest over primitive monoids (the GROUP BY
+   breaker): every morsel grows its own group table; tables merge per key
+   in morsel order, and the merged groups emit sorted by key — an order
+   that is deterministic for any domain count (the serial engine emits in
+   first-encounter order instead; group-by output order carries no
+   contract). *)
+let nest_splice reg required ~domains ~(drive : drive) ~keys ~aggs ~pred ~binding input
+    ~(serial_cenv : Exprc.cenv) () =
+  let monoids = List.map (fun (a : Plan.agg) -> a.monoid) aggs in
+  let names = List.map (fun (a : Plan.agg) -> a.agg_name) aggs in
+  let instances, disp, run_fleet =
+    compile_instances reg required ~domains ~drive input ~finish:(fun ctx p compiled ->
+        let pred_c = Exprc.to_pred (Exprc.compile ctx.cenv pred) in
+        let ckeys = List.map (fun (n, e) -> (n, Exprc.compile ctx.cenv e)) keys in
+        let factories =
+          List.map
+            (fun (a : Plan.agg) -> Agg.factory a.monoid (Exprc.compile ctx.cenv a.expr))
+            aggs
+        in
+        (compiled, pred_c, ckeys, factories, p))
+  in
+  (* the unboxed single-int-key grouping applies only when every instance
+     compiled the key to the int lane *)
+  let int_key =
+    Array.for_all
+      (fun (_, _, ckeys, _, _) ->
+        match ckeys with [ (_, Exprc.C_int _) ] -> true | _ -> false)
+      instances
+  in
+  let group_reg = ref Value.Null in
+  Hashtbl.replace serial_cenv binding (Exprc.Boxed_repr group_reg);
+  fun consumer ->
+    let emit key_fields parts =
+      let agg_fields = List.map2 (fun n v -> (n, v)) names (List.map2 Agg.finalize monoids parts) in
+      group_reg := Value.record (key_fields @ agg_fields);
+      consumer ()
+    in
+    let merge_parts acc parts =
+      List.map2 (fun m (a, b) -> Agg.merge m a b) monoids (List.combine acc parts)
+    in
+    let partials insts = List.map (fun (i : Agg.instance) -> i.partial ()) insts in
+    if int_key then begin
+      let kname = match keys with [ (n, _) ] -> n | _ -> assert false in
+      fun () ->
+        let all = Array.make domains [||] in
+        let wire w (run_input, pred_c, ckeys, factories, (p : par)) =
+          let kget = match ckeys with [ (_, Exprc.C_int g) ] -> g | _ -> assert false in
+          let buckets = Array.make (Pool.Dispenser.morsels disp) None in
+          all.(w) <- buckets;
+          let cur = ref (-1) in
+          let cur_tbl : (int, Agg.instance list) Hashtbl.t ref = ref (Hashtbl.create 1) in
+          let consumer () =
+            if pred_c () then begin
+              let mi = !(p.par_morsel) in
+              if !cur <> mi then begin
+                cur := mi;
+                let t = Hashtbl.create 16 in
+                buckets.(mi) <- Some t;
+                cur_tbl := t
+              end;
+              let k = kget () in
+              let insts =
+                match Hashtbl.find_opt !cur_tbl k with
+                | Some insts -> insts
+                | None ->
+                  let insts = List.map (fun f -> f ()) factories in
+                  Hashtbl.add !cur_tbl k insts;
+                  Counters.add_materialized 1;
+                  insts
+              in
+              List.iter (fun (i : Agg.instance) -> i.step ()) insts
+            end
+          in
+          run_input consumer
+        in
+        run_fleet wire;
+        let nm = Pool.Dispenser.morsels disp in
+        let merged : (int, Value.t list) Hashtbl.t = Hashtbl.create 64 in
+        for mi = 0 to nm - 1 do
+          for w = 0 to domains - 1 do
+            match all.(w).(mi) with
+            | None -> ()
+            | Some tbl ->
+              Hashtbl.iter
+                (fun k insts ->
+                  let parts = partials insts in
+                  match Hashtbl.find_opt merged k with
+                  | None -> Hashtbl.replace merged k parts
+                  | Some acc -> Hashtbl.replace merged k (merge_parts acc parts))
+                tbl
+          done
+        done;
+        let ks = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) merged []) in
+        List.iter (fun k -> emit [ (kname, Value.Int k) ] (Hashtbl.find merged k)) ks
+    end
+    else
+      fun () ->
+        let all = Array.make domains [||] in
+        let wire w (run_input, pred_c, ckeys, factories, (p : par)) =
+          let key_getters = List.map (fun (_, c) -> Exprc.to_val c) ckeys in
+          let buckets = Array.make (Pool.Dispenser.morsels disp) None in
+          all.(w) <- buckets;
+          let cur = ref (-1) in
+          let cur_tbl : (Value.t list * Agg.instance list) VH.t ref = ref (VH.create 1) in
+          let consumer () =
+            if pred_c () then begin
+              let mi = !(p.par_morsel) in
+              if !cur <> mi then begin
+                cur := mi;
+                let t = VH.create 16 in
+                buckets.(mi) <- Some t;
+                cur_tbl := t
+              end;
+              let kvs = List.map (fun g -> g ()) key_getters in
+              let key = Value.Coll (Ptype.List, kvs) in
+              let _, insts =
+                match VH.find_opt !cur_tbl key with
+                | Some cell -> cell
+                | None ->
+                  let cell = (kvs, List.map (fun f -> f ()) factories) in
+                  VH.add !cur_tbl key cell;
+                  Counters.add_materialized (List.length kvs);
+                  cell
+              in
+              List.iter (fun (i : Agg.instance) -> i.step ()) insts
+            end
+          in
+          run_input consumer
+        in
+        run_fleet wire;
+        let nm = Pool.Dispenser.morsels disp in
+        let merged : (Value.t list * Value.t list) VH.t = VH.create 64 in
+        for mi = 0 to nm - 1 do
+          for w = 0 to domains - 1 do
+            match all.(w).(mi) with
+            | None -> ()
+            | Some tbl ->
+              VH.iter
+                (fun key (kvs, insts) ->
+                  let parts = partials insts in
+                  match VH.find_opt merged key with
+                  | None -> VH.replace merged key (kvs, parts)
+                  | Some (_, acc) -> VH.replace merged key (kvs, merge_parts acc parts))
+                tbl
+          done
+        done;
+        let groups = VH.fold (fun key _ acc -> key :: acc) merged [] in
+        let groups = List.sort Value.compare groups in
+        List.iter
+          (fun key ->
+            let kvs, parts = VH.find merged key in
+            let key_fields = List.map2 (fun (n, _) v -> (n, v)) keys kvs in
+            emit key_fields parts)
+          groups
+
+let prepare_par (reg : Registry.t) ~domains (plan : Plan.t) : unit -> Value.t =
+  let domains = max 1 domains in
+  if domains <= 1 then prepare reg plan
+  else begin
+    let required = build_required plan in
+    let actx = { reg; cenv = Hashtbl.create 16; required; par = None; splice = None } in
+    let serial () = prepare reg plan in
+    let spliced target mk =
+      let cenv = Hashtbl.create 16 in
+      let ctx = { reg; cenv; required; par = None; splice = Some (target, mk cenv) } in
+      prepare_with ctx plan
+    in
+    let splice_fallback () =
+      match bottom_breaker plan with
+      | Some (Plan.Nest { keys; aggs; pred; binding; input } as target) -> (
+        if not (Agg.mergeable (List.map (fun (a : Plan.agg) -> a.monoid) aggs)) then
+          serial ()
+        else
+          match spine_drive actx input with
+          | Some drive ->
+            spliced target (fun serial_cenv ->
+                nest_splice reg required ~domains ~drive ~keys ~aggs ~pred ~binding input
+                  ~serial_cenv)
+          | None -> serial ())
+      | Some (Plan.Sort { input; _ }) -> (
+        match spine_drive actx input with
+        | Some drive ->
+          spliced input (fun serial_cenv ->
+              buffered_splice reg required ~domains ~drive input ~serial_cenv)
+        | None -> serial ())
+      | Some _ -> serial ()
+      | None -> (
+        match spine_drive actx plan with
+        | Some drive ->
+          spliced plan (fun serial_cenv ->
+              buffered_splice reg required ~domains ~drive plan ~serial_cenv)
+        | None -> serial ())
+    in
+    match plan with
+    | Plan.Reduce { monoid_output; pred; input } -> (
+      match spine_drive actx input with
+      | None -> splice_fallback ()
+      | Some drive ->
+        if Agg.mergeable (List.map (fun (a : Plan.agg) -> a.monoid) monoid_output) then
+          par_reduce reg required ~domains ~drive ~monoid_output ~pred input
+        else (
+          match monoid_output with
+          | [ ({ monoid = Monoid.Collection coll; _ } as agg) ] ->
+            par_collect_reduce reg required ~domains ~drive ~coll ~agg ~pred input
+          | _ -> serial ()))
+    | _ -> splice_fallback ()
+  end
+
+let execute_par reg ~domains plan = prepare_par reg ~domains plan ()

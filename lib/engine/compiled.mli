@@ -34,3 +34,19 @@ val all_exprs : Proteus_algebra.Plan.t -> Expr.t list
     "code generation" time from execution time, as the paper reports them
     separately (~50ms compilation per query). *)
 val prepare : Registry.t -> Proteus_algebra.Plan.t -> unit -> Value.t
+
+(** [prepare_par registry ~domains plan] is {!prepare} with morsel-driven
+    parallel execution over [domains] OCaml domains (DESIGN.md,
+    "Parallelism substitution"): the streaming segment of the plan's spine
+    is compiled once per domain — each instance owning its closures and
+    scan cursor — and driven by a shared morsel dispenser; per-morsel
+    partial results merge on the calling domain in morsel order, so
+    results are deterministic for any domain count. [domains <= 1] is
+    exactly {!prepare}. Plans (or plan segments) that cannot fan out —
+    cold scans that would fill cache columns, collection-monoid group-bys
+    — silently fall back to the serial engine. *)
+val prepare_par : Registry.t -> domains:int -> Proteus_algebra.Plan.t -> unit -> Value.t
+
+(** [execute_par registry ~domains plan] prepares with {!prepare_par} and
+    runs once. *)
+val execute_par : Registry.t -> domains:int -> Proteus_algebra.Plan.t -> Value.t

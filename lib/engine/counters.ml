@@ -5,29 +5,48 @@ type snapshot = {
   branch_points : int;
 }
 
-let tuples = ref 0
-let dispatches = ref 0
-let materialized = ref 0
-let branch_points = ref 0
+(* Domain-safe counters: one atomic cell per (hashed) domain id, summed at
+   snapshot time. Each worker domain lands on its own cell in the common
+   case (domain ids are small sequential ints), so increments stay
+   uncontended; [fetch_and_add] keeps counts exact even if two domains ever
+   collide on a slot. *)
+let slots = 64
+
+type counter = int Atomic.t array
+
+let make_counter () : counter = Array.init slots (fun _ -> Atomic.make 0)
+
+let tuples = make_counter ()
+let dispatches = make_counter ()
+let materialized = make_counter ()
+let branch_points = make_counter ()
+
+let slot () = (Domain.self () :> int) land (slots - 1)
+
+let add (c : counter) n = ignore (Atomic.fetch_and_add c.(slot ()) n)
+
+let total (c : counter) = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c
+
+let zero (c : counter) = Array.iter (fun a -> Atomic.set a 0) c
 
 let reset () =
-  tuples := 0;
-  dispatches := 0;
-  materialized := 0;
-  branch_points := 0
+  zero tuples;
+  zero dispatches;
+  zero materialized;
+  zero branch_points
 
 let snapshot () =
   {
-    tuples = !tuples;
-    dispatches = !dispatches;
-    materialized = !materialized;
-    branch_points = !branch_points;
+    tuples = total tuples;
+    dispatches = total dispatches;
+    materialized = total materialized;
+    branch_points = total branch_points;
   }
 
-let add_tuples n = tuples := !tuples + n
-let add_dispatches n = dispatches := !dispatches + n
-let add_materialized n = materialized := !materialized + n
-let add_branch_points n = branch_points := !branch_points + n
+let add_tuples n = add tuples n
+let add_dispatches n = add dispatches n
+let add_materialized n = add materialized n
+let add_branch_points n = add branch_points n
 
 let pp ppf s =
   Fmt.pf ppf "tuples=%d dispatches=%d materialized=%d branches=%d" s.tuples

@@ -5,7 +5,11 @@
     reachable from portable OCaml, so both executors maintain software
     proxies that expose the same mechanism: per-tuple interpretation
     dispatches, boxed values materialized at pipeline breakers, and
-    per-tuple control-flow branch points. *)
+    per-tuple control-flow branch points.
+
+    The counters are domain-safe: each domain increments its own atomic
+    cell and {!snapshot} sums across cells, so concurrent morsel workers
+    lose no increments. *)
 
 type snapshot = {
   tuples : int;          (** tuples pushed through scan loops *)

@@ -1,8 +1,12 @@
-(** Unified entry point over the two executors. *)
+(** Unified entry point over the executors. *)
 
 type engine =
   | Engine_compiled  (** the on-demand specialized engine (Section 5) *)
   | Engine_volcano   (** the iterator interpreter baseline *)
+  | Engine_parallel of int
+      (** the specialized engine with morsel-driven parallel execution over
+          N OCaml domains; [Engine_parallel 1] is exactly
+          [Engine_compiled] *)
 
 (** [run registry ~engine plan] validates and executes [plan]. *)
 val run :

@@ -1,0 +1,153 @@
+(* A reusable pool of worker domains for morsel-driven execution.
+
+   Workers are spawned lazily on the first parallel run and parked on a
+   per-worker condition variable between runs, so repeated queries reuse the
+   same domains (spawning is far more expensive than a small query). [run
+   ~domains f] executes [f 0 .. f (domains - 1)] concurrently, with worker 0
+   on the calling domain. Runs are serialized by a global lock: the engine
+   parallelizes within one query, not across concurrent queries. *)
+
+type worker = {
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable job : (unit -> unit) option;
+  mutable stop : bool;
+}
+
+let worker_loop w () =
+  let rec next () =
+    Mutex.lock w.lock;
+    while (match w.job with None -> true | Some _ -> false) && not w.stop do
+      Condition.wait w.cond w.lock
+    done;
+    match w.job with
+    | Some job ->
+      Mutex.unlock w.lock;
+      (* jobs arrive pre-wrapped by [run]; the catch-all only guards the
+         worker loop itself against a raw job slipping through *)
+      (try job () with _ -> ());
+      Mutex.lock w.lock;
+      w.job <- None;
+      Condition.broadcast w.cond;
+      Mutex.unlock w.lock;
+      next ()
+    | None -> Mutex.unlock w.lock
+  in
+  next ()
+
+type pool = {
+  mutable workers : worker array;
+  mutable domains : unit Domain.t array;
+}
+
+let pool = { workers = [||]; domains = [||] }
+let pool_lock = Mutex.create ()
+let exit_hook_installed = ref false
+
+let stop_all_locked () =
+  Array.iter
+    (fun w ->
+      Mutex.lock w.lock;
+      w.stop <- true;
+      Condition.broadcast w.cond;
+      Mutex.unlock w.lock)
+    pool.workers;
+  Array.iter Domain.join pool.domains;
+  pool.workers <- [||];
+  pool.domains <- [||]
+
+(* must be called with [pool_lock] held *)
+let ensure_locked n =
+  let have = Array.length pool.workers in
+  if have < n then begin
+    if not !exit_hook_installed then begin
+      exit_hook_installed := true;
+      (* join every worker before process exit so the runtime shuts down
+         cleanly *)
+      at_exit (fun () ->
+          Mutex.lock pool_lock;
+          stop_all_locked ();
+          Mutex.unlock pool_lock)
+    end;
+    let fresh =
+      Array.init (n - have) (fun _ ->
+          let w =
+            { lock = Mutex.create (); cond = Condition.create (); job = None; stop = false }
+          in
+          (w, Domain.spawn (worker_loop w)))
+    in
+    pool.workers <- Array.append pool.workers (Array.map fst fresh);
+    pool.domains <- Array.append pool.domains (Array.map snd fresh)
+  end
+
+let submit w job =
+  Mutex.lock w.lock;
+  w.job <- Some job;
+  Condition.broadcast w.cond;
+  Mutex.unlock w.lock
+
+let await w =
+  Mutex.lock w.lock;
+  while match w.job with Some _ -> true | None -> false do
+    Condition.wait w.cond w.lock
+  done;
+  Mutex.unlock w.lock
+
+let shutdown () =
+  Mutex.lock pool_lock;
+  stop_all_locked ();
+  Mutex.unlock pool_lock
+
+let run ~domains f =
+  if domains <= 1 then f 0
+  else begin
+    Mutex.lock pool_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock pool_lock)
+      (fun () ->
+        ensure_locked (domains - 1);
+        let failure = Atomic.make None in
+        let wrap k () =
+          try f k
+          with e ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+        in
+        for k = 1 to domains - 1 do
+          submit pool.workers.(k - 1) (wrap k)
+        done;
+        wrap 0 ();
+        for k = 1 to domains - 1 do
+          await pool.workers.(k - 1)
+        done;
+        match Atomic.get failure with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+  end
+
+(* The morsel dispenser: an atomic cursor over [0, total), handed out in
+   fixed-size chunks. Every worker pulls the next morsel when it finishes
+   its current one, so faster workers naturally take more of the input. *)
+module Dispenser = struct
+  type t = { cursor : int Atomic.t; mutable total : int; mutable morsel : int }
+
+  let create () = { cursor = Atomic.make 0; total = 0; morsel = 1 }
+
+  (* ~64 morsels per input bounds scheduling overhead while still smoothing
+     skew; clamped so tiny inputs stay one hand-off and huge ones keep
+     per-morsel buffers reasonable. The size deliberately does NOT depend
+     on the worker count: per-morsel partial aggregates merge in morsel
+     order, so a worker-independent partition makes merged results (float
+     association included) bit-identical for any domain count. *)
+  let reset t ~total ~workers:_ =
+    let target = total / 64 in
+    t.morsel <- max 16 (min 8192 (max 1 target));
+    t.total <- total;
+    Atomic.set t.cursor 0
+
+  let morsels t = if t.total = 0 then 0 else (t.total + t.morsel - 1) / t.morsel
+
+  let next t =
+    let lo = Atomic.fetch_and_add t.cursor t.morsel in
+    if lo >= t.total then None else Some (lo / t.morsel, lo, min t.total (lo + t.morsel))
+end

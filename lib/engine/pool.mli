@@ -1,0 +1,40 @@
+(** A reusable pool of worker domains for morsel-driven parallel execution.
+
+    OCaml 5 domains are expensive to spawn relative to a small query, so the
+    pool keeps workers alive between runs, parked on a condition variable.
+    One pool per process; parallel runs are serialized against each other
+    (the engine parallelizes {e within} one query). *)
+
+(** [run ~domains f] runs [f 0 .. f (domains - 1)] concurrently — [f 0] on
+    the calling domain, the rest on pooled worker domains — and returns when
+    all are done. [domains <= 1] degenerates to [f 0] with no locking. If
+    any [f k] raises, the first exception is re-raised after all workers
+    finish. *)
+val run : domains:int -> (int -> unit) -> unit
+
+(** Stop and join all pooled domains (also installed as an [at_exit] hook;
+    tests may call it directly). The pool respawns on the next [run]. *)
+val shutdown : unit -> unit
+
+(** The morsel dispenser: an [Atomic] cursor over a row range [0, total),
+    handed out in fixed-size morsels. Workers pull the next morsel as they
+    finish their current one, so load balances without work queues. *)
+module Dispenser : sig
+  type t
+
+  val create : unit -> t
+
+  (** [reset t ~total ~workers] rearms the cursor over [0, total) and picks
+      a morsel size (aiming at ~64 morsels per input, clamped to
+      [16, 8192]). The size does not depend on [workers]: a
+      worker-independent partition keeps morsel-order merges of partial
+      results bit-identical for any domain count. *)
+  val reset : t -> total:int -> workers:int -> unit
+
+  (** Number of morsels the current arming will hand out. *)
+  val morsels : t -> int
+
+  (** [next t] is [Some (morsel_index, lo, hi)] — the half-open row range
+      [lo, hi) — or [None] when the input is exhausted. *)
+  val next : t -> (int * int * int) option
+end

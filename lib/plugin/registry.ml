@@ -18,18 +18,26 @@ type t = {
   catalog : Catalog.t;
   mutable cache : Cache_iface.t;
   sources : (string, Source.t) Hashtbl.t;
+  factories : (string, unit -> Source.t) Hashtbl.t;
   infos : (string, index_info) Hashtbl.t;
 }
 
 let create ?(cache = Cache_iface.disabled) catalog =
-  { catalog; cache; sources = Hashtbl.create 16; infos = Hashtbl.create 16 }
+  {
+    catalog;
+    cache;
+    sources = Hashtbl.create 16;
+    factories = Hashtbl.create 16;
+    infos = Hashtbl.create 16;
+  }
 
 let catalog t = t.catalog
 let cache t = t.cache
 let set_cache t c = t.cache <- c
 
 (* Cold-access statistics: cardinality plus min/max of numeric top-level
-   fields, observed through the freshly built source. *)
+   fields, observed through the freshly built source — in a single pass
+   that observes every numeric path per seek. *)
 let collect_stats t (d : Dataset.t) (src : Source.t) =
   let stats = Catalog.stats t.catalog d.name in
   Stats.set_cardinality stats src.Source.count;
@@ -44,30 +52,40 @@ let collect_stats t (d : Dataset.t) (src : Source.t) =
         fields
     | _ -> []
   in
-  List.iter
-    (fun path ->
-      match src.Source.field path with
-      | access ->
-        for i = 0 to src.Source.count - 1 do
-          src.Source.seek i;
+  let accessors =
+    List.filter_map
+      (fun path ->
+        match src.Source.field path with
+        | access -> Some (path, access)
+        | exception Perror.Plan_error _ -> None)
+      numeric_paths
+  in
+  if accessors <> [] then
+    for i = 0 to src.Source.count - 1 do
+      src.Source.seek i;
+      List.iter
+        (fun (path, access) ->
           match access.Access.get_val () with
           | v -> Stats.observe stats path v
-          | exception Perror.Type_error _ -> ()
-        done
-      | exception Perror.Plan_error _ -> ())
-    numeric_paths
+          | exception Perror.Type_error _ -> ())
+        accessors
+    done
 
-let build_source t (d : Dataset.t) : Source.t =
+(* The heavy per-dataset artifacts (parsed row pages, structural indexes)
+   are built once; the returned thunk stamps out cheap source views — each
+   a private cursor plus accessors over the shared read-only artifact, so
+   parallel workers can scan the same dataset independently. *)
+let build_factory t (d : Dataset.t) : unit -> Source.t =
   match d.format, d.location with
-  | Dataset.Binary_row, Dataset.Rows page -> Binary_plugin.of_rowpage page
+  | Dataset.Binary_row, Dataset.Rows page -> fun () -> Binary_plugin.of_rowpage page
   | Dataset.Binary_column, Dataset.Columns cols ->
-    Binary_plugin.of_columns ~element:d.element cols
+    fun () -> Binary_plugin.of_columns ~element:d.element cols
   | Dataset.Binary_row, (Dataset.File _ | Dataset.Blob _) ->
     let bytes = Catalog.contents t.catalog d in
     let page =
       Proteus_storage.Rowpage.of_bytes (Dataset.schema d) (Bytes.of_string bytes)
     in
-    Binary_plugin.of_rowpage page
+    fun () -> Binary_plugin.of_rowpage page
   | Dataset.Csv config, (Dataset.File _ | Dataset.Blob _) ->
     let bytes = Catalog.contents t.catalog d in
     let t0 = Unix.gettimeofday () in
@@ -85,7 +103,8 @@ let build_source t (d : Dataset.t) : Source.t =
         m "built CSV index for %s: %d rows, %.1f%% of input" d.name
           (Csv_index.row_count index)
           (100. *. float_of_int info.size_bytes /. float_of_int (max 1 info.input_bytes)));
-    Csv_plugin.make ~config ~schema:(Dataset.schema d) ~index ~src:bytes
+    let schema = Dataset.schema d in
+    fun () -> Csv_plugin.make ~config ~schema ~index ~src:bytes
   | Dataset.Json, (Dataset.File _ | Dataset.Blob _) ->
     let bytes = Catalog.contents t.catalog d in
     let t0 = Unix.gettimeofday () in
@@ -104,32 +123,52 @@ let build_source t (d : Dataset.t) : Source.t =
           (Json_index.object_count index)
           (100. *. float_of_int info.size_bytes /. float_of_int (max 1 info.input_bytes))
           (if info.fixed_schema then " (fixed schema)" else ""));
-    Json_plugin.make ~element:d.element ~index
+    let element = d.element in
+    fun () -> Json_plugin.make ~element ~index
   | (Dataset.Csv _ | Dataset.Json), (Dataset.Rows _ | Dataset.Columns _)
   | Dataset.Binary_row, Dataset.Columns _
   | Dataset.Binary_column, (Dataset.File _ | Dataset.Blob _ | Dataset.Rows _) ->
     Perror.plan_error "dataset %s: location does not match format %s" d.name
       (Dataset.format_name d.format)
 
+let factory t name =
+  match Hashtbl.find_opt t.factories name with
+  | Some f -> f
+  | None ->
+    let d = Catalog.find t.catalog name in
+    let f = build_factory t d in
+    Hashtbl.replace t.factories name f;
+    f
+
 let source t name =
   match Hashtbl.find_opt t.sources name with
   | Some s -> s
   | None ->
     let d = Catalog.find t.catalog name in
-    let s = build_source t d in
+    let s = factory t name () in
     Hashtbl.replace t.sources name s;
     collect_stats t d s;
     s
+
+let fresh_source t name =
+  (* first access still goes through [source] so index building and cold
+     statistics happen exactly once *)
+  ignore (source t name);
+  factory t name ()
 
 let index_info t name = Hashtbl.find_opt t.infos name
 
 let invalidate t name =
   Hashtbl.remove t.sources name;
+  Hashtbl.remove t.factories name;
   Hashtbl.remove t.infos name
 
 type scan = {
   sc_source : Source.t;
+  sc_count : int;
   sc_run : on_tuple:(unit -> unit) -> unit;
+  sc_run_range : lo:int -> hi:int -> on_tuple:(unit -> unit) -> unit;
+  sc_fills : bool;
   sc_cache_hits : string list;
 }
 
@@ -145,9 +184,8 @@ let make_fill (access : Access.t) builder : unit -> unit =
   | None, _, _, _, Some get -> fun () -> Builder.add_string builder (get ())
   | _ -> fun () -> Builder.add_value builder (access.Access.get_val ())
 
-let scan t ~dataset ~required =
+let scan_of t ~dataset ~required ~(raw : Source.t) ~fill =
   let d = Catalog.find t.catalog dataset in
-  let raw = source t dataset in
   let oid = ref 0 in
   let bias = Dataset.bias d.format in
   (* Route each required path: cache hit -> column accessor; miss elected by
@@ -163,13 +201,14 @@ let scan t ~dataset ~required =
         Hashtbl.replace routed path (Access.of_column col ~cur:oid ty);
         hits := path :: !hits
       | None ->
-        let ty = try Some (Source.field_type d.element path) with Perror.Plan_error _ -> None in
-        (match ty with
-        | Some ty
-          when Ptype.is_primitive (Ptype.unwrap_option ty)
-               && t.cache.Cache_iface.should_cache_field ~dataset ~path ~ty ->
-          to_fill := (path, ty, raw.Source.field path) :: !to_fill
-        | _ -> ()))
+        if fill then
+          let ty = try Some (Source.field_type d.element path) with Perror.Plan_error _ -> None in
+          (match ty with
+          | Some ty
+            when Ptype.is_primitive (Ptype.unwrap_option ty)
+                 && t.cache.Cache_iface.should_cache_field ~dataset ~path ~ty ->
+            to_fill := (path, ty, raw.Source.field path) :: !to_fill
+          | _ -> ()))
     required;
   let field path =
     match Hashtbl.find_opt routed path with
@@ -205,4 +244,18 @@ let scan t ~dataset ~required =
             (Proteus_storage.Column.Builder.finish builder))
         fills
   in
-  { sc_source; sc_run; sc_cache_hits = List.rev !hits }
+  let sc_run_range ~lo ~hi ~on_tuple = Source.run_range sc_source ~lo ~hi ~on_tuple in
+  {
+    sc_source;
+    sc_count = raw.Source.count;
+    sc_run;
+    sc_run_range;
+    sc_fills = !to_fill <> [];
+    sc_cache_hits = List.rev !hits;
+  }
+
+let scan t ~dataset ~required =
+  scan_of t ~dataset ~required ~raw:(source t dataset) ~fill:true
+
+let scan_view t ~dataset ~required =
+  scan_of t ~dataset ~required ~raw:(fresh_source t dataset) ~fill:false

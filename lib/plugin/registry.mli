@@ -27,6 +27,13 @@ val set_cache : t -> Cache_iface.t -> unit
     index on first access — the paper's "cold" query). No cache routing. *)
 val source : t -> string -> Source.t
 
+(** [fresh_source t name] is a {e new} source view over the dataset: a
+    private cursor sharing the memoized read-only index with every other
+    view, so parallel workers can scan the same dataset independently. The
+    first access per dataset still builds the index and collects cold
+    statistics exactly once. *)
+val fresh_source : t -> string -> Source.t
+
 (** [index_info t name] is available after the first access to a CSV or
     JSON dataset. *)
 val index_info : t -> string -> index_info option
@@ -40,12 +47,25 @@ type scan = {
   sc_source : Source.t;
       (** like {!source}, but [field] serves cache-hit paths from their
           binary cache columns *)
+  sc_count : int;  (** row count of the underlying source *)
   sc_run : on_tuple:(unit -> unit) -> unit;
       (** full scan; populates cache columns for the required paths the
           policy elects, registering them at scan end *)
+  sc_run_range : lo:int -> hi:int -> on_tuple:(unit -> unit) -> unit;
+      (** scan one OID morsel [lo, hi); never fills cache columns *)
+  sc_fills : bool;
+      (** whether [sc_run] will fill cache columns as a side effect (such
+          scans must stay serial: a morsel range cannot produce a complete
+          column) *)
   sc_cache_hits : string list;  (** required paths served from cache *)
 }
 
 (** [scan t ~dataset ~required] prepares a scan reading the [required]
     dotted paths. *)
 val scan : t -> dataset:string -> required:string list -> scan
+
+(** [scan_view t ~dataset ~required] is like {!scan} but over a
+    {!fresh_source} view and with cache filling disabled — the per-worker
+    scan of morsel-driven parallel execution. Cache-hit paths still route
+    to their (read-only) cache columns. *)
+val scan_view : t -> dataset:string -> required:string list -> scan

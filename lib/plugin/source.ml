@@ -23,6 +23,12 @@ let run t ~on_tuple =
     on_tuple ()
   done
 
+let run_range t ~lo ~hi ~on_tuple =
+  for i = lo to hi - 1 do
+    t.seek i;
+    on_tuple ()
+  done
+
 let boxed_iter t =
   let i = ref 0 in
   fun () ->

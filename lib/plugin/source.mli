@@ -46,6 +46,10 @@ type t = {
     at each position. *)
 val run : t -> on_tuple:(unit -> unit) -> unit
 
+(** [run_range t ~lo ~hi ~on_tuple] scans the half-open OID range [lo, hi)
+    — one morsel of the full scan. *)
+val run_range : t -> lo:int -> hi:int -> on_tuple:(unit -> unit) -> unit
+
 (** [boxed_iter t] is a pull-based boxed iterator (the Volcano scan). *)
 val boxed_iter : t -> unit -> Value.t option
 

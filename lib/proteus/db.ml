@@ -11,7 +11,17 @@ type t = {
   cache : Manager.t;
 }
 
-type engine = Proteus_engine.Executor.engine = Engine_compiled | Engine_volcano
+type engine = Proteus_engine.Executor.engine =
+  | Engine_compiled
+  | Engine_volcano
+  | Engine_parallel of int
+
+(* ~domains:n is sugar for Engine_parallel n over the default engine; an
+   explicitly chosen engine wins *)
+let resolve_engine engine domains =
+  match engine, domains with
+  | Engine_compiled, Some n when n > 1 -> Engine_parallel n
+  | engine, _ -> engine
 
 let create ?cache_budget ?(caching = Manager.default_config) () =
   let catalog = Catalog.create ?cache_budget () in
@@ -141,7 +151,8 @@ let resolver t : Proteus_lang.Sql.resolver =
   | [ (alias, _) ] -> Some alias
   | [] | _ :: _ :: _ -> ( match aliases with [ (a, _) ] -> Some a | _ -> None)
 
-let run_plan ?(engine = Executor.Engine_compiled) ?(optimize = true) t plan =
+let run_plan ?(engine = Executor.Engine_compiled) ?domains ?(optimize = true) t plan =
+  let engine = resolve_engine engine domains in
   let plan = if optimize then Proteus_optimizer.Optimizer.optimize t.catalog plan else plan in
   Executor.run t.registry ~engine plan
 
@@ -240,11 +251,13 @@ let wrap_ordering t (stmt : Proteus_lang.Sql.statement) =
     | _ ->
       Perror.unsupported "ORDER BY/LIMIT requires a row-returning statement")
 
-let sql ?(engine = Executor.Engine_compiled) t q =
+let sql ?(engine = Executor.Engine_compiled) ?domains t q =
+  let engine = resolve_engine engine domains in
   let stmt = Proteus_lang.Sql.parse_statement ~resolve:(resolver t) q in
   Executor.run t.registry ~engine (wrap_ordering t stmt)
 
-let comprehension ?(engine = Executor.Engine_compiled) t q =
+let comprehension ?(engine = Executor.Engine_compiled) ?domains t q =
+  let engine = resolve_engine engine domains in
   let calc = Proteus_lang.Comprehension.parse q in
   Executor.run t.registry ~engine (of_calc t calc)
 
@@ -254,24 +267,28 @@ let plan_comprehension t q = of_calc t (Proteus_lang.Comprehension.parse q)
 
 type prepared = { compile_seconds : float; run : unit -> Value.t }
 
-let prepare_plan t plan =
+let prepare_compiled ?(domains = 1) t plan =
+  if domains > 1 then Proteus_engine.Compiled.prepare_par t.registry ~domains plan
+  else Proteus_engine.Compiled.prepare t.registry plan
+
+let prepare_plan ?domains t plan =
   let t0 = Unix.gettimeofday () in
   let plan = Proteus_optimizer.Optimizer.optimize t.catalog plan in
   Proteus_algebra.Plan.validate plan;
-  let run = Proteus_engine.Compiled.prepare t.registry plan in
+  let run = prepare_compiled ?domains t plan in
   { compile_seconds = Unix.gettimeofday () -. t0; run }
 
-let prepare_sql t q =
+let prepare_sql ?domains t q =
   let t0 = Unix.gettimeofday () in
   let stmt = Proteus_lang.Sql.parse_statement ~resolve:(resolver t) q in
   let plan = wrap_ordering t stmt in
   Proteus_algebra.Plan.validate plan;
-  let run = Proteus_engine.Compiled.prepare t.registry plan in
+  let run = prepare_compiled ?domains t plan in
   { compile_seconds = Unix.gettimeofday () -. t0; run }
 
-let prepare_comprehension t q =
+let prepare_comprehension ?domains t q =
   let calc = Proteus_lang.Comprehension.parse q in
-  prepare_plan t
+  prepare_plan ?domains t
     (Proteus_calculus.To_algebra.run (Proteus_calculus.Normalize.run calc))
 
 let refresh_stats t =

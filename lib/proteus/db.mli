@@ -100,16 +100,29 @@ val append : t -> name:string -> string -> unit
 type engine = Proteus_engine.Executor.engine =
   | Engine_compiled
   | Engine_volcano
+  | Engine_parallel of int
+      (** the specialized engine, morsel-parallel over N OCaml domains *)
 
 (** [sql db q] parses, optimizes, compiles and runs a SQL statement.
-    Unqualified columns resolve against the registered schemas. *)
-val sql : ?engine:engine -> t -> string -> Value.t
+    Unqualified columns resolve against the registered schemas.
+
+    [domains] (default 1) runs the specialized engine with morsel-driven
+    parallel execution over that many OCaml domains; [~domains:1] is
+    exactly the serial engine, and an explicit [engine] takes precedence
+    over [domains]. *)
+val sql : ?engine:engine -> ?domains:int -> t -> string -> Value.t
 
 (** [comprehension db q] — same for the [for {...} yield ...] syntax. *)
-val comprehension : ?engine:engine -> t -> string -> Value.t
+val comprehension : ?engine:engine -> ?domains:int -> t -> string -> Value.t
 
 (** [run_plan db plan] optimizes and runs an already-built algebra plan. *)
-val run_plan : ?engine:engine -> ?optimize:bool -> t -> Proteus_algebra.Plan.t -> Value.t
+val run_plan :
+  ?engine:engine ->
+  ?domains:int ->
+  ?optimize:bool ->
+  t ->
+  Proteus_algebra.Plan.t ->
+  Value.t
 
 (** [plan_sql db q] is the optimized physical plan (EXPLAIN). *)
 val plan_sql : t -> string -> Proteus_algebra.Plan.t
@@ -128,12 +141,13 @@ type prepared = {
   run : unit -> Value.t;
 }
 
-val prepare_sql : t -> string -> prepared
+val prepare_sql : ?domains:int -> t -> string -> prepared
 
-val prepare_comprehension : t -> string -> prepared
+val prepare_comprehension : ?domains:int -> t -> string -> prepared
 
-(** [prepare_plan db plan] optimizes and compiles an algebra plan. *)
-val prepare_plan : t -> Proteus_algebra.Plan.t -> prepared
+(** [prepare_plan db plan] optimizes and compiles an algebra plan.
+    [domains] > 1 prepares the morsel-parallel engine. *)
+val prepare_plan : ?domains:int -> t -> Proteus_algebra.Plan.t -> prepared
 
 (** [refresh_stats db] re-collects statistics for every registered dataset —
     the paper's idle-time statistics daemon, exposed as an explicit hook. *)

@@ -1,0 +1,556 @@
+(* Differential tests for the morsel-parallel engine: on the same plans and
+   datasets (every format plug-in), [Engine_parallel n] must agree with the
+   serial compiled engine, the Volcano interpreter and the reference algebra
+   evaluator — and must be deterministic across domain counts, including
+   float aggregates and cache side effects. *)
+
+open Proteus_model
+open Proteus_storage
+open Proteus_catalog
+open Proteus_plugin
+open Proteus_engine
+module Plan = Proteus_algebra.Plan
+module Interp = Proteus_algebra.Interp
+module Manager = Proteus_cache.Manager
+
+let check_value = Alcotest.testable Value.pp Value.equal
+
+(* --- one relational dataset in all four formats, big enough that the
+   dispenser hands out many morsels (800 rows -> 16-row morsels) ----------- *)
+
+let item_type =
+  Ptype.Record
+    [ ("k", Ptype.Int); ("grp", Ptype.Int); ("price", Ptype.Float);
+      ("name", Ptype.String) ]
+
+let item_schema = Schema.of_type item_type
+
+let items =
+  (* deterministic pseudo-random contents; quarter-step prices survive the
+     CSV/JSON decimal round-trip bit-exactly, so one oracle serves all four
+     formats *)
+  List.init 800 (fun i ->
+      let k = i in
+      let grp = i mod 7 in
+      let price = float_of_int ((i * 37) mod 1000) /. 4.0 in
+      let name = Fmt.str "n%d" (i mod 13) in
+      Value.record
+        [ ("k", Value.Int k); ("grp", Value.Int grp); ("price", Value.Float price);
+          ("name", Value.String name) ])
+
+let groups_type = Ptype.Record [ ("gid", Ptype.Int); ("label", Ptype.String) ]
+
+let groups =
+  List.init 7 (fun g ->
+      Value.record [ ("gid", Value.Int g); ("label", Value.String (Fmt.str "g%d" g)) ])
+
+let nested_type =
+  Ptype.Record
+    [
+      ("id", Ptype.Int);
+      ( "kids",
+        Ptype.Collection
+          (Ptype.List, Ptype.Record [ ("age", Ptype.Int); ("nick", Ptype.String) ]) );
+    ]
+
+let nested =
+  List.init 120 (fun i ->
+      let kids =
+        List.init (i mod 4) (fun j ->
+            Value.record
+              [ ("age", Value.Int ((i + (j * 11)) mod 40));
+                ("nick", Value.String (Fmt.str "kid%d_%d" i j)) ])
+      in
+      Value.record [ ("id", Value.Int i); ("kids", Value.list_ kids) ])
+
+(* binary-only dataset with floats that are NOT exactly summable: exposes
+   association differences between domain counts if merges were not done in
+   a fixed morsel order *)
+let harmonic_type = Ptype.Record [ ("i", Ptype.Int); ("w", Ptype.Float) ]
+
+let harmonic =
+  List.init 700 (fun i ->
+      Value.record
+        [ ("i", Value.Int i); ("w", Value.Float (1.0 /. float_of_int (i + 3))) ])
+
+let to_json records =
+  String.concat "\n"
+    (List.map
+       (fun r -> Proteus_format.Json.to_string (Proteus_format.Json.of_value r))
+       records)
+
+let make_catalog () =
+  let cat = Catalog.create () in
+  let mem = Catalog.memory cat in
+  Memory.register_blob mem ~name:"items.csv"
+    (Proteus_format.Csv.of_records Proteus_format.Csv.default_config item_schema items);
+  Catalog.register cat
+    (Dataset.make ~name:"items_csv"
+       ~format:(Dataset.Csv Proteus_format.Csv.default_config)
+       ~location:(Dataset.Blob "items.csv") ~element:item_type);
+  Memory.register_blob mem ~name:"items.json" (to_json items);
+  Catalog.register cat
+    (Dataset.make ~name:"items_json" ~format:Dataset.Json
+       ~location:(Dataset.Blob "items.json") ~element:item_type);
+  Catalog.register cat
+    (Dataset.make ~name:"items_row" ~format:Dataset.Binary_row
+       ~location:(Dataset.Rows (Rowpage.of_records item_schema items))
+       ~element:item_type);
+  let col name ty =
+    (name, Column.of_values ty (List.map (fun r -> Value.field r name) items))
+  in
+  Catalog.register cat
+    (Dataset.make ~name:"items_col" ~format:Dataset.Binary_column
+       ~location:
+         (Dataset.Columns
+            [ col "k" Ptype.Int; col "grp" Ptype.Int; col "price" Ptype.Float;
+              col "name" Ptype.String ])
+       ~element:item_type);
+  let hcol name ty =
+    (name, Column.of_values ty (List.map (fun r -> Value.field r name) harmonic))
+  in
+  Catalog.register cat
+    (Dataset.make ~name:"harmonic" ~format:Dataset.Binary_column
+       ~location:(Dataset.Columns [ hcol "i" Ptype.Int; hcol "w" Ptype.Float ])
+       ~element:harmonic_type);
+  Memory.register_blob mem ~name:"groups.json" (to_json groups);
+  Catalog.register cat
+    (Dataset.make ~name:"groups" ~format:Dataset.Json
+       ~location:(Dataset.Blob "groups.json") ~element:groups_type);
+  Memory.register_blob mem ~name:"nested.json" (to_json nested);
+  Catalog.register cat
+    (Dataset.make ~name:"nested" ~format:Dataset.Json
+       ~location:(Dataset.Blob "nested.json") ~element:nested_type);
+  cat
+
+let lookup name =
+  match name with
+  | "items_csv" | "items_json" | "items_row" | "items_col" -> items
+  | "harmonic" -> harmonic
+  | "groups" -> groups
+  | "nested" -> nested
+  | other -> Perror.plan_error "no dataset %s" other
+
+let sort_bag v =
+  match v with
+  | Value.Coll (Ptype.Bag, es) -> Value.Coll (Ptype.Bag, List.sort Value.compare es)
+  | v -> v
+
+let registry = lazy (Registry.create (make_catalog ()))
+
+(* Multiset comparison of every engine against the oracle, plus exact
+   (bit-level, order-included) agreement between different domain counts. *)
+let check_par ?(name = "plan") plan =
+  let reg = Lazy.force registry in
+  let expected = sort_bag (Interp.run ~lookup plan) in
+  let serial = Executor.run reg ~engine:Executor.Engine_compiled plan in
+  let volcano = Executor.run reg ~engine:Executor.Engine_volcano plan in
+  let p2 = Executor.run reg ~engine:(Executor.Engine_parallel 2) plan in
+  let p4 = Executor.run reg ~engine:(Executor.Engine_parallel 4) plan in
+  Alcotest.check check_value (name ^ " (serial)") expected (sort_bag serial);
+  Alcotest.check check_value (name ^ " (volcano)") expected (sort_bag volcano);
+  Alcotest.check check_value (name ^ " (2 domains)") expected (sort_bag p2);
+  Alcotest.check check_value (name ^ " (4 domains)") expected (sort_bag p4);
+  Alcotest.check check_value (name ^ " (2 == 4 domains)") p2 p4
+
+(* Order-sensitive variant for sorted outputs. *)
+let check_par_ordered ?(name = "plan") plan =
+  let reg = Lazy.force registry in
+  let expected = Interp.run ~lookup plan in
+  Alcotest.check check_value (name ^ " (serial)") expected
+    (Executor.run reg ~engine:Executor.Engine_compiled plan);
+  List.iter
+    (fun n ->
+      Alcotest.check check_value
+        (Fmt.str "%s (%d domains)" name n)
+        expected
+        (Executor.run reg ~engine:(Executor.Engine_parallel n) plan))
+    [ 2; 3; 4 ]
+
+let item_datasets = [ "items_csv"; "items_json"; "items_row"; "items_col" ]
+
+(* --- the plan matrix, per format ------------------------------------------ *)
+
+let test_aggregate () =
+  List.iter
+    (fun ds ->
+      check_par ~name:ds
+        (Plan.reduce
+           [
+             Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1);
+             Plan.agg ~name:"sp" (Monoid.Primitive Monoid.Sum)
+               Expr.(Field (var "x", "price"));
+             Plan.agg ~name:"sk" (Monoid.Primitive Monoid.Sum) Expr.(Field (var "x", "k"));
+             Plan.agg ~name:"mx" (Monoid.Primitive Monoid.Max)
+               Expr.(Field (var "x", "price"));
+             Plan.agg ~name:"mn" (Monoid.Primitive Monoid.Min) Expr.(Field (var "x", "k"));
+             Plan.agg ~name:"av" (Monoid.Primitive Monoid.Avg)
+               Expr.(Field (var "x", "price"));
+           ]
+           (Plan.scan ~dataset:ds ~binding:"x" ())))
+    item_datasets
+
+let test_filtered_count () =
+  List.iter
+    (fun ds ->
+      check_par ~name:ds
+        (Plan.reduce
+           ~pred:Expr.(Field (var "x", "k") <. int 500)
+           [ Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1) ]
+           (Plan.scan ~dataset:ds ~binding:"x" ())))
+    item_datasets
+
+let test_select_project () =
+  List.iter
+    (fun ds ->
+      check_par ~name:ds
+        (Plan.project ~binding:"out"
+           ~fields:
+             [ ("kk", Expr.(Field (var "x", "k") *. int 2));
+               ("nm", Expr.(Field (var "x", "name"))) ]
+           (Plan.select
+              Expr.(Field (var "x", "price") >=. float 40.0
+                    &&& (Field (var "x", "grp") ==. int 3))
+              (Plan.scan ~dataset:ds ~binding:"x" ()))))
+    item_datasets
+
+let test_collect_bag () =
+  List.iter
+    (fun ds ->
+      check_par ~name:ds
+        (Plan.reduce
+           ~pred:Expr.(Field (var "x", "k") <. int 40)
+           [
+             Plan.agg ~name:"r" (Monoid.Collection Ptype.Bag)
+               Expr.(Field (var "x", "price") +. float 1.0);
+           ]
+           (Plan.scan ~dataset:ds ~binding:"x" ())))
+    item_datasets
+
+let test_group_by () =
+  List.iter
+    (fun ds ->
+      check_par ~name:ds
+        (Plan.nest
+           ~keys:[ ("g", Expr.(Field (var "x", "grp"))) ]
+           ~aggs:
+             [
+               Plan.agg ~name:"n" (Monoid.Primitive Monoid.Count) (Expr.int 1);
+               Plan.agg ~name:"total" (Monoid.Primitive Monoid.Sum)
+                 Expr.(Field (var "x", "price"));
+               Plan.agg ~name:"avg" (Monoid.Primitive Monoid.Avg)
+                 Expr.(Field (var "x", "price"));
+             ]
+           ~binding:"grp"
+           (Plan.scan ~dataset:ds ~binding:"x" ())))
+    item_datasets
+
+let test_join () =
+  List.iter
+    (fun ds ->
+      check_par ~name:ds
+        (Plan.reduce
+           [
+             Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1);
+             Plan.agg ~name:"m" (Monoid.Primitive Monoid.Max) Expr.(Field (var "x", "k"));
+           ]
+           (Plan.select
+              Expr.(Field (var "x", "k") <. int 650)
+              (Plan.join
+                 ~pred:Expr.(Field (var "x", "grp") ==. Field (var "g", "gid"))
+                 (Plan.scan ~dataset:ds ~binding:"x" ())
+                 (Plan.scan ~dataset:"groups" ~binding:"g" ())))))
+    item_datasets
+
+let test_join_project () =
+  check_par
+    (Plan.project ~binding:"o"
+       ~fields:
+         [ ("k", Expr.(Field (var "x", "k"))); ("lbl", Expr.(Field (var "g", "label"))) ]
+       (Plan.select
+          Expr.(Field (var "x", "k") <. int 100)
+          (Plan.join
+             ~pred:Expr.(Field (var "x", "grp") ==. Field (var "g", "gid"))
+             (Plan.scan ~dataset:"items_row" ~binding:"x" ())
+             (Plan.scan ~dataset:"groups" ~binding:"g" ()))))
+
+let test_unnest () =
+  check_par
+    (Plan.reduce
+       [ Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1) ]
+       (Plan.unnest
+          ~pred:Expr.(Field (var "kid", "age") >. int 18)
+          ~path:Expr.(Field (var "n", "kids"))
+          ~binding:"kid"
+          (Plan.scan ~dataset:"nested" ~binding:"n" ())))
+
+let test_sort () =
+  (* Sort below the root: workers buffer morsels, the serial Sort replays
+     them in morsel order — byte-identical to the serial scan order *)
+  List.iter
+    (fun ds ->
+      check_par_ordered ~name:ds
+        (Plan.sort ~limit:23
+           ~keys:
+             [ (Expr.(Field (var "x", "grp")), Plan.Asc);
+               (Expr.(Field (var "x", "price")), Plan.Desc) ]
+           (Plan.select
+              Expr.(Field (var "x", "k") <. int 300)
+              (Plan.scan ~dataset:ds ~binding:"x" ()))))
+    item_datasets
+
+let test_sort_over_group_by () =
+  (* the TPC-H Q1 shape: parallel Nest below a serial Sort *)
+  check_par_ordered
+    (Plan.sort
+       ~keys:[ (Expr.(Field (var "grp", "g")), Plan.Asc) ]
+       (Plan.nest
+          ~keys:[ ("g", Expr.(Field (var "x", "grp"))) ]
+          ~aggs:
+            [
+              Plan.agg ~name:"n" (Monoid.Primitive Monoid.Count) (Expr.int 1);
+              Plan.agg ~name:"total" (Monoid.Primitive Monoid.Sum)
+                Expr.(Field (var "x", "price"));
+            ]
+          ~binding:"grp"
+          (Plan.scan ~dataset:"items_csv" ~binding:"x" ())))
+
+(* --- determinism: float aggregates identical at every domain count -------- *)
+
+let test_float_determinism () =
+  (* harmonic weights do not sum exactly, so any association change between
+     domain counts would flip low-order bits; the per-morsel partials merged
+     in morsel order must make every domain count bit-identical *)
+  let reg = Lazy.force registry in
+  let plan =
+    Plan.reduce
+      [
+        Plan.agg ~name:"s" (Monoid.Primitive Monoid.Sum) Expr.(Field (var "x", "w"));
+        Plan.agg ~name:"a" (Monoid.Primitive Monoid.Avg) Expr.(Field (var "x", "w"));
+      ]
+      (Plan.scan ~dataset:"harmonic" ~binding:"x" ())
+  in
+  let at n = Executor.run reg ~engine:(Executor.Engine_parallel n) plan in
+  let base = at 2 in
+  List.iter
+    (fun n ->
+      Alcotest.check check_value (Fmt.str "domains=2 == domains=%d" n) base (at n))
+    [ 3; 4; 5; 8 ];
+  (* parallel differs from serial only by float association: close, and the
+     run-to-run value is stable *)
+  let float_of v =
+    match Value.field v "s" with
+    | Value.Float f -> f
+    | _ -> Alcotest.fail "no sum"
+  in
+  let serial = float_of (Executor.run reg ~engine:Executor.Engine_compiled plan) in
+  let par = float_of base in
+  Alcotest.(check bool) "parallel sum within 1e-12 of serial" true
+    (Float.abs (serial -. par) <= 1e-12 *. Float.abs serial);
+  Alcotest.check check_value "repeat run bit-identical" base (at 2)
+
+(* --- Engine_parallel 1 is exactly the serial engine ----------------------- *)
+
+let test_one_domain_is_serial () =
+  let reg = Lazy.force registry in
+  let plan =
+    Plan.nest
+      ~keys:[ ("g", Expr.(Field (var "x", "grp"))) ]
+      ~aggs:[ Plan.agg ~name:"n" (Monoid.Primitive Monoid.Count) (Expr.int 1) ]
+      ~binding:"grp"
+      (Plan.scan ~dataset:"items_row" ~binding:"x" ())
+  in
+  (* order-sensitive: the serial engine's first-encounter group order *)
+  Alcotest.check check_value "identical incl. row order"
+    (Executor.run reg ~engine:Executor.Engine_compiled plan)
+    (Executor.run reg ~engine:(Executor.Engine_parallel 1) plan)
+
+(* --- caching: a parallel session leaves bit-identical caches -------------- *)
+
+let make_session () =
+  let cat = make_catalog () in
+  let mgr = Manager.create cat in
+  let reg = Registry.create ~cache:(Manager.iface mgr) cat in
+  (mgr, reg)
+
+let column_testable =
+  Alcotest.testable
+    (fun ppf col ->
+      Fmt.pf ppf "column[%d]" (Column.length col))
+    (fun a b ->
+      Column.length a = Column.length b
+      && List.for_all
+           (fun i -> Value.equal (Column.get a i) (Column.get b i))
+           (List.init (Column.length a) Fun.id))
+
+let workload =
+  [
+    Plan.reduce
+      ~pred:Expr.(Field (var "x", "k") <. int 500)
+      [
+        Plan.agg ~name:"s" (Monoid.Primitive Monoid.Sum) Expr.(Field (var "x", "price"));
+      ]
+      (Plan.scan ~dataset:"items_csv" ~binding:"x" ());
+    Plan.nest
+      ~keys:[ ("g", Expr.(Field (var "x", "grp"))) ]
+      ~aggs:[ Plan.agg ~name:"n" (Monoid.Primitive Monoid.Count) (Expr.int 1) ]
+      ~binding:"grp"
+      (Plan.scan ~dataset:"items_json" ~binding:"x" ());
+    Plan.reduce
+      [ Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1) ]
+      (Plan.join
+         ~pred:Expr.(Field (var "x", "grp") ==. Field (var "g", "gid"))
+         (Plan.scan ~dataset:"items_csv" ~binding:"x" ())
+         (Plan.scan ~dataset:"groups" ~binding:"g" ()));
+  ]
+
+let test_cache_parity () =
+  let mgr_s, reg_s = make_session () in
+  let mgr_p, reg_p = make_session () in
+  (* run the workload twice per session: cold runs fill the caches serially
+     (the parallel engine falls back), warm runs execute in parallel *)
+  for round = 1 to 2 do
+    List.iteri
+      (fun i plan ->
+        let name = Fmt.str "round %d query %d" round i in
+        let serial = Executor.run reg_s ~engine:Executor.Engine_compiled plan in
+        let par = Executor.run reg_p ~engine:(Executor.Engine_parallel 4) plan in
+        Alcotest.check check_value name (sort_bag serial) (sort_bag par))
+      workload
+  done;
+  let stats_s = Manager.stats mgr_s and stats_p = Manager.stats mgr_p in
+  Alcotest.(check int) "same number of cached columns" stats_s.Manager.field_stores
+    stats_p.Manager.field_stores;
+  Alcotest.(check bool) "caches populated" true (stats_s.Manager.field_stores > 0);
+  let iface_s = Manager.iface mgr_s and iface_p = Manager.iface mgr_p in
+  let some_cached = ref false in
+  List.iter
+    (fun dataset ->
+      List.iter
+        (fun path ->
+          let cs = iface_s.Cache_iface.lookup_field ~dataset ~path in
+          let cp = iface_p.Cache_iface.lookup_field ~dataset ~path in
+          match cs, cp with
+          | None, None -> ()
+          | Some cs, Some cp ->
+            some_cached := true;
+            Alcotest.check column_testable
+              (Fmt.str "%s.%s cache column" dataset path)
+              cs cp
+          | _ ->
+            Alcotest.failf "%s.%s cached in only one session" dataset path)
+        [ "k"; "grp"; "price" ])
+    [ "items_csv"; "items_json" ];
+  Alcotest.(check bool) "at least one field column compared" true !some_cached
+
+(* --- counters are domain-safe (no lost increments) ------------------------ *)
+
+let test_counters_domain_safe () =
+  Counters.reset ();
+  let n = 25_000 in
+  Pool.run ~domains:4 (fun _ ->
+      for _ = 1 to n do
+        Counters.add_tuples 1
+      done);
+  let s = Counters.snapshot () in
+  Alcotest.(check int) "no lost increments" (4 * n) s.Counters.tuples;
+  Counters.reset ()
+
+(* --- the dispenser hands out [0, total) exactly once ---------------------- *)
+
+let test_dispenser_coverage () =
+  let d = Pool.Dispenser.create () in
+  List.iter
+    (fun total ->
+      Pool.Dispenser.reset d ~total ~workers:3;
+      let expected_morsels = Pool.Dispenser.morsels d in
+      let seen = ref [] in
+      let rec drain () =
+        match Pool.Dispenser.next d with
+        | Some (m, lo, hi) ->
+          seen := (m, lo, hi) :: !seen;
+          drain ()
+        | None -> ()
+      in
+      drain ();
+      let seen = List.rev !seen in
+      Alcotest.(check int)
+        (Fmt.str "morsel count for total=%d" total)
+        expected_morsels (List.length seen);
+      (* contiguous, in morsel-index order, covering [0, total) *)
+      let cursor = ref 0 in
+      List.iteri
+        (fun i (m, lo, hi) ->
+          Alcotest.(check int) "morsel index" i m;
+          Alcotest.(check int) "contiguous lo" !cursor lo;
+          Alcotest.(check bool) "nonempty" true (hi > lo);
+          cursor := hi)
+        seen;
+      Alcotest.(check int) (Fmt.str "covers total=%d" total) total !cursor;
+      (* worker count must not influence the partition *)
+      Pool.Dispenser.reset d ~total ~workers:8;
+      Alcotest.(check int)
+        (Fmt.str "worker-independent partition for total=%d" total)
+        expected_morsels
+        (Pool.Dispenser.morsels d))
+    [ 1; 15; 16; 17; 800; 4096; 1_000_000 ]
+
+(* --- statistics collection: single pass, same numbers --------------------- *)
+
+let test_collect_stats () =
+  let reg = Registry.create (make_catalog ()) in
+  ignore (Registry.source reg "items_csv");
+  let stats = Catalog.stats (Registry.catalog reg) "items_csv" in
+  Alcotest.(check bool) "cardinality" true
+    (Stats.cardinality stats = Some (List.length items));
+  let oracle path =
+    let vs = List.map (fun r -> Value.field r path) items in
+    ( List.fold_left (fun a v -> if Value.compare v a < 0 then v else a) (List.hd vs) vs,
+      List.fold_left (fun a v -> if Value.compare v a > 0 then v else a) (List.hd vs) vs,
+      List.length vs )
+  in
+  List.iter
+    (fun path ->
+      match Stats.field stats path with
+      | None -> Alcotest.failf "no stats for %s" path
+      | Some fs ->
+        let mn, mx, nonnull = oracle path in
+        Alcotest.check check_value (path ^ " min") mn fs.Stats.min;
+        Alcotest.check check_value (path ^ " max") mx fs.Stats.max;
+        Alcotest.(check int) (path ^ " nonnull") nonnull fs.Stats.nonnull;
+        Alcotest.(check bool) (path ^ " distinct > 0") true
+          (fs.Stats.distinct_estimate > 0))
+    [ "k"; "grp"; "price" ]
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "aggregate" `Quick test_aggregate;
+          Alcotest.test_case "filtered count" `Quick test_filtered_count;
+          Alcotest.test_case "select+project" `Quick test_select_project;
+          Alcotest.test_case "collect bag" `Quick test_collect_bag;
+          Alcotest.test_case "group by" `Quick test_group_by;
+          Alcotest.test_case "join" `Quick test_join;
+          Alcotest.test_case "join project" `Quick test_join_project;
+          Alcotest.test_case "unnest" `Quick test_unnest;
+          Alcotest.test_case "sort" `Quick test_sort;
+          Alcotest.test_case "sort over group by" `Quick test_sort_over_group_by;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "float aggregates across domain counts" `Quick
+            test_float_determinism;
+          Alcotest.test_case "one domain is serial" `Quick test_one_domain_is_serial;
+        ] );
+      ( "caching",
+        [ Alcotest.test_case "parallel session parity" `Quick test_cache_parity ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "counters domain-safe" `Quick test_counters_domain_safe;
+          Alcotest.test_case "dispenser coverage" `Quick test_dispenser_coverage;
+        ] );
+      ( "stats",
+        [ Alcotest.test_case "cold collection matches oracle" `Quick test_collect_stats ] );
+    ]
