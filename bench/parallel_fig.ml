@@ -133,4 +133,16 @@ let run_all (je : Tpch_figs.json_env) (be : Tpch_figs.bin_env) =
     "1 domain runs the identical serial engine; cells where parallel trails serial \
      on this machine indicate fewer cores than domains";
   scaling_row "bin Q6-shape (4 aggr)" bdb (q6 boc);
+  (* batch-size sweep for the vectorized lane over the serial engine;
+     batch = 0 is the staged tuple-at-a-time lane, the ablation baseline *)
+  let sweep_plan = tune (q6 boc) in
+  Fmt.pr "   batch-size sweep, bin Q6-shape:";
+  List.iter
+    (fun bs ->
+      let prepared = Proteus.Db.prepare_plan ~batch_size:bs bdb sweep_plan in
+      let t = Util.measure_n 9 (fun () -> ignore (prepared.Proteus.Db.run ())) in
+      records := (Fmt.str "bin Q6-shape (batch=%d)" bs, 0, t) :: !records;
+      Fmt.pr " b%d=%.2fms" bs (Util.ms t))
+    [ 0; 256; 1024; 4096 ];
+  Fmt.pr "@.";
   emit_json "BENCH_engine.json"

@@ -73,6 +73,24 @@ let domains =
               over $(docv) OCaml domains; 1 (the default) is the serial \
               engine. Composes with the default --engine only.")
 
+let batch_size =
+  Arg.(
+    value
+    & opt int Proteus_engine.Compiled.default_batch_size
+    & info [ "batch-size" ] ~docv:"N"
+        ~doc:"Rows per batch of the compiled engine's vectorized lane; 0 \
+              disables it (pure tuple-at-a-time execution). Results are \
+              identical either way.")
+
+let stats =
+  Arg.(
+    value
+    & flag
+    & info [ "stats" ]
+        ~doc:"Print the engine's proxy performance counters after the query \
+              (tuples, branch points, batches, selection density, lane per \
+              pipeline).")
+
 let no_cache =
   Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable adaptive caching.")
 
@@ -93,7 +111,7 @@ let is_comprehension q =
   let trimmed = String.trim q in
   String.length trimmed >= 3 && String.lowercase_ascii (String.sub trimmed 0 3) = "for"
 
-let run jsons csvs q engine domains no_cache explain verbose format =
+let run jsons csvs q engine domains batch_size stats no_cache explain verbose format =
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Info)
@@ -135,10 +153,12 @@ let run jsons csvs q engine domains no_cache explain verbose format =
       Ok ()
     end
     else begin
+      if stats then Proteus_engine.Counters.reset ();
       let t0 = Unix.gettimeofday () in
       let result =
-        if is_comprehension q then Proteus.Db.comprehension ~engine ~domains db q
-        else Proteus.Db.sql ~engine ~domains db q
+        if is_comprehension q then
+          Proteus.Db.comprehension ~engine ~domains ~batch_size db q
+        else Proteus.Db.sql ~engine ~domains ~batch_size db q
       in
       let elapsed = Unix.gettimeofday () -. t0 in
       (match format with
@@ -150,12 +170,14 @@ let run jsons csvs q engine domains no_cache explain verbose format =
         | Value.Coll (_, rows) -> List.iter (fun r -> Fmt.pr "%a@." Value.pp r) rows
         | v -> Fmt.pr "%a@." Value.pp v));
       Fmt.epr "(%d ms)@." (int_of_float (elapsed *. 1000.));
+      if stats then
+        Fmt.epr "%a@." Proteus_engine.Counters.pp (Proteus_engine.Counters.snapshot ());
       Ok ()
     end
   end
 
-let run jsons csvs q engine domains no_cache explain verbose format =
-  try run jsons csvs q engine domains no_cache explain verbose format with
+let run jsons csvs q engine domains batch_size stats no_cache explain verbose format =
+  try run jsons csvs q engine domains batch_size stats no_cache explain verbose format with
   | (Perror.Parse_error _ | Perror.Plan_error _ | Perror.Type_error _
     | Perror.Unsupported _ | Sys_error _) as e ->
     Error (`Msg (Fmt.str "%a" Perror.pp_exn e))
@@ -166,7 +188,7 @@ let cmd =
     (Cmd.info "proteus_cli" ~doc)
     Term.(
       term_result
-        (const run $ json_args $ csv_args $ query $ engine $ domains $ no_cache
-       $ explain $ verbose $ format))
+        (const run $ json_args $ csv_args $ query $ engine $ domains $ batch_size
+       $ stats $ no_cache $ explain $ verbose $ format))
 
 let () = exit (Cmd.eval cmd)

@@ -150,6 +150,214 @@ let factory (m : Monoid.t) (c : Exprc.compiled) : unit -> instance =
         partial = no_partial;
       }
 
+(* ------------------------------------------------------------------- *)
+(* Batch instances: array-level partial loops for the mergeable monoids.
+   Every vectorized step folds the selected lanes *in selection order*
+   with exactly the operations of the scalar [step] above, so a batch
+   aggregate is bit-identical (floats included) to stepping the scalar
+   instance tuple-by-tuple in the same order. *)
+
+type binstance = {
+  bstep : base:int -> sel:int array -> n:int -> unit;
+  bvalue : unit -> Value.t;
+  bpartial : unit -> Value.t;
+}
+
+let batch_factory (m : Monoid.t) ~(seek : int -> unit) ~(scalar : Exprc.compiled)
+    ~(batch : Exprc.bcompiled option) : (unit -> binstance) option =
+  let scalar_fallback () =
+    (* per-lane seek + scalar step: correct for every primitive combo the
+       vector cases below don't cover (boxed, nullable, date exprs) *)
+    let mk = factory m scalar in
+    fun () ->
+      let inst = mk () in
+      {
+        bstep =
+          (fun ~base ~sel ~n ->
+            for i = 0 to n - 1 do
+              seek (base + sel.(i));
+              inst.step ()
+            done);
+        bvalue = inst.value;
+        bpartial = inst.partial;
+      }
+  in
+  match m, batch with
+  | Monoid.Collection _, _ -> None
+  | Monoid.Primitive Monoid.Count, _ ->
+    Some
+      (fun () ->
+        let n_acc = ref 0 in
+        let value () = Value.Int !n_acc in
+        {
+          bstep = (fun ~base:_ ~sel:_ ~n -> n_acc := !n_acc + n);
+          bvalue = value;
+          bpartial = value;
+        })
+  | Monoid.Primitive Monoid.Sum, Some (Exprc.B_int (buf, k)) ->
+    Some
+      (fun () ->
+        let s = ref 0 in
+        let value () = Value.Int !s in
+        {
+          bstep =
+            (fun ~base ~sel ~n ->
+              k ~base ~sel ~n;
+              for i = 0 to n - 1 do
+                s := !s + buf.(sel.(i))
+              done);
+          bvalue = value;
+          bpartial = value;
+        })
+  | Monoid.Primitive Monoid.Sum, Some (Exprc.B_float (buf, k)) ->
+    Some
+      (fun () ->
+        let s = ref 0. in
+        let value () = Value.Float !s in
+        {
+          bstep =
+            (fun ~base ~sel ~n ->
+              k ~base ~sel ~n;
+              for i = 0 to n - 1 do
+                s := !s +. buf.(sel.(i))
+              done);
+          bvalue = value;
+          bpartial = value;
+        })
+  | Monoid.Primitive Monoid.Max, Some (Exprc.B_int (buf, k)) ->
+    Some
+      (fun () ->
+        let best = ref min_int and seen = ref false in
+        let value () = if !seen then Value.Int !best else Value.Null in
+        {
+          bstep =
+            (fun ~base ~sel ~n ->
+              k ~base ~sel ~n;
+              for i = 0 to n - 1 do
+                let v = buf.(sel.(i)) in
+                if v > !best then best := v
+              done;
+              if n > 0 then seen := true);
+          bvalue = value;
+          bpartial = value;
+        })
+  | Monoid.Primitive Monoid.Min, Some (Exprc.B_int (buf, k)) ->
+    Some
+      (fun () ->
+        let best = ref max_int and seen = ref false in
+        let value () = if !seen then Value.Int !best else Value.Null in
+        {
+          bstep =
+            (fun ~base ~sel ~n ->
+              k ~base ~sel ~n;
+              for i = 0 to n - 1 do
+                let v = buf.(sel.(i)) in
+                if v < !best then best := v
+              done;
+              if n > 0 then seen := true);
+          bvalue = value;
+          bpartial = value;
+        })
+  | Monoid.Primitive Monoid.Max, Some (Exprc.B_float (buf, k)) ->
+    Some
+      (fun () ->
+        let best = ref neg_infinity and seen = ref false in
+        let value () = if !seen then Value.Float !best else Value.Null in
+        {
+          bstep =
+            (fun ~base ~sel ~n ->
+              k ~base ~sel ~n;
+              for i = 0 to n - 1 do
+                let v = buf.(sel.(i)) in
+                if v > !best then best := v
+              done;
+              if n > 0 then seen := true);
+          bvalue = value;
+          bpartial = value;
+        })
+  | Monoid.Primitive Monoid.Min, Some (Exprc.B_float (buf, k)) ->
+    Some
+      (fun () ->
+        let best = ref infinity and seen = ref false in
+        let value () = if !seen then Value.Float !best else Value.Null in
+        {
+          bstep =
+            (fun ~base ~sel ~n ->
+              k ~base ~sel ~n;
+              for i = 0 to n - 1 do
+                let v = buf.(sel.(i)) in
+                if v < !best then best := v
+              done;
+              if n > 0 then seen := true);
+          bvalue = value;
+          bpartial = value;
+        })
+  | Monoid.Primitive Monoid.Avg, Some (Exprc.B_int (buf, k)) ->
+    Some
+      (fun () ->
+        let s = ref 0. and cnt = ref 0 in
+        {
+          bstep =
+            (fun ~base ~sel ~n ->
+              k ~base ~sel ~n;
+              for i = 0 to n - 1 do
+                s := !s +. float_of_int buf.(sel.(i))
+              done;
+              cnt := !cnt + n);
+          bvalue =
+            (fun () ->
+              if !cnt = 0 then Value.Null else Value.Float (!s /. float_of_int !cnt));
+          bpartial = avg_partial s cnt;
+        })
+  | Monoid.Primitive Monoid.Avg, Some (Exprc.B_float (buf, k)) ->
+    Some
+      (fun () ->
+        let s = ref 0. and cnt = ref 0 in
+        {
+          bstep =
+            (fun ~base ~sel ~n ->
+              k ~base ~sel ~n;
+              for i = 0 to n - 1 do
+                s := !s +. buf.(sel.(i))
+              done;
+              cnt := !cnt + n);
+          bvalue =
+            (fun () ->
+              if !cnt = 0 then Value.Null else Value.Float (!s /. float_of_int !cnt));
+          bpartial = avg_partial s cnt;
+        })
+  | Monoid.Primitive Monoid.All, Some (Exprc.B_bool (buf, k)) ->
+    Some
+      (fun () ->
+        let b = ref true in
+        let value () = Value.Bool !b in
+        {
+          bstep =
+            (fun ~base ~sel ~n ->
+              k ~base ~sel ~n;
+              for i = 0 to n - 1 do
+                b := !b && buf.(sel.(i))
+              done);
+          bvalue = value;
+          bpartial = value;
+        })
+  | Monoid.Primitive Monoid.Any, Some (Exprc.B_bool (buf, k)) ->
+    Some
+      (fun () ->
+        let b = ref false in
+        let value () = Value.Bool !b in
+        {
+          bstep =
+            (fun ~base ~sel ~n ->
+              k ~base ~sel ~n;
+              for i = 0 to n - 1 do
+                b := !b || buf.(sel.(i))
+              done);
+          bvalue = value;
+          bpartial = value;
+        })
+  | Monoid.Primitive _, _ -> Some (scalar_fallback ())
+
 let merge (m : Monoid.t) (a : Value.t) (b : Value.t) : Value.t =
   match m with
   | Monoid.Primitive Monoid.Count ->

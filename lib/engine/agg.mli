@@ -25,6 +25,28 @@ type instance = {
     of [compiled]; each call to the factory starts a fresh group. *)
 val factory : Monoid.t -> Exprc.compiled -> unit -> instance
 
+(** Batch-lane accumulator: [bstep] folds a whole selection at once. The
+    vectorized loops fold lanes in selection order with exactly the scalar
+    [step]'s operations, so results are bit-identical (floats included) to
+    stepping tuple-by-tuple. *)
+type binstance = {
+  bstep : base:int -> sel:int array -> n:int -> unit;
+  bvalue : unit -> Value.t;
+  bpartial : unit -> Value.t;  (** as {!instance.partial} *)
+}
+
+(** [batch_factory m ~seek ~scalar ~batch] stages the batch accumulator:
+    an array-level loop over [batch]'s kernel buffer when the monoid/lane
+    pair supports it, otherwise a per-lane [seek]-then-scalar-[step] shim.
+    [None] only for collection monoids (no mergeable partial, stay on the
+    tuple lane). *)
+val batch_factory :
+  Monoid.t ->
+  seek:(int -> unit) ->
+  scalar:Exprc.compiled ->
+  batch:Exprc.bcompiled option ->
+  (unit -> binstance) option
+
 (** [merge m a b] combines two partials of monoid [m]. Raises
     [Perror.Unsupported] for collection monoids. *)
 val merge : Monoid.t -> Value.t -> Value.t -> Value.t

@@ -70,6 +70,13 @@ type ctx = {
   cenv : Exprc.cenv;
   required : (string * [ `Whole | `Paths of string list ]) list;
   par : par option;
+  batch : int option;
+      (** batch-lane size for scan→select→...→aggregate fragments;
+          [None] = tuple lane only *)
+  sel_memo : (string, (Cache_iface.packed * Expr.t option) option) Hashtbl.t;
+      (** per-prepare memo of sigma-cache lookups so a batch-lane attempt
+          and a tuple-lane fallback observe a single lookup (the cache's
+          stat counters tick once per query, as before) *)
   splice : (Plan.t * (unit -> (unit -> unit) -> unit -> unit)) option;
       (** parallelism substitution: when the serial compile reaches this
           exact plan node, the provided maker supplies its producer (a
@@ -217,6 +224,222 @@ let join_probe ~(kind : Plan.join_kind) ~mode ~left_key ~(rows : int ref)
   | (`Radix | `Boxed), _ ->
     Perror.plan_error "join probe: key representation mismatch across pipeline instances"
 
+(* ------------------------------------------------------------------ *)
+(* The batch lane (DESIGN.md Section 8).
+
+   A pipeline fragment of shape Select* over Scan compiles to batch form:
+   the scan emits fixed-size batches and every Select becomes a filter
+   that compacts a selection vector in place — data never moves, only the
+   selection shrinks. The fragment's consumer is either a batch sink
+   (array-level aggregate loops at a Reduce root) or a spill boundary that
+   seeks the cursor to each surviving lane and resumes the tuple-at-a-time
+   consumer chain: the first operator that is not batch-capable (join,
+   unnest, group-by, sort, ...) sees exactly the serial tuple protocol.
+   The lane is chosen here, once, at engine-generation time. *)
+
+let default_batch_size = 1024
+
+let lookup_select_memo ctx ~dataset ~binding ~pred ~paths =
+  match Hashtbl.find_opt ctx.sel_memo binding with
+  | Some r -> r
+  | None ->
+    let r =
+      (Registry.cache ctx.reg).Cache_iface.lookup_select ~dataset ~binding ~pred ~paths
+    in
+    Hashtbl.replace ctx.sel_memo binding r;
+    r
+
+(* One filter: compacts the first [n] entries of [sel] in place against the
+   elements at [base + sel.(i)]; returns the surviving count. *)
+type bfilter = base:int -> sel:int array -> n:int -> int
+
+(* One plan node's worth of filtering. Selects count a branch point per
+   input lane (the tuple lane counts one per tuple reaching the node);
+   embedded Reduce predicates do not, as in the tuple lane. *)
+type bnode = { bn_branch : bool; bn_filters : bfilter list }
+
+(* A batch-compiled fragment: the driving source (its cursor serves spill
+   seeks and shim fills), the two batch drivers, and the filter nodes in
+   scan-to-root order. *)
+type bfrag = {
+  bf_src : Source.t;
+  bf_run : batch:int -> on_batch:(base:int -> len:int -> unit) -> unit;
+  bf_run_range :
+    lo:int -> hi:int -> batch:int -> on_batch:(base:int -> len:int -> unit) -> unit;
+  bf_nodes : bnode list;
+}
+
+(* Compile one predicate into per-conjunct filters: a vectorized kernel
+   plus compaction when the conjunct batch-compiles to the bool lane,
+   otherwise a seek-per-lane scalar fallback. Splitting per conjunct lets
+   one non-vectorizable conjunct fall back alone. *)
+let bfilter_node ctx ~bs ~(src : Source.t) ~branch pred : bnode =
+  let filter c : bfilter =
+    match Exprc.compile_batch ctx.cenv ~batch_size:bs c with
+    | Some (Exprc.B_bool (buf, k)) ->
+      fun ~base ~sel ~n ->
+        k ~base ~sel ~n;
+        let m = ref 0 in
+        for i = 0 to n - 1 do
+          let j = sel.(i) in
+          if buf.(j) then begin
+            sel.(!m) <- j;
+            incr m
+          end
+        done;
+        !m
+    | Some _ | None ->
+      let pc = Exprc.to_pred (Exprc.compile ctx.cenv c) in
+      let seek = src.Source.seek in
+      fun ~base ~sel ~n ->
+        let m = ref 0 in
+        for i = 0 to n - 1 do
+          let j = sel.(i) in
+          seek (base + j);
+          if pc () then begin
+            sel.(!m) <- j;
+            incr m
+          end
+        done;
+        !m
+  in
+  { bn_branch = branch; bn_filters = List.map filter (Expr.conjuncts pred) }
+
+let apply_bnodes nodes ~base ~(sel : int array) n0 =
+  let n = ref n0 in
+  List.iter
+    (fun node ->
+      if node.bn_branch && !n > 0 then Counters.add_branch_points !n;
+      List.iter
+        (fun (f : bfilter) -> if !n > 0 then n := f ~base ~sel ~n:!n)
+        node.bn_filters)
+    nodes;
+  !n
+
+(* Lane bookkeeping ticks once per pipeline, not once per worker instance. *)
+let count_lane ctx add =
+  match ctx.par with Some p when p.par_worker > 0 -> () | _ -> add 1
+
+(* Drive a fragment: emit batches (morsel by morsel on a parallel spine),
+   reset the selection to the identity, run the filter nodes, hand the
+   surviving lanes to [sink]. *)
+let bfrag_driver ctx (frag : bfrag) ~bs
+    (sink : base:int -> sel:int array -> n:int -> unit) : unit -> unit =
+  let sel = Array.make bs 0 in
+  let on_batch ~base ~len =
+    Counters.add_tuples len;
+    Counters.add_batches 1;
+    Counters.add_batch_rows len;
+    for j = 0 to len - 1 do
+      sel.(j) <- j
+    done;
+    let n = apply_bnodes frag.bf_nodes ~base ~sel len in
+    Counters.add_batch_selected n;
+    if n > 0 then sink ~base ~sel ~n
+  in
+  match ctx.par with
+  | Some p when p.par_spine ->
+    fun () ->
+      let rec loop () =
+        match Pool.Dispenser.next p.par_disp with
+        | None -> ()
+        | Some (m, lo, hi) ->
+          p.par_morsel := m;
+          frag.bf_run_range ~lo ~hi ~batch:bs ~on_batch;
+          loop ()
+      in
+      loop ()
+  | _ -> fun () -> frag.bf_run ~batch:bs ~on_batch
+
+(* The spill boundary: surviving lanes re-enter the tuple lane by cursor
+   seek, so every downstream closure is exactly the serial one. *)
+let bfrag_spill ctx (frag : bfrag) ~bs : (unit -> unit) -> unit -> unit =
+  count_lane ctx Counters.add_lanes_batch;
+  let seek = frag.bf_src.Source.seek in
+  fun consumer ->
+    bfrag_driver ctx frag ~bs (fun ~base ~sel ~n ->
+        for i = 0 to n - 1 do
+          seek (base + sel.(i));
+          consumer ()
+        done)
+
+(* Batch-compile a Select*-over-Scan fragment; [None] falls back to the
+   tuple lane (batch disabled, store-electing sigma-cache scan,
+   unsupported shape). *)
+let rec compile_bfrag (ctx : ctx) (p : Plan.t) : bfrag option =
+  match ctx.batch with
+  | None -> None
+  | Some bs -> (
+    match p with
+    | Plan.Scan { dataset; binding; fields = _ } ->
+      let required =
+        match List.assoc_opt binding ctx.required with
+        | Some (`Paths ps) -> ps
+        | Some `Whole | None -> []
+      in
+      let scan =
+        match ctx.par with
+        | Some pp when pp.par_spine -> Registry.scan_view ctx.reg ~dataset ~required
+        | _ -> Registry.scan ctx.reg ~dataset ~required
+      in
+      Hashtbl.replace ctx.cenv binding (Exprc.Scan_repr scan.Registry.sc_source);
+      Some
+        {
+          bf_src = scan.Registry.sc_source;
+          bf_run = scan.Registry.sc_run_batches;
+          bf_run_range = scan.Registry.sc_run_range_batches;
+          bf_nodes = [];
+        }
+    | Plan.Select { pred; input = Plan.Scan { dataset; binding; _ } as scan_node }
+      when select_paths ctx binding <> None -> (
+      let of_packed (packed : Cache_iface.packed) residual =
+        let element =
+          (Proteus_catalog.Catalog.find (Registry.catalog ctx.reg) dataset)
+            .Proteus_catalog.Dataset.element
+        in
+        let src = Binary_plugin.of_columns ~element packed.Cache_iface.cols in
+        Hashtbl.replace ctx.cenv binding (Exprc.Scan_repr src);
+        let nodes =
+          match residual with
+          | None -> []
+          | Some r -> [ bfilter_node ctx ~bs ~src ~branch:true r ]
+        in
+        Some
+          {
+            bf_src = src;
+            bf_run = (fun ~batch ~on_batch -> Source.run_batches src ~batch ~on_batch);
+            bf_run_range =
+              (fun ~lo ~hi ~batch ~on_batch ->
+                Source.run_range_batches src ~lo ~hi ~batch ~on_batch);
+            bf_nodes = nodes;
+          }
+      in
+      match ctx.par with
+      | Some pp when pp.par_spine -> (
+        match pp.par_select with
+        | Some (packed, residual) -> of_packed packed residual
+        | None -> bfrag_filter ctx ~bs (compile_bfrag ctx scan_node) pred)
+      | _ -> (
+        let paths = Option.get (select_paths ctx binding) in
+        match lookup_select_memo ctx ~dataset ~binding ~pred ~paths with
+        | Some (packed, residual) -> of_packed packed residual
+        | None when select_cache_should_store ctx ~dataset ~binding ->
+          (* the tuple lane materializes cache columns as it filters *)
+          None
+        | None -> bfrag_filter ctx ~bs (compile_bfrag ctx scan_node) pred))
+    | Plan.Select { pred; input } -> bfrag_filter ctx ~bs (compile_bfrag ctx input) pred
+    | _ -> None)
+
+and bfrag_filter ctx ~bs frag pred =
+  match frag with
+  | None -> None
+  | Some f ->
+    Some
+      {
+        f with
+        bf_nodes = f.bf_nodes @ [ bfilter_node ctx ~bs ~src:f.bf_src ~branch:true pred ];
+      }
+
 let rec compile (ctx : ctx) (p : Plan.t) : (unit -> unit) -> unit -> unit =
   match ctx.splice with
   | Some (target, mk) when target == p -> mk ()
@@ -234,26 +457,32 @@ and compile_node (ctx : ctx) (p : Plan.t) : (unit -> unit) -> unit -> unit =
     | Some p when p.par_spine ->
       (* the driving scan of a parallel pipeline: a private cursor view over
          the shared index, driven by the morsel dispenser *)
+      count_lane ctx Counters.add_lanes_tuple;
       let scan = Registry.scan_view ctx.reg ~dataset ~required in
       Hashtbl.replace ctx.cenv binding (Exprc.Scan_repr scan.Registry.sc_source);
       par_runner p scan.Registry.sc_run_range
     | _ ->
+      count_lane ctx Counters.add_lanes_tuple;
       let scan = Registry.scan ctx.reg ~dataset ~required in
       Hashtbl.replace ctx.cenv binding (Exprc.Scan_repr scan.Registry.sc_source);
       fun consumer () ->
         scan.Registry.sc_run ~on_tuple:(fun () ->
             Counters.add_tuples 1;
             consumer ()))
-  | Plan.Select { pred; input = Plan.Scan { dataset; binding; _ } as scan }
-    when select_paths ctx binding <> None ->
-    compile_select_scan ctx ~pred ~dataset ~binding ~scan
-  | Plan.Select { pred; input } ->
-    let run_input = compile ctx input in
-    let pred_c = Exprc.to_pred (Exprc.compile ctx.cenv pred) in
-    fun consumer ->
-      run_input (fun () ->
-          Counters.add_branch_points 1;
-          if pred_c () then consumer ())
+  | Plan.Select { pred; input } -> (
+    match compile_bfrag ctx p with
+    | Some frag -> bfrag_spill ctx frag ~bs:(Option.get ctx.batch)
+    | None -> (
+      match input with
+      | Plan.Scan { dataset; binding; _ } when select_paths ctx binding <> None ->
+        compile_select_scan ctx ~pred ~dataset ~binding ~scan:input
+      | _ ->
+        let run_input = compile ctx input in
+        let pred_c = Exprc.to_pred (Exprc.compile ctx.cenv pred) in
+        fun consumer ->
+          run_input (fun () ->
+              Counters.add_branch_points 1;
+              if pred_c () then consumer ())))
   | Plan.Project { binding; fields; input } ->
     let run_input = compile ctx input in
     let getters =
@@ -412,6 +641,7 @@ and compile_select_scan ctx ~pred ~dataset ~binding ~scan =
        stat counters tick once per query, as in the serial engine *)
     match p.par_select with
     | Some (packed, residual) -> (
+      count_lane ctx Counters.add_lanes_tuple;
       let element =
         (Proteus_catalog.Catalog.find (Registry.catalog ctx.reg) dataset)
           .Proteus_catalog.Dataset.element
@@ -441,11 +671,12 @@ and compile_select_scan ctx ~pred ~dataset ~binding ~scan =
 and compile_select_scan_serial ctx ~pred ~dataset ~binding ~scan =
   let paths = Option.get (select_paths ctx binding) in
   let cache = Registry.cache ctx.reg in
-  match cache.Cache_iface.lookup_select ~dataset ~binding ~pred ~paths with
+  match lookup_select_memo ctx ~dataset ~binding ~pred ~paths with
   | Some (packed, residual) -> (
     (* cache matching replaced this sigma-over-scan sub-tree with a scan of a
        materialized binary result (Section 6 "Cache Matching"); a subsuming
        match re-applies the stricter predicate as residual *)
+    count_lane ctx Counters.add_lanes_tuple;
     let element =
       (Proteus_catalog.Catalog.find (Registry.catalog ctx.reg) dataset)
         .Proteus_catalog.Dataset.element
@@ -927,9 +1158,123 @@ let build_required (plan : Plan.t) =
     (fun req b -> (b, `Whole) :: List.remove_assoc b req)
     required (sort_bindings plan)
 
+(* Project fusion: a Reduce directly over a Project inlines the projected
+   field expressions into the fold's predicate and aggregate expressions,
+   so a scan→select→project→aggregate pipeline keeps a batchable shape
+   (and the tuple lane skips a boxed record per tuple). Pure expression
+   substitution — same precedent as projection pushdown, which already
+   skips evaluating fields nobody reads. *)
+let fuse_projects (plan : Plan.t) : Plan.t =
+  let exception Keep in
+  let rec subst binding fields (e : Expr.t) : Expr.t =
+    match e with
+    | Expr.Var v when v = binding -> Expr.Record_ctor fields
+    | Expr.Const _ | Expr.Var _ -> e
+    | Expr.Field (Expr.Var v, f) when v = binding -> (
+      match List.assoc_opt f fields with
+      | Some fe -> fe
+      | None -> raise Keep (* missing field: keep the Project's runtime error *))
+    | Expr.Field (x, f) -> Expr.Field (subst binding fields x, f)
+    | Expr.Binop (op, a, b) ->
+      Expr.Binop (op, subst binding fields a, subst binding fields b)
+    | Expr.Unop (op, a) -> Expr.Unop (op, subst binding fields a)
+    | Expr.If (c, t, f) ->
+      Expr.If (subst binding fields c, subst binding fields t, subst binding fields f)
+    | Expr.Record_ctor fs ->
+      Expr.Record_ctor (List.map (fun (n, x) -> (n, subst binding fields x)) fs)
+    | Expr.Coll_ctor (c, xs) -> Expr.Coll_ctor (c, List.map (subst binding fields) xs)
+  in
+  let rec fuse (p : Plan.t) =
+    match p with
+    | Plan.Reduce { monoid_output; pred; input = Plan.Project { binding; fields; input } }
+      -> (
+      try
+        fuse
+          (Plan.Reduce
+             {
+               monoid_output =
+                 List.map
+                   (fun (a : Plan.agg) -> { a with Plan.expr = subst binding fields a.expr })
+                   monoid_output;
+               pred = subst binding fields pred;
+               input;
+             })
+      with Keep -> p)
+    | _ -> p
+  in
+  fuse plan
+
+(* Whether [compile_bfrag] will take this fragment (same decision tree,
+   no compilation side effects — cache lookups go through the memo, so the
+   later real compile observes the same, single, lookup). *)
+let rec batchable_shape ctx (p : Plan.t) =
+  ctx.batch <> None
+  &&
+  match p with
+  | Plan.Scan _ -> true
+  | Plan.Select { pred; input = Plan.Scan { dataset; binding; _ }; _ }
+    when select_paths ctx binding <> None -> (
+    match ctx.par with
+    | Some pp when pp.par_spine -> true
+    | _ -> (
+      let paths = Option.get (select_paths ctx binding) in
+      match lookup_select_memo ctx ~dataset ~binding ~pred ~paths with
+      | Some _ -> true
+      | None -> not (select_cache_should_store ctx ~dataset ~binding)))
+  | Plan.Select { input; _ } -> batchable_shape ctx input
+  | _ -> false
+
 let prepare_with (ctx : ctx) (plan : Plan.t) : unit -> Value.t =
   let cenv = ctx.cenv in
   match plan with
+  | Plan.Reduce { monoid_output; pred; input }
+    when (match (ctx.splice, ctx.batch) with
+         | None, Some _ ->
+           Agg.mergeable (List.map (fun (a : Plan.agg) -> a.monoid) monoid_output)
+           && batchable_shape ctx input
+         | _ -> false) ->
+    (* batch lane all the way to the root: the fragment feeds array-level
+       accumulator loops; the Reduce predicate is one more (non-branch)
+       filter node. Lanes fold in selection order with exactly the scalar
+       step's operations, so the result is bit-identical to the tuple
+       lane — floats included. *)
+    let bs = Option.get ctx.batch in
+    let frag = Option.get (compile_bfrag ctx input) in
+    let frag =
+      {
+        frag with
+        bf_nodes =
+          (frag.bf_nodes
+          @
+          match pred with
+          | Expr.Const (Value.Bool true) -> []
+          | p -> [ bfilter_node ctx ~bs ~src:frag.bf_src ~branch:false p ]);
+      }
+    in
+    let seek = frag.bf_src.Source.seek in
+    let bfactories =
+      List.map
+        (fun (a : Plan.agg) ->
+          let scalar = Exprc.compile cenv a.expr in
+          let batch = Exprc.compile_batch cenv ~batch_size:bs a.expr in
+          match Agg.batch_factory a.monoid ~seek ~scalar ~batch with
+          | Some f -> (a.agg_name, f)
+          | None -> assert false (* mergeable excludes collection monoids *))
+        monoid_output
+    in
+    count_lane ctx Counters.add_lanes_batch;
+    fun () ->
+      let instances = List.map (fun (n, f) -> (n, f ())) bfactories in
+      let sink =
+        match List.map (fun (_, (i : Agg.binstance)) -> i.bstep) instances with
+        | [ s ] -> s
+        | ss -> fun ~base ~sel ~n -> List.iter (fun s -> s ~base ~sel ~n) ss
+      in
+      bfrag_driver ctx frag ~bs sink ();
+      (match instances with
+      | [ (_, i) ] -> i.bvalue ()
+      | many ->
+        Value.record (List.map (fun (n, (i : Agg.binstance)) -> (n, i.bvalue ())) many))
   | Plan.Reduce { monoid_output; pred; input } ->
     let run_input = compile ctx input in
     let pred_c = Exprc.to_pred (Exprc.compile cenv pred) in
@@ -967,19 +1312,23 @@ let prepare_with (ctx : ctx) (plan : Plan.t) : unit -> Value.t =
       (run (fun () -> rows := shape () :: !rows)) ();
       Value.bag (List.rev !rows)
 
-let prepare (reg : Registry.t) (plan : Plan.t) : unit -> Value.t =
+let prepare ?(batch_size = default_batch_size) (reg : Registry.t) (plan : Plan.t) :
+    unit -> Value.t =
+  let plan = fuse_projects plan in
   let ctx =
     {
       reg;
       cenv = Hashtbl.create 16;
       required = build_required plan;
       par = None;
+      batch = (if batch_size > 0 then Some batch_size else None);
+      sel_memo = Hashtbl.create 4;
       splice = None;
     }
   in
   prepare_with ctx plan
 
-let execute reg plan = prepare reg plan ()
+let execute ?batch_size reg plan = prepare ?batch_size reg plan ()
 
 (* ------------------------------------------------------------------ *)
 (* Morsel-driven parallel execution (Section "Parallelism substitution"
@@ -1011,8 +1360,7 @@ let rec spine_drive (actx : ctx) (p : Plan.t) : drive option =
   | Plan.Select { pred; input = Plan.Scan { dataset; binding; _ }; _ }
     when select_paths actx binding <> None -> (
     let paths = Option.get (select_paths actx binding) in
-    let cache = Registry.cache actx.reg in
-    match cache.Cache_iface.lookup_select ~dataset ~binding ~pred ~paths with
+    match lookup_select_memo actx ~dataset ~binding ~pred ~paths with
     | Some (packed, residual) ->
       Some { dr_count = packed.Cache_iface.length; dr_select = Some (packed, residual) }
     | None ->
@@ -1053,7 +1401,8 @@ let rec bottom_breaker (p : Plan.t) : Plan.t option =
    fleet driver: rearm the dispenser, stage the template (registering the
    run's build phases), run the builds serially, stage the workers, fan
    out. *)
-let compile_instances reg required ~domains ~(drive : drive) subplan ~finish =
+let compile_instances reg required ~batch ~domains ~(drive : drive) subplan ~stage
+    ~finish =
   let disp = Pool.Dispenser.create () in
   let builds = ref [] in
   let joins : (int, shared_join) Hashtbl.t = Hashtbl.create 4 in
@@ -1070,8 +1419,18 @@ let compile_instances reg required ~domains ~(drive : drive) subplan ~finish =
         par_select = drive.dr_select;
       }
     in
-    let ctx = { reg; cenv = Hashtbl.create 16; required; par = Some p; splice = None } in
-    let compiled = compile ctx subplan in
+    let ctx =
+      {
+        reg;
+        cenv = Hashtbl.create 16;
+        required;
+        par = Some p;
+        batch;
+        sel_memo = Hashtbl.create 4;
+        splice = None;
+      }
+    in
+    let compiled = stage ctx subplan in
     finish ctx p compiled
   in
   let template = mk 0 in
@@ -1092,10 +1451,11 @@ let compile_instances reg required ~domains ~(drive : drive) subplan ~finish =
 (* Root Reduce over primitive monoids: every morsel folds into its own
    accumulator set; partials merge in morsel order (deterministic for any
    worker count, since the morsel size does not depend on it). *)
-let par_reduce reg required ~domains ~(drive : drive) ~monoid_output ~pred input =
+let par_reduce reg required ~batch ~domains ~(drive : drive) ~monoid_output ~pred input =
   let monoids = List.map (fun (a : Plan.agg) -> a.monoid) monoid_output in
   let instances, disp, run_fleet =
-    compile_instances reg required ~domains ~drive input ~finish:(fun ctx p compiled ->
+    compile_instances reg required ~batch ~domains ~drive input ~stage:compile
+      ~finish:(fun ctx p compiled ->
         let pred_c = Exprc.to_pred (Exprc.compile ctx.cenv pred) in
         let factories =
           List.map
@@ -1160,13 +1520,110 @@ let par_reduce reg required ~domains ~(drive : drive) ~monoid_output ~pred input
     | [ (_, v) ] -> v
     | many -> Value.record many
 
+(* Root Reduce on the batch lane: each worker drives its compiled fragment
+   morsel by morsel; a fresh set of batch accumulators per morsel, partials
+   merged in morsel order — the exact merge structure of [par_reduce], so
+   batch and tuple lanes agree bit-for-bit at every domain count. *)
+let par_batch_reduce reg required ~batch:bs ~domains ~(drive : drive) ~monoid_output
+    ~pred input =
+  let monoids = List.map (fun (a : Plan.agg) -> a.monoid) monoid_output in
+  let instances, disp, run_fleet =
+    compile_instances reg required ~batch:(Some bs) ~domains ~drive input
+      ~stage:compile_bfrag
+      ~finish:(fun ctx p frag ->
+        let frag =
+          match frag with
+          | Some f -> f
+          | None -> Perror.plan_error "batch lane: fragment refused on a parallel spine"
+        in
+        let frag =
+          {
+            frag with
+            bf_nodes =
+              (frag.bf_nodes
+              @
+              match pred with
+              | Expr.Const (Value.Bool true) -> []
+              | pr -> [ bfilter_node ctx ~bs ~src:frag.bf_src ~branch:false pr ]);
+          }
+        in
+        let seek = frag.bf_src.Source.seek in
+        let bfactories =
+          List.map
+            (fun (a : Plan.agg) ->
+              match
+                Agg.batch_factory a.monoid ~seek ~scalar:(Exprc.compile ctx.cenv a.expr)
+                  ~batch:(Exprc.compile_batch ctx.cenv ~batch_size:bs a.expr)
+              with
+              | Some f -> f
+              | None -> assert false (* mergeable excludes collection monoids *))
+            monoid_output
+        in
+        (frag, bfactories, ctx, p))
+  in
+  Counters.add_lanes_batch 1;
+  let _, bfactories0, _, _ = instances.(0) in
+  fun () ->
+    let all = Array.make domains [||] in
+    let wire w (frag, bfactories, ctx, (p : par)) =
+      let buckets = Array.make (Pool.Dispenser.morsels disp) None in
+      all.(w) <- buckets;
+      let cur = ref (-1) in
+      let nop ~base:_ ~sel:_ ~n:_ = () in
+      let cur_step = ref nop in
+      let sink ~base ~sel ~n =
+        let mi = !(p.par_morsel) in
+        if !cur <> mi then begin
+          cur := mi;
+          let insts = List.map (fun f -> f ()) bfactories in
+          buckets.(mi) <- Some insts;
+          cur_step :=
+            (match insts with
+            | [ (i : Agg.binstance) ] -> i.bstep
+            | is ->
+              fun ~base ~sel ~n ->
+                List.iter (fun (i : Agg.binstance) -> i.bstep ~base ~sel ~n) is)
+        end;
+        !cur_step ~base ~sel ~n
+      in
+      bfrag_driver ctx frag ~bs sink
+    in
+    run_fleet wire;
+    let nm = Pool.Dispenser.morsels disp in
+    let merged = ref None in
+    for mi = 0 to nm - 1 do
+      for w = 0 to domains - 1 do
+        match all.(w).(mi) with
+        | None -> ()
+        | Some insts ->
+          let parts = List.map (fun (i : Agg.binstance) -> i.bpartial ()) insts in
+          merged :=
+            Some
+              (match !merged with
+              | None -> parts
+              | Some acc ->
+                List.map2
+                  (fun m (a, b) -> Agg.merge m a b)
+                  monoids (List.combine acc parts))
+      done
+    done;
+    let finals =
+      match !merged with
+      | Some parts -> List.map2 Agg.finalize monoids parts
+      | None -> List.map (fun f -> ((f () : Agg.binstance)).bvalue ()) bfactories0
+    in
+    match List.map2 (fun (a : Plan.agg) v -> (a.agg_name, v)) monoid_output finals with
+    | [ (_, v) ] -> v
+    | many -> Value.record many
+
 (* Root Reduce into a single collection monoid (the shape of a plain
    SELECT): qualifying values buffer per morsel and concatenate in morsel
    order — exactly the serial scan order. *)
-let par_collect_reduce reg required ~domains ~(drive : drive) ~coll ~(agg : Plan.agg)
-    ~pred input =
+let par_collect_reduce reg required ~batch ~domains ~(drive : drive) ~coll
+    ~(agg : Plan.agg) ~pred input =
   let _, disp, run_fleet =
-    compile_instances reg required ~domains ~drive input ~finish:(fun ctx p compiled ->
+    compile_instances reg required ~batch ~domains ~drive input ~stage:compile
+      ~finish:(fun ctx p compiled ->
         let pred_c = Exprc.to_pred (Exprc.compile ctx.cenv pred) in
         let get = Exprc.to_val (Exprc.compile ctx.cenv agg.expr) in
         (compiled, pred_c, get, p))
@@ -1195,11 +1652,12 @@ let par_collect_reduce reg required ~domains ~(drive : drive) ~coll ~(agg : Plan
    buffer their visible bindings' values per morsel; the buffered rows
    replay serially, in morsel order — the serial scan order — through
    boxed registers the consumer's getters read. *)
-let buffered_splice reg required ~domains ~(drive : drive) subplan
+let buffered_splice reg required ~batch ~domains ~(drive : drive) subplan
     ~(serial_cenv : Exprc.cenv) () =
   let visible = Plan.bindings subplan in
   let _, disp, run_fleet =
-    compile_instances reg required ~domains ~drive subplan ~finish:(fun ctx p compiled ->
+    compile_instances reg required ~batch ~domains ~drive subplan ~stage:compile
+      ~finish:(fun ctx p compiled ->
         let getters =
           List.map (fun b -> Exprc.to_val (Exprc.compile ctx.cenv (Expr.Var b))) visible
         in
@@ -1234,12 +1692,13 @@ let buffered_splice reg required ~domains ~(drive : drive) subplan
    that is deterministic for any domain count (the serial engine emits in
    first-encounter order instead; group-by output order carries no
    contract). *)
-let nest_splice reg required ~domains ~(drive : drive) ~keys ~aggs ~pred ~binding input
-    ~(serial_cenv : Exprc.cenv) () =
+let nest_splice reg required ~batch ~domains ~(drive : drive) ~keys ~aggs ~pred ~binding
+    input ~(serial_cenv : Exprc.cenv) () =
   let monoids = List.map (fun (a : Plan.agg) -> a.monoid) aggs in
   let names = List.map (fun (a : Plan.agg) -> a.agg_name) aggs in
   let instances, disp, run_fleet =
-    compile_instances reg required ~domains ~drive input ~finish:(fun ctx p compiled ->
+    compile_instances reg required ~batch ~domains ~drive input ~stage:compile
+      ~finish:(fun ctx p compiled ->
         let pred_c = Exprc.to_pred (Exprc.compile ctx.cenv pred) in
         let ckeys = List.map (fun (n, e) -> (n, Exprc.compile ctx.cenv e)) keys in
         let factories =
@@ -1383,16 +1842,39 @@ let nest_splice reg required ~domains ~(drive : drive) ~keys ~aggs ~pred ~bindin
             emit key_fields parts)
           groups
 
-let prepare_par (reg : Registry.t) ~domains (plan : Plan.t) : unit -> Value.t =
+let prepare_par ?(batch_size = default_batch_size) (reg : Registry.t) ~domains
+    (plan : Plan.t) : unit -> Value.t =
   let domains = max 1 domains in
-  if domains <= 1 then prepare reg plan
+  if domains <= 1 then prepare ~batch_size reg plan
   else begin
+    let plan = fuse_projects plan in
+    let batch = if batch_size > 0 then Some batch_size else None in
     let required = build_required plan in
-    let actx = { reg; cenv = Hashtbl.create 16; required; par = None; splice = None } in
-    let serial () = prepare reg plan in
+    let actx =
+      {
+        reg;
+        cenv = Hashtbl.create 16;
+        required;
+        par = None;
+        batch;
+        sel_memo = Hashtbl.create 4;
+        splice = None;
+      }
+    in
+    let serial () = prepare ~batch_size reg plan in
     let spliced target mk =
       let cenv = Hashtbl.create 16 in
-      let ctx = { reg; cenv; required; par = None; splice = Some (target, mk cenv) } in
+      let ctx =
+        {
+          reg;
+          cenv;
+          required;
+          par = None;
+          batch;
+          sel_memo = Hashtbl.create 4;
+          splice = Some (target, mk cenv);
+        }
+      in
       prepare_with ctx plan
     in
     let splice_fallback () =
@@ -1404,21 +1886,21 @@ let prepare_par (reg : Registry.t) ~domains (plan : Plan.t) : unit -> Value.t =
           match spine_drive actx input with
           | Some drive ->
             spliced target (fun serial_cenv ->
-                nest_splice reg required ~domains ~drive ~keys ~aggs ~pred ~binding input
-                  ~serial_cenv)
+                nest_splice reg required ~batch ~domains ~drive ~keys ~aggs ~pred ~binding
+                  input ~serial_cenv)
           | None -> serial ())
       | Some (Plan.Sort { input; _ }) -> (
         match spine_drive actx input with
         | Some drive ->
           spliced input (fun serial_cenv ->
-              buffered_splice reg required ~domains ~drive input ~serial_cenv)
+              buffered_splice reg required ~batch ~domains ~drive input ~serial_cenv)
         | None -> serial ())
       | Some _ -> serial ()
       | None -> (
         match spine_drive actx plan with
         | Some drive ->
           spliced plan (fun serial_cenv ->
-              buffered_splice reg required ~domains ~drive plan ~serial_cenv)
+              buffered_splice reg required ~batch ~domains ~drive plan ~serial_cenv)
         | None -> serial ())
     in
     match plan with
@@ -1426,14 +1908,18 @@ let prepare_par (reg : Registry.t) ~domains (plan : Plan.t) : unit -> Value.t =
       match spine_drive actx input with
       | None -> splice_fallback ()
       | Some drive ->
-        if Agg.mergeable (List.map (fun (a : Plan.agg) -> a.monoid) monoid_output) then
-          par_reduce reg required ~domains ~drive ~monoid_output ~pred input
+        if Agg.mergeable (List.map (fun (a : Plan.agg) -> a.monoid) monoid_output) then (
+          match batch with
+          | Some bs when batchable_shape actx input ->
+            par_batch_reduce reg required ~batch:bs ~domains ~drive ~monoid_output ~pred
+              input
+          | _ -> par_reduce reg required ~batch ~domains ~drive ~monoid_output ~pred input)
         else (
           match monoid_output with
           | [ ({ monoid = Monoid.Collection coll; _ } as agg) ] ->
-            par_collect_reduce reg required ~domains ~drive ~coll ~agg ~pred input
+            par_collect_reduce reg required ~batch ~domains ~drive ~coll ~agg ~pred input
           | _ -> serial ()))
     | _ -> splice_fallback ()
   end
 
-let execute_par reg ~domains plan = prepare_par reg ~domains plan ()
+let execute_par ?batch_size reg ~domains plan = prepare_par ?batch_size reg ~domains plan ()

@@ -21,9 +21,19 @@
 open Proteus_model
 open Proteus_plugin
 
+(** Default batch size of the vectorized lane (rows per batch). *)
+val default_batch_size : int
+
 (** [execute registry plan] compiles and runs [plan]. Result shape matches
-    {!Proteus_algebra.Interp.run}. Raises [Perror.*] on malformed plans. *)
-val execute : Registry.t -> Proteus_algebra.Plan.t -> Value.t
+    {!Proteus_algebra.Interp.run}. Raises [Perror.*] on malformed plans.
+
+    [batch_size] sizes the vectorized execution lane (DESIGN.md Section 8):
+    scan→select→...→aggregate pipeline fragments run over fixed-size
+    batches with a selection vector, spilling to the tuple-at-a-time lane
+    at the first operator that is not batch-capable. [batch_size <= 0]
+    disables the lane entirely (pure tuple-at-a-time execution). Both
+    lanes produce bit-identical results, floats included. *)
+val execute : ?batch_size:int -> Registry.t -> Proteus_algebra.Plan.t -> Value.t
 
 (** Every expression appearing anywhere in a plan (shared by the Volcano
     executor's required-path analysis). *)
@@ -33,7 +43,7 @@ val all_exprs : Proteus_algebra.Plan.t -> Expr.t list
     be executed repeatedly (each run re-scans the inputs). Used to separate
     "code generation" time from execution time, as the paper reports them
     separately (~50ms compilation per query). *)
-val prepare : Registry.t -> Proteus_algebra.Plan.t -> unit -> Value.t
+val prepare : ?batch_size:int -> Registry.t -> Proteus_algebra.Plan.t -> unit -> Value.t
 
 (** [prepare_par registry ~domains plan] is {!prepare} with morsel-driven
     parallel execution over [domains] OCaml domains (DESIGN.md,
@@ -45,8 +55,10 @@ val prepare : Registry.t -> Proteus_algebra.Plan.t -> unit -> Value.t
     exactly {!prepare}. Plans (or plan segments) that cannot fan out —
     cold scans that would fill cache columns, collection-monoid group-bys
     — silently fall back to the serial engine. *)
-val prepare_par : Registry.t -> domains:int -> Proteus_algebra.Plan.t -> unit -> Value.t
+val prepare_par :
+  ?batch_size:int -> Registry.t -> domains:int -> Proteus_algebra.Plan.t -> unit -> Value.t
 
 (** [execute_par registry ~domains plan] prepares with {!prepare_par} and
     runs once. *)
-val execute_par : Registry.t -> domains:int -> Proteus_algebra.Plan.t -> Value.t
+val execute_par :
+  ?batch_size:int -> Registry.t -> domains:int -> Proteus_algebra.Plan.t -> Value.t

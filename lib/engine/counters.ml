@@ -3,6 +3,11 @@ type snapshot = {
   dispatches : int;
   materialized : int;
   branch_points : int;
+  batches : int;
+  batch_rows : int;
+  batch_selected : int;
+  lanes_batch : int;
+  lanes_tuple : int;
 }
 
 (* Domain-safe counters: one atomic cell per (hashed) domain id, summed at
@@ -20,6 +25,11 @@ let tuples = make_counter ()
 let dispatches = make_counter ()
 let materialized = make_counter ()
 let branch_points = make_counter ()
+let batches = make_counter ()
+let batch_rows = make_counter ()
+let batch_selected = make_counter ()
+let lanes_batch = make_counter ()
+let lanes_tuple = make_counter ()
 
 let slot () = (Domain.self () :> int) land (slots - 1)
 
@@ -33,7 +43,12 @@ let reset () =
   zero tuples;
   zero dispatches;
   zero materialized;
-  zero branch_points
+  zero branch_points;
+  zero batches;
+  zero batch_rows;
+  zero batch_selected;
+  zero lanes_batch;
+  zero lanes_tuple
 
 let snapshot () =
   {
@@ -41,13 +56,30 @@ let snapshot () =
     dispatches = total dispatches;
     materialized = total materialized;
     branch_points = total branch_points;
+    batches = total batches;
+    batch_rows = total batch_rows;
+    batch_selected = total batch_selected;
+    lanes_batch = total lanes_batch;
+    lanes_tuple = total lanes_tuple;
   }
 
 let add_tuples n = add tuples n
 let add_dispatches n = add dispatches n
 let add_materialized n = add materialized n
 let add_branch_points n = add branch_points n
+let add_batches n = add batches n
+let add_batch_rows n = add batch_rows n
+let add_batch_selected n = add batch_selected n
+let add_lanes_batch n = add lanes_batch n
+let add_lanes_tuple n = add lanes_tuple n
+
+let selection_density s =
+  if s.batch_rows = 0 then 1.
+  else float_of_int s.batch_selected /. float_of_int s.batch_rows
 
 let pp ppf s =
-  Fmt.pf ppf "tuples=%d dispatches=%d materialized=%d branches=%d" s.tuples
-    s.dispatches s.materialized s.branch_points
+  Fmt.pf ppf
+    "tuples=%d dispatches=%d materialized=%d branches=%d batches=%d \
+     batch-rows=%d batch-selected=%d (density %.3f) lanes: %d batch / %d tuple"
+    s.tuples s.dispatches s.materialized s.branch_points s.batches s.batch_rows
+    s.batch_selected (selection_density s) s.lanes_batch s.lanes_tuple

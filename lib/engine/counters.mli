@@ -19,6 +19,11 @@ type snapshot = {
           query-compile time *)
   materialized : int;    (** boxed values written at pipeline breakers *)
   branch_points : int;   (** per-tuple control-flow decisions taken *)
+  batches : int;         (** batches emitted by batch-lane scans *)
+  batch_rows : int;      (** rows entering batch-lane pipelines *)
+  batch_selected : int;  (** rows surviving batch-lane filters *)
+  lanes_batch : int;     (** pipeline fragments compiled to the batch lane *)
+  lanes_tuple : int;     (** pipelines driven tuple-at-a-time *)
 }
 
 val reset : unit -> unit
@@ -28,5 +33,14 @@ val add_tuples : int -> unit
 val add_dispatches : int -> unit
 val add_materialized : int -> unit
 val add_branch_points : int -> unit
+val add_batches : int -> unit
+val add_batch_rows : int -> unit
+val add_batch_selected : int -> unit
+val add_lanes_batch : int -> unit
+val add_lanes_tuple : int -> unit
+
+(** Average selection density of batch-lane batches
+    ([batch_selected / batch_rows]; 1.0 when no batches ran). *)
+val selection_density : snapshot -> float
 
 val pp : Format.formatter -> snapshot -> unit

@@ -1,9 +1,8 @@
-
 type engine = Engine_compiled | Engine_volcano | Engine_parallel of int
 
-let run reg ~engine plan =
+let run ?batch_size reg ~engine plan =
   Proteus_algebra.Plan.validate plan;
   match engine with
-  | Engine_compiled -> Compiled.execute reg plan
+  | Engine_compiled -> Compiled.execute ?batch_size reg plan
   | Engine_volcano -> Volcano.execute reg plan
-  | Engine_parallel domains -> Compiled.execute_par reg ~domains plan
+  | Engine_parallel domains -> Compiled.execute_par ?batch_size reg ~domains plan

@@ -8,8 +8,11 @@ type engine =
           N OCaml domains; [Engine_parallel 1] is exactly
           [Engine_compiled] *)
 
-(** [run registry ~engine plan] validates and executes [plan]. *)
+(** [run registry ~engine plan] validates and executes [plan].
+    [batch_size] configures the specialized engine's vectorized lane
+    (see {!Compiled.execute}); the Volcano engine ignores it. *)
 val run :
+  ?batch_size:int ->
   Proteus_plugin.Registry.t ->
   engine:engine ->
   Proteus_algebra.Plan.t ->

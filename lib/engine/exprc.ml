@@ -238,3 +238,348 @@ let rec compile (cenv : cenv) (e : Expr.t) : compiled =
     | Expr.Coll_ctor (c, xs) ->
       let compiled = List.map (fun x -> to_val (compile cenv x)) xs in
       C_val (fun () -> Monoid.collect c (List.map (fun g -> g ()) compiled)))
+
+(* ------------------------------------------------------------------- *)
+(* The batch lane: kernels over primitive arrays plus a selection       *)
+(* vector. A kernel fills its node's batch-aligned output buffer at the *)
+(* selected slots ([out.(sel.(i))] holds the value of element           *)
+(* [base + sel.(i)]); composition is kernel-then-read-buffer, so an     *)
+(* expression tree becomes a short pipeline of primitive array loops.   *)
+(* [compile_batch] returns [None] whenever the scalar closure is the    *)
+(* right (or only correct) lane: nullable leaves, boxed/date values,    *)
+(* conditionals, record/collection construction.                        *)
+
+type bkernel = base:int -> sel:int array -> n:int -> unit
+
+type bcompiled =
+  | B_int of int array * bkernel
+  | B_float of float array * bkernel
+  | B_bool of bool array * bkernel
+  | B_str of string array * bkernel
+
+let nop_kernel ~base:_ ~sel:_ ~n:_ = ()
+
+(* Per-tuple shim: a plug-in without a native fill still serves the batch
+   lane through seek-then-get. *)
+let shim_fill seek (get : unit -> 'a) : 'a Access.fill =
+ fun base out ~sel ~n ->
+  for i = 0 to n - 1 do
+    let j = sel.(i) in
+    seek (base + j);
+    out.(j) <- get ()
+  done
+
+let bleaf bs (src : Source.t) path : bcompiled option =
+  match src.Source.field path with
+  | exception Perror.Plan_error _ -> None
+  | a ->
+    if a.Access.nullable then None
+    else (
+      let seek = src.Source.seek in
+      match Ptype.unwrap_option a.Access.ty with
+      | Ptype.Date -> None (* dates stay boxed, mirroring the scalar lane *)
+      | _ -> (
+        match a.Access.get_int, a.Access.get_float, a.Access.get_bool, a.Access.get_str with
+        | Some g, _, _, _ ->
+          let fill = match a.Access.fill_int with Some f -> f | None -> shim_fill seek g in
+          let buf = Array.make bs 0 in
+          Some (B_int (buf, fun ~base ~sel ~n -> fill base buf ~sel ~n))
+        | None, Some g, _, _ ->
+          let fill = match a.Access.fill_float with Some f -> f | None -> shim_fill seek g in
+          let buf = Array.make bs 0. in
+          Some (B_float (buf, fun ~base ~sel ~n -> fill base buf ~sel ~n))
+        | None, None, Some g, _ ->
+          let fill = match a.Access.fill_bool with Some f -> f | None -> shim_fill seek g in
+          let buf = Array.make bs false in
+          Some (B_bool (buf, fun ~base ~sel ~n -> fill base buf ~sel ~n))
+        | None, None, None, Some g ->
+          let fill = match a.Access.fill_str with Some f -> f | None -> shim_fill seek g in
+          let buf = Array.make bs "" in
+          Some (B_str (buf, fun ~base ~sel ~n -> fill base buf ~sel ~n))
+        | None, None, None, None -> None))
+
+let rec compile_batch (cenv : cenv) ~batch_size (e : Expr.t) : bcompiled option =
+  let bs = batch_size in
+  let bc x = compile_batch cenv ~batch_size x in
+  match path_of e with
+  | Some (v, path) -> (
+    match Hashtbl.find_opt cenv v, path with
+    | Some (Scan_repr src), p when p <> "" -> bleaf bs src p
+    | _ -> None)
+  | None -> (
+    match e with
+    | Expr.Const (Value.Int i) -> Some (B_int (Array.make bs i, nop_kernel))
+    | Expr.Const (Value.Float f) -> Some (B_float (Array.make bs f, nop_kernel))
+    | Expr.Const (Value.Bool b) -> Some (B_bool (Array.make bs b, nop_kernel))
+    | Expr.Const (Value.String s) -> Some (B_str (Array.make bs s, nop_kernel))
+    | Expr.Const _ -> None
+    | Expr.Var _ | Expr.Field _ -> None (* handled by path_of *)
+    | Expr.Binop (Expr.And, l, r) -> (
+      match bc l, bc r with
+      | Some (B_bool (lb, lk)), Some (B_bool (rb, rk)) ->
+        let out = Array.make bs false in
+        let tmp = Array.make bs 0 in
+        Some
+          (B_bool
+             ( out,
+               fun ~base ~sel ~n ->
+                 lk ~base ~sel ~n;
+                 (* evaluate the right side only where the left holds —
+                    the vector form of [&&]'s short circuit *)
+                 let m = ref 0 in
+                 for i = 0 to n - 1 do
+                   let j = sel.(i) in
+                   out.(j) <- lb.(j);
+                   if lb.(j) then begin
+                     tmp.(!m) <- j;
+                     incr m
+                   end
+                 done;
+                 if !m > 0 then begin
+                   rk ~base ~sel:tmp ~n:!m;
+                   for i = 0 to !m - 1 do
+                     let j = tmp.(i) in
+                     out.(j) <- rb.(j)
+                   done
+                 end ))
+      | _ -> None)
+    | Expr.Binop (Expr.Or, l, r) -> (
+      match bc l, bc r with
+      | Some (B_bool (lb, lk)), Some (B_bool (rb, rk)) ->
+        let out = Array.make bs false in
+        let tmp = Array.make bs 0 in
+        Some
+          (B_bool
+             ( out,
+               fun ~base ~sel ~n ->
+                 lk ~base ~sel ~n;
+                 let m = ref 0 in
+                 for i = 0 to n - 1 do
+                   let j = sel.(i) in
+                   out.(j) <- lb.(j);
+                   if not lb.(j) then begin
+                     tmp.(!m) <- j;
+                     incr m
+                   end
+                 done;
+                 if !m > 0 then begin
+                   rk ~base ~sel:tmp ~n:!m;
+                   for i = 0 to !m - 1 do
+                     let j = tmp.(i) in
+                     out.(j) <- rb.(j)
+                   done
+                 end ))
+      | _ -> None)
+    | Expr.Binop (((Expr.Add | Expr.Sub | Expr.Mul | Expr.Div | Expr.Mod) as op), l, r)
+      -> (
+      let iop : (int -> int -> int) option =
+        match op with
+        | Expr.Add -> Some ( + )
+        | Expr.Sub -> Some ( - )
+        | Expr.Mul -> Some ( * )
+        | Expr.Div ->
+          Some (fun a b -> if b = 0 then Perror.type_error "division by zero" else a / b)
+        | Expr.Mod ->
+          Some (fun a b -> if b = 0 then Perror.type_error "modulo by zero" else a mod b)
+        | _ -> None
+      in
+      let fop : (float -> float -> float) option =
+        match op with
+        | Expr.Add -> Some ( +. )
+        | Expr.Sub -> Some ( -. )
+        | Expr.Mul -> Some ( *. )
+        | Expr.Div -> Some ( /. )
+        | _ -> None
+      in
+      match bc l, bc r, iop, fop with
+      | Some (B_int (a, ka)), Some (B_int (b, kb)), Some iop, _ ->
+        let out = Array.make bs 0 in
+        Some
+          (B_int
+             ( out,
+               fun ~base ~sel ~n ->
+                 ka ~base ~sel ~n;
+                 kb ~base ~sel ~n;
+                 for i = 0 to n - 1 do
+                   let j = sel.(i) in
+                   out.(j) <- iop a.(j) b.(j)
+                 done ))
+      | Some (B_int (a, ka)), Some (B_float (b, kb)), _, Some fop ->
+        let out = Array.make bs 0. in
+        Some
+          (B_float
+             ( out,
+               fun ~base ~sel ~n ->
+                 ka ~base ~sel ~n;
+                 kb ~base ~sel ~n;
+                 for i = 0 to n - 1 do
+                   let j = sel.(i) in
+                   out.(j) <- fop (float_of_int a.(j)) b.(j)
+                 done ))
+      | Some (B_float (a, ka)), Some (B_int (b, kb)), _, Some fop ->
+        let out = Array.make bs 0. in
+        Some
+          (B_float
+             ( out,
+               fun ~base ~sel ~n ->
+                 ka ~base ~sel ~n;
+                 kb ~base ~sel ~n;
+                 for i = 0 to n - 1 do
+                   let j = sel.(i) in
+                   out.(j) <- fop a.(j) (float_of_int b.(j))
+                 done ))
+      | Some (B_float (a, ka)), Some (B_float (b, kb)), _, Some fop ->
+        let out = Array.make bs 0. in
+        Some
+          (B_float
+             ( out,
+               fun ~base ~sel ~n ->
+                 ka ~base ~sel ~n;
+                 kb ~base ~sel ~n;
+                 for i = 0 to n - 1 do
+                   let j = sel.(i) in
+                   out.(j) <- fop a.(j) b.(j)
+                 done ))
+      | _ -> None)
+    | Expr.Binop
+        (((Expr.Eq | Expr.Neq | Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge) as op), l, r) -> (
+      let cmp : int -> int -> bool =
+        match op with
+        | Expr.Eq -> ( = )
+        | Expr.Neq -> ( <> )
+        | Expr.Lt -> ( < )
+        | Expr.Le -> ( <= )
+        | Expr.Gt -> ( > )
+        | Expr.Ge -> ( >= )
+        | _ -> assert false
+      in
+      let bool_out ka kb body =
+        let out = Array.make bs false in
+        Some
+          (B_bool
+             ( out,
+               fun ~base ~sel ~n ->
+                 ka ~base ~sel ~n;
+                 kb ~base ~sel ~n;
+                 for i = 0 to n - 1 do
+                   let j = sel.(i) in
+                   out.(j) <- body j
+                 done ))
+      in
+      match bc l, bc r with
+      | Some (B_int (a, ka)), Some (B_int (b, kb)) ->
+        bool_out ka kb (fun j -> cmp a.(j) b.(j))
+      | Some (B_float (a, ka)), Some (B_float (b, kb)) ->
+        bool_out ka kb (fun j -> cmp (compare a.(j) b.(j)) 0)
+      | Some (B_int (a, ka)), Some (B_float (b, kb)) ->
+        bool_out ka kb (fun j -> cmp (compare (float_of_int a.(j)) b.(j)) 0)
+      | Some (B_float (a, ka)), Some (B_int (b, kb)) ->
+        bool_out ka kb (fun j -> cmp (compare a.(j) (float_of_int b.(j))) 0)
+      | Some (B_str (a, ka)), Some (B_str (b, kb)) ->
+        bool_out ka kb (fun j -> cmp (String.compare a.(j) b.(j)) 0)
+      | Some (B_bool (a, ka)), Some (B_bool (b, kb)) ->
+        bool_out ka kb (fun j -> cmp (compare a.(j) b.(j)) 0)
+      | _ -> None)
+    | Expr.Binop (Expr.Concat, l, r) -> (
+      match bc l, bc r with
+      | Some (B_str (a, ka)), Some (B_str (b, kb)) ->
+        let out = Array.make bs "" in
+        Some
+          (B_str
+             ( out,
+               fun ~base ~sel ~n ->
+                 ka ~base ~sel ~n;
+                 kb ~base ~sel ~n;
+                 for i = 0 to n - 1 do
+                   let j = sel.(i) in
+                   out.(j) <- a.(j) ^ b.(j)
+                 done ))
+      | _ -> None)
+    | Expr.Binop (Expr.Like, l, r) -> (
+      match bc l, bc r with
+      | Some (B_str (a, ka)), Some (B_str (b, kb)) ->
+        let out = Array.make bs false in
+        Some
+          (B_bool
+             ( out,
+               fun ~base ~sel ~n ->
+                 ka ~base ~sel ~n;
+                 kb ~base ~sel ~n;
+                 for i = 0 to n - 1 do
+                   let j = sel.(i) in
+                   out.(j) <- Expr.like ~pattern:b.(j) a.(j)
+                 done ))
+      | _ -> None)
+    | Expr.Unop (Expr.Neg, x) -> (
+      match bc x with
+      | Some (B_int (a, ka)) ->
+        let out = Array.make bs 0 in
+        Some
+          (B_int
+             ( out,
+               fun ~base ~sel ~n ->
+                 ka ~base ~sel ~n;
+                 for i = 0 to n - 1 do
+                   let j = sel.(i) in
+                   out.(j) <- -a.(j)
+                 done ))
+      | Some (B_float (a, ka)) ->
+        let out = Array.make bs 0. in
+        Some
+          (B_float
+             ( out,
+               fun ~base ~sel ~n ->
+                 ka ~base ~sel ~n;
+                 for i = 0 to n - 1 do
+                   let j = sel.(i) in
+                   out.(j) <- -.a.(j)
+                 done ))
+      | _ -> None)
+    | Expr.Unop (Expr.Not, x) -> (
+      match bc x with
+      | Some (B_bool (a, ka)) ->
+        let out = Array.make bs false in
+        Some
+          (B_bool
+             ( out,
+               fun ~base ~sel ~n ->
+                 ka ~base ~sel ~n;
+                 for i = 0 to n - 1 do
+                   let j = sel.(i) in
+                   out.(j) <- not a.(j)
+                 done ))
+      | _ -> None)
+    | Expr.Unop (Expr.To_float, x) -> (
+      match bc x with
+      | Some (B_int (a, ka)) ->
+        let out = Array.make bs 0. in
+        Some
+          (B_float
+             ( out,
+               fun ~base ~sel ~n ->
+                 ka ~base ~sel ~n;
+                 for i = 0 to n - 1 do
+                   let j = sel.(i) in
+                   out.(j) <- float_of_int a.(j)
+                 done ))
+      | Some (B_float _) as c -> c
+      | _ -> None)
+    | Expr.Unop (Expr.To_int, x) -> (
+      match bc x with
+      | Some (B_int _) as c -> c
+      | Some (B_float (a, ka)) ->
+        let out = Array.make bs 0 in
+        Some
+          (B_int
+             ( out,
+               fun ~base ~sel ~n ->
+                 ka ~base ~sel ~n;
+                 for i = 0 to n - 1 do
+                   let j = sel.(i) in
+                   out.(j) <- int_of_float a.(j)
+                 done ))
+      | _ -> None)
+    | Expr.Unop (Expr.Is_null, _)
+    | Expr.If _ | Expr.Record_ctor _ | Expr.Coll_ctor _ ->
+      (* conditionals, null tests and constructors keep the scalar lane *)
+      None)

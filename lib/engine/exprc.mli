@@ -47,6 +47,35 @@ val to_val : compiled -> unit -> Value.t
     Raises [Perror.Type_error] if the closure cannot yield booleans. *)
 val to_pred : compiled -> unit -> bool
 
+(** {1 The batch lane}
+
+    A batch kernel evaluates its expression for a whole batch at once:
+    [k ~base ~sel ~n] computes, for each of the first [n] selection-vector
+    entries, the value of the expression at element [base + sel.(i)] into
+    slot [sel.(i)] of the node's output buffer (batch-aligned layout: slot
+    [j] always corresponds to element [base + j], so shrinking [sel] never
+    moves data). Buffers are allocated once per compile at [batch_size]. *)
+
+type bkernel = base:int -> sel:int array -> n:int -> unit
+
+type bcompiled =
+  | B_int of int array * bkernel
+  | B_float of float array * bkernel
+  | B_bool of bool array * bkernel
+  | B_str of string array * bkernel
+
+(** [compile_batch cenv ~batch_size e] stages [e] as a batch kernel, or
+    [None] when the scalar closure is the right lane: nullable or boxed
+    leaves (incl. dates), non-scan representations, conditionals, null
+    tests, constructors. [And]/[Or] keep exact short-circuit semantics by
+    evaluating the right operand only on the lanes the left one leaves
+    undecided. *)
+val compile_batch : cenv -> batch_size:int -> Expr.t -> bcompiled option
+
+(** Per-tuple batch-fill shim over [seek] + a scalar getter — how plug-ins
+    without native fills serve the batch lane. *)
+val shim_fill : (int -> unit) -> (unit -> 'a) -> 'a Access.fill
+
 (** [path_of e] decomposes [e] into a variable and a dotted path when it is
     a pure path expression ([x.a.b] → [Some ("x", "a.b")], [x] →
     [Some ("x", "")]). *)

@@ -22,11 +22,13 @@ let pow10 =
   [| 1e0; 1e1; 1e2; 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9; 1e10; 1e11; 1e12; 1e13;
      1e14; 1e15 |]
 
-(* Fast path for "ddd.ddd": accumulate all digits into one integer [m] and
-   divide once by 10^frac_digits — a single rounding, so the result is the
-   correctly-rounded double of the decimal (identical to [float_of_string])
-   as long as [m] stays within 2^53 and the scale within the exact powers.
-   Anything else (exponents, long digit strings) falls back to
+(* Fast path for "ddd.ddd[eEdd]": accumulate all mantissa digits into one
+   integer [m] and apply the net decimal scale (exponent minus fraction
+   digits) in a single multiply or divide by an exact power of ten — one
+   rounding on exact operands, so the result is the correctly-rounded
+   double of the decimal (identical to [float_of_string]) as long as [m]
+   stays within 2^53 and the net scale within the exact powers. Anything
+   else (>15 mantissa digits, |net scale| > 15) falls back to
    [float_of_string] on a substring. *)
 let float_span src ~start ~stop =
   if start >= stop then fail start "empty float span";
@@ -42,24 +44,51 @@ let float_span src ~start ~stop =
         else digits (i + 1) ((m * 10) + (Char.code c - 48)) (count + 1)
       else Some (i, m, count)
   in
+  let signed v = if neg then -.v else v in
+  (* the mantissa is parsed: apply an optional trailing exponent *)
+  let finish ~m ~total ~frac_digits i =
+    if i >= stop then signed (float_of_int m /. pow10.(frac_digits))
+    else if src.[i] = 'e' || src.[i] = 'E' then begin
+      if total = 0 then slow () (* "e5": no mantissa digits — let it fail *)
+      else
+        let d0 =
+          let j = i + 1 in
+          if j < stop && (src.[j] = '-' || src.[j] = '+') then j + 1 else j
+        in
+        let eneg = i + 1 < stop && src.[i + 1] = '-' in
+        let rec exp_digits j acc =
+          if j >= stop then Some acc
+          else
+            let c = src.[j] in
+            if c >= '0' && c <= '9' then
+              if acc > 9999 then None (* huge exponent: not ours to scale *)
+              else exp_digits (j + 1) ((acc * 10) + (Char.code c - 48))
+            else None (* trailing garbage: preserve float_of_string's error *)
+        in
+        if d0 >= stop then slow () (* "1e", "1e+" *)
+        else
+          match exp_digits d0 0 with
+          | None -> slow ()
+          | Some e ->
+            let scale = (if eneg then -e else e) - frac_digits in
+            if scale >= 0 && scale <= 15 then
+              signed (float_of_int m *. pow10.(scale))
+            else if scale < 0 && scale >= -15 then
+              signed (float_of_int m /. pow10.(-scale))
+            else slow ()
+    end
+    else fail i "bad float character %C" src.[i]
+  in
   match digits i0 0 0 with
   | None -> slow ()
   | Some (i, m, count) ->
     if i >= stop then begin
       if count = 0 then fail start "no digits";
-      let v = float_of_int m in
-      if neg then -.v else v
+      signed (float_of_int m)
     end
     else if src.[i] = '.' then begin
       match digits (i + 1) m count with
       | None -> slow ()
-      | Some (j, m, total) ->
-        if j < stop then slow () (* exponent suffix *)
-        else begin
-          let frac_digits = total - count in
-          let v = float_of_int m /. pow10.(frac_digits) in
-          if neg then -.v else v
-        end
+      | Some (j, m, total) -> finish ~m ~total ~frac_digits:(total - count) j
     end
-    else if src.[i] = 'e' || src.[i] = 'E' then slow ()
-    else fail i "bad float character %C" src.[i]
+    else finish ~m ~total:count ~frac_digits:0 i

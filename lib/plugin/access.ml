@@ -1,6 +1,8 @@
 open Proteus_model
 open Proteus_storage
 
+type 'a fill = int -> 'a array -> sel:int array -> n:int -> unit
+
 type t = {
   ty : Ptype.t;
   nullable : bool;
@@ -10,11 +12,15 @@ type t = {
   get_str : (unit -> string) option;
   is_null : (unit -> bool) option;
   get_val : unit -> Value.t;
+  fill_int : int fill option;
+  fill_float : float fill option;
+  fill_bool : bool fill option;
+  fill_str : string fill option;
 }
 
 let wrap_ty null ty = match null with None -> ty | Some _ -> Ptype.Option ty
 
-let of_int ?null get =
+let of_int ?null ?fill get =
   {
     ty = wrap_ty null Ptype.Int;
     nullable = null <> None;
@@ -27,11 +33,15 @@ let of_int ?null get =
       (match null with
       | None -> fun () -> Value.Int (get ())
       | Some isnull -> fun () -> if isnull () then Value.Null else Value.Int (get ()));
+    fill_int = fill;
+    fill_float = None;
+    fill_bool = None;
+    fill_str = None;
   }
 
-let of_date ?null get =
+let of_date ?null ?fill get =
   {
-    (of_int ?null get) with
+    (of_int ?null ?fill get) with
     ty = wrap_ty null Ptype.Date;
     get_val =
       (match null with
@@ -39,7 +49,7 @@ let of_date ?null get =
       | Some isnull -> fun () -> if isnull () then Value.Null else Value.Date (get ()));
   }
 
-let of_float ?null get =
+let of_float ?null ?fill get =
   {
     ty = wrap_ty null Ptype.Float;
     nullable = null <> None;
@@ -52,9 +62,13 @@ let of_float ?null get =
       (match null with
       | None -> fun () -> Value.Float (get ())
       | Some isnull -> fun () -> if isnull () then Value.Null else Value.Float (get ()));
+    fill_int = None;
+    fill_float = fill;
+    fill_bool = None;
+    fill_str = None;
   }
 
-let of_bool ?null get =
+let of_bool ?null ?fill get =
   {
     ty = wrap_ty null Ptype.Bool;
     nullable = null <> None;
@@ -67,9 +81,13 @@ let of_bool ?null get =
       (match null with
       | None -> fun () -> Value.Bool (get ())
       | Some isnull -> fun () -> if isnull () then Value.Null else Value.Bool (get ()));
+    fill_int = None;
+    fill_float = None;
+    fill_bool = fill;
+    fill_str = None;
   }
 
-let of_str ?null get =
+let of_str ?null ?fill get =
   {
     ty = wrap_ty null Ptype.String;
     nullable = null <> None;
@@ -82,6 +100,10 @@ let of_str ?null get =
       (match null with
       | None -> fun () -> Value.String (get ())
       | Some isnull -> fun () -> if isnull () then Value.Null else Value.String (get ()));
+    fill_int = None;
+    fill_float = None;
+    fill_bool = None;
+    fill_str = fill;
   }
 
 let boxed ty get_val =
@@ -94,17 +116,28 @@ let boxed ty get_val =
     get_str = None;
     is_null = None;
     get_val;
+    fill_int = None;
+    fill_float = None;
+    fill_bool = None;
+    fill_str = None;
   }
+
+let slice_fill (a : 'a array) : 'a fill =
+ fun base out ~sel ~n ->
+  for i = 0 to n - 1 do
+    let j = Array.unsafe_get sel i in
+    Array.unsafe_set out j a.(base + j)
+  done
 
 let of_column col ~cur ty =
   match (col : Column.t) with
   | Column.Ints a -> (
     match Ptype.unwrap_option ty with
-    | Ptype.Date -> of_date (fun () -> a.(!cur))
-    | _ -> of_int (fun () -> a.(!cur)))
-  | Column.Floats a -> of_float (fun () -> a.(!cur))
-  | Column.Bools a -> of_bool (fun () -> a.(!cur))
-  | Column.Strings a -> of_str (fun () -> a.(!cur))
+    | Ptype.Date -> of_date ~fill:(slice_fill a) (fun () -> a.(!cur))
+    | _ -> of_int ~fill:(slice_fill a) (fun () -> a.(!cur)))
+  | Column.Floats a -> of_float ~fill:(slice_fill a) (fun () -> a.(!cur))
+  | Column.Bools a -> of_bool ~fill:(slice_fill a) (fun () -> a.(!cur))
+  | Column.Strings a -> of_str ~fill:(slice_fill a) (fun () -> a.(!cur))
   | Column.Nullmask (mask, inner) -> (
     let null = Some (fun () -> mask.(!cur)) in
     match inner with

@@ -9,6 +9,16 @@ let make ~config ~schema ~index ~src =
      parser. The per-tuple work is just "span + parse". *)
   let accessor (f : Schema.field) fidx : Access.t =
     let span () = Csv_index.field_span index ~row:!row ~field:fidx in
+    (* Batch lane: index-driven bulk extraction — span lookups at explicit
+       rows, parse only the selected lanes; non-nullable fields only. *)
+    let bfill parse =
+      fun base out ~sel ~n ->
+        for i = 0 to n - 1 do
+          let j = sel.(i) in
+          let s, e = Csv_index.field_span index ~row:(base + j) ~field:fidx in
+          out.(j) <- parse s e
+        done
+    in
     match Ptype.unwrap_option f.ty with
     | Ptype.Int ->
       let get () =
@@ -22,14 +32,17 @@ let make ~config ~schema ~index ~src =
             let s, e = span () in
             s >= e)
           get
-      | _ -> Access.of_int get)
+      | _ -> Access.of_int ~fill:(bfill (fun s e -> Csv.parse_int src ~start:s ~stop:e)) get)
     | Ptype.Date ->
-      let get () =
-        let s, e = span () in
+      let parse s e =
         if e - s = 10 && src.[s + 4] = '-' then Date_util.of_span src ~start:s ~stop:e
         else Csv.parse_int src ~start:s ~stop:e
       in
-      Access.of_date get
+      let get () =
+        let s, e = span () in
+        parse s e
+      in
+      Access.of_date ~fill:(bfill parse) get
     | Ptype.Float ->
       let get () =
         let s, e = span () in
@@ -42,13 +55,14 @@ let make ~config ~schema ~index ~src =
             let s, e = span () in
             s >= e)
           get
-      | _ -> Access.of_float get)
+      | _ ->
+        Access.of_float ~fill:(bfill (fun s e -> Csv.parse_float src ~start:s ~stop:e)) get)
     | Ptype.Bool ->
       let get () =
         let s, e = span () in
         Csv.parse_bool src ~start:s ~stop:e
       in
-      Access.of_bool get
+      Access.of_bool ~fill:(bfill (fun s e -> Csv.parse_bool src ~start:s ~stop:e)) get
     | Ptype.String ->
       let get () =
         let s, e = span () in
@@ -61,7 +75,8 @@ let make ~config ~schema ~index ~src =
             let s, e = span () in
             s >= e)
           get
-      | _ -> Access.of_str get)
+      | _ ->
+        Access.of_str ~fill:(bfill (fun s e -> Csv.parse_string src ~start:s ~stop:e)) get)
     | other -> Perror.type_error "CSV field %s of non-primitive type %a" f.name Ptype.pp other
   in
   let accessors =

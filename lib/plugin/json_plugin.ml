@@ -69,6 +69,53 @@ let make ~element ~index =
           | Some e -> Ji.read_value index e)
     | Ptype.Option _ -> assert false
   in
+  (* Batch lane for fixed-schema inputs: the Level-0 slot is known at
+     generation time, so a fill reads entries at explicit OIDs — no cursor,
+     no per-object lookup. Non-nullable primitive fields only; everything
+     else keeps scalar accessors (the engine shims or falls back). *)
+  let batch_fills ~(ty : Ptype.t) ~slot (a : Access.t) : Access.t =
+    if nullable_of_ty ty then a
+    else
+      let require what o =
+        let e = Ji.entry_at index ~obj:o ~slot in
+        if e.Ji.kind = Ji.Knull then
+          Perror.type_error "JSON: null/%s value where %s expected" "missing" what
+        else e
+      in
+      let fill read = fun base out ~sel ~n ->
+        for i = 0 to n - 1 do
+          let j = sel.(i) in
+          out.(j) <- read (base + j)
+        done
+      in
+      match ty with
+      | Ptype.Int ->
+        { a with Access.fill_int = Some (fill (fun o -> Ji.read_int index (require "int" o))) }
+      | Ptype.Date ->
+        { a with
+          Access.fill_int =
+            Some
+              (fill (fun o ->
+                   let e = require "date" o in
+                   match e.Ji.kind with
+                   | Ji.Kstr ->
+                     Date_util.of_span index_src ~start:(e.Ji.start + 1) ~stop:(e.Ji.stop - 1)
+                   | _ -> Ji.read_int index e)) }
+      | Ptype.Float ->
+        { a with
+          Access.fill_float =
+            Some
+              (fill (fun o ->
+                   let e = require "float" o in
+                   match e.Ji.kind with
+                   | Ji.Kint -> float_of_int (Ji.read_int index e)
+                   | _ -> Ji.read_float index e)) }
+      | Ptype.Bool ->
+        { a with Access.fill_bool = Some (fill (fun o -> Ji.read_bool index (require "bool" o))) }
+      | Ptype.String ->
+        { a with Access.fill_str = Some (fill (fun o -> Ji.read_string index (require "string" o))) }
+      | _ -> a
+  in
   let accessor_cache : (string, Access.t) Hashtbl.t = Hashtbl.create 8 in
   let field path =
     match Hashtbl.find_opt accessor_cache path with
@@ -76,6 +123,11 @@ let make ~element ~index =
     | None ->
       let ty = Source.field_type element path in
       let a = accessor_of ~ty ~entry:(entry_resolver path) in
+      let a =
+        match Ji.slot index path with
+        | Some slot -> batch_fills ~ty ~slot a
+        | None -> a
+      in
       Hashtbl.replace accessor_cache path a;
       a
   in

@@ -168,6 +168,9 @@ type scan = {
   sc_count : int;
   sc_run : on_tuple:(unit -> unit) -> unit;
   sc_run_range : lo:int -> hi:int -> on_tuple:(unit -> unit) -> unit;
+  sc_run_batches : batch:int -> on_batch:(base:int -> len:int -> unit) -> unit;
+  sc_run_range_batches :
+    lo:int -> hi:int -> batch:int -> on_batch:(base:int -> len:int -> unit) -> unit;
   sc_fills : bool;
   sc_cache_hits : string list;
 }
@@ -245,11 +248,43 @@ let scan_of t ~dataset ~required ~(raw : Source.t) ~fill =
         fills
   in
   let sc_run_range ~lo ~hi ~on_tuple = Source.run_range sc_source ~lo ~hi ~on_tuple in
+  let sc_run_batches ~batch ~on_batch =
+    match !to_fill with
+    | [] -> Source.run_batches sc_source ~batch ~on_batch
+    | to_fill ->
+      (* Filling scans materialize whole batches: every row of the batch is
+         seeked and appended to the cache builders *before* the batch is
+         handed to the (possibly filtering) consumer, so cache columns come
+         out identical to the tuple lane's. *)
+      let fills =
+        List.map
+          (fun (path, ty, access) ->
+            let builder = Proteus_storage.Column.Builder.create ty in
+            (path, builder, make_fill access builder))
+          to_fill
+      in
+      Source.run_batches sc_source ~batch ~on_batch:(fun ~base ~len ->
+          for i = base to base + len - 1 do
+            seek i;
+            List.iter (fun (_, _, fill) -> fill ()) fills
+          done;
+          on_batch ~base ~len);
+      List.iter
+        (fun (path, builder, _) ->
+          t.cache.Cache_iface.store_field ~dataset ~path ~bias
+            (Proteus_storage.Column.Builder.finish builder))
+        fills
+  in
+  let sc_run_range_batches ~lo ~hi ~batch ~on_batch =
+    Source.run_range_batches sc_source ~lo ~hi ~batch ~on_batch
+  in
   {
     sc_source;
     sc_count = raw.Source.count;
     sc_run;
     sc_run_range;
+    sc_run_batches;
+    sc_run_range_batches;
     sc_fills = !to_fill <> [];
     sc_cache_hits = List.rev !hits;
   }

@@ -53,6 +53,14 @@ type scan = {
           policy elects, registering them at scan end *)
   sc_run_range : lo:int -> hi:int -> on_tuple:(unit -> unit) -> unit;
       (** scan one OID morsel [lo, hi); never fills cache columns *)
+  sc_run_batches : batch:int -> on_batch:(base:int -> len:int -> unit) -> unit;
+      (** full scan as fixed-size batches (the batch lane's driver). Like
+          [sc_run] it fills elected cache columns; a filling scan seeks and
+          appends {e every} row of a batch before the consumer sees it, so
+          the columns stored are identical to the tuple lane's. *)
+  sc_run_range_batches :
+    lo:int -> hi:int -> batch:int -> on_batch:(base:int -> len:int -> unit) -> unit;
+      (** one OID morsel as batches; never fills cache columns *)
   sc_fills : bool;
       (** whether [sc_run] will fill cache columns as a side effect (such
           scans must stay serial: a morsel range cannot produce a complete

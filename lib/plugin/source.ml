@@ -29,6 +29,18 @@ let run_range t ~lo ~hi ~on_tuple =
     on_tuple ()
   done
 
+let run_range_batches _t ~lo ~hi ~batch ~on_batch =
+  let batch = if batch <= 0 then 1 else batch in
+  let base = ref lo in
+  while !base < hi do
+    let len = min batch (hi - !base) in
+    on_batch ~base:!base ~len;
+    base := !base + len
+  done
+
+let run_batches t ~batch ~on_batch =
+  run_range_batches t ~lo:0 ~hi:t.count ~batch ~on_batch
+
 let boxed_iter t =
   let i = ref 0 in
   fun () ->

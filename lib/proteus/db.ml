@@ -151,10 +151,11 @@ let resolver t : Proteus_lang.Sql.resolver =
   | [ (alias, _) ] -> Some alias
   | [] | _ :: _ :: _ -> ( match aliases with [ (a, _) ] -> Some a | _ -> None)
 
-let run_plan ?(engine = Executor.Engine_compiled) ?domains ?(optimize = true) t plan =
+let run_plan ?(engine = Executor.Engine_compiled) ?domains ?batch_size ?(optimize = true)
+    t plan =
   let engine = resolve_engine engine domains in
   let plan = if optimize then Proteus_optimizer.Optimizer.optimize t.catalog plan else plan in
-  Executor.run t.registry ~engine plan
+  Executor.run ?batch_size t.registry ~engine plan
 
 let of_calc t calc = Proteus_optimizer.Optimizer.plan_of_calculus t.catalog calc
 
@@ -251,15 +252,15 @@ let wrap_ordering t (stmt : Proteus_lang.Sql.statement) =
     | _ ->
       Perror.unsupported "ORDER BY/LIMIT requires a row-returning statement")
 
-let sql ?(engine = Executor.Engine_compiled) ?domains t q =
+let sql ?(engine = Executor.Engine_compiled) ?domains ?batch_size t q =
   let engine = resolve_engine engine domains in
   let stmt = Proteus_lang.Sql.parse_statement ~resolve:(resolver t) q in
-  Executor.run t.registry ~engine (wrap_ordering t stmt)
+  Executor.run ?batch_size t.registry ~engine (wrap_ordering t stmt)
 
-let comprehension ?(engine = Executor.Engine_compiled) ?domains t q =
+let comprehension ?(engine = Executor.Engine_compiled) ?domains ?batch_size t q =
   let engine = resolve_engine engine domains in
   let calc = Proteus_lang.Comprehension.parse q in
-  Executor.run t.registry ~engine (of_calc t calc)
+  Executor.run ?batch_size t.registry ~engine (of_calc t calc)
 
 let plan_sql t q = wrap_ordering t (Proteus_lang.Sql.parse_statement ~resolve:(resolver t) q)
 
@@ -267,28 +268,28 @@ let plan_comprehension t q = of_calc t (Proteus_lang.Comprehension.parse q)
 
 type prepared = { compile_seconds : float; run : unit -> Value.t }
 
-let prepare_compiled ?(domains = 1) t plan =
-  if domains > 1 then Proteus_engine.Compiled.prepare_par t.registry ~domains plan
-  else Proteus_engine.Compiled.prepare t.registry plan
+let prepare_compiled ?(domains = 1) ?batch_size t plan =
+  if domains > 1 then Proteus_engine.Compiled.prepare_par ?batch_size t.registry ~domains plan
+  else Proteus_engine.Compiled.prepare ?batch_size t.registry plan
 
-let prepare_plan ?domains t plan =
+let prepare_plan ?domains ?batch_size t plan =
   let t0 = Unix.gettimeofday () in
   let plan = Proteus_optimizer.Optimizer.optimize t.catalog plan in
   Proteus_algebra.Plan.validate plan;
-  let run = prepare_compiled ?domains t plan in
+  let run = prepare_compiled ?domains ?batch_size t plan in
   { compile_seconds = Unix.gettimeofday () -. t0; run }
 
-let prepare_sql ?domains t q =
+let prepare_sql ?domains ?batch_size t q =
   let t0 = Unix.gettimeofday () in
   let stmt = Proteus_lang.Sql.parse_statement ~resolve:(resolver t) q in
   let plan = wrap_ordering t stmt in
   Proteus_algebra.Plan.validate plan;
-  let run = prepare_compiled ?domains t plan in
+  let run = prepare_compiled ?domains ?batch_size t plan in
   { compile_seconds = Unix.gettimeofday () -. t0; run }
 
-let prepare_comprehension ?domains t q =
+let prepare_comprehension ?domains ?batch_size t q =
   let calc = Proteus_lang.Comprehension.parse q in
-  prepare_plan ?domains t
+  prepare_plan ?domains ?batch_size t
     (Proteus_calculus.To_algebra.run (Proteus_calculus.Normalize.run calc))
 
 let refresh_stats t =

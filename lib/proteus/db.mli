@@ -109,16 +109,22 @@ type engine = Proteus_engine.Executor.engine =
     [domains] (default 1) runs the specialized engine with morsel-driven
     parallel execution over that many OCaml domains; [~domains:1] is
     exactly the serial engine, and an explicit [engine] takes precedence
-    over [domains]. *)
-val sql : ?engine:engine -> ?domains:int -> t -> string -> Value.t
+    over [domains].
+
+    [batch_size] (default {!Proteus_engine.Compiled.default_batch_size})
+    sizes the specialized engine's vectorized lane; [0] disables it
+    (pure tuple-at-a-time execution). Results are identical either way. *)
+val sql : ?engine:engine -> ?domains:int -> ?batch_size:int -> t -> string -> Value.t
 
 (** [comprehension db q] — same for the [for {...} yield ...] syntax. *)
-val comprehension : ?engine:engine -> ?domains:int -> t -> string -> Value.t
+val comprehension :
+  ?engine:engine -> ?domains:int -> ?batch_size:int -> t -> string -> Value.t
 
 (** [run_plan db plan] optimizes and runs an already-built algebra plan. *)
 val run_plan :
   ?engine:engine ->
   ?domains:int ->
+  ?batch_size:int ->
   ?optimize:bool ->
   t ->
   Proteus_algebra.Plan.t ->
@@ -141,13 +147,13 @@ type prepared = {
   run : unit -> Value.t;
 }
 
-val prepare_sql : ?domains:int -> t -> string -> prepared
+val prepare_sql : ?domains:int -> ?batch_size:int -> t -> string -> prepared
 
-val prepare_comprehension : ?domains:int -> t -> string -> prepared
+val prepare_comprehension : ?domains:int -> ?batch_size:int -> t -> string -> prepared
 
 (** [prepare_plan db plan] optimizes and compiles an algebra plan.
     [domains] > 1 prepares the morsel-parallel engine. *)
-val prepare_plan : ?domains:int -> t -> Proteus_algebra.Plan.t -> prepared
+val prepare_plan : ?domains:int -> ?batch_size:int -> t -> Proteus_algebra.Plan.t -> prepared
 
 (** [refresh_stats db] re-collects statistics for every registered dataset —
     the paper's idle-time statistics daemon, exposed as an explicit hook. *)

@@ -306,6 +306,35 @@ let test_numparse_edges () =
   Alcotest.(check bool) "garbage rejected" true
     (try ignore (f "abc"); false with Perror.Parse_error _ -> true)
 
+let test_numparse_exponents () =
+  (* the trailing-exponent fast path must agree bit-for-bit with
+     float_of_string, including where it has to give up and fall back *)
+  let f s = Numparse.float_span s ~start:0 ~stop:(String.length s) in
+  let same s =
+    Alcotest.(check int64) s
+      (Int64.bits_of_float (float_of_string s))
+      (Int64.bits_of_float (f s))
+  in
+  List.iter same
+    [
+      (* fast path: |net scale| <= 15 *)
+      "1e5"; "1E5"; "-7e3"; "+2e+4"; "1.5e3"; "-3.25e2"; "2.5e-3"; "1e-15";
+      "123456789012345e15"; "0.5e1"; "9.75E-2"; "1e0"; "0e7"; "12.e2";
+      (* net scale straddling zero: 3 frac digits, e2 -> divide by ten *)
+      "1.234e2"; "1.234e3"; "1.234e4";
+      (* fallback: scale or mantissa out of the exact-power window *)
+      "1e16"; "1e-16"; "2e308"; "3e-320"; "1e9999"; "1e-9999";
+      "1.2345678901234567e5"; "1e00000000016";
+      (* exponent after a pure fraction and leading-dot forms *)
+      ".5e2"; "0.000001e6";
+    ];
+  (* malformed exponents keep float_of_string's failure behaviour *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s ^ " rejected") true
+        (try ignore (f s); false with Failure _ -> true))
+    [ "1e"; "1e+"; "1e-"; "1e5x" ]
+
 (* --- Binary JSON --------------------------------------------------------- *)
 
 let binjson_roundtrip_texts =
@@ -449,7 +478,10 @@ let () =
         ]
         @ qsuite [ json_index_agrees_prop ] );
       ( "numparse",
-        [ Alcotest.test_case "edge cases" `Quick test_numparse_edges ]
+        [
+          Alcotest.test_case "edge cases" `Quick test_numparse_edges;
+          Alcotest.test_case "trailing exponents" `Quick test_numparse_exponents;
+        ]
         @ qsuite [ numparse_matches_stdlib ] );
       ( "binjson",
         [
