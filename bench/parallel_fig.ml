@@ -13,7 +13,24 @@ module Q = Tpch.Queries
 module Symantec = Proteus_symantec.Symantec
 
 let max_domains =
-  try int_of_string (Sys.getenv "PROTEUS_BENCH_DOMAINS") with Not_found -> 4
+  try int_of_string (String.trim (Sys.getenv "PROTEUS_BENCH_DOMAINS")) with _ -> 4
+
+(* Pre-partitioning curves (PR 2, serial join build + splice-merged
+   group-by), kept verbatim so the emitted JSON carries before/after: the
+   join build was serial on domain 0, and the Q1/JSON cells *regressed*
+   with domain count (per-morsel table splices, per-tuple JSON entry
+   allocations serializing on the minor-GC barrier). *)
+let baseline : (string * int * float) list =
+  [
+    ("bin join (2 aggr)", 0, 13.4351); ("bin join (2 aggr)", 1, 13.3789);
+    ("bin join (2 aggr)", 2, 12.9530); ("bin join (2 aggr)", 4, 12.3539);
+    ("bin Q1-shape (group-by)", 0, 8.2161); ("bin Q1-shape (group-by)", 1, 10.6330);
+    ("bin Q1-shape (group-by)", 2, 15.2259); ("bin Q1-shape (group-by)", 4, 15.3801);
+    ("JSON Q1-shape (group-by)", 0, 11.6291); ("JSON Q1-shape (group-by)", 1, 14.1809);
+    ("JSON Q1-shape (group-by)", 2, 31.1911); ("JSON Q1-shape (group-by)", 4, 45.6440);
+    ("JSON Q6-shape (4 aggr)", 0, 4.7672); ("JSON Q6-shape (4 aggr)", 1, 6.7101);
+    ("JSON Q6-shape (4 aggr)", 2, 13.8412); ("JSON Q6-shape (4 aggr)", 4, 13.8171);
+  ]
 
 let tune plan =
   Proteus_optimizer.Rewrite.extract_join_keys
@@ -68,6 +85,16 @@ let emit_json path =
            (max 1 domains) (Util.ms t)
            (if i = List.length entries - 1 then "" else ",")))
     entries;
+  Buffer.add_string buf "  ],\n  \"baseline_pre_partitioning\": [\n";
+  List.iteri
+    (fun i (name, domains, ms) ->
+      Buffer.add_string buf
+        (Fmt.str "    {\"cell\": %S, \"engine\": %S, \"domains\": %d, \"median_ms\": %.4f}%s\n"
+           name
+           (if domains = 0 then "serial" else "parallel")
+           (max 1 domains) ms
+           (if i = List.length baseline - 1 then "" else ",")))
+    baseline;
   Buffer.add_string buf "  ]\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -133,6 +160,8 @@ let run_all (je : Tpch_figs.json_env) (be : Tpch_figs.bin_env) =
     "1 domain runs the identical serial engine; cells where parallel trails serial \
      on this machine indicate fewer cores than domains";
   scaling_row "bin Q6-shape (4 aggr)" bdb (q6 boc);
+  scaling_row "bin join (2 aggr)" bdb (join boc);
+  scaling_row "bin Q1-shape (group-by)" bdb (q1 boc);
   (* batch-size sweep for the vectorized lane over the serial engine;
      batch = 0 is the staged tuple-at-a-time lane, the ablation baseline *)
   let sweep_plan = tune (q6 boc) in

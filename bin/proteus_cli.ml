@@ -89,7 +89,8 @@ let stats =
     & info [ "stats" ]
         ~doc:"Print the engine's proxy performance counters after the query \
               (tuples, branch points, batches, selection density, lane per \
-              pipeline).")
+              pipeline) plus per-phase wall-clock attribution \
+              (scan/build/probe/merge, summed across domains).")
 
 let no_cache =
   Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable adaptive caching.")

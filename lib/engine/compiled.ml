@@ -30,7 +30,46 @@ module Vec = struct
   let to_array t = Array.sub t.a 0 t.n
 end
 
+(* Unboxed int counterpart of [Vec], for parallel build-side key buffers. *)
+module IVec = struct
+  type t = { mutable a : int array; mutable n : int }
+
+  let create () = { a = Array.make 64 0; n = 0 }
+
+  let push t v =
+    if t.n >= Array.length t.a then begin
+      let bigger = Array.make (2 * t.n) 0 in
+      Array.blit t.a 0 bigger 0 t.n;
+      t.a <- bigger
+    end;
+    t.a.(t.n) <- v;
+    t.n <- t.n + 1
+end
+
 let all_exprs = Proteus_algebra.Analysis.all_exprs
+
+(* Internal fan-out for join-build work (build-side materialization,
+   partitioned clustering). The caller's domain count is an explicit request
+   for the probe pipeline; the build fan-out is our implementation choice,
+   and fanning out wider than the hardware only buys minor-GC barrier syncs
+   — so cap it at the machine's core count. [PROTEUS_PAR_BUILD=1] forces the
+   requested width (differential tests exercise the partitioned paths on
+   any box); [PROTEUS_PAR_BUILD=0] forces the serial build. *)
+let build_fan requested =
+  match Sys.getenv_opt "PROTEUS_PAR_BUILD" with
+  | Some "0" -> 1
+  | Some ("1" | "force") -> requested
+  | _ -> if Domain.recommended_domain_count () > 1 then requested else 1
+
+let rec plan_has_join (p : Plan.t) =
+  match p with
+  | Plan.Join _ -> true
+  | p -> List.exists plan_has_join (Plan.children p)
+
+(* Root pipeline drives attribute to the Scan phase only when no join sits
+   on the pipeline — join-bearing pipelines split their time into Build and
+   Probe instead. *)
+let drive_phase has_join f = if has_join then f () else Counters.time Counters.Scan f
 
 (* The build-side state a spine join publishes for probe-only worker
    pipelines: materialized payload columns plus the finished lookup
@@ -55,8 +94,14 @@ type shared_join = {
 type par = {
   par_worker : int;
   par_spine : bool;
+  par_domains : int;  (** fleet width, for nested (build-side) fan-out *)
   par_disp : Pool.Dispenser.t;
   par_morsel : int ref;  (** index of the morsel this worker is scanning *)
+  par_static : (int * int) option;
+      (** static-partition scheduling: this instance scans exactly this row
+          range instead of pulling morsels from the dispenser — used where a
+          worker keeps cross-morsel state (partitioned group-by), so the
+          worker-to-rows mapping is deterministic at a fixed domain count *)
   par_joins : (int, shared_join) Hashtbl.t;
   par_join_ctr : int ref;  (** spine joins seen so far by this instance *)
   par_builds : (unit -> unit) list ref;
@@ -97,15 +142,18 @@ let par_runner (p : par) run_range consumer () =
     Counters.add_tuples 1;
     consumer ()
   in
-  let rec loop () =
-    match Pool.Dispenser.next p.par_disp with
-    | None -> ()
-    | Some (m, lo, hi) ->
-      p.par_morsel := m;
-      run_range ~lo ~hi ~on_tuple;
-      loop ()
-  in
-  loop ()
+  match p.par_static with
+  | Some (lo, hi) -> if hi > lo then run_range ~lo ~hi ~on_tuple
+  | None ->
+    let rec loop () =
+      match Pool.Dispenser.next p.par_disp with
+      | None -> ()
+      | Some (m, lo, hi) ->
+        p.par_morsel := m;
+        run_range ~lo ~hi ~on_tuple;
+        loop ()
+    in
+    loop ()
 
 let subset vars bound = List.for_all (fun v -> List.mem v bound) vars
 
@@ -224,6 +272,40 @@ let join_probe ~(kind : Plan.join_kind) ~mode ~left_key ~(rows : int ref)
   | (`Radix | `Boxed), _ ->
     Perror.plan_error "join probe: key representation mismatch across pipeline instances"
 
+(* The vectorized probe: the key kernel has already filled [kbuf] for the
+   surviving lanes; each lane probes the radix index directly. The scan
+   cursor seeks to a lane only when it actually matches (or pads), so
+   non-matching lanes cost one array read and one index lookup — no cursor
+   movement, no spill into the tuple lane. *)
+let batch_probe_sink ~(kind : Plan.join_kind) ~(radix : Radix.t option ref)
+    ~(kbuf : int array) ~(seek : int -> unit) ~(null_row : bool ref)
+    ~(emit : int -> bool) ~(consumer : unit -> unit) :
+    base:int -> sel:int array -> n:int -> unit =
+ fun ~base ~sel ~n ->
+  let r = !radix in
+  for i = 0 to n - 1 do
+    let j = sel.(i) in
+    let matched = ref false in
+    let seeked = ref false in
+    (match r with
+    | Some r ->
+      Radix.iter r
+        kbuf.(j)
+        ~f:(fun row ->
+          if not !seeked then begin
+            seeked := true;
+            seek (base + j)
+          end;
+          if emit row then matched := true)
+    | None -> ());
+    if kind = Plan.Left_outer && not !matched then begin
+      if not !seeked then seek (base + j);
+      null_row := true;
+      consumer ();
+      null_row := false
+    end
+  done
+
 (* ------------------------------------------------------------------ *)
 (* The batch lane (DESIGN.md Section 8).
 
@@ -338,17 +420,21 @@ let bfrag_driver ctx (frag : bfrag) ~bs
     if n > 0 then sink ~base ~sel ~n
   in
   match ctx.par with
-  | Some p when p.par_spine ->
-    fun () ->
-      let rec loop () =
-        match Pool.Dispenser.next p.par_disp with
-        | None -> ()
-        | Some (m, lo, hi) ->
-          p.par_morsel := m;
-          frag.bf_run_range ~lo ~hi ~batch:bs ~on_batch;
-          loop ()
-      in
-      loop ()
+  | Some p when p.par_spine -> (
+    match p.par_static with
+    | Some (lo, hi) ->
+      fun () -> if hi > lo then frag.bf_run_range ~lo ~hi ~batch:bs ~on_batch
+    | None ->
+      fun () ->
+        let rec loop () =
+          match Pool.Dispenser.next p.par_disp with
+          | None -> ()
+          | Some (m, lo, hi) ->
+            p.par_morsel := m;
+            frag.bf_run_range ~lo ~hi ~batch:bs ~on_batch;
+            loop ()
+        in
+        loop ())
   | _ -> fun () -> frag.bf_run ~batch:bs ~on_batch
 
 (* The spill boundary: surviving lanes re-enter the tuple lane by cursor
@@ -439,6 +525,111 @@ and bfrag_filter ctx ~bs frag pred =
         f with
         bf_nodes = f.bf_nodes @ [ bfilter_node ctx ~bs ~src:f.bf_src ~branch:true pred ];
       }
+
+(* ------------------------------------------------------------------ *)
+(* Fleet compilation: N pipeline instances over a shared morsel dispenser.
+   Shared by the root parallel drivers (par_reduce and friends, below) and
+   by the parallel join build inside [compile_join]. *)
+
+(* What drives the fan-out: the row count the dispenser carves into
+   morsels, plus the pre-resolved sigma-cache decision for a driving
+   select-over-scan (resolved once so all instances agree and the cache's
+   statistics tick once per query, as in the serial engine). *)
+type drive = {
+  dr_count : int;
+  dr_select : (Cache_iface.packed * Expr.t option) option;
+}
+
+(* Walk the spine to the driving scan. [None] means this sub-plan cannot
+   fan out: a breaker sits on the spine, or the scan would fill cache
+   columns as a side effect (a morsel range cannot produce a complete
+   column — the query runs serially once and parallelizes when warm). *)
+let rec spine_drive (actx : ctx) (p : Plan.t) : drive option =
+  match p with
+  | Plan.Select { pred; input = Plan.Scan { dataset; binding; _ }; _ }
+    when select_paths actx binding <> None -> (
+    let paths = Option.get (select_paths actx binding) in
+    match lookup_select_memo actx ~dataset ~binding ~pred ~paths with
+    | Some (packed, residual) ->
+      Some { dr_count = packed.Cache_iface.length; dr_select = Some (packed, residual) }
+    | None ->
+      if select_cache_should_store actx ~dataset ~binding then None
+      else drive_scan actx ~dataset ~binding)
+  | Plan.Scan { dataset; binding; _ } -> drive_scan actx ~dataset ~binding
+  | Plan.Select { input; _ } | Plan.Project { input; _ } | Plan.Unnest { input; _ } ->
+    spine_drive actx input
+  | Plan.Join { left; _ } -> spine_drive actx left
+  | Plan.Nest _ | Plan.Sort _ | Plan.Reduce _ -> None
+
+and drive_scan actx ~dataset ~binding =
+  let required =
+    match List.assoc_opt binding actx.required with
+    | Some (`Paths ps) -> ps
+    | Some `Whole | None -> []
+  in
+  let scan = Registry.scan actx.reg ~dataset ~required in
+  if scan.Registry.sc_fills then None
+  else Some { dr_count = scan.Registry.sc_count; dr_select = None }
+
+(* Compile [domains] pipeline instances of [subplan] — worker 0 first: the
+   template compiles join build sides and publishes their state for the
+   probe-only instances. [finish w ctx par compiled] extracts whatever the
+   caller needs from each instance. Returns the instances plus the per-run
+   fleet driver: rearm the dispenser, stage the template (registering the
+   run's build phases), run the builds serially, stage the workers, fan
+   out. [static] pins worker [w] to the [w]-th contiguous chunk of the
+   input instead of the dispenser, for drivers that keep per-worker state
+   across the whole scan. *)
+let compile_instances reg required ~batch ~domains ?(static = false)
+    ~(drive : drive) subplan ~stage ~finish =
+  let disp = Pool.Dispenser.create () in
+  let builds = ref [] in
+  let joins : (int, shared_join) Hashtbl.t = Hashtbl.create 4 in
+  let mk w =
+    let p =
+      {
+        par_worker = w;
+        par_spine = true;
+        par_domains = domains;
+        par_disp = disp;
+        par_morsel = ref w;
+        par_static =
+          (if static then Some (Pool.chunk ~total:drive.dr_count ~parts:domains w)
+           else None);
+        par_joins = joins;
+        par_join_ctr = ref 0;
+        par_builds = builds;
+        par_select = drive.dr_select;
+      }
+    in
+    let ctx =
+      {
+        reg;
+        cenv = Hashtbl.create 16;
+        required;
+        par = Some p;
+        batch;
+        sel_memo = Hashtbl.create 4;
+        splice = None;
+      }
+    in
+    let compiled = stage ctx subplan in
+    finish ctx p compiled
+  in
+  let template = mk 0 in
+  let instances = Array.init domains (fun w -> if w = 0 then template else mk w) in
+  let run_fleet wire =
+    Pool.Dispenser.reset disp ~total:drive.dr_count ~workers:domains;
+    builds := [];
+    let runners = Array.make domains (fun () -> ()) in
+    runners.(0) <- wire 0 instances.(0);
+    List.iter (fun b -> Counters.time Counters.Build b) (List.rev !builds);
+    for w = 1 to domains - 1 do
+      runners.(w) <- wire w instances.(w)
+    done;
+    Pool.run ~domains (fun w -> runners.(w) ())
+  in
+  (instances, disp, run_fleet)
 
 let rec compile (ctx : ctx) (p : Plan.t) : (unit -> unit) -> unit -> unit =
   match ctx.splice with
@@ -943,12 +1134,42 @@ and compile_join ctx ~kind ~algo ~left ~right ~left_key ~right_key ~pred =
   Hashtbl.iter
     (fun b cols -> Hashtbl.replace ctx.cenv b (Exprc.Row_repr (cols, m_cur, null_row)))
     by_binding;
-  (* Left side stays live (streaming probe). *)
-  let run_left = compile ctx left in
+  (* Left side stays live (streaming probe). When the probe spine is a
+     batchable Select*-over-Scan fragment and both key sides sit in the
+     unboxed int lane, the probe itself joins the batch lane: the key
+     kernel fills a key array for the surviving lanes and each lane probes
+     the radix index directly — select→join pipelines no longer spill to
+     the tuple lane at the join. *)
+  let left_lane =
+    let batch_try =
+      match ctx.batch with
+      | Some bs when int_keys <> None && use_hash -> (
+        match compile_bfrag ctx left with
+        | Some frag -> Some (bs, frag)
+        | None -> None)
+      | _ -> None
+    in
+    match batch_try with
+    | Some (bs, frag) -> (
+      let lk = match equi with Some (lk, _) -> lk | None -> assert false in
+      match Exprc.compile ctx.cenv lk with
+      | Exprc.C_int _ as c -> (
+        match
+          Exprc.batch_int_fill ctx.cenv ~batch_size:bs
+            ~seek:frag.bf_src.Source.seek lk
+        with
+        | Some (kbuf, kfill) -> `Batch (bs, frag, kbuf, kfill, c)
+        | None -> `Spill (bs, frag, c))
+      | c -> `Spill (bs, frag, c))
+    | None -> `Tuple (compile ctx left)
+  in
   let left_key_get =
-    match equi with
-    | Some (lk, _) when use_hash -> Some (Exprc.compile ctx.cenv lk)
-    | _ -> None
+    match left_lane with
+    | `Batch (_, _, _, _, c) | `Spill (_, _, c) -> Some c
+    | `Tuple _ -> (
+      match equi with
+      | Some (lk, _) when use_hash -> Some (Exprc.compile ctx.cenv lk)
+      | _ -> None)
   in
   (* Both index paths compare keys exactly (the radix index on raw ints,
      the boxed table via Value equality), so the equi conjunct needs no
@@ -995,6 +1216,124 @@ and compile_join ctx ~kind ~algo ~left ~right ~left_key ~right_key ~pred =
     | Some _, _ -> `Boxed
     | None, _ -> `Loop
   in
+  (* Parallel build-side materialization: on a multi-domain spine the
+     template compiles a fleet of build-side instances that scan morsels
+     into per-(worker, morsel) buffers; the buffers concatenate in morsel
+     order — the serial scan order — into the very vectors the serial
+     epilogue (cache packing, clustering) already works on. The inner
+     fleet's [Pool.run] is safe because builds run before the outer
+     fan-out. Falls back to the serial build when the build side cannot
+     fan out (breaker on its spine, cache-filling scan) or when an
+     instance's key does not land in the template's lane. *)
+  let par_build =
+    match ctx.par with
+    | Some pp when pp.par_worker = 0 && build_fan pp.par_domains > 1 -> (
+      let actx = { ctx with cenv = Hashtbl.create 16; par = None; splice = None } in
+      match spine_drive actx right with
+      | None -> None
+      | Some bdrive ->
+        let bdomains = build_fan pp.par_domains in
+        let rk_opt =
+          match equi with Some (_, rk) when use_hash -> Some rk | _ -> None
+        in
+        let slot_expr slot =
+          if slot.ps_path = "" then Expr.Var slot.ps_binding
+          else Expr.path slot.ps_binding (String.split_on_char '.' slot.ps_path)
+        in
+        let instances, bdisp, brun_fleet =
+          compile_instances ctx.reg ctx.required ~batch:ctx.batch ~domains:bdomains
+            ~drive:bdrive right ~stage:compile
+            ~finish:(fun ictx ip compiled ->
+              let key_lane =
+                match rk_opt with
+                | None -> `None
+                | Some rk -> (
+                  let c = Exprc.compile ictx.cenv rk in
+                  if int_keys <> None then
+                    match c with Exprc.C_int g -> `Int g | _ -> `Mismatch
+                  else if right_key_val <> None then `Val (Exprc.to_val c)
+                  else `None)
+              in
+              let pays =
+                Array.of_list
+                  (List.map
+                     (fun slot -> Exprc.to_val (Exprc.compile ictx.cenv (slot_expr slot)))
+                     payload)
+              in
+              (compiled, key_lane, pays, ip))
+        in
+        let lanes_ok =
+          Array.for_all
+            (fun (_, kl, _, _) -> match kl with `Mismatch -> false | _ -> true)
+            instances
+        in
+        if not lanes_ok then None
+        else
+          Some
+            (fun () ->
+              let nm = ref 0 in
+              let all = Array.make bdomains [||] in
+              let wire w (run_input, key_lane, pays, (ip : par)) =
+                let buckets = Array.make (Pool.Dispenser.morsels bdisp) None in
+                all.(w) <- buckets;
+                nm := Pool.Dispenser.morsels bdisp;
+                let npay = Array.length pays in
+                let cur = ref (-1) in
+                let cur_buf = ref (ref 0, IVec.create (), Vec.create (), [||]) in
+                let consumer () =
+                  let mi = !(ip.par_morsel) in
+                  if !cur <> mi then begin
+                    cur := mi;
+                    let b =
+                      ( ref 0,
+                        IVec.create (),
+                        Vec.create (),
+                        Array.init npay (fun _ -> Vec.create ()) )
+                    in
+                    buckets.(mi) <- Some b;
+                    cur_buf := b
+                  end;
+                  let count, bik, bkv, bpay = !cur_buf in
+                  incr count;
+                  (match key_lane with
+                  | `Int g -> IVec.push bik (g ())
+                  | `Val g -> Vec.push bkv (g ())
+                  | `None | `Mismatch -> ());
+                  Array.iteri
+                    (fun i g ->
+                      Vec.push bpay.(i) (g ());
+                      Counters.add_materialized 1)
+                    pays
+                in
+                run_input consumer
+              in
+              brun_fleet wire;
+              (* concatenate per-morsel buffers in morsel order: each morsel
+                 went to exactly one worker, so this is the serial row
+                 order, bit for bit *)
+              let pay_slots = Array.of_list payload in
+              for mi = 0 to !nm - 1 do
+                for w = 0 to bdomains - 1 do
+                  match all.(w).(mi) with
+                  | None -> ()
+                  | Some (count, bik, bkv, bpay) ->
+                    mat_rows := !mat_rows + !count;
+                    for r = 0 to bik.IVec.n - 1 do
+                      ikey_push bik.IVec.a.(r)
+                    done;
+                    for r = 0 to bkv.Vec.n - 1 do
+                      Vec.push key_vec bkv.Vec.a.(r)
+                    done;
+                    Array.iteri
+                      (fun i v ->
+                        for r = 0 to v.Vec.n - 1 do
+                          Vec.push pay_slots.(i).ps_vec v.Vec.a.(r)
+                        done)
+                      bpay
+                done
+              done))
+    | _ -> None
+  in
   (match share with
   | Some (p, idx) ->
     let sj_cols = Hashtbl.fold (fun b cols acc -> (b, cols) :: acc) by_binding [] in
@@ -1032,7 +1371,20 @@ and compile_join ctx ~kind ~algo ~left ~right ~left_key ~right_key ~pred =
       join_probe ~kind ~mode ~left_key:left_key_get ~rows:mat_rows ~radix ~table
         ~null_row ~emit:emit_match ~consumer
     in
-    let left_runner = run_left probe_consumer in
+    let left_runner =
+      match left_lane with
+      | `Tuple run_left -> run_left probe_consumer
+      | `Spill (bs, frag, _) -> bfrag_spill ctx frag ~bs probe_consumer
+      | `Batch (bs, frag, kbuf, kfill, _) ->
+        count_lane ctx Counters.add_lanes_batch;
+        let probe =
+          batch_probe_sink ~kind ~radix ~kbuf ~seek:frag.bf_src.Source.seek
+            ~null_row ~emit:emit_match ~consumer
+        in
+        bfrag_driver ctx frag ~bs (fun ~base ~sel ~n ->
+            kfill ~base ~sel ~n;
+            probe ~base ~sel ~n)
+    in
     let build () =
       mat_rows := 0;
       ikey_n := 0;
@@ -1067,7 +1419,9 @@ and compile_join ctx ~kind ~algo ~left ~right ~left_key ~right_key ~pred =
           | None -> false
       in
       if not loaded then begin
-        right_runner ();
+        (match par_build with
+        | Some fleet -> fleet ()
+        | None -> right_runner ());
         keys := Vec.to_array key_vec;
         (* trim the int-key scratch to its live prefix *)
         if int_keys <> None then ikey_vec := Array.sub !ikey_vec 0 !ikey_n;
@@ -1094,9 +1448,15 @@ and compile_join ctx ~kind ~algo ~left ~right ~left_key ~right_key ~pred =
             { Cache_iface.length = !mat_rows; cols }
         end
       end;
-      (* cluster/build the index over the materialized keys *)
+      (* cluster/build the index over the materialized keys: partitioned
+         parallel clustering on a multi-domain spine (safe here — builds
+         run before the outer fan-out), serial two-pass otherwise *)
       match left_key_get, int_keys with
-      | Some _, Some _ -> radix := Some (Radix.build !ikey_vec)
+      | Some _, Some _ ->
+        let bdomains =
+          match ctx.par with Some p -> build_fan p.par_domains | None -> 1
+        in
+        radix := Some (Radix.build_par ~domains:bdomains !ikey_vec)
       | Some _, None ->
         VH.reset table;
         let ks = !keys in
@@ -1111,13 +1471,14 @@ and compile_join ctx ~kind ~algo ~left ~right ~left_key ~right_key ~pred =
     in
     match share with
     | Some (p, _) ->
-      (* template: the build phase runs once, serially, before fan-out *)
+      (* template: the build phase runs once, before fan-out (in parallel
+         itself when the build side can fan out) *)
       p.par_builds := build :: !(p.par_builds);
-      fun () -> left_runner ()
+      fun () -> Counters.time Counters.Probe left_runner
     | None ->
       fun () ->
-        build ();
-        left_runner ()
+        Counters.time Counters.Build build;
+        Counters.time Counters.Probe left_runner
 
 (* A probe-only join instance for workers > 0: re-register the build-side
    bindings over the template's materialized columns (with a private row
@@ -1130,8 +1491,30 @@ and compile_join_probe ctx (sj : shared_join) ~left =
     (fun (b, cols) ->
       Hashtbl.replace ctx.cenv b (Exprc.Row_repr (cols, m_cur, null_row)))
     sj.sj_cols;
-  let run_left = compile ctx left in
-  let left_key = Option.map (Exprc.compile ctx.cenv) sj.sj_left_key in
+  (* same probe-lane choice as the template: batch probe when the spine is
+     a batchable fragment and the key sits in the int lane *)
+  let left_lane =
+    match ctx.batch, sj.sj_left_key, sj.sj_mode with
+    | Some bs, Some lk, `Radix -> (
+      match compile_bfrag ctx left with
+      | Some frag -> (
+        match Exprc.compile ctx.cenv lk with
+        | Exprc.C_int _ as c -> (
+          match
+            Exprc.batch_int_fill ctx.cenv ~batch_size:bs
+              ~seek:frag.bf_src.Source.seek lk
+          with
+          | Some (kbuf, kfill) -> `Batch (bs, frag, kbuf, kfill, c)
+          | None -> `Spill (bs, frag, c))
+        | c -> `Spill (bs, frag, c))
+      | None -> `Tuple (compile ctx left))
+    | _ -> `Tuple (compile ctx left)
+  in
+  let left_key =
+    match left_lane with
+    | `Batch (_, _, _, _, c) | `Spill (_, _, c) -> Some c
+    | `Tuple _ -> Option.map (Exprc.compile ctx.cenv) sj.sj_left_key
+  in
   let pred_c =
     match sj.sj_residual with
     | Expr.Const (Value.Bool true) -> None
@@ -1139,12 +1522,25 @@ and compile_join_probe ctx (sj : shared_join) ~left =
   in
   fun consumer ->
     let emit = make_emit ~pred_c ~m_cur ~consumer in
-    let probe_consumer =
+    let probe_consumer () =
       join_probe ~kind:sj.sj_kind ~mode:sj.sj_mode ~left_key ~rows:sj.sj_rows
         ~radix:sj.sj_radix ~table:sj.sj_table ~null_row ~emit ~consumer
     in
-    let left_runner = run_left probe_consumer in
-    fun () -> left_runner ()
+    let left_runner =
+      match left_lane with
+      | `Tuple run_left -> run_left (probe_consumer ())
+      | `Spill (bs, frag, _) -> bfrag_spill ctx frag ~bs (probe_consumer ())
+      | `Batch (bs, frag, kbuf, kfill, _) ->
+        count_lane ctx Counters.add_lanes_batch;
+        let probe =
+          batch_probe_sink ~kind:sj.sj_kind ~radix:sj.sj_radix ~kbuf
+            ~seek:frag.bf_src.Source.seek ~null_row ~emit ~consumer
+        in
+        bfrag_driver ctx frag ~bs (fun ~base ~sel ~n ->
+            kfill ~base ~sel ~n;
+            probe ~base ~sel ~n)
+    in
+    fun () -> Counters.time Counters.Probe left_runner
 
 (* Sort materializes the whole record of every binding it carries, so those
    bindings' producers must be able to reconstruct full values. *)
@@ -1270,7 +1666,7 @@ let prepare_with (ctx : ctx) (plan : Plan.t) : unit -> Value.t =
         | [ s ] -> s
         | ss -> fun ~base ~sel ~n -> List.iter (fun s -> s ~base ~sel ~n) ss
       in
-      bfrag_driver ctx frag ~bs sink ();
+      Counters.time Counters.Scan (bfrag_driver ctx frag ~bs sink);
       (match instances with
       | [ (_, i) ] -> i.bvalue ()
       | many ->
@@ -1278,6 +1674,7 @@ let prepare_with (ctx : ctx) (plan : Plan.t) : unit -> Value.t =
   | Plan.Reduce { monoid_output; pred; input } ->
     let run_input = compile ctx input in
     let pred_c = Exprc.to_pred (Exprc.compile cenv pred) in
+    let has_join = plan_has_join input in
     let factories =
       List.map
         (fun (a : Plan.agg) ->
@@ -1292,13 +1689,14 @@ let prepare_with (ctx : ctx) (plan : Plan.t) : unit -> Value.t =
         | [ s ] -> fun () -> if pred_c () then s ()
         | ss -> fun () -> if pred_c () then List.iter (fun s -> s ()) ss
       in
-      (run_input consumer) ();
+      drive_phase has_join (run_input consumer);
       (match instances with
       | [ (_, i) ] -> i.value ()
       | many -> Value.record (List.map (fun (n, (i : Agg.instance)) -> (n, i.value ())) many))
   | _ ->
     let run = compile ctx plan in
     let visible = Plan.bindings plan in
+    let has_join = plan_has_join plan in
     let getters =
       List.map (fun b -> (b, Exprc.to_val (Exprc.compile cenv (Expr.Var b)))) visible
     in
@@ -1309,7 +1707,7 @@ let prepare_with (ctx : ctx) (plan : Plan.t) : unit -> Value.t =
     in
     fun () ->
       let rows = ref [] in
-      (run (fun () -> rows := shape () :: !rows)) ();
+      drive_phase has_join (run (fun () -> rows := shape () :: !rows));
       Value.bag (List.rev !rows)
 
 let prepare ?(batch_size = default_batch_size) (reg : Registry.t) (plan : Plan.t) :
@@ -1342,46 +1740,6 @@ let execute ?batch_size reg plan = prepare ?batch_size reg plan ()
    Per-morsel partial states are merged on the calling domain in morsel
    order, so results do not depend on which worker ran which morsel. *)
 
-(* What drives the fan-out: the row count the dispenser carves into
-   morsels, plus the pre-resolved sigma-cache decision for a driving
-   select-over-scan (resolved once so all instances agree and the cache's
-   statistics tick once per query, as in the serial engine). *)
-type drive = {
-  dr_count : int;
-  dr_select : (Cache_iface.packed * Expr.t option) option;
-}
-
-(* Walk the spine to the driving scan. [None] means this sub-plan cannot
-   fan out: a breaker sits on the spine, or the scan would fill cache
-   columns as a side effect (a morsel range cannot produce a complete
-   column — the query runs serially once and parallelizes when warm). *)
-let rec spine_drive (actx : ctx) (p : Plan.t) : drive option =
-  match p with
-  | Plan.Select { pred; input = Plan.Scan { dataset; binding; _ }; _ }
-    when select_paths actx binding <> None -> (
-    let paths = Option.get (select_paths actx binding) in
-    match lookup_select_memo actx ~dataset ~binding ~pred ~paths with
-    | Some (packed, residual) ->
-      Some { dr_count = packed.Cache_iface.length; dr_select = Some (packed, residual) }
-    | None ->
-      if select_cache_should_store actx ~dataset ~binding then None
-      else drive_scan actx ~dataset ~binding)
-  | Plan.Scan { dataset; binding; _ } -> drive_scan actx ~dataset ~binding
-  | Plan.Select { input; _ } | Plan.Project { input; _ } | Plan.Unnest { input; _ } ->
-    spine_drive actx input
-  | Plan.Join { left; _ } -> spine_drive actx left
-  | Plan.Nest _ | Plan.Sort _ | Plan.Reduce _ -> None
-
-and drive_scan actx ~dataset ~binding =
-  let required =
-    match List.assoc_opt binding actx.required with
-    | Some (`Paths ps) -> ps
-    | Some `Whole | None -> []
-  in
-  let scan = Registry.scan actx.reg ~dataset ~required in
-  if scan.Registry.sc_fills then None
-  else Some { dr_count = scan.Registry.sc_count; dr_select = None }
-
 (* The pipeline breaker closest to the driving scan; everything below it
    streams and can fan out, everything above it runs serially over the
    merged stream. *)
@@ -1393,60 +1751,6 @@ let rec bottom_breaker (p : Plan.t) : Plan.t option =
   | Plan.Join { left; _ } -> bottom_breaker left
   | Plan.Nest { input; _ } | Plan.Sort { input; _ } | Plan.Reduce { input; _ } -> (
     match bottom_breaker input with Some b -> Some b | None -> Some p)
-
-(* Compile [domains] pipeline instances of [subplan] — worker 0 first: the
-   template compiles join build sides and publishes their state for the
-   probe-only instances. [finish w ctx par compiled] extracts whatever the
-   caller needs from each instance. Returns the instances plus the per-run
-   fleet driver: rearm the dispenser, stage the template (registering the
-   run's build phases), run the builds serially, stage the workers, fan
-   out. *)
-let compile_instances reg required ~batch ~domains ~(drive : drive) subplan ~stage
-    ~finish =
-  let disp = Pool.Dispenser.create () in
-  let builds = ref [] in
-  let joins : (int, shared_join) Hashtbl.t = Hashtbl.create 4 in
-  let mk w =
-    let p =
-      {
-        par_worker = w;
-        par_spine = true;
-        par_disp = disp;
-        par_morsel = ref 0;
-        par_joins = joins;
-        par_join_ctr = ref 0;
-        par_builds = builds;
-        par_select = drive.dr_select;
-      }
-    in
-    let ctx =
-      {
-        reg;
-        cenv = Hashtbl.create 16;
-        required;
-        par = Some p;
-        batch;
-        sel_memo = Hashtbl.create 4;
-        splice = None;
-      }
-    in
-    let compiled = stage ctx subplan in
-    finish ctx p compiled
-  in
-  let template = mk 0 in
-  let instances = Array.init domains (fun w -> if w = 0 then template else mk w) in
-  let run_fleet wire =
-    Pool.Dispenser.reset disp ~total:drive.dr_count ~workers:domains;
-    builds := [];
-    let runners = Array.make domains (fun () -> ()) in
-    runners.(0) <- wire 0 instances.(0);
-    List.iter (fun b -> b ()) (List.rev !builds);
-    for w = 1 to domains - 1 do
-      runners.(w) <- wire w instances.(w)
-    done;
-    Pool.run ~domains (fun w -> runners.(w) ())
-  in
-  (instances, disp, run_fleet)
 
 (* Root Reduce over primitive monoids: every morsel folds into its own
    accumulator set; partials merge in morsel order (deterministic for any
@@ -1466,6 +1770,7 @@ let par_reduce reg required ~batch ~domains ~(drive : drive) ~monoid_output ~pre
         (compiled, pred_c, factories, p))
   in
   let _, _, factories0, _ = instances.(0) in
+  let has_join = plan_has_join input in
   fun () ->
     let all = Array.make domains [||] in
     let wire w (run_input, pred_c, factories, (p : par)) =
@@ -1490,25 +1795,26 @@ let par_reduce reg required ~batch ~domains ~(drive : drive) ~monoid_output ~pre
       in
       run_input consumer
     in
-    run_fleet wire;
+    drive_phase has_join (fun () -> run_fleet wire);
     let nm = Pool.Dispenser.morsels disp in
     let merged = ref None in
-    for mi = 0 to nm - 1 do
-      for w = 0 to domains - 1 do
-        match all.(w).(mi) with
-        | None -> ()
-        | Some insts ->
-          let parts = List.map (fun (i : Agg.instance) -> i.partial ()) insts in
-          merged :=
-            Some
-              (match !merged with
-              | None -> parts
-              | Some acc ->
-                List.map2
-                  (fun m (a, b) -> Agg.merge m a b)
-                  monoids (List.combine acc parts))
-      done
-    done;
+    Counters.time Counters.Merge (fun () ->
+        for mi = 0 to nm - 1 do
+          for w = 0 to domains - 1 do
+            match all.(w).(mi) with
+            | None -> ()
+            | Some insts ->
+              let parts = List.map (fun (i : Agg.instance) -> i.partial ()) insts in
+              merged :=
+                Some
+                  (match !merged with
+                  | None -> parts
+                  | Some acc ->
+                    List.map2
+                      (fun m (a, b) -> Agg.merge m a b)
+                      monoids (List.combine acc parts))
+          done
+        done);
     let finals =
       match !merged with
       | Some parts -> List.map2 Agg.finalize monoids parts
@@ -1588,25 +1894,26 @@ let par_batch_reduce reg required ~batch:bs ~domains ~(drive : drive) ~monoid_ou
       in
       bfrag_driver ctx frag ~bs sink
     in
-    run_fleet wire;
+    Counters.time Counters.Scan (fun () -> run_fleet wire);
     let nm = Pool.Dispenser.morsels disp in
     let merged = ref None in
-    for mi = 0 to nm - 1 do
-      for w = 0 to domains - 1 do
-        match all.(w).(mi) with
-        | None -> ()
-        | Some insts ->
-          let parts = List.map (fun (i : Agg.binstance) -> i.bpartial ()) insts in
-          merged :=
-            Some
-              (match !merged with
-              | None -> parts
-              | Some acc ->
-                List.map2
-                  (fun m (a, b) -> Agg.merge m a b)
-                  monoids (List.combine acc parts))
-      done
-    done;
+    Counters.time Counters.Merge (fun () ->
+        for mi = 0 to nm - 1 do
+          for w = 0 to domains - 1 do
+            match all.(w).(mi) with
+            | None -> ()
+            | Some insts ->
+              let parts = List.map (fun (i : Agg.binstance) -> i.bpartial ()) insts in
+              merged :=
+                Some
+                  (match !merged with
+                  | None -> parts
+                  | Some acc ->
+                    List.map2
+                      (fun m (a, b) -> Agg.merge m a b)
+                      monoids (List.combine acc parts))
+          done
+        done);
     let finals =
       match !merged with
       | Some parts -> List.map2 Agg.finalize monoids parts
@@ -1628,6 +1935,7 @@ let par_collect_reduce reg required ~batch ~domains ~(drive : drive) ~coll
         let get = Exprc.to_val (Exprc.compile ctx.cenv agg.expr) in
         (compiled, pred_c, get, p))
   in
+  let has_join = plan_has_join input in
   fun () ->
     let all = Array.make domains [||] in
     let wire w (run_input, pred_c, get, (p : par)) =
@@ -1637,14 +1945,15 @@ let par_collect_reduce reg required ~batch ~domains ~(drive : drive) ~coll
       let consumer () = if pred_c () then buckets.(!m) <- get () :: buckets.(!m) in
       run_input consumer
     in
-    run_fleet wire;
+    drive_phase has_join (fun () -> run_fleet wire);
     let nm = Pool.Dispenser.morsels disp in
     let out = ref [] in
-    for mi = nm - 1 downto 0 do
-      for w = domains - 1 downto 0 do
-        List.iter (fun v -> out := v :: !out) all.(w).(mi)
-      done
-    done;
+    Counters.time Counters.Merge (fun () ->
+        for mi = nm - 1 downto 0 do
+          for w = domains - 1 downto 0 do
+            List.iter (fun v -> out := v :: !out) all.(w).(mi)
+          done
+        done);
     Monoid.collect coll !out
 
 (* Parallelism substitution for a streaming sub-plan under a serial
@@ -1665,6 +1974,7 @@ let buffered_splice reg required ~batch ~domains ~(drive : drive) subplan
   in
   let regs = List.map (fun b -> (b, ref Value.Null)) visible in
   List.iter (fun (b, r) -> Hashtbl.replace serial_cenv b (Exprc.Boxed_repr r)) regs;
+  let has_join = plan_has_join subplan in
   fun consumer () ->
     let all = Array.make domains [||] in
     let wire w (run_input, getters, (p : par)) =
@@ -1674,30 +1984,37 @@ let buffered_splice reg required ~batch ~domains ~(drive : drive) subplan
       let push () = buckets.(!m) <- List.map (fun g -> g ()) getters :: buckets.(!m) in
       run_input push
     in
-    run_fleet wire;
+    drive_phase has_join (fun () -> run_fleet wire);
     let nm = Pool.Dispenser.morsels disp in
-    for mi = 0 to nm - 1 do
-      for w = 0 to domains - 1 do
-        List.iter
-          (fun row ->
-            List.iter2 (fun (_, r) v -> r := v) regs row;
-            consumer ())
-          (List.rev all.(w).(mi))
-      done
-    done
+    Counters.time Counters.Merge (fun () ->
+        for mi = 0 to nm - 1 do
+          for w = 0 to domains - 1 do
+            List.iter
+              (fun row ->
+                List.iter2 (fun (_, r) v -> r := v) regs row;
+                consumer ())
+              (List.rev all.(w).(mi))
+          done
+        done)
 
 (* Parallelism substitution at a Nest over primitive monoids (the GROUP BY
-   breaker): every morsel grows its own group table; tables merge per key
-   in morsel order, and the merged groups emit sorted by key — an order
-   that is deterministic for any domain count (the serial engine emits in
-   first-encounter order instead; group-by output order carries no
-   contract). *)
+   breaker): partitioned parallel group-by. Each domain scans one static
+   contiguous chunk of the input into a single persistent group table it
+   reuses across its whole range — no per-morsel table churn, no per-morsel
+   re-merge — and the per-domain tables merge once, at pipeline end, in
+   domain order; the merged groups emit sorted by key. Static chunks make
+   the worker-to-rows mapping deterministic at a fixed domain count, so a
+   given (data, domains) pair always folds in the same association (the
+   serial engine emits in first-encounter order instead; group-by output
+   order carries no contract). *)
 let nest_splice reg required ~batch ~domains ~(drive : drive) ~keys ~aggs ~pred ~binding
     input ~(serial_cenv : Exprc.cenv) () =
   let monoids = List.map (fun (a : Plan.agg) -> a.monoid) aggs in
   let names = List.map (fun (a : Plan.agg) -> a.agg_name) aggs in
-  let instances, disp, run_fleet =
-    compile_instances reg required ~batch ~domains ~drive input ~stage:compile
+  let has_join = plan_has_join input in
+  let instances, _disp, run_fleet =
+    compile_instances reg required ~batch ~domains ~static:true ~drive input
+      ~stage:compile
       ~finish:(fun ctx p compiled ->
         let pred_c = Exprc.to_pred (Exprc.compile ctx.cenv pred) in
         let ckeys = List.map (fun (n, e) -> (n, Exprc.compile ctx.cenv e)) keys in
@@ -1731,29 +2048,21 @@ let nest_splice reg required ~batch ~domains ~(drive : drive) ~keys ~aggs ~pred 
     if int_key then begin
       let kname = match keys with [ (n, _) ] -> n | _ -> assert false in
       fun () ->
-        let all = Array.make domains [||] in
-        let wire w (run_input, pred_c, ckeys, factories, (p : par)) =
+        let tables : (int, Agg.instance list) Hashtbl.t array =
+          Array.init domains (fun _ -> Hashtbl.create 64)
+        in
+        let wire w (run_input, pred_c, ckeys, factories, (_ : par)) =
           let kget = match ckeys with [ (_, Exprc.C_int g) ] -> g | _ -> assert false in
-          let buckets = Array.make (Pool.Dispenser.morsels disp) None in
-          all.(w) <- buckets;
-          let cur = ref (-1) in
-          let cur_tbl : (int, Agg.instance list) Hashtbl.t ref = ref (Hashtbl.create 1) in
+          let tbl = tables.(w) in
           let consumer () =
             if pred_c () then begin
-              let mi = !(p.par_morsel) in
-              if !cur <> mi then begin
-                cur := mi;
-                let t = Hashtbl.create 16 in
-                buckets.(mi) <- Some t;
-                cur_tbl := t
-              end;
               let k = kget () in
               let insts =
-                match Hashtbl.find_opt !cur_tbl k with
+                match Hashtbl.find_opt tbl k with
                 | Some insts -> insts
                 | None ->
                   let insts = List.map (fun f -> f ()) factories in
-                  Hashtbl.add !cur_tbl k insts;
+                  Hashtbl.add tbl k insts;
                   Counters.add_materialized 1;
                   insts
               in
@@ -1762,52 +2071,39 @@ let nest_splice reg required ~batch ~domains ~(drive : drive) ~keys ~aggs ~pred 
           in
           run_input consumer
         in
-        run_fleet wire;
-        let nm = Pool.Dispenser.morsels disp in
+        drive_phase has_join (fun () -> run_fleet wire);
         let merged : (int, Value.t list) Hashtbl.t = Hashtbl.create 64 in
-        for mi = 0 to nm - 1 do
-          for w = 0 to domains - 1 do
-            match all.(w).(mi) with
-            | None -> ()
-            | Some tbl ->
+        Counters.time Counters.Merge (fun () ->
+            for w = 0 to domains - 1 do
               Hashtbl.iter
                 (fun k insts ->
                   let parts = partials insts in
                   match Hashtbl.find_opt merged k with
                   | None -> Hashtbl.replace merged k parts
                   | Some acc -> Hashtbl.replace merged k (merge_parts acc parts))
-                tbl
-          done
-        done;
+                tables.(w)
+            done);
         let ks = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) merged []) in
         List.iter (fun k -> emit [ (kname, Value.Int k) ] (Hashtbl.find merged k)) ks
     end
     else
       fun () ->
-        let all = Array.make domains [||] in
-        let wire w (run_input, pred_c, ckeys, factories, (p : par)) =
+        let tables : (Value.t list * Agg.instance list) VH.t array =
+          Array.init domains (fun _ -> VH.create 64)
+        in
+        let wire w (run_input, pred_c, ckeys, factories, (_ : par)) =
           let key_getters = List.map (fun (_, c) -> Exprc.to_val c) ckeys in
-          let buckets = Array.make (Pool.Dispenser.morsels disp) None in
-          all.(w) <- buckets;
-          let cur = ref (-1) in
-          let cur_tbl : (Value.t list * Agg.instance list) VH.t ref = ref (VH.create 1) in
+          let tbl = tables.(w) in
           let consumer () =
             if pred_c () then begin
-              let mi = !(p.par_morsel) in
-              if !cur <> mi then begin
-                cur := mi;
-                let t = VH.create 16 in
-                buckets.(mi) <- Some t;
-                cur_tbl := t
-              end;
               let kvs = List.map (fun g -> g ()) key_getters in
               let key = Value.Coll (Ptype.List, kvs) in
               let _, insts =
-                match VH.find_opt !cur_tbl key with
+                match VH.find_opt tbl key with
                 | Some cell -> cell
                 | None ->
                   let cell = (kvs, List.map (fun f -> f ()) factories) in
-                  VH.add !cur_tbl key cell;
+                  VH.add tbl key cell;
                   Counters.add_materialized (List.length kvs);
                   cell
               in
@@ -1816,23 +2112,18 @@ let nest_splice reg required ~batch ~domains ~(drive : drive) ~keys ~aggs ~pred 
           in
           run_input consumer
         in
-        run_fleet wire;
-        let nm = Pool.Dispenser.morsels disp in
+        drive_phase has_join (fun () -> run_fleet wire);
         let merged : (Value.t list * Value.t list) VH.t = VH.create 64 in
-        for mi = 0 to nm - 1 do
-          for w = 0 to domains - 1 do
-            match all.(w).(mi) with
-            | None -> ()
-            | Some tbl ->
+        Counters.time Counters.Merge (fun () ->
+            for w = 0 to domains - 1 do
               VH.iter
                 (fun key (kvs, insts) ->
                   let parts = partials insts in
                   match VH.find_opt merged key with
                   | None -> VH.replace merged key (kvs, parts)
                   | Some (_, acc) -> VH.replace merged key (kvs, merge_parts acc parts))
-                tbl
-          done
-        done;
+                tables.(w)
+            done);
         let groups = VH.fold (fun key _ acc -> key :: acc) merged [] in
         let groups = List.sort Value.compare groups in
         List.iter

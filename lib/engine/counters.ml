@@ -8,7 +8,13 @@ type snapshot = {
   batch_selected : int;
   lanes_batch : int;
   lanes_tuple : int;
+  scan_ns : int;
+  build_ns : int;
+  probe_ns : int;
+  merge_ns : int;
 }
+
+type phase = Scan | Build | Probe | Merge
 
 (* Domain-safe counters: one atomic cell per (hashed) domain id, summed at
    snapshot time. Each worker domain lands on its own cell in the common
@@ -30,6 +36,10 @@ let batch_rows = make_counter ()
 let batch_selected = make_counter ()
 let lanes_batch = make_counter ()
 let lanes_tuple = make_counter ()
+let scan_ns = make_counter ()
+let build_ns = make_counter ()
+let probe_ns = make_counter ()
+let merge_ns = make_counter ()
 
 let slot () = (Domain.self () :> int) land (slots - 1)
 
@@ -48,7 +58,11 @@ let reset () =
   zero batch_rows;
   zero batch_selected;
   zero lanes_batch;
-  zero lanes_tuple
+  zero lanes_tuple;
+  zero scan_ns;
+  zero build_ns;
+  zero probe_ns;
+  zero merge_ns
 
 let snapshot () =
   {
@@ -61,6 +75,10 @@ let snapshot () =
     batch_selected = total batch_selected;
     lanes_batch = total lanes_batch;
     lanes_tuple = total lanes_tuple;
+    scan_ns = total scan_ns;
+    build_ns = total build_ns;
+    probe_ns = total probe_ns;
+    merge_ns = total merge_ns;
   }
 
 let add_tuples n = add tuples n
@@ -73,13 +91,37 @@ let add_batch_selected n = add batch_selected n
 let add_lanes_batch n = add lanes_batch n
 let add_lanes_tuple n = add lanes_tuple n
 
+let phase_counter = function
+  | Scan -> scan_ns
+  | Build -> build_ns
+  | Probe -> probe_ns
+  | Merge -> merge_ns
+
+let add_phase_ns ph n = add (phase_counter ph) n
+
+(* Per-phase wall clock, cumulative across domains: a span timed on two
+   domains at once contributes twice, so sums can exceed elapsed time on a
+   parallel run — they answer "where did the work go", not "how long did
+   the query take". Exceptions propagate with the partial span recorded. *)
+let time ph f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      add_phase_ns ph (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9)))
+    f
+
 let selection_density s =
   if s.batch_rows = 0 then 1.
   else float_of_int s.batch_selected /. float_of_int s.batch_rows
+
+let ms ns = float_of_int ns /. 1e6
 
 let pp ppf s =
   Fmt.pf ppf
     "tuples=%d dispatches=%d materialized=%d branches=%d batches=%d \
      batch-rows=%d batch-selected=%d (density %.3f) lanes: %d batch / %d tuple"
     s.tuples s.dispatches s.materialized s.branch_points s.batches s.batch_rows
-    s.batch_selected (selection_density s) s.lanes_batch s.lanes_tuple
+    s.batch_selected (selection_density s) s.lanes_batch s.lanes_tuple;
+  if s.scan_ns + s.build_ns + s.probe_ns + s.merge_ns > 0 then
+    Fmt.pf ppf " phases[ms]: scan=%.2f build=%.2f probe=%.2f merge=%.2f"
+      (ms s.scan_ns) (ms s.build_ns) (ms s.probe_ns) (ms s.merge_ns)

@@ -24,7 +24,17 @@ type snapshot = {
   batch_selected : int;  (** rows surviving batch-lane filters *)
   lanes_batch : int;     (** pipeline fragments compiled to the batch lane *)
   lanes_tuple : int;     (** pipelines driven tuple-at-a-time *)
+  scan_ns : int;         (** wall clock driving join-free pipelines *)
+  build_ns : int;        (** wall clock in join builds (materialize + cluster) *)
+  probe_ns : int;        (** wall clock driving the probe side of joins *)
+  merge_ns : int;        (** wall clock merging parallel partials / replays *)
 }
+
+(** Coarse execution phases for wall-clock attribution. [Scan] is pipeline
+    driving with no join on the pipeline; [Probe] is the probe-side drive of
+    a join-bearing pipeline (its scan time counts as probe); [Build] is join
+    build work; [Merge] is partial-result merging and buffered replay. *)
+type phase = Scan | Build | Probe | Merge
 
 val reset : unit -> unit
 val snapshot : unit -> snapshot
@@ -38,6 +48,13 @@ val add_batch_rows : int -> unit
 val add_batch_selected : int -> unit
 val add_lanes_batch : int -> unit
 val add_lanes_tuple : int -> unit
+val add_phase_ns : phase -> int -> unit
+
+(** [time ph f] runs [f ()] and adds its wall-clock duration to phase [ph].
+    Phase times are cumulative across domains (two domains timing the same
+    phase concurrently both contribute), and nested spans each record their
+    full extent — read them as attribution, not elapsed time. *)
+val time : phase -> (unit -> 'a) -> 'a
 
 (** Average selection density of batch-lane batches
     ([batch_selected / batch_rows]; 1.0 when no batches ran). *)

@@ -583,3 +583,21 @@ let rec compile_batch (cenv : cenv) ~batch_size (e : Expr.t) : bcompiled option 
     | Expr.If _ | Expr.Record_ctor _ | Expr.Coll_ctor _ ->
       (* conditionals, null tests and constructors keep the scalar lane *)
       None)
+
+(* Batch join-probe support: stage an integer join-key expression as a
+   (buffer, kernel) pair so the probe loop can fill a whole key array per
+   batch (native [Access.fill_int] when the plug-in has one). When no batch
+   kernel applies but the scalar lane yields a typed int closure, a
+   seek-then-eval shim keeps the probe batched anyway. *)
+let batch_int_fill (cenv : cenv) ~batch_size ~(seek : int -> unit) (e : Expr.t) :
+    (int array * bkernel) option =
+  match compile_batch cenv ~batch_size e with
+  | Some (B_int (buf, k)) -> Some (buf, k)
+  | Some _ -> None
+  | None -> (
+    match compile cenv e with
+    | C_int g ->
+      let buf = Array.make batch_size 0 in
+      let fill = shim_fill seek g in
+      Some (buf, fun ~base ~sel ~n -> fill base buf ~sel ~n)
+    | _ | (exception Perror.Plan_error _) -> None)

@@ -76,6 +76,15 @@ val compile_batch : cenv -> batch_size:int -> Expr.t -> bcompiled option
     without native fills serve the batch lane. *)
 val shim_fill : (int -> unit) -> (unit -> 'a) -> 'a Access.fill
 
+(** [batch_int_fill cenv ~batch_size ~seek e] stages an integer join-key
+    expression for the batch probe: a key buffer plus the kernel that fills
+    it for the selected lanes (via {!compile_batch} when possible, else a
+    [seek]-then-eval shim over the typed scalar closure). [None] when [e]
+    is not statically an int. *)
+val batch_int_fill :
+  cenv -> batch_size:int -> seek:(int -> unit) -> Expr.t ->
+  (int array * bkernel) option
+
 (** [path_of e] decomposes [e] into a variable and a dotted path when it is
     a pure path expression ([x.a.b] → [Some ("x", "a.b")], [x] →
     [Some ("x", "")]). *)

@@ -125,6 +125,20 @@ let run ~domains f =
         | None -> ())
   end
 
+(* Static partitioning: worker [k] of [parts] owns the contiguous row range
+   [chunk ~total ~parts k). Unlike the dispenser there is no load balancing,
+   but the assignment is a pure function of (total, parts, k) — the
+   partitioned group-by and the parallel radix build use it so that which
+   rows a domain folds is deterministic, independent of scheduling. *)
+let chunk ~total ~parts k =
+  if parts <= 1 then if k = 0 then (0, total) else (total, total)
+  else begin
+    let base = total / parts and rem = total mod parts in
+    let lo = (k * base) + min k rem in
+    let len = base + if k < rem then 1 else 0 in
+    (lo, lo + len)
+  end
+
 (* The morsel dispenser: an atomic cursor over [0, total), handed out in
    fixed-size chunks. Every worker pulls the next morsel when it finishes
    its current one, so faster workers naturally take more of the input. *)

@@ -16,6 +16,14 @@ val run : domains:int -> (int -> unit) -> unit
     tests may call it directly). The pool respawns on the next [run]. *)
 val shutdown : unit -> unit
 
+(** [chunk ~total ~parts k] is the half-open contiguous range [lo, hi) owned
+    by worker [k] when [0, total) is split statically into [parts] chunks of
+    near-equal size (the first [total mod parts] chunks get one extra row).
+    A pure function of its arguments — the partitioned group-by and the
+    parallel radix build rely on the assignment being independent of
+    scheduling. [k >= parts] yields an empty range. *)
+val chunk : total:int -> parts:int -> int -> int * int
+
 (** The morsel dispenser: an [Atomic] cursor over a row range [0, total),
     handed out in fixed-size morsels. Workers pull the next morsel as they
     finish their current one, so load balances without work queues. *)

@@ -13,16 +13,38 @@ let hash_of key = key * 0x1F9D25E8C1E95A4D land max_int
 
 let partition_of t key = hash_of key lsr (62 - t.bits) land ((1 lsl t.bits) - 1)
 
+let pick_bits bits n =
+  match bits with
+  | Some b -> b
+  | None ->
+    (* aim for partitions of ~256 entries, within [2, 12] bits *)
+    let rec fit b = if b >= 12 || n lsr b <= 256 then b else fit (b + 1) in
+    fit 2
+
+(* order each partition in [plo, phi) so equal keys are adjacent (stable on
+   row id so matches stream in input order) *)
+let sort_partitions ~bounds ~ckeys ~crows ~plo ~phi =
+  for p = plo to phi - 1 do
+    let lo = bounds.(p) and hi = bounds.(p + 1) in
+    let len = hi - lo in
+    if len > 1 then begin
+      let idx = Array.init len (fun i -> lo + i) in
+      Array.sort
+        (fun a b ->
+          match Int.compare ckeys.(a) ckeys.(b) with
+          | 0 -> Int.compare crows.(a) crows.(b)
+          | c -> c)
+        idx;
+      let tk = Array.map (fun i -> ckeys.(i)) idx in
+      let tr = Array.map (fun i -> crows.(i)) idx in
+      Array.blit tk 0 ckeys lo len;
+      Array.blit tr 0 crows lo len
+    end
+  done
+
 let build ?bits keys =
   let n = Array.length keys in
-  let bits =
-    match bits with
-    | Some b -> b
-    | None ->
-      (* aim for partitions of ~256 entries, within [2, 12] bits *)
-      let rec fit b = if b >= 12 || n lsr b <= 256 then b else fit (b + 1) in
-      fit 2
-  in
+  let bits = pick_bits bits n in
   let nparts = 1 lsl bits in
   let shift = 62 - bits in
   let part key = hash_of key lsr shift land (nparts - 1) in
@@ -46,26 +68,65 @@ let build ?bits keys =
     crows.(at) <- i;
     cursor.(p) <- at + 1
   done;
-  (* order each partition so equal keys are adjacent (stable on row id so
-     matches stream in input order) *)
-  for p = 0 to nparts - 1 do
-    let lo = bounds.(p) and hi = bounds.(p + 1) in
-    let len = hi - lo in
-    if len > 1 then begin
-      let idx = Array.init len (fun i -> lo + i) in
-      Array.sort
-        (fun a b ->
-          match Int.compare ckeys.(a) ckeys.(b) with
-          | 0 -> Int.compare crows.(a) crows.(b)
-          | c -> c)
-        idx;
-      let tk = Array.map (fun i -> ckeys.(i)) idx in
-      let tr = Array.map (fun i -> crows.(i)) idx in
-      Array.blit tk 0 ckeys lo len;
-      Array.blit tr 0 crows lo len
-    end
-  done;
+  sort_partitions ~bounds ~ckeys ~crows ~plo:0 ~phi:nparts;
   { bits; keys = ckeys; rows = crows; bounds }
+
+(* Partitioned parallel build. Each domain owns a static contiguous chunk of
+   the input: pass 1 takes a private histogram per domain, a serial prefix
+   sum then reserves a disjoint sub-range per (partition, domain) — domain
+   order within each partition — and pass 2 scatters without any
+   synchronization. Because chunks and sub-ranges are both laid out in
+   ascending row order, the clustered arrays come out identical to the
+   serial build even before the per-partition sort; the sort (a total order
+   on (key, row)) then guarantees it regardless. *)
+let build_par ?bits ~domains keys =
+  let n = Array.length keys in
+  if domains <= 1 || n < 2 * domains then build ?bits keys
+  else begin
+    let bits = pick_bits bits n in
+    let nparts = 1 lsl bits in
+    let shift = 62 - bits in
+    let part key = hash_of key lsr shift land (nparts - 1) in
+    (* pass 1: per-domain histograms over static chunks *)
+    let hists = Array.init domains (fun _ -> Array.make nparts 0) in
+    Pool.run ~domains (fun w ->
+        let lo, hi = Pool.chunk ~total:n ~parts:domains w in
+        let h = hists.(w) in
+        for i = lo to hi - 1 do
+          let p = part keys.(i) in
+          h.(p) <- h.(p) + 1
+        done);
+    (* serial prefix sum: partition bounds plus per-(domain, partition)
+       scatter cursors *)
+    let bounds = Array.make (nparts + 1) 0 in
+    let starts = Array.make_matrix domains nparts 0 in
+    let acc = ref 0 in
+    for p = 0 to nparts - 1 do
+      bounds.(p) <- !acc;
+      for w = 0 to domains - 1 do
+        starts.(w).(p) <- !acc;
+        acc := !acc + hists.(w).(p)
+      done
+    done;
+    bounds.(nparts) <- !acc;
+    (* pass 2: parallel scatter into disjoint sub-ranges *)
+    let ckeys = Array.make n 0 and crows = Array.make n 0 in
+    Pool.run ~domains (fun w ->
+        let lo, hi = Pool.chunk ~total:n ~parts:domains w in
+        let cur = starts.(w) in
+        for i = lo to hi - 1 do
+          let p = part keys.(i) in
+          let at = cur.(p) in
+          ckeys.(at) <- keys.(i);
+          crows.(at) <- i;
+          cur.(p) <- at + 1
+        done);
+    (* parallel per-partition sort: partitions are independent ranges *)
+    Pool.run ~domains (fun w ->
+        let plo, phi = Pool.chunk ~total:nparts ~parts:domains w in
+        sort_partitions ~bounds ~ckeys ~crows ~plo ~phi);
+    { bits; keys = ckeys; rows = crows; bounds }
+  end
 
 let iter t key ~f =
   let p = partition_of t key in

@@ -14,6 +14,17 @@ type t
 (** [build keys] indexes [keys.(row) = key] for all rows. *)
 val build : ?bits:int -> int array -> t
 
+(** [build_par ~domains keys] is [build keys] computed with a partitioned
+    parallel plan over the worker {!Pool}: per-domain histograms over static
+    contiguous chunks, a serial prefix sum reserving disjoint
+    per-(domain, partition) sub-ranges, a synchronization-free parallel
+    scatter, and a parallel per-partition sort. The result is structurally
+    identical to the serial build — the final (key, row) sort is a total
+    order, so any scatter order canonicalizes to the same layout.
+    [domains <= 1] falls back to {!build}. Must not be called from inside a
+    [Pool.run] job (runs are serialized on a global lock). *)
+val build_par : ?bits:int -> domains:int -> int array -> t
+
 (** [iter t key ~f] calls [f row] for every row whose key equals [key]. *)
 val iter : t -> int -> f:(int -> unit) -> unit
 

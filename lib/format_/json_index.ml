@@ -368,8 +368,10 @@ let bsearch (arr : (string * int) array) path =
 
 let slot t path = match t.shared with Some m -> bsearch m path | None -> None
 
-(* Level-0 lookup by interned path id, over the packed or wide layout. *)
-let find_slot_by_id t ~obj ~id =
+(* Level-0 lookup by interned path id, over the packed or wide layout;
+   [-1] when the object lacks the field — the option-free form the
+   per-tuple hot path uses. *)
+let slot_by_id t ~obj ~id =
   match t.objects.(obj) with
   | Packed p ->
     let base = 5 * p.nentries in
@@ -384,7 +386,7 @@ let find_slot_by_id t ~obj ~id =
       else if id < k then hi := mid - 1
       else lo := mid + 1
     done;
-    if !found >= 0 then Some !found else None
+    !found
   | Wide w ->
     let lo = ref 0 and hi = ref (Array.length w.w_level0 - 1) and found = ref (-1) in
     while !lo <= !hi do
@@ -397,7 +399,10 @@ let find_slot_by_id t ~obj ~id =
       else if id < k then hi := mid - 1
       else lo := mid + 1
     done;
-    if !found >= 0 then Some !found else None
+    !found
+
+let find_slot_by_id t ~obj ~id =
+  match slot_by_id t ~obj ~id with -1 -> None | s -> Some s
 
 let path_id t path = Hashtbl.find_opt t.path_ids path
 
@@ -405,6 +410,52 @@ let find_by_id t ~obj ~id =
   match find_slot_by_id t ~obj ~id with
   | Some s -> Some (entry_at t ~obj ~slot:s)
   | None -> None
+
+(* --- allocation-free span access ----------------------------------------- *)
+
+type span = {
+  mutable sp_start : int;
+  mutable sp_stop : int;
+  mutable sp_kind : kind;
+}
+
+let make_span () = { sp_start = 0; sp_stop = 0; sp_kind = Knull }
+
+let entry_span t ~obj ~slot sp =
+  match t.objects.(obj) with
+  | Packed p ->
+    if slot = 0 then begin
+      sp.sp_start <- p.base;
+      sp.sp_stop <- p.base + p.size;
+      sp.sp_kind <- Kobj
+    end
+    else begin
+      let off = 5 * (slot - 1) in
+      let rel = Bytes.get_uint16_le p.pdata off in
+      let len = Bytes.get_uint16_le p.pdata (off + 2) in
+      sp.sp_start <- p.base + rel;
+      sp.sp_stop <- p.base + rel + len;
+      sp.sp_kind <- kind_of_code (Bytes.get_uint8 p.pdata (off + 4))
+    end
+  | Wide w ->
+    if slot = 0 then begin
+      sp.sp_start <- w.w_base;
+      sp.sp_stop <- w.w_base + w.w_size;
+      sp.sp_kind <- Kobj
+    end
+    else begin
+      let e = w.w_entries.(slot - 1) in
+      sp.sp_start <- e.start;
+      sp.sp_stop <- e.stop;
+      sp.sp_kind <- e.kind
+    end
+
+let find_span_by_id t ~obj ~id sp =
+  match slot_by_id t ~obj ~id with
+  | -1 -> false
+  | s ->
+    entry_span t ~obj ~slot:s sp;
+    true
 
 let find t ~obj ~path =
   match t.shared with
@@ -449,6 +500,18 @@ let read_value t (e : entry) : Value.t =
   | Kobj | Karr ->
     let j, _ = Json.parse t.src ~pos:e.start in
     Json.to_value j
+
+(* Span decoders — the entry readers over a scratch span. *)
+let span_int t sp = Numparse.int_span t.src ~start:sp.sp_start ~stop:sp.sp_stop
+
+let span_float t sp =
+  Numparse.float_span t.src ~start:sp.sp_start ~stop:sp.sp_stop
+
+let span_bool t sp = t.src.[sp.sp_start] = 't'
+let span_string t sp = read_string_span t ~start:sp.sp_start ~stop:sp.sp_stop
+
+let span_value t sp =
+  read_value t { start = sp.sp_start; stop = sp.sp_stop; kind = sp.sp_kind }
 
 let kind_at src pos =
   match src.[pos] with

@@ -58,6 +58,43 @@ val path_id : t -> string -> int option
 
 val find_by_id : t -> obj:int -> id:int -> entry option
 
+(** {1 Allocation-free span access}
+
+    [entry] is immutable and allocated per lookup; on the per-tuple hot
+    path of a scan that is one minor-heap record (plus an option) per field
+    read, and under multi-domain execution those allocations serialize the
+    workers on the shared minor-GC barrier. A {!span} is the mutable
+    counterpart: each staged accessor owns one scratch span and refills it
+    in place, so steady-state scans allocate nothing. Scratch spans must
+    not be shared across domains — one per pipeline instance. *)
+
+type span = {
+  mutable sp_start : int;
+  mutable sp_stop : int;
+  mutable sp_kind : kind;
+}
+
+val make_span : unit -> span
+
+(** [entry_span t ~obj ~slot sp] is {!entry_at} into [sp]. *)
+val entry_span : t -> obj:int -> slot:int -> span -> unit
+
+(** [slot_by_id t ~obj ~id] is {!find_by_id}'s slot resolution without the
+    option: [-1] when the object lacks the field. *)
+val slot_by_id : t -> obj:int -> id:int -> int
+
+(** [find_span_by_id t ~obj ~id sp] fills [sp] with the field's span and
+    returns [true], or returns [false] when the object lacks the field. *)
+val find_span_by_id : t -> obj:int -> id:int -> span -> bool
+
+(** Span decoding, mirroring the entry readers below. *)
+
+val span_int : t -> span -> int
+val span_float : t -> span -> float
+val span_bool : t -> span -> bool
+val span_string : t -> span -> string
+val span_value : t -> span -> Proteus_model.Value.t
+
 (** {1 Value decoding} — parse an entry's span directly out of the raw
     bytes; no AST is built. *)
 

@@ -28,6 +28,85 @@ let make ~element ~index =
           end;
           !cached)
   in
+  (* Span resolvers are the hot-path variant: each one owns a scratch
+     {!Ji.span} refilled in place, so a steady-state scan allocates nothing
+     per tuple. Under multi-domain execution this matters doubly — per-tuple
+     minor-heap records serialize the workers on the shared GC barrier.
+     Accessors (and their spans) are private to one scan_view instance,
+     hence to one domain. *)
+  let span_resolver path : Ji.span * (unit -> bool) =
+    let sp = Ji.make_span () in
+    let resolve =
+      match Ji.slot index path with
+      | Some slot ->
+        fun () ->
+          Ji.entry_span index ~obj:!obj ~slot sp;
+          true
+      | None -> (
+        match Ji.path_id index path with
+        | None -> fun () -> false
+        | Some id ->
+          (* flexible mode: memoize the slot per OID so a predicate and a
+             projection on the same field share the Level-0 search *)
+          let cached_obj = ref (-1) in
+          let cached_slot = ref (-1) in
+          fun () ->
+            if !cached_obj <> !obj then begin
+              cached_slot := Ji.slot_by_id index ~obj:!obj ~id;
+              cached_obj := !obj
+            end;
+            !cached_slot >= 0
+            && begin
+                 Ji.entry_span index ~obj:!obj ~slot:!cached_slot sp;
+                 true
+               end)
+    in
+    (sp, resolve)
+  in
+  let span_accessor_of ~(ty : Ptype.t) path : Access.t =
+    let sp, resolve = span_resolver path in
+    let base = Ptype.unwrap_option ty in
+    let is_null () = (not (resolve ())) || sp.Ji.sp_kind = Ji.Knull in
+    let require what =
+      if not (resolve () && sp.Ji.sp_kind <> Ji.Knull) then
+        Perror.type_error "JSON: null/%s value where %s expected" "missing" what
+    in
+    let null = if nullable_of_ty ty then Some is_null else None in
+    match base with
+    | Ptype.Int ->
+      Access.of_int ?null (fun () ->
+          require "int";
+          Ji.span_int index sp)
+    | Ptype.Date ->
+      Access.of_date ?null (fun () ->
+          require "date";
+          match sp.Ji.sp_kind with
+          | Ji.Kstr ->
+            Date_util.of_span index_src ~start:(sp.Ji.sp_start + 1)
+              ~stop:(sp.Ji.sp_stop - 1)
+          | _ -> Ji.span_int index sp)
+    | Ptype.Float ->
+      Access.of_float ?null (fun () ->
+          require "float";
+          match sp.Ji.sp_kind with
+          | Ji.Kint -> float_of_int (Ji.span_int index sp)
+          | _ -> Ji.span_float index sp)
+    | Ptype.Bool ->
+      Access.of_bool ?null (fun () ->
+          require "bool";
+          Ji.span_bool index sp)
+    | Ptype.String ->
+      Access.of_str ?null (fun () ->
+          require "string";
+          Ji.span_string index sp)
+    | Ptype.Record _ | Ptype.Collection _ ->
+      Access.boxed ty (fun () ->
+          if resolve () && sp.Ji.sp_kind <> Ji.Knull then Ji.span_value index sp
+          else Value.Null)
+    | Ptype.Option _ -> assert false
+  in
+  (* Entry-based accessor, kept for the unnest fallback paths where the
+     source is an un-indexed element span rather than a registered slot. *)
   let accessor_of ~(ty : Ptype.t) ~(entry : unit -> Ji.entry option) : Access.t =
     let base = Ptype.unwrap_option ty in
     let is_null () =
@@ -76,11 +155,12 @@ let make ~element ~index =
   let batch_fills ~(ty : Ptype.t) ~slot (a : Access.t) : Access.t =
     if nullable_of_ty ty then a
     else
+      (* one scratch span per accessor: the fill loop stays allocation-free *)
+      let sp = Ji.make_span () in
       let require what o =
-        let e = Ji.entry_at index ~obj:o ~slot in
-        if e.Ji.kind = Ji.Knull then
+        Ji.entry_span index ~obj:o ~slot sp;
+        if sp.Ji.sp_kind = Ji.Knull then
           Perror.type_error "JSON: null/%s value where %s expected" "missing" what
-        else e
       in
       let fill read = fun base out ~sel ~n ->
         for i = 0 to n - 1 do
@@ -90,30 +170,46 @@ let make ~element ~index =
       in
       match ty with
       | Ptype.Int ->
-        { a with Access.fill_int = Some (fill (fun o -> Ji.read_int index (require "int" o))) }
+        { a with
+          Access.fill_int =
+            Some
+              (fill (fun o ->
+                   require "int" o;
+                   Ji.span_int index sp)) }
       | Ptype.Date ->
         { a with
           Access.fill_int =
             Some
               (fill (fun o ->
-                   let e = require "date" o in
-                   match e.Ji.kind with
+                   require "date" o;
+                   match sp.Ji.sp_kind with
                    | Ji.Kstr ->
-                     Date_util.of_span index_src ~start:(e.Ji.start + 1) ~stop:(e.Ji.stop - 1)
-                   | _ -> Ji.read_int index e)) }
+                     Date_util.of_span index_src ~start:(sp.Ji.sp_start + 1)
+                       ~stop:(sp.Ji.sp_stop - 1)
+                   | _ -> Ji.span_int index sp)) }
       | Ptype.Float ->
         { a with
           Access.fill_float =
             Some
               (fill (fun o ->
-                   let e = require "float" o in
-                   match e.Ji.kind with
-                   | Ji.Kint -> float_of_int (Ji.read_int index e)
-                   | _ -> Ji.read_float index e)) }
+                   require "float" o;
+                   match sp.Ji.sp_kind with
+                   | Ji.Kint -> float_of_int (Ji.span_int index sp)
+                   | _ -> Ji.span_float index sp)) }
       | Ptype.Bool ->
-        { a with Access.fill_bool = Some (fill (fun o -> Ji.read_bool index (require "bool" o))) }
+        { a with
+          Access.fill_bool =
+            Some
+              (fill (fun o ->
+                   require "bool" o;
+                   Ji.span_bool index sp)) }
       | Ptype.String ->
-        { a with Access.fill_str = Some (fill (fun o -> Ji.read_string index (require "string" o))) }
+        { a with
+          Access.fill_str =
+            Some
+              (fill (fun o ->
+                   require "string" o;
+                   Ji.span_string index sp)) }
       | _ -> a
   in
   let accessor_cache : (string, Access.t) Hashtbl.t = Hashtbl.create 8 in
@@ -122,7 +218,7 @@ let make ~element ~index =
     | Some a -> a
     | None ->
       let ty = Source.field_type element path in
-      let a = accessor_of ~ty ~entry:(entry_resolver path) in
+      let a = span_accessor_of ~ty path in
       let a =
         match Ji.slot index path with
         | Some slot -> batch_fills ~ty ~slot a

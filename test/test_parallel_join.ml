@@ -1,0 +1,333 @@
+(* Differential tests for the partitioned parallel join build, the
+   partitioned parallel group-by and the vectorized join probe: on every
+   plan shape the parallel engine must agree with the serial compiled
+   engine, the Volcano interpreter and the reference evaluator across
+   domain counts {1,2,4} x batch sizes {0,256,1024} — including the
+   degenerate shapes (empty build side, build larger than probe,
+   duplicate-heavy keys) where partitioning bugs hide. Prices are
+   quarter-step floats, so sums are exact and equality can be bit-level. *)
+
+open Proteus_model
+open Proteus_storage
+open Proteus_catalog
+open Proteus_plugin
+open Proteus_engine
+module Plan = Proteus_algebra.Plan
+module Interp = Proteus_algebra.Interp
+
+(* force the partitioned build paths even on single-core test boxes — the
+   engine otherwise caps the build fan-out at the machine's core count *)
+let () = Unix.putenv "PROTEUS_PAR_BUILD" "1"
+
+let check_value = Alcotest.testable Value.pp Value.equal
+
+(* --- datasets ------------------------------------------------------------- *)
+
+let order_type =
+  Ptype.Record
+    [ ("oid", Ptype.Int); ("pid", Ptype.Int); ("qty", Ptype.Int);
+      ("amt", Ptype.Float) ]
+
+(* probe side: 900 rows, many morsels *)
+let orders =
+  List.init 900 (fun i ->
+      Value.record
+        [ ("oid", Value.Int i);
+          ("pid", Value.Int ((i * 13) mod 120));
+          ("qty", Value.Int (1 + (i mod 9)));
+          ("amt", Value.Float (float_of_int ((i * 29) mod 800) /. 4.0)) ])
+
+let part_type =
+  Ptype.Record [ ("pid", Ptype.Int); ("cat", Ptype.Int); ("label", Ptype.String) ]
+
+(* build side: 120 distinct keys, a subset of the probed ids *)
+let parts =
+  List.init 100 (fun p ->
+      Value.record
+        [ ("pid", Value.Int p); ("cat", Value.Int (p mod 6));
+          ("label", Value.String (Fmt.str "p%d" p)) ])
+
+(* build side LARGER than the probe side: 2000 rows, keys overlapping the
+   orders' pid range plus a long disjoint tail *)
+let big_parts =
+  List.init 2000 (fun p ->
+      Value.record
+        [ ("pid", Value.Int p); ("cat", Value.Int (p mod 11));
+          ("label", Value.String (Fmt.str "b%d" p)) ])
+
+(* duplicate-heavy build side: 5 distinct keys x 120 copies each — every
+   probe hit multiplies, and every partition holds long chains *)
+let dup_parts =
+  List.init 600 (fun i ->
+      Value.record
+        [ ("pid", Value.Int (i mod 5)); ("cat", Value.Int (i mod 3));
+          ("label", Value.String (Fmt.str "d%d" i)) ])
+
+let empty_parts : Value.t list = []
+
+let to_json records =
+  String.concat "\n"
+    (List.map
+       (fun r -> Proteus_format.Json.to_string (Proteus_format.Json.of_value r))
+       records)
+
+let make_catalog () =
+  let cat = Catalog.create () in
+  let mem = Catalog.memory cat in
+  let col ty records name =
+    (name, Column.of_values ty (List.map (fun r -> Value.field r name) records))
+  in
+  Catalog.register cat
+    (Dataset.make ~name:"orders" ~format:Dataset.Binary_column
+       ~location:
+         (Dataset.Columns
+            [ col Ptype.Int orders "oid"; col Ptype.Int orders "pid";
+              col Ptype.Int orders "qty"; col Ptype.Float orders "amt" ])
+       ~element:order_type);
+  Memory.register_blob mem ~name:"orders.json" (to_json orders);
+  Catalog.register cat
+    (Dataset.make ~name:"orders_json" ~format:Dataset.Json
+       ~location:(Dataset.Blob "orders.json") ~element:order_type);
+  let reg_parts name records =
+    Catalog.register cat
+      (Dataset.make ~name ~format:Dataset.Binary_row
+         ~location:(Dataset.Rows (Rowpage.of_records (Schema.of_type part_type) records))
+         ~element:part_type)
+  in
+  reg_parts "parts" parts;
+  reg_parts "big_parts" big_parts;
+  reg_parts "dup_parts" dup_parts;
+  reg_parts "empty_parts" empty_parts;
+  cat
+
+let lookup name =
+  match name with
+  | "orders" | "orders_json" -> orders
+  | "parts" -> parts
+  | "big_parts" -> big_parts
+  | "dup_parts" -> dup_parts
+  | "empty_parts" -> empty_parts
+  | other -> Perror.plan_error "no dataset %s" other
+
+let sort_bag v =
+  match v with
+  | Value.Coll (Ptype.Bag, es) -> Value.Coll (Ptype.Bag, List.sort Value.compare es)
+  | v -> v
+
+let registry = lazy (Registry.create (make_catalog ()))
+
+let domain_counts = [ 1; 2; 4 ]
+let batch_sizes = [ 0; 256; 1024 ]
+
+(* The differential harness: one oracle, then every engine x every domain
+   count x every batch size. The parallel runs must match the serial
+   compiled run EXACTLY (same value, bit-level floats, same row order up to
+   the bag sort) — the test data is exactly summable, so partitioned
+   merges have no association slack to hide in. *)
+let check_join ?(name = "plan") plan =
+  let reg = Lazy.force registry in
+  let expected = sort_bag (Interp.run ~lookup plan) in
+  let volcano = Executor.run reg ~engine:Executor.Engine_volcano plan in
+  Alcotest.check check_value (name ^ " (volcano)") expected (sort_bag volcano);
+  List.iter
+    (fun bs ->
+      let serial =
+        Executor.run ~batch_size:bs reg ~engine:Executor.Engine_compiled plan
+      in
+      Alcotest.check check_value
+        (Fmt.str "%s (serial, batch=%d)" name bs)
+        expected (sort_bag serial);
+      List.iter
+        (fun d ->
+          let par =
+            Executor.run ~batch_size:bs reg
+              ~engine:(Executor.Engine_parallel d) plan
+          in
+          Alcotest.check check_value
+            (Fmt.str "%s (domains=%d, batch=%d)" name d bs)
+            (sort_bag serial) (sort_bag par))
+        domain_counts)
+    batch_sizes
+
+let join_pred = Expr.(Field (var "o", "pid") ==. Field (var "p", "pid"))
+
+let scan_orders ds = Plan.scan ~dataset:ds ~binding:"o" ()
+let scan_parts ds = Plan.scan ~dataset:ds ~binding:"p" ()
+
+(* select -> join -> aggregate: the shape the vectorized probe keeps in the
+   batch lane end to end *)
+let join_reduce ~probe ~build =
+  Plan.reduce
+    [
+      Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1);
+      Plan.agg ~name:"s" (Monoid.Primitive Monoid.Sum) Expr.(Field (var "o", "amt"));
+      Plan.agg ~name:"q" (Monoid.Primitive Monoid.Sum) Expr.(Field (var "o", "qty"));
+    ]
+    (Plan.join ~pred:join_pred
+       (Plan.select Expr.(Field (var "o", "oid") <. int 700) (scan_orders probe))
+       (scan_parts build))
+
+let test_join_reduce () =
+  List.iter
+    (fun probe ->
+      check_join ~name:(Fmt.str "%s |X| parts" probe)
+        (join_reduce ~probe ~build:"parts"))
+    [ "orders"; "orders_json" ]
+
+let test_empty_build () =
+  (* int aggregates only: the reference evaluator's empty Sum is [Int 0]
+     regardless of element type, while the compiled engine's typed float
+     lane yields [Float 0.] — a pre-existing empty-input edge orthogonal to
+     parallel execution *)
+  check_join ~name:"empty build side"
+    (Plan.reduce
+       [
+         Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1);
+         Plan.agg ~name:"q" (Monoid.Primitive Monoid.Sum) Expr.(Field (var "o", "qty"));
+       ]
+       (Plan.join ~pred:join_pred
+          (Plan.select Expr.(Field (var "o", "oid") <. int 700) (scan_orders "orders"))
+          (scan_parts "empty_parts")))
+
+let test_build_larger_than_probe () =
+  check_join ~name:"build > probe" (join_reduce ~probe:"orders" ~build:"big_parts")
+
+let test_duplicate_heavy () =
+  check_join ~name:"duplicate-heavy keys"
+    (join_reduce ~probe:"orders" ~build:"dup_parts")
+
+(* residual predicate on top of the equi-key: probe lanes that match the
+   hash but fail the residual must not emit *)
+let test_residual_predicate () =
+  check_join ~name:"residual"
+    (Plan.reduce
+       [ Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1) ]
+       (Plan.join
+          ~pred:Expr.(join_pred &&& (Field (var "p", "cat") <. Field (var "o", "qty")))
+          (scan_orders "orders") (scan_parts "parts")))
+
+(* left outer join: unmatched probe lanes pad a null row *)
+let test_left_outer () =
+  List.iter
+    (fun build ->
+      check_join ~name:(Fmt.str "left outer vs %s" build)
+        (Plan.reduce
+           [
+             Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1);
+             Plan.agg ~name:"s" (Monoid.Primitive Monoid.Sum)
+               Expr.(Field (var "o", "amt"));
+           ]
+           (Plan.join ~kind:Plan.Left_outer ~pred:join_pred
+              (Plan.select
+                 Expr.(Field (var "o", "oid") <. int 500)
+                 (scan_orders "orders"))
+              (scan_parts "parts"))))
+    [ "parts"; "empty_parts" ]
+
+(* join feeding a group-by: partitioned parallel build + partitioned
+   parallel aggregation in one pipeline *)
+let test_join_group_by () =
+  check_join ~name:"join -> nest"
+    (Plan.nest
+       ~keys:[ ("cat", Expr.(Field (var "p", "cat"))) ]
+       ~aggs:
+         [
+           Plan.agg ~name:"n" (Monoid.Primitive Monoid.Count) (Expr.int 1);
+           Plan.agg ~name:"rev" (Monoid.Primitive Monoid.Sum)
+             Expr.(Field (var "o", "amt"));
+         ]
+       ~binding:"g"
+       (Plan.join ~pred:join_pred (scan_orders "orders") (scan_parts "parts")))
+
+(* group-by straight over a scan: the per-domain tables merged in domain
+   order must reproduce the serial result exactly at every width *)
+let test_partitioned_group_by () =
+  List.iter
+    (fun probe ->
+      check_join ~name:(Fmt.str "nest over %s" probe)
+        (Plan.nest
+           ~keys:[ ("pid", Expr.(Field (var "o", "pid"))) ]
+           ~aggs:
+             [
+               Plan.agg ~name:"n" (Monoid.Primitive Monoid.Count) (Expr.int 1);
+               Plan.agg ~name:"amt" (Monoid.Primitive Monoid.Sum)
+                 Expr.(Field (var "o", "amt"));
+               Plan.agg ~name:"mx" (Monoid.Primitive Monoid.Max)
+                 Expr.(Field (var "o", "qty"));
+             ]
+           ~binding:"g" (scan_orders probe)))
+    [ "orders"; "orders_json" ]
+
+(* the Q1 shape: partitioned group-by below a serial sort; order-sensitive *)
+let test_sorted_group_by () =
+  let reg = Lazy.force registry in
+  let plan =
+    Plan.sort
+      ~keys:[ (Expr.(Field (var "g", "pid")), Plan.Asc) ]
+      (Plan.nest
+         ~keys:[ ("pid", Expr.(Field (var "o", "pid"))) ]
+         ~aggs:
+           [
+             Plan.agg ~name:"n" (Monoid.Primitive Monoid.Count) (Expr.int 1);
+             Plan.agg ~name:"amt" (Monoid.Primitive Monoid.Sum)
+               Expr.(Field (var "o", "amt"));
+           ]
+         ~binding:"g" (scan_orders "orders"))
+  in
+  let expected = Interp.run ~lookup plan in
+  List.iter
+    (fun bs ->
+      Alcotest.check check_value
+        (Fmt.str "sorted nest (serial, batch=%d)" bs)
+        expected
+        (Executor.run ~batch_size:bs reg ~engine:Executor.Engine_compiled plan);
+      List.iter
+        (fun d ->
+          Alcotest.check check_value
+            (Fmt.str "sorted nest (domains=%d, batch=%d)" d bs)
+            expected
+            (Executor.run ~batch_size:bs reg ~engine:(Executor.Engine_parallel d) plan))
+        domain_counts)
+    batch_sizes
+
+(* determinism: repeated parallel runs of a join + group-by pipeline are
+   bit-identical, and domain counts agree with each other *)
+let test_repeat_determinism () =
+  let reg = Lazy.force registry in
+  let plan =
+    Plan.nest
+      ~keys:[ ("cat", Expr.(Field (var "p", "cat"))) ]
+      ~aggs:
+        [
+          Plan.agg ~name:"rev" (Monoid.Primitive Monoid.Sum)
+            Expr.(Field (var "o", "amt"));
+        ]
+      ~binding:"g"
+      (Plan.join ~pred:join_pred (scan_orders "orders") (scan_parts "dup_parts"))
+  in
+  let at d = Executor.run ~batch_size:256 reg ~engine:(Executor.Engine_parallel d) plan in
+  let base = at 4 in
+  Alcotest.check check_value "repeat run bit-identical" base (at 4);
+  Alcotest.check check_value "2 == 4 domains" (sort_bag (at 2)) (sort_bag base)
+
+let () =
+  Alcotest.run "parallel_join"
+    [
+      ( "join",
+        [
+          Alcotest.test_case "select -> join -> aggregate" `Quick test_join_reduce;
+          Alcotest.test_case "empty build side" `Quick test_empty_build;
+          Alcotest.test_case "build larger than probe" `Quick
+            test_build_larger_than_probe;
+          Alcotest.test_case "duplicate-heavy keys" `Quick test_duplicate_heavy;
+          Alcotest.test_case "residual predicate" `Quick test_residual_predicate;
+          Alcotest.test_case "left outer" `Quick test_left_outer;
+        ] );
+      ( "group-by",
+        [
+          Alcotest.test_case "join -> nest" `Quick test_join_group_by;
+          Alcotest.test_case "partitioned nest" `Quick test_partitioned_group_by;
+          Alcotest.test_case "sorted nest (Q1 shape)" `Quick test_sorted_group_by;
+          Alcotest.test_case "repeat determinism" `Quick test_repeat_determinism;
+        ] );
+    ]
