@@ -82,6 +82,41 @@ let batch_size =
               disables it (pure tuple-at-a-time execution). Results are \
               identical either way.")
 
+let on_error =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("fail", Fault.Fail_fast);
+             ("skip", Fault.Skip_row);
+             ("null", Fault.Null_fill);
+           ])
+        Fault.Fail_fast
+    & info [ "on-error" ] ~docv:"POLICY"
+        ~doc:"What to do when a row of raw input fails to parse: $(b,fail) \
+              aborts the query on the first error (the default), $(b,skip) \
+              drops the offending rows, $(b,null) substitutes NULL for the \
+              unreadable fields. Skipped/nulled rows are tallied in the \
+              error report (see $(b,--stats)).")
+
+let max_errors =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-errors" ] ~docv:"N"
+        ~doc:"Abort the query once a degraded --on-error policy has absorbed \
+              more than $(docv) recoverable errors. Unlimited by default.")
+
+let timeout_ms =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "timeout-ms" ] ~docv:"N"
+        ~doc:"Cancel the query after $(docv) milliseconds. The deadline is \
+              checked cooperatively at morsel/batch boundaries, so parallel \
+              workers stop within one morsel of it expiring. Exit code 3.")
+
 let stats =
   Arg.(
     value
@@ -90,7 +125,8 @@ let stats =
         ~doc:"Print the engine's proxy performance counters after the query \
               (tuples, branch points, batches, selection density, lane per \
               pipeline) plus per-phase wall-clock attribution \
-              (scan/build/probe/merge, summed across domains).")
+              (scan/build/probe/merge, summed across domains) and, under a \
+              degraded --on-error policy, the per-query error report.")
 
 let no_cache =
   Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable adaptive caching.")
@@ -112,19 +148,71 @@ let is_comprehension q =
   let trimmed = String.trim q in
   String.length trimmed >= 3 && String.lowercase_ascii (String.sub trimmed 0 3) = "for"
 
-let run jsons csvs q engine domains batch_size stats no_cache explain verbose format =
+(* --- error rendering ------------------------------------------------------
+
+   Exit codes: 0 success; 1 plan/type error (the query is wrong); 2
+   parse/data error (the data is wrong); 3 deadline exceeded; 4 I/O. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let line_col src pos =
+  let pos = max 0 (min pos (String.length src)) in
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to pos - 1 do
+    if src.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  (!line, pos - !bol + 1)
+
+(* Map a Parse_error's [what] to the offending file: index-build errors are
+   wrapped as "format:dataset"; access-time errors carry the bare format
+   name, which still identifies the file when a unique registered dataset
+   has that format. *)
+let locate_file files what =
+  match String.index_opt what ':' with
+  | Some i ->
+    let ds = String.sub what (i + 1) (String.length what - i - 1) in
+    List.find_opt (fun (name, _, _) -> name = ds) files
+  | None ->
+    let fmt = if what = "csv" then "csv" else "json" in
+    (match List.filter (fun (_, _, f) -> f = fmt) files with
+    | [ one ] -> Some one
+    | _ -> None)
+
+let pp_error files ppf = function
+  | Perror.Parse_error { what; pos; msg } as e -> (
+    match locate_file files what with
+    | Some (_, path, _) -> (
+      match try Some (read_file path) with Sys_error _ -> None with
+      | Some src ->
+        let line, col = line_col src pos in
+        Fmt.pf ppf "%s: byte %d (line %d, column %d): %s" path pos line col msg
+      | None -> Fmt.pf ppf "%s: byte %d: %s" path pos msg)
+    | None -> Perror.pp_exn ppf e)
+  | Fault.Budget_exceeded n -> Fmt.pf ppf "error budget exceeded: %d data errors" n
+  | e -> Perror.pp_exn ppf e
+
+let classify = function
+  | Perror.Plan_error _ | Perror.Type_error _ | Perror.Unsupported _ -> 1
+  | Perror.Parse_error _ | Fault.Budget_exceeded _ -> 2
+  | Fault.Timed_out -> 3
+  | Sys_error _ -> 4
+  | _ -> 2
+
+let run jsons csvs q engine domains batch_size policy max_errors timeout_ms stats
+    no_cache explain verbose format =
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Info)
   end;
   let db = Proteus.Db.create () in
   if no_cache then Proteus.Db.set_caching db false;
-  let read_file path =
-    let ic = open_in_bin path in
-    let s = really_input_string ic (in_channel_length ic) in
-    close_in ic;
-    s
-  in
   List.iter
     (fun (name, path, element) ->
       match element with
@@ -151,45 +239,87 @@ let run jsons csvs q engine domains batch_size stats no_cache explain verbose fo
       in
       print_string
         (Proteus_optimizer.Optimizer.explain (Proteus.Db.catalog db) plan);
-      Ok ()
+      0
     end
     else begin
       if stats then Proteus_engine.Counters.reset ();
+      let files =
+        List.map (fun (n, p, _) -> (n, p, "json")) jsons
+        @ List.map (fun (n, p, _) -> (n, p, "csv")) csvs
+      in
+      let pp_report ppf (r : Fault.report) =
+        if r.Fault.rp_errors > 0 || r.Fault.rp_policy <> Fault.Fail_fast then
+          Fmt.pf ppf "%a@." Fault.pp_report r
+      in
       let t0 = Unix.gettimeofday () in
-      let result =
+      let outcome =
         if is_comprehension q then
-          Proteus.Db.comprehension ~engine ~domains ~batch_size db q
-        else Proteus.Db.sql ~engine ~domains ~batch_size db q
+          Proteus.Db.comprehension_guarded ~engine ~domains ~batch_size ~policy
+            ?max_errors ?timeout_ms db q
+        else
+          Proteus.Db.sql_guarded ~engine ~domains ~batch_size ~policy ?max_errors
+            ?timeout_ms db q
       in
       let elapsed = Unix.gettimeofday () -. t0 in
-      (match format with
-      | `Json -> print_string (Proteus.Output.to_json result)
-      | `Csv -> print_string (Proteus.Output.to_csv result)
-      | `Table -> print_string (Proteus.Output.to_table result)
-      | `Values -> (
-        match result with
-        | Value.Coll (_, rows) -> List.iter (fun r -> Fmt.pr "%a@." Value.pp r) rows
-        | v -> Fmt.pr "%a@." Value.pp v));
-      Fmt.epr "(%d ms)@." (int_of_float (elapsed *. 1000.));
-      if stats then
-        Fmt.epr "%a@." Proteus_engine.Counters.pp (Proteus_engine.Counters.snapshot ());
-      Ok ()
+      match outcome with
+      | Proteus.Db.Completed (result, report) ->
+        (match format with
+        | `Json -> print_string (Proteus.Output.to_json result)
+        | `Csv -> print_string (Proteus.Output.to_csv result)
+        | `Table -> print_string (Proteus.Output.to_table result)
+        | `Values -> (
+          match result with
+          | Value.Coll (_, rows) -> List.iter (fun r -> Fmt.pr "%a@." Value.pp r) rows
+          | v -> Fmt.pr "%a@." Value.pp v));
+        Fmt.epr "(%d ms)@." (int_of_float (elapsed *. 1000.));
+        if stats then begin
+          Fmt.epr "%a@." Proteus_engine.Counters.pp
+            (Proteus_engine.Counters.snapshot ());
+          Fmt.epr "%a" pp_report report
+        end;
+        0
+      | Proteus.Db.Failed (report, e) ->
+        Fmt.epr "proteus_cli: %a@." (pp_error files) e;
+        if stats then Fmt.epr "%a" pp_report report;
+        classify e
+      | Proteus.Db.Timed_out report ->
+        Fmt.epr "proteus_cli: query exceeded its deadline@.";
+        if stats then Fmt.epr "%a" pp_report report;
+        3
+      | Proteus.Db.Cancelled report ->
+        Fmt.epr "proteus_cli: query cancelled@.";
+        if stats then Fmt.epr "%a" pp_report report;
+        2
     end
   end
 
-let run jsons csvs q engine domains batch_size stats no_cache explain verbose format =
-  try run jsons csvs q engine domains batch_size stats no_cache explain verbose format with
+let run jsons csvs q engine domains batch_size policy max_errors timeout_ms stats
+    no_cache explain verbose format =
+  let files =
+    List.map (fun (n, p, _) -> (n, p, "json")) jsons
+    @ List.map (fun (n, p, _) -> (n, p, "csv")) csvs
+  in
+  try
+    run jsons csvs q engine domains batch_size policy max_errors timeout_ms stats
+      no_cache explain verbose format
+  with
   | (Perror.Parse_error _ | Perror.Plan_error _ | Perror.Type_error _
     | Perror.Unsupported _ | Sys_error _) as e ->
-    Error (`Msg (Fmt.str "%a" Perror.pp_exn e))
+    Fmt.epr "proteus_cli: %a@." (pp_error files) e;
+    classify e
 
 let cmd =
   let doc = "query heterogeneous raw data files with one engine" in
   Cmd.v
-    (Cmd.info "proteus_cli" ~doc)
+    (Cmd.info "proteus_cli" ~doc ~exits:
+       (Cmd.Exit.info 1 ~doc:"on a plan or type error (the query is wrong)."
+        :: Cmd.Exit.info 2 ~doc:"on a parse or data error (the data is wrong)."
+        :: Cmd.Exit.info 3 ~doc:"when --timeout-ms expires."
+        :: Cmd.Exit.info 4 ~doc:"on an I/O error."
+        :: Cmd.Exit.defaults))
     Term.(
-      term_result
-        (const run $ json_args $ csv_args $ query $ engine $ domains $ batch_size
-       $ stats $ no_cache $ explain $ verbose $ format))
+      const run $ json_args $ csv_args $ query $ engine $ domains $ batch_size
+      $ on_error $ max_errors $ timeout_ms $ stats $ no_cache $ explain $ verbose
+      $ format)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -81,6 +81,7 @@ let source (c : collection) : Source.t =
     field;
     whole;
     unnest;
+    validate = None;
   }
 
 let rec has_join (p : Plan.t) =
@@ -126,6 +127,7 @@ let boxed_source (c : collection) : Source.t =
     field;
     whole = (fun () -> decoded.(!cur));
     unnest = (fun _ -> None);
+    validate = None;
   }
 
 let run_map_reduce t plan =

@@ -119,6 +119,7 @@ let document_source element docs encoding =
     field;
     whole;
     unnest = (fun _ -> None);
+    validate = None;
   }
 
 let source t name =

@@ -46,6 +46,7 @@ type stats = {
   select_hits : int;      (* exact σ-result matches *)
   select_subsumed : int;  (* matches that needed a residual re-filter *)
   select_stores : int;
+  quarantined : int;      (* fills discarded: producing run saw errors/abort *)
 }
 
 type t = {
@@ -64,6 +65,7 @@ type t = {
   mutable select_hits : int;
   mutable select_subsumed : int;
   mutable select_stores : int;
+  mutable quarantined : int;
 }
 
 and select_entry = {
@@ -90,6 +92,7 @@ let create ?(config = default_config) catalog =
     select_hits = 0;
     select_subsumed = 0;
     select_stores = 0;
+    quarantined = 0;
   }
 
 let field_id dataset path = Fmt.str "field:%s:%s" dataset path
@@ -234,6 +237,12 @@ let should_cache_select t ~dataset =
   | Dataset.Csv _ | Dataset.Json -> true
   | Dataset.Binary_row | Dataset.Binary_column -> false
 
+(* Install-on-commit accounting: the fill was computed but its producing
+   run recorded errors (or aborted), so nothing was stored. *)
+let quarantine t ~id =
+  t.quarantined <- t.quarantined + 1;
+  Log.debug (fun m -> m "quarantined fill %s (producing run saw errors)" id)
+
 let iface t : Cache_iface.t =
   {
     Cache_iface.lookup_field = (fun ~dataset ~path -> lookup_field t ~dataset ~path);
@@ -249,6 +258,7 @@ let iface t : Cache_iface.t =
       (fun ~dataset ~binding ~pred ~paths ~bias p ->
         store_select t ~dataset ~binding ~pred ~paths ~bias p);
     should_cache_select = (fun ~dataset -> should_cache_select t ~dataset);
+    quarantine = (fun ~id -> quarantine t ~id);
   }
 
 let stats t =
@@ -262,6 +272,7 @@ let stats t =
     select_hits = t.select_hits;
     select_subsumed = t.select_subsumed;
     select_stores = t.select_stores;
+    quarantined = t.quarantined;
   }
 
 let field_bytes_for t ~dataset =

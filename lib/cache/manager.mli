@@ -54,6 +54,9 @@ type stats = {
   select_hits : int;
   select_subsumed : int;
   select_stores : int;
+  quarantined : int;
+      (** fills computed but discarded because the producing run recorded
+          errors or aborted (install-on-commit; see {!Cache_iface.t}) *)
 }
 
 val stats : t -> stats

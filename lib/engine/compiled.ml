@@ -143,13 +143,22 @@ let par_runner (p : par) run_range consumer () =
     consumer ()
   in
   match p.par_static with
-  | Some (lo, hi) -> if hi > lo then run_range ~lo ~hi ~on_tuple
+  | Some (lo, hi) ->
+    if hi > lo then begin
+      Fault.check_cancel ();
+      (* static chunks are handed out in worker order, so the worker index
+         keys the per-morsel error cell deterministically *)
+      Fault.set_morsel p.par_worker;
+      run_range ~lo ~hi ~on_tuple
+    end
   | None ->
     let rec loop () =
       match Pool.Dispenser.next p.par_disp with
       | None -> ()
       | Some (m, lo, hi) ->
+        Fault.check_cancel ();
         p.par_morsel := m;
+        Fault.set_morsel m;
         run_range ~lo ~hi ~on_tuple;
         loop ()
     in
@@ -181,6 +190,14 @@ type payload_slot = {
   ps_packable : bool;
   ps_ty : Ptype.t option;     (* for packing to a cache column *)
 }
+
+(* What a scan binding feeds downstream: its routed paths, plus whether the
+   whole record is consumed (which a skipping probe must then decode). *)
+let scan_required ctx binding =
+  match List.assoc_opt binding ctx.required with
+  | Some (`Paths ps) -> (ps, false)
+  | Some `Whole -> ([], true)
+  | None -> ([], false)
 
 (* sigma-result caching applies when the scan's required paths are all
    primitive (packable into binary columns) *)
@@ -349,6 +366,9 @@ type bfrag = {
   bf_run_range :
     lo:int -> hi:int -> batch:int -> on_batch:(base:int -> len:int -> unit) -> unit;
   bf_nodes : bnode list;
+  bf_probe : (unit -> unit) option;
+      (* Skip_row commit test of the driving scan (None: infallible source) *)
+  bf_dataset : string;  (* for fault attribution *)
 }
 
 (* Compile one predicate into per-conjunct filters: a vectorized kernel
@@ -408,14 +428,37 @@ let count_lane ctx add =
 let bfrag_driver ctx (frag : bfrag) ~bs
     (sink : base:int -> sel:int array -> n:int -> unit) : unit -> unit =
   let sel = Array.make bs 0 in
+  let seek = frag.bf_src.Source.seek in
   let on_batch ~base ~len =
+    Fault.check_cancel ();
     Counters.add_tuples len;
     Counters.add_batches 1;
     Counters.add_batch_rows len;
-    for j = 0 to len - 1 do
-      sel.(j) <- j
-    done;
-    let n = apply_bnodes frag.bf_nodes ~base ~sel len in
+    (* Under Skip_row, probe each lane before the identity selection is
+       built: faulty rows never enter the selection vector, so the filter
+       kernels and every downstream fill touch only committed lanes and the
+       batch lane needs no per-kernel fault handling. *)
+    let n0 =
+      match frag.bf_probe with
+      | Some probe when Fault.skipping () ->
+        let m = ref 0 in
+        for j = 0 to len - 1 do
+          seek (base + j);
+          match probe () with
+          | () ->
+            sel.(!m) <- j;
+            incr m
+          | exception e when Fault.recoverable e ->
+            Fault.record_skip ~source:frag.bf_dataset ~row:(base + j) e
+        done;
+        !m
+      | _ ->
+        for j = 0 to len - 1 do
+          sel.(j) <- j
+        done;
+        len
+    in
+    let n = apply_bnodes frag.bf_nodes ~base ~sel n0 in
     Counters.add_batch_selected n;
     if n > 0 then sink ~base ~sel ~n
   in
@@ -423,7 +466,11 @@ let bfrag_driver ctx (frag : bfrag) ~bs
   | Some p when p.par_spine -> (
     match p.par_static with
     | Some (lo, hi) ->
-      fun () -> if hi > lo then frag.bf_run_range ~lo ~hi ~batch:bs ~on_batch
+      fun () ->
+        if hi > lo then begin
+          Fault.set_morsel p.par_worker;
+          frag.bf_run_range ~lo ~hi ~batch:bs ~on_batch
+        end
     | None ->
       fun () ->
         let rec loop () =
@@ -431,6 +478,7 @@ let bfrag_driver ctx (frag : bfrag) ~bs
           | None -> ()
           | Some (m, lo, hi) ->
             p.par_morsel := m;
+            Fault.set_morsel m;
             frag.bf_run_range ~lo ~hi ~batch:bs ~on_batch;
             loop ()
         in
@@ -458,24 +506,30 @@ let rec compile_bfrag (ctx : ctx) (p : Plan.t) : bfrag option =
   | Some bs -> (
     match p with
     | Plan.Scan { dataset; binding; fields = _ } ->
-      let required =
-        match List.assoc_opt binding ctx.required with
-        | Some (`Paths ps) -> ps
-        | Some `Whole | None -> []
-      in
+      let required, whole = scan_required ctx binding in
       let scan =
         match ctx.par with
-        | Some pp when pp.par_spine -> Registry.scan_view ctx.reg ~dataset ~required
-        | _ -> Registry.scan ctx.reg ~dataset ~required
+        | Some pp when pp.par_spine ->
+          Registry.scan_view ctx.reg ~whole ~dataset ~required
+        | _ -> Registry.scan ctx.reg ~whole ~dataset ~required
       in
-      Hashtbl.replace ctx.cenv binding (Exprc.Scan_repr scan.Registry.sc_source);
-      Some
-        {
-          bf_src = scan.Registry.sc_source;
-          bf_run = scan.Registry.sc_run_batches;
-          bf_run_range = scan.Registry.sc_run_range_batches;
-          bf_nodes = [];
-        }
+      (* A filling scan under an active error policy stays on the tuple
+         lane: its driver owns probe-then-commit ordering of fills and the
+         install-on-commit quarantine, which the batched filling path
+         (fill whole batch, then consume) cannot reproduce row by row. *)
+      if scan.Registry.sc_fills && Fault.active () then None
+      else begin
+        Hashtbl.replace ctx.cenv binding (Exprc.Scan_repr scan.Registry.sc_source);
+        Some
+          {
+            bf_src = scan.Registry.sc_source;
+            bf_run = scan.Registry.sc_run_batches;
+            bf_run_range = scan.Registry.sc_run_range_batches;
+            bf_nodes = [];
+            bf_probe = scan.Registry.sc_probe;
+            bf_dataset = scan.Registry.sc_dataset;
+          }
+      end
     | Plan.Select { pred; input = Plan.Scan { dataset; binding; _ } as scan_node }
       when select_paths ctx binding <> None -> (
       let of_packed (packed : Cache_iface.packed) residual =
@@ -498,6 +552,9 @@ let rec compile_bfrag (ctx : ctx) (p : Plan.t) : bfrag option =
               (fun ~lo ~hi ~batch ~on_batch ->
                 Source.run_range_batches src ~lo ~hi ~batch ~on_batch);
             bf_nodes = nodes;
+            (* cached σ-result columns are binary: nothing to probe *)
+            bf_probe = None;
+            bf_dataset = dataset;
           }
       in
       match ctx.par with
@@ -562,12 +619,8 @@ let rec spine_drive (actx : ctx) (p : Plan.t) : drive option =
   | Plan.Nest _ | Plan.Sort _ | Plan.Reduce _ -> None
 
 and drive_scan actx ~dataset ~binding =
-  let required =
-    match List.assoc_opt binding actx.required with
-    | Some (`Paths ps) -> ps
-    | Some `Whole | None -> []
-  in
-  let scan = Registry.scan actx.reg ~dataset ~required in
+  let required, whole = scan_required actx binding in
+  let scan = Registry.scan actx.reg ~whole ~dataset ~required in
   if scan.Registry.sc_fills then None
   else Some { dr_count = scan.Registry.sc_count; dr_select = None }
 
@@ -639,22 +692,18 @@ let rec compile (ctx : ctx) (p : Plan.t) : (unit -> unit) -> unit -> unit =
 and compile_node (ctx : ctx) (p : Plan.t) : (unit -> unit) -> unit -> unit =
   match p with
   | Plan.Scan { dataset; binding; fields = _ } -> (
-    let required =
-      match List.assoc_opt binding ctx.required with
-      | Some (`Paths ps) -> ps
-      | Some `Whole | None -> []
-    in
+    let required, whole = scan_required ctx binding in
     match ctx.par with
     | Some p when p.par_spine ->
       (* the driving scan of a parallel pipeline: a private cursor view over
          the shared index, driven by the morsel dispenser *)
       count_lane ctx Counters.add_lanes_tuple;
-      let scan = Registry.scan_view ctx.reg ~dataset ~required in
+      let scan = Registry.scan_view ctx.reg ~whole ~dataset ~required in
       Hashtbl.replace ctx.cenv binding (Exprc.Scan_repr scan.Registry.sc_source);
       par_runner p scan.Registry.sc_run_range
     | _ ->
       count_lane ctx Counters.add_lanes_tuple;
-      let scan = Registry.scan ctx.reg ~dataset ~required in
+      let scan = Registry.scan ctx.reg ~whole ~dataset ~required in
       Hashtbl.replace ctx.cenv binding (Exprc.Scan_repr scan.Registry.sc_source);
       fun consumer () ->
         scan.Registry.sc_run ~on_tuple:(fun () ->
@@ -916,25 +965,38 @@ and compile_select_scan_serial ctx ~pred ~dataset ~binding ~scan =
           typed
       in
       let rows = ref 0 in
-      (run_input (fun () ->
-           Counters.add_branch_points 1;
-           if pred_c () then begin
-             incr rows;
-             List.iter
-               (fun (_, b, a) ->
-                 Proteus_storage.Column.Builder.add_value b (a.Access.get_val ()))
-               builders;
-             consumer ()
-           end))
-        ();
-      cache.Cache_iface.store_select ~dataset ~binding ~pred ~paths ~bias
-        {
-          Cache_iface.length = !rows;
-          cols =
-            List.map
-              (fun (p, b, _) -> (p, Proteus_storage.Column.Builder.finish b))
-              builders;
-        }
+      (* install-on-commit: a sigma-result built while rows were being
+         skipped (or that aborted mid-scan) is a partial answer — quarantine
+         it instead of registering it as the cached result *)
+      let e0 = Fault.errors_total () in
+      let qid = "select:" ^ dataset ^ "." ^ binding in
+      (match
+         (run_input (fun () ->
+              Counters.add_branch_points 1;
+              if pred_c () then begin
+                incr rows;
+                List.iter
+                  (fun (_, b, a) ->
+                    Proteus_storage.Column.Builder.add_value b (a.Access.get_val ()))
+                  builders;
+                consumer ()
+              end))
+           ()
+       with
+      | () -> ()
+      | exception e ->
+        cache.Cache_iface.quarantine ~id:qid;
+        raise e);
+      if Fault.errors_total () > e0 then cache.Cache_iface.quarantine ~id:qid
+      else
+        cache.Cache_iface.store_select ~dataset ~binding ~pred ~paths ~bias
+          {
+            Cache_iface.length = !rows;
+            cols =
+              List.map
+                (fun (p, b, _) -> (p, Proteus_storage.Column.Builder.finish b))
+                builders;
+          }
   | None ->
     let run_input = compile ctx scan in
     let pred_c = Exprc.to_pred (Exprc.compile ctx.cenv pred) in
@@ -1419,6 +1481,7 @@ and compile_join ctx ~kind ~algo ~left ~right ~left_key ~right_key ~pred =
           | None -> false
       in
       if not loaded then begin
+        let e0 = Fault.errors_total () in
         (match par_build with
         | Some fleet -> fleet ()
         | None -> right_runner ());
@@ -1426,7 +1489,11 @@ and compile_join ctx ~kind ~algo ~left ~right ~left_key ~right_key ~pred =
         (* trim the int-key scratch to its live prefix *)
         if int_keys <> None then ikey_vec := Array.sub !ikey_vec 0 !ikey_n;
         List.iter (fun slot -> slot.ps_arr := Vec.to_array slot.ps_vec) payload;
-        if packable then begin
+        (* a build side materialized while rows were being skipped is a
+           partial relation: keep it for this query, never install it *)
+        if packable && Fault.errors_total () > e0 then
+          cache.Cache_iface.quarantine ~id:cache_key
+        else if packable then begin
           let cols =
             ( "__key",
               match int_keys with
@@ -1620,9 +1687,46 @@ let rec batchable_shape ctx (p : Plan.t) =
   | Plan.Select { input; _ } -> batchable_shape ctx input
   | _ -> false
 
+(* The scalar (tuple-lane) Reduce: compile the input pipeline and fold
+   per-tuple aggregate steps over it. *)
+let reduce_tuple (ctx : ctx) ~monoid_output ~pred ~input : unit -> Value.t =
+  let cenv = ctx.cenv in
+  let run_input = compile ctx input in
+  let pred_c = Exprc.to_pred (Exprc.compile cenv pred) in
+  let has_join = plan_has_join input in
+  let factories =
+    List.map
+      (fun (a : Plan.agg) ->
+        (a.agg_name, Agg.factory a.monoid (Exprc.compile cenv a.expr)))
+      monoid_output
+  in
+  fun () ->
+    let instances = List.map (fun (n, f) -> (n, f ())) factories in
+    let steps = List.map (fun (_, (i : Agg.instance)) -> i.step) instances in
+    let consumer =
+      match steps with
+      | [ s ] -> fun () -> if pred_c () then s ()
+      | ss -> fun () -> if pred_c () then List.iter (fun s -> s ()) ss
+    in
+    drive_phase has_join (run_input consumer);
+    (match instances with
+    | [ (_, i) ] -> i.value ()
+    | many -> Value.record (List.map (fun (n, (i : Agg.instance)) -> (n, i.value ())) many))
+
 let prepare_with (ctx : ctx) (plan : Plan.t) : unit -> Value.t =
   let cenv = ctx.cenv in
   match plan with
+  | Plan.Reduce { monoid_output; pred; input }
+    when (match (ctx.splice, ctx.batch) with
+         | None, Some _ ->
+           Agg.mergeable (List.map (fun (a : Plan.agg) -> a.monoid) monoid_output)
+           && batchable_shape ctx input
+         | _ -> false)
+         && compile_bfrag ctx input = None ->
+    (* [batchable_shape] accepted the fragment but the compile refused it —
+       the scan elects cache fills under an active error policy, which only
+       the tuple lane's probe-then-commit drivers handle *)
+    reduce_tuple ctx ~monoid_output ~pred ~input
   | Plan.Reduce { monoid_output; pred; input }
     when (match (ctx.splice, ctx.batch) with
          | None, Some _ ->

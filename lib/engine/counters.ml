@@ -12,6 +12,9 @@ type snapshot = {
   build_ns : int;
   probe_ns : int;
   merge_ns : int;
+  errors_seen : int;
+  rows_skipped : int;
+  fields_nulled : int;
 }
 
 type phase = Scan | Build | Probe | Merge
@@ -62,7 +65,8 @@ let reset () =
   zero scan_ns;
   zero build_ns;
   zero probe_ns;
-  zero merge_ns
+  zero merge_ns;
+  Proteus_model.Fault.reset_totals ()
 
 let snapshot () =
   {
@@ -79,6 +83,11 @@ let snapshot () =
     build_ns = total build_ns;
     probe_ns = total probe_ns;
     merge_ns = total merge_ns;
+    (* The fault layer owns these (it already accounts them atomically per
+       record call); the snapshot just mirrors its totals. *)
+    errors_seen = Proteus_model.Fault.errors_total ();
+    rows_skipped = Proteus_model.Fault.skipped_total ();
+    fields_nulled = Proteus_model.Fault.nulled_total ();
   }
 
 let add_tuples n = add tuples n
@@ -124,4 +133,7 @@ let pp ppf s =
     s.batch_selected (selection_density s) s.lanes_batch s.lanes_tuple;
   if s.scan_ns + s.build_ns + s.probe_ns + s.merge_ns > 0 then
     Fmt.pf ppf " phases[ms]: scan=%.2f build=%.2f probe=%.2f merge=%.2f"
-      (ms s.scan_ns) (ms s.build_ns) (ms s.probe_ns) (ms s.merge_ns)
+      (ms s.scan_ns) (ms s.build_ns) (ms s.probe_ns) (ms s.merge_ns);
+  if s.errors_seen + s.rows_skipped + s.fields_nulled > 0 then
+    Fmt.pf ppf " faults: errors=%d skipped=%d nulled=%d" s.errors_seen
+      s.rows_skipped s.fields_nulled

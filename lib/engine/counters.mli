@@ -28,6 +28,9 @@ type snapshot = {
   build_ns : int;        (** wall clock in join builds (materialize + cluster) *)
   probe_ns : int;        (** wall clock driving the probe side of joins *)
   merge_ns : int;        (** wall clock merging parallel partials / replays *)
+  errors_seen : int;     (** recoverable data errors observed (fault layer) *)
+  rows_skipped : int;    (** rows dropped by the [Skip_row] policy *)
+  fields_nulled : int;   (** field reads substituted by [Null_fill] *)
 }
 
 (** Coarse execution phases for wall-clock attribution. [Scan] is pipeline

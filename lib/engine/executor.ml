@@ -1,3 +1,5 @@
+open Proteus_model
+
 type engine = Engine_compiled | Engine_volcano | Engine_parallel of int
 
 let run ?batch_size reg ~engine plan =
@@ -6,3 +8,33 @@ let run ?batch_size reg ~engine plan =
   | Engine_compiled -> Compiled.execute ?batch_size reg plan
   | Engine_volcano -> Volcano.execute reg plan
   | Engine_parallel domains -> Compiled.execute_par ?batch_size reg ~domains plan
+
+type outcome =
+  | Completed of Value.t * Fault.report
+  | Failed of Fault.report * exn
+  | Timed_out of Fault.report
+  | Cancelled of Fault.report
+
+let run_guarded ?batch_size ?(policy = Fault.Fail_fast) ?max_errors ?timeout_ms
+    reg ~engine plan =
+  let deadline =
+    Option.map (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.)) timeout_ms
+  in
+  let ctx = Fault.install ~policy ?max_errors ?deadline () in
+  Fun.protect ~finally:Fault.clear (fun () ->
+      match run ?batch_size reg ~engine plan with
+      | v -> Completed (v, Fault.report ctx)
+      | exception e ->
+        let r = Fault.report ctx in
+        (* Classify from the context, not from which worker's exception won
+           the pool's failure CAS: under parallel execution a peer's
+           [Cancelled] can race the root cause to the surface. *)
+        (match e with
+        | Fault.Budget_exceeded _ -> Failed (r, e)
+        | Fault.Timed_out | Fault.Cancelled ->
+          if Fault.budget_hit ctx then
+            Failed (r, Fault.Budget_exceeded r.Fault.rp_errors)
+          else if Fault.deadline_hit ctx then Timed_out r
+          else if e = Fault.Timed_out then Timed_out r
+          else Cancelled r
+        | e -> Failed (r, e)))

@@ -111,7 +111,12 @@ let run ~domains f =
           try f k
           with e ->
             let bt = Printexc.get_raw_backtrace () in
-            ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+            (* First failure wins the CAS, then trips the cancellation
+               token so peers stop at their next morsel fetch instead of
+               draining the dispenser. Peers' own Cancelled exceptions
+               lose the CAS, so the original failure is what re-raises. *)
+            if Atomic.compare_and_set failure None (Some (e, bt)) then
+              Proteus_model.Fault.cancel ()
         in
         for k = 1 to domains - 1 do
           submit pool.workers.(k - 1) (wrap k)

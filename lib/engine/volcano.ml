@@ -85,14 +85,32 @@ let rec open_plan (reg : provider)
     let src = reg ~dataset ~required:paths in
     let build = tuple_builder src req in
     let i = ref 0 in
-    fun () ->
+    (* Under Skip_row, a row whose structural validation or required reads
+       fail is dropped and accounted — [build] touches exactly the paths
+       the query needs, so the skip set matches the compiled engine's
+       probe-then-commit and results stay bit-identical across engines. *)
+    let rec next () =
       if !i >= src.Source.count then None
       else begin
-        src.Source.seek !i;
+        let row = !i in
         incr i;
-        Counters.add_tuples 1;
-        Some [ (binding, build ()) ]
+        if row land 1023 = 0 then Fault.check_cancel ();
+        src.Source.seek row;
+        match
+          (match src.Source.validate with
+          | Some v when Fault.skipping () -> v ()
+          | _ -> ());
+          build ()
+        with
+        | v ->
+          Counters.add_tuples 1;
+          Some [ (binding, v) ]
+        | exception e when Fault.skipping () && Fault.recoverable e ->
+          Fault.record_skip ~source:dataset ~row e;
+          next ()
       end
+    in
+    next
   | Plan.Select { pred; input } ->
     let next = open_plan reg required input in
     let sz = expr_size pred in

@@ -82,7 +82,7 @@ let value_size src pos =
   | c when c = tag_int || c = tag_float -> 9
   | c when c = tag_string -> 5 + get_i32 src (pos + 1)
   | c when c = tag_array || c = tag_object -> 9 + get_i32 src (pos + 5)
-  | c -> Perror.type_error "binjson: bad tag %d" (Char.code c)
+  | c -> Perror.parse_error ~what:"binjson" ~pos "bad tag %d" (Char.code c)
 
 let rec decode_at src pos : Json.t =
   match src.[pos] with
@@ -116,7 +116,7 @@ let rec decode_at src pos : Json.t =
       end
     in
     Obj (go 0 (pos + 9) [])
-  | c -> Perror.type_error "binjson: bad tag %d" (Char.code c)
+  | c -> Perror.parse_error ~what:"binjson" ~pos "bad tag %d" (Char.code c)
 
 let decode src = decode_at src 0
 
@@ -148,27 +148,35 @@ let find_path src pos path =
   in
   go pos parts
 
+(* A byte outside the tag range is corruption, not a schema mismatch: the
+   typed readers report it as a recoverable Parse_error carrying the byte
+   offset, so the error policies can attribute and skip it. *)
+let bad_tag src pos expected =
+  let c = Char.code src.[pos] in
+  if c > Char.code tag_object then
+    Perror.parse_error ~what:"binjson" ~pos "bad tag %d" c
+  else Perror.type_error "binjson: expected %s tag, got %d" expected c
+
 let read_int src pos =
   if src.[pos] = tag_int then Int64.to_int (get_i64 src (pos + 1))
-  else Perror.type_error "binjson: expected int tag, got %d" (Char.code src.[pos])
+  else bad_tag src pos "int"
 
 let read_float src pos =
   if src.[pos] = tag_float then Int64.float_of_bits (get_i64 src (pos + 1))
   else if src.[pos] = tag_int then float_of_int (Int64.to_int (get_i64 src (pos + 1)))
-  else Perror.type_error "binjson: expected float tag, got %d" (Char.code src.[pos])
+  else bad_tag src pos "float"
 
 let read_bool src pos =
   if src.[pos] = tag_true then true
   else if src.[pos] = tag_false then false
-  else Perror.type_error "binjson: expected bool tag, got %d" (Char.code src.[pos])
+  else bad_tag src pos "bool"
 
 let read_string src pos =
   if src.[pos] = tag_string then String.sub src (pos + 5) (get_i32 src (pos + 1))
-  else Perror.type_error "binjson: expected string tag, got %d" (Char.code src.[pos])
+  else bad_tag src pos "string"
 
 let array_offsets src pos =
-  if src.[pos] <> tag_array then
-    Perror.type_error "binjson: expected array tag, got %d" (Char.code src.[pos]);
+  if src.[pos] <> tag_array then ignore (bad_tag src pos "array" : int);
   let count = get_i32 src (pos + 1) in
   let rec go i off acc =
     if i >= count then List.rev acc
@@ -197,4 +205,4 @@ let rec value_at src pos : Value.t =
       end
     in
     Value.record (go 0 (pos + 9) [])
-  | c -> Perror.type_error "binjson: bad tag %d" (Char.code c)
+  | c -> Perror.parse_error ~what:"binjson" ~pos "bad tag %d" (Char.code c)

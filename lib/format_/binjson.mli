@@ -32,7 +32,8 @@ val find_field : string -> int -> string -> int option
 val find_path : string -> int -> string -> int option
 
 (** {1 Typed readers at an offset} — raise [Perror.Type_error] on tag
-    mismatch (ints widen to float for [read_float]). *)
+    mismatch (ints widen to float for [read_float]). A byte that is not a
+    valid tag at all raises [Perror.Parse_error] carrying its offset. *)
 
 val read_int : string -> int -> int
 val read_float : string -> int -> float

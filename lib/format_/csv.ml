@@ -77,10 +77,18 @@ let row_bounds src ~pos =
   let stop = if eol > pos && src.[eol - 1] = '\r' then eol - 1 else eol in
   (pos, stop, min n (eol + 1))
 
+(* A UTF-8 byte-order mark before the header (common in spreadsheet
+   exports) is not data; skip it so the first header/field name is clean. *)
+let bom_skip src =
+  if String.length src >= 3 && src.[0] = '\xef' && src.[1] = '\xbb' && src.[2] = '\xbf'
+  then 3
+  else 0
+
 let data_start config src =
-  if not config.has_header then 0
+  let start = bom_skip src in
+  if not config.has_header then start
   else
-    let _, _, next = row_bounds src ~pos:0 in
+    let _, _, next = row_bounds src ~pos:start in
     next
 
 (* Scan one field starting at [i]; returns (field_start, field_stop,
@@ -114,6 +122,18 @@ let field_spans config src ~start ~stop =
       if next >= stop then List.rev acc else go next acc
     in
     go start []
+  end
+
+(* Field count of the row [start..stop); allocation-free twin of
+   [field_spans] (same trailing-separator convention). *)
+let count_fields config src ~start ~stop =
+  if start >= stop then 0
+  else begin
+    let rec go i acc =
+      let _, _, next = scan_field config src ~stop i in
+      if next >= stop then acc + 1 else go next (acc + 1)
+    in
+    go start 0
   end
 
 let nth_field_span config src ~start ~stop n =

@@ -29,13 +29,21 @@ val of_records : config -> Schema.t -> Value.t list -> string
     [pos]: the data spans [start..stop) and the next row starts at [next]. *)
 val row_bounds : string -> pos:int -> int * int * int
 
-(** [data_start config src] is the offset of the first data row (skips the
-    header when [has_header]). *)
+(** [bom_skip src] is 3 when the file starts with a UTF-8 byte-order mark,
+    0 otherwise. *)
+val bom_skip : string -> int
+
+(** [data_start config src] is the offset of the first data row (skips a
+    UTF-8 BOM and, when [has_header], the header row). *)
 val data_start : config -> string -> int
 
 (** [field_spans config src ~start ~stop] splits the row [start..stop) into
     field spans [(fstart, fstop)] in order. *)
 val field_spans : config -> string -> start:int -> stop:int -> (int * int) list
+
+(** [count_fields config src ~start ~stop] is the number of fields of the
+    row [start..stop), without allocating spans. *)
+val count_fields : config -> string -> start:int -> stop:int -> int
 
 (** [nth_field_span config src ~start ~stop n] is the span of field [n]
     (0-based) of the row, scanning from [start]. *)

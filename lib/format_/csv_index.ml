@@ -40,10 +40,11 @@ let build cfg ?(every = 5) src =
     else begin
       let spans = Csv.field_spans cfg src ~start:rstart ~stop:rstop in
       let nf = List.length spans in
-      if !arity = 0 then arity := nf
-      else if nf <> !arity then
-        Proteus_model.Perror.parse_error ~what:"csv" ~pos:rstart
-          "row arity %d differs from first row arity %d" nf !arity;
+      (* The first row fixes the nominal arity. Ragged rows (more or fewer
+         fields) are tolerated at build time — each keeps its own anchors —
+         and reported as a per-row Parse_error at access time, so error
+         policies can skip or null-fill them instead of rejecting the file. *)
+      if !arity = 0 then arity := nf;
       (* Fixed-width check: identical relative offsets and row length. *)
       let rel =
         ( next - rstart,
@@ -100,11 +101,22 @@ let field_span t ~row ~field =
     let base = f.first_row + (row * f.row_len) in
     (base + f.field_offsets.(field), base + f.field_stops.(field))
   | None ->
-    let anchor = field / t.every in
-    let apos = t.anchors.(row).(anchor) in
+    let arow = t.anchors.(row) in
     let stop = t.row_stops.(row) in
-    (* Scan forward from the anchored field over (field mod every) fields. *)
-    Csv.nth_field_span t.config t.src ~start:apos ~stop (field mod t.every)
+    (* Ragged short rows may lack the anchor for [field]; fall back to the
+       last anchor the row has and let the forward scan report the missing
+       field as a Parse_error positioned at the row. *)
+    let anchor = min (field / t.every) (Array.length arow - 1) in
+    let apos = arow.(anchor) in
+    (* Scan forward from the anchored field over the remaining fields. *)
+    Csv.nth_field_span t.config t.src ~start:apos ~stop (field - (anchor * t.every))
+
+let row_arity t row =
+  match t.fixed with
+  | Some _ -> t.arity
+  | None ->
+    Csv.count_fields t.config t.src ~start:t.row_starts.(row)
+      ~stop:t.row_stops.(row)
 
 let byte_size t =
   match t.fixed with

@@ -13,7 +13,9 @@
 type t
 
 (** [build config ?every src] scans the file once. [every] is the anchor
-    stride N (default 5; stride 1 anchors every field). *)
+    stride N (default 5; stride 1 anchors every field). Ragged rows (arity
+    differing from the first row) are tolerated here and reported as
+    [Perror.Parse_error] when the row is accessed. *)
 val build : Csv.config -> ?every:int -> string -> t
 
 val config : t -> Csv.config
@@ -31,6 +33,10 @@ val field_span : t -> row:int -> field:int -> int * int
 
 (** Number of fields per row (from the first row). *)
 val arity : t -> int
+
+(** [row_arity t row] is the actual field count of one row — equal to
+    [arity t] except on ragged rows (always equal in fixed-width mode). *)
+val row_arity : t -> int -> int
 
 (** Index footprint in bytes (for the size ratios reported in Section 7.1). *)
 val byte_size : t -> int

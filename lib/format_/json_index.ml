@@ -286,7 +286,10 @@ let build src =
     | Some id -> id
     | None ->
       let id = !next_id in
-      if id > 0xFFFF then Perror.unsupported "json index: more than 65536 field paths";
+      if id > 0xFFFF then
+        Perror.unsupported
+          "json index: more than 65536 field paths (first overflowing path: %S)"
+          p;
       Hashtbl.replace path_ids p id;
       names := p :: !names;
       incr next_id;

@@ -1,0 +1,269 @@
+(* Per-query fault tolerance: error policies, bounded error budgets, a
+   cooperative cancellation token with deadlines, and a deterministic
+   structured error report.
+
+   A guarded query installs a context (see {!install}) around prepare +
+   run. The plug-in layer consults the active policy when it drives scans
+   ([Skip_row] probes each row's required accessors before committing the
+   tuple to the pipeline; [Null_fill] wraps accessors to substitute
+   [Value.Null]); the engines check the cancellation token at morsel/batch
+   boundaries; the cache layer compares error counts around a fill to
+   quarantine partially-filled columns.
+
+   Determinism: errors are accounted into per-morsel cells keyed by the
+   morsel index the recording domain is currently scanning (serial runs use
+   cell 0). Cells are merged in morsel order, and within a cell errors
+   arrive in scan order — so the merged report (counts, first-K samples,
+   per-source breakdown) is identical at any domain count, exactly like the
+   engine's per-morsel aggregate merge. *)
+
+type policy = Fail_fast | Skip_row | Null_fill
+
+let policy_name = function
+  | Fail_fast -> "fail"
+  | Skip_row -> "skip"
+  | Null_fill -> "null"
+
+type sample = {
+  sm_source : string;  (** dataset name *)
+  sm_row : int;        (** OID of the faulty element *)
+  sm_pos : int;        (** byte offset in the raw input; -1 when unknown *)
+  sm_msg : string;
+}
+
+type report = {
+  rp_policy : policy;
+  rp_errors : int;        (** every recoverable error observed *)
+  rp_skipped : int;       (** rows dropped under [Skip_row] *)
+  rp_nulled : int;        (** field reads nulled under [Null_fill] *)
+  rp_samples : sample list;            (** first [sample_cap] in scan order *)
+  rp_by_source : (string * int) list;  (** error count per dataset, sorted *)
+}
+
+exception Budget_exceeded of int
+(** The per-query error budget ([~max_errors]) was crossed; the payload is
+    the error count at the moment of the abort. *)
+
+exception Cancelled
+(** The cancellation token fired: a peer worker failed, or the query was
+    cancelled externally. *)
+
+exception Timed_out
+(** The query deadline passed. *)
+
+let sample_cap = 8
+
+(* Per-morsel accounting cell. The global first-K samples are always
+   contained in the concatenation of per-cell first-K prefixes, so each
+   cell keeps at most [sample_cap] samples. *)
+type cell = {
+  mutable c_errors : int;
+  mutable c_skipped : int;
+  mutable c_nulled : int;
+  mutable c_samples : sample list;  (* reversed *)
+  mutable c_nsamples : int;
+  mutable c_sources : (string * int) list;
+}
+
+type reason = R_none | R_cancel | R_deadline
+
+type ctx = {
+  cx_policy : policy;
+  cx_max_errors : int;  (* max_int = unlimited *)
+  cx_deadline : float option;  (* absolute, Unix.gettimeofday clock *)
+  cx_flag : reason Atomic.t;
+  cx_errors : int Atomic.t;
+  cx_mu : Mutex.t;
+  cx_cells : (int, cell) Hashtbl.t;
+}
+
+let current : ctx option Atomic.t = Atomic.make None
+
+(* Which morsel the calling domain is scanning: the engines set this from
+   their morsel loops; serial drivers leave it at 0. *)
+let morsel_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let set_morsel m = Domain.DLS.get morsel_key := m
+
+(* Process-wide totals behind the engine's proxy counters; they tick on
+   every recorded error and are reset by [Counters.reset]. *)
+let g_errors = Atomic.make 0
+let g_skipped = Atomic.make 0
+let g_nulled = Atomic.make 0
+
+let errors_total () = Atomic.get g_errors
+let skipped_total () = Atomic.get g_skipped
+let nulled_total () = Atomic.get g_nulled
+
+let reset_totals () =
+  Atomic.set g_errors 0;
+  Atomic.set g_skipped 0;
+  Atomic.set g_nulled 0
+
+let active () = Atomic.get current <> None
+
+let policy () =
+  match Atomic.get current with None -> Fail_fast | Some c -> c.cx_policy
+
+let skipping () = policy () = Skip_row
+let null_filling () = policy () = Null_fill
+
+(* Recoverable = data errors. Plan/type errors are bugs in the query or the
+   schema and always fail fast. *)
+let recoverable = function Perror.Parse_error _ -> true | _ -> false
+
+let exn_pos = function Perror.Parse_error { pos; _ } -> pos | _ -> -1
+
+let exn_msg e = Fmt.str "%a" Perror.pp_exn e
+
+let install ~policy ?(max_errors = max_int) ?deadline () =
+  let ctx =
+    {
+      cx_policy = policy;
+      cx_max_errors = max_errors;
+      cx_deadline = deadline;
+      cx_flag = Atomic.make R_none;
+      cx_errors = Atomic.make 0;
+      cx_mu = Mutex.create ();
+      cx_cells = Hashtbl.create 8;
+    }
+  in
+  set_morsel 0;
+  Atomic.set current (Some ctx);
+  ctx
+
+let clear () = Atomic.set current None
+
+(* Cancel the active query (if any): peers observe the token at their next
+   morsel/batch boundary. Used by the worker pool on the first failure and
+   available for external cancellation. *)
+let cancel () =
+  match Atomic.get current with
+  | None -> ()
+  | Some ctx -> ignore (Atomic.compare_and_set ctx.cx_flag R_none R_cancel)
+
+let check_cancel () =
+  match Atomic.get current with
+  | None -> ()
+  | Some ctx -> (
+    match Atomic.get ctx.cx_flag with
+    | R_cancel -> raise Cancelled
+    | R_deadline -> raise Timed_out
+    | R_none -> (
+      match ctx.cx_deadline with
+      | Some d when Unix.gettimeofday () > d ->
+        ignore (Atomic.compare_and_set ctx.cx_flag R_none R_deadline);
+        raise Timed_out
+      | _ -> ()))
+
+let budget_hit ctx = Atomic.get ctx.cx_errors > ctx.cx_max_errors
+
+let deadline_hit ctx = Atomic.get ctx.cx_flag = R_deadline
+
+let record_in ctx ~source ~row ~skipped ~nulled e =
+  let m = !(Domain.DLS.get morsel_key) in
+  Mutex.lock ctx.cx_mu;
+  let cell =
+    match Hashtbl.find_opt ctx.cx_cells m with
+    | Some c -> c
+    | None ->
+      let c =
+        { c_errors = 0; c_skipped = 0; c_nulled = 0; c_samples = [];
+          c_nsamples = 0; c_sources = [] }
+      in
+      Hashtbl.replace ctx.cx_cells m c;
+      c
+  in
+  cell.c_errors <- cell.c_errors + 1;
+  cell.c_skipped <- cell.c_skipped + skipped;
+  cell.c_nulled <- cell.c_nulled + nulled;
+  if cell.c_nsamples < sample_cap then begin
+    cell.c_samples <-
+      { sm_source = source; sm_row = row; sm_pos = exn_pos e; sm_msg = exn_msg e }
+      :: cell.c_samples;
+    cell.c_nsamples <- cell.c_nsamples + 1
+  end;
+  cell.c_sources <-
+    (match List.assoc_opt source cell.c_sources with
+    | Some n -> (source, n + 1) :: List.remove_assoc source cell.c_sources
+    | None -> (source, 1) :: cell.c_sources);
+  Mutex.unlock ctx.cx_mu;
+  let seen = 1 + Atomic.fetch_and_add ctx.cx_errors 1 in
+  if seen > ctx.cx_max_errors then begin
+    ignore (Atomic.compare_and_set ctx.cx_flag R_none R_cancel);
+    raise (Budget_exceeded seen)
+  end
+
+(* [record_skip ~source ~row e] accounts one row dropped by [Skip_row].
+   Raises [Budget_exceeded] when the error budget is crossed. *)
+let record_skip ~source ~row e =
+  ignore (Atomic.fetch_and_add g_errors 1);
+  ignore (Atomic.fetch_and_add g_skipped 1);
+  match Atomic.get current with
+  | None -> ()
+  | Some ctx -> record_in ctx ~source ~row ~skipped:1 ~nulled:0 e
+
+(* [record_null ~source ~row e] accounts one field read nulled by
+   [Null_fill]. Raises [Budget_exceeded] when the budget is crossed. *)
+let record_null ~source ~row e =
+  ignore (Atomic.fetch_and_add g_errors 1);
+  ignore (Atomic.fetch_and_add g_nulled 1);
+  match Atomic.get current with
+  | None -> ()
+  | Some ctx -> record_in ctx ~source ~row ~skipped:0 ~nulled:1 e
+
+let report ctx =
+  Mutex.lock ctx.cx_mu;
+  let cells =
+    Hashtbl.fold (fun m c acc -> (m, c) :: acc) ctx.cx_cells []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let errors = List.fold_left (fun acc (_, c) -> acc + c.c_errors) 0 cells in
+  let skipped = List.fold_left (fun acc (_, c) -> acc + c.c_skipped) 0 cells in
+  let nulled = List.fold_left (fun acc (_, c) -> acc + c.c_nulled) 0 cells in
+  let samples =
+    List.concat_map (fun (_, c) -> List.rev c.c_samples) cells
+    |> List.filteri (fun i _ -> i < sample_cap)
+  in
+  let by_source =
+    List.fold_left
+      (fun acc (_, c) ->
+        List.fold_left
+          (fun acc (s, n) ->
+            match List.assoc_opt s acc with
+            | Some m -> (s, m + n) :: List.remove_assoc s acc
+            | None -> (s, n) :: acc)
+          acc c.c_sources)
+      [] cells
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Mutex.unlock ctx.cx_mu;
+  {
+    rp_policy = ctx.cx_policy;
+    rp_errors = errors;
+    rp_skipped = skipped;
+    rp_nulled = nulled;
+    rp_samples = samples;
+    rp_by_source = by_source;
+  }
+
+let empty_report =
+  {
+    rp_policy = Fail_fast;
+    rp_errors = 0;
+    rp_skipped = 0;
+    rp_nulled = 0;
+    rp_samples = [];
+    rp_by_source = [];
+  }
+
+let pp_sample ppf s =
+  if s.sm_pos >= 0 then
+    Fmt.pf ppf "%s row %d (byte %d): %s" s.sm_source s.sm_row s.sm_pos s.sm_msg
+  else Fmt.pf ppf "%s row %d: %s" s.sm_source s.sm_row s.sm_msg
+
+let pp_report ppf r =
+  Fmt.pf ppf "error policy %s: %d errors (%d rows skipped, %d fields nulled)"
+    (policy_name r.rp_policy) r.rp_errors r.rp_skipped r.rp_nulled;
+  List.iter (fun (s, n) -> Fmt.pf ppf "@\n  %s: %d errors" s n) r.rp_by_source;
+  List.iter (fun s -> Fmt.pf ppf "@\n  sample: %a" pp_sample s) r.rp_samples

@@ -61,6 +61,7 @@ let of_rowpage page =
     field;
     whole = (fun () -> Rowpage.get_record page ~row:!row);
     unnest = (fun _ -> None);
+    validate = None;
   }
 
 let of_columns ~element cols =
@@ -93,4 +94,5 @@ let of_columns ~element cols =
     field;
     whole;
     unnest = (fun _ -> None);
+    validate = None;
   }

@@ -25,6 +25,7 @@ type t = {
     packed ->
     unit;
   should_cache_select : dataset:string -> bool;
+  quarantine : id:string -> unit;
 }
 
 let disabled =
@@ -37,4 +38,5 @@ let disabled =
     lookup_select = (fun ~dataset:_ ~binding:_ ~pred:_ ~paths:_ -> None);
     store_select = (fun ~dataset:_ ~binding:_ ~pred:_ ~paths:_ ~bias:_ _ -> ());
     should_cache_select = (fun ~dataset:_ -> false);
+    quarantine = (fun ~id:_ -> ());
   }

@@ -38,6 +38,11 @@ type t = {
     dataset:string -> binding:string -> pred:Expr.t -> paths:string list ->
     bias:Memory.Arena.bias -> packed -> unit;
   should_cache_select : dataset:string -> bool;
+  quarantine : id:string -> unit;
+      (** account one fill discarded instead of installed because the
+          producing scan saw errors or aborted (install-on-commit: a query
+          that skips rows or dies mid-scan must never install a
+          partially-filled or hole-y cache block) *)
 }
 
 (** A cache handle that never hits and never stores (caching disabled). *)

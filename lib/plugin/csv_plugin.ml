@@ -91,6 +91,23 @@ let make ~config ~schema ~index ~src =
     Value.record (List.map (fun (name, a) -> (name, a.Access.get_val ())) accessors)
   in
   ignore config;
+  (* Fixed-width files are uniform by construction; otherwise check the
+     current row's arity against the file's nominal arity, so ragged rows
+     (fewer OR extra fields) surface as positioned Parse_errors under the
+     error policies instead of being silently mis-read. *)
+  let validate =
+    if Csv_index.is_fixed_width index then None
+    else
+      let expected = Csv_index.arity index in
+      Some
+        (fun () ->
+          let nf = Csv_index.row_arity index !row in
+          if nf <> expected then begin
+            let s, _ = Csv_index.row_span index !row in
+            Perror.parse_error ~what:"csv" ~pos:s
+              "row has %d fields, expected %d" nf expected
+          end)
+  in
   {
     Source.element = Schema.to_type schema;
     count = Csv_index.row_count index;
@@ -98,4 +115,5 @@ let make ~config ~schema ~index ~src =
     field;
     whole;
     unnest = (fun _ -> None);
+    validate;
   }

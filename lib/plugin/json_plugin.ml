@@ -352,4 +352,5 @@ let make ~element ~index =
     field;
     whole;
     unnest;
+    validate = None;
   }

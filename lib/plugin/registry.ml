@@ -62,14 +62,29 @@ let collect_stats t (d : Dataset.t) (src : Source.t) =
   in
   if accessors <> [] then
     for i = 0 to src.Source.count - 1 do
+      if i land 1023 = 0 then Fault.check_cancel ();
       src.Source.seek i;
       List.iter
         (fun (path, access) ->
           match access.Access.get_val () with
           | v -> Stats.observe stats path v
-          | exception Perror.Type_error _ -> ())
+          | exception Perror.Type_error _ -> ()
+          (* statistics are advisory: under a degraded error policy a
+             corrupt field must not abort the query from the stats pass
+             (the scan's own accounting owns error reporting) *)
+          | exception Perror.Parse_error _
+            when Fault.skipping () || Fault.null_filling () ->
+            ())
         accessors
     done
+
+(* Index-build failures name the dataset: the byte offset alone is useless
+   to a user when a query touches several files. *)
+let with_dataset_context name f =
+  try f () with
+  | Perror.Parse_error { what; pos; msg } ->
+    raise (Perror.Parse_error { what = what ^ ":" ^ name; pos; msg })
+  | Perror.Unsupported m -> Perror.unsupported "%s (dataset %s)" m name
 
 (* The heavy per-dataset artifacts (parsed row pages, structural indexes)
    are built once; the returned thunk stamps out cheap source views — each
@@ -89,7 +104,7 @@ let build_factory t (d : Dataset.t) : unit -> Source.t =
   | Dataset.Csv config, (Dataset.File _ | Dataset.Blob _) ->
     let bytes = Catalog.contents t.catalog d in
     let t0 = Unix.gettimeofday () in
-    let index = Csv_index.build config bytes in
+    let index = with_dataset_context d.name (fun () -> Csv_index.build config bytes) in
     let info =
       {
         size_bytes = Csv_index.byte_size index;
@@ -108,7 +123,7 @@ let build_factory t (d : Dataset.t) : unit -> Source.t =
   | Dataset.Json, (Dataset.File _ | Dataset.Blob _) ->
     let bytes = Catalog.contents t.catalog d in
     let t0 = Unix.gettimeofday () in
-    let index = Json_index.build bytes in
+    let index = with_dataset_context d.name (fun () -> Json_index.build bytes) in
     let info =
       {
         size_bytes = Json_index.byte_size index;
@@ -158,6 +173,15 @@ let fresh_source t name =
 
 let index_info t name = Hashtbl.find_opt t.infos name
 
+(* Swap in a replacement factory — the fault-injection harness wraps the
+   real source with failing accessors this way. The shared source is
+   replaced immediately (not lazily) so cold-statistics collection, which
+   already happened over the genuine source, is not re-run over the
+   injected one. The dataset must already be registered. *)
+let install_factory t name f =
+  Hashtbl.replace t.factories name f;
+  Hashtbl.replace t.sources name (f ())
+
 let invalidate t name =
   Hashtbl.remove t.sources name;
   Hashtbl.remove t.factories name;
@@ -173,6 +197,8 @@ type scan = {
     lo:int -> hi:int -> batch:int -> on_batch:(base:int -> len:int -> unit) -> unit;
   sc_fills : bool;
   sc_cache_hits : string list;
+  sc_probe : (unit -> unit) option;
+  sc_dataset : string;
 }
 
 (* A cache fill: evaluates one path per row into a column builder, using the
@@ -187,12 +213,27 @@ let make_fill (access : Access.t) builder : unit -> unit =
   | None, _, _, _, Some get -> fun () -> Builder.add_string builder (get ())
   | _ -> fun () -> Builder.add_value builder (access.Access.get_val ())
 
-let scan_of t ~dataset ~required ~(raw : Source.t) ~fill =
+let scan_of t ~dataset ~required ~whole ~(raw : Source.t) ~fill =
   let d = Catalog.find t.catalog dataset in
   let oid = ref 0 in
   let bias = Dataset.bias d.format in
+  (* Null_fill wraps each raw accessor so a recoverable parse failure reads
+     as [Value.Null] (accounted per field). The wrapper is boxed-only, so
+     downstream batch kernels fall back to the scalar-within-selection
+     path automatically — faults never corrupt a vectorized lane. *)
+  let null_wrap (a : Access.t) =
+    Access.boxed
+      (Ptype.Option (Ptype.unwrap_option a.Access.ty))
+      (fun () ->
+        try a.Access.get_val ()
+        with e when Fault.recoverable e ->
+          Fault.record_null ~source:dataset ~row:!oid e;
+          Value.Null)
+  in
   (* Route each required path: cache hit -> column accessor; miss elected by
-     the policy -> raw accessor + fill into a fresh cache column. *)
+     the policy -> raw accessor + fill into a fresh cache column. Under
+     Null_fill no fills are elected: a column with substituted nulls must
+     never be installed as if it were the field's true contents. *)
   let routed = Hashtbl.create 8 in
   let to_fill = ref [] in
   let hits = ref [] in
@@ -204,7 +245,7 @@ let scan_of t ~dataset ~required ~(raw : Source.t) ~fill =
         Hashtbl.replace routed path (Access.of_column col ~cur:oid ty);
         hits := path :: !hits
       | None ->
-        if fill then
+        if fill && not (Fault.null_filling ()) then
           let ty = try Some (Source.field_type d.element path) with Perror.Plan_error _ -> None in
           (match ty with
           | Some ty
@@ -216,38 +257,109 @@ let scan_of t ~dataset ~required ~(raw : Source.t) ~fill =
   let field path =
     match Hashtbl.find_opt routed path with
     | Some a -> a
-    | None -> raw.Source.field path
+    | None ->
+      let a = raw.Source.field path in
+      if Fault.null_filling () then null_wrap a else a
   in
   let seek i =
     raw.Source.seek i;
     oid := i
   in
   let sc_source = { raw with Source.field; seek } in
-  let sc_run ~on_tuple =
-    match !to_fill with
-    | [] -> Source.run sc_source ~on_tuple
-    | to_fill ->
-      (* Builders are created per run so that re-executing the compiled
-         query cannot append duplicate rows to a cache column. *)
-      let fills =
-        List.map
-          (fun (path, ty, access) ->
-            let builder = Proteus_storage.Column.Builder.create ty in
-            (path, builder, make_fill access builder))
-          to_fill
-      in
-      for i = 0 to raw.Source.count - 1 do
+  (* Skip_row is probe-then-commit: before a row enters the pipeline, read
+     every fallible accessor the query needs at that row (cache-routed paths
+     are infallible and skipped) plus the format's structural validator.
+     A row that probes clean cannot fail downstream, so operators, fills and
+     aggregates only ever see the valid subset — which is what makes skip
+     runs bit-identical to a clean run over that subset. *)
+  let probe =
+    let parts =
+      List.filter_map
+        (fun path ->
+          if Hashtbl.mem routed path then None
+          else
+            match raw.Source.field path with
+            | a -> Some (fun () -> ignore (a.Access.get_val ()))
+            | exception Perror.Plan_error _ -> None)
+        required
+    in
+    let parts =
+      if whole then parts @ [ (fun () -> ignore (raw.Source.whole ())) ] else parts
+    in
+    let parts =
+      match raw.Source.validate with Some v -> v :: parts | None -> parts
+    in
+    match parts with
+    | [] -> None
+    | parts -> Some (fun () -> List.iter (fun f -> f ()) parts)
+  in
+  (* Policy-aware tuple loop: checks the cancellation token every 1024 rows
+     and, under Skip_row, drops rows whose probe fails. *)
+  let policy_run ~lo ~hi ~on_tuple =
+    match probe with
+    | Some p when Fault.skipping () ->
+      for i = lo to hi - 1 do
+        if i land 1023 = 0 then Fault.check_cancel ();
         seek i;
-        List.iter (fun (_, _, fill) -> fill ()) fills;
+        match p () with
+        | () -> on_tuple ()
+        | exception e when Fault.recoverable e ->
+          Fault.record_skip ~source:dataset ~row:i e
+      done
+    | _ ->
+      for i = lo to hi - 1 do
+        if i land 1023 = 0 then Fault.check_cancel ();
+        seek i;
         on_tuple ()
-      done;
+      done
+  in
+  let make_fills to_fill =
+    (* Builders are created per run so that re-executing the compiled
+       query cannot append duplicate rows to a cache column. *)
+    List.map
+      (fun (path, ty, access) ->
+        let builder = Proteus_storage.Column.Builder.create ty in
+        (path, builder, make_fill access builder))
+      to_fill
+  in
+  (* Install-on-commit: a fill whose producing run recorded any error (rows
+     skipped -> hole-y column) or died mid-scan (abort, cancellation,
+     budget) is discarded and counted as quarantined, never stored. *)
+  let commit_fills fills ~ok =
+    if ok then
       List.iter
         (fun (path, builder, _) ->
           t.cache.Cache_iface.store_field ~dataset ~path ~bias
             (Proteus_storage.Column.Builder.finish builder))
         fills
+    else
+      List.iter
+        (fun (path, _, _) ->
+          t.cache.Cache_iface.quarantine ~id:(dataset ^ "." ^ path))
+        fills
   in
-  let sc_run_range ~lo ~hi ~on_tuple = Source.run_range sc_source ~lo ~hi ~on_tuple in
+  let sc_run ~on_tuple =
+    match !to_fill with
+    | [] ->
+      if Fault.active () then policy_run ~lo:0 ~hi:raw.Source.count ~on_tuple
+      else Source.run sc_source ~on_tuple
+    | to_fill ->
+      let fills = make_fills to_fill in
+      let e0 = Fault.errors_total () in
+      let do_fills () = List.iter (fun (_, _, fill) -> fill ()) fills in
+      (try
+         policy_run ~lo:0 ~hi:raw.Source.count ~on_tuple:(fun () ->
+             do_fills ();
+             on_tuple ())
+       with e ->
+         commit_fills fills ~ok:false;
+         raise e);
+      commit_fills fills ~ok:(Fault.errors_total () = e0)
+  in
+  let sc_run_range ~lo ~hi ~on_tuple =
+    if Fault.active () then policy_run ~lo ~hi ~on_tuple
+    else Source.run_range sc_source ~lo ~hi ~on_tuple
+  in
   let sc_run_batches ~batch ~on_batch =
     match !to_fill with
     | [] -> Source.run_batches sc_source ~batch ~on_batch
@@ -255,25 +367,22 @@ let scan_of t ~dataset ~required ~(raw : Source.t) ~fill =
       (* Filling scans materialize whole batches: every row of the batch is
          seeked and appended to the cache builders *before* the batch is
          handed to the (possibly filtering) consumer, so cache columns come
-         out identical to the tuple lane's. *)
-      let fills =
-        List.map
-          (fun (path, ty, access) ->
-            let builder = Proteus_storage.Column.Builder.create ty in
-            (path, builder, make_fill access builder))
-          to_fill
-      in
-      Source.run_batches sc_source ~batch ~on_batch:(fun ~base ~len ->
-          for i = base to base + len - 1 do
-            seek i;
-            List.iter (fun (_, _, fill) -> fill ()) fills
-          done;
-          on_batch ~base ~len);
-      List.iter
-        (fun (path, builder, _) ->
-          t.cache.Cache_iface.store_field ~dataset ~path ~bias
-            (Proteus_storage.Column.Builder.finish builder))
-        fills
+         out identical to the tuple lane's. Under an active error policy the
+         engine keeps filling scans off the batch lane, so this path only
+         needs abort quarantine, not per-row skipping. *)
+      let fills = make_fills to_fill in
+      let e0 = Fault.errors_total () in
+      (try
+         Source.run_batches sc_source ~batch ~on_batch:(fun ~base ~len ->
+             for i = base to base + len - 1 do
+               seek i;
+               List.iter (fun (_, _, fill) -> fill ()) fills
+             done;
+             on_batch ~base ~len)
+       with e ->
+         commit_fills fills ~ok:false;
+         raise e);
+      commit_fills fills ~ok:(Fault.errors_total () = e0)
   in
   let sc_run_range_batches ~lo ~hi ~batch ~on_batch =
     Source.run_range_batches sc_source ~lo ~hi ~batch ~on_batch
@@ -287,10 +396,12 @@ let scan_of t ~dataset ~required ~(raw : Source.t) ~fill =
     sc_run_range_batches;
     sc_fills = !to_fill <> [];
     sc_cache_hits = List.rev !hits;
+    sc_probe = probe;
+    sc_dataset = dataset;
   }
 
-let scan t ~dataset ~required =
-  scan_of t ~dataset ~required ~raw:(source t dataset) ~fill:true
+let scan ?(whole = false) t ~dataset ~required =
+  scan_of t ~dataset ~required ~whole ~raw:(source t dataset) ~fill:true
 
-let scan_view t ~dataset ~required =
-  scan_of t ~dataset ~required ~raw:(fresh_source t dataset) ~fill:false
+let scan_view ?(whole = false) t ~dataset ~required =
+  scan_of t ~dataset ~required ~whole ~raw:(fresh_source t dataset) ~fill:false

@@ -34,6 +34,12 @@ val source : t -> string -> Source.t
     statistics exactly once. *)
 val fresh_source : t -> string -> Source.t
 
+(** [factory t name] is the dataset's source factory (building it on first
+    use): each call stamps out a fresh view. Exposed so wrappers (e.g. the
+    fault-injection harness) can capture the genuine factory before
+    replacing it with {!install_factory}. *)
+val factory : t -> string -> unit -> Source.t
+
 (** [index_info t name] is available after the first access to a CSV or
     JSON dataset. *)
 val index_info : t -> string -> index_info option
@@ -66,14 +72,31 @@ type scan = {
           scans must stay serial: a morsel range cannot produce a complete
           column) *)
   sc_cache_hits : string list;  (** required paths served from cache *)
+  sc_probe : (unit -> unit) option;
+      (** reads every fallible accessor the query requires at the current
+          cursor (plus the format's structural validator and, when [whole],
+          the boxed element) — the Skip_row commit test. [None] when the
+          scan cannot fail (all paths cache-routed or binary). *)
+  sc_dataset : string;  (** dataset name, for error attribution *)
 }
 
 (** [scan t ~dataset ~required] prepares a scan reading the [required]
-    dotted paths. *)
-val scan : t -> dataset:string -> required:string list -> scan
+    dotted paths. [whole] declares that the consumer also reconstructs
+    whole elements (Volcano-style [Whole] requirements), so the Skip_row
+    probe must cover the full element, not just [required]. Scan drivers
+    honour the active {!Proteus_model.Fault} policy: they skip faulty rows
+    (probe-then-commit), check the cancellation token at row-chunk
+    boundaries, and quarantine cache fills of runs that saw errors. *)
+val scan : ?whole:bool -> t -> dataset:string -> required:string list -> scan
 
 (** [scan_view t ~dataset ~required] is like {!scan} but over a
     {!fresh_source} view and with cache filling disabled — the per-worker
     scan of morsel-driven parallel execution. Cache-hit paths still route
     to their (read-only) cache columns. *)
-val scan_view : t -> dataset:string -> required:string list -> scan
+val scan_view : ?whole:bool -> t -> dataset:string -> required:string list -> scan
+
+(** [install_factory t name f] replaces the source factory of a registered
+    dataset — the hook the fault-injection test harness uses to wrap real
+    sources with failing accessors. The shared source view is replaced
+    eagerly so cold statistics are not re-collected through [f]. *)
+val install_factory : t -> string -> (unit -> Source.t) -> unit

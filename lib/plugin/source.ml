@@ -15,6 +15,7 @@ type t = {
   field : string -> Access.t;
   whole : unit -> Value.t;
   unnest : string -> unnest_spec option;
+  validate : (unit -> unit) option;
 }
 
 let run t ~on_tuple =

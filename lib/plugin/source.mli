@@ -40,6 +40,13 @@ type t = {
   whole : unit -> Value.t;      (** the full current element, boxed *)
   unnest : string -> unnest_spec option;
       (** [None] when the path is not a nested collection *)
+  validate : (unit -> unit) option;
+      (** structural check of the {e current} element beyond what the
+          requested accessors would touch (e.g. CSV row arity against the
+          file's nominal arity); raises [Perror.Parse_error] on a malformed
+          element. [None] when the format has nothing extra to check.
+          Consulted by the error-policy scan drivers before committing a
+          row; plain [Fail_fast] scans never call it. *)
 }
 
 (** [run t ~on_tuple] is the scan loop: seek 0..count-1, calling [on_tuple]

@@ -262,6 +262,35 @@ let comprehension ?(engine = Executor.Engine_compiled) ?domains ?batch_size t q 
   let calc = Proteus_lang.Comprehension.parse q in
   Executor.run ?batch_size t.registry ~engine (of_calc t calc)
 
+type outcome = Proteus_engine.Executor.outcome =
+  | Completed of Value.t * Fault.report
+  | Failed of Fault.report * exn
+  | Timed_out of Fault.report
+  | Cancelled of Fault.report
+
+let run_plan_guarded ?(engine = Executor.Engine_compiled) ?domains ?batch_size
+    ?policy ?max_errors ?timeout_ms ?(optimize = true) t plan =
+  let engine = resolve_engine engine domains in
+  let plan =
+    if optimize then Proteus_optimizer.Optimizer.optimize t.catalog plan else plan
+  in
+  Executor.run_guarded ?batch_size ?policy ?max_errors ?timeout_ms t.registry
+    ~engine plan
+
+let sql_guarded ?(engine = Executor.Engine_compiled) ?domains ?batch_size ?policy
+    ?max_errors ?timeout_ms t q =
+  let engine = resolve_engine engine domains in
+  let stmt = Proteus_lang.Sql.parse_statement ~resolve:(resolver t) q in
+  Executor.run_guarded ?batch_size ?policy ?max_errors ?timeout_ms t.registry
+    ~engine (wrap_ordering t stmt)
+
+let comprehension_guarded ?(engine = Executor.Engine_compiled) ?domains ?batch_size
+    ?policy ?max_errors ?timeout_ms t q =
+  let engine = resolve_engine engine domains in
+  let calc = Proteus_lang.Comprehension.parse q in
+  Executor.run_guarded ?batch_size ?policy ?max_errors ?timeout_ms t.registry
+    ~engine (of_calc t calc)
+
 let plan_sql t q = wrap_ordering t (Proteus_lang.Sql.parse_statement ~resolve:(resolver t) q)
 
 let plan_comprehension t q = of_calc t (Proteus_lang.Comprehension.parse q)

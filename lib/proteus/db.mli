@@ -130,6 +130,60 @@ val run_plan :
   Proteus_algebra.Plan.t ->
   Value.t
 
+(** {1 Guarded (fault-tolerant) querying}
+
+    The [_guarded] variants run under a per-query error policy
+    ({!Proteus_model.Fault.policy}) instead of failing on the first data
+    error: [Skip_row] drops rows whose required fields fail to parse,
+    [Null_fill] substitutes [Null] for unreadable fields, and the default
+    [Fail_fast] is exactly the plain entry point's semantics but returning
+    [Failed] instead of raising. The outcome carries a structured error
+    report (counts, first error samples with byte positions, per-source
+    breakdown). [max_errors] bounds the recoverable errors absorbed before
+    the query aborts; [timeout_ms] sets a cooperative deadline checked at
+    morsel/batch boundaries — on a parallel engine, one worker's failure or
+    an expired deadline stops its peers within one morsel. *)
+
+type outcome = Proteus_engine.Executor.outcome =
+  | Completed of Value.t * Proteus_model.Fault.report
+  | Failed of Proteus_model.Fault.report * exn
+  | Timed_out of Proteus_model.Fault.report
+  | Cancelled of Proteus_model.Fault.report
+
+val sql_guarded :
+  ?engine:engine ->
+  ?domains:int ->
+  ?batch_size:int ->
+  ?policy:Proteus_model.Fault.policy ->
+  ?max_errors:int ->
+  ?timeout_ms:int ->
+  t ->
+  string ->
+  outcome
+
+val comprehension_guarded :
+  ?engine:engine ->
+  ?domains:int ->
+  ?batch_size:int ->
+  ?policy:Proteus_model.Fault.policy ->
+  ?max_errors:int ->
+  ?timeout_ms:int ->
+  t ->
+  string ->
+  outcome
+
+val run_plan_guarded :
+  ?engine:engine ->
+  ?domains:int ->
+  ?batch_size:int ->
+  ?policy:Proteus_model.Fault.policy ->
+  ?max_errors:int ->
+  ?timeout_ms:int ->
+  ?optimize:bool ->
+  t ->
+  Proteus_algebra.Plan.t ->
+  outcome
+
 (** [plan_sql db q] is the optimized physical plan (EXPLAIN). *)
 val plan_sql : t -> string -> Proteus_algebra.Plan.t
 

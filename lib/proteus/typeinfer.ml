@@ -94,12 +94,13 @@ let parses f src start stop =
 
 let of_csv ?(config = Csv.default_config) contents =
   let config = { config with Csv.has_header = true } in
+  let header_start = Csv.bom_skip contents in
   let header_stop =
-    let _, stop, _ = Csv.row_bounds contents ~pos:0 in
+    let _, stop, _ = Csv.row_bounds contents ~pos:header_start in
     stop
   in
   let names =
-    Csv.field_spans config contents ~start:0 ~stop:header_stop
+    Csv.field_spans config contents ~start:header_start ~stop:header_stop
     |> List.map (fun (s, e) -> Csv.parse_string contents ~start:s ~stop:e)
   in
   if names = [] then invalid_arg "Typeinfer.of_csv: empty input";

@@ -1,0 +1,132 @@
+(* Deterministic fault injection for the test suite.
+
+   Two layers:
+
+   - fixture corruptors: pure string -> string transforms that damage raw
+     CSV/JSON/binjson inputs in reproducible ways (garbled numerics, ragged
+     rows, truncation, unbalanced braces, flipped tag bytes). All are
+     deterministic functions of the row index, so every engine configuration
+     sees the same faults at the same offsets.
+
+   - an injectable failing source: wraps a registered dataset's source
+     factory so chosen rows raise [Perror.Parse_error] from their field
+     accessors, with a shared seek counter — the hook for asserting that
+     cancellation actually stops workers from draining the input. *)
+
+open Proteus_model
+open Proteus_plugin
+
+(* --- fixture corruptors ------------------------------------------------- *)
+
+let map_lines src f =
+  String.split_on_char '\n' src |> List.mapi f |> String.concat "\n"
+
+(* Replace the first character of row [i]'s [field]-th CSV field with 'x'
+   when [pick i] — length-preserving, so the structural index builds fine
+   and the damage surfaces as a parse error at access time. *)
+let garble_csv_field ~field ~pick src =
+  map_lines src (fun i line ->
+      if line = "" || not (pick i) then line
+      else
+        String.split_on_char ',' line
+        |> List.mapi (fun j p ->
+               if j = field && String.length p > 0 then
+                 "x" ^ String.sub p 1 (String.length p - 1)
+               else p)
+        |> String.concat ",")
+
+(* Drop the last field of picked rows: fewer fields than the nominal arity
+   (a ragged row the arity validator must flag). *)
+let drop_csv_last_field ~pick src =
+  map_lines src (fun i line ->
+      if line = "" || not (pick i) then line
+      else
+        match String.rindex_opt line ',' with
+        | Some c -> String.sub line 0 c
+        | None -> line)
+
+(* Append a surplus field to picked rows: more fields than the nominal
+   arity. *)
+let add_csv_field ~pick src =
+  map_lines src (fun i line -> if line = "" || not (pick i) then line else line ^ ",9")
+
+let truncate ~at src = String.sub src 0 (min at (String.length src))
+
+(* Garble ["key": <int>] on picked JSON-lines rows into a float-shaped
+   token ("123" -> "1.23"): the structural index still builds (it is a
+   valid JSON number), but decoding the span as an int fails at access
+   time with the byte position — the JSON analogue of a garbled CSV
+   numeric. *)
+let garble_json_number ~key ~pick src =
+  let marker = "\"" ^ key ^ "\":" in
+  let mlen = String.length marker in
+  map_lines src (fun i line ->
+      if not (pick i) then line
+      else
+        let n = String.length line in
+        let rec find j =
+          if j + mlen > n then None
+          else if String.sub line j mlen = marker then Some (j + mlen)
+          else find (j + 1)
+        in
+        match find 0 with
+        | None -> line
+        | Some v ->
+          let v = if v < n && line.[v] = ' ' then v + 1 else v in
+          let w = ref v in
+          while
+            !w < n && (match line.[!w] with '0' .. '9' | '-' -> true | _ -> false)
+          do
+            incr w
+          done;
+          if !w - v < 2 then
+            String.sub line 0 v ^ "1.5" ^ String.sub line !w (n - !w)
+          else
+            String.sub line 0 (v + 1) ^ "." ^ String.sub line (v + 1) (n - v - 1))
+
+(* Remove the closing brace of picked JSON-lines rows: structurally
+   unbalanced input the index builder must reject with a position. *)
+let unbalance_json ~pick src =
+  map_lines src (fun i line ->
+      if (not (pick i)) || String.length line = 0 then line
+      else
+        match String.rindex_opt line '}' with
+        | Some c -> String.sub line 0 c ^ String.sub line (c + 1) (String.length line - c - 1)
+        | None -> line)
+
+(* Overwrite one byte — e.g. a binjson tag — with an invalid value. *)
+let flip_byte ~at s =
+  let b = Bytes.of_string s in
+  Bytes.set b at '\xfe';
+  Bytes.to_string b
+
+(* --- injectable failing source ------------------------------------------ *)
+
+(* [inject reg ~dataset ~fail_at] wraps [dataset]'s source factory: reading
+   any field at a row where [fail_at row] holds raises a recoverable
+   [Parse_error]. Returns the shared seek counter, which every view created
+   after the injection increments on each cursor move — across all domains.
+   The dataset's index and cold statistics are forced over the genuine
+   source first, so the injection only affects query execution. *)
+let inject reg ~dataset ~fail_at =
+  ignore (Registry.source reg dataset);
+  let seeks = Atomic.make 0 in
+  let genuine = Registry.factory reg dataset in
+  let wrap (src : Source.t) =
+    let cur = ref 0 in
+    let seek i =
+      Atomic.incr seeks;
+      cur := i;
+      src.Source.seek i
+    in
+    let field path =
+      let a = src.Source.field path in
+      Access.boxed a.Access.ty (fun () ->
+          if fail_at !cur then
+            Perror.parse_error ~what:"inject" ~pos:!cur "injected fault at row %d" !cur
+          else a.Access.get_val ())
+    in
+    { src with Source.seek; field }
+  in
+  Registry.install_factory reg dataset (fun () -> wrap (genuine ()));
+  seeks
