@@ -32,6 +32,20 @@ let baseline : (string * int * float) list =
     ("JSON Q6-shape (4 aggr)", 2, 13.8412); ("JSON Q6-shape (4 aggr)", 4, 13.8171);
   ]
 
+(* Pre-blit curve (PR 5): the parallel join build concatenated its
+   per-(worker, morsel) buffers with per-row pushes, leaving a serial tail
+   after the fan-out; kept verbatim so the JSON carries before/after the
+   Array.blit concatenation. Measured on the same cells as "bin join". *)
+let baseline_pre_blit : (string * int * float) list =
+  [
+    ("bin join (2 aggr)", 0, 12.0380); ("bin join (2 aggr)", 1, 11.0760);
+    ("bin join (2 aggr)", 2, 11.9629); ("bin join (2 aggr)", 4, 12.7680);
+    ("bin join (2 aggr) (scaling)", 1, 16.4270);
+    ("bin join (2 aggr) (scaling)", 2, 16.5029);
+    ("bin join (2 aggr) (scaling)", 4, 20.6680);
+    ("bin join (2 aggr) (scaling)", 8, 15.8720);
+  ]
+
 let tune plan =
   Proteus_optimizer.Rewrite.extract_join_keys
     (Proteus_optimizer.Rewrite.pushdown_selections plan)
@@ -40,12 +54,37 @@ let tune plan =
    serial engine entry *)
 let records : (string * int * float) list ref = ref []
 
+(* cold-run cells: caches cleared before every iteration, so each run is a
+   cache-filling pass — the segmented fill riding the morsel spine. Emitted
+   as the "cold fill" engine column so cold and warm scaling sit side by
+   side in the JSON. *)
+let cold_records : (string * int * float) list ref = ref []
+
 let measure_at db ~domains plan =
   let prepared = Proteus.Db.prepare_plan ~domains db plan in
   Util.measure_n 9 (fun () -> ignore (prepared.Proteus.Db.run ()))
 
 let domain_counts =
   List.sort_uniq compare [ 1; 2; max_domains ]
+
+let cold_cell name db plan =
+  let plan = tune plan in
+  Fmt.pr "   cold fill, %s:" name;
+  List.iter
+    (fun d ->
+      let t =
+        Util.measure_n 9 (fun () ->
+            (* drop the caches, keep the structural indexes: the cell
+               isolates fill + scan, not index construction *)
+            Proteus.Db.set_caching ~clear:true db true;
+            ignore (Proteus.Db.run_plan ~domains:d db plan))
+      in
+      cold_records := (name, d, t) :: !cold_records;
+      Fmt.pr " %dd=%.2fms" d (Util.ms t))
+    domain_counts;
+  Fmt.pr "@.";
+  (* leave the session warm again for any cell measured after this one *)
+  ignore (Proteus.Db.run_plan db plan)
 
 let cell name db plan =
   let plan = tune plan in
@@ -85,6 +124,16 @@ let emit_json path =
            (max 1 domains) (Util.ms t)
            (if i = List.length entries - 1 then "" else ",")))
     entries;
+  Buffer.add_string buf "  ],\n  \"cold_fill\": [\n";
+  let colds = List.rev !cold_records in
+  List.iteri
+    (fun i (name, domains, t) ->
+      Buffer.add_string buf
+        (Fmt.str
+           "    {\"cell\": %S, \"engine\": \"cold fill\", \"domains\": %d, \"median_ms\": %.4f}%s\n"
+           name domains (Util.ms t)
+           (if i = List.length colds - 1 then "" else ",")))
+    colds;
   Buffer.add_string buf "  ],\n  \"baseline_pre_partitioning\": [\n";
   List.iteri
     (fun i (name, domains, ms) ->
@@ -95,6 +144,16 @@ let emit_json path =
            (max 1 domains) ms
            (if i = List.length baseline - 1 then "" else ",")))
     baseline;
+  Buffer.add_string buf "  ],\n  \"baseline_pre_blit\": [\n";
+  List.iteri
+    (fun i (name, domains, ms) ->
+      Buffer.add_string buf
+        (Fmt.str "    {\"cell\": %S, \"engine\": %S, \"domains\": %d, \"median_ms\": %.4f}%s\n"
+           name
+           (if domains = 0 then "serial" else "parallel")
+           (max 1 domains) ms
+           (if i = List.length baseline_pre_blit - 1 then "" else ",")))
+    baseline_pre_blit;
   Buffer.add_string buf "  ]\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -120,8 +179,13 @@ let run_all (je : Tpch_figs.json_env) (be : Tpch_figs.bin_env) =
       cell "bin join (2 aggr)" bdb (join boc);
     ]
   in
-  (* Symantec: warm the adaptive caches with one serial pass (cache fills
-     are always serial), then measure over the warm session *)
+  (* cold-run scaling: the cache-filling pass itself, at 1..N domains —
+     since PR 5 the fill rides the morsel spine instead of forcing the
+     serial fallback *)
+  cold_cell "JSON Q6-shape (4 aggr)" jdb (q6 joc);
+  cold_cell "JSON Q1-shape (group-by)" jdb (q1 joc);
+  (* Symantec: warm the adaptive caches with one pass (cold fills run
+     parallel too, but the cells below measure the warm steady state) *)
   let s =
     Symantec.generate
       ~params:
@@ -141,6 +205,9 @@ let run_all (je : Tpch_figs.json_env) (be : Tpch_figs.bin_env) =
   Proteus.Db.register_rows sdb ~name:Symantec.bin_name ~element:Symantec.bin_type
     s.Symantec.bin_records;
   let squeries = Symantec.queries s in
+  (match List.assoc_opt "Q16" squeries with
+  | Some plan -> cold_cell "Symantec Q16" sdb plan
+  | None -> ());
   List.iter (fun (_, plan) -> ignore (Proteus.Db.run_plan sdb (tune plan))) squeries;
   let srows =
     List.filter_map

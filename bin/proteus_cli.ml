@@ -275,6 +275,12 @@ let run jsons csvs q engine domains batch_size policy max_errors timeout_ms stat
         if stats then begin
           Fmt.epr "%a@." Proteus_engine.Counters.pp
             (Proteus_engine.Counters.snapshot ());
+          let cs = Proteus.Db.cache_stats db in
+          if cs.Proteus_cache.Manager.fill_commits > 0 || cs.quarantined > 0 then
+            Fmt.epr
+              "cache fills: commits=%d segments=%d rows=%d quarantined=%d@."
+              cs.Proteus_cache.Manager.fill_commits cs.fill_segments cs.fill_rows
+              cs.quarantined;
           Fmt.epr "%a" pp_report report
         end;
         0

@@ -47,6 +47,9 @@ type stats = {
   select_subsumed : int;  (* matches that needed a residual re-filter *)
   select_stores : int;
   quarantined : int;      (* fills discarded: producing run saw errors/abort *)
+  fill_commits : int;     (* committed segmented fills (one per dataset scan) *)
+  fill_segments : int;    (* per-(worker,morsel) segments blit-assembled *)
+  fill_rows : int;        (* rows materialized across committed fills *)
 }
 
 type t = {
@@ -66,6 +69,9 @@ type t = {
   mutable select_subsumed : int;
   mutable select_stores : int;
   mutable quarantined : int;
+  mutable fill_commits : int;
+  mutable fill_segments : int;
+  mutable fill_rows : int;
 }
 
 and select_entry = {
@@ -93,6 +99,9 @@ let create ?(config = default_config) catalog =
     select_subsumed = 0;
     select_stores = 0;
     quarantined = 0;
+    fill_commits = 0;
+    fill_segments = 0;
+    fill_rows = 0;
   }
 
 let field_id dataset path = Fmt.str "field:%s:%s" dataset path
@@ -243,6 +252,13 @@ let quarantine t ~id =
   t.quarantined <- t.quarantined + 1;
   Log.debug (fun m -> m "quarantined fill %s (producing run saw errors)" id)
 
+let note_fill t ~dataset ~segments ~rows =
+  t.fill_commits <- t.fill_commits + 1;
+  t.fill_segments <- t.fill_segments + segments;
+  t.fill_rows <- t.fill_rows + rows;
+  Log.debug (fun m ->
+      m "committed segmented fill for %s: %d segments, %d rows" dataset segments rows)
+
 let iface t : Cache_iface.t =
   {
     Cache_iface.lookup_field = (fun ~dataset ~path -> lookup_field t ~dataset ~path);
@@ -259,6 +275,7 @@ let iface t : Cache_iface.t =
         store_select t ~dataset ~binding ~pred ~paths ~bias p);
     should_cache_select = (fun ~dataset -> should_cache_select t ~dataset);
     quarantine = (fun ~id -> quarantine t ~id);
+    note_fill = (fun ~dataset ~segments ~rows -> note_fill t ~dataset ~segments ~rows);
   }
 
 let stats t =
@@ -273,6 +290,9 @@ let stats t =
     select_subsumed = t.select_subsumed;
     select_stores = t.select_stores;
     quarantined = t.quarantined;
+    fill_commits = t.fill_commits;
+    fill_segments = t.fill_segments;
+    fill_rows = t.fill_rows;
   }
 
 let field_bytes_for t ~dataset =

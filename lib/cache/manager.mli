@@ -57,6 +57,13 @@ type stats = {
   quarantined : int;
       (** fills computed but discarded because the producing run recorded
           errors or aborted (install-on-commit; see {!Cache_iface.t}) *)
+  fill_commits : int;
+      (** committed segmented fills — one per cache-filling dataset scan
+          whose run finished clean (serial or parallel) *)
+  fill_segments : int;
+      (** per-(worker,morsel) buffer segments blit-assembled into cache
+          columns across all committed fills (serial fills count 1 each) *)
+  fill_rows : int;  (** rows materialized across committed fills *)
 }
 
 val stats : t -> stats

@@ -28,6 +28,21 @@ module Vec = struct
     t.n <- t.n + 1
 
   let to_array t = Array.sub t.a 0 t.n
+
+  (* Bulk assembly: grow once to the announced total, then blit whole
+     segments — the segments-then-blit idiom of parallel materialization. *)
+  let reserve t extra =
+    let need = t.n + extra in
+    if need > Array.length t.a then begin
+      let bigger = Array.make (max need (2 * t.n)) Value.Null in
+      Array.blit t.a 0 bigger 0 t.n;
+      t.a <- bigger
+    end
+
+  let append t (src : t) =
+    reserve t src.n;
+    Array.blit src.a 0 t.a t.n src.n;
+    t.n <- t.n + src.n
 end
 
 (* Unboxed int counterpart of [Vec], for parallel build-side key buffers. *)
@@ -108,6 +123,11 @@ type par = {
       (** build phases the template registers; run serially before fan-out *)
   par_select : (Cache_iface.packed * Expr.t option) option;
       (** pre-resolved sigma-cache decision for the driving select-scan *)
+  par_fill : Registry.fill_session option;
+      (** shared segmented-fill session of the driving scan (cold parallel
+          run): every worker's view fills per-morsel segments into it; the
+          fleet driver arms it before the run and commits (or releases) it
+          after — see [Registry.fill_session] *)
 }
 
 type ctx = {
@@ -368,6 +388,12 @@ type bfrag = {
   bf_nodes : bnode list;
   bf_probe : (unit -> unit) option;
       (* Skip_row commit test of the driving scan (None: infallible source) *)
+  bf_fill : (base:int -> sel:int array -> n:int -> unit) option;
+      (* cold-run cache fill: one segment per batch, filled on the
+         probe-surviving selection before query filters narrow it *)
+  bf_session : Registry.fill_session option;
+      (* Some only when THIS driver owns the session lifecycle (serial batch
+         lane); on a parallel spine the fleet driver arms/commits instead *)
   bf_dataset : string;  (* for fault attribution *)
 }
 
@@ -458,6 +484,13 @@ let bfrag_driver ctx (frag : bfrag) ~bs
         done;
         len
     in
+    (* Cold-run fill, on the probe-surviving lanes only: query filters below
+       must not narrow what the cache stores, while Skip_row compaction must
+       (the recorded errors quarantine the session at commit) — exactly the
+       tuple lane's fill-after-probe ordering, one segment per batch. *)
+    (match frag.bf_fill with
+    | Some fill -> fill ~base ~sel ~n:n0
+    | None -> ());
     let n = apply_bnodes frag.bf_nodes ~base ~sel n0 in
     Counters.add_batch_selected n;
     if n > 0 then sink ~base ~sel ~n
@@ -483,7 +516,19 @@ let bfrag_driver ctx (frag : bfrag) ~bs
             loop ()
         in
         loop ())
-  | _ -> fun () -> frag.bf_run ~batch:bs ~on_batch
+  | _ -> (
+    match frag.bf_session with
+    | None -> fun () -> frag.bf_run ~batch:bs ~on_batch
+    | Some s ->
+      (* serial batch lane over a filling scan: this driver owns the
+         session's arm/commit/release lifecycle *)
+      fun () ->
+        Registry.session_arm s;
+        (try frag.bf_run ~batch:bs ~on_batch
+         with e ->
+           Registry.session_release s;
+           raise e);
+        Counters.time Counters.Fill (fun () -> Registry.session_commit s))
 
 (* The spill boundary: surviving lanes re-enter the tuple lane by cursor
    seek, so every downstream closure is exactly the serial one. *)
@@ -507,29 +552,27 @@ let rec compile_bfrag (ctx : ctx) (p : Plan.t) : bfrag option =
     match p with
     | Plan.Scan { dataset; binding; fields = _ } ->
       let required, whole = scan_required ctx binding in
-      let scan =
+      let scan, owns =
         match ctx.par with
         | Some pp when pp.par_spine ->
-          Registry.scan_view ctx.reg ~whole ~dataset ~required
-        | _ -> Registry.scan ctx.reg ~whole ~dataset ~required
+          (* worker view; on a cold run it fills the fleet's shared session
+             (the fleet driver owns the commit lifecycle) *)
+          (Registry.scan_view ctx.reg ~whole ~dataset ~required ?session:pp.par_fill,
+           false)
+        | _ -> (Registry.scan ctx.reg ~whole ~dataset ~required, true)
       in
-      (* A filling scan under an active error policy stays on the tuple
-         lane: its driver owns probe-then-commit ordering of fills and the
-         install-on-commit quarantine, which the batched filling path
-         (fill whole batch, then consume) cannot reproduce row by row. *)
-      if scan.Registry.sc_fills && Fault.active () then None
-      else begin
-        Hashtbl.replace ctx.cenv binding (Exprc.Scan_repr scan.Registry.sc_source);
-        Some
-          {
-            bf_src = scan.Registry.sc_source;
-            bf_run = scan.Registry.sc_run_batches;
-            bf_run_range = scan.Registry.sc_run_range_batches;
-            bf_nodes = [];
-            bf_probe = scan.Registry.sc_probe;
-            bf_dataset = scan.Registry.sc_dataset;
-          }
-      end
+      Hashtbl.replace ctx.cenv binding (Exprc.Scan_repr scan.Registry.sc_source);
+      Some
+        {
+          bf_src = scan.Registry.sc_source;
+          bf_run = scan.Registry.sc_run_batches;
+          bf_run_range = scan.Registry.sc_run_range_batches;
+          bf_nodes = [];
+          bf_probe = scan.Registry.sc_probe;
+          bf_fill = scan.Registry.sc_fill_sel;
+          bf_session = (if owns then scan.Registry.sc_fill else None);
+          bf_dataset = scan.Registry.sc_dataset;
+        }
     | Plan.Select { pred; input = Plan.Scan { dataset; binding; _ } as scan_node }
       when select_paths ctx binding <> None -> (
       let of_packed (packed : Cache_iface.packed) residual =
@@ -552,8 +595,10 @@ let rec compile_bfrag (ctx : ctx) (p : Plan.t) : bfrag option =
               (fun ~lo ~hi ~batch ~on_batch ->
                 Source.run_range_batches src ~lo ~hi ~batch ~on_batch);
             bf_nodes = nodes;
-            (* cached σ-result columns are binary: nothing to probe *)
+            (* cached σ-result columns are binary: nothing to probe or fill *)
             bf_probe = None;
+            bf_fill = None;
+            bf_session = None;
             bf_dataset = dataset;
           }
       in
@@ -595,12 +640,15 @@ and bfrag_filter ctx ~bs frag pred =
 type drive = {
   dr_count : int;
   dr_select : (Cache_iface.packed * Expr.t option) option;
+  dr_fill : Registry.fill_session option;
 }
 
 (* Walk the spine to the driving scan. [None] means this sub-plan cannot
-   fan out: a breaker sits on the spine, or the scan would fill cache
-   columns as a side effect (a morsel range cannot produce a complete
-   column — the query runs serially once and parallelizes when warm). *)
+   fan out: a breaker sits on the spine, or the driving select-scan elects a
+   sigma-result store (one compacted result set cannot be assembled from
+   morsel ranges without their own segment protocol — that store stays
+   serial). A cache-filling scan no longer falls back: its fills ride the
+   morsel spine as per-segment buffers, committed by the fleet driver. *)
 let rec spine_drive (actx : ctx) (p : Plan.t) : drive option =
   match p with
   | Plan.Select { pred; input = Plan.Scan { dataset; binding; _ }; _ }
@@ -608,7 +656,12 @@ let rec spine_drive (actx : ctx) (p : Plan.t) : drive option =
     let paths = Option.get (select_paths actx binding) in
     match lookup_select_memo actx ~dataset ~binding ~pred ~paths with
     | Some (packed, residual) ->
-      Some { dr_count = packed.Cache_iface.length; dr_select = Some (packed, residual) }
+      Some
+        {
+          dr_count = packed.Cache_iface.length;
+          dr_select = Some (packed, residual);
+          dr_fill = None;
+        }
     | None ->
       if select_cache_should_store actx ~dataset ~binding then None
       else drive_scan actx ~dataset ~binding)
@@ -621,8 +674,12 @@ let rec spine_drive (actx : ctx) (p : Plan.t) : drive option =
 and drive_scan actx ~dataset ~binding =
   let required, whole = scan_required actx binding in
   let scan = Registry.scan actx.reg ~whole ~dataset ~required in
-  if scan.Registry.sc_fills then None
-  else Some { dr_count = scan.Registry.sc_count; dr_select = None }
+  Some
+    {
+      dr_count = scan.Registry.sc_count;
+      dr_select = None;
+      dr_fill = scan.Registry.sc_fill;
+    }
 
 (* Compile [domains] pipeline instances of [subplan] — worker 0 first: the
    template compiles join build sides and publishes their state for the
@@ -653,6 +710,7 @@ let compile_instances reg required ~batch ~domains ?(static = false)
         par_join_ctr = ref 0;
         par_builds = builds;
         par_select = drive.dr_select;
+        par_fill = drive.dr_fill;
       }
     in
     let ctx =
@@ -674,13 +732,28 @@ let compile_instances reg required ~batch ~domains ?(static = false)
   let run_fleet wire =
     Pool.Dispenser.reset disp ~total:drive.dr_count ~workers:domains;
     builds := [];
+    (* Cold parallel run: arm the shared fill session before the fan-out so
+       every worker's per-morsel segments land in a fresh run; commit them
+       in row order after a clean run, release (quarantine) on any raise —
+       the install-on-commit contract, now spanning the whole fleet. *)
+    (match drive.dr_fill with
+    | Some s -> Registry.session_arm s
+    | None -> ());
     let runners = Array.make domains (fun () -> ()) in
     runners.(0) <- wire 0 instances.(0);
     List.iter (fun b -> Counters.time Counters.Build b) (List.rev !builds);
     for w = 1 to domains - 1 do
       runners.(w) <- wire w instances.(w)
     done;
-    Pool.run ~domains (fun w -> runners.(w) ())
+    (match drive.dr_fill with
+    | None -> Pool.run ~domains (fun w -> runners.(w) ())
+    | Some s ->
+      (try Pool.run ~domains (fun w -> runners.(w) ())
+       with e ->
+         Registry.session_release s;
+         raise e);
+      Counters.time Counters.Fill (fun () -> Registry.session_commit s));
+    Counters.add_morsels (Pool.Dispenser.dispensed disp)
   in
   (instances, disp, run_fleet)
 
@@ -696,9 +769,12 @@ and compile_node (ctx : ctx) (p : Plan.t) : (unit -> unit) -> unit -> unit =
     match ctx.par with
     | Some p when p.par_spine ->
       (* the driving scan of a parallel pipeline: a private cursor view over
-         the shared index, driven by the morsel dispenser *)
+         the shared index, driven by the morsel dispenser; on a cold run the
+         view also fills per-morsel cache segments into the shared session *)
       count_lane ctx Counters.add_lanes_tuple;
-      let scan = Registry.scan_view ctx.reg ~whole ~dataset ~required in
+      let scan =
+        Registry.scan_view ctx.reg ~whole ~dataset ~required ?session:p.par_fill
+      in
       Hashtbl.replace ctx.cenv binding (Exprc.Scan_repr scan.Registry.sc_source);
       par_runner p scan.Registry.sc_run_range
     | _ ->
@@ -1372,26 +1448,42 @@ and compile_join ctx ~kind ~algo ~left ~right ~left_key ~right_key ~pred =
               brun_fleet wire;
               (* concatenate per-morsel buffers in morsel order: each morsel
                  went to exactly one worker, so this is the serial row
-                 order, bit for bit *)
+                 order, bit for bit. A totals pass sizes the destinations
+                 exactly, then every buffer lands with one [Array.blit]
+                 instead of a per-row push loop — and the int-key scratch
+                 comes out trimmed, so the radix build consumes it without
+                 the epilogue's [Array.sub] copy. *)
               let pay_slots = Array.of_list payload in
+              let tot_rows = ref 0 and tot_ik = ref 0 and tot_kv = ref 0 in
+              let tot_pay = Array.make (Array.length pay_slots) 0 in
+              Array.iter
+                (Array.iter (function
+                  | None -> ()
+                  | Some (count, bik, bkv, bpay) ->
+                    tot_rows := !tot_rows + !count;
+                    tot_ik := !tot_ik + bik.IVec.n;
+                    tot_kv := !tot_kv + bkv.Vec.n;
+                    Array.iteri
+                      (fun i v -> tot_pay.(i) <- tot_pay.(i) + v.Vec.n)
+                      bpay))
+                all;
+              mat_rows := !mat_rows + !tot_rows;
+              if Array.length !ikey_vec <> !ikey_n + !tot_ik then begin
+                let bigger = Array.make (!ikey_n + !tot_ik) 0 in
+                Array.blit !ikey_vec 0 bigger 0 !ikey_n;
+                ikey_vec := bigger
+              end;
+              Vec.reserve key_vec !tot_kv;
+              Array.iteri (fun i n -> Vec.reserve pay_slots.(i).ps_vec n) tot_pay;
               for mi = 0 to !nm - 1 do
                 for w = 0 to bdomains - 1 do
                   match all.(w).(mi) with
                   | None -> ()
-                  | Some (count, bik, bkv, bpay) ->
-                    mat_rows := !mat_rows + !count;
-                    for r = 0 to bik.IVec.n - 1 do
-                      ikey_push bik.IVec.a.(r)
-                    done;
-                    for r = 0 to bkv.Vec.n - 1 do
-                      Vec.push key_vec bkv.Vec.a.(r)
-                    done;
-                    Array.iteri
-                      (fun i v ->
-                        for r = 0 to v.Vec.n - 1 do
-                          Vec.push pay_slots.(i).ps_vec v.Vec.a.(r)
-                        done)
-                      bpay
+                  | Some (_, bik, bkv, bpay) ->
+                    Array.blit bik.IVec.a 0 !ikey_vec !ikey_n bik.IVec.n;
+                    ikey_n := !ikey_n + bik.IVec.n;
+                    Vec.append key_vec bkv;
+                    Array.iteri (fun i v -> Vec.append pay_slots.(i).ps_vec v) bpay
                 done
               done))
     | _ -> None
@@ -1486,8 +1578,10 @@ and compile_join ctx ~kind ~algo ~left ~right ~left_key ~right_key ~pred =
         | Some fleet -> fleet ()
         | None -> right_runner ());
         keys := Vec.to_array key_vec;
-        (* trim the int-key scratch to its live prefix *)
-        if int_keys <> None then ikey_vec := Array.sub !ikey_vec 0 !ikey_n;
+        (* trim the int-key scratch to its live prefix (the parallel build's
+           blit concat already leaves it exact — no copy in that case) *)
+        if int_keys <> None && Array.length !ikey_vec <> !ikey_n then
+          ikey_vec := Array.sub !ikey_vec 0 !ikey_n;
         List.iter (fun slot -> slot.ps_arr := Vec.to_array slot.ps_vec) payload;
         (* a build side materialized while rows were being skipped is a
            partial relation: keep it for this query, never install it *)

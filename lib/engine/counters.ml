@@ -12,12 +12,14 @@ type snapshot = {
   build_ns : int;
   probe_ns : int;
   merge_ns : int;
+  fill_ns : int;
+  morsels : int;
   errors_seen : int;
   rows_skipped : int;
   fields_nulled : int;
 }
 
-type phase = Scan | Build | Probe | Merge
+type phase = Scan | Build | Probe | Merge | Fill
 
 (* Domain-safe counters: one atomic cell per (hashed) domain id, summed at
    snapshot time. Each worker domain lands on its own cell in the common
@@ -43,6 +45,8 @@ let scan_ns = make_counter ()
 let build_ns = make_counter ()
 let probe_ns = make_counter ()
 let merge_ns = make_counter ()
+let fill_ns = make_counter ()
+let morsels = make_counter ()
 
 let slot () = (Domain.self () :> int) land (slots - 1)
 
@@ -66,6 +70,8 @@ let reset () =
   zero build_ns;
   zero probe_ns;
   zero merge_ns;
+  zero fill_ns;
+  zero morsels;
   Proteus_model.Fault.reset_totals ()
 
 let snapshot () =
@@ -83,6 +89,8 @@ let snapshot () =
     build_ns = total build_ns;
     probe_ns = total probe_ns;
     merge_ns = total merge_ns;
+    fill_ns = total fill_ns;
+    morsels = total morsels;
     (* The fault layer owns these (it already accounts them atomically per
        record call); the snapshot just mirrors its totals. *)
     errors_seen = Proteus_model.Fault.errors_total ();
@@ -99,12 +107,14 @@ let add_batch_rows n = add batch_rows n
 let add_batch_selected n = add batch_selected n
 let add_lanes_batch n = add lanes_batch n
 let add_lanes_tuple n = add lanes_tuple n
+let add_morsels n = add morsels n
 
 let phase_counter = function
   | Scan -> scan_ns
   | Build -> build_ns
   | Probe -> probe_ns
   | Merge -> merge_ns
+  | Fill -> fill_ns
 
 let add_phase_ns ph n = add (phase_counter ph) n
 
@@ -131,9 +141,12 @@ let pp ppf s =
      batch-rows=%d batch-selected=%d (density %.3f) lanes: %d batch / %d tuple"
     s.tuples s.dispatches s.materialized s.branch_points s.batches s.batch_rows
     s.batch_selected (selection_density s) s.lanes_batch s.lanes_tuple;
-  if s.scan_ns + s.build_ns + s.probe_ns + s.merge_ns > 0 then
+  if s.morsels > 0 then Fmt.pf ppf " morsels=%d" s.morsels;
+  if s.scan_ns + s.build_ns + s.probe_ns + s.merge_ns + s.fill_ns > 0 then begin
     Fmt.pf ppf " phases[ms]: scan=%.2f build=%.2f probe=%.2f merge=%.2f"
       (ms s.scan_ns) (ms s.build_ns) (ms s.probe_ns) (ms s.merge_ns);
+    if s.fill_ns > 0 then Fmt.pf ppf " fill=%.2f" (ms s.fill_ns)
+  end;
   if s.errors_seen + s.rows_skipped + s.fields_nulled > 0 then
     Fmt.pf ppf " faults: errors=%d skipped=%d nulled=%d" s.errors_seen
       s.rows_skipped s.fields_nulled

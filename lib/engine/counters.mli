@@ -28,6 +28,10 @@ type snapshot = {
   build_ns : int;        (** wall clock in join builds (materialize + cluster) *)
   probe_ns : int;        (** wall clock driving the probe side of joins *)
   merge_ns : int;        (** wall clock merging parallel partials / replays *)
+  fill_ns : int;
+      (** wall clock committing segmented cache fills (blit assembly +
+          arena installation) *)
+  morsels : int;         (** morsels handed out by parallel fleet dispensers *)
   errors_seen : int;     (** recoverable data errors observed (fault layer) *)
   rows_skipped : int;    (** rows dropped by the [Skip_row] policy *)
   fields_nulled : int;   (** field reads substituted by [Null_fill] *)
@@ -36,8 +40,9 @@ type snapshot = {
 (** Coarse execution phases for wall-clock attribution. [Scan] is pipeline
     driving with no join on the pipeline; [Probe] is the probe-side drive of
     a join-bearing pipeline (its scan time counts as probe); [Build] is join
-    build work; [Merge] is partial-result merging and buffered replay. *)
-type phase = Scan | Build | Probe | Merge
+    build work; [Merge] is partial-result merging and buffered replay;
+    [Fill] is cache-fill commit (segment blit assembly and installation). *)
+type phase = Scan | Build | Probe | Merge | Fill
 
 val reset : unit -> unit
 val snapshot : unit -> snapshot
@@ -51,6 +56,7 @@ val add_batch_rows : int -> unit
 val add_batch_selected : int -> unit
 val add_lanes_batch : int -> unit
 val add_lanes_tuple : int -> unit
+val add_morsels : int -> unit
 val add_phase_ns : phase -> int -> unit
 
 (** [time ph f] runs [f ()] and adds its wall-clock duration to phase [ph].

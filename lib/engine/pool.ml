@@ -148,9 +148,15 @@ let chunk ~total ~parts k =
    fixed-size chunks. Every worker pulls the next morsel when it finishes
    its current one, so faster workers naturally take more of the input. *)
 module Dispenser = struct
-  type t = { cursor : int Atomic.t; mutable total : int; mutable morsel : int }
+  type t = {
+    cursor : int Atomic.t;
+    mutable total : int;
+    mutable morsel : int;
+    handed : int Atomic.t;  (* morsels dispensed since the last reset *)
+  }
 
-  let create () = { cursor = Atomic.make 0; total = 0; morsel = 1 }
+  let create () =
+    { cursor = Atomic.make 0; total = 0; morsel = 1; handed = Atomic.make 0 }
 
   (* ~64 morsels per input bounds scheduling overhead while still smoothing
      skew; clamped so tiny inputs stay one hand-off and huge ones keep
@@ -162,11 +168,18 @@ module Dispenser = struct
     let target = total / 64 in
     t.morsel <- max 16 (min 8192 (max 1 target));
     t.total <- total;
+    Atomic.set t.handed 0;
     Atomic.set t.cursor 0
 
   let morsels t = if t.total = 0 then 0 else (t.total + t.morsel - 1) / t.morsel
 
   let next t =
     let lo = Atomic.fetch_and_add t.cursor t.morsel in
-    if lo >= t.total then None else Some (lo / t.morsel, lo, min t.total (lo + t.morsel))
+    if lo >= t.total then None
+    else begin
+      Atomic.incr t.handed;
+      Some (lo / t.morsel, lo, min t.total (lo + t.morsel))
+    end
+
+  let dispensed t = Atomic.get t.handed
 end

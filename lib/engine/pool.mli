@@ -45,4 +45,8 @@ module Dispenser : sig
   (** [next t] is [Some (morsel_index, lo, hi)] — the half-open row range
       [lo, hi) — or [None] when the input is exhausted. *)
   val next : t -> (int * int * int) option
+
+  (** Morsels actually handed out since the last {!reset} — at most
+      {!morsels}, fewer when a run is cancelled early. *)
+  val dispensed : t -> int
 end

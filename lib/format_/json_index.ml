@@ -612,11 +612,14 @@ let scan_span_fields t ~start ~stop ~names ~starts ~stops =
   in
   members (start + 1)
 
-let find_parts_in_span t ~start ~stop ~parts =
+let find_parts_span t ~start ~stop ~parts sp =
   (* Scan the (un-indexed) object at [start,stop) for a pre-split dotted
-     path. This is the Unnest hot path, so field names are compared against
+     path, writing the value span of the final segment into the scratch
+     [sp]. This is the Unnest hot path, so field names are compared against
      the raw bytes without decoding (escaped names fall back to the
-     decoder), and callers pre-split the path once per query. *)
+     decoder), callers pre-split the path once per query, and no entry
+     records or options are built — intermediate object spans travel
+     through [sp] itself. *)
   let src = t.src in
   let name_matches qstart name =
     (* qstart at the opening quote *)
@@ -633,11 +636,12 @@ let find_parts_in_span t ~start ~stop ~parts =
     in
     go (qstart + 1) 0
   in
-  let rec find_field ostart ostop name =
-    (* linear scan of the object's members for [name] *)
+  let find_field ostart ostop name =
+    (* linear scan of the object's members for [name]; on a match the
+       value span lands in [sp] *)
     let rec members i =
       let i = Json.skip_ws src i in
-      if i >= ostop || src.[i] = '}' then None
+      if i >= ostop || src.[i] = '}' then false
       else begin
         let matched = name_matches i name in
         let after = skip_string src i in
@@ -645,28 +649,40 @@ let find_parts_in_span t ~start ~stop ~parts =
         if src.[i] <> ':' then fail i "expected ':'";
         let vstart = Json.skip_ws src (i + 1) in
         let vend = skip_value src vstart in
-        if matched then Some (vstart, vend)
+        if matched then begin
+          sp.sp_start <- vstart;
+          sp.sp_stop <- vend;
+          true
+        end
         else begin
           let i = Json.skip_ws src vend in
-          if i < ostop && src.[i] = ',' then members (i + 1) else None
+          if i < ostop && src.[i] = ',' then members (i + 1) else false
         end
       end
     in
-    if src.[ostart] <> '{' then None else members (ostart + 1)
-  and follow ostart ostop = function
-    | [] -> None
-    | [ name ] -> (
-      match find_field ostart ostop name with
-      | Some (vs, ve) ->
-        let kind = match kind_at src vs with Kint -> num_kind src vs ve | k -> k in
-        Some { start = vs; stop = ve; kind }
-      | None -> None)
-    | name :: rest -> (
-      match find_field ostart ostop name with
-      | Some (vs, ve) -> follow vs ve rest
-      | None -> None)
+    if src.[ostart] <> '{' then false else members (ostart + 1)
+  in
+  let rec follow ostart ostop = function
+    | [] -> false
+    | [ name ] ->
+      find_field ostart ostop name
+      && begin
+           sp.sp_kind <-
+             (match kind_at src sp.sp_start with
+             | Kint -> num_kind src sp.sp_start sp.sp_stop
+             | k -> k);
+           true
+         end
+    | name :: rest ->
+      find_field ostart ostop name && follow sp.sp_start sp.sp_stop rest
   in
   follow start stop parts
+
+let find_parts_in_span t ~start ~stop ~parts =
+  let sp = make_span () in
+  if find_parts_span t ~start ~stop ~parts sp then
+    Some { start = sp.sp_start; stop = sp.sp_stop; kind = sp.sp_kind }
+  else None
 
 let find_in_span t ~start ~stop ~path =
   find_parts_in_span t ~start ~stop ~parts:(String.split_on_char '.' path)

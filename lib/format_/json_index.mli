@@ -127,6 +127,15 @@ val find_in_span : t -> start:int -> stop:int -> path:string -> entry option
 val find_parts_in_span :
   t -> start:int -> stop:int -> parts:string list -> entry option
 
+(** [find_parts_span t ~start ~stop ~parts sp] is the allocation-free
+    {!find_parts_in_span}: the value span of the final path segment lands in
+    the scratch [sp] (intermediate object spans travel through it too), and
+    the result is [false] when any segment is missing — the form a
+    generated unnest stages so per-element fallback lookups build no entry
+    records or options. *)
+val find_parts_span :
+  t -> start:int -> stop:int -> parts:string list -> span -> bool
+
 (** [scan_span_fields t ~start ~stop ~names ~starts ~stops] walks the
     members of the object span once, filling [starts]/[stops] with the
     value spans of the fields in [names] ([-1] marks absence) and stopping

@@ -26,6 +26,7 @@ type t = {
     unit;
   should_cache_select : dataset:string -> bool;
   quarantine : id:string -> unit;
+  note_fill : dataset:string -> segments:int -> rows:int -> unit;
 }
 
 let disabled =
@@ -39,4 +40,5 @@ let disabled =
     store_select = (fun ~dataset:_ ~binding:_ ~pred:_ ~paths:_ ~bias:_ _ -> ());
     should_cache_select = (fun ~dataset:_ -> false);
     quarantine = (fun ~id:_ -> ());
+    note_fill = (fun ~dataset:_ ~segments:_ ~rows:_ -> ());
   }

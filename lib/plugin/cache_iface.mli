@@ -43,6 +43,10 @@ type t = {
           producing scan saw errors or aborted (install-on-commit: a query
           that skips rows or dies mid-scan must never install a
           partially-filled or hole-y cache block) *)
+  note_fill : dataset:string -> segments:int -> rows:int -> unit;
+      (** account one committed segmented fill: [segments] per-range buffers
+          were blit-assembled into [rows]-row cache columns for [dataset]
+          (serial fills count as a single segment) *)
 }
 
 (** A cache handle that never hits and never stores (caching disabled). *)

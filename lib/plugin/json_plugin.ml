@@ -63,8 +63,10 @@ let make ~element ~index =
     in
     (sp, resolve)
   in
-  let span_accessor_of ~(ty : Ptype.t) path : Access.t =
-    let sp, resolve = span_resolver path in
+  (* Typed accessor over any (scratch span, resolver) pair — the indexed
+     Level-0 slots and the unnest dotted-path fallback share one reader
+     family, so both stay allocation-free per access. *)
+  let span_accessor_over ~(ty : Ptype.t) (sp, resolve) : Access.t =
     let base = Ptype.unwrap_option ty in
     let is_null () = (not (resolve ())) || sp.Ji.sp_kind = Ji.Knull in
     let require what =
@@ -105,48 +107,8 @@ let make ~element ~index =
           else Value.Null)
     | Ptype.Option _ -> assert false
   in
-  (* Entry-based accessor, kept for the unnest fallback paths where the
-     source is an un-indexed element span rather than a registered slot. *)
-  let accessor_of ~(ty : Ptype.t) ~(entry : unit -> Ji.entry option) : Access.t =
-    let base = Ptype.unwrap_option ty in
-    let is_null () =
-      match entry () with
-      | None -> true
-      | Some e -> e.Ji.kind = Ji.Knull
-    in
-    let require what =
-      match entry () with
-      | Some e when e.Ji.kind <> Ji.Knull -> e
-      | Some _ | None ->
-        Perror.type_error "JSON: null/%s value where %s expected" "missing" what
-    in
-    let null = if nullable_of_ty ty then Some is_null else None in
-    match base with
-    | Ptype.Int -> Access.of_int ?null (fun () -> Ji.read_int index (require "int"))
-    | Ptype.Date ->
-      Access.of_date ?null (fun () ->
-          let e = require "date" in
-          match e.Ji.kind with
-          | Ji.Kstr ->
-            Date_util.of_span (Ji.source index) ~start:(e.Ji.start + 1)
-              ~stop:(e.Ji.stop - 1)
-          | _ -> Ji.read_int index e)
-    | Ptype.Float ->
-      (* JSON renders round floats without a decimal point, so accept Kint
-         spans too. *)
-      Access.of_float ?null (fun () ->
-          let e = require "float" in
-          match e.Ji.kind with
-          | Ji.Kint -> float_of_int (Ji.read_int index e)
-          | _ -> Ji.read_float index e)
-    | Ptype.Bool -> Access.of_bool ?null (fun () -> Ji.read_bool index (require "bool"))
-    | Ptype.String -> Access.of_str ?null (fun () -> Ji.read_string index (require "string"))
-    | Ptype.Record _ | Ptype.Collection _ ->
-      Access.boxed ty (fun () ->
-          match entry () with
-          | None -> Value.Null
-          | Some e -> Ji.read_value index e)
-    | Ptype.Option _ -> assert false
+  let span_accessor_of ~(ty : Ptype.t) path : Access.t =
+    span_accessor_over ~ty (span_resolver path)
   in
   (* Batch lane for fixed-schema inputs: the Level-0 slot is known at
      generation time, so a fill reads entries at explicit OIDs — no cursor,
@@ -327,12 +289,16 @@ let make ~element ~index =
                     Ji.read_string_span index ~start:starts.(k) ~stop:stops.(k))
               | _ -> assert false (* u_prepare keeps primitives only *))
             | None ->
-              (* un-fused fallback: scan the element span for the path *)
+              (* un-fused fallback: scan the element span for the path.
+                 The scratch span is private to this accessor, so repeated
+                 per-element lookups allocate nothing. *)
               let parts = String.split_on_char '.' f in
-              let entry () =
-                Ji.find_parts_in_span index ~start:!elem_start ~stop:!elem_stop ~parts
+              let sp = Ji.make_span () in
+              let resolve () =
+                Ji.find_parts_span index ~start:!elem_start ~stop:!elem_stop
+                  ~parts sp
               in
-              accessor_of ~ty:fty ~entry
+              span_accessor_over ~ty:fty (sp, resolve)
           in
           Hashtbl.replace elem_field_cache f a;
           a

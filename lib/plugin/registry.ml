@@ -187,6 +187,90 @@ let invalidate t name =
   Hashtbl.remove t.factories name;
   Hashtbl.remove t.infos name
 
+(* --- segmented cache fills ------------------------------------------------ *)
+
+(* A fill session is the unit of install-on-commit cache materialization for
+   one dataset scan. Workers (or the serial loop, or the batch driver) fill
+   per-range {e segments} — private column builders keyed by their start row
+   — and a successful run commits them in ascending start order with one
+   [Array.blit] per segment ({!Proteus_storage.Column.Builder.concat}), so
+   the installed columns are bit-identical to a serial fill at any domain
+   count and batch size. A run that recorded errors, skipped rows, or died
+   mid-scan releases every segment as quarantined: no partially-filled cache
+   ever installs (DESIGN.md section 10 semantics, now on the morsel spine). *)
+type fill_session = {
+  fs_dataset : string;
+  fs_bias : Proteus_storage.Memory.Arena.bias;
+  fs_paths : (string * Ptype.t) list;  (* elected fill paths, in required order *)
+  fs_cache : unit -> Cache_iface.t;
+  fs_lock : Mutex.t;  (* guards fs_segs: one lock per segment open, not per row *)
+  mutable fs_segs : (int * Proteus_storage.Column.Builder.t list) list;
+  mutable fs_e0 : int;  (* Fault.errors_total at arm time *)
+}
+
+let session_arm s =
+  Mutex.lock s.fs_lock;
+  s.fs_segs <- [];
+  s.fs_e0 <- Fault.errors_total ();
+  Mutex.unlock s.fs_lock
+
+(* Open one segment starting at row [start]: fresh builders (one per elected
+   path, in [fs_paths] order), registered so commit/release can see them.
+   Each range or batch is scanned by exactly one worker, so start keys are
+   unique and ascending-sort reproduces the serial row order. *)
+let session_open s ~start =
+  let builders =
+    List.map (fun (_, ty) -> Proteus_storage.Column.Builder.create ty) s.fs_paths
+  in
+  Mutex.lock s.fs_lock;
+  s.fs_segs <- (start, builders) :: s.fs_segs;
+  Mutex.unlock s.fs_lock;
+  builders
+
+let quarantine_all s =
+  let cache = s.fs_cache () in
+  List.iter
+    (fun (path, _) ->
+      cache.Cache_iface.quarantine ~id:(s.fs_dataset ^ "." ^ path))
+    s.fs_paths
+
+(* Abort path: the producing run raised (error policy abort, cancellation,
+   budget) — drop every segment and account the fills as quarantined. *)
+let session_release s =
+  Mutex.lock s.fs_lock;
+  s.fs_segs <- [];
+  Mutex.unlock s.fs_lock;
+  quarantine_all s
+
+(* Commit: blit-assemble the segments in start order and install the columns
+   — unless the run recorded any error since arming (skipped rows leave
+   hole-y segments; OID-aligned field caches must never install those). *)
+let session_commit s =
+  Mutex.lock s.fs_lock;
+  let segs = List.sort (fun (a, _) (b, _) -> compare (a : int) b) s.fs_segs in
+  s.fs_segs <- [];
+  Mutex.unlock s.fs_lock;
+  if Fault.errors_total () <> s.fs_e0 then quarantine_all s
+  else begin
+    let open Proteus_storage.Column in
+    let cache = s.fs_cache () in
+    let rows =
+      List.fold_left
+        (fun acc (_, bs) ->
+          acc + (match bs with b :: _ -> Builder.length b | [] -> 0))
+        0 segs
+    in
+    List.iteri
+      (fun i (path, ty) ->
+        let col = Builder.concat ty (List.map (fun (_, bs) -> List.nth bs i) segs) in
+        cache.Cache_iface.store_field ~dataset:s.fs_dataset ~path ~bias:s.fs_bias col)
+      s.fs_paths;
+    cache.Cache_iface.note_fill ~dataset:s.fs_dataset ~segments:(List.length segs)
+      ~rows
+  end
+
+let session_dataset s = s.fs_dataset
+
 type scan = {
   sc_source : Source.t;
   sc_count : int;
@@ -196,6 +280,8 @@ type scan = {
   sc_run_range_batches :
     lo:int -> hi:int -> batch:int -> on_batch:(base:int -> len:int -> unit) -> unit;
   sc_fills : bool;
+  sc_fill : fill_session option;
+  sc_fill_sel : (base:int -> sel:int array -> n:int -> unit) option;
   sc_cache_hits : string list;
   sc_probe : (unit -> unit) option;
   sc_dataset : string;
@@ -213,7 +299,7 @@ let make_fill (access : Access.t) builder : unit -> unit =
   | None, _, _, _, Some get -> fun () -> Builder.add_string builder (get ())
   | _ -> fun () -> Builder.add_value builder (access.Access.get_val ())
 
-let scan_of t ~dataset ~required ~whole ~(raw : Source.t) ~fill =
+let scan_of t ~dataset ~required ~whole ~(raw : Source.t) ~fill ~session =
   let d = Catalog.find t.catalog dataset in
   let oid = ref 0 in
   let bias = Dataset.bias d.format in
@@ -313,79 +399,153 @@ let scan_of t ~dataset ~required ~whole ~(raw : Source.t) ~fill =
         on_tuple ()
       done
   in
-  let make_fills to_fill =
-    (* Builders are created per run so that re-executing the compiled
-       query cannot append duplicate rows to a cache column. *)
-    List.map
-      (fun (path, ty, access) ->
-        let builder = Proteus_storage.Column.Builder.create ty in
-        (path, builder, make_fill access builder))
-      to_fill
+  (* The fill specification for this scan object: (path, ty, raw accessor)
+     in required order, plus the session the segments land in. A filling
+     [scan] owns a private session (and runs its own arm/commit lifecycle in
+     [sc_run]); a [scan_view] given a shared session fills that session's
+     elected paths through its {e own} raw accessors while the engine owns
+     the lifecycle around the whole fleet. *)
+  let fills_spec, sess, owns_session =
+    match session with
+    | Some s ->
+      ( List.map
+          (fun (path, ty) -> (path, ty, raw.Source.field path))
+          s.fs_paths,
+        Some s, false )
+    | None -> (
+      match List.rev !to_fill with
+      | [] -> ([], None, false)
+      | spec ->
+        let s =
+          {
+            fs_dataset = dataset;
+            fs_bias = bias;
+            fs_paths = List.map (fun (p, ty, _) -> (p, ty)) spec;
+            fs_cache = (fun () -> t.cache);
+            fs_lock = Mutex.create ();
+            fs_segs = [];
+            fs_e0 = 0;
+          }
+        in
+        (spec, Some s, true))
   in
-  (* Install-on-commit: a fill whose producing run recorded any error (rows
-     skipped -> hole-y column) or died mid-scan (abort, cancellation,
-     budget) is discarded and counted as quarantined, never stored. *)
-  let commit_fills fills ~ok =
-    if ok then
-      List.iter
-        (fun (path, builder, _) ->
-          t.cache.Cache_iface.store_field ~dataset ~path ~bias
-            (Proteus_storage.Column.Builder.finish builder))
-        fills
-    else
-      List.iter
-        (fun (path, _, _) ->
-          t.cache.Cache_iface.quarantine ~id:(dataset ^ "." ^ path))
-        fills
+  (* Tuple lane: fill one segment covering [lo, hi) while scanning it. Fills
+     run after the Skip_row probe admits the row, so a skip run's segments
+     are compacted (and the error delta quarantines them at commit). *)
+  let run_range_filling s ~lo ~hi ~on_tuple =
+    let builders = session_open s ~start:lo in
+    let fills = List.map2 (fun (_, _, access) b -> make_fill access b) fills_spec builders in
+    policy_run ~lo ~hi ~on_tuple:(fun () ->
+        List.iter (fun f -> f ()) fills;
+        on_tuple ())
   in
   let sc_run ~on_tuple =
-    match !to_fill with
-    | [] ->
+    match sess with
+    | Some s when owns_session ->
+      (* serial filling scan: one segment spanning the whole dataset, same
+         arm/commit/release lifecycle the engine runs around a fleet *)
+      session_arm s;
+      (try run_range_filling s ~lo:0 ~hi:raw.Source.count ~on_tuple
+       with e ->
+         session_release s;
+         raise e);
+      session_commit s
+    | _ ->
       if Fault.active () then policy_run ~lo:0 ~hi:raw.Source.count ~on_tuple
       else Source.run sc_source ~on_tuple
-    | to_fill ->
-      let fills = make_fills to_fill in
-      let e0 = Fault.errors_total () in
-      let do_fills () = List.iter (fun (_, _, fill) -> fill ()) fills in
-      (try
-         policy_run ~lo:0 ~hi:raw.Source.count ~on_tuple:(fun () ->
-             do_fills ();
-             on_tuple ())
-       with e ->
-         commit_fills fills ~ok:false;
-         raise e);
-      commit_fills fills ~ok:(Fault.errors_total () = e0)
   in
   let sc_run_range ~lo ~hi ~on_tuple =
-    if Fault.active () then policy_run ~lo ~hi ~on_tuple
-    else Source.run_range sc_source ~lo ~hi ~on_tuple
+    match sess with
+    | Some s when not owns_session ->
+      (* per-worker morsel of a parallel cold run: segment keyed by [lo] *)
+      run_range_filling s ~lo ~hi ~on_tuple
+    | _ ->
+      if Fault.active () then policy_run ~lo ~hi ~on_tuple
+      else Source.run_range sc_source ~lo ~hi ~on_tuple
   in
+  (* Batch lanes never fill inline: the batch driver fills through
+     [sc_fill_sel] on the probe-surviving selection (before query filters
+     narrow it), one segment per batch, so cache columns still come out
+     identical to the tuple lane's at every batch size. *)
   let sc_run_batches ~batch ~on_batch =
-    match !to_fill with
-    | [] -> Source.run_batches sc_source ~batch ~on_batch
-    | to_fill ->
-      (* Filling scans materialize whole batches: every row of the batch is
-         seeked and appended to the cache builders *before* the batch is
-         handed to the (possibly filtering) consumer, so cache columns come
-         out identical to the tuple lane's. Under an active error policy the
-         engine keeps filling scans off the batch lane, so this path only
-         needs abort quarantine, not per-row skipping. *)
-      let fills = make_fills to_fill in
-      let e0 = Fault.errors_total () in
-      (try
-         Source.run_batches sc_source ~batch ~on_batch:(fun ~base ~len ->
-             for i = base to base + len - 1 do
-               seek i;
-               List.iter (fun (_, _, fill) -> fill ()) fills
-             done;
-             on_batch ~base ~len)
-       with e ->
-         commit_fills fills ~ok:false;
-         raise e);
-      commit_fills fills ~ok:(Fault.errors_total () = e0)
+    Source.run_batches sc_source ~batch ~on_batch
   in
   let sc_run_range_batches ~lo ~hi ~batch ~on_batch =
     Source.run_range_batches sc_source ~lo ~hi ~batch ~on_batch
+  in
+  let sc_fill_sel =
+    match sess with
+    | None -> None
+    | Some s ->
+      (* Per-path segment fillers. Vector-capable accessors (non-nullable
+         paths with a native plug-in fill) gather through a scratch array —
+         the plug-in reads rows by OID with no cursor churn — and append the
+         gathered prefix; the rest seek per selected row. *)
+      let mk_filler (_, _, (access : Access.t)) =
+        let module B = Proteus_storage.Column.Builder in
+        match
+          ( access.Access.fill_int, access.Access.fill_float,
+            access.Access.fill_bool, access.Access.fill_str )
+        with
+        | Some f, _, _, _ ->
+          let scratch = ref [||] in
+          fun b ~base ~sel ~n ->
+            let need = sel.(n - 1) + 1 in
+            if Array.length !scratch < need then
+              scratch := Array.make (max need 1024) 0;
+            f base !scratch ~sel ~n;
+            let out = !scratch in
+            for i = 0 to n - 1 do
+              B.add_int b out.(sel.(i))
+            done
+        | _, Some f, _, _ ->
+          let scratch = ref [||] in
+          fun b ~base ~sel ~n ->
+            let need = sel.(n - 1) + 1 in
+            if Array.length !scratch < need then
+              scratch := Array.make (max need 1024) 0.;
+            f base !scratch ~sel ~n;
+            let out = !scratch in
+            for i = 0 to n - 1 do
+              B.add_float b out.(sel.(i))
+            done
+        | _, _, Some f, _ ->
+          let scratch = ref [||] in
+          fun b ~base ~sel ~n ->
+            let need = sel.(n - 1) + 1 in
+            if Array.length !scratch < need then
+              scratch := Array.make (max need 1024) false;
+            f base !scratch ~sel ~n;
+            let out = !scratch in
+            for i = 0 to n - 1 do
+              B.add_bool b out.(sel.(i))
+            done
+        | _, _, _, Some f ->
+          let scratch = ref [||] in
+          fun b ~base ~sel ~n ->
+            let need = sel.(n - 1) + 1 in
+            if Array.length !scratch < need then
+              scratch := Array.make (max need 1024) "";
+            f base !scratch ~sel ~n;
+            let out = !scratch in
+            for i = 0 to n - 1 do
+              B.add_string b out.(sel.(i))
+            done
+        | None, None, None, None ->
+          fun b ~base ~sel ~n ->
+            let fill = make_fill access b in
+            for i = 0 to n - 1 do
+              seek (base + sel.(i));
+              fill ()
+            done
+      in
+      let fillers = List.map mk_filler fills_spec in
+      Some
+        (fun ~base ~sel ~n ->
+          if n > 0 then begin
+            let builders = session_open s ~start:base in
+            List.iter2 (fun f b -> f b ~base ~sel ~n) fillers builders
+          end)
   in
   {
     sc_source;
@@ -394,7 +554,9 @@ let scan_of t ~dataset ~required ~whole ~(raw : Source.t) ~fill =
     sc_run_range;
     sc_run_batches;
     sc_run_range_batches;
-    sc_fills = !to_fill <> [];
+    sc_fills = fills_spec <> [];
+    sc_fill = sess;
+    sc_fill_sel;
     sc_cache_hits = List.rev !hits;
     sc_probe = probe;
     sc_dataset = dataset;
@@ -402,6 +564,8 @@ let scan_of t ~dataset ~required ~whole ~(raw : Source.t) ~fill =
 
 let scan ?(whole = false) t ~dataset ~required =
   scan_of t ~dataset ~required ~whole ~raw:(source t dataset) ~fill:true
+    ~session:None
 
-let scan_view ?(whole = false) t ~dataset ~required =
+let scan_view ?(whole = false) ?session t ~dataset ~required =
   scan_of t ~dataset ~required ~whole ~raw:(fresh_source t dataset) ~fill:false
+    ~session

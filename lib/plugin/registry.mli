@@ -48,6 +48,23 @@ val index_info : t -> string -> index_info option
     rebuild affected auxiliary structures", Section 4). *)
 val invalidate : t -> string -> unit
 
+(** A segmented cache-fill in flight: per-range column builders keyed by
+    their start row, committed in ascending start order with one [Array.blit]
+    per segment — so a parallel cold run installs columns bit-identical to a
+    serial fill. Created by a filling {!scan} (which owns its lifecycle
+    inside [sc_run]); shared across the {!scan_view}s of a parallel fleet,
+    whose driver runs {!session_arm} before the run, {!session_commit} after
+    a clean one, and {!session_release} when the run raises. A session whose
+    run recorded errors (skipped rows leave compacted, hole-y segments) is
+    quarantined at commit, never installed — the DESIGN.md section 10
+    install-on-commit contract, kept on the morsel spine. *)
+type fill_session
+
+val session_arm : fill_session -> unit
+val session_commit : fill_session -> unit
+val session_release : fill_session -> unit
+val session_dataset : fill_session -> string
+
 (** A cache-aware scan over one dataset. *)
 type scan = {
   sc_source : Source.t;
@@ -56,21 +73,30 @@ type scan = {
   sc_count : int;  (** row count of the underlying source *)
   sc_run : on_tuple:(unit -> unit) -> unit;
       (** full scan; populates cache columns for the required paths the
-          policy elects, registering them at scan end *)
+          policy elects (one whole-dataset segment, committed at scan end) *)
   sc_run_range : lo:int -> hi:int -> on_tuple:(unit -> unit) -> unit;
-      (** scan one OID morsel [lo, hi); never fills cache columns *)
+      (** scan one OID morsel [lo, hi); on a view with a shared session it
+          fills one cache segment keyed by [lo] as a side effect *)
   sc_run_batches : batch:int -> on_batch:(base:int -> len:int -> unit) -> unit;
-      (** full scan as fixed-size batches (the batch lane's driver). Like
-          [sc_run] it fills elected cache columns; a filling scan seeks and
-          appends {e every} row of a batch before the consumer sees it, so
-          the columns stored are identical to the tuple lane's. *)
+      (** full scan as fixed-size batches (the batch lane's driver); never
+          fills inline — the driver fills per batch through [sc_fill_sel] *)
   sc_run_range_batches :
     lo:int -> hi:int -> batch:int -> on_batch:(base:int -> len:int -> unit) -> unit;
-      (** one OID morsel as batches; never fills cache columns *)
+      (** one OID morsel as batches; never fills inline *)
   sc_fills : bool;
-      (** whether [sc_run] will fill cache columns as a side effect (such
-          scans must stay serial: a morsel range cannot produce a complete
-          column) *)
+      (** whether driving this scan fills cache columns as a side effect
+          (serial filling scan, or view wired to a shared fill session) *)
+  sc_fill : fill_session option;
+      (** the scan's fill session: a filling {!scan} exposes its private
+          session here so a driver that bypasses [sc_run] (the batch lane,
+          the parallel engine) can run the arm/commit/release lifecycle and
+          share the session with per-worker views *)
+  sc_fill_sel : (base:int -> sel:int array -> n:int -> unit) option;
+      (** [sc_fill_sel ~base ~sel ~n] fills rows [base + sel.(0..n-1)] into
+          a fresh segment keyed by [base] — the batch lane's fill: called on
+          the probe-surviving selection of each batch, before query filters
+          narrow it. Vector-capable paths gather through the plug-in's
+          native batch fill; the rest seek per selected row. *)
   sc_cache_hits : string list;  (** required paths served from cache *)
   sc_probe : (unit -> unit) option;
       (** reads every fallible accessor the query requires at the current
@@ -90,10 +116,16 @@ type scan = {
 val scan : ?whole:bool -> t -> dataset:string -> required:string list -> scan
 
 (** [scan_view t ~dataset ~required] is like {!scan} but over a
-    {!fresh_source} view and with cache filling disabled — the per-worker
+    {!fresh_source} view and with no private cache filling — the per-worker
     scan of morsel-driven parallel execution. Cache-hit paths still route
-    to their (read-only) cache columns. *)
-val scan_view : ?whole:bool -> t -> dataset:string -> required:string list -> scan
+    to their (read-only) cache columns. Passing [?session] (a filling scan's
+    [sc_fill]) makes the view fill that shared session's elected paths
+    through its own raw accessors: each [sc_run_range] morsel (tuple lane)
+    or [sc_fill_sel] batch (batch lane) lands in its own segment, and the
+    fleet driver commits them in row order — the parallel cold run. *)
+val scan_view :
+  ?whole:bool -> ?session:fill_session -> t -> dataset:string ->
+  required:string list -> scan
 
 (** [install_factory t name f] replaces the source factory of a registered
     dataset — the hook the fault-injection test harness uses to wrap real

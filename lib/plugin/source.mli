@@ -36,7 +36,10 @@ type t = {
   seek : int -> unit;           (** position the cursor at an OID *)
   field : string -> Access.t;
       (** accessor for a dotted path; raises [Perror.Plan_error] on unknown
-          paths whose absence the schema does not allow *)
+          paths whose absence the schema does not allow. The registry's
+          segmented cache fills read through these accessors — on a view,
+          through the view's private cursor — so parallel workers can
+          materialize cache segments of the same dataset independently. *)
   whole : unit -> Value.t;      (** the full current element, boxed *)
   unnest : string -> unnest_spec option;
       (** [None] when the path is not a nested collection *)

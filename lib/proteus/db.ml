@@ -32,6 +32,7 @@ let create ?cache_budget ?(caching = Manager.default_config) () =
 let catalog t = t.catalog
 let registry t = t.registry
 let cache_manager t = t.cache
+let cache_stats t = Manager.stats t.cache
 
 let set_caching ?(clear = false) t enabled =
   if clear then Manager.clear t.cache;

@@ -29,6 +29,11 @@ val catalog : t -> Catalog.t
 val registry : t -> Proteus_plugin.Registry.t
 val cache_manager : t -> Proteus_cache.Manager.t
 
+(** Snapshot of the session's cache activity — hit/store counts plus the
+    segmented-fill totals (commits, segments blit-assembled, rows
+    materialized) that show how cold runs populated the caches. *)
+val cache_stats : t -> Proteus_cache.Manager.stats
+
 (** Switch caching on/off mid-session (existing caches are kept unless
     [clear] is passed). *)
 val set_caching : ?clear:bool -> t -> bool -> unit

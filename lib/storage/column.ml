@@ -144,6 +144,89 @@ module Builder = struct
       | Bstrings b -> Strings (Array.sub b.a 0 n)
     in
     if t.has_null then Nullmask (Array.sub t.nulls 0 n, col) else col
+
+  let concat (ty : Ptype.t) (segs : t list) =
+    (* Segment assembly for parallel materialization: one exact-size
+       allocation, one [Array.blit] per segment, in list order — the result
+       equals replaying every add on a single builder ([finish] of the
+       row-order concatenation). *)
+    let n = List.fold_left (fun acc s -> acc + length s) 0 segs in
+    let blit_ints () =
+      let out = Array.make n 0 in
+      let at = ref 0 in
+      List.iter
+        (fun s ->
+          match s.payload with
+          | Bints b ->
+            Array.blit b.a 0 out !at b.n;
+            at := !at + b.n
+          | Bfloats _ | Bbools _ | Bstrings _ ->
+            Perror.type_error "Column.Builder.concat: segment type mismatch")
+        segs;
+      Ints out
+    in
+    let blit_floats () =
+      let out = Array.make n 0. in
+      let at = ref 0 in
+      List.iter
+        (fun s ->
+          match s.payload with
+          | Bfloats b ->
+            Array.blit b.a 0 out !at b.n;
+            at := !at + b.n
+          | Bints _ | Bbools _ | Bstrings _ ->
+            Perror.type_error "Column.Builder.concat: segment type mismatch")
+        segs;
+      Floats out
+    in
+    let blit_bools () =
+      let out = Array.make n false in
+      let at = ref 0 in
+      List.iter
+        (fun s ->
+          match s.payload with
+          | Bbools b ->
+            Array.blit b.a 0 out !at b.n;
+            at := !at + b.n
+          | Bints _ | Bfloats _ | Bstrings _ ->
+            Perror.type_error "Column.Builder.concat: segment type mismatch")
+        segs;
+      Bools out
+    in
+    let blit_strings () =
+      let out = Array.make n "" in
+      let at = ref 0 in
+      List.iter
+        (fun s ->
+          match s.payload with
+          | Bstrings b ->
+            Array.blit b.a 0 out !at b.n;
+            at := !at + b.n
+          | Bints _ | Bfloats _ | Bbools _ ->
+            Perror.type_error "Column.Builder.concat: segment type mismatch")
+        segs;
+      Strings out
+    in
+    let col =
+      match Ptype.unwrap_option ty with
+      | Ptype.Int | Ptype.Date -> blit_ints ()
+      | Ptype.Float -> blit_floats ()
+      | Ptype.Bool -> blit_bools ()
+      | Ptype.String -> blit_strings ()
+      | t -> Perror.type_error "Column.Builder.concat: non-primitive type %a" Ptype.pp t
+    in
+    if List.exists (fun s -> s.has_null) segs then begin
+      let mask = Array.make n false in
+      let at = ref 0 in
+      List.iter
+        (fun s ->
+          let ln = length s in
+          Array.blit s.nulls 0 mask !at ln;
+          at := !at + ln)
+        segs;
+      Nullmask (mask, col)
+    end
+    else col
 end
 
 let of_values ty vs =

@@ -43,6 +43,13 @@ module Builder : sig
   val add_value : t -> Value.t -> unit
   val length : t -> int
   val finish : t -> column
+
+  (** [concat ty segs] assembles per-segment builders (in list order) into one
+      column with a single exact-size allocation and one [Array.blit] per
+      segment — bit-identical to [finish] of a builder fed every row in that
+      order. The null mask is kept only when some segment holds a null, like
+      [finish]. Segments must all have been created with [ty]. *)
+  val concat : Ptype.t -> t list -> column
 end
 
 (** Approximate memory footprint in bytes (for cache budgeting). *)

@@ -407,8 +407,9 @@ let workload =
 let test_cache_parity () =
   let mgr_s, reg_s = make_session () in
   let mgr_p, reg_p = make_session () in
-  (* run the workload twice per session: cold runs fill the caches serially
-     (the parallel engine falls back), warm runs execute in parallel *)
+  (* run the workload twice per session: cold runs fill the caches through
+     parallel per-morsel segments (test_cache_parallel.ml covers the fill
+     protocol itself), warm runs serve from the installed columns *)
   for round = 1 to 2 do
     List.iteri
       (fun i plan ->
