@@ -11,6 +11,9 @@
 module Tpch = Proteus_tpch.Tpch
 module Q = Tpch.Queries
 module Symantec = Proteus_symantec.Symantec
+module Plan = Proteus_algebra.Plan
+module Expr = Proteus_model.Expr
+module Ptype = Proteus_model.Ptype
 
 let max_domains =
   try int_of_string (String.trim (Sys.getenv "PROTEUS_BENCH_DOMAINS")) with _ -> 4
@@ -46,6 +49,23 @@ let baseline_pre_blit : (string * int * float) list =
     ("bin join (2 aggr) (scaling)", 8, 15.8720);
   ]
 
+(* Physical cores visible to the process, as the OS reports them; paired
+   with [Domain.recommended_domain_count] in the JSON metadata so scaling
+   numbers carry the machine context they were measured on. *)
+let host_cores =
+  try
+    let ic = open_in "/proc/cpuinfo" in
+    let n = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.length line >= 9 && String.sub line 0 9 = "processor" then incr n
+       done
+     with End_of_file -> ());
+    close_in ic;
+    if !n > 0 then !n else Domain.recommended_domain_count ()
+  with _ -> Domain.recommended_domain_count ()
+
 let tune plan =
   Proteus_optimizer.Rewrite.extract_join_keys
     (Proteus_optimizer.Rewrite.pushdown_selections plan)
@@ -59,6 +79,10 @@ let records : (string * int * float) list ref = ref []
    as the "cold fill" engine column so cold and warm scaling sit side by
    side in the JSON. *)
 let cold_records : (string * int * float) list ref = ref []
+
+(* workload-adaptive promotion cells: (cell, mode, domains, median seconds,
+   share of morsels the zone maps skipped on one instrumented run) *)
+let promo_records : (string * string * int * float * float) list ref = ref []
 
 let measure_at db ~domains plan =
   let prepared = Proteus.Db.prepare_plan ~domains db plan in
@@ -111,6 +135,72 @@ let scaling_row name db plan =
     [ 1; 2; 4; 8 ];
   Fmt.pr "@."
 
+(* Selective scans over a clustered CSV column, warm cache, with and without
+   workload promotion. The promoted session has crossed the access threshold:
+   its zone maps let the dispenser drop whole morsels of the 1%-selectivity
+   scan, and the 50% scan bounds how much a barely-selective predicate can
+   gain. The unpromoted rows double as the pre-promotion baseline curve. *)
+let promotion_cells () =
+  let n = 200_000 in
+  let ev_type =
+    Ptype.Record [ ("k", Ptype.Int); ("v", Ptype.Float); ("s", Ptype.String) ]
+  in
+  let buf = Buffer.create (n * 16) in
+  for i = 0 to n - 1 do
+    Buffer.add_string buf
+      (Fmt.str "%d,%.1f,str%d\n" i (float_of_int i *. 0.5) (i mod 97))
+  done;
+  let contents = Buffer.contents buf in
+  let session ~promote =
+    let caching =
+      { Proteus_cache.Manager.default_config with promote; promote_threshold = 2 }
+    in
+    let db = Proteus.Db.create ~caching () in
+    Proteus.Db.register_csv db ~name:"events" ~element:ev_type ~contents ();
+    db
+  in
+  let query frac =
+    Plan.reduce
+      ~pred:Expr.(Field (var "x", "k") <. int (n * frac / 100))
+      [ Plan.agg ~name:"c" (Proteus_model.Monoid.Primitive Proteus_model.Monoid.Count)
+          (Expr.int 1) ]
+      (Plan.scan ~dataset:"events" ~binding:"x" ())
+  in
+  let cells = [ ("selective 1%", query 1); ("selective 50%", query 50) ] in
+  List.iter
+    (fun (mode, promote) ->
+      let db = session ~promote in
+      (* warm the cache; with promotion on these passes also cross the
+         access threshold, so the measured steady state is post-promotion *)
+      List.iter
+        (fun (_, plan) ->
+          for _ = 1 to 3 do
+            ignore (Proteus.Db.run_plan db plan)
+          done)
+        cells;
+      Fmt.pr "   promotion %s:" mode;
+      List.iter
+        (fun (name, plan) ->
+          let prepared = Proteus.Db.prepare_plan ~domains:max_domains db plan in
+          let t = Util.measure_n 9 (fun () -> ignore (prepared.Proteus.Db.run ())) in
+          Proteus_engine.Counters.reset ();
+          ignore (prepared.Proteus.Db.run ());
+          let s = Proteus_engine.Counters.snapshot () in
+          let total =
+            s.Proteus_engine.Counters.morsels_skipped + s.Proteus_engine.Counters.morsels
+          in
+          let share =
+            if total = 0 then 0.0
+            else
+              float_of_int s.Proteus_engine.Counters.morsels_skipped
+              /. float_of_int total
+          in
+          promo_records := (name, mode, max_domains, t, share) :: !promo_records;
+          Fmt.pr " %s=%.2fms (skip %.0f%%)" name (Util.ms t) (share *. 100.))
+        cells;
+      Fmt.pr "@.")
+    [ ("unpromoted", false); ("promoted", true) ]
+
 let emit_json path =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n  \"figure\": \"parallel engine\",\n  \"cells\": [\n";
@@ -154,7 +244,32 @@ let emit_json path =
            (max 1 domains) ms
            (if i = List.length baseline_pre_blit - 1 then "" else ",")))
     baseline_pre_blit;
-  Buffer.add_string buf "  ]\n}\n";
+  Buffer.add_string buf "  ],\n  \"promotion\": [\n";
+  let promos = List.rev !promo_records in
+  let promo_row (name, mode, domains, t, share) last =
+    Fmt.str
+      "    {\"cell\": %S, \"mode\": %S, \"domains\": %d, \"median_ms\": %.4f, \
+       \"skipped_morsel_share\": %.3f}%s\n"
+      name mode domains (Util.ms t) share
+      (if last then "" else ",")
+  in
+  List.iteri
+    (fun i r -> Buffer.add_string buf (promo_row r (i = List.length promos - 1)))
+    promos;
+  (* the unpromoted warm-cache rows ARE the engine before this PR's
+     promotion machinery: emit them again under the baseline key the other
+     before/after curves use *)
+  let pre = List.filter (fun (_, mode, _, _, _) -> mode = "unpromoted") promos in
+  Buffer.add_string buf "  ],\n  \"baseline_pre_promotion\": [\n";
+  List.iteri
+    (fun i r -> Buffer.add_string buf (promo_row r (i = List.length pre - 1)))
+    pre;
+  Buffer.add_string buf
+    (Fmt.str
+       "  ],\n  \"metadata\": {\"recommended_domain_count\": %d, \"host_cores\": %d, \
+        \"bench_max_domains\": %d}\n}\n"
+       (Domain.recommended_domain_count ())
+       host_cores max_domains);
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
   close_out oc;
@@ -241,4 +356,5 @@ let run_all (je : Tpch_figs.json_env) (be : Tpch_figs.bin_env) =
       Fmt.pr " b%d=%.2fms" bs (Util.ms t))
     [ 0; 256; 1024; 4096 ];
   Fmt.pr "@.";
+  promotion_cells ();
   emit_json "BENCH_engine.json"

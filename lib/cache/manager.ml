@@ -14,6 +14,8 @@ type config = {
   cache_join_sides : bool;
   cache_select_results : bool;
   subsumption : bool;
+  promote : bool;
+  promote_threshold : int;
 }
 
 let default_config =
@@ -24,6 +26,8 @@ let default_config =
     cache_join_sides = true;
     cache_select_results = false;
     subsumption = true;
+    promote = false;
+    promote_threshold = 3;
   }
 
 let config_disabled =
@@ -34,6 +38,8 @@ let config_disabled =
     cache_join_sides = false;
     cache_select_results = false;
     subsumption = false;
+    promote = false;
+    promote_threshold = 3;
   }
 
 type stats = {
@@ -50,6 +56,9 @@ type stats = {
   fill_commits : int;     (* committed segmented fills (one per dataset scan) *)
   fill_segments : int;    (* per-(worker,morsel) segments blit-assembled *)
   fill_rows : int;        (* rows materialized across committed fills *)
+  promotions : int;       (* columns promoted past the workload threshold *)
+  zone_maps : int;        (* zone-map side structures built *)
+  dict_columns : int;     (* string columns re-encoded as dictionaries *)
 }
 
 type t = {
@@ -59,6 +68,11 @@ type t = {
   fields : (string * string, Column.t) Hashtbl.t;    (* (dataset, path) *)
   packed : (string, Cache_iface.packed * string list) Hashtbl.t;  (* key -> (cols, datasets) *)
   selects : (string, select_entry list ref) Hashtbl.t;  (* dataset -> entries *)
+  (* workload-adaptive promotion (adaptive storage 2.0): per-column access
+     accounting, promoted-column set, and zone-map side structures *)
+  access : (string * string, access_acc) Hashtbl.t;
+  promoted : (string * string, unit) Hashtbl.t;
+  zones : (string * string, Zonemap.t) Hashtbl.t;
   mutable field_hits : int;
   mutable field_misses : int;
   mutable field_stores : int;
@@ -72,6 +86,14 @@ type t = {
   mutable fill_commits : int;
   mutable fill_segments : int;
   mutable fill_rows : int;
+  mutable promotions : int;
+  mutable zone_maps : int;
+  mutable dict_columns : int;
+}
+
+and access_acc = {
+  mutable reads : int;      (* cache-lookup hits for the column *)
+  mutable selective : int;  (* queries that compiled a comparison over it *)
 }
 
 and select_entry = {
@@ -89,6 +111,9 @@ let create ?(config = default_config) catalog =
     fields = Hashtbl.create 32;
     packed = Hashtbl.create 16;
     selects = Hashtbl.create 8;
+    access = Hashtbl.create 32;
+    promoted = Hashtbl.create 8;
+    zones = Hashtbl.create 8;
     field_hits = 0;
     field_misses = 0;
     field_stores = 0;
@@ -102,6 +127,9 @@ let create ?(config = default_config) catalog =
     fill_commits = 0;
     fill_segments = 0;
     fill_rows = 0;
+    promotions = 0;
+    zone_maps = 0;
+    dict_columns = 0;
   }
 
 let field_id dataset path = Fmt.str "field:%s:%s" dataset path
@@ -111,32 +139,115 @@ let packed_id key = "packed:" ^ key
 let packed_size (p : Cache_iface.packed) =
   List.fold_left (fun acc (_, c) -> acc + Column.byte_size c) 0 p.Cache_iface.cols
 
+(* --- workload-adaptive promotion (adaptive storage 2.0) ------------------ *)
+
+let access_acc t key =
+  match Hashtbl.find_opt t.access key with
+  | Some a -> a
+  | None ->
+    let a = { reads = 0; selective = 0 } in
+    Hashtbl.replace t.access key a;
+    a
+
+let is_promoted t ~dataset ~path = Hashtbl.mem t.promoted (dataset, path)
+
+let build_zones t (dataset, path) col =
+  if not (Hashtbl.mem t.zones (dataset, path)) then
+    match Zonemap.of_column col with
+    | Some zm ->
+      Hashtbl.replace t.zones (dataset, path) zm;
+      t.zone_maps <- t.zone_maps + 1;
+      Log.info (fun m ->
+          m "zone map for %s.%s: %d zones x %d rows" dataset path (Zonemap.zones zm)
+            zm.Zonemap.zone)
+    | None -> ()
+
+(* Past-threshold promotion: numeric columns gain a zone map (built in one
+   pass when the column is already filled; otherwise at the next fill
+   commit), string columns re-encode as dictionaries in place. Costing
+   learns about it through the catalog statistics. *)
+let promote_now t dataset path =
+  Hashtbl.replace t.promoted (dataset, path) ();
+  t.promotions <- t.promotions + 1;
+  Stats.note_promoted (Catalog.stats t.catalog dataset) path;
+  (match Hashtbl.find_opt t.fields (dataset, path) with
+  | Some col -> (
+    build_zones t (dataset, path) col;
+    match Column.promote_strings col with
+    | Some dcol when dcol != col ->
+      Hashtbl.replace t.fields (dataset, path) dcol;
+      t.dict_columns <- t.dict_columns + 1
+    | Some _ | None -> ())
+  | None -> ());
+  Log.info (fun m -> m "promoted %s.%s" dataset path)
+
+let maybe_promote t dataset path =
+  if t.config.promote && not (is_promoted t ~dataset ~path) then begin
+    let acc = access_acc t (dataset, path) in
+    if acc.reads + acc.selective >= t.config.promote_threshold then
+      promote_now t dataset path
+  end
+
+let note_selective t ~dataset ~path =
+  if t.config.promote then begin
+    let acc = access_acc t (dataset, path) in
+    acc.selective <- acc.selective + 1;
+    maybe_promote t dataset path
+  end
+
+let lookup_zones t ~dataset ~path =
+  if is_promoted t ~dataset ~path then Hashtbl.find_opt t.zones (dataset, path)
+  else None
+
 let lookup_field t ~dataset ~path =
   match Hashtbl.find_opt t.fields (dataset, path) with
-  | Some col ->
+  | Some _ ->
     t.field_hits <- t.field_hits + 1;
     ignore (Memory.Arena.touch t.arena (field_id dataset path));
-    Some col
+    if t.config.promote then begin
+      let acc = access_acc t (dataset, path) in
+      acc.reads <- acc.reads + 1;
+      maybe_promote t dataset path
+    end;
+    (* the promotion may just have swapped the layout in place *)
+    Hashtbl.find_opt t.fields (dataset, path)
   | None ->
     t.field_misses <- t.field_misses + 1;
     None
 
 let store_field t ~dataset ~path ~bias col =
+  (* An already-promoted string column installs directly in its dictionary
+     layout (e.g. a re-fill after eviction, or the first fill after the
+     selective-conjunct feedback crossed the threshold). *)
+  let col =
+    if is_promoted t ~dataset ~path then (
+      match Column.promote_strings col with
+      | Some dcol when dcol != col ->
+        t.dict_columns <- t.dict_columns + 1;
+        dcol
+      | Some dcol -> dcol
+      | None -> col)
+    else col
+  in
   let id = field_id dataset path in
   let size = Column.byte_size col in
   (match
      Memory.Arena.put t.arena ~id ~size ~bias ~on_evict:(fun () ->
-         Hashtbl.remove t.fields (dataset, path))
+         Hashtbl.remove t.fields (dataset, path);
+         Hashtbl.remove t.zones (dataset, path))
    with
   | () ->
     Hashtbl.replace t.fields (dataset, path) col;
     t.field_stores <- t.field_stores + 1;
+    (* fill-session commit lands here: record the zone-map side structure
+       alongside the block while the column is in hand (one pass) *)
+    if t.config.promote then build_zones t (dataset, path) col;
     Log.info (fun m -> m "cached %s.%s (%d bytes)" dataset path size)
   | exception Invalid_argument _ ->
     (* larger than the whole arena: skip caching rather than fail the query *)
     Log.warn (fun m -> m "cache column %s.%s larger than arena; skipped" dataset path))
 
-let should_cache_field t ~dataset ~path:_ ~ty =
+let should_cache_field t ~dataset ~path ~ty =
   let format_ok =
     match (Catalog.find t.catalog dataset).Dataset.format with
     | Dataset.Csv _ -> t.config.cache_csv_fields
@@ -145,7 +256,11 @@ let should_cache_field t ~dataset ~path:_ ~ty =
   in
   let type_ok =
     match Ptype.unwrap_option ty with
-    | Ptype.String -> t.config.cache_strings
+    | Ptype.String ->
+      (* the paper's "never cache strings" flips to "cache as dictionary
+         when promoted": a hot, repeatedly-filtered string column is worth
+         its arena bytes once it stores as codes + dictionary *)
+      t.config.cache_strings || (t.config.promote && is_promoted t ~dataset ~path)
     | Ptype.Int | Ptype.Float | Ptype.Bool | Ptype.Date -> true
     | Ptype.Record _ | Ptype.Collection _ | Ptype.Option _ -> false
   in
@@ -276,6 +391,8 @@ let iface t : Cache_iface.t =
     should_cache_select = (fun ~dataset -> should_cache_select t ~dataset);
     quarantine = (fun ~id -> quarantine t ~id);
     note_fill = (fun ~dataset ~segments ~rows -> note_fill t ~dataset ~segments ~rows);
+    note_selective = (fun ~dataset ~path -> note_selective t ~dataset ~path);
+    lookup_zones = (fun ~dataset ~path -> lookup_zones t ~dataset ~path);
   }
 
 let stats t =
@@ -293,6 +410,9 @@ let stats t =
     fill_commits = t.fill_commits;
     fill_segments = t.fill_segments;
     fill_rows = t.fill_rows;
+    promotions = t.promotions;
+    zone_maps = t.zone_maps;
+    dict_columns = t.dict_columns;
   }
 
 let field_bytes_for t ~dataset =
@@ -354,7 +474,21 @@ let invalidate_dataset t ~dataset =
   | Some entries ->
     List.iter (fun e -> Memory.Arena.remove t.arena e.se_id) !entries;
     Hashtbl.remove t.selects dataset
-  | None -> ())
+  | None -> ());
+  (* the dataset changed: access history, promotions and zone maps derived
+     from its old contents are stale *)
+  let adaptive_keys tbl =
+    Hashtbl.fold
+      (fun (ds, path) _ acc -> if String.equal ds dataset then (ds, path) :: acc else acc)
+      tbl []
+  in
+  List.iter (Hashtbl.remove t.access) (adaptive_keys t.access);
+  List.iter (Hashtbl.remove t.zones) (adaptive_keys t.zones);
+  List.iter
+    (fun (ds, path) ->
+      Hashtbl.remove t.promoted (ds, path);
+      Stats.drop_promoted (Catalog.stats t.catalog ds) path)
+    (adaptive_keys t.promoted)
 
 let clear t =
   Hashtbl.iter (fun (ds, path) _ -> Memory.Arena.remove t.arena (field_id ds path)) t.fields;
@@ -362,6 +496,12 @@ let clear t =
   Hashtbl.iter
     (fun _ entries -> List.iter (fun e -> Memory.Arena.remove t.arena e.se_id) !entries)
     t.selects;
+  Hashtbl.iter
+    (fun (ds, path) () -> Stats.drop_promoted (Catalog.stats t.catalog ds) path)
+    t.promoted;
   Hashtbl.reset t.fields;
   Hashtbl.reset t.packed;
-  Hashtbl.reset t.selects
+  Hashtbl.reset t.selects;
+  Hashtbl.reset t.access;
+  Hashtbl.reset t.promoted;
+  Hashtbl.reset t.zones

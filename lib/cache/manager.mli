@@ -29,6 +29,15 @@ type config = {
       (** let a cached weaker predicate answer a stricter query with a
           residual re-filter — the future-work extension of Section 6;
           default true (only observable when sigma-results exist) *)
+  promote : bool;
+      (** workload-adaptive promotion: track per-column reads and
+          selective-predicate compilations; past [promote_threshold],
+          promote the cached column — numeric columns gain a zone map the
+          scan drivers use to skip morsels, string columns become cacheable
+          as dictionaries. Default false *)
+  promote_threshold : int;
+      (** accesses (reads + selective-conjunct compilations) before a column
+          promotes; default 3 *)
 }
 
 val default_config : config
@@ -64,9 +73,24 @@ type stats = {
       (** per-(worker,morsel) buffer segments blit-assembled into cache
           columns across all committed fills (serial fills count 1 each) *)
   fill_rows : int;  (** rows materialized across committed fills *)
+  promotions : int;
+      (** promotion events: columns whose access count crossed the
+          workload threshold *)
+  zone_maps : int;  (** zone-map side structures built (at fill commit or
+                        at promotion of an already-filled column) *)
+  dict_columns : int;  (** string columns re-encoded as dictionaries *)
 }
 
 val stats : t -> stats
+
+(** {1 Promotion introspection (tests, CLI)} *)
+
+val is_promoted : t -> dataset:string -> path:string -> bool
+
+(** The zone map of a promoted column, when one exists ([None] for
+    unpromoted or non-numeric columns, and after eviction). *)
+val lookup_zones :
+  t -> dataset:string -> path:string -> Proteus_storage.Zonemap.t option
 
 (** [bytes_for t ~dataset] is the total resident cache bytes built from one
     dataset (field caches plus materialized join sides and sigma-results). *)

@@ -17,11 +17,23 @@ type field_acc = {
 type t = {
   mutable card : int option;
   fields : (string, field_acc) Hashtbl.t;
+  promoted : (string, unit) Hashtbl.t;
+      (* paths the cache manager promoted to a richer layout (zone maps /
+         dictionaries): costing treats their scans as binary-column reads *)
 }
 
 let sample_cap = 1024
 
-let create () = { card = None; fields = Hashtbl.create 8 }
+let create () =
+  { card = None; fields = Hashtbl.create 8; promoted = Hashtbl.create 4 }
+
+let note_promoted t path = Hashtbl.replace t.promoted path ()
+
+let drop_promoted t path = Hashtbl.remove t.promoted path
+
+let promoted t path = Hashtbl.mem t.promoted path
+
+let any_promoted t = Hashtbl.length t.promoted > 0
 
 let set_cardinality t n = t.card <- Some n
 
@@ -88,7 +100,8 @@ let selectivity t path ~op ~value =
 
 let clear t =
   t.card <- None;
-  Hashtbl.reset t.fields
+  Hashtbl.reset t.fields;
+  Hashtbl.reset t.promoted
 
 let pp ppf t =
   Fmt.pf ppf "card=%a" Fmt.(option ~none:(any "?") int) t.card;

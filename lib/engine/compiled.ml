@@ -2,6 +2,7 @@ open Proteus_model
 open Proteus_plugin
 module Plan = Proteus_algebra.Plan
 module Fingerprint = Proteus_algebra.Fingerprint
+module Zonemap = Proteus_storage.Zonemap
 
 module VH = Hashtbl.Make (struct
   type t = Value.t
@@ -62,6 +63,7 @@ module IVec = struct
 end
 
 let all_exprs = Proteus_algebra.Analysis.all_exprs
+let path_of = Proteus_algebra.Analysis.path_of
 
 (* Internal fan-out for join-build work (build-side materialization,
    partitioned clustering). The caller's domain count is an explicit request
@@ -395,6 +397,12 @@ type bfrag = {
       (* Some only when THIS driver owns the session lifecycle (serial batch
          lane); on a parallel spine the fleet driver arms/commits instead *)
   bf_dataset : string;  (* for fault attribution *)
+  bf_skip : (lo:int -> hi:int -> bool) option;
+      (* zone-map batch skip of the driving scan (never built on a filling
+         fragment) *)
+  bf_zone : (string * string) option;
+      (* (dataset, binding) when the source is the raw dataset scan — the
+         only row space zone maps describe; None for σ-packed sources *)
 }
 
 (* Compile one predicate into per-conjunct filters: a vectorized kernel
@@ -448,6 +456,153 @@ let apply_bnodes nodes ~base ~(sel : int array) n0 =
 let count_lane ctx add =
   match ctx.par with Some p when p.par_worker > 0 -> () | _ -> add 1
 
+(* ------------------------------------------------------------------ *)
+(* Zone-map morsel skipping (workload-adaptive promotion). A pushed-down
+   conjunct of shape [binding.path op const] over the driving scan tests
+   against the per-zone min/max of a promoted cached column: a morsel whose
+   zones prove the conjunct unsatisfiable cannot contribute a row anywhere
+   downstream (conjunction semantics), so the dispenser drops it without
+   touching the data. Soundness matches [Expr.cmp]: comparisons involving
+   Null are false (an all-null zone never matches anything) and int/float
+   cross-comparisons go through float conversion — exactly the bounds
+   arithmetic of [Zonemap.may_match_range]. *)
+
+let zone_test op (v : Value.t) : Zonemap.test option =
+  let zop =
+    match op with
+    | Expr.Eq -> Some Zonemap.Eq
+    | Expr.Lt -> Some Zonemap.Lt
+    | Expr.Le -> Some Zonemap.Le
+    | Expr.Gt -> Some Zonemap.Gt
+    | Expr.Ge -> Some Zonemap.Ge
+    | _ -> None
+  in
+  match zop, v with
+  | Some o, Value.Int i -> Some (Zonemap.T_int (o, i))
+  | Some o, Value.Date d -> Some (Zonemap.T_int (o, d)) (* dates cache as int columns *)
+  | Some o, Value.Float f -> Some (Zonemap.T_float (o, f))
+  | _ -> None
+
+let zone_flip = function
+  | Expr.Lt -> Expr.Gt
+  | Expr.Gt -> Expr.Lt
+  | Expr.Le -> Expr.Ge
+  | Expr.Ge -> Expr.Le
+  | op -> op
+
+(* The zone-testable conjuncts of [pred]: [(path, test)] for every conjunct
+   of shape [binding.path op const] (either operand order). *)
+let zone_conjuncts ~binding pred =
+  List.filter_map
+    (fun c ->
+      match c with
+      | Expr.Binop (op, l, r) -> (
+        let testable lhs rhs op =
+          match path_of lhs, rhs with
+          | Some (v, path), Expr.Const value when String.equal v binding && path <> ""
+            ->
+            Option.map (fun t -> (path, t)) (zone_test op value)
+          | _ -> None
+        in
+        match testable l r op with
+        | Some _ as hit -> hit
+        | None -> testable r l (zone_flip op))
+      | _ -> None)
+    (Expr.conjuncts pred)
+
+(* Conjuncts that pin [binding.path] against a constant — the promotion
+   signal. Wider than [zone_conjuncts]: string equality and LIKE also mark a
+   column selective (that is how never-cached string columns earn their
+   dictionary promotion). *)
+let selective_paths ~binding pred =
+  let paths =
+    List.filter_map
+      (fun c ->
+        match c with
+        | Expr.Binop
+            ( (Expr.Eq | Expr.Neq | Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge | Expr.Like),
+              l,
+              r ) -> (
+          match path_of l, r with
+          | Some (v, path), Expr.Const _ when String.equal v binding && path <> "" ->
+            Some path
+          | _ -> (
+            match l, path_of r with
+            | Expr.Const _, Some (v, path) when String.equal v binding && path <> "" ->
+              Some path
+            | _ -> None))
+        | _ -> None)
+      (Expr.conjuncts pred)
+  in
+  List.sort_uniq String.compare paths
+
+(* Promotion feedback: report which columns selective comparisons touch,
+   once per query compile (the template instance), like [count_lane]. *)
+let note_selective ctx ~dataset ~binding pred =
+  match ctx.par with
+  | Some p when p.par_worker > 0 -> ()
+  | _ ->
+    let cache = Registry.cache ctx.reg in
+    List.iter
+      (fun path -> cache.Cache_iface.note_selective ~dataset ~path)
+      (selective_paths ~binding pred)
+
+(* The morsel/batch skip test for a scan driving over the raw dataset:
+   [true] proves [lo, hi) holds no qualifying row. Callers never build one
+   for a filling scan (skipped morsels would leave holes in the OID-aligned
+   fill segments), and the test stands down dynamically under a degraded
+   fault policy (Skip_row / Null_fill): their per-row error tallies are part
+   of the observable result, and skipping changes which faulty rows get
+   probed. Under Fail_fast a skip is no different from a warm cache hit —
+   raw bytes of rows that provably cannot match simply go unparsed. Safe on
+   any worker domain — pure zone reads plus atomic counter ticks. *)
+let zone_skip ctx ~dataset ~binding preds : (lo:int -> hi:int -> bool) option =
+  let cache = Registry.cache ctx.reg in
+  let tests =
+    List.concat_map
+      (fun pred ->
+        List.filter_map
+          (fun (path, test) ->
+            match cache.Cache_iface.lookup_zones ~dataset ~path with
+            | Some zm -> Some (zm, test)
+            | None -> None)
+          (zone_conjuncts ~binding pred))
+      preds
+  in
+  match tests with
+  | [] -> None
+  | tests ->
+    Some
+      (fun ~lo ~hi ->
+        (match Fault.policy () with
+        | Fault.Fail_fast -> true
+        | Fault.Skip_row | Fault.Null_fill -> false)
+        && List.exists
+             (fun (zm, test) ->
+               Counters.add_zone_checks 1;
+               not (Zonemap.may_match_range zm ~lo ~hi test))
+             tests)
+
+let zone_skip_merge a b =
+  match a, b with
+  | None, s | s, None -> s
+  | Some f, Some g -> Some (fun ~lo ~hi -> f ~lo ~hi || g ~lo ~hi)
+
+(* Feed the promotion signal and extend the fragment's zone skip for one
+   predicate applying to the driving scan's rows — shared by Select filter
+   nodes and root Reduce predicates. *)
+let bfrag_zone_pred ctx (frag : bfrag) pred : bfrag =
+  match frag.bf_zone with
+  | None -> frag
+  | Some (dataset, binding) ->
+    note_selective ctx ~dataset ~binding pred;
+    if Option.is_none frag.bf_fill && Option.is_none frag.bf_session then
+      {
+        frag with
+        bf_skip = zone_skip_merge frag.bf_skip (zone_skip ctx ~dataset ~binding [ pred ]);
+      }
+    else frag
+
 (* Drive a fragment: emit batches (morsel by morsel on a parallel spine),
    reset the selection to the identity, run the filter nodes, hand the
    surviving lanes to [sink]. *)
@@ -455,8 +610,7 @@ let bfrag_driver ctx (frag : bfrag) ~bs
     (sink : base:int -> sel:int array -> n:int -> unit) : unit -> unit =
   let sel = Array.make bs 0 in
   let seek = frag.bf_src.Source.seek in
-  let on_batch ~base ~len =
-    Fault.check_cancel ();
+  let work ~base ~len =
     Counters.add_tuples len;
     Counters.add_batches 1;
     Counters.add_batch_rows len;
@@ -494,6 +648,15 @@ let bfrag_driver ctx (frag : bfrag) ~bs
     let n = apply_bnodes frag.bf_nodes ~base ~sel n0 in
     Counters.add_batch_selected n;
     if n > 0 then sink ~base ~sel ~n
+  in
+  (* Zone skip at batch granularity: finer than the dispenser's morsel test
+     (a batch inside a provably-empty zone drops even when its morsel
+     survived), and the only skip the serial batch lane gets. *)
+  let on_batch ~base ~len =
+    Fault.check_cancel ();
+    match frag.bf_skip with
+    | Some test when test ~lo:base ~hi:(base + len) -> Counters.add_morsels_skipped 1
+    | _ -> work ~base ~len
   in
   match ctx.par with
   | Some p when p.par_spine -> (
@@ -572,6 +735,8 @@ let rec compile_bfrag (ctx : ctx) (p : Plan.t) : bfrag option =
           bf_fill = scan.Registry.sc_fill_sel;
           bf_session = (if owns then scan.Registry.sc_fill else None);
           bf_dataset = scan.Registry.sc_dataset;
+          bf_skip = None;
+          bf_zone = Some (dataset, binding);
         }
     | Plan.Select { pred; input = Plan.Scan { dataset; binding; _ } as scan_node }
       when select_paths ctx binding <> None -> (
@@ -600,6 +765,9 @@ let rec compile_bfrag (ctx : ctx) (p : Plan.t) : bfrag option =
             bf_fill = None;
             bf_session = None;
             bf_dataset = dataset;
+            bf_skip = None;
+            (* packed rows are not dataset OIDs: zone maps do not apply *)
+            bf_zone = None;
           }
       in
       match ctx.par with
@@ -622,6 +790,7 @@ and bfrag_filter ctx ~bs frag pred =
   match frag with
   | None -> None
   | Some f ->
+    let f = bfrag_zone_pred ctx f pred in
     Some
       {
         f with
@@ -641,6 +810,9 @@ type drive = {
   dr_count : int;
   dr_select : (Cache_iface.packed * Expr.t option) option;
   dr_fill : Registry.fill_session option;
+  dr_skip : (lo:int -> hi:int -> bool) option;
+      (** zone-map morsel skip armed on the fleet dispenser (never together
+          with [dr_fill]) *)
 }
 
 (* Walk the spine to the driving scan. [None] means this sub-plan cannot
@@ -649,7 +821,12 @@ type drive = {
    morsel ranges without their own segment protocol — that store stays
    serial). A cache-filling scan no longer falls back: its fills ride the
    morsel spine as per-segment buffers, committed by the fleet driver. *)
-let rec spine_drive (actx : ctx) (p : Plan.t) : drive option =
+(* [preds] accumulates the predicates that apply to every row the driving
+   scan emits — spine Selects plus (for the Reduce drivers) the root
+   predicate — so the scan can arm a zone-map morsel skip. Crossing a
+   Project or Unnest drops them: those nodes can rebind names, and pushdown
+   already sank scan-only conjuncts below them. *)
+let rec spine_drive ?(preds = []) (actx : ctx) (p : Plan.t) : drive option =
   match p with
   | Plan.Select { pred; input = Plan.Scan { dataset; binding; _ }; _ }
     when select_paths actx binding <> None -> (
@@ -661,24 +838,34 @@ let rec spine_drive (actx : ctx) (p : Plan.t) : drive option =
           dr_count = packed.Cache_iface.length;
           dr_select = Some (packed, residual);
           dr_fill = None;
+          (* σ-packed rows are not dataset OIDs: zones do not apply *)
+          dr_skip = None;
         }
     | None ->
       if select_cache_should_store actx ~dataset ~binding then None
-      else drive_scan actx ~dataset ~binding)
-  | Plan.Scan { dataset; binding; _ } -> drive_scan actx ~dataset ~binding
-  | Plan.Select { input; _ } | Plan.Project { input; _ } | Plan.Unnest { input; _ } ->
-    spine_drive actx input
-  | Plan.Join { left; _ } -> spine_drive actx left
+      else drive_scan actx ~dataset ~binding ~preds:(pred :: preds))
+  | Plan.Scan { dataset; binding; _ } -> drive_scan actx ~dataset ~binding ~preds
+  | Plan.Select { pred; input; _ } -> spine_drive ~preds:(pred :: preds) actx input
+  | Plan.Project { input; _ } | Plan.Unnest { input; _ } -> spine_drive actx input
+  | Plan.Join { left; _ } -> spine_drive ~preds actx left
   | Plan.Nest _ | Plan.Sort _ | Plan.Reduce _ -> None
 
-and drive_scan actx ~dataset ~binding =
+and drive_scan actx ~dataset ~binding ~preds =
   let required, whole = scan_required actx binding in
   let scan = Registry.scan actx.reg ~whole ~dataset ~required in
+  let dr_skip =
+    (* a filling scan owns an OID-aligned segment for every morsel: never
+       skip under an armed session *)
+    match scan.Registry.sc_fill with
+    | Some _ -> None
+    | None -> zone_skip actx ~dataset ~binding preds
+  in
   Some
     {
       dr_count = scan.Registry.sc_count;
       dr_select = None;
       dr_fill = scan.Registry.sc_fill;
+      dr_skip;
     }
 
 (* Compile [domains] pipeline instances of [subplan] — worker 0 first: the
@@ -731,6 +918,7 @@ let compile_instances reg required ~batch ~domains ?(static = false)
   let instances = Array.init domains (fun w -> if w = 0 then template else mk w) in
   let run_fleet wire =
     Pool.Dispenser.reset disp ~total:drive.dr_count ~workers:domains;
+    Pool.Dispenser.set_skip disp drive.dr_skip;
     builds := [];
     (* Cold parallel run: arm the shared fill session before the fan-out so
        every worker's per-morsel segments land in a fresh run; commit them
@@ -753,7 +941,8 @@ let compile_instances reg required ~batch ~domains ?(static = false)
          Registry.session_release s;
          raise e);
       Counters.time Counters.Fill (fun () -> Registry.session_commit s));
-    Counters.add_morsels (Pool.Dispenser.dispensed disp)
+    Counters.add_morsels (Pool.Dispenser.dispensed disp);
+    Counters.add_morsels_skipped (Pool.Dispenser.skipped disp)
   in
   (instances, disp, run_fleet)
 
@@ -950,6 +1139,7 @@ and compile_node (ctx : ctx) (p : Plan.t) : (unit -> unit) -> unit -> unit =
     compile_join ctx ~kind ~algo ~left ~right ~left_key ~right_key ~pred
 
 and compile_select_scan ctx ~pred ~dataset ~binding ~scan =
+  note_selective ctx ~dataset ~binding pred;
   match ctx.par with
   | Some p when p.par_spine -> (
     (* the sigma-cache decision was resolved once during pre-analysis
@@ -1835,15 +2025,14 @@ let prepare_with (ctx : ctx) (plan : Plan.t) : unit -> Value.t =
     let bs = Option.get ctx.batch in
     let frag = Option.get (compile_bfrag ctx input) in
     let frag =
-      {
-        frag with
-        bf_nodes =
-          (frag.bf_nodes
-          @
-          match pred with
-          | Expr.Const (Value.Bool true) -> []
-          | p -> [ bfilter_node ctx ~bs ~src:frag.bf_src ~branch:false p ]);
-      }
+      match pred with
+      | Expr.Const (Value.Bool true) -> frag
+      | p ->
+        let frag = bfrag_zone_pred ctx frag p in
+        {
+          frag with
+          bf_nodes = frag.bf_nodes @ [ bfilter_node ctx ~bs ~src:frag.bf_src ~branch:false p ];
+        }
     in
     let seek = frag.bf_src.Source.seek in
     let bfactories =
@@ -2041,15 +2230,15 @@ let par_batch_reduce reg required ~batch:bs ~domains ~(drive : drive) ~monoid_ou
           | None -> Perror.plan_error "batch lane: fragment refused on a parallel spine"
         in
         let frag =
-          {
-            frag with
-            bf_nodes =
-              (frag.bf_nodes
-              @
-              match pred with
-              | Expr.Const (Value.Bool true) -> []
-              | pr -> [ bfilter_node ctx ~bs ~src:frag.bf_src ~branch:false pr ]);
-          }
+          match pred with
+          | Expr.Const (Value.Bool true) -> frag
+          | pr ->
+            let frag = bfrag_zone_pred ctx frag pr in
+            {
+              frag with
+              bf_nodes =
+                frag.bf_nodes @ [ bfilter_node ctx ~bs ~src:frag.bf_src ~branch:false pr ];
+            }
         in
         let seek = frag.bf_src.Source.seek in
         let bfactories =
@@ -2394,7 +2583,7 @@ let prepare_par ?(batch_size = default_batch_size) (reg : Registry.t) ~domains
     in
     match plan with
     | Plan.Reduce { monoid_output; pred; input } -> (
-      match spine_drive actx input with
+      match spine_drive ~preds:[ pred ] actx input with
       | None -> splice_fallback ()
       | Some drive ->
         if Agg.mergeable (List.map (fun (a : Plan.agg) -> a.monoid) monoid_output) then (

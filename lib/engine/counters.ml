@@ -14,6 +14,9 @@ type snapshot = {
   merge_ns : int;
   fill_ns : int;
   morsels : int;
+  morsels_skipped : int;
+  zone_checks : int;
+  dict_probes : int;
   errors_seen : int;
   rows_skipped : int;
   fields_nulled : int;
@@ -47,6 +50,9 @@ let probe_ns = make_counter ()
 let merge_ns = make_counter ()
 let fill_ns = make_counter ()
 let morsels = make_counter ()
+let morsels_skipped = make_counter ()
+let zone_checks = make_counter ()
+let dict_probes = make_counter ()
 
 let slot () = (Domain.self () :> int) land (slots - 1)
 
@@ -72,6 +78,9 @@ let reset () =
   zero merge_ns;
   zero fill_ns;
   zero morsels;
+  zero morsels_skipped;
+  zero zone_checks;
+  zero dict_probes;
   Proteus_model.Fault.reset_totals ()
 
 let snapshot () =
@@ -91,6 +100,9 @@ let snapshot () =
     merge_ns = total merge_ns;
     fill_ns = total fill_ns;
     morsels = total morsels;
+    morsels_skipped = total morsels_skipped;
+    zone_checks = total zone_checks;
+    dict_probes = total dict_probes;
     (* The fault layer owns these (it already accounts them atomically per
        record call); the snapshot just mirrors its totals. *)
     errors_seen = Proteus_model.Fault.errors_total ();
@@ -108,6 +120,9 @@ let add_batch_selected n = add batch_selected n
 let add_lanes_batch n = add lanes_batch n
 let add_lanes_tuple n = add lanes_tuple n
 let add_morsels n = add morsels n
+let add_morsels_skipped n = add morsels_skipped n
+let add_zone_checks n = add zone_checks n
+let add_dict_probes n = add dict_probes n
 
 let phase_counter = function
   | Scan -> scan_ns
@@ -141,7 +156,11 @@ let pp ppf s =
      batch-rows=%d batch-selected=%d (density %.3f) lanes: %d batch / %d tuple"
     s.tuples s.dispatches s.materialized s.branch_points s.batches s.batch_rows
     s.batch_selected (selection_density s) s.lanes_batch s.lanes_tuple;
-  if s.morsels > 0 then Fmt.pf ppf " morsels=%d" s.morsels;
+  if s.morsels > 0 || s.morsels_skipped > 0 then
+    Fmt.pf ppf " morsels=%d" s.morsels;
+  if s.morsels_skipped > 0 || s.zone_checks > 0 then
+    Fmt.pf ppf " zone-checks=%d morsels-skipped=%d" s.zone_checks s.morsels_skipped;
+  if s.dict_probes > 0 then Fmt.pf ppf " dict-probes=%d" s.dict_probes;
   if s.scan_ns + s.build_ns + s.probe_ns + s.merge_ns + s.fill_ns > 0 then begin
     Fmt.pf ppf " phases[ms]: scan=%.2f build=%.2f probe=%.2f merge=%.2f"
       (ms s.scan_ns) (ms s.build_ns) (ms s.probe_ns) (ms s.merge_ns);

@@ -32,6 +32,13 @@ type snapshot = {
       (** wall clock committing segmented cache fills (blit assembly +
           arena installation) *)
   morsels : int;         (** morsels handed out by parallel fleet dispensers *)
+  morsels_skipped : int;
+      (** morsels/batches skipped outright because a zone map proved no row
+          could satisfy a pushed-down comparison *)
+  zone_checks : int;     (** zone-map range tests evaluated by scan drivers *)
+  dict_probes : int;
+      (** batch-kernel evaluations that ran on dictionary codes instead of
+          decoded strings (equality as code compare, LIKE per entry) *)
   errors_seen : int;     (** recoverable data errors observed (fault layer) *)
   rows_skipped : int;    (** rows dropped by the [Skip_row] policy *)
   fields_nulled : int;   (** field reads substituted by [Null_fill] *)
@@ -57,6 +64,9 @@ val add_batch_selected : int -> unit
 val add_lanes_batch : int -> unit
 val add_lanes_tuple : int -> unit
 val add_morsels : int -> unit
+val add_morsels_skipped : int -> unit
+val add_zone_checks : int -> unit
+val add_dict_probes : int -> unit
 val add_phase_ns : phase -> int -> unit
 
 (** [time ph f] runs [f ()] and adds its wall-clock duration to phase [ph].

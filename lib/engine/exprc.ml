@@ -301,6 +301,28 @@ let bleaf bs (src : Source.t) path : bcompiled option =
 let rec compile_batch (cenv : cenv) ~batch_size (e : Expr.t) : bcompiled option =
   let bs = batch_size in
   let bc x = compile_batch cenv ~batch_size x in
+  (* Dictionary metadata of a path compiling to a promoted string cache:
+     the codes array is indexed by the source's own row ids (base + lane),
+     so code-level kernels bypass string materialization entirely. *)
+  let dict_of x =
+    match path_of x with
+    | Some (v, p) when p <> "" -> (
+      match Hashtbl.find_opt cenv v with
+      | Some (Scan_repr src) -> (
+        match src.Source.field p with
+        | exception Perror.Plan_error _ -> None
+        | a -> a.Access.dict)
+      | _ -> None)
+    | _ -> None
+  in
+  let dict_const l r =
+    match dict_of l, r with
+    | Some d, Expr.Const (Value.String s) -> Some (d, s)
+    | _ -> (
+      match l, dict_of r with
+      | Expr.Const (Value.String s), Some d -> Some (d, s)
+      | _ -> None)
+  in
   match path_of e with
   | Some (v, path) -> (
     match Hashtbl.find_opt cenv v, path with
@@ -466,6 +488,37 @@ let rec compile_batch (cenv : cenv) ~batch_size (e : Expr.t) : bcompiled option 
                    out.(j) <- body j
                  done ))
       in
+      (* Dictionary fast path: (in)equality of a promoted string column
+         against a constant resolves the constant to its code once at
+         compile time, then compares ints per lane — no string is ever
+         materialized. An absent constant means an all-false (Eq) or
+         all-true (Neq) kernel, via the unmatchable code -1. *)
+      let dict_eq =
+        match op with
+        | Expr.Eq | Expr.Neq -> (
+          let neq = match op with Expr.Neq -> true | _ -> false in
+          match dict_const l r with
+          | Some ((codes, dict), s) ->
+            let target = ref (-1) in
+            Array.iteri (fun i e -> if !target < 0 && String.equal e s then target := i) dict;
+            let tgt = !target in
+            let out = Array.make bs false in
+            Some
+              (B_bool
+                 ( out,
+                   fun ~base ~sel ~n ->
+                     Counters.add_dict_probes 1;
+                     for i = 0 to n - 1 do
+                       let j = sel.(i) in
+                       let hit = codes.(base + j) = tgt in
+                       out.(j) <- (if neq then not hit else hit)
+                     done ))
+          | None -> None)
+        | _ -> None
+      in
+      match dict_eq with
+      | Some _ -> dict_eq
+      | None -> (
       match bc l, bc r with
       | Some (B_int (a, ka)), Some (B_int (b, kb)) ->
         bool_out ka kb (fun j -> cmp a.(j) b.(j))
@@ -479,7 +532,7 @@ let rec compile_batch (cenv : cenv) ~batch_size (e : Expr.t) : bcompiled option 
         bool_out ka kb (fun j -> cmp (String.compare a.(j) b.(j)) 0)
       | Some (B_bool (a, ka)), Some (B_bool (b, kb)) ->
         bool_out ka kb (fun j -> cmp (compare a.(j) b.(j)) 0)
-      | _ -> None)
+      | _ -> None))
     | Expr.Binop (Expr.Concat, l, r) -> (
       match bc l, bc r with
       | Some (B_str (a, ka)), Some (B_str (b, kb)) ->
@@ -496,20 +549,37 @@ let rec compile_batch (cenv : cenv) ~batch_size (e : Expr.t) : bcompiled option 
                  done ))
       | _ -> None)
     | Expr.Binop (Expr.Like, l, r) -> (
-      match bc l, bc r with
-      | Some (B_str (a, ka)), Some (B_str (b, kb)) ->
+      match dict_of l, r with
+      (* LIKE over a promoted string column: match the pattern once per
+         dictionary entry at compile time, then the kernel is one array
+         lookup per lane. *)
+      | Some (codes, dict), Expr.Const (Value.String pat) ->
+        let ok = Array.map (fun entry -> Expr.like ~pattern:pat entry) dict in
         let out = Array.make bs false in
         Some
           (B_bool
              ( out,
                fun ~base ~sel ~n ->
-                 ka ~base ~sel ~n;
-                 kb ~base ~sel ~n;
+                 Counters.add_dict_probes 1;
                  for i = 0 to n - 1 do
                    let j = sel.(i) in
-                   out.(j) <- Expr.like ~pattern:b.(j) a.(j)
+                   out.(j) <- ok.(codes.(base + j))
                  done ))
-      | _ -> None)
+      | _ -> (
+        match bc l, bc r with
+        | Some (B_str (a, ka)), Some (B_str (b, kb)) ->
+          let out = Array.make bs false in
+          Some
+            (B_bool
+               ( out,
+                 fun ~base ~sel ~n ->
+                   ka ~base ~sel ~n;
+                   kb ~base ~sel ~n;
+                   for i = 0 to n - 1 do
+                     let j = sel.(i) in
+                     out.(j) <- Expr.like ~pattern:b.(j) a.(j)
+                   done ))
+        | _ -> None))
     | Expr.Unop (Expr.Neg, x) -> (
       match bc x with
       | Some (B_int (a, ka)) ->

@@ -153,10 +153,22 @@ module Dispenser = struct
     mutable total : int;
     mutable morsel : int;
     handed : int Atomic.t;  (* morsels dispensed since the last reset *)
+    mutable skip : (lo:int -> hi:int -> bool) option;
+        (* zone-map test: [true] proves the range yields no qualifying row,
+           so the morsel is dropped instead of dispensed. Must be safe to
+           call from any worker domain (pure reads + atomic counters). *)
+    skipped : int Atomic.t;  (* morsels dropped by [skip] since last reset *)
   }
 
   let create () =
-    { cursor = Atomic.make 0; total = 0; morsel = 1; handed = Atomic.make 0 }
+    {
+      cursor = Atomic.make 0;
+      total = 0;
+      morsel = 1;
+      handed = Atomic.make 0;
+      skip = None;
+      skipped = Atomic.make 0;
+    }
 
   (* ~64 morsels per input bounds scheduling overhead while still smoothing
      skew; clamped so tiny inputs stay one hand-off and huge ones keep
@@ -169,17 +181,29 @@ module Dispenser = struct
     t.morsel <- max 16 (min 8192 (max 1 target));
     t.total <- total;
     Atomic.set t.handed 0;
+    t.skip <- None;
+    Atomic.set t.skipped 0;
     Atomic.set t.cursor 0
+
+  let set_skip t test = t.skip <- test
 
   let morsels t = if t.total = 0 then 0 else (t.total + t.morsel - 1) / t.morsel
 
-  let next t =
+  let rec next t =
     let lo = Atomic.fetch_and_add t.cursor t.morsel in
     if lo >= t.total then None
     else begin
-      Atomic.incr t.handed;
-      Some (lo / t.morsel, lo, min t.total (lo + t.morsel))
+      let hi = min t.total (lo + t.morsel) in
+      match t.skip with
+      | Some test when test ~lo ~hi ->
+        Atomic.incr t.skipped;
+        next t
+      | _ ->
+        Atomic.incr t.handed;
+        Some (lo / t.morsel, lo, hi)
     end
 
   let dispensed t = Atomic.get t.handed
+
+  let skipped t = Atomic.get t.skipped
 end

@@ -16,6 +16,10 @@ type t = {
   fill_float : float fill option;
   fill_bool : bool fill option;
   fill_str : string fill option;
+  (* dictionary metadata for promoted string columns: [get_str]/[fill_str]
+     still produce decoded strings; kernels that can work on codes read the
+     (codes, dict) pair directly *)
+  dict : (int array * string array) option;
 }
 
 let wrap_ty null ty = match null with None -> ty | Some _ -> Ptype.Option ty
@@ -37,6 +41,7 @@ let of_int ?null ?fill get =
     fill_float = None;
     fill_bool = None;
     fill_str = None;
+    dict = None;
   }
 
 let of_date ?null ?fill get =
@@ -66,6 +71,7 @@ let of_float ?null ?fill get =
     fill_float = fill;
     fill_bool = None;
     fill_str = None;
+    dict = None;
   }
 
 let of_bool ?null ?fill get =
@@ -85,6 +91,7 @@ let of_bool ?null ?fill get =
     fill_float = None;
     fill_bool = fill;
     fill_str = None;
+    dict = None;
   }
 
 let of_str ?null ?fill get =
@@ -104,6 +111,7 @@ let of_str ?null ?fill get =
     fill_float = None;
     fill_bool = None;
     fill_str = fill;
+    dict = None;
   }
 
 let boxed ty get_val =
@@ -120,6 +128,7 @@ let boxed ty get_val =
     fill_float = None;
     fill_bool = None;
     fill_str = None;
+    dict = None;
   }
 
 let slice_fill (a : 'a array) : 'a fill =
@@ -138,6 +147,16 @@ let of_column col ~cur ty =
   | Column.Floats a -> of_float ~fill:(slice_fill a) (fun () -> a.(!cur))
   | Column.Bools a -> of_bool ~fill:(slice_fill a) (fun () -> a.(!cur))
   | Column.Strings a -> of_str ~fill:(slice_fill a) (fun () -> a.(!cur))
+  | Column.Dicts (codes, dict) ->
+    (* decode on read; batch kernels that can compare codes instead pick up
+       the pair from the [dict] field *)
+    let fill base out ~sel ~n =
+      for i = 0 to n - 1 do
+        let j = Array.unsafe_get sel i in
+        Array.unsafe_set out j dict.(codes.(base + j))
+      done
+    in
+    { (of_str ~fill (fun () -> dict.(codes.(!cur)))) with dict = Some (codes, dict) }
   | Column.Nullmask (mask, inner) -> (
     let null = Some (fun () -> mask.(!cur)) in
     match inner with
@@ -148,4 +167,5 @@ let of_column col ~cur ty =
     | Column.Floats a -> of_float ?null (fun () -> a.(!cur))
     | Column.Bools a -> of_bool ?null (fun () -> a.(!cur))
     | Column.Strings a -> of_str ?null (fun () -> a.(!cur))
+    | Column.Dicts (codes, dict) -> of_str ?null (fun () -> dict.(codes.(!cur)))
     | Column.Nullmask _ -> boxed ty (fun () -> Column.get col !cur))

@@ -42,6 +42,11 @@ type t = {
   fill_float : float fill option;
   fill_bool : bool fill option;
   fill_str : string fill option;
+  dict : (int array * string array) option;
+      (** dictionary metadata when the accessor reads a promoted
+          ({!Proteus_storage.Column.Dicts}) cache column: [get_str]/[fill_str]
+          still decode, while comparison kernels may work on the codes
+          directly (equality as a code compare, LIKE once per entry) *)
 }
 
 (** {1 Constructors} *)

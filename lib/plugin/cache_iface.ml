@@ -27,6 +27,8 @@ type t = {
   should_cache_select : dataset:string -> bool;
   quarantine : id:string -> unit;
   note_fill : dataset:string -> segments:int -> rows:int -> unit;
+  note_selective : dataset:string -> path:string -> unit;
+  lookup_zones : dataset:string -> path:string -> Zonemap.t option;
 }
 
 let disabled =
@@ -41,4 +43,6 @@ let disabled =
     should_cache_select = (fun ~dataset:_ -> false);
     quarantine = (fun ~id:_ -> ());
     note_fill = (fun ~dataset:_ ~segments:_ ~rows:_ -> ());
+    note_selective = (fun ~dataset:_ ~path:_ -> ());
+    lookup_zones = (fun ~dataset:_ ~path:_ -> None);
   }

@@ -47,6 +47,15 @@ type t = {
       (** account one committed segmented fill: [segments] per-range buffers
           were blit-assembled into [rows]-row cache columns for [dataset]
           (serial fills count as a single segment) *)
+  note_selective : dataset:string -> path:string -> unit;
+      (** workload feedback: the engine compiled a selective comparison
+          conjunct over [dataset.path] — the promotion policy's signal that
+          the column is hot (ticked once per query compilation, not per
+          tuple) *)
+  lookup_zones : dataset:string -> path:string -> Zonemap.t option;
+      (** the zone map of a {e promoted} cached column, if any: per-zone
+          min/max the scan drivers consult to skip whole morsels/batches
+          that cannot satisfy a pushed-down comparison *)
 }
 
 (** A cache handle that never hits and never stores (caching disabled). *)

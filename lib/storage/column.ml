@@ -5,6 +5,10 @@ type t =
   | Floats of float array
   | Bools of bool array
   | Strings of string array
+  (* dictionary-encoded strings: codes index into the (deduplicated,
+     first-seen-order) dictionary — the promoted layout for hot string
+     columns, enabling code-comparison and per-entry LIKE kernels *)
+  | Dicts of int array * string array
   | Nullmask of bool array * t
 
 let rec length = function
@@ -12,6 +16,7 @@ let rec length = function
   | Floats a -> Array.length a
   | Bools a -> Array.length a
   | Strings a -> Array.length a
+  | Dicts (codes, _) -> Array.length codes
   | Nullmask (_, c) -> length c
 
 let rec get c i : Value.t =
@@ -20,7 +25,41 @@ let rec get c i : Value.t =
   | Floats a -> Float a.(i)
   | Bools a -> Bool a.(i)
   | Strings a -> String a.(i)
+  | Dicts (codes, dict) -> String dict.(codes.(i))
   | Nullmask (mask, inner) -> if mask.(i) then Null else get inner i
+
+(* First-seen-order dictionary encoding: the decoded column is
+   string-for-string identical to the input. *)
+let dict_encode (a : string array) : int array * string array =
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 256 in
+  let dict = ref [] and ndict = ref 0 in
+  let codes =
+    Array.map
+      (fun s ->
+        match Hashtbl.find_opt tbl s with
+        | Some c -> c
+        | None ->
+          let c = !ndict in
+          Hashtbl.add tbl s c;
+          dict := s :: !dict;
+          incr ndict;
+          c)
+      a
+  in
+  (codes, Array.of_list (List.rev !dict))
+
+(* Promote a string column to its dictionary layout (identity on anything
+   already promoted; None for non-string columns). *)
+let promote_strings (c : t) : t option =
+  match c with
+  | Strings a ->
+    let codes, dict = dict_encode a in
+    Some (Dicts (codes, dict))
+  | Nullmask (mask, Strings a) ->
+    let codes, dict = dict_encode a in
+    Some (Nullmask (mask, Dicts (codes, dict)))
+  | Dicts _ | Nullmask (_, Dicts _) -> Some c
+  | Ints _ | Floats _ | Bools _ | Nullmask _ -> None
 
 module Builder = struct
   type column = t
@@ -239,6 +278,9 @@ let rec byte_size = function
   | Floats a -> 8 * Array.length a
   | Bools a -> Array.length a
   | Strings a -> Array.fold_left (fun acc s -> acc + 16 + String.length s) 0 a
+  | Dicts (codes, dict) ->
+    (8 * Array.length codes)
+    + Array.fold_left (fun acc s -> acc + 16 + String.length s) 0 dict
   | Nullmask (mask, c) -> Array.length mask + byte_size c
 
 let min_max c =

@@ -12,6 +12,10 @@ type t =
   | Floats of float array
   | Bools of bool array
   | Strings of string array
+  | Dicts of int array * string array
+      (** dictionary-encoded strings: element [i] is [dict.(codes.(i))]. The
+          promoted layout for hot cached string columns — comparisons run on
+          codes, LIKE runs once per dictionary entry. *)
   | Nullmask of bool array * t
       (** validity-tagged column: [mask.(i)] true means value [i] is NULL *)
 
@@ -20,6 +24,14 @@ val length : t -> int
 (** [get c i] boxes element [i]. Dates are stored in [Ints] columns; callers
     that care about dates re-wrap via the schema. *)
 val get : t -> int -> Value.t
+
+(** [dict_encode a] is [(codes, dict)] with [dict] deduplicated in first-seen
+    order and [dict.(codes.(i)) = a.(i)] for every [i]. *)
+val dict_encode : string array -> int array * string array
+
+(** [promote_strings c] rewrites a (possibly nullable) [Strings] column to its
+    [Dicts] layout; identity on already-promoted columns, [None] otherwise. *)
+val promote_strings : t -> t option
 
 (** [of_values ty vs] packs boxed values into a typed column. Null values
     force a [Nullmask] wrapper. *)

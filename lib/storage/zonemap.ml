@@ -1,0 +1,154 @@
+(* Zone maps over cached columns: per-zone min/max side structures built at
+   cache-fill commit (or in one pass at promotion), consulted by the engine
+   to skip whole morsels/batches that cannot satisfy a pushed-down
+   comparison conjunct.
+
+   Soundness rests on the engine's null semantics: [Expr.cmp] maps any
+   comparison with a Null operand to [Bool false], so a zone that holds
+   only nulls can never produce a qualifying row and is skippable outright,
+   and a zone whose non-null bounds exclude the constant is skippable even
+   when nulls are interleaved.
+
+   Determinism: callers size zones with [zone_rows], the same formula the
+   morsel dispenser uses, so the zone grid is a pure function of the row
+   count — independent of the domain count or batch size that happened to
+   fill the cache — and zones line up 1:1 with full-scan morsels. *)
+
+type bounds =
+  | Z_int of int array * int array     (* per-zone lo / hi over non-nulls *)
+  | Z_float of float array * float array
+
+type t = {
+  zone : int;        (* rows per zone (last zone may be short) *)
+  rows : int;        (* total rows covered *)
+  bounds : bounds;
+  empty : bool array; (* zone has no non-null row: always skippable *)
+}
+
+(* Mirror of [Pool.Dispenser]'s morsel sizing (kept in sync by
+   test_promotion's alignment check): zones align with scan morsels. *)
+let zone_rows total = max 16 (min 8192 (max 1 (total / 64)))
+
+let zones t = Array.length t.empty
+
+(* Comparison tests the engine can push into a zone check. The operand
+   order is column-op-constant; callers flip the operator when the conjunct
+   was written constant-first. *)
+type op = Eq | Lt | Le | Gt | Ge
+
+type test = T_int of op * int | T_float of op * float
+
+let of_column ?zone (col : Column.t) : t option =
+  let build n get_int get_float =
+    if n = 0 then None
+    else begin
+      let zone = match zone with Some z -> max 1 z | None -> zone_rows n in
+      let nz = (n + zone - 1) / zone in
+      let empty = Array.make nz true in
+      let bounds =
+        match get_int, get_float with
+        | Some geti, _ ->
+          let lo = Array.make nz max_int and hi = Array.make nz min_int in
+          for i = 0 to n - 1 do
+            match geti i with
+            | None -> ()
+            | Some v ->
+              let z = i / zone in
+              empty.(z) <- false;
+              if v < lo.(z) then lo.(z) <- v;
+              if v > hi.(z) then hi.(z) <- v
+          done;
+          Some (Z_int (lo, hi))
+        | None, Some getf ->
+          let lo = Array.make nz infinity and hi = Array.make nz neg_infinity in
+          for i = 0 to n - 1 do
+            match getf i with
+            | None -> ()
+            | Some v ->
+              let z = i / zone in
+              empty.(z) <- false;
+              if v < lo.(z) then lo.(z) <- v;
+              if v > hi.(z) then hi.(z) <- v
+          done;
+          Some (Z_float (lo, hi))
+        | None, None -> None
+      in
+      match bounds with
+      | Some bounds -> Some { zone; rows = n; bounds; empty }
+      | None -> None
+    end
+  in
+  match col with
+  | Column.Ints a ->
+    build (Array.length a) (Some (fun i -> Some a.(i))) None
+  | Column.Floats a ->
+    build (Array.length a) None (Some (fun i -> Some a.(i)))
+  | Column.Nullmask (mask, Column.Ints a) ->
+    build (Array.length a)
+      (Some (fun i -> if mask.(i) then None else Some a.(i)))
+      None
+  | Column.Nullmask (mask, Column.Floats a) ->
+    build (Array.length a) None
+      (Some (fun i -> if mask.(i) then None else Some a.(i)))
+  | Column.Bools _ | Column.Strings _ | Column.Dicts _ | Column.Nullmask _ ->
+    None
+
+(* Can any non-null row of zone [z] satisfy [column op constant]?
+   Conservative: [true] means "maybe", [false] is a proof of no match. *)
+let zone_may_match t z (test : test) =
+  if t.empty.(z) then false
+  else
+    match t.bounds, test with
+    | Z_int (lo, hi), T_int (op, c) -> (
+      match op with
+      | Eq -> lo.(z) <= c && c <= hi.(z)
+      | Lt -> lo.(z) < c
+      | Le -> lo.(z) <= c
+      | Gt -> hi.(z) > c
+      | Ge -> hi.(z) >= c)
+    | Z_int (lo, hi), T_float (op, c) -> (
+      (* [Expr.cmp] compares Int-vs-Float through float conversion *)
+      let flo = float_of_int lo.(z) and fhi = float_of_int hi.(z) in
+      match op with
+      | Eq -> flo <= c && c <= fhi
+      | Lt -> flo < c
+      | Le -> flo <= c
+      | Gt -> fhi > c
+      | Ge -> fhi >= c)
+    | Z_float (lo, hi), T_float (op, c) -> (
+      match op with
+      | Eq -> lo.(z) <= c && c <= hi.(z)
+      | Lt -> lo.(z) < c
+      | Le -> lo.(z) <= c
+      | Gt -> hi.(z) > c
+      | Ge -> hi.(z) >= c)
+    | Z_float (lo, hi), T_int (op, c) -> (
+      let c = float_of_int c in
+      match op with
+      | Eq -> lo.(z) <= c && c <= hi.(z)
+      | Lt -> lo.(z) < c
+      | Le -> lo.(z) <= c
+      | Gt -> hi.(z) > c
+      | Ge -> hi.(z) >= c)
+
+(* Can any row in [\[lo, hi)] satisfy the test? Checks every overlapping
+   zone, so it is exact for ranges of any alignment (batches need not line
+   up with the zone grid). Rows past [t.rows] are treated as "maybe" —
+   a zone map never claims knowledge beyond the column it was built on. *)
+let may_match_range t ~lo ~hi (test : test) =
+  if hi <= lo then false
+  else if lo >= t.rows then true
+  else begin
+    let hi_capped = min hi t.rows in
+    let z0 = lo / t.zone and z1 = (hi_capped - 1) / t.zone in
+    let rec go z = z <= z1 && (zone_may_match t z test || go (z + 1)) in
+    go z0 || hi > t.rows
+  end
+
+let byte_size t =
+  let b =
+    match t.bounds with
+    | Z_int (lo, hi) -> 8 * (Array.length lo + Array.length hi)
+    | Z_float (lo, hi) -> 8 * (Array.length lo + Array.length hi)
+  in
+  b + Array.length t.empty
