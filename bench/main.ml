@@ -88,5 +88,7 @@ let () =
   let je, be = Tpch_figs.run_all () in
   Symantec_fig.run_all ();
   Parallel_fig.run_all je be;
+  Server_fig.run_all ();
+  Server_fig.splice_json "BENCH_engine.json";
   Ablations.run_all ();
   run_bechamel (bechamel_suite je be)

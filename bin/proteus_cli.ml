@@ -56,6 +56,21 @@ let query =
     & info [ "q"; "query" ] ~docv:"QUERY"
         ~doc:"The query: SQL, or a 'for {...} yield ...' comprehension.")
 
+let params_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "p"; "param" ] ~docv:"[NAME=]VALUE"
+        ~doc:"Bind a query parameter. $(b,--param 42) binds the next \
+              positional $(b,?) (named 1, 2, ... in appearance order); \
+              $(b,--param name=42) binds $(b,\\$name). Values parse as \
+              null, true/false, int, float or a 'quoted string'; anything \
+              else is taken as a raw string. Repeatable.")
+
+let parse_params raw =
+  let positional = ref 0 in
+  List.map (Proteus_server.Server.parse_param ~positional) raw
+
 let engine =
   Arg.(
     value
@@ -235,8 +250,9 @@ let classify = function
   | Sys_error _ -> 4
   | _ -> 2
 
-let run jsons csvs q engine domains batch_size policy max_errors timeout_ms stats
-    no_cache promote promote_threshold repeat explain verbose format =
+let run jsons csvs q raw_params engine domains batch_size policy max_errors timeout_ms
+    stats no_cache promote promote_threshold repeat explain verbose format =
+  let params = parse_params raw_params in
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Info)
@@ -287,10 +303,10 @@ let run jsons csvs q engine domains batch_size policy max_errors timeout_ms stat
       let run_pass () =
         if is_comprehension q then
           Proteus.Db.comprehension_guarded ~engine ~domains ~batch_size ~policy
-            ?max_errors ?timeout_ms db q
+            ?max_errors ?timeout_ms ~params db q
         else
           Proteus.Db.sql_guarded ~engine ~domains ~batch_size ~policy ?max_errors
-            ?timeout_ms db q
+            ?timeout_ms ~params db q
       in
       (* warm-up passes: cold fill first, then warm cache, then (with
          --promote) promoted layouts; the printed result and the --stats
@@ -354,33 +370,153 @@ let run jsons csvs q engine domains batch_size policy max_errors timeout_ms stat
     end
   end
 
-let run jsons csvs q engine domains batch_size policy max_errors timeout_ms stats
-    no_cache promote promote_threshold repeat explain verbose format =
+let run jsons csvs q params engine domains batch_size policy max_errors timeout_ms
+    stats no_cache promote promote_threshold repeat explain verbose format =
   let files =
     List.map (fun (n, p, _) -> (n, p, "json")) jsons
     @ List.map (fun (n, p, _) -> (n, p, "csv")) csvs
   in
   try
-    run jsons csvs q engine domains batch_size policy max_errors timeout_ms stats
-      no_cache promote promote_threshold repeat explain verbose format
+    run jsons csvs q params engine domains batch_size policy max_errors timeout_ms
+      stats no_cache promote promote_threshold repeat explain verbose format
   with
   | (Perror.Parse_error _ | Perror.Plan_error _ | Perror.Type_error _
     | Perror.Unsupported _ | Sys_error _) as e ->
     Fmt.epr "proteus_cli: %a@." (pp_error files) e;
     classify e
 
+(* --- serve ---------------------------------------------------------------- *)
+
+let port_arg =
+  Arg.(
+    value
+    & opt int Proteus_server.Server.default_config.Proteus_server.Server.port
+    & info [ "port" ] ~docv:"PORT" ~doc:"TCP port to listen on; 0 binds an \
+                                         ephemeral port (printed at startup).")
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind.")
+
+let workers_arg =
+  Arg.(
+    value
+    & opt int 2
+    & info [ "workers" ] ~docv:"N"
+        ~doc:"Scheduler worker domains: at most $(docv) queries execute \
+              concurrently; the rest wait in the admission queue.")
+
+let queue_arg =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "queue" ] ~docv:"N"
+        ~doc:"Admission-control bound: submissions beyond $(docv) waiting \
+              queries are rejected with 'err overloaded' instead of \
+              queueing unbounded latency.")
+
+let cache_arg =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "engine-cache" ] ~docv:"N"
+        ~doc:"Plan-shape engine cache capacity: compiled engines kept for \
+              re-binding, LRU-evicted beyond $(docv).")
+
+let serve jsons csvs host port workers queue cache domains batch_size timeout_ms
+    no_cache promote promote_threshold verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.Info)
+  end
+  else begin
+    (* the listening-port banner is load-bearing for scripted clients *)
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.App)
+  end;
+  let caching =
+    { Proteus_cache.Manager.default_config with promote; promote_threshold }
+  in
+  let db = Proteus.Db.create ~caching () in
+  if no_cache then Proteus.Db.set_caching db false;
+  try
+    List.iter
+      (fun (name, path, element) ->
+        match element with
+        | Some element -> Proteus.Db.register_json_file db ~name ~element ~path
+        | None ->
+          ignore (Proteus.Db.register_json_inferred db ~name ~contents:(read_file path)))
+      jsons;
+    List.iter
+      (fun (name, path, element) ->
+        match element with
+        | Some element -> Proteus.Db.register_csv_file db ~name ~element ~path ()
+        | None ->
+          ignore (Proteus.Db.register_csv_inferred db ~name ~contents:(read_file path) ()))
+      csvs;
+    let cfg =
+      {
+        Proteus_server.Server.host;
+        port;
+        workers;
+        max_queue = queue;
+        cache_capacity = cache;
+        domains;
+        batch_size = (if batch_size = Proteus_engine.Compiled.default_batch_size then None else Some batch_size);
+        timeout_ms;
+      }
+    in
+    Proteus_server.Server.serve db cfg;
+    0
+  with
+  | (Perror.Parse_error _ | Perror.Plan_error _ | Perror.Type_error _
+    | Perror.Unsupported _ | Sys_error _) as e ->
+    Fmt.epr "proteus_cli: %a@." Perror.pp_exn e;
+    classify e
+  | Unix.Unix_error (err, fn, _) ->
+    Fmt.epr "proteus_cli: %s: %s@." fn (Unix.error_message err);
+    4
+
+let exits =
+  Cmd.Exit.info 1 ~doc:"on a plan or type error (the query is wrong)."
+  :: Cmd.Exit.info 2 ~doc:"on a parse or data error (the data is wrong)."
+  :: Cmd.Exit.info 3 ~doc:"when --timeout-ms expires."
+  :: Cmd.Exit.info 4 ~doc:"on an I/O error."
+  :: Cmd.Exit.defaults
+
+let query_term =
+  Term.(
+    const run $ json_args $ csv_args $ query $ params_arg $ engine $ domains
+    $ batch_size $ on_error $ max_errors $ timeout_ms $ stats $ no_cache
+    $ promote $ promote_threshold $ repeat $ explain $ verbose $ format)
+
+let serve_cmd =
+  let doc = "serve concurrent queries over TCP (prepare-once/run-many)" in
+  Cmd.v
+    (Cmd.info "serve" ~doc ~exits
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Registers the given datasets once, then accepts line-protocol \
+              clients: $(b,run SQL) executes a query, $(b,param [NAME=]VALUE) \
+              binds parameters for the next run, $(b,timeout MS) sets its \
+              deadline, $(b,stats) prints engine-cache and scheduler \
+              counters, $(b,ping)/$(b,quit) do what they say. Compiled \
+              engines are cached by plan shape: queries differing only in \
+              comparison constants re-bind parameter slots instead of \
+              re-compiling.";
+         ])
+    Term.(
+      const serve $ json_args $ csv_args $ host_arg $ port_arg $ workers_arg
+      $ queue_arg $ cache_arg $ domains $ batch_size $ timeout_ms $ no_cache
+      $ promote $ promote_threshold $ verbose)
+
 let cmd =
   let doc = "query heterogeneous raw data files with one engine" in
-  Cmd.v
-    (Cmd.info "proteus_cli" ~doc ~exits:
-       (Cmd.Exit.info 1 ~doc:"on a plan or type error (the query is wrong)."
-        :: Cmd.Exit.info 2 ~doc:"on a parse or data error (the data is wrong)."
-        :: Cmd.Exit.info 3 ~doc:"when --timeout-ms expires."
-        :: Cmd.Exit.info 4 ~doc:"on an I/O error."
-        :: Cmd.Exit.defaults))
-    Term.(
-      const run $ json_args $ csv_args $ query $ engine $ domains $ batch_size
-      $ on_error $ max_errors $ timeout_ms $ stats $ no_cache $ promote
-      $ promote_threshold $ repeat $ explain $ verbose $ format)
+  let info = Cmd.info "proteus_cli" ~doc ~exits in
+  Cmd.group ~default:query_term info [ serve_cmd ]
 
 let () = exit (Cmd.eval' cmd)

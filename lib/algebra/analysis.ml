@@ -17,12 +17,31 @@ let rec all_exprs (p : Plan.t) : Expr.t list =
   in
   own @ List.concat_map all_exprs (Plan.children p)
 
+(* Runtime parameters of a plan, in deterministic top-down traversal order,
+   deduplicated. *)
+let params (p : Plan.t) : string list =
+  List.fold_left
+    (fun acc e ->
+      List.fold_left
+        (fun acc n -> if List.mem n acc then acc else acc @ [ n ])
+        acc (Expr.params e))
+    [] (all_exprs p)
+
+let has_params p = params p <> []
+
+(* [bind_params env p] substitutes constants for the parameters bound in
+   [env] throughout the plan; parameters missing from [env] stay in place
+   (use {!params} on the result to detect leftovers). *)
+let bind_params env (p : Plan.t) : Plan.t =
+  let rec go p = Plan.map_children go (Plan.map_exprs (Expr.bind_params env) p) in
+  go p
+
 let path_of e =
   let rec go acc = function
     | Expr.Var v -> Some (v, String.concat "." acc)
     | Expr.Field (base, f) -> go (f :: acc) base
-    | Expr.Const _ | Expr.Binop _ | Expr.Unop _ | Expr.If _ | Expr.Record_ctor _
-    | Expr.Coll_ctor _ ->
+    | Expr.Const _ | Expr.Param _ | Expr.Binop _ | Expr.Unop _ | Expr.If _
+    | Expr.Record_ctor _ | Expr.Coll_ctor _ ->
       None
   in
   go [] e
@@ -42,7 +61,7 @@ let required_paths exprs =
     | Some (v, p) -> add_path v p
     | None -> (
       match e with
-      | Expr.Const _ -> ()
+      | Expr.Const _ | Expr.Param _ -> ()
       | Expr.Var v -> add_whole v
       | Expr.Field (base, _) -> go base
       | Expr.Binop (_, l, r) -> go l; go r

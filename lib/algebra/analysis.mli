@@ -6,6 +6,15 @@ open Proteus_model
 (** Every expression appearing anywhere in a plan. *)
 val all_exprs : Plan.t -> Expr.t list
 
+(** Runtime parameters of a plan, deterministic top-down order, deduplicated. *)
+val params : Plan.t -> string list
+
+val has_params : Plan.t -> bool
+
+(** [bind_params env p] substitutes constants for the parameters bound in
+    [env]; parameters missing from [env] stay in place. *)
+val bind_params : (string * Value.t) list -> Plan.t -> Plan.t
+
 (** [path_of e] decomposes [e] into a variable and a dotted path when it is
     a pure path expression ([x.a.b] → [Some ("x", "a.b")], [x] →
     [Some ("x", "")]). *)

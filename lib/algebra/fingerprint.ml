@@ -96,3 +96,54 @@ let canonical (plan : Plan.t) : Plan.t =
 let plan t = Plan.to_string (canonical t)
 
 let expr ~binding e = Expr.to_string (Expr.rename binding "$0" e)
+
+(* Literal canonicalization for plan-shape keys: scalar constants sitting as
+   direct comparison operands become parameter slots named in the reserved
+   "~k" namespace (user parameters can never take those names — '~' is not
+   an identifier character), numbered in one deterministic top-down walk so
+   the slot list lines up between the shape computation and the engine that
+   compiles the parameterized plan. Only comparison operands are lifted:
+   those are exactly the positions with batch-lane parameter kernels and
+   zone-map re-arming, while literals elsewhere (arithmetic, projections,
+   LIKE patterns against dictionary caches) stay inline so the engine keeps
+   specializing on them. Bool/Null constants also stay: [Const true]
+   predicates are structural no-filter markers. *)
+let parameterize (p : Plan.t) : Plan.t * (string * Value.t) list =
+  let out = ref [] in
+  let counter = ref 0 in
+  let scalar = function
+    | Value.Int _ | Value.Float _ | Value.String _ | Value.Date _ -> true
+    | Value.Null | Value.Bool _ | Value.Record _ | Value.Coll _ -> false
+  in
+  let slot v =
+    let name = Fmt.str "~%d" !counter in
+    incr counter;
+    out := (name, v) :: !out;
+    Expr.Param name
+  in
+  let rec expr (e : Expr.t) : Expr.t =
+    match e with
+    | Expr.Binop
+        (((Expr.Eq | Expr.Neq | Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge) as op), l, r)
+      -> (
+      match l, r with
+      | Expr.Const _, Expr.Const _ -> e (* fully constant: leave for folding *)
+      | Expr.Const v, x when scalar v -> Expr.Binop (op, slot v, expr x)
+      | x, Expr.Const v when scalar v -> Expr.Binop (op, expr x, slot v)
+      | l, r -> Expr.Binop (op, expr l, expr r))
+    | Expr.Const _ | Expr.Param _ | Expr.Var _ -> e
+    | Expr.Field (x, f) -> Expr.Field (expr x, f)
+    | Expr.Binop (op, a, b) -> Expr.Binop (op, expr a, expr b)
+    | Expr.Unop (op, a) -> Expr.Unop (op, expr a)
+    | Expr.If (c, t, f) -> Expr.If (expr c, expr t, expr f)
+    | Expr.Record_ctor fs -> Expr.Record_ctor (List.map (fun (n, x) -> (n, expr x)) fs)
+    | Expr.Coll_ctor (c, xs) -> Expr.Coll_ctor (c, List.map expr xs)
+  in
+  let rec go p = Plan.map_children go (Plan.map_exprs expr p) in
+  let p = go p in
+  (p, List.rev !out)
+
+(* The plan-shape key: canonical form of the literal-parameterized plan, so
+   queries differing only in comparison constants (or in binding names)
+   share one shape. *)
+let shape t = plan (fst (parameterize t))

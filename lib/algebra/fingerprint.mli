@@ -19,3 +19,16 @@ val expr : binding:string -> Expr.t -> string
 (** [canonical t] is the plan with canonically renamed bindings (exposed for
     tests). *)
 val canonical : Plan.t -> Plan.t
+
+(** [parameterize t] lifts scalar constants in comparison-operand position
+    into parameter slots named ["~0"], ["~1"], … (a namespace user
+    parameters cannot collide with), returning the parameterized plan and
+    the extracted [(slot, value)] bindings in slot order. Literals in other
+    positions (arithmetic, projections, LIKE patterns) stay inline so the
+    engine keeps specializing on them. *)
+val parameterize : Plan.t -> Plan.t * (string * Value.t) list
+
+(** [shape t] is the plan-shape fingerprint: {!plan} of the parameterized
+    plan, so queries differing only in comparison constants share one
+    shape. The engine cache keys compiled engines by it. *)
+val shape : Plan.t -> string

@@ -99,6 +99,37 @@ let map_children f = function
   | Sort r -> Sort { r with input = f r.input }
   | Join r -> Join { r with left = f r.left; right = f r.right }
 
+(* Apply [f] to every expression of this node (children untouched). *)
+let map_exprs f = function
+  | Scan _ as t -> t
+  | Select r -> Select { r with pred = f r.pred }
+  | Join r ->
+    Join
+      {
+        r with
+        pred = f r.pred;
+        left_key = Option.map f r.left_key;
+        right_key = Option.map f r.right_key;
+      }
+  | Unnest r -> Unnest { r with path = f r.path; pred = f r.pred }
+  | Reduce r ->
+    Reduce
+      {
+        r with
+        pred = f r.pred;
+        monoid_output = List.map (fun a -> { a with expr = f a.expr }) r.monoid_output;
+      }
+  | Nest r ->
+    Nest
+      {
+        r with
+        pred = f r.pred;
+        keys = List.map (fun (n, e) -> (n, f e)) r.keys;
+        aggs = List.map (fun a -> { a with expr = f a.expr }) r.aggs;
+      }
+  | Project r -> Project { r with fields = List.map (fun (n, e) -> (n, f e)) r.fields }
+  | Sort r -> Sort { r with keys = List.map (fun (e, d) -> (f e, d)) r.keys }
+
 let check_expr bound e =
   List.iter
     (fun v ->

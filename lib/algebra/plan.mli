@@ -106,6 +106,10 @@ val children : t -> t list
 (** [map_children f t] rebuilds [t] with children [f c]. *)
 val map_children : (t -> t) -> t -> t
 
+(** [map_exprs f t] rebuilds this node with every embedded expression mapped
+    through [f] (children untouched). *)
+val map_exprs : (Expr.t -> Expr.t) -> t -> t
+
 (** [validate t] checks that every expression only references bound
     variables and that bindings are not shadowed.
     Raises [Perror.Plan_error] on violations. *)

@@ -65,6 +65,15 @@ type t = {
   config : config;
   catalog : Catalog.t;
   arena : Memory.Arena.t;
+  mu : Mutex.t;
+      (* one lock over all manager state: lookups, stores, promotion
+         accounting and eviction callbacks — concurrent sessions share one
+         manager, and the arena's LRU mutates on every touch *)
+  mutable on_promote : (string -> string -> unit) option;
+      (* promotion hook (dataset, path), fired OUTSIDE the lock: the engine
+         cache invalidates compiled plans that baked in the pre-promotion
+         layout (no zone skip, undictionarized probes) *)
+  mutable promo_fired : (string * string) list;  (* pending hook calls *)
   fields : (string * string, Column.t) Hashtbl.t;    (* (dataset, path) *)
   packed : (string, Cache_iface.packed * string list) Hashtbl.t;  (* key -> (cols, datasets) *)
   selects : (string, select_entry list ref) Hashtbl.t;  (* dataset -> entries *)
@@ -108,6 +117,9 @@ let create ?(config = default_config) catalog =
     config;
     catalog;
     arena = Memory.Arena.of_mgr (Catalog.memory catalog);
+    mu = Mutex.create ();
+    on_promote = None;
+    promo_fired = [];
     fields = Hashtbl.create 32;
     packed = Hashtbl.create 16;
     selects = Hashtbl.create 8;
@@ -131,6 +143,28 @@ let create ?(config = default_config) catalog =
     zone_maps = 0;
     dict_columns = 0;
   }
+
+(* Serialize every entry point; deliver promotion-hook notifications after
+   the lock drops so the hook may call back into the manager (or into an
+   engine cache that does). *)
+let with_mu t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+    let fired = List.rev t.promo_fired in
+    t.promo_fired <- [];
+    let hook = t.on_promote in
+    Mutex.unlock t.mu;
+    (match hook with
+    | Some h -> List.iter (fun (ds, p) -> h ds p) fired
+    | None -> ());
+    v
+  | exception e ->
+    t.promo_fired <- [];
+    Mutex.unlock t.mu;
+    raise e
+
+let set_on_promote t h = with_mu t (fun () -> t.on_promote <- Some h)
 
 let field_id dataset path = Fmt.str "field:%s:%s" dataset path
 
@@ -169,6 +203,7 @@ let build_zones t (dataset, path) col =
 let promote_now t dataset path =
   Hashtbl.replace t.promoted (dataset, path) ();
   t.promotions <- t.promotions + 1;
+  t.promo_fired <- (dataset, path) :: t.promo_fired;
   Stats.note_promoted (Catalog.stats t.catalog dataset) path;
   (match Hashtbl.find_opt t.fields (dataset, path) with
   | Some col -> (
@@ -376,26 +411,41 @@ let note_fill t ~dataset ~segments ~rows =
 
 let iface t : Cache_iface.t =
   {
-    Cache_iface.lookup_field = (fun ~dataset ~path -> lookup_field t ~dataset ~path);
-    store_field = (fun ~dataset ~path ~bias col -> store_field t ~dataset ~path ~bias col);
+    Cache_iface.lookup_field =
+      (fun ~dataset ~path -> with_mu t (fun () -> lookup_field t ~dataset ~path));
+    store_field =
+      (fun ~dataset ~path ~bias col ->
+        with_mu t (fun () -> store_field t ~dataset ~path ~bias col));
     should_cache_field =
-      (fun ~dataset ~path ~ty -> should_cache_field t ~dataset ~path ~ty);
-    lookup_packed = (fun ~key -> lookup_packed t ~key);
+      (fun ~dataset ~path ~ty ->
+        with_mu t (fun () -> should_cache_field t ~dataset ~path ~ty));
+    lookup_packed = (fun ~key -> with_mu t (fun () -> lookup_packed t ~key));
     store_packed =
-      (fun ~key ~datasets ~bias p -> store_packed t ~key ~datasets ~bias p);
+      (fun ~key ~datasets ~bias p ->
+        with_mu t (fun () -> store_packed t ~key ~datasets ~bias p));
     lookup_select =
-      (fun ~dataset ~binding ~pred ~paths -> lookup_select t ~dataset ~binding ~pred ~paths);
+      (fun ~dataset ~binding ~pred ~paths ->
+        with_mu t (fun () -> lookup_select t ~dataset ~binding ~pred ~paths));
     store_select =
       (fun ~dataset ~binding ~pred ~paths ~bias p ->
-        store_select t ~dataset ~binding ~pred ~paths ~bias p);
-    should_cache_select = (fun ~dataset -> should_cache_select t ~dataset);
-    quarantine = (fun ~id -> quarantine t ~id);
-    note_fill = (fun ~dataset ~segments ~rows -> note_fill t ~dataset ~segments ~rows);
-    note_selective = (fun ~dataset ~path -> note_selective t ~dataset ~path);
-    lookup_zones = (fun ~dataset ~path -> lookup_zones t ~dataset ~path);
+        with_mu t (fun () -> store_select t ~dataset ~binding ~pred ~paths ~bias p));
+    should_cache_select =
+      (fun ~dataset -> with_mu t (fun () -> should_cache_select t ~dataset));
+    quarantine = (fun ~id -> with_mu t (fun () -> quarantine t ~id));
+    note_fill =
+      (fun ~dataset ~segments ~rows ->
+        with_mu t (fun () -> note_fill t ~dataset ~segments ~rows));
+    note_selective =
+      (fun ~dataset ~path -> with_mu t (fun () -> note_selective t ~dataset ~path));
+    lookup_zones =
+      (fun ~dataset ~path -> with_mu t (fun () -> lookup_zones t ~dataset ~path));
   }
 
-let stats t =
+let is_promoted t ~dataset ~path = with_mu t (fun () -> is_promoted t ~dataset ~path)
+
+let lookup_zones t ~dataset ~path = with_mu t (fun () -> lookup_zones t ~dataset ~path)
+
+let stats t = with_mu t @@ fun () ->
   {
     field_hits = t.field_hits;
     field_misses = t.field_misses;
@@ -415,13 +465,13 @@ let stats t =
     dict_columns = t.dict_columns;
   }
 
-let field_bytes_for t ~dataset =
+let field_bytes_for t ~dataset = with_mu t @@ fun () ->
   Hashtbl.fold
     (fun (ds, _) col acc ->
       if String.equal ds dataset then acc + Column.byte_size col else acc)
     t.fields 0
 
-let bytes_for t ~dataset =
+let bytes_for t ~dataset = with_mu t @@ fun () ->
   let fields =
     Hashtbl.fold
       (fun (ds, _) col acc -> if String.equal ds dataset then acc + Column.byte_size col else acc)
@@ -441,7 +491,7 @@ let bytes_for t ~dataset =
   in
   fields + packed + selects
 
-let resident_bytes t =
+let resident_bytes t = with_mu t @@ fun () ->
   Hashtbl.fold (fun _ col acc -> acc + Column.byte_size col) t.fields 0
   + Hashtbl.fold (fun _ (p, _) acc -> acc + packed_size p) t.packed 0
   + Hashtbl.fold
@@ -449,7 +499,7 @@ let resident_bytes t =
         List.fold_left (fun acc e -> acc + packed_size e.se_packed) acc !entries)
       t.selects 0
 
-let invalidate_dataset t ~dataset =
+let invalidate_dataset t ~dataset = with_mu t @@ fun () ->
   let field_keys =
     Hashtbl.fold
       (fun (ds, path) _ acc -> if String.equal ds dataset then (ds, path) :: acc else acc)
@@ -490,7 +540,7 @@ let invalidate_dataset t ~dataset =
       Stats.drop_promoted (Catalog.stats t.catalog ds) path)
     (adaptive_keys t.promoted)
 
-let clear t =
+let clear t = with_mu t @@ fun () ->
   Hashtbl.iter (fun (ds, path) _ -> Memory.Arena.remove t.arena (field_id ds path)) t.fields;
   Hashtbl.iter (fun key _ -> Memory.Arena.remove t.arena (packed_id key)) t.packed;
   Hashtbl.iter

@@ -48,8 +48,16 @@ type t
 
 val create : ?config:config -> Catalog.t -> t
 
-(** The interface handed to the execution layer. *)
+(** The interface handed to the execution layer. Every entry point (and the
+    introspection/maintenance API below) is serialized by an internal lock,
+    so one manager can back concurrent query sessions. *)
 val iface : t -> Proteus_plugin.Cache_iface.t
+
+(** [set_on_promote t f] registers [f dataset path] to run after a column
+    promotes (outside the manager's lock). The server's engine cache uses it
+    to drop compiled plans that baked in the pre-promotion layout — no zone
+    skip, no dictionary probe. *)
+val set_on_promote : t -> (string -> string -> unit) -> unit
 
 (** {1 Introspection} *)
 

@@ -3,7 +3,7 @@ open Proteus_model
 let rec fold_constants (e : Expr.t) : Expr.t =
   let e =
     match e with
-    | Expr.Const _ | Expr.Var _ -> e
+    | Expr.Const _ | Expr.Param _ | Expr.Var _ -> e
     | Expr.Field (inner, n) -> Expr.Field (fold_constants inner, n)
     | Expr.Binop (op, l, r) -> Expr.Binop (op, fold_constants l, fold_constants r)
     | Expr.Unop (op, inner) -> Expr.Unop (op, fold_constants inner)

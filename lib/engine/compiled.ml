@@ -135,6 +135,10 @@ type par = {
 type ctx = {
   reg : Registry.t;
   cenv : Exprc.cenv;
+  slots : (string * Value.t ref) list;
+      (** the engine's parameter slots — shared by every cenv this compile
+          creates (nested fleet builds included), so one rebind reaches all
+          staged closures *)
   required : (string * [ `Whole | `Paths of string list ]) list;
   par : par option;
   batch : int option;
@@ -149,6 +153,17 @@ type ctx = {
           exact plan node, the provided maker supplies its producer (a
           parallel fleet behind a serial replay) instead of compiling it *)
 }
+
+(* Parameter slots: one shared [Value.t ref] per parameter name, registered
+   into every compilation environment the engine creates (serial,
+   per-worker fleet instances, splice consumers) so a single rebind re-arms
+   them all — the compiled closures read the slot at evaluation time. *)
+let new_cenv (slots : (string * Value.t ref) list) : Exprc.cenv =
+  let cenv : Exprc.cenv = Hashtbl.create 16 in
+  List.iter
+    (fun (p, r) -> Hashtbl.replace cenv (Exprc.param_key p) (Exprc.Param_repr r))
+    slots;
+  cenv
 
 let par_spine ctx = match ctx.par with Some p -> p.par_spine | None -> false
 
@@ -228,8 +243,11 @@ let select_paths ctx binding =
   | Some (`Paths ps) when ps <> [] -> Some ps
   | _ -> None
 
-let select_cache_should_store ctx ~dataset ~binding =
-  (Registry.cache ctx.reg).Cache_iface.should_cache_select ~dataset
+let select_cache_should_store ctx ~dataset ~binding ~pred =
+  (* never materialize a σ-result under a parameterized predicate: the
+     stored rows would be valid only for the values bound at fill time *)
+  (not (Expr.has_param pred))
+  && (Registry.cache ctx.reg).Cache_iface.should_cache_select ~dataset
   &&
   match select_paths ctx binding with
   | None -> false
@@ -365,7 +383,12 @@ let lookup_select_memo ctx ~dataset ~binding ~pred ~paths =
   | Some r -> r
   | None ->
     let r =
-      (Registry.cache ctx.reg).Cache_iface.lookup_select ~dataset ~binding ~pred ~paths
+      (* a parameterized predicate selects a different result set on every
+         bind: its σ-result must never be served from (or key) the cache *)
+      if Expr.has_param pred then None
+      else
+        (Registry.cache ctx.reg).Cache_iface.lookup_select ~dataset ~binding ~pred
+          ~paths
     in
     Hashtbl.replace ctx.sel_memo binding r;
     r
@@ -467,17 +490,16 @@ let count_lane ctx add =
    cross-comparisons go through float conversion — exactly the bounds
    arithmetic of [Zonemap.may_match_range]. *)
 
+let zone_op = function
+  | Expr.Eq -> Some Zonemap.Eq
+  | Expr.Lt -> Some Zonemap.Lt
+  | Expr.Le -> Some Zonemap.Le
+  | Expr.Gt -> Some Zonemap.Gt
+  | Expr.Ge -> Some Zonemap.Ge
+  | _ -> None
+
 let zone_test op (v : Value.t) : Zonemap.test option =
-  let zop =
-    match op with
-    | Expr.Eq -> Some Zonemap.Eq
-    | Expr.Lt -> Some Zonemap.Lt
-    | Expr.Le -> Some Zonemap.Le
-    | Expr.Gt -> Some Zonemap.Gt
-    | Expr.Ge -> Some Zonemap.Ge
-    | _ -> None
-  in
-  match zop, v with
+  match zone_op op, v with
   | Some o, Value.Int i -> Some (Zonemap.T_int (o, i))
   | Some o, Value.Date d -> Some (Zonemap.T_int (o, d)) (* dates cache as int columns *)
   | Some o, Value.Float f -> Some (Zonemap.T_float (o, f))
@@ -490,9 +512,14 @@ let zone_flip = function
   | Expr.Ge -> Expr.Le
   | op -> op
 
-(* The zone-testable conjuncts of [pred]: [(path, test)] for every conjunct
-   of shape [binding.path op const] (either operand order). *)
-let zone_conjuncts ~binding pred =
+(* The zone-testable conjuncts of [pred]: [(path, arm)] for every conjunct
+   of shape [binding.path op const] or [binding.path op ?param] (either
+   operand order). The arm thunk produces the test at skip time: constants
+   pre-resolve once, parameter conjuncts re-read their slot so the skip
+   re-arms on every execution of the compiled engine with the currently
+   bound value (a slot holding a non-orderable value yields no test, hence
+   no skip — sound). *)
+let zone_conjuncts cenv ~binding pred =
   List.filter_map
     (fun c ->
       match c with
@@ -501,7 +528,15 @@ let zone_conjuncts ~binding pred =
           match path_of lhs, rhs with
           | Some (v, path), Expr.Const value when String.equal v binding && path <> ""
             ->
-            Option.map (fun t -> (path, t)) (zone_test op value)
+            Option.map
+              (fun t ->
+                let fixed = Some t in
+                (path, fun () -> fixed))
+              (zone_test op value)
+          | Some (v, path), Expr.Param p
+            when String.equal v binding && path <> "" && zone_op op <> None ->
+            let slot = Exprc.param_slot cenv p in
+            Some (path, fun () -> zone_test op !slot)
           | _ -> None
         in
         match testable l r op with
@@ -510,10 +545,12 @@ let zone_conjuncts ~binding pred =
       | _ -> None)
     (Expr.conjuncts pred)
 
-(* Conjuncts that pin [binding.path] against a constant — the promotion
-   signal. Wider than [zone_conjuncts]: string equality and LIKE also mark a
-   column selective (that is how never-cached string columns earn their
-   dictionary promotion). *)
+(* Conjuncts that pin [binding.path] against a constant or a parameter —
+   the promotion signal. Wider than [zone_conjuncts]: string equality and
+   LIKE also mark a column selective (that is how never-cached string
+   columns earn their dictionary promotion), and parameter slots count: a
+   parameterized predicate is still a selective access pattern however it
+   gets bound. *)
 let selective_paths ~binding pred =
   let paths =
     List.filter_map
@@ -524,11 +561,13 @@ let selective_paths ~binding pred =
               l,
               r ) -> (
           match path_of l, r with
-          | Some (v, path), Expr.Const _ when String.equal v binding && path <> "" ->
+          | Some (v, path), (Expr.Const _ | Expr.Param _)
+            when String.equal v binding && path <> "" ->
             Some path
           | _ -> (
             match l, path_of r with
-            | Expr.Const _, Some (v, path) when String.equal v binding && path <> "" ->
+            | (Expr.Const _ | Expr.Param _), Some (v, path)
+              when String.equal v binding && path <> "" ->
               Some path
             | _ -> None))
         | _ -> None)
@@ -562,11 +601,11 @@ let zone_skip ctx ~dataset ~binding preds : (lo:int -> hi:int -> bool) option =
     List.concat_map
       (fun pred ->
         List.filter_map
-          (fun (path, test) ->
+          (fun (path, arm) ->
             match cache.Cache_iface.lookup_zones ~dataset ~path with
-            | Some zm -> Some (zm, test)
+            | Some zm -> Some (zm, arm)
             | None -> None)
-          (zone_conjuncts ~binding pred))
+          (zone_conjuncts ctx.cenv ~binding pred))
       preds
   in
   match tests with
@@ -578,9 +617,12 @@ let zone_skip ctx ~dataset ~binding preds : (lo:int -> hi:int -> bool) option =
         | Fault.Fail_fast -> true
         | Fault.Skip_row | Fault.Null_fill -> false)
         && List.exists
-             (fun (zm, test) ->
-               Counters.add_zone_checks 1;
-               not (Zonemap.may_match_range zm ~lo ~hi test))
+             (fun (zm, arm) ->
+               match arm () with
+               | None -> false
+               | Some test ->
+                 Counters.add_zone_checks 1;
+                 not (Zonemap.may_match_range zm ~lo ~hi test))
              tests)
 
 let zone_skip_merge a b =
@@ -779,7 +821,7 @@ let rec compile_bfrag (ctx : ctx) (p : Plan.t) : bfrag option =
         let paths = Option.get (select_paths ctx binding) in
         match lookup_select_memo ctx ~dataset ~binding ~pred ~paths with
         | Some (packed, residual) -> of_packed packed residual
-        | None when select_cache_should_store ctx ~dataset ~binding ->
+        | None when select_cache_should_store ctx ~dataset ~binding ~pred ->
           (* the tuple lane materializes cache columns as it filters *)
           None
         | None -> bfrag_filter ctx ~bs (compile_bfrag ctx scan_node) pred))
@@ -842,7 +884,7 @@ let rec spine_drive ?(preds = []) (actx : ctx) (p : Plan.t) : drive option =
           dr_skip = None;
         }
     | None ->
-      if select_cache_should_store actx ~dataset ~binding then None
+      if select_cache_should_store actx ~dataset ~binding ~pred then None
       else drive_scan actx ~dataset ~binding ~preds:(pred :: preds))
   | Plan.Scan { dataset; binding; _ } -> drive_scan actx ~dataset ~binding ~preds
   | Plan.Select { pred; input; _ } -> spine_drive ~preds:(pred :: preds) actx input
@@ -877,7 +919,7 @@ and drive_scan actx ~dataset ~binding ~preds =
    out. [static] pins worker [w] to the [w]-th contiguous chunk of the
    input instead of the dispenser, for drivers that keep per-worker state
    across the whole scan. *)
-let compile_instances reg required ~batch ~domains ?(static = false)
+let compile_instances reg required ~slots ~batch ~domains ?(static = false)
     ~(drive : drive) subplan ~stage ~finish =
   let disp = Pool.Dispenser.create () in
   let builds = ref [] in
@@ -903,7 +945,8 @@ let compile_instances reg required ~batch ~domains ?(static = false)
     let ctx =
       {
         reg;
-        cenv = Hashtbl.create 16;
+        cenv = new_cenv slots;
+        slots;
         required;
         par = Some p;
         batch;
@@ -1202,7 +1245,7 @@ and compile_select_scan_serial ctx ~pred ~dataset ~binding ~scan =
             Counters.add_tuples 1;
             Counters.add_branch_points 1;
             if pred_c () then consumer ()))
-  | None when select_cache_should_store ctx ~dataset ~binding ->
+  | None when select_cache_should_store ctx ~dataset ~binding ~pred ->
     (* explicit caching close to the leaves: materialize the qualifying rows'
        required fields as a side-effect and register the sigma-result *)
     let run_input = compile ctx scan in
@@ -1419,7 +1462,14 @@ and compile_join ctx ~kind ~algo ~left ~right ~left_key ~right_key ~pred =
     | Some (Exprc.C_val _) | None -> None
   in
   let packable =
-    use_hash && List.for_all (fun s -> s.ps_packable) payload && key_ty <> None
+    (* a parameterized build side (or key) materializes different rows per
+       bound value: its columns must never land in (or be served from) the
+       implicit cache — the fingerprint key renders slots, not values *)
+    use_hash
+    && List.for_all (fun s -> s.ps_packable) payload
+    && key_ty <> None
+    && (not (Proteus_algebra.Analysis.has_params right))
+    && not (match equi with Some (_, rk) -> Expr.has_param rk | None -> false)
   in
   let right_key_val = Option.map Exprc.to_val right_key_get in
   (* integer-keyed joins take the radix-clustered path (the radix hash join
@@ -1569,8 +1619,8 @@ and compile_join ctx ~kind ~algo ~left ~right ~left_key ~right_key ~pred =
           else Expr.path slot.ps_binding (String.split_on_char '.' slot.ps_path)
         in
         let instances, bdisp, brun_fleet =
-          compile_instances ctx.reg ctx.required ~batch:ctx.batch ~domains:bdomains
-            ~drive:bdrive right ~stage:compile
+          compile_instances ctx.reg ctx.required ~slots:ctx.slots ~batch:ctx.batch
+            ~domains:bdomains ~drive:bdrive right ~stage:compile
             ~finish:(fun ictx ip compiled ->
               let key_lane =
                 match rk_opt with
@@ -1916,7 +1966,7 @@ let fuse_projects (plan : Plan.t) : Plan.t =
   let rec subst binding fields (e : Expr.t) : Expr.t =
     match e with
     | Expr.Var v when v = binding -> Expr.Record_ctor fields
-    | Expr.Const _ | Expr.Var _ -> e
+    | Expr.Const _ | Expr.Param _ | Expr.Var _ -> e
     | Expr.Field (Expr.Var v, f) when v = binding -> (
       match List.assoc_opt f fields with
       | Some fe -> fe
@@ -1967,7 +2017,7 @@ let rec batchable_shape ctx (p : Plan.t) =
       let paths = Option.get (select_paths ctx binding) in
       match lookup_select_memo ctx ~dataset ~binding ~pred ~paths with
       | Some _ -> true
-      | None -> not (select_cache_should_store ctx ~dataset ~binding)))
+      | None -> not (select_cache_should_store ctx ~dataset ~binding ~pred)))
   | Plan.Select { input; _ } -> batchable_shape ctx input
   | _ -> false
 
@@ -2097,13 +2147,14 @@ let prepare_with (ctx : ctx) (plan : Plan.t) : unit -> Value.t =
       drive_phase has_join (run (fun () -> rows := shape () :: !rows));
       Value.bag (List.rev !rows)
 
-let prepare ?(batch_size = default_batch_size) (reg : Registry.t) (plan : Plan.t) :
+let prepare_slotted ~batch_size (reg : Registry.t) ~slots (plan : Plan.t) :
     unit -> Value.t =
   let plan = fuse_projects plan in
   let ctx =
     {
       reg;
-      cenv = Hashtbl.create 16;
+      cenv = new_cenv slots;
+      slots;
       required = build_required plan;
       par = None;
       batch = (if batch_size > 0 then Some batch_size else None);
@@ -2112,6 +2163,33 @@ let prepare ?(batch_size = default_batch_size) (reg : Registry.t) (plan : Plan.t
     }
   in
   prepare_with ctx plan
+
+let prepare ?(batch_size = default_batch_size) reg plan =
+  prepare_slotted ~batch_size reg ~slots:[] plan
+
+(* A prepared engine plus its parameter slots: rebinding writes the slots
+   and re-runs the same staged closures — no re-compilation. *)
+type bound = {
+  bd_run : unit -> Value.t;
+  bd_params : (string * Value.t ref) list;
+}
+
+let bind (b : bound) env =
+  List.iter
+    (fun (name, v) ->
+      match List.assoc_opt name b.bd_params with
+      | Some slot -> slot := v
+      | None -> Perror.plan_error "unknown parameter ?%s" name)
+    env
+
+let fresh_slots plan =
+  List.map
+    (fun n -> (n, ref Value.Null))
+    (Proteus_algebra.Analysis.params plan)
+
+let prepare_bound ?(batch_size = default_batch_size) reg plan =
+  let slots = fresh_slots plan in
+  { bd_run = prepare_slotted ~batch_size reg ~slots plan; bd_params = slots }
 
 let execute ?batch_size reg plan = prepare ?batch_size reg plan ()
 
@@ -2142,10 +2220,11 @@ let rec bottom_breaker (p : Plan.t) : Plan.t option =
 (* Root Reduce over primitive monoids: every morsel folds into its own
    accumulator set; partials merge in morsel order (deterministic for any
    worker count, since the morsel size does not depend on it). *)
-let par_reduce reg required ~batch ~domains ~(drive : drive) ~monoid_output ~pred input =
+let par_reduce reg required ~slots ~batch ~domains ~(drive : drive) ~monoid_output ~pred
+    input =
   let monoids = List.map (fun (a : Plan.agg) -> a.monoid) monoid_output in
   let instances, disp, run_fleet =
-    compile_instances reg required ~batch ~domains ~drive input ~stage:compile
+    compile_instances reg required ~slots ~batch ~domains ~drive input ~stage:compile
       ~finish:(fun ctx p compiled ->
         let pred_c = Exprc.to_pred (Exprc.compile ctx.cenv pred) in
         let factories =
@@ -2217,11 +2296,11 @@ let par_reduce reg required ~batch ~domains ~(drive : drive) ~monoid_output ~pre
    morsel by morsel; a fresh set of batch accumulators per morsel, partials
    merged in morsel order — the exact merge structure of [par_reduce], so
    batch and tuple lanes agree bit-for-bit at every domain count. *)
-let par_batch_reduce reg required ~batch:bs ~domains ~(drive : drive) ~monoid_output
-    ~pred input =
+let par_batch_reduce reg required ~slots ~batch:bs ~domains ~(drive : drive)
+    ~monoid_output ~pred input =
   let monoids = List.map (fun (a : Plan.agg) -> a.monoid) monoid_output in
   let instances, disp, run_fleet =
-    compile_instances reg required ~batch:(Some bs) ~domains ~drive input
+    compile_instances reg required ~slots ~batch:(Some bs) ~domains ~drive input
       ~stage:compile_bfrag
       ~finish:(fun ctx p frag ->
         let frag =
@@ -2313,10 +2392,10 @@ let par_batch_reduce reg required ~batch:bs ~domains ~(drive : drive) ~monoid_ou
 (* Root Reduce into a single collection monoid (the shape of a plain
    SELECT): qualifying values buffer per morsel and concatenate in morsel
    order — exactly the serial scan order. *)
-let par_collect_reduce reg required ~batch ~domains ~(drive : drive) ~coll
+let par_collect_reduce reg required ~slots ~batch ~domains ~(drive : drive) ~coll
     ~(agg : Plan.agg) ~pred input =
   let _, disp, run_fleet =
-    compile_instances reg required ~batch ~domains ~drive input ~stage:compile
+    compile_instances reg required ~slots ~batch ~domains ~drive input ~stage:compile
       ~finish:(fun ctx p compiled ->
         let pred_c = Exprc.to_pred (Exprc.compile ctx.cenv pred) in
         let get = Exprc.to_val (Exprc.compile ctx.cenv agg.expr) in
@@ -2348,11 +2427,11 @@ let par_collect_reduce reg required ~batch ~domains ~(drive : drive) ~coll
    buffer their visible bindings' values per morsel; the buffered rows
    replay serially, in morsel order — the serial scan order — through
    boxed registers the consumer's getters read. *)
-let buffered_splice reg required ~batch ~domains ~(drive : drive) subplan
+let buffered_splice reg required ~slots ~batch ~domains ~(drive : drive) subplan
     ~(serial_cenv : Exprc.cenv) () =
   let visible = Plan.bindings subplan in
   let _, disp, run_fleet =
-    compile_instances reg required ~batch ~domains ~drive subplan ~stage:compile
+    compile_instances reg required ~slots ~batch ~domains ~drive subplan ~stage:compile
       ~finish:(fun ctx p compiled ->
         let getters =
           List.map (fun b -> Exprc.to_val (Exprc.compile ctx.cenv (Expr.Var b))) visible
@@ -2394,13 +2473,13 @@ let buffered_splice reg required ~batch ~domains ~(drive : drive) subplan
    given (data, domains) pair always folds in the same association (the
    serial engine emits in first-encounter order instead; group-by output
    order carries no contract). *)
-let nest_splice reg required ~batch ~domains ~(drive : drive) ~keys ~aggs ~pred ~binding
-    input ~(serial_cenv : Exprc.cenv) () =
+let nest_splice reg required ~slots ~batch ~domains ~(drive : drive) ~keys ~aggs ~pred
+    ~binding input ~(serial_cenv : Exprc.cenv) () =
   let monoids = List.map (fun (a : Plan.agg) -> a.monoid) aggs in
   let names = List.map (fun (a : Plan.agg) -> a.agg_name) aggs in
   let has_join = plan_has_join input in
   let instances, _disp, run_fleet =
-    compile_instances reg required ~batch ~domains ~static:true ~drive input
+    compile_instances reg required ~slots ~batch ~domains ~static:true ~drive input
       ~stage:compile
       ~finish:(fun ctx p compiled ->
         let pred_c = Exprc.to_pred (Exprc.compile ctx.cenv pred) in
@@ -2520,10 +2599,10 @@ let nest_splice reg required ~batch ~domains ~(drive : drive) ~keys ~aggs ~pred 
             emit key_fields parts)
           groups
 
-let prepare_par ?(batch_size = default_batch_size) (reg : Registry.t) ~domains
+let prepare_par_slotted ~batch_size (reg : Registry.t) ~domains ~slots
     (plan : Plan.t) : unit -> Value.t =
   let domains = max 1 domains in
-  if domains <= 1 then prepare ~batch_size reg plan
+  if domains <= 1 then prepare_slotted ~batch_size reg ~slots plan
   else begin
     let plan = fuse_projects plan in
     let batch = if batch_size > 0 then Some batch_size else None in
@@ -2531,7 +2610,8 @@ let prepare_par ?(batch_size = default_batch_size) (reg : Registry.t) ~domains
     let actx =
       {
         reg;
-        cenv = Hashtbl.create 16;
+        cenv = new_cenv slots;
+        slots;
         required;
         par = None;
         batch;
@@ -2539,13 +2619,14 @@ let prepare_par ?(batch_size = default_batch_size) (reg : Registry.t) ~domains
         splice = None;
       }
     in
-    let serial () = prepare ~batch_size reg plan in
+    let serial () = prepare_slotted ~batch_size reg ~slots plan in
     let spliced target mk =
-      let cenv = Hashtbl.create 16 in
+      let cenv = new_cenv slots in
       let ctx =
         {
           reg;
           cenv;
+          slots;
           required;
           par = None;
           batch;
@@ -2564,21 +2645,21 @@ let prepare_par ?(batch_size = default_batch_size) (reg : Registry.t) ~domains
           match spine_drive actx input with
           | Some drive ->
             spliced target (fun serial_cenv ->
-                nest_splice reg required ~batch ~domains ~drive ~keys ~aggs ~pred ~binding
-                  input ~serial_cenv)
+                nest_splice reg required ~slots ~batch ~domains ~drive ~keys ~aggs ~pred
+                  ~binding input ~serial_cenv)
           | None -> serial ())
       | Some (Plan.Sort { input; _ }) -> (
         match spine_drive actx input with
         | Some drive ->
           spliced input (fun serial_cenv ->
-              buffered_splice reg required ~batch ~domains ~drive input ~serial_cenv)
+              buffered_splice reg required ~slots ~batch ~domains ~drive input ~serial_cenv)
         | None -> serial ())
       | Some _ -> serial ()
       | None -> (
         match spine_drive actx plan with
         | Some drive ->
           spliced plan (fun serial_cenv ->
-              buffered_splice reg required ~batch ~domains ~drive plan ~serial_cenv)
+              buffered_splice reg required ~slots ~batch ~domains ~drive plan ~serial_cenv)
         | None -> serial ())
     in
     match plan with
@@ -2589,15 +2670,25 @@ let prepare_par ?(batch_size = default_batch_size) (reg : Registry.t) ~domains
         if Agg.mergeable (List.map (fun (a : Plan.agg) -> a.monoid) monoid_output) then (
           match batch with
           | Some bs when batchable_shape actx input ->
-            par_batch_reduce reg required ~batch:bs ~domains ~drive ~monoid_output ~pred
-              input
-          | _ -> par_reduce reg required ~batch ~domains ~drive ~monoid_output ~pred input)
+            par_batch_reduce reg required ~slots ~batch:bs ~domains ~drive ~monoid_output
+              ~pred input
+          | _ ->
+            par_reduce reg required ~slots ~batch ~domains ~drive ~monoid_output ~pred
+              input)
         else (
           match monoid_output with
           | [ ({ monoid = Monoid.Collection coll; _ } as agg) ] ->
-            par_collect_reduce reg required ~batch ~domains ~drive ~coll ~agg ~pred input
+            par_collect_reduce reg required ~slots ~batch ~domains ~drive ~coll ~agg ~pred
+              input
           | _ -> serial ()))
     | _ -> splice_fallback ()
   end
+
+let prepare_par ?(batch_size = default_batch_size) reg ~domains plan =
+  prepare_par_slotted ~batch_size reg ~domains ~slots:[] plan
+
+let prepare_bound_par ?(batch_size = default_batch_size) reg ~domains plan =
+  let slots = fresh_slots plan in
+  { bd_run = prepare_par_slotted ~batch_size reg ~domains ~slots plan; bd_params = slots }
 
 let execute_par ?batch_size reg ~domains plan = prepare_par ?batch_size reg ~domains plan ()

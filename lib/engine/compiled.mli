@@ -62,3 +62,33 @@ val prepare_par :
     runs once. *)
 val execute_par :
   ?batch_size:int -> Registry.t -> domains:int -> Proteus_algebra.Plan.t -> Value.t
+
+(** {1 Parameterized engines (prepare once, run many)}
+
+    A plan may contain {!Expr.Param} nodes (SQL [?] / [$name]). Preparing
+    such a plan stages every closure exactly once against mutable parameter
+    slots; {!bind} writes new constants into the slots and the same engine
+    re-runs — no re-staging, no re-analysis. Zone-map morsel skips re-arm
+    from the currently bound values on every run, and parameterized
+    predicates are excluded from σ-result and join-build caching (their
+    result sets change per bind). *)
+
+type bound = {
+  bd_run : unit -> Value.t;  (** run under the currently bound parameters *)
+  bd_params : (string * Value.t ref) list;
+      (** one slot per parameter, in plan order; unbound slots read as
+          [Value.Null] (comparisons against Null are false) *)
+}
+
+(** [bind b env] writes [env]'s values into the engine's slots. Raises
+    [Perror.Plan_error] on a name no slot exists for. Parameters absent
+    from [env] keep their previous value. *)
+val bind : bound -> (string * Value.t) list -> unit
+
+(** {!prepare} returning the parameter slots alongside the run thunk. *)
+val prepare_bound :
+  ?batch_size:int -> Registry.t -> Proteus_algebra.Plan.t -> bound
+
+(** {!prepare_par} returning the parameter slots alongside the run thunk. *)
+val prepare_bound_par :
+  ?batch_size:int -> Registry.t -> domains:int -> Proteus_algebra.Plan.t -> bound

@@ -6,8 +6,19 @@ type repr =
   | Unnest_repr of Source.unnest_spec
   | Boxed_repr of Value.t ref
   | Row_repr of (string * Value.t array ref) list * int ref * bool ref
+  | Param_repr of Value.t ref
 
 type cenv = (string, repr) Hashtbl.t
+
+(* Parameter slots live in the cenv under a reserved namespace: SQL
+   identifiers cannot start with '?', so slot keys never collide with plan
+   bindings. *)
+let param_key name = "?" ^ name
+
+let param_slot (cenv : cenv) name : Value.t ref =
+  match Hashtbl.find_opt cenv (param_key name) with
+  | Some (Param_repr r) -> r
+  | _ -> Perror.plan_error "unbound parameter ?%s at code generation" name
 
 type compiled =
   | C_int of (unit -> int)
@@ -92,6 +103,10 @@ let compile_var_path (cenv : cenv) v path : compiled =
         C_val
           (boxed_path (fun () -> if !null_row then Value.Null else !arr.(!cur)) p)
       | _ -> Perror.plan_error "materialized side has no column for %s.%s" v p))
+  | Param_repr _, _ ->
+    (* slots live under the reserved "?name" namespace; a plan binding can
+       never resolve to one *)
+    Perror.plan_error "variable %s resolves to a parameter slot" v
 
 (* Numeric combination: stay in int when both sides are ints, widen to float
    otherwise; drop to boxed when a side is boxed. *)
@@ -162,6 +177,11 @@ let rec compile (cenv : cenv) (e : Expr.t) : compiled =
     | Expr.Const (Value.Bool b) -> C_bool (fun () -> b)
     | Expr.Const (Value.String s) -> C_str (fun () -> s)
     | Expr.Const v -> C_val (fun () -> v)
+    | Expr.Param p ->
+      (* read the slot per evaluation, so a re-bound engine sees the new
+         constant without re-staging any closure *)
+      let slot = param_slot cenv p in
+      C_val (fun () -> !slot)
     | Expr.Var _ | Expr.Field _ -> assert false (* handled by path_of *)
     | Expr.Binop (Expr.And, l, r) ->
       let lp = to_pred (compile cenv l) and rp = to_pred (compile cenv r) in
@@ -335,6 +355,7 @@ let rec compile_batch (cenv : cenv) ~batch_size (e : Expr.t) : bcompiled option 
     | Expr.Const (Value.Bool b) -> Some (B_bool (Array.make bs b, nop_kernel))
     | Expr.Const (Value.String s) -> Some (B_str (Array.make bs s, nop_kernel))
     | Expr.Const _ -> None
+    | Expr.Param _ -> None (* standalone params stay scalar; comparisons special-case them *)
     | Expr.Var _ | Expr.Field _ -> None (* handled by path_of *)
     | Expr.Binop (Expr.And, l, r) -> (
       match bc l, bc r with
@@ -516,9 +537,89 @@ let rec compile_batch (cenv : cenv) ~batch_size (e : Expr.t) : bcompiled option 
           | None -> None)
         | _ -> None
       in
+      (* Parameter comparison: the column side keeps its batch kernel; the
+         parameter side is a slot read dispatched ONCE per batch (the slot
+         cannot change mid-run), picking a primitive loop for the common
+         type pairings and a boxed per-lane [apply_binop] otherwise — so
+         re-bound kernels agree with the scalar lane bit-for-bit, including
+         Null bindings (all-false, except Neq: all-true) and cross-type
+         Int/Float/Date widenings. [flip] marks the parameter as the LEFT
+         operand. *)
+      let param_cmp (c : bcompiled) slot ~flip =
+        let out = Array.make bs false in
+        let icmp (x : int) (y : int) = if flip then cmp y x else cmp x y in
+        let fcmp (x : float) (y : float) =
+          if flip then cmp (compare y x) 0 else cmp (compare x y) 0
+        in
+        let scmp (x : string) (y : string) =
+          if flip then cmp (String.compare y x) 0 else cmp (String.compare x y) 0
+        in
+        let bcmp (x : bool) (y : bool) =
+          if flip then cmp (compare y x) 0 else cmp (compare x y) 0
+        in
+        let generic v mk j =
+          match
+            if flip then Expr.apply_binop op v (mk j) else Expr.apply_binop op (mk j) v
+          with
+          | Value.Bool b -> b
+          | Value.Null -> false
+          | u -> Perror.type_error "predicate evaluated to %a" Value.pp u
+        in
+        let null_body =
+          match op with Expr.Neq -> fun _ -> true | _ -> fun _ -> false
+        in
+        let kernel ka body_of =
+          Some
+            (B_bool
+               ( out,
+                 fun ~base ~sel ~n ->
+                   ka ~base ~sel ~n;
+                   let body = body_of (!slot : Value.t) in
+                   for i = 0 to n - 1 do
+                     let j = sel.(i) in
+                     out.(j) <- body j
+                   done ))
+        in
+        match c with
+        | B_int (a, ka) ->
+          kernel ka (function
+            | Value.Int k | Value.Date k -> fun j -> icmp a.(j) k
+            | Value.Float f -> fun j -> fcmp (float_of_int a.(j)) f
+            | Value.Null -> null_body
+            | v -> generic v (fun j -> Value.Int a.(j)))
+        | B_float (a, ka) ->
+          kernel ka (function
+            | Value.Float f -> fun j -> fcmp a.(j) f
+            | Value.Int k ->
+              let fk = float_of_int k in
+              fun j -> fcmp a.(j) fk
+            | Value.Null -> null_body
+            | v -> generic v (fun j -> Value.Float a.(j)))
+        | B_str (a, ka) ->
+          kernel ka (function
+            | Value.String s -> fun j -> scmp a.(j) s
+            | Value.Null -> null_body
+            | v -> generic v (fun j -> Value.String a.(j)))
+        | B_bool (a, ka) ->
+          kernel ka (function
+            | Value.Bool b -> fun j -> bcmp a.(j) b
+            | Value.Null -> null_body
+            | v -> generic v (fun j -> Value.Bool a.(j)))
+      in
       match dict_eq with
       | Some _ -> dict_eq
       | None -> (
+      match l, r with
+      | Expr.Param _, Expr.Param _ -> None (* both dynamic: scalar lane *)
+      | Expr.Param p, x -> (
+        match bc x with
+        | Some c -> param_cmp c (param_slot cenv p) ~flip:true
+        | None -> None)
+      | x, Expr.Param q -> (
+        match bc x with
+        | Some c -> param_cmp c (param_slot cenv q) ~flip:false
+        | None -> None)
+      | _ -> (
       match bc l, bc r with
       | Some (B_int (a, ka)), Some (B_int (b, kb)) ->
         bool_out ka kb (fun j -> cmp a.(j) b.(j))
@@ -532,7 +633,7 @@ let rec compile_batch (cenv : cenv) ~batch_size (e : Expr.t) : bcompiled option 
         bool_out ka kb (fun j -> cmp (String.compare a.(j) b.(j)) 0)
       | Some (B_bool (a, ka)), Some (B_bool (b, kb)) ->
         bool_out ka kb (fun j -> cmp (compare a.(j) b.(j)) 0)
-      | _ -> None))
+      | _ -> None)))
     | Expr.Binop (Expr.Concat, l, r) -> (
       match bc l, bc r with
       | Some (B_str (a, ka)), Some (B_str (b, kb)) ->

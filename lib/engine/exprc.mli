@@ -27,8 +27,20 @@ type repr =
   | Row_repr of (string * Value.t array ref) list * int ref * bool ref
       (** materialized rows: per-path arrays, row cursor, null-row flag
           (for outer-join padding) *)
+  | Param_repr of Value.t ref
+      (** runtime parameter slot — re-bindable between runs without
+          re-staging any closure *)
 
 type cenv = (string, repr) Hashtbl.t
+
+(** [param_key name] is the reserved cenv key for parameter [name] (["?"]
+    prefix — SQL identifiers cannot start with it, so slots never collide
+    with plan bindings). *)
+val param_key : string -> string
+
+(** [param_slot cenv name] is the registered slot for parameter [name].
+    Raises [Perror.Plan_error] when no slot was registered. *)
+val param_slot : cenv -> string -> Value.t ref
 
 type compiled =
   | C_int of (unit -> int)

@@ -107,16 +107,23 @@ let run ~domains f =
       (fun () ->
         ensure_locked (domains - 1);
         let failure = Atomic.make None in
+        (* The fault context is domain-local: carry the submitter's into
+           every worker so budget accounting, policies and the cancellation
+           token span the whole fleet, and clear it again when the job ends
+           so no context outlives its query on a parked domain. *)
+        let fctx = Proteus_model.Fault.get_ctx () in
         let wrap k () =
-          try f k
-          with e ->
-            let bt = Printexc.get_raw_backtrace () in
-            (* First failure wins the CAS, then trips the cancellation
-               token so peers stop at their next morsel fetch instead of
-               draining the dispenser. Peers' own Cancelled exceptions
-               lose the CAS, so the original failure is what re-raises. *)
-            if Atomic.compare_and_set failure None (Some (e, bt)) then
-              Proteus_model.Fault.cancel ()
+          Proteus_model.Fault.set_ctx fctx;
+          (try f k
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             (* First failure wins the CAS, then trips the cancellation
+                token so peers stop at their next morsel fetch instead of
+                draining the dispenser. Peers' own Cancelled exceptions
+                lose the CAS, so the original failure is what re-raises. *)
+             if Atomic.compare_and_set failure None (Some (e, bt)) then
+               Proteus_model.Fault.cancel ());
+          if k > 0 then Proteus_model.Fault.set_ctx None
         in
         for k = 1 to domains - 1 do
           submit pool.workers.(k - 1) (wrap k)

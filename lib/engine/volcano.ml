@@ -14,7 +14,7 @@ end)
    counter advances by the number of nodes interpreted. *)
 let rec expr_size (e : Expr.t) =
   match e with
-  | Expr.Const _ | Expr.Var _ -> 1
+  | Expr.Const _ | Expr.Param _ | Expr.Var _ -> 1
   | Expr.Field (b, _) -> 1 + expr_size b
   | Expr.Binop (_, l, r) -> 1 + expr_size l + expr_size r
   | Expr.Unop (_, x) -> 1 + expr_size x

@@ -6,7 +6,8 @@ let auto_field_name i (e : Expr.t) =
     | Expr.Field (_, n) -> Some n
     | Expr.Var n -> Some n
     | Expr.Unop (_, e) -> last e
-    | Expr.Const _ | Expr.Binop _ | Expr.If _ | Expr.Record_ctor _ | Expr.Coll_ctor _ ->
+    | Expr.Const _ | Expr.Param _ | Expr.Binop _ | Expr.If _ | Expr.Record_ctor _
+    | Expr.Coll_ctor _ ->
       None
   in
   match last e with Some n -> n | None -> Fmt.str "_%d" (i + 1)
@@ -126,6 +127,13 @@ and parse_primary c =
   | Lexer.String_lit s ->
     ignore (C.advance c);
     Expr.str s
+  | Lexer.Param_tok "" ->
+    (* positional: named by 1-based ordinal, so [?]s bind in parse order *)
+    ignore (C.advance c);
+    Expr.Param (string_of_int (C.next_positional c))
+  | Lexer.Param_tok name ->
+    ignore (C.advance c);
+    Expr.Param name
   | Lexer.Punct "(" ->
     ignore (C.advance c);
     parse_paren c

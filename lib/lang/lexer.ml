@@ -6,6 +6,7 @@ type token =
   | Float_lit of float
   | String_lit of string
   | Punct of string
+  | Param_tok of string
   | Eof
 
 type t = { token : token; pos : int }
@@ -81,6 +82,18 @@ let tokenize ~what src =
       | '!' ->
         if i + 1 < n && src.[i + 1] = '=' then (emit (Punct "<>") i; go (i + 2))
         else Perror.parse_error ~what ~pos:i "unexpected '!'"
+      | '?' ->
+        (* positional parameter; the parser assigns its ordinal *)
+        emit (Param_tok "") i;
+        go (i + 1)
+      | '$' ->
+        if i + 1 < n && is_ident_start src.[i + 1] then begin
+          let rec stop j = if j < n && is_ident_char src.[j] then stop (j + 1) else j in
+          let j = stop (i + 1) in
+          emit (Param_tok (String.sub src (i + 1) (j - i - 1))) i;
+          go j
+        end
+        else Perror.parse_error ~what ~pos:i "expected parameter name after '$'"
       | '|' ->
         if i + 1 < n && src.[i + 1] = '|' then (emit (Punct "||") i; go (i + 2))
         else Perror.parse_error ~what ~pos:i "unexpected '|'"
@@ -96,7 +109,7 @@ let tokenize ~what src =
 let is_kw token kw =
   match token with
   | Ident s -> String.lowercase_ascii s = String.lowercase_ascii kw
-  | Int_lit _ | Float_lit _ | String_lit _ | Punct _ | Eof -> false
+  | Int_lit _ | Float_lit _ | String_lit _ | Punct _ | Param_tok _ | Eof -> false
 
 let pp_token ppf = function
   | Ident s -> Fmt.pf ppf "identifier %s" s
@@ -104,12 +117,23 @@ let pp_token ppf = function
   | Float_lit f -> Fmt.pf ppf "float %g" f
   | String_lit s -> Fmt.pf ppf "string %S" s
   | Punct p -> Fmt.pf ppf "%S" p
+  | Param_tok "" -> Fmt.pf ppf "parameter ?"
+  | Param_tok p -> Fmt.pf ppf "parameter $%s" p
   | Eof -> Fmt.pf ppf "end of input"
 
 module Cursor = struct
-  type cursor = { what : string; tokens : t array; mutable index : int }
+  type cursor = {
+    what : string;
+    tokens : t array;
+    mutable index : int;
+    mutable positionals : int;  (* '?' parameters numbered in parse order *)
+  }
 
-  let make ~what tokens = { what; tokens; index = 0 }
+  let make ~what tokens = { what; tokens; index = 0; positionals = 0 }
+
+  let next_positional c =
+    c.positionals <- c.positionals + 1;
+    c.positionals
 
   let peek c = c.tokens.(c.index).token
 

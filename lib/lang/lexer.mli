@@ -10,6 +10,8 @@ type token =
   | String_lit of string  (** ['...'] or ["..."] *)
   | Punct of string
       (** one of: ( ) { } [ ] , ; : . <- < <= > >= = <> != + - * / % || *)
+  | Param_tok of string
+      (** [?] (positional, empty name — the parser numbers it) or [$name] *)
   | Eof
 
 type t = { token : token; pos : int }
@@ -49,6 +51,10 @@ module Cursor : sig
 
   (** [ident c] consumes and returns an identifier. *)
   val ident : cursor -> string
+
+  (** [next_positional c] is the 1-based ordinal for the next positional
+      [?] parameter of this parse. *)
+  val next_positional : cursor -> int
 
   val at_eof : cursor -> bool
 end

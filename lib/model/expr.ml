@@ -9,6 +9,7 @@ type unop = Neg | Not | Is_null | To_float | To_int
 
 type t =
   | Const of Value.t
+  | Param of string
   | Var of string
   | Field of t * string
   | Binop of binop * t * t
@@ -41,6 +42,7 @@ let ( /. ) a b = Binop (Div, a, b)
 let rec equal a b =
   match a, b with
   | Const va, Const vb -> Value.equal va vb
+  | Param a, Param b -> String.equal a b
   | Var a, Var b -> String.equal a b
   | Field (ea, na), Field (eb, nb) -> String.equal na nb && equal ea eb
   | Binop (oa, la, ra), Binop (ob, lb, rb) -> oa = ob && equal la lb && equal ra rb
@@ -51,14 +53,16 @@ let rec equal a b =
     && List.for_all2 (fun (na, ea) (nb, eb) -> String.equal na nb && equal ea eb) fa fb
   | Coll_ctor (ca, la), Coll_ctor (cb, lb) ->
     ca = cb && List.length la = List.length lb && List.for_all2 equal la lb
-  | (Const _ | Var _ | Field _ | Binop _ | Unop _ | If _ | Record_ctor _ | Coll_ctor _), _
-    ->
+  | ( ( Const _ | Param _ | Var _ | Field _ | Binop _ | Unop _ | If _ | Record_ctor _
+      | Coll_ctor _ ),
+      _ ) ->
     false
 
 let compare = Stdlib.compare
 
 let rec hash = function
   | Const v -> Value.hash v
+  | Param p -> Hashtbl.hash p lxor 0x77
   | Var v -> Hashtbl.hash v lxor 0x51
   | Field (e, n) -> (hash e * 31) + Hashtbl.hash n
   | Binop (o, l, r) -> (Hashtbl.hash o * 7) + (hash l * 31) + hash r
@@ -78,6 +82,7 @@ let unop_name = function
 
 let rec pp ppf = function
   | Const v -> Value.pp ppf v
+  | Param p -> Fmt.pf ppf "?%s" p
   | Var v -> Fmt.string ppf v
   | Field (e, n) -> Fmt.pf ppf "%a.%s" pp e n
   | Binop (o, l, r) -> Fmt.pf ppf "(%a %s %a)" pp l (binop_name o) pp r
@@ -95,7 +100,7 @@ let rec pp ppf = function
 let to_string e = Fmt.str "%a" pp e
 
 let rec fold_vars acc = function
-  | Const _ -> acc
+  | Const _ | Param _ -> acc
   | Var v -> if List.mem v acc then acc else v :: acc
   | Field (e, _) | Unop (_, e) -> fold_vars acc e
   | Binop (_, l, r) -> fold_vars (fold_vars acc l) r
@@ -107,7 +112,7 @@ let free_vars e = List.rev (fold_vars [] e)
 
 let rec subst name replacement e =
   match e with
-  | Const _ -> e
+  | Const _ | Param _ -> e
   | Var v -> if String.equal v name then replacement else e
   | Field (e, n) -> Field (subst name replacement e, n)
   | Binop (o, l, r) -> Binop (o, subst name replacement l, subst name replacement r)
@@ -126,7 +131,7 @@ let fields_of_var name e =
   let fields = ref [] in
   let add f = if not (List.mem f !fields) then fields := f :: !fields in
   let rec go = function
-    | Const _ -> ()
+    | Const _ | Param _ -> ()
     | Var v -> if String.equal v name then whole := true
     | Field (Var v, f) -> if String.equal v name then add f else ()
     | Field (e, _) -> go e
@@ -138,6 +143,38 @@ let fields_of_var name e =
   in
   go e;
   if !whole then None else Some (List.rev !fields)
+
+let param p = Param p
+
+(* Parameter occurrences, in deterministic left-to-right order, deduplicated. *)
+let params e =
+  let rec go acc = function
+    | Param p -> if List.mem p acc then acc else p :: acc
+    | Const _ | Var _ -> acc
+    | Field (e, _) | Unop (_, e) -> go acc e
+    | Binop (_, l, r) -> go (go acc l) r
+    | If (c, t, e) -> go (go (go acc c) t) e
+    | Record_ctor fs -> List.fold_left (fun acc (_, e) -> go acc e) acc fs
+    | Coll_ctor (_, es) -> List.fold_left go acc es
+  in
+  List.rev (go [] e)
+
+let has_param e = params e <> []
+
+(* [bind_params env e] substitutes [Const v] for every [Param p] with
+   [(p, v)] in [env]; parameters missing from [env] are left in place (the
+   caller decides whether leftovers are an error). *)
+let rec bind_params env e =
+  match e with
+  | Param p -> (
+    match List.assoc_opt p env with Some v -> Const v | None -> e)
+  | Const _ | Var _ -> e
+  | Field (e, n) -> Field (bind_params env e, n)
+  | Binop (o, l, r) -> Binop (o, bind_params env l, bind_params env r)
+  | Unop (o, e) -> Unop (o, bind_params env e)
+  | If (c, t, e) -> If (bind_params env c, bind_params env t, bind_params env e)
+  | Record_ctor fs -> Record_ctor (List.map (fun (n, e) -> (n, bind_params env e)) fs)
+  | Coll_ctor (c, es) -> Coll_ctor (c, List.map (bind_params env) es)
 
 let rec conjuncts = function
   | Binop (And, l, r) -> conjuncts l @ conjuncts r
@@ -187,6 +224,7 @@ let cmp op l r : Value.t =
 let rec eval env e : Value.t =
   match e with
   | Const v -> v
+  | Param p -> Perror.plan_error "unbound parameter ?%s" p
   | Var v -> (
     match List.assoc_opt v env with
     | Some value -> value
@@ -291,6 +329,11 @@ and eval_pred env e =
 let rec type_of tenv e : Ptype.t =
   match e with
   | Const v -> Value.type_of v
+  | Param p ->
+    Perror.type_error
+      "parameter ?%s in a typed position (parameters are only supported where a \
+       concrete type is not required, e.g. comparison operands)"
+      p
   | Var v -> (
     match List.assoc_opt v tenv with
     | Some t -> t

@@ -16,6 +16,7 @@ type unop = Neg | Not | Is_null | To_float | To_int
 
 type t =
   | Const of Value.t
+  | Param of string                 (** runtime parameter slot: SQL [?] / [$name] *)
   | Var of string
   | Field of t * string             (** path step: [e.name] *)
   | Binop of binop * t * t
@@ -32,6 +33,7 @@ val str : string -> t
 val bool : bool -> t
 val null : t
 val var : string -> t
+val param : string -> t
 
 (** [path v fields] is [v.f1.f2...] *)
 val path : string -> string list -> t
@@ -76,6 +78,15 @@ val conjuncts : t -> t list
 
 (** [conjoin es] rebuilds a conjunction ([Const true] for the empty list). *)
 val conjoin : t list -> t
+
+(** Parameter names occurring in the expression, left-to-right, deduplicated. *)
+val params : t -> string list
+
+val has_param : t -> bool
+
+(** [bind_params env e] substitutes [Const v] for each [Param p] bound in
+    [env]; unbound parameters stay in place. *)
+val bind_params : (string * Value.t) list -> t -> t
 
 (** {1 Evaluation} *)
 

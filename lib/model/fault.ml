@@ -77,7 +77,17 @@ type ctx = {
   cx_cells : (int, cell) Hashtbl.t;
 }
 
-let current : ctx option Atomic.t = Atomic.make None
+(* The active fault context is domain-local: concurrent queries each install
+   their own context on the domain that runs them, so one session's policy,
+   budget and cancellation token never leak into another's. Worker pools
+   capture the submitting domain's context and re-install it inside their
+   jobs ({!get_ctx} / {!set_ctx} — see [Pool.run]); the context record
+   itself is written through atomics and a mutex, so sharing one across
+   domains is safe. *)
+let current_key : ctx option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let get_ctx () = Domain.DLS.get current_key
+let set_ctx c = Domain.DLS.set current_key c
 
 (* Which morsel the calling domain is scanning: the engines set this from
    their morsel loops; serial drivers leave it at 0. *)
@@ -100,10 +110,10 @@ let reset_totals () =
   Atomic.set g_skipped 0;
   Atomic.set g_nulled 0
 
-let active () = Atomic.get current <> None
+let active () = get_ctx () <> None
 
 let policy () =
-  match Atomic.get current with None -> Fail_fast | Some c -> c.cx_policy
+  match get_ctx () with None -> Fail_fast | Some c -> c.cx_policy
 
 let skipping () = policy () = Skip_row
 let null_filling () = policy () = Null_fill
@@ -129,21 +139,21 @@ let install ~policy ?(max_errors = max_int) ?deadline () =
     }
   in
   set_morsel 0;
-  Atomic.set current (Some ctx);
+  set_ctx (Some ctx);
   ctx
 
-let clear () = Atomic.set current None
+let clear () = set_ctx None
 
 (* Cancel the active query (if any): peers observe the token at their next
    morsel/batch boundary. Used by the worker pool on the first failure and
    available for external cancellation. *)
 let cancel () =
-  match Atomic.get current with
+  match get_ctx () with
   | None -> ()
   | Some ctx -> ignore (Atomic.compare_and_set ctx.cx_flag R_none R_cancel)
 
 let check_cancel () =
-  match Atomic.get current with
+  match get_ctx () with
   | None -> ()
   | Some ctx -> (
     match Atomic.get ctx.cx_flag with
@@ -199,7 +209,7 @@ let record_in ctx ~source ~row ~skipped ~nulled e =
 let record_skip ~source ~row e =
   ignore (Atomic.fetch_and_add g_errors 1);
   ignore (Atomic.fetch_and_add g_skipped 1);
-  match Atomic.get current with
+  match get_ctx () with
   | None -> ()
   | Some ctx -> record_in ctx ~source ~row ~skipped:1 ~nulled:0 e
 
@@ -208,7 +218,7 @@ let record_skip ~source ~row e =
 let record_null ~source ~row e =
   ignore (Atomic.fetch_and_add g_errors 1);
   ignore (Atomic.fetch_and_add g_nulled 1);
-  match Atomic.get current with
+  match get_ctx () with
   | None -> ()
   | Some ctx -> record_in ctx ~source ~row ~skipped:0 ~nulled:1 e
 

@@ -20,6 +20,10 @@ type t = {
   sources : (string, Source.t) Hashtbl.t;
   factories : (string, unit -> Source.t) Hashtbl.t;
   infos : (string, index_info) Hashtbl.t;
+  generation : int Atomic.t;
+      (* bumped on every [invalidate] and [set_cache]: prepared engines
+         capture the stamp and re-stage when it moved, so a prepared
+         statement observes dataset updates and caching-mode flips *)
 }
 
 let create ?(cache = Cache_iface.disabled) catalog =
@@ -29,11 +33,16 @@ let create ?(cache = Cache_iface.disabled) catalog =
     sources = Hashtbl.create 16;
     factories = Hashtbl.create 16;
     infos = Hashtbl.create 16;
+    generation = Atomic.make 0;
   }
 
 let catalog t = t.catalog
 let cache t = t.cache
-let set_cache t c = t.cache <- c
+let generation t = Atomic.get t.generation
+
+let set_cache t c =
+  t.cache <- c;
+  Atomic.incr t.generation
 
 (* Cold-access statistics: cardinality plus min/max of numeric top-level
    fields, observed through the freshly built source — in a single pass
@@ -185,7 +194,8 @@ let install_factory t name f =
 let invalidate t name =
   Hashtbl.remove t.sources name;
   Hashtbl.remove t.factories name;
-  Hashtbl.remove t.infos name
+  Hashtbl.remove t.infos name;
+  Atomic.incr t.generation
 
 (* --- segmented cache fills ------------------------------------------------ *)
 
@@ -563,7 +573,10 @@ let scan_of t ~dataset ~required ~whole ~(raw : Source.t) ~fill ~session =
   }
 
 let scan ?(whole = false) t ~dataset ~required =
-  scan_of t ~dataset ~required ~whole ~raw:(source t dataset) ~fill:true
+  (* every compiled engine owns a private cursor over the shared artifacts
+     (index, parsed pages): concurrent sessions can then run serial engines
+     over the same dataset without racing on seek state *)
+  scan_of t ~dataset ~required ~whole ~raw:(fresh_source t dataset) ~fill:true
     ~session:None
 
 let scan_view ?(whole = false) ?session t ~dataset ~required =

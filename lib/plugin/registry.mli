@@ -23,6 +23,11 @@ val catalog : t -> Catalog.t
 val cache : t -> Cache_iface.t
 val set_cache : t -> Cache_iface.t -> unit
 
+(** A stamp bumped by {!invalidate} and {!set_cache}. Prepared engines
+    capture it at staging time and re-stage when it has moved, so prepared
+    statements observe dataset updates and caching-mode changes. *)
+val generation : t -> int
+
 (** [source t name] is the raw source for a dataset (builds the structural
     index on first access — the paper's "cold" query). No cache routing. *)
 val source : t -> string -> Source.t

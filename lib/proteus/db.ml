@@ -9,6 +9,10 @@ type t = {
   catalog : Catalog.t;
   registry : Registry.t;
   cache : Manager.t;
+  (* observers of dataset-level invalidation (register / drop / append);
+     the server's engine cache subscribes to drop compiled plans whose
+     inputs changed *)
+  hooks : (string -> unit) list ref;
 }
 
 type engine = Proteus_engine.Executor.engine =
@@ -27,12 +31,16 @@ let create ?cache_budget ?(caching = Manager.default_config) () =
   let catalog = Catalog.create ?cache_budget () in
   let cache = Manager.create ~config:caching catalog in
   let registry = Registry.create ~cache:(Manager.iface cache) catalog in
-  { catalog; registry; cache }
+  { catalog; registry; cache; hooks = ref [] }
 
 let catalog t = t.catalog
 let registry t = t.registry
 let cache_manager t = t.cache
 let cache_stats t = Manager.stats t.cache
+
+let on_invalidate t f = t.hooks := f :: !(t.hooks)
+
+let notify_invalidate t name = List.iter (fun f -> f name) (List.rev !(t.hooks))
 
 let set_caching ?(clear = false) t enabled =
   if clear then Manager.clear t.cache;
@@ -41,7 +49,8 @@ let set_caching ?(clear = false) t enabled =
 
 let register t d =
   Catalog.register t.catalog d;
-  Registry.invalidate t.registry d.Dataset.name
+  Registry.invalidate t.registry d.Dataset.name;
+  notify_invalidate t d.Dataset.name
 
 let register_csv t ~name ?(config = Proteus_format.Csv.default_config) ~element
     ~contents () =
@@ -109,7 +118,8 @@ let register_columns_of t ~name ~element records =
 let drop t name =
   Catalog.remove t.catalog name;
   Registry.invalidate t.registry name;
-  Manager.invalidate_dataset t.cache ~dataset:name
+  Manager.invalidate_dataset t.cache ~dataset:name;
+  notify_invalidate t name
 
 let append t ~name contents =
   let d = Catalog.find t.catalog name in
@@ -130,7 +140,8 @@ let append t ~name contents =
   Memory.register_blob mem ~name:blob (current ^ contents);
   (* drop and rebuild affected auxiliary structures (Section 4) *)
   Registry.invalidate t.registry name;
-  Manager.invalidate_dataset t.cache ~dataset:name
+  Manager.invalidate_dataset t.cache ~dataset:name;
+  notify_invalidate t name
 
 (* Column resolution against registered schemas: a column belongs to the
    unique table alias whose dataset's element type has a field of that
@@ -152,9 +163,24 @@ let resolver t : Proteus_lang.Sql.resolver =
   | [ (alias, _) ] -> Some alias
   | [] | _ :: _ :: _ -> ( match aliases with [ (a, _) ] -> Some a | _ -> None)
 
+(* Substitute the given parameter values and insist nothing is left over:
+   an engine staged over a dangling [Expr.Param] would read [Value.Null]
+   from its unbound slot, which is a silent wrong answer for a one-shot
+   query (prepare-once flows bind slots explicitly instead). *)
+let bind_all params plan =
+  let plan =
+    if params = [] then plan
+    else Proteus_algebra.Analysis.bind_params params plan
+  in
+  (match Proteus_algebra.Analysis.params plan with
+  | [] -> ()
+  | p :: _ -> Perror.plan_error "unbound parameter ?%s (pass it via ~params)" p);
+  plan
+
 let run_plan ?(engine = Executor.Engine_compiled) ?domains ?batch_size ?(optimize = true)
-    t plan =
+    ?(params = []) t plan =
   let engine = resolve_engine engine domains in
+  let plan = bind_all params plan in
   let plan = if optimize then Proteus_optimizer.Optimizer.optimize t.catalog plan else plan in
   Executor.run ?batch_size t.registry ~engine plan
 
@@ -253,15 +279,16 @@ let wrap_ordering t (stmt : Proteus_lang.Sql.statement) =
     | _ ->
       Perror.unsupported "ORDER BY/LIMIT requires a row-returning statement")
 
-let sql ?(engine = Executor.Engine_compiled) ?domains ?batch_size t q =
+let sql ?(engine = Executor.Engine_compiled) ?domains ?batch_size ?(params = []) t q =
   let engine = resolve_engine engine domains in
   let stmt = Proteus_lang.Sql.parse_statement ~resolve:(resolver t) q in
-  Executor.run ?batch_size t.registry ~engine (wrap_ordering t stmt)
+  Executor.run ?batch_size t.registry ~engine (bind_all params (wrap_ordering t stmt))
 
-let comprehension ?(engine = Executor.Engine_compiled) ?domains ?batch_size t q =
+let comprehension ?(engine = Executor.Engine_compiled) ?domains ?batch_size
+    ?(params = []) t q =
   let engine = resolve_engine engine domains in
   let calc = Proteus_lang.Comprehension.parse q in
-  Executor.run ?batch_size t.registry ~engine (of_calc t calc)
+  Executor.run ?batch_size t.registry ~engine (bind_all params (of_calc t calc))
 
 type outcome = Proteus_engine.Executor.outcome =
   | Completed of Value.t * Fault.report
@@ -270,8 +297,9 @@ type outcome = Proteus_engine.Executor.outcome =
   | Cancelled of Fault.report
 
 let run_plan_guarded ?(engine = Executor.Engine_compiled) ?domains ?batch_size
-    ?policy ?max_errors ?timeout_ms ?(optimize = true) t plan =
+    ?policy ?max_errors ?timeout_ms ?(optimize = true) ?(params = []) t plan =
   let engine = resolve_engine engine domains in
+  let plan = bind_all params plan in
   let plan =
     if optimize then Proteus_optimizer.Optimizer.optimize t.catalog plan else plan
   in
@@ -279,18 +307,18 @@ let run_plan_guarded ?(engine = Executor.Engine_compiled) ?domains ?batch_size
     ~engine plan
 
 let sql_guarded ?(engine = Executor.Engine_compiled) ?domains ?batch_size ?policy
-    ?max_errors ?timeout_ms t q =
+    ?max_errors ?timeout_ms ?(params = []) t q =
   let engine = resolve_engine engine domains in
   let stmt = Proteus_lang.Sql.parse_statement ~resolve:(resolver t) q in
   Executor.run_guarded ?batch_size ?policy ?max_errors ?timeout_ms t.registry
-    ~engine (wrap_ordering t stmt)
+    ~engine (bind_all params (wrap_ordering t stmt))
 
 let comprehension_guarded ?(engine = Executor.Engine_compiled) ?domains ?batch_size
-    ?policy ?max_errors ?timeout_ms t q =
+    ?policy ?max_errors ?timeout_ms ?(params = []) t q =
   let engine = resolve_engine engine domains in
   let calc = Proteus_lang.Comprehension.parse q in
   Executor.run_guarded ?batch_size ?policy ?max_errors ?timeout_ms t.registry
-    ~engine (of_calc t calc)
+    ~engine (bind_all params (of_calc t calc))
 
 let plan_sql t q = wrap_ordering t (Proteus_lang.Sql.parse_statement ~resolve:(resolver t) q)
 
@@ -302,24 +330,50 @@ let prepare_compiled ?(domains = 1) ?batch_size t plan =
   if domains > 1 then Proteus_engine.Compiled.prepare_par ?batch_size t.registry ~domains plan
   else Proteus_engine.Compiled.prepare ?batch_size t.registry plan
 
-let prepare_plan ?domains ?batch_size t plan =
+(* A staged engine snapshots registry state — cache iface, structural
+   indexes, cached columns — at prepare time. The registry's generation
+   stamp moves on every dataset registration/drop/append and on
+   [set_caching], so comparing it before each run tells us the snapshot
+   went stale: re-stage against the same plan and keep going. Arena
+   evictions within a generation do NOT re-stage: an engine holding an
+   evicted column keeps reading its (still-correct) copy until the next
+   generation bump. *)
+let staged ?domains ?batch_size t ~t0 plan =
+  let stage () = prepare_compiled ?domains ?batch_size t plan in
+  let cell = ref (Registry.generation t.registry, stage ()) in
+  let compile_seconds = Unix.gettimeofday () -. t0 in
+  let run () =
+    let gen = Registry.generation t.registry in
+    let seen, r = !cell in
+    let r =
+      if seen = gen then r
+      else begin
+        let r = stage () in
+        cell := (gen, r);
+        r
+      end
+    in
+    r ()
+  in
+  { compile_seconds; run }
+
+let prepare_plan ?domains ?batch_size ?(params = []) t plan =
   let t0 = Unix.gettimeofday () in
+  let plan = bind_all params plan in
   let plan = Proteus_optimizer.Optimizer.optimize t.catalog plan in
   Proteus_algebra.Plan.validate plan;
-  let run = prepare_compiled ?domains ?batch_size t plan in
-  { compile_seconds = Unix.gettimeofday () -. t0; run }
+  staged ?domains ?batch_size t ~t0 plan
 
-let prepare_sql ?domains ?batch_size t q =
+let prepare_sql ?domains ?batch_size ?(params = []) t q =
   let t0 = Unix.gettimeofday () in
   let stmt = Proteus_lang.Sql.parse_statement ~resolve:(resolver t) q in
-  let plan = wrap_ordering t stmt in
+  let plan = bind_all params (wrap_ordering t stmt) in
   Proteus_algebra.Plan.validate plan;
-  let run = prepare_compiled ?domains ?batch_size t plan in
-  { compile_seconds = Unix.gettimeofday () -. t0; run }
+  staged ?domains ?batch_size t ~t0 plan
 
-let prepare_comprehension ?domains ?batch_size t q =
+let prepare_comprehension ?domains ?batch_size ?params t q =
   let calc = Proteus_lang.Comprehension.parse q in
-  prepare_plan ?domains ?batch_size t
+  prepare_plan ?domains ?batch_size ?params t
     (Proteus_calculus.To_algebra.run (Proteus_calculus.Normalize.run calc))
 
 let refresh_stats t =

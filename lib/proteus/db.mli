@@ -35,8 +35,16 @@ val cache_manager : t -> Proteus_cache.Manager.t
 val cache_stats : t -> Proteus_cache.Manager.stats
 
 (** Switch caching on/off mid-session (existing caches are kept unless
-    [clear] is passed). *)
+    [clear] is passed). Moves the registry generation, so prepared
+    statements re-stage on their next run and the server's engine cache
+    stops serving engines staged against the old cache interface. *)
 val set_caching : ?clear:bool -> t -> bool -> unit
+
+(** [on_invalidate db f] registers [f dataset] to run whenever a dataset's
+    derived structures are dropped ([register] over an existing name,
+    {!drop}, {!append}). The server's compiled-engine cache subscribes to
+    evict plans whose inputs changed. *)
+val on_invalidate : t -> (string -> unit) -> unit
 
 (** {1 Dataset registration} *)
 
@@ -118,12 +126,29 @@ type engine = Proteus_engine.Executor.engine =
 
     [batch_size] (default {!Proteus_engine.Compiled.default_batch_size})
     sizes the specialized engine's vectorized lane; [0] disables it
-    (pure tuple-at-a-time execution). Results are identical either way. *)
-val sql : ?engine:engine -> ?domains:int -> ?batch_size:int -> t -> string -> Value.t
+    (pure tuple-at-a-time execution). Results are identical either way.
+
+    [params] binds query parameters ([?] positional — named ["1"], ["2"], …
+    in appearance order — or [$name]). Raises [Perror.Plan_error] if any
+    parameter is left unbound. *)
+val sql :
+  ?engine:engine ->
+  ?domains:int ->
+  ?batch_size:int ->
+  ?params:(string * Value.t) list ->
+  t ->
+  string ->
+  Value.t
 
 (** [comprehension db q] — same for the [for {...} yield ...] syntax. *)
 val comprehension :
-  ?engine:engine -> ?domains:int -> ?batch_size:int -> t -> string -> Value.t
+  ?engine:engine ->
+  ?domains:int ->
+  ?batch_size:int ->
+  ?params:(string * Value.t) list ->
+  t ->
+  string ->
+  Value.t
 
 (** [run_plan db plan] optimizes and runs an already-built algebra plan. *)
 val run_plan :
@@ -131,6 +156,7 @@ val run_plan :
   ?domains:int ->
   ?batch_size:int ->
   ?optimize:bool ->
+  ?params:(string * Value.t) list ->
   t ->
   Proteus_algebra.Plan.t ->
   Value.t
@@ -162,6 +188,7 @@ val sql_guarded :
   ?policy:Proteus_model.Fault.policy ->
   ?max_errors:int ->
   ?timeout_ms:int ->
+  ?params:(string * Value.t) list ->
   t ->
   string ->
   outcome
@@ -173,6 +200,7 @@ val comprehension_guarded :
   ?policy:Proteus_model.Fault.policy ->
   ?max_errors:int ->
   ?timeout_ms:int ->
+  ?params:(string * Value.t) list ->
   t ->
   string ->
   outcome
@@ -185,6 +213,7 @@ val run_plan_guarded :
   ?max_errors:int ->
   ?timeout_ms:int ->
   ?optimize:bool ->
+  ?params:(string * Value.t) list ->
   t ->
   Proteus_algebra.Plan.t ->
   outcome
@@ -199,20 +228,36 @@ val plan_comprehension : t -> string -> Proteus_algebra.Plan.t
     [prepare_*] separates engine generation from execution, as the paper
     reports them separately (LLVM compilation is ~50 ms per query there;
     closure staging here is far cheaper). The prepared thunk can run
-    repeatedly; every run re-scans the inputs. *)
+    repeatedly; every run re-scans the inputs.
+
+    Staleness: the staged engine snapshots registry state at prepare time.
+    Each run compares the registry's generation stamp (moved by dataset
+    registration, {!drop}, {!append} and {!set_caching}) and transparently
+    re-stages when it changed, so a prepared statement observes dataset
+    updates and caching-mode flips. Cache-arena evictions within a
+    generation keep the snapshot: the engine retains its (still-correct)
+    column copies until the next generation bump. *)
 
 type prepared = {
   compile_seconds : float;  (** time spent generating this query's engine *)
   run : unit -> Value.t;
 }
 
-val prepare_sql : ?domains:int -> ?batch_size:int -> t -> string -> prepared
+val prepare_sql :
+  ?domains:int -> ?batch_size:int -> ?params:(string * Value.t) list -> t -> string -> prepared
 
-val prepare_comprehension : ?domains:int -> ?batch_size:int -> t -> string -> prepared
+val prepare_comprehension :
+  ?domains:int -> ?batch_size:int -> ?params:(string * Value.t) list -> t -> string -> prepared
 
 (** [prepare_plan db plan] optimizes and compiles an algebra plan.
     [domains] > 1 prepares the morsel-parallel engine. *)
-val prepare_plan : ?domains:int -> ?batch_size:int -> t -> Proteus_algebra.Plan.t -> prepared
+val prepare_plan :
+  ?domains:int ->
+  ?batch_size:int ->
+  ?params:(string * Value.t) list ->
+  t ->
+  Proteus_algebra.Plan.t ->
+  prepared
 
 (** [refresh_stats db] re-collects statistics for every registered dataset —
     the paper's idle-time statistics daemon, exposed as an explicit hook. *)

@@ -1,0 +1,67 @@
+(** The plan-shape compiled-engine cache (prepare-once / run-many).
+
+    Engines are keyed by (plan-shape fingerprint, domain count, batch
+    size): {!Proteus_algebra.Fingerprint.parameterize} lifts comparison
+    literals into parameter slots before keying, so queries that differ
+    only in constants share one staged engine, and a hit re-binds the
+    slots instead of re-staging closures.
+
+    Invalidation: entries are dropped when any input dataset is updated
+    ({!Proteus.Db.drop} / {!Proteus.Db.append} / re-registration), when the
+    caching manager promotes one of their columns (the engine baked in the
+    pre-promotion layout), and when the registry generation moves
+    ([set_caching]). Quarantine: freshly staged engines install only after
+    their first run ends clean; a cached engine whose run degrades or
+    errors is evicted instead of reused. *)
+
+open Proteus_model
+
+type t
+
+(** [create ?capacity db] also subscribes to [db]'s dataset-invalidation
+    hook and the cache manager's promotion hook. [capacity] is the LRU
+    bound on resident engines (default 64). *)
+val create : ?capacity:int -> Proteus.Db.t -> t
+
+(** A checked-out engine: holds the entry's run mutex from {!acquire}
+    until {!release} — one session runs one engine at a time. *)
+type lease
+
+(** [acquire t plan] optimizes, parameterizes and keys [plan] (which must
+    have no unbound user parameters), returning a hit lease (slots
+    re-bound to this query's constants) or staging a fresh engine on miss.
+    Compiles are serialized under the cache's compile lock (which is never
+    held while touching the table, so invalidation hooks can fire from
+    inside a compile). *)
+val acquire : t -> ?domains:int -> ?batch_size:int -> Proteus_algebra.Plan.t -> lease
+
+val run : lease -> Value.t
+
+(** [release l ~clean] returns the engine: a clean miss installs it for
+    reuse, an unclean run quarantines (miss) or evicts (hit) it. Must be
+    called exactly once per lease, on any outcome. *)
+val release : lease -> clean:bool -> unit
+
+val hit : lease -> bool
+
+(** Staging time paid by this lease (0 on a hit). *)
+val compile_seconds : lease -> float
+
+val invalidate_dataset : t -> string -> unit
+
+val clear : t -> unit
+
+type stats = {
+  hits : int;
+  misses : int;
+  installs : int;
+  evictions : int;      (** capacity pressure *)
+  invalidations : int;  (** dataset updates, promotions, generation moves *)
+  poisoned : int;       (** engines dropped because their run was unclean *)
+  entries : int;
+  compile_seconds : float;  (** cumulative staging time across misses *)
+}
+
+val stats : t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit

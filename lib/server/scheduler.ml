@@ -1,0 +1,254 @@
+(* The session scheduler: concurrent queries over one shared session.
+
+   A fixed fleet of worker domains drains a bounded FIFO queue — admission
+   control is the queue bound (submissions beyond it are rejected with
+   [Overloaded] instead of piling up latency) and the in-flight bound is
+   the worker count. Each query runs under its own fault context
+   ({!Proteus_model.Fault.install}, domain-local since PR-7) with an
+   absolute deadline measured from SUBMIT time, so queue wait counts
+   against the budget and a query that waited past its deadline is
+   answered [Timed_out] without staging anything.
+
+   Every query goes through the plan-shape engine cache: parse → bind user
+   parameters → optimize/parameterize/key (serialized compiles) → run the
+   leased engine → release with the outcome's cleanliness, which drives
+   the cache's install/quarantine decision. Within-query parallelism
+   ([domains > 1]) still serializes on the engine pool's global lock; the
+   scheduler's concurrency is across serial engines. *)
+
+open Proteus_model
+module Executor = Proteus_engine.Executor
+module Analysis = Proteus_algebra.Analysis
+
+type request = {
+  rq_sql : string;
+  rq_params : (string * Value.t) list;
+  rq_timeout_ms : int option;
+  rq_domains : int;
+  rq_batch_size : int option;
+}
+
+let request ?(params = []) ?timeout_ms ?(domains = 1) ?batch_size sql =
+  { rq_sql = sql; rq_params = params; rq_timeout_ms = timeout_ms;
+    rq_domains = domains; rq_batch_size = batch_size }
+
+type completion = {
+  cp_outcome : Executor.outcome;
+  cp_hit : bool;                (* engine-cache hit *)
+  cp_compile_seconds : float;   (* staging time paid by this query *)
+  cp_wait_seconds : float;      (* queue wait *)
+  cp_run_seconds : float;       (* parse + stage/bind + execute *)
+}
+
+type ticket = {
+  tk_mu : Mutex.t;
+  tk_cond : Condition.t;
+  mutable tk_result : completion option;
+}
+
+type job = { jb_req : request; jb_submitted : float; jb_ticket : ticket }
+
+type t = {
+  db : Proteus.Db.t;
+  cache : Engine_cache.t;
+  workers : int;
+  max_queue : int;
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  queue : job Queue.t;
+  mutable stopping : bool;
+  mutable doms : unit Domain.t list;
+  mutable c_submitted : int;
+  mutable c_rejected : int;
+  mutable c_completed : int;
+}
+
+let engine_cache t = t.cache
+let db t = t.db
+
+let deadline_of job =
+  Option.map
+    (fun ms -> job.jb_submitted +. (float_of_int ms /. 1000.))
+    job.jb_req.rq_timeout_ms
+
+(* One query, on a worker domain. Mirrors [Executor.run_guarded]'s outcome
+   classification, but around a cache lease instead of a fresh compile. *)
+let run_query t job =
+  let rq = job.jb_req in
+  let deadline = deadline_of job in
+  match
+    match deadline with
+    | Some d when Unix.gettimeofday () > d ->
+      (* expired in the queue: don't pay a compile for a dead query *)
+      Executor.Timed_out Fault.empty_report, false, 0.
+    | _ ->
+      let plan = Proteus.Db.plan_sql t.db rq.rq_sql in
+      let plan =
+        if rq.rq_params = [] then plan
+        else Analysis.bind_params rq.rq_params plan
+      in
+      (match Analysis.params plan with
+      | [] -> ()
+      | p :: _ ->
+        Perror.plan_error "unbound parameter ?%s (send it with the query)" p);
+      let lease =
+        Engine_cache.acquire t.cache ~domains:rq.rq_domains
+          ?batch_size:rq.rq_batch_size plan
+      in
+      let ctx = Fault.install ~policy:Fault.Fail_fast ?deadline () in
+      let outcome =
+        Fun.protect ~finally:Fault.clear (fun () ->
+            match Engine_cache.run lease with
+            | v -> Executor.Completed (v, Fault.report ctx)
+            | exception e ->
+              let r = Fault.report ctx in
+              (match e with
+              | Fault.Timed_out | Fault.Cancelled ->
+                if Fault.deadline_hit ctx then Executor.Timed_out r
+                else if e = Fault.Timed_out then Executor.Timed_out r
+                else Executor.Cancelled r
+              | e -> Executor.Failed (r, e)))
+      in
+      let clean =
+        match outcome with
+        | Executor.Completed (_, r) -> r.Fault.rp_errors = 0
+        | _ -> false
+      in
+      Engine_cache.release lease ~clean;
+      (outcome, Engine_cache.hit lease, Engine_cache.compile_seconds lease)
+  with
+  | result -> result
+  | exception e ->
+    (* parse/resolve/plan errors surface as a failed outcome, never as a
+       dead worker *)
+    (Executor.Failed (Fault.empty_report, e), false, 0.)
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.mu;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.nonempty t.mu
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.mu
+    else begin
+      let job = Queue.pop t.queue in
+      Mutex.unlock t.mu;
+      let t_start = Unix.gettimeofday () in
+      let outcome, hit, compile_s = run_query t job in
+      let t_end = Unix.gettimeofday () in
+      let completion =
+        {
+          cp_outcome = outcome;
+          cp_hit = hit;
+          cp_compile_seconds = compile_s;
+          cp_wait_seconds = t_start -. job.jb_submitted;
+          cp_run_seconds = t_end -. t_start;
+        }
+      in
+      Mutex.lock t.mu;
+      t.c_completed <- t.c_completed + 1;
+      Mutex.unlock t.mu;
+      let tk = job.jb_ticket in
+      Mutex.lock tk.tk_mu;
+      tk.tk_result <- Some completion;
+      Condition.broadcast tk.tk_cond;
+      Mutex.unlock tk.tk_mu;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?(workers = 2) ?(max_queue = 64) ?cache_capacity db =
+  let t =
+    {
+      db;
+      cache = Engine_cache.create ?capacity:cache_capacity db;
+      workers = max 1 workers;
+      max_queue = max 1 max_queue;
+      mu = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      doms = [];
+      c_submitted = 0;
+      c_rejected = 0;
+      c_completed = 0;
+    }
+  in
+  t.doms <- List.init t.workers (fun _ -> Domain.spawn (worker t));
+  t
+
+let submit t rq =
+  let job =
+    { jb_req = rq; jb_submitted = Unix.gettimeofday ();
+      jb_ticket =
+        { tk_mu = Mutex.create (); tk_cond = Condition.create ();
+          tk_result = None } }
+  in
+  Mutex.lock t.mu;
+  let r =
+    if t.stopping then Error `Shutting_down
+    else if Queue.length t.queue >= t.max_queue then begin
+      t.c_rejected <- t.c_rejected + 1;
+      Error `Overloaded
+    end
+    else begin
+      t.c_submitted <- t.c_submitted + 1;
+      Queue.push job t.queue;
+      Condition.broadcast t.nonempty;
+      Ok job.jb_ticket
+    end
+  in
+  Mutex.unlock t.mu;
+  r
+
+let await tk =
+  Mutex.lock tk.tk_mu;
+  while tk.tk_result = None do
+    Condition.wait tk.tk_cond tk.tk_mu
+  done;
+  let r = Option.get tk.tk_result in
+  Mutex.unlock tk.tk_mu;
+  r
+
+(* Blocking convenience: submit + await on the calling thread. *)
+let run t rq =
+  match submit t rq with
+  | Ok tk -> Ok (await tk)
+  | Error _ as e -> e
+
+let shutdown t =
+  Mutex.lock t.mu;
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mu;
+  List.iter Domain.join t.doms;
+  t.doms <- []
+
+type stats = {
+  submitted : int;
+  rejected : int;
+  completed : int;
+  queued : int;
+  workers : int;
+  max_queue : int;
+}
+
+let stats t =
+  Mutex.lock t.mu;
+  let s =
+    {
+      submitted = t.c_submitted;
+      rejected = t.c_rejected;
+      completed = t.c_completed;
+      queued = Queue.length t.queue;
+      workers = t.workers;
+      max_queue = t.max_queue;
+    }
+  in
+  Mutex.unlock t.mu;
+  s
+
+let pp_stats ppf s =
+  Fmt.pf ppf "submitted=%d rejected=%d completed=%d queued=%d workers=%d max_queue=%d"
+    s.submitted s.rejected s.completed s.queued s.workers s.max_queue

@@ -1,0 +1,69 @@
+(** The session scheduler: concurrent queries over one shared session.
+
+    A fixed fleet of worker domains drains a bounded queue. Admission
+    control: at most [workers] queries in flight, at most [max_queue]
+    waiting — beyond that {!submit} answers [`Overloaded] immediately.
+    Deadlines are absolute from submit time (queue wait counts), enforced
+    through the cooperative cancellation token at morsel/batch boundaries.
+    Every query runs through the plan-shape {!Engine_cache}. *)
+
+open Proteus_model
+
+type t
+
+(** [create ?workers ?max_queue ?cache_capacity db] spawns the worker
+    domains (default 2) and the engine cache. *)
+val create : ?workers:int -> ?max_queue:int -> ?cache_capacity:int -> Proteus.Db.t -> t
+
+type request = {
+  rq_sql : string;
+  rq_params : (string * Value.t) list;
+  rq_timeout_ms : int option;
+  rq_domains : int;
+  rq_batch_size : int option;
+}
+
+val request :
+  ?params:(string * Value.t) list ->
+  ?timeout_ms:int ->
+  ?domains:int ->
+  ?batch_size:int ->
+  string ->
+  request
+
+type completion = {
+  cp_outcome : Proteus_engine.Executor.outcome;
+  cp_hit : bool;                (** engine-cache hit *)
+  cp_compile_seconds : float;   (** staging time paid by this query *)
+  cp_wait_seconds : float;      (** queue wait *)
+  cp_run_seconds : float;       (** parse + stage/bind + execute *)
+}
+
+type ticket
+
+val submit : t -> request -> (ticket, [ `Overloaded | `Shutting_down ]) result
+
+val await : ticket -> completion
+
+(** [run t rq] is {!submit} + {!await} on the calling thread. *)
+val run : t -> request -> (completion, [ `Overloaded | `Shutting_down ]) result
+
+(** Stops accepting work, drains the queue, joins the workers. *)
+val shutdown : t -> unit
+
+val engine_cache : t -> Engine_cache.t
+
+val db : t -> Proteus.Db.t
+
+type stats = {
+  submitted : int;
+  rejected : int;
+  completed : int;
+  queued : int;
+  workers : int;
+  max_queue : int;
+}
+
+val stats : t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit

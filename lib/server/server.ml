@@ -1,0 +1,233 @@
+(* `proteus serve`: a line-protocol TCP front end over the scheduler.
+
+   One OS thread per connection parses requests and blocks on scheduler
+   tickets; the actual queries run on the scheduler's worker domains. The
+   protocol is line-oriented (LF), with fixed-shape responses so shell
+   clients (bash /dev/tcp, nc) can drive it:
+
+     ping                  ->  pong
+     param NAME=VALUE      ->  ok            (accumulates for the next run;
+                                              positional ?s are named 1, 2, ...)
+     timeout MS            ->  ok            (deadline for the next run)
+     run SQL               ->  ok N          followed by N JSON result lines
+                           |   err KIND: message
+     stats                 ->  stats cache <counters> scheduler <counters>
+     quit                  ->  bye           (connection closes)
+
+   [err] kinds: [overloaded] (admission control), [timeout], [cancelled],
+   [error] (parse/plan/data errors). Params and timeout reset after every
+   run. *)
+
+open Proteus_model
+module Executor = Proteus_engine.Executor
+
+(* Parameter values on the wire / CLI: null, true/false, int, float,
+   'single-quoted string' ('' escapes a quote), else the raw string. *)
+let parse_value s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n >= 2 && s.[0] = '\'' && s.[n - 1] = '\'' then begin
+    let body = String.sub s 1 (n - 2) in
+    let buf = Buffer.create (String.length body) in
+    let i = ref 0 in
+    while !i < String.length body do
+      if body.[!i] = '\'' && !i + 1 < String.length body && body.[!i + 1] = '\''
+      then begin
+        Buffer.add_char buf '\'';
+        i := !i + 2
+      end
+      else begin
+        Buffer.add_char buf body.[!i];
+        incr i
+      end
+    done;
+    Value.String (Buffer.contents buf)
+  end
+  else
+    match s with
+    | "null" -> Value.Null
+    | "true" -> Value.Bool true
+    | "false" -> Value.Bool false
+    | _ -> (
+      match int_of_string_opt s with
+      | Some i -> Value.Int i
+      | None -> (
+        match float_of_string_opt s with
+        | Some f -> Value.Float f
+        | None -> Value.String s))
+
+(* "NAME=VALUE" -> (name, value); bare "VALUE" binds the next positional
+   slot (?s are named "1", "2", ... in appearance order). *)
+let parse_param ~positional s =
+  match String.index_opt s '=' with
+  | Some eq
+    when eq > 0
+         && String.for_all
+              (fun c ->
+                (c >= 'a' && c <= 'z')
+                || (c >= 'A' && c <= 'Z')
+                || (c >= '0' && c <= '9')
+                || c = '_')
+              (String.sub s 0 eq) ->
+    (String.sub s 0 eq, parse_value (String.sub s (eq + 1) (String.length s - eq - 1)))
+  | _ ->
+    incr positional;
+    (string_of_int !positional, parse_value s)
+
+type config = {
+  host : string;
+  port : int;
+  workers : int;
+  max_queue : int;
+  cache_capacity : int;
+  domains : int;          (* per-query morsel parallelism *)
+  batch_size : int option;
+  timeout_ms : int option;  (* default per-query deadline *)
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7477;
+    workers = 2;
+    max_queue = 64;
+    cache_capacity = 64;
+    domains = 1;
+    batch_size = None;
+    timeout_ms = None;
+  }
+
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let result_lines v =
+  match v with
+  | Value.Coll (_, rows) ->
+    List.map (fun r -> one_line (Proteus.Output.to_json r)) rows
+  | v -> [ one_line (Proteus.Output.to_json v) ]
+
+let exn_message e = one_line (Fmt.str "%a" Perror.pp_exn e)
+
+let handle_run sched cfg ~params ~timeout_ms sql out =
+  let rq =
+    Scheduler.request ~params
+      ?timeout_ms:(match timeout_ms with Some _ as t -> t | None -> cfg.timeout_ms)
+      ~domains:cfg.domains ?batch_size:cfg.batch_size sql
+  in
+  match Scheduler.submit sched rq with
+  | Error `Overloaded -> output_string out "err overloaded: queue full, retry later\n"
+  | Error `Shutting_down -> output_string out "err error: server shutting down\n"
+  | Ok ticket -> (
+    let c = Scheduler.await ticket in
+    match c.Scheduler.cp_outcome with
+    | Executor.Completed (v, _) ->
+      let lines = result_lines v in
+      Printf.fprintf out "ok %d\n" (List.length lines);
+      List.iter (fun l -> output_string out (l ^ "\n")) lines
+    | Executor.Timed_out _ -> output_string out "err timeout: query deadline expired\n"
+    | Executor.Cancelled _ -> output_string out "err cancelled: query was cancelled\n"
+    | Executor.Failed (_, e) ->
+      Printf.fprintf out "err error: %s\n" (exn_message e))
+
+let handle_stats sched out =
+  let cs = Engine_cache.stats (Scheduler.engine_cache sched) in
+  let ss = Scheduler.stats sched in
+  Printf.fprintf out "stats cache %s scheduler %s\n"
+    (Fmt.str "%a" Engine_cache.pp_stats cs)
+    (Fmt.str "%a" Scheduler.pp_stats ss)
+
+let split_command line =
+  match String.index_opt line ' ' with
+  | None -> (line, "")
+  | Some sp ->
+    ( String.sub line 0 sp,
+      String.trim (String.sub line (sp + 1) (String.length line - sp - 1)) )
+
+let handle_connection sched cfg fd =
+  let inc = Unix.in_channel_of_descr fd in
+  let out = Unix.out_channel_of_descr fd in
+  let params = ref [] in
+  let positional = ref 0 in
+  let timeout_ms = ref None in
+  let quit = ref false in
+  (try
+     while not !quit do
+       match input_line inc with
+       | exception End_of_file -> quit := true
+       | line -> (
+         let line = String.trim line in
+         if line <> "" then begin
+           let cmd, rest = split_command line in
+           (match cmd with
+           | "ping" -> output_string out "pong\n"
+           | "param" -> (
+             match parse_param ~positional rest with
+             | p ->
+               params := p :: !params;
+               output_string out "ok\n"
+             | exception _ -> output_string out "err error: bad param\n")
+           | "timeout" -> (
+             match int_of_string_opt rest with
+             | Some ms when ms > 0 ->
+               timeout_ms := Some ms;
+               output_string out "ok\n"
+             | _ -> output_string out "err error: timeout wants a positive integer\n")
+           | "run" ->
+             handle_run sched cfg ~params:(List.rev !params)
+               ~timeout_ms:!timeout_ms rest out;
+             params := [];
+             positional := 0;
+             timeout_ms := None
+           | "stats" -> handle_stats sched out
+           | "quit" ->
+             output_string out "bye\n";
+             quit := true
+           | _ -> Printf.fprintf out "err protocol: unknown command %s\n" cmd);
+           flush out
+         end)
+     done
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* [serve ?ready ?stop db cfg] blocks accepting connections until [stop]
+   flips (checked every 200 ms). [ready] receives the bound port — pass
+   [port = 0] to bind an ephemeral one (tests). *)
+let serve ?ready ?stop db cfg =
+  let sched =
+    Scheduler.create ~workers:cfg.workers ~max_queue:cfg.max_queue
+      ~cache_capacity:cfg.cache_capacity db
+  in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+  Unix.listen sock 64;
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> cfg.port
+  in
+  Option.iter (fun f -> f port) ready;
+  Logs.app (fun m -> m "proteus server listening on %s:%d" cfg.host port);
+  let stopped () = match stop with Some s -> Atomic.get s | None -> false in
+  let threads = ref [] in
+  while not (stopped ()) do
+    match Unix.select [ sock ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ ->
+      let fd, _addr = Unix.accept sock in
+      threads := Thread.create (handle_connection sched cfg) fd :: !threads
+  done;
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  List.iter Thread.join !threads;
+  Scheduler.shutdown sched
+
+(* Test/CLI client helper: run [f] over a connected (input, output) channel
+   pair, then close. *)
+let with_connection ?(host = "127.0.0.1") ~port f =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  let inc = Unix.in_channel_of_descr sock in
+  let out = Unix.out_channel_of_descr sock in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () -> f inc out)

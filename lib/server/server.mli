@@ -1,0 +1,47 @@
+(** [proteus serve]: a line-protocol TCP front end over the {!Scheduler}.
+
+    Protocol (LF-terminated lines, fixed-shape responses):
+    - [ping] → [pong]
+    - [param NAME=VALUE] → [ok] — accumulates a parameter for the next
+      [run]; a bare [param VALUE] binds the next positional [?] (named
+      ["1"], ["2"], …)
+    - [timeout MS] → [ok] — deadline for the next [run], measured from
+      submission
+    - [run SQL] → [ok N] followed by [N] JSON result lines, or
+      [err KIND: message] with kind one of [overloaded], [timeout],
+      [cancelled], [error]
+    - [stats] → one line with engine-cache and scheduler counters
+    - [quit] → [bye] *)
+
+open Proteus_model
+
+type config = {
+  host : string;
+  port : int;                (** 0 binds an ephemeral port *)
+  workers : int;             (** scheduler worker domains *)
+  max_queue : int;           (** admission-control queue bound *)
+  cache_capacity : int;      (** engine-cache LRU bound *)
+  domains : int;             (** per-query morsel parallelism *)
+  batch_size : int option;
+  timeout_ms : int option;   (** default per-query deadline *)
+}
+
+val default_config : config
+
+(** [serve ?ready ?stop db cfg] blocks accepting connections until [stop]
+    flips (checked every 200 ms); [ready] receives the bound port. One OS
+    thread per connection; queries run on the scheduler's worker domains. *)
+val serve : ?ready:(int -> unit) -> ?stop:bool Atomic.t -> Proteus.Db.t -> config -> unit
+
+(** Parameter values as written on the wire / CLI: [null], [true]/[false],
+    int, float, ['quoted string'] ([''] escapes a quote), else the raw
+    string. *)
+val parse_value : string -> Value.t
+
+(** ["NAME=VALUE"] → [(name, value)]; a bare ["VALUE"] binds the next
+    positional slot counted by [positional]. *)
+val parse_param : positional:int ref -> string -> string * Value.t
+
+(** Client helper: connect, run [f in_channel out_channel], close. *)
+val with_connection :
+  ?host:string -> port:int -> (in_channel -> out_channel -> 'a) -> 'a

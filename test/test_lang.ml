@@ -77,9 +77,10 @@ let test_lexer_comment () =
   Alcotest.(check int) "comment skipped" 3 (Array.length toks)
 
 let test_lexer_bad_char () =
+  (* '?' and '$name' became parameter tokens; '#' is still invalid *)
   Alcotest.(check bool) "rejects" true
     (try
-       ignore (Lexer.tokenize ~what:"t" "a ? b");
+       ignore (Lexer.tokenize ~what:"t" "a # b");
        false
      with Perror.Parse_error _ -> true)
 
