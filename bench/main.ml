@@ -90,5 +90,7 @@ let () =
   Parallel_fig.run_all je be;
   Server_fig.run_all ();
   Server_fig.splice_json "BENCH_engine.json";
+  Shards_fig.run_all ();
+  Shards_fig.splice_json "BENCH_engine.json";
   Ablations.run_all ();
   run_bechamel (bechamel_suite je be)

@@ -97,6 +97,18 @@ let batch_size =
               disables it (pure tuple-at-a-time execution). Results are \
               identical either way.")
 
+let shards_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:"Register each --csv/--json input as a shard set of $(docv) \
+              contiguous pieces (split at record boundaries — one record per \
+              line) instead of one dataset. Scans fan out over the shards \
+              and prune pieces whose zone-map/Bloom digests cannot match a \
+              pushed-down predicate (see shards-pruned under $(b,--stats)); \
+              results are bit-identical to the unsharded registration.")
+
 let on_error =
   Arg.(
     value
@@ -204,6 +216,90 @@ let read_file path =
   close_in ic;
   s
 
+(* --shards: split newline-delimited contents into n contiguous pieces
+   (order preserved, sizes differing by at most one). *)
+let split_lines_shards n text =
+  let lines =
+    match List.rev (String.split_on_char '\n' text) with
+    | "" :: rest -> List.rev rest
+    | all -> List.rev all
+  in
+  let len = List.length lines in
+  let n = max 1 (min n (max 1 len)) in
+  let base = len / n and extra = len mod n in
+  let rec take k acc l =
+    if k = 0 then (List.rev acc, l)
+    else match l with [] -> (List.rev acc, []) | x :: r -> take (k - 1) (x :: acc) r
+  in
+  let rec go i l =
+    if i = n then []
+    else
+      let sz = base + if i < extra then 1 else 0 in
+      let part, rest = take sz [] l in
+      (String.concat "\n" part ^ if part = [] then "" else "\n") :: go (i + 1) rest
+  in
+  go 0 lines
+
+let register_inputs db ~shards ~verbose jsons csvs =
+  let say name ty =
+    if verbose then Fmt.epr "inferred %s: %s@." name (Proteus.Typespec.render ty)
+  in
+  List.iter
+    (fun (name, path, element) ->
+      if shards <= 1 then
+        match element with
+        | Some element -> Proteus.Db.register_json_file db ~name ~element ~path
+        | None -> say name (Proteus.Db.register_json_inferred db ~name ~contents:(read_file path))
+      else begin
+        let contents = read_file path in
+        let element =
+          match element with
+          | Some e -> e
+          | None ->
+            let ty = Proteus.Typeinfer.of_json contents in
+            say name ty;
+            ty
+        in
+        Proteus.Db.register_sharded_json db ~name ~element
+          ~shards:(split_lines_shards shards contents)
+      end)
+    jsons;
+  List.iter
+    (fun (name, path, element) ->
+      if shards <= 1 then
+        match element with
+        | Some element -> Proteus.Db.register_csv_file db ~name ~element ~path ()
+        | None ->
+          say name (Proteus.Db.register_csv_inferred db ~name ~contents:(read_file path) ())
+      else begin
+        let contents = read_file path in
+        match element with
+        | Some element ->
+          (* an explicit typespec means a headerless file (matches the
+             unsharded --csv NAME=PATH:SPEC path): plain row split *)
+          Proteus.Db.register_sharded_csv db ~name ~element
+            ~shards:(split_lines_shards shards contents) ()
+        | None ->
+          (* inferred CSV carries a header row: replicate it onto every
+             shard so each member parses standalone *)
+          let config =
+            { Proteus_format.Csv.default_config with Proteus_format.Csv.has_header = true }
+          in
+          let element = Proteus.Typeinfer.of_csv ~config contents in
+          say name element;
+          let header, body =
+            match String.index_opt contents '\n' with
+            | Some i ->
+              ( String.sub contents 0 (i + 1),
+                String.sub contents (i + 1) (String.length contents - i - 1) )
+            | None -> (contents, "")
+          in
+          Proteus.Db.register_sharded_csv db ~name ~config ~element
+            ~shards:(List.map (fun s -> header ^ s) (split_lines_shards shards body))
+            ()
+      end)
+    csvs
+
 let line_col src pos =
   let pos = max 0 (min pos (String.length src)) in
   let line = ref 1 and bol = ref 0 in
@@ -250,8 +346,8 @@ let classify = function
   | Sys_error _ -> 4
   | _ -> 2
 
-let run jsons csvs q raw_params engine domains batch_size policy max_errors timeout_ms
-    stats no_cache promote promote_threshold repeat explain verbose format =
+let run jsons csvs q raw_params engine domains batch_size shards policy max_errors
+    timeout_ms stats no_cache promote promote_threshold repeat explain verbose format =
   let params = parse_params raw_params in
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
@@ -262,25 +358,8 @@ let run jsons csvs q raw_params engine domains batch_size policy max_errors time
   in
   let db = Proteus.Db.create ~caching () in
   if no_cache then Proteus.Db.set_caching db false;
-  List.iter
-    (fun (name, path, element) ->
-      match element with
-      | Some element -> Proteus.Db.register_json_file db ~name ~element ~path
-      | None ->
-        let ty = Proteus.Db.register_json_inferred db ~name ~contents:(read_file path) in
-        if verbose then Fmt.epr "inferred %s: %s@." name (Proteus.Typespec.render ty))
-    jsons;
   begin
-    List.iter
-      (fun (name, path, element) ->
-        match element with
-        | Some element -> Proteus.Db.register_csv_file db ~name ~element ~path ()
-        | None ->
-          let ty =
-            Proteus.Db.register_csv_inferred db ~name ~contents:(read_file path) ()
-          in
-          if verbose then Fmt.epr "inferred %s: %s@." name (Proteus.Typespec.render ty))
-      csvs;
+    register_inputs db ~shards ~verbose jsons csvs;
     if explain then begin
       let plan =
         if is_comprehension q then Proteus.Db.plan_comprehension db q
@@ -370,15 +449,15 @@ let run jsons csvs q raw_params engine domains batch_size policy max_errors time
     end
   end
 
-let run jsons csvs q params engine domains batch_size policy max_errors timeout_ms
-    stats no_cache promote promote_threshold repeat explain verbose format =
+let run jsons csvs q params engine domains batch_size shards policy max_errors
+    timeout_ms stats no_cache promote promote_threshold repeat explain verbose format =
   let files =
     List.map (fun (n, p, _) -> (n, p, "json")) jsons
     @ List.map (fun (n, p, _) -> (n, p, "csv")) csvs
   in
   try
-    run jsons csvs q params engine domains batch_size policy max_errors timeout_ms
-      stats no_cache promote promote_threshold repeat explain verbose format
+    run jsons csvs q params engine domains batch_size shards policy max_errors
+      timeout_ms stats no_cache promote promote_threshold repeat explain verbose format
   with
   | (Perror.Parse_error _ | Perror.Plan_error _ | Perror.Type_error _
     | Perror.Unsupported _ | Sys_error _) as e ->
@@ -425,8 +504,8 @@ let cache_arg =
         ~doc:"Plan-shape engine cache capacity: compiled engines kept for \
               re-binding, LRU-evicted beyond $(docv).")
 
-let serve jsons csvs host port workers queue cache domains batch_size timeout_ms
-    no_cache promote promote_threshold verbose =
+let serve jsons csvs host port workers queue cache domains batch_size shards
+    timeout_ms no_cache promote promote_threshold verbose =
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Info)
@@ -442,20 +521,7 @@ let serve jsons csvs host port workers queue cache domains batch_size timeout_ms
   let db = Proteus.Db.create ~caching () in
   if no_cache then Proteus.Db.set_caching db false;
   try
-    List.iter
-      (fun (name, path, element) ->
-        match element with
-        | Some element -> Proteus.Db.register_json_file db ~name ~element ~path
-        | None ->
-          ignore (Proteus.Db.register_json_inferred db ~name ~contents:(read_file path)))
-      jsons;
-    List.iter
-      (fun (name, path, element) ->
-        match element with
-        | Some element -> Proteus.Db.register_csv_file db ~name ~element ~path ()
-        | None ->
-          ignore (Proteus.Db.register_csv_inferred db ~name ~contents:(read_file path) ()))
-      csvs;
+    register_inputs db ~shards ~verbose:false jsons csvs;
     let cfg =
       {
         Proteus_server.Server.host;
@@ -489,8 +555,8 @@ let exits =
 let query_term =
   Term.(
     const run $ json_args $ csv_args $ query $ params_arg $ engine $ domains
-    $ batch_size $ on_error $ max_errors $ timeout_ms $ stats $ no_cache
-    $ promote $ promote_threshold $ repeat $ explain $ verbose $ format)
+    $ batch_size $ shards_arg $ on_error $ max_errors $ timeout_ms $ stats
+    $ no_cache $ promote $ promote_threshold $ repeat $ explain $ verbose $ format)
 
 let serve_cmd =
   let doc = "serve concurrent queries over TCP (prepare-once/run-many)" in
@@ -511,8 +577,8 @@ let serve_cmd =
          ])
     Term.(
       const serve $ json_args $ csv_args $ host_arg $ port_arg $ workers_arg
-      $ queue_arg $ cache_arg $ domains $ batch_size $ timeout_ms $ no_cache
-      $ promote $ promote_threshold $ verbose)
+      $ queue_arg $ cache_arg $ domains $ batch_size $ shards_arg $ timeout_ms
+      $ no_cache $ promote $ promote_threshold $ verbose)
 
 let cmd =
   let doc = "query heterogeneous raw data files with one engine" in

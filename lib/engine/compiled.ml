@@ -101,6 +101,10 @@ type shared_join = {
   sj_kind : Plan.join_kind;
   sj_residual : Expr.t;
   sj_left_key : Expr.t option;
+  sj_ikeys : int array ref;
+      (** alias of the build's int-key array, trimmed exact (meaningful when
+          [sj_mode] is [`Radix]) — shard pruning derives per-run key
+          ranges/sets from it after the build phase *)
 }
 
 (* Per-pipeline-instance parallel state. Worker 0 is the template: it
@@ -393,6 +397,32 @@ let lookup_select_memo ctx ~dataset ~binding ~pred ~paths =
     Hashtbl.replace ctx.sel_memo binding r;
     r
 
+(* ------------------------------------------------------------------ *)
+(* Shard pruning (scatter-gather over Registry shard sets). A sharded
+   driving scan carries a [shard_state]: the layout (member offsets/row
+   counts in concat order) plus the armed conjunct tests. Arming happens
+   once per run — after the build phases, so equi-join build keys are
+   known — and marks shards whose per-(member, path) digests prove every
+   pushed-down conjunct (or the join-key membership) unsatisfiable; the
+   morsel/batch skip test then drops any range lying entirely inside
+   pruned shards. Counted in [Counters.shards_pruned]. *)
+
+type shard_test =
+  | St_cmp of Zonemap.test     (* binding.path op numeric-const *)
+  | St_eq_str of string        (* binding.path = string-const (Bloom) *)
+  | St_in_set of int array     (* distinct build-side int keys (small) *)
+  | St_range of int * int      (* build-side int-key bounds [lo, hi] *)
+  | St_none                    (* empty Inner build side: nothing matches *)
+
+type shard_state = {
+  ss_reg : Registry.t;
+  ss_binding : string;
+  ss_layout : Registry.shard_info array;
+  mutable ss_tests : (string * (unit -> shard_test option)) list;
+      (* (path, arm): constants pre-resolve, parameters re-read their slot *)
+  ss_pruned : bool array;  (* per shard, reset at every arm *)
+}
+
 (* One filter: compacts the first [n] entries of [sel] in place against the
    elements at [base + sel.(i)]; returns the surviving count. *)
 type bfilter = base:int -> sel:int array -> n:int -> int
@@ -426,6 +456,10 @@ type bfrag = {
   bf_zone : (string * string) option;
       (* (dataset, binding) when the source is the raw dataset scan — the
          only row space zone maps describe; None for σ-packed sources *)
+  bf_shard : shard_state option;
+      (* shard pruning state of a serial drive over a shard set (the
+         parallel spine prunes at the fleet dispenser instead); Select
+         compilation appends conjunct tests, the driver arms per run *)
 }
 
 (* Compile one predicate into per-conjunct filters: a vectorized kernel
@@ -630,6 +664,233 @@ let zone_skip_merge a b =
   | None, s | s, None -> s
   | Some f, Some g -> Some (fun ~lo ~hi -> f ~lo ~hi || g ~lo ~hi)
 
+(* The shard-testable conjuncts of [pred]: [zone_conjuncts] shapes plus
+   string equality, which the per-shard Bloom filters can refute even
+   though zone maps cannot. *)
+let shard_conjuncts cenv ~binding pred =
+  List.filter_map
+    (fun c ->
+      match c with
+      | Expr.Binop (op, l, r) -> (
+        let test_of op (v : Value.t) =
+          match op, v with
+          | Expr.Eq, Value.String s -> Some (St_eq_str s)
+          | _ -> Option.map (fun t -> St_cmp t) (zone_test op v)
+        in
+        let testable lhs rhs op =
+          match path_of lhs, rhs with
+          | Some (v, path), Expr.Const value
+            when String.equal v binding && path <> "" ->
+            Option.map
+              (fun t ->
+                let fixed = Some t in
+                (path, fun () -> fixed))
+              (test_of op value)
+          | Some (v, path), Expr.Param p
+            when String.equal v binding && path <> "" && zone_op op <> None ->
+            let slot = Exprc.param_slot cenv p in
+            Some (path, fun () -> test_of op !slot)
+          | _ -> None
+        in
+        match testable l r op with
+        | Some _ as hit -> hit
+        | None -> testable r l (zone_flip op))
+      | _ -> None)
+    (Expr.conjuncts pred)
+
+(* May any row of a shard with digest [dg] satisfy [test]? Soundness
+   mirrors [Expr.cmp]: Null compares false (an all-null shard matches
+   nothing); a numeric constant equals only numeric values (so the
+   numeric-only min/max bound equality and the Bloom filter refines it);
+   ordering across kinds follows [Value.compare], so ordering tests prune
+   only all-numeric shards; a data NaN folded [sd_min] to -inf at digest
+   time (OCaml's compare orders NaN below everything). False here must
+   mean "no row can match" — every uncertain case answers [true]. *)
+let digest_may_match (dg : Registry.shard_digest) (test : shard_test) =
+  let open Registry in
+  if dg.sd_rows = 0 || dg.sd_nonnull = 0 then false
+  else
+    match test with
+    | St_none -> false
+    | St_cmp t -> (
+      let op, c =
+        match t with
+        | Zonemap.T_int (op, c) -> (op, float_of_int c)
+        | Zonemap.T_float (op, c) -> (op, c)
+      in
+      if Float.is_nan c then true
+      else
+        match op with
+        | Zonemap.Eq ->
+          dg.sd_min <= c && c <= dg.sd_max
+          && (not dg.sd_keyed
+             || Proteus_storage.Bloom.mem dg.sd_bloom
+                  (Proteus_storage.Bloom.key_float c))
+        | _ when not dg.sd_all_numeric -> true
+        | Zonemap.Lt -> dg.sd_min < c
+        | Zonemap.Le -> dg.sd_min <= c
+        | Zonemap.Gt -> dg.sd_max > c
+        | Zonemap.Ge -> dg.sd_max >= c)
+    | St_eq_str s ->
+      (not dg.sd_keyed)
+      || Proteus_storage.Bloom.mem dg.sd_bloom (Proteus_storage.Bloom.key_string s)
+    | St_range (lo, hi) ->
+      dg.sd_max >= float_of_int lo && dg.sd_min <= float_of_int hi
+    | St_in_set ks ->
+      Array.exists
+        (fun k ->
+          let f = float_of_int k in
+          dg.sd_min <= f && f <= dg.sd_max
+          && (not dg.sd_keyed
+             || Proteus_storage.Bloom.mem dg.sd_bloom
+                  (Proteus_storage.Bloom.key_int k)))
+        ks
+
+let make_shard_state reg cenv ~dataset ~binding ~preds =
+  match Registry.shards reg dataset with
+  | Some layout when Array.length layout > 0 ->
+    Some
+      {
+        ss_reg = reg;
+        ss_binding = binding;
+        ss_layout = layout;
+        ss_tests =
+          List.concat_map (fun p -> shard_conjuncts cenv ~binding p) preds;
+        ss_pruned = Array.make (Array.length layout) false;
+      }
+  | _ -> None
+
+(* Join-key tests, evaluated at arm time (after the build phase ran): for
+   every Inner spine hash join whose probe key is [binding.path], the
+   materialized build keys bound what a probe row must carry — a small
+   distinct set probes the Bloom filters per key, a large one tests range
+   disjointness. An empty Inner build side proves the whole pipeline
+   empty regardless of key shape. Left-outer joins pass unmatched probe
+   rows through and never prune. *)
+let shard_join_tests ~binding (joins : (int, shared_join) Hashtbl.t) =
+  Hashtbl.fold
+    (fun _ (sj : shared_join) acc ->
+      if sj.sj_kind <> Plan.Inner then acc
+      else if !(sj.sj_rows) = 0 then ("", St_none) :: acc
+      else
+        match sj.sj_left_key, sj.sj_mode with
+        | Some lk, `Radix -> (
+          match path_of lk with
+          | Some (v, path) when String.equal v binding && path <> "" -> (
+            let ks = !(sj.sj_ikeys) in
+            let n = Array.length ks in
+            if n = 0 then acc
+            else begin
+              let lo = ref ks.(0) and hi = ref ks.(0) in
+              Array.iter
+                (fun k ->
+                  if k < !lo then lo := k;
+                  if k > !hi then hi := k)
+                ks;
+              let small_set =
+                if n > 1024 then None
+                else begin
+                  let s = Array.copy ks in
+                  Array.sort compare s;
+                  let m = ref 1 in
+                  for i = 1 to n - 1 do
+                    if s.(i) <> s.(!m - 1) then begin
+                      s.(!m) <- s.(i);
+                      incr m
+                    end
+                  done;
+                  if !m <= 64 then Some (Array.sub s 0 !m) else None
+                end
+              in
+              match small_set with
+              | Some s -> (path, St_in_set s) :: acc
+              | None -> (path, St_range (!lo, !hi)) :: acc
+            end)
+          | _ -> acc)
+        | _ -> acc)
+    joins []
+
+(* Arm once per run: reset the bitmap, stand down under degraded fault
+   policies (their per-row error tallies are observable, exactly like the
+   zone skip above), resolve the conjunct arms against currently bound
+   parameters, fold in the join-key tests, and mark every shard some test
+   refutes. Digests build lazily on first use (memoized per member). *)
+let shard_arm (st : shard_state) ~joins =
+  Array.fill st.ss_pruned 0 (Array.length st.ss_pruned) false;
+  match Fault.policy () with
+  | Fault.Skip_row | Fault.Null_fill -> ()
+  | Fault.Fail_fast ->
+    let tests =
+      List.filter_map
+        (fun (path, arm) -> Option.map (fun t -> (path, t)) (arm ()))
+        st.ss_tests
+      @
+      match joins with
+      | Some js -> shard_join_tests ~binding:st.ss_binding js
+      | None -> []
+    in
+    if tests <> [] then begin
+      let pruned = ref 0 in
+      Array.iteri
+        (fun i (sh : Registry.shard_info) ->
+          if sh.Registry.sh_rows > 0 then begin
+            let prune =
+              List.exists
+                (fun (path, t) ->
+                  match t with
+                  | St_none -> true
+                  | _ -> (
+                    match
+                      Registry.shard_digest st.ss_reg
+                        ~member:sh.Registry.sh_member ~path
+                    with
+                    | None -> false
+                    | Some dg ->
+                      Counters.add_zone_checks 1;
+                      not (digest_may_match dg t)))
+                tests
+            in
+            if prune then begin
+              st.ss_pruned.(i) <- true;
+              incr pruned
+            end
+          end)
+        st.ss_layout;
+      if !pruned > 0 then Counters.add_shards_pruned !pruned
+    end
+
+(* The morsel/batch skip: [true] iff every shard overlapping [lo, hi) is
+   pruned (empty shards overlap nothing). Before the first arm the bitmap
+   is all-false, so the test is a no-op. *)
+let shard_skip (st : shard_state) : lo:int -> hi:int -> bool =
+  let layout = st.ss_layout in
+  let n = Array.length layout in
+  fun ~lo ~hi ->
+    hi > lo
+    && begin
+         (* first shard whose end exceeds lo *)
+         let i = ref 0 in
+         let l = ref 0 and r = ref (n - 1) in
+         while !l < !r do
+           let mid = (!l + !r) / 2 in
+           let sh = layout.(mid) in
+           if sh.Registry.sh_offset + sh.Registry.sh_rows > lo then r := mid
+           else l := mid + 1
+         done;
+         i := !l;
+         let ok = ref true in
+         while !ok && !i < n && layout.(!i).Registry.sh_offset < hi do
+           let sh = layout.(!i) in
+           if
+             sh.Registry.sh_rows > 0
+             && sh.Registry.sh_offset + sh.Registry.sh_rows > lo
+             && not st.ss_pruned.(!i)
+           then ok := false;
+           incr i
+         done;
+         !ok
+       end
+
 (* Feed the promotion signal and extend the fragment's zone skip for one
    predicate applying to the driving scan's rows — shared by Select filter
    nodes and root Reduce predicates. *)
@@ -638,6 +899,12 @@ let bfrag_zone_pred ctx (frag : bfrag) pred : bfrag =
   | None -> frag
   | Some (dataset, binding) ->
     note_selective ctx ~dataset ~binding pred;
+    (* a shard state exists only on non-filling serial drives, so appending
+       tests needs no fill guard of its own *)
+    (match frag.bf_shard with
+    | Some st ->
+      st.ss_tests <- st.ss_tests @ shard_conjuncts ctx.cenv ~binding pred
+    | None -> ());
     if Option.is_none frag.bf_fill && Option.is_none frag.bf_session then
       {
         frag with
@@ -722,8 +989,18 @@ let bfrag_driver ctx (frag : bfrag) ~bs
         in
         loop ())
   | _ -> (
+    (* serial drive: arm shard pruning at thunk start, each run — with no
+       fleet there is no shared-join table, so only conjunct tests apply *)
+    let arm () =
+      match frag.bf_shard with
+      | Some st -> shard_arm st ~joins:None
+      | None -> ()
+    in
     match frag.bf_session with
-    | None -> fun () -> frag.bf_run ~batch:bs ~on_batch
+    | None ->
+      fun () ->
+        arm ();
+        frag.bf_run ~batch:bs ~on_batch
     | Some s ->
       (* serial batch lane over a filling scan: this driver owns the
          session's arm/commit/release lifecycle *)
@@ -767,6 +1044,17 @@ let rec compile_bfrag (ctx : ctx) (p : Plan.t) : bfrag option =
         | _ -> (Registry.scan ctx.reg ~whole ~dataset ~required, true)
       in
       Hashtbl.replace ctx.cenv binding (Exprc.Scan_repr scan.Registry.sc_source);
+      let shard_st =
+        (* serial, non-filling drives only: a parallel spine prunes at the
+           fleet dispenser, a filling scan owns a segment per batch *)
+        match ctx.par with
+        | Some pp when pp.par_spine -> None
+        | _ -> (
+          match scan.Registry.sc_fill with
+          | Some _ -> None
+          | None ->
+            make_shard_state ctx.reg ctx.cenv ~dataset ~binding ~preds:[])
+      in
       Some
         {
           bf_src = scan.Registry.sc_source;
@@ -777,8 +1065,9 @@ let rec compile_bfrag (ctx : ctx) (p : Plan.t) : bfrag option =
           bf_fill = scan.Registry.sc_fill_sel;
           bf_session = (if owns then scan.Registry.sc_fill else None);
           bf_dataset = scan.Registry.sc_dataset;
-          bf_skip = None;
+          bf_skip = Option.map shard_skip shard_st;
           bf_zone = Some (dataset, binding);
+          bf_shard = shard_st;
         }
     | Plan.Select { pred; input = Plan.Scan { dataset; binding; _ } as scan_node }
       when select_paths ctx binding <> None -> (
@@ -810,6 +1099,7 @@ let rec compile_bfrag (ctx : ctx) (p : Plan.t) : bfrag option =
             bf_skip = None;
             (* packed rows are not dataset OIDs: zone maps do not apply *)
             bf_zone = None;
+            bf_shard = None;
           }
       in
       match ctx.par with
@@ -855,6 +1145,10 @@ type drive = {
   dr_skip : (lo:int -> hi:int -> bool) option;
       (** zone-map morsel skip armed on the fleet dispenser (never together
           with [dr_fill]) *)
+  dr_arm : ((int, shared_join) Hashtbl.t option -> unit) option;
+      (** shard-pruning arm hook, called by the fleet driver after the
+          build phases (so join-key tests see the materialized keys) and
+          before any morsel is dispensed *)
 }
 
 (* Walk the spine to the driving scan. [None] means this sub-plan cannot
@@ -882,6 +1176,7 @@ let rec spine_drive ?(preds = []) (actx : ctx) (p : Plan.t) : drive option =
           dr_fill = None;
           (* σ-packed rows are not dataset OIDs: zones do not apply *)
           dr_skip = None;
+          dr_arm = None;
         }
     | None ->
       if select_cache_should_store actx ~dataset ~binding ~pred then None
@@ -895,12 +1190,18 @@ let rec spine_drive ?(preds = []) (actx : ctx) (p : Plan.t) : drive option =
 and drive_scan actx ~dataset ~binding ~preds =
   let required, whole = scan_required actx binding in
   let scan = Registry.scan actx.reg ~whole ~dataset ~required in
-  let dr_skip =
+  let dr_skip, dr_arm =
     (* a filling scan owns an OID-aligned segment for every morsel: never
        skip under an armed session *)
     match scan.Registry.sc_fill with
-    | Some _ -> None
-    | None -> zone_skip actx ~dataset ~binding preds
+    | Some _ -> (None, None)
+    | None ->
+      let zskip = zone_skip actx ~dataset ~binding preds in
+      let shard_st =
+        make_shard_state actx.reg actx.cenv ~dataset ~binding ~preds
+      in
+      ( zone_skip_merge zskip (Option.map shard_skip shard_st),
+        Option.map (fun st joins -> shard_arm st ~joins) shard_st )
   in
   Some
     {
@@ -908,6 +1209,7 @@ and drive_scan actx ~dataset ~binding ~preds =
       dr_select = None;
       dr_fill = scan.Registry.sc_fill;
       dr_skip;
+      dr_arm;
     }
 
 (* Compile [domains] pipeline instances of [subplan] — worker 0 first: the
@@ -973,6 +1275,12 @@ let compile_instances reg required ~slots ~batch ~domains ?(static = false)
     let runners = Array.make domains (fun () -> ()) in
     runners.(0) <- wire 0 instances.(0);
     List.iter (fun b -> Counters.time Counters.Build b) (List.rev !builds);
+    (* shard pruning arms here: after the builds (join-key tests read the
+       materialized build keys) and before the dispenser hands out any
+       morsel — the pre-dispatch prune of scatter-gather execution *)
+    (match drive.dr_arm with
+    | Some arm -> arm (Some joins)
+    | None -> ());
     for w = 1 to domains - 1 do
       runners.(w) <- wire w instances.(w)
     done;
@@ -1742,6 +2050,7 @@ and compile_join ctx ~kind ~algo ~left ~right ~left_key ~right_key ~pred =
         sj_residual = residual;
         sj_left_key =
           (match equi with Some (lk, _) when use_hash -> Some lk | _ -> None);
+        sj_ikeys = ikey_vec;
       }
   | None -> ());
   fun consumer ->

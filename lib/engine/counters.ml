@@ -16,6 +16,7 @@ type snapshot = {
   morsels : int;
   morsels_skipped : int;
   zone_checks : int;
+  shards_pruned : int;
   dict_probes : int;
   errors_seen : int;
   rows_skipped : int;
@@ -52,6 +53,7 @@ let fill_ns = make_counter ()
 let morsels = make_counter ()
 let morsels_skipped = make_counter ()
 let zone_checks = make_counter ()
+let shards_pruned = make_counter ()
 let dict_probes = make_counter ()
 
 let slot () = (Domain.self () :> int) land (slots - 1)
@@ -80,6 +82,7 @@ let reset () =
   zero morsels;
   zero morsels_skipped;
   zero zone_checks;
+  zero shards_pruned;
   zero dict_probes;
   Proteus_model.Fault.reset_totals ()
 
@@ -102,6 +105,7 @@ let snapshot () =
     morsels = total morsels;
     morsels_skipped = total morsels_skipped;
     zone_checks = total zone_checks;
+    shards_pruned = total shards_pruned;
     dict_probes = total dict_probes;
     (* The fault layer owns these (it already accounts them atomically per
        record call); the snapshot just mirrors its totals. *)
@@ -122,6 +126,7 @@ let add_lanes_tuple n = add lanes_tuple n
 let add_morsels n = add morsels n
 let add_morsels_skipped n = add morsels_skipped n
 let add_zone_checks n = add zone_checks n
+let add_shards_pruned n = add shards_pruned n
 let add_dict_probes n = add dict_probes n
 
 let phase_counter = function
@@ -160,6 +165,7 @@ let pp ppf s =
     Fmt.pf ppf " morsels=%d" s.morsels;
   if s.morsels_skipped > 0 || s.zone_checks > 0 then
     Fmt.pf ppf " zone-checks=%d morsels-skipped=%d" s.zone_checks s.morsels_skipped;
+  if s.shards_pruned > 0 then Fmt.pf ppf " shards-pruned=%d" s.shards_pruned;
   if s.dict_probes > 0 then Fmt.pf ppf " dict-probes=%d" s.dict_probes;
   if s.scan_ns + s.build_ns + s.probe_ns + s.merge_ns + s.fill_ns > 0 then begin
     Fmt.pf ppf " phases[ms]: scan=%.2f build=%.2f probe=%.2f merge=%.2f"

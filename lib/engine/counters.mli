@@ -36,6 +36,10 @@ type snapshot = {
       (** morsels/batches skipped outright because a zone map proved no row
           could satisfy a pushed-down comparison *)
   zone_checks : int;     (** zone-map range tests evaluated by scan drivers *)
+  shards_pruned : int;
+      (** shards excluded before dispatch because their digest (row count,
+          min/max, Bloom filter) proved a pushed-down conjunct or
+          equi-join key set empty *)
   dict_probes : int;
       (** batch-kernel evaluations that ran on dictionary codes instead of
           decoded strings (equality as code compare, LIKE per entry) *)
@@ -66,6 +70,7 @@ val add_lanes_tuple : int -> unit
 val add_morsels : int -> unit
 val add_morsels_skipped : int -> unit
 val add_zone_checks : int -> unit
+val add_shards_pruned : int -> unit
 val add_dict_probes : int -> unit
 val add_phase_ns : phase -> int -> unit
 

@@ -1,11 +1,14 @@
 module Plan = Proteus_algebra.Plan
 
 let optimize cat plan =
+  let plan = Rewrite.eliminate_redundant plan in
   let plan = Rewrite.pushdown_selections plan in
   let plan = Planner.reorder_joins cat plan in
   (* reordering can surface a residual Select; sink it again *)
   let plan = Rewrite.pushdown_selections plan in
   let plan = Rewrite.extract_join_keys plan in
+  (* sinking can strand collapsed projections and Const-true selections *)
+  let plan = Rewrite.eliminate_redundant plan in
   let plan = Rewrite.pushdown_projections plan in
   Plan.validate plan;
   plan

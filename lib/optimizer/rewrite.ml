@@ -81,6 +81,113 @@ let rec extract_join_keys (p : Plan.t) : Plan.t =
     | None -> Plan.Join { r with algo = Plan.Nested_loop })
   | p -> p
 
+(* --- redundant-operator elimination ----------------------------------------
+
+   Mechanical plan construction leaves no-op operators behind: SQL lowering
+   wraps hidden sort keys in stacked projections, join reordering can
+   surface Const-true selections, and comprehension normalization emits
+   projections that only rename a binding. Three local eliminations:
+
+   - a [Select true] disappears;
+   - adjacent projections collapse into one, inlining the inner
+     projection's definitions into the outer expressions — sound when every
+     reference to the inner binding is a field the inner projection
+     defines (a whole-record reference to it blocks the collapse);
+   - an identity projection (fields = [(n, b.n); ...] verbatim over a
+     single-binding input) disappears, α-renaming the input's binding to
+     its own — sound only when nothing above reads the record as a whole
+     (the raw input record may be wider than the projected one) and the
+     rename cannot capture a binder inside the subtree. *)
+
+exception Keep
+
+(* Inline the inner projection's field definitions, refusing (Keep) on any
+   reference to [b1] that is not a defined field. *)
+let inline_fields b1 f1 e =
+  let rec go (e : Expr.t) : Expr.t =
+    match e with
+    | Expr.Field (Expr.Var v, n) when String.equal v b1 -> (
+      match List.assoc_opt n f1 with Some d -> d | None -> raise Keep)
+    | Expr.Var v when String.equal v b1 -> raise Keep
+    | Expr.Const _ | Expr.Param _ | Expr.Var _ -> e
+    | Expr.Field (e, n) -> Expr.Field (go e, n)
+    | Expr.Binop (o, l, r) -> Expr.Binop (o, go l, go r)
+    | Expr.Unop (o, e) -> Expr.Unop (o, go e)
+    | Expr.If (c, t, f) -> Expr.If (go c, go t, go f)
+    | Expr.Record_ctor fs -> Expr.Record_ctor (List.map (fun (n, e) -> (n, go e)) fs)
+    | Expr.Coll_ctor (c, es) -> Expr.Coll_ctor (c, List.map go es)
+  in
+  go e
+
+(* Every binder name in the subtree, including ones hidden behind a
+   Project/Nest scope wall — the capture check for α-renaming. *)
+let rec binders acc (p : Plan.t) =
+  let acc =
+    match p with
+    | Plan.Scan { binding; _ }
+    | Plan.Unnest { binding; _ }
+    | Plan.Nest { binding; _ }
+    | Plan.Project { binding; _ } -> binding :: acc
+    | Plan.Select _ | Plan.Join _ | Plan.Reduce _ | Plan.Sort _ -> acc
+  in
+  List.fold_left binders acc (Plan.children p)
+
+(* α-rename the binding [from] (visible at the root of [p]) to [to_]. The
+   walk stops at the node introducing [from]; an Unnest's own predicate
+   sees its binding, so it is rewritten alongside. *)
+let rec rename_binding ~from ~to_ (p : Plan.t) : Plan.t =
+  let sub e = Expr.subst from (Expr.var to_) e in
+  match p with
+  | Plan.Scan s when s.binding = from -> Plan.Scan { s with binding = to_ }
+  | Plan.Project r when r.binding = from -> Plan.Project { r with binding = to_ }
+  | Plan.Nest r when r.binding = from -> Plan.Nest { r with binding = to_ }
+  | Plan.Unnest r when r.binding = from ->
+    Plan.Unnest { r with binding = to_; pred = sub r.pred }
+  | p -> Plan.map_children (rename_binding ~from ~to_) (Plan.map_exprs sub p)
+
+let eliminate_redundant (p : Plan.t) : Plan.t =
+  (* [`Whole]/[`Paths] uses per binding name across the whole plan — the
+     same global-name approximation pushdown_projections relies on. *)
+  let required = Analysis.required_paths (Analysis.all_exprs p) in
+  let rec go (p : Plan.t) : Plan.t =
+    let p = Plan.map_children go p in
+    match p with
+    | Plan.Select { pred = Expr.Const (Value.Bool true); input } -> input
+    | Plan.Project
+        ({ fields; input = Plan.Project { binding = b1; fields = f1; input = inner }; _ }
+         as r) -> (
+      match List.map (fun (n, e) -> (n, inline_fields b1 f1 e)) fields with
+      | fields -> go (Plan.Project { r with fields; input = inner })
+      | exception Keep -> p)
+    | Plan.Project { binding; fields; input } -> (
+      let identity_over =
+        match Plan.bindings input with
+        | [ b ] when List.for_all (fun (n, e) -> Expr.equal e (Expr.path b [ n ])) fields
+          -> Some b
+        | _ -> None
+      in
+      match identity_over with
+      | None -> p
+      | Some b ->
+        let names = List.map fst fields in
+        let narrowing_safe =
+          (* the raw record may be wider than the projected one: every use
+             above must be a field the projection kept *)
+          match List.assoc_opt binding required with
+          | Some (`Paths ps) ->
+            List.for_all
+              (fun pth -> List.mem (List.hd (String.split_on_char '.' pth)) names)
+              ps
+          | Some `Whole | None -> false
+        in
+        if not narrowing_safe then p
+        else if String.equal b binding then input
+        else if List.mem binding (binders [] input) then p
+        else rename_binding ~from:b ~to_:binding input)
+    | p -> p
+  in
+  go p
+
 let pushdown_projections (p : Plan.t) : Plan.t =
   let required = Analysis.required_paths (Analysis.all_exprs p) in
   let rec go (p : Plan.t) =

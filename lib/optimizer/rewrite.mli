@@ -6,7 +6,9 @@
     - {b join-key extraction}: equi-join conjuncts are identified once here
       so the executor need not re-derive them;
     - {b projection pushdown}: each scan is annotated with the root fields
-      actually read above it, so plug-ins extract only those (Section 5.2). *)
+      actually read above it, so plug-ins extract only those (Section 5.2);
+    - {b redundant-operator elimination}: Const-true selections, adjacent
+      projections and identity renames disappear before costing. *)
 
 open Proteus_algebra
 
@@ -21,3 +23,11 @@ val extract_join_keys : Plan.t -> Plan.t
 
 (** [pushdown_projections p] sets [Scan.fields]. *)
 val pushdown_projections : Plan.t -> Plan.t
+
+(** [eliminate_redundant p] drops no-op operators: [Select true] nodes,
+    adjacent projections (the inner one's definitions inline into the outer,
+    unless a whole-record reference blocks it), and identity projections
+    over a single-binding input (the input's binding is α-renamed into the
+    projection's — only when nothing above reads the record whole, since
+    the raw record may be wider than the projected one). Result-preserving. *)
+val eliminate_redundant : Plan.t -> Plan.t

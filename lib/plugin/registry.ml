@@ -14,12 +14,44 @@ type index_info = {
   fixed_schema : bool;
 }
 
+(* One shard of a shard set: a member dataset plus its slice of the global
+   row space. Offsets are assigned in member order, so the concatenated
+   view enumerates rows exactly as one file holding the shards in sequence
+   would — the root of the sharded == single-file bit-identity contract. *)
+type shard_info = { sh_member : string; sh_offset : int; sh_rows : int }
+
+(* Per-(shard, path) pruning digest, built lazily on first use and
+   memoized. [sd_min]/[sd_max] span the {e numeric} non-null values only
+   (under [Expr.cmp], a numeric constant can only ever equal or order
+   against numeric values — see DESIGN.md section 14 for the soundness
+   argument); [sd_all_numeric] says no non-null non-numeric value exists,
+   which ordering tests require; [sd_keyed] says every non-null value got
+   a canonical Bloom key (numerics and strings do, bools/records do not),
+   which Bloom-absence pruning requires. *)
+type shard_digest = {
+  sd_rows : int;
+  sd_nonnull : int;
+  sd_min : float;
+  sd_max : float;
+  sd_all_numeric : bool;
+  sd_keyed : bool;
+  sd_bloom : Proteus_storage.Bloom.t;
+}
+
 type t = {
   catalog : Catalog.t;
   mutable cache : Cache_iface.t;
   sources : (string, Source.t) Hashtbl.t;
   factories : (string, unit -> Source.t) Hashtbl.t;
   infos : (string, index_info) Hashtbl.t;
+  shard_sets : (string, string list) Hashtbl.t;
+  shard_layouts : (string, shard_info array) Hashtbl.t;
+      (* refreshed on every parent view build, so layouts track member
+         heal/degrade transitions *)
+  digests : (string, shard_digest option) Hashtbl.t;
+      (* keyed [member ^ "\x00" ^ path]; [None] memoizes "no digest
+         obtainable" only transiently (failures are not memoized) *)
+  shard_mu : Mutex.t;  (* guards [digests]: arms run concurrently *)
   generation : int Atomic.t;
       (* bumped on every [invalidate] and [set_cache]: prepared engines
          capture the stamp and re-stage when it moved, so a prepared
@@ -33,6 +65,10 @@ let create ?(cache = Cache_iface.disabled) catalog =
     sources = Hashtbl.create 16;
     factories = Hashtbl.create 16;
     infos = Hashtbl.create 16;
+    shard_sets = Hashtbl.create 4;
+    shard_layouts = Hashtbl.create 4;
+    digests = Hashtbl.create 16;
+    shard_mu = Mutex.create ();
     generation = Atomic.make 0;
   }
 
@@ -155,14 +191,233 @@ let build_factory t (d : Dataset.t) : unit -> Source.t =
     Perror.plan_error "dataset %s: location does not match format %s" d.name
       (Dataset.format_name d.format)
 
-let factory t name =
+(* --- concatenated shard views --------------------------------------------- *)
+
+(* Merge per-member accessors for one path into one accessor dispatched on
+   the concat cursor. Typed getters survive only when every member offers
+   them (a missing one falls the whole path back to boxed dispatch, which
+   is always available); batch fills survive likewise and route each run
+   of the (ascending) selection vector to the member owning those rows.
+   [~fills:false] is used for unnest element fields, whose indexes are not
+   global row ids. Dictionary metadata never merges: codes are private to
+   each member's cache column. *)
+let merged_access ~fills ~cur ~locate ~(offsets : int array)
+    (accs : Access.t array) : Access.t =
+  let all proj =
+    let xs = Array.map proj accs in
+    if Array.for_all Option.is_some xs then Some (Array.map Option.get xs)
+    else None
+  in
+  let lift proj = Option.map (fun fs () -> fs.(!cur) ()) (all proj) in
+  let nullable = Array.exists (fun a -> a.Access.nullable) accs in
+  let is_null =
+    if Array.for_all (fun a -> a.Access.is_null = None) accs then None
+    else
+      let fs = Array.map (fun a -> a.Access.is_null) accs in
+      Some (fun () -> match fs.(!cur) with Some f -> f () | None -> false)
+  in
+  let get_vals = Array.map (fun a -> a.Access.get_val) accs in
+  let merge_fill proj =
+    if not fills then None
+    else
+      match all proj with
+      | None -> None
+      | Some fs ->
+        Some
+          (fun base out ~sel ~n ->
+            let i = ref 0 in
+            while !i < n do
+              let m = locate (base + sel.(!i)) in
+              let mhi = offsets.(m + 1) in
+              let j = ref (!i + 1) in
+              while !j < n && base + sel.(!j) < mhi do
+                incr j
+              done;
+              let cnt = !j - !i in
+              (* sub-vector copies keep each member call inside its own row
+                 range; out positions are sel values, so they are unmoved *)
+              let sub =
+                if !i = 0 && cnt = n then sel else Array.sub sel !i cnt
+              in
+              fs.(m) (base - offsets.(m)) out ~sel:sub ~n:cnt;
+              i := !j
+            done)
+  in
+  let base_ty = Ptype.unwrap_option accs.(0).Access.ty in
+  {
+    Access.ty = (if nullable then Ptype.Option base_ty else base_ty);
+    nullable;
+    get_int = lift (fun a -> a.Access.get_int);
+    get_float = lift (fun a -> a.Access.get_float);
+    get_bool = lift (fun a -> a.Access.get_bool);
+    get_str = lift (fun a -> a.Access.get_str);
+    is_null;
+    get_val = (fun () -> get_vals.(!cur) ());
+    fill_int = merge_fill (fun a -> a.Access.fill_int);
+    fill_float = merge_fill (fun a -> a.Access.fill_float);
+    fill_bool = merge_fill (fun a -> a.Access.fill_bool);
+    fill_str = merge_fill (fun a -> a.Access.fill_str);
+    dict = None;
+  }
+
+(* One [Source.t] over the concatenation of the member views, enumerating
+   global rows [0, sum counts) in member order. Seeks hit the cached
+   current member in O(1) (scans are overwhelmingly sequential) and fall
+   back to binary search. *)
+let concat_source ~element (views : Source.t array) : Source.t =
+  let n = Array.length views in
+  let offsets = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    offsets.(i + 1) <- offsets.(i) + views.(i).Source.count
+  done;
+  let total = offsets.(n) in
+  (* largest m with offsets.(m) <= i: lands past empty members, whose
+     adjacent offsets are equal *)
+  let locate i =
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if offsets.(mid) <= i then lo := mid else hi := mid - 1
+    done;
+    !lo
+  in
+  let cur = ref 0 in
+  let seek i =
+    let m = !cur in
+    if i >= offsets.(m) && i < offsets.(m + 1) then
+      views.(m).Source.seek (i - offsets.(m))
+    else begin
+      let m = locate i in
+      cur := m;
+      views.(m).Source.seek (i - offsets.(m))
+    end
+  in
+  let field path =
+    merged_access ~fills:true ~cur ~locate ~offsets
+      (Array.map (fun v -> v.Source.field path) views)
+  in
+  let whole =
+    let fs = Array.map (fun v -> v.Source.whole) views in
+    fun () -> fs.(!cur) ()
+  in
+  let validate =
+    if Array.for_all (fun v -> v.Source.validate = None) views then None
+    else
+      let fs = Array.map (fun v -> v.Source.validate) views in
+      Some (fun () -> match fs.(!cur) with Some f -> f () | None -> ())
+  in
+  let unnest path =
+    let specs = Array.map (fun v -> v.Source.unnest path) views in
+    if not (Array.for_all Option.is_some specs) then None
+    else begin
+      let specs = Array.map Option.get specs in
+      Some
+        {
+          Source.u_elem_ty = specs.(0).Source.u_elem_ty;
+          u_prepare =
+            (fun parts -> Array.iter (fun s -> s.Source.u_prepare parts) specs);
+          u_iter = (fun ~on_elem -> specs.(!cur).Source.u_iter ~on_elem);
+          u_field =
+            (fun name ->
+              merged_access ~fills:false ~cur ~locate ~offsets
+                (Array.map (fun s -> s.Source.u_field name) specs));
+          u_value = (fun () -> specs.(!cur).Source.u_value ());
+        }
+    end
+  in
+  { Source.element; count = total; seek; field; whole; unnest; validate }
+
+(* A degraded member reads as an empty shard: a rowpage-backed view keeps
+   every accessor (typed getters included) so the merged accessors lose no
+   capability. *)
+let empty_view element =
+  Binary_plugin.of_rowpage
+    (Proteus_storage.Rowpage.of_records (Schema.of_type element) [])
+
+let rec factory t name =
   match Hashtbl.find_opt t.factories name with
   | Some f -> f
   | None ->
-    let d = Catalog.find t.catalog name in
-    let f = build_factory t d in
+    let f =
+      match Hashtbl.find_opt t.shard_sets name with
+      | Some members -> shard_factory t name members
+      | None -> build_factory t (Catalog.find t.catalog name)
+    in
     Hashtbl.replace t.factories name f;
     f
+
+(* The parent factory of a shard set: each invocation stamps out fresh
+   member views (cheap — heavy artifacts stay memoized per member) and
+   concatenates them. A member whose index build fails is rebuilt once
+   from scratch; if it fails again the failure propagates under
+   [Fail_fast] and otherwise the shard degrades to empty with one
+   reported skip. Failures are never memoized (member factories install
+   only on success), so a later [Fail_fast] query re-attempts the build. *)
+and shard_factory t name members : unit -> Source.t =
+  let element = (Catalog.find t.catalog name).Dataset.element in
+  fun () ->
+    let views =
+      List.map
+        (fun m ->
+          match factory t m () with
+          | v -> v
+          | exception e when Fault.recoverable e -> (
+            invalidate t m;
+            match factory t m () with
+            | v -> v
+            | exception e2
+              when Fault.recoverable e2
+                   && (Fault.skipping () || Fault.null_filling ()) ->
+              Fault.record_skip ~source:m ~row:0 e2;
+              empty_view element))
+        members
+    in
+    let varr = Array.of_list views in
+    let layout =
+      let off = ref 0 in
+      Array.of_list
+        (List.map2
+           (fun m (v : Source.t) ->
+             let sh = { sh_member = m; sh_offset = !off; sh_rows = v.Source.count } in
+             off := !off + v.Source.count;
+             sh)
+           members views)
+    in
+    (* refresh on every build: counts track member updates and
+       degrade/heal transitions, and a pruning layout must describe the
+       very views the engine just got *)
+    Hashtbl.replace t.shard_layouts name layout;
+    concat_source ~element varr
+
+and invalidate t name =
+  Hashtbl.remove t.sources name;
+  Hashtbl.remove t.factories name;
+  Hashtbl.remove t.infos name;
+  Hashtbl.remove t.shard_layouts name;
+  (* a member update stales its parents' concat views, layouts and
+     digests *)
+  Hashtbl.iter
+    (fun parent members ->
+      if List.mem name members then begin
+        Hashtbl.remove t.sources parent;
+        Hashtbl.remove t.factories parent;
+        Hashtbl.remove t.shard_layouts parent
+      end)
+    t.shard_sets;
+  Mutex.lock t.shard_mu;
+  let prefix = name ^ "\x00" in
+  let stale =
+    Hashtbl.fold
+      (fun k _ acc ->
+        if String.length k >= String.length prefix
+           && String.sub k 0 (String.length prefix) = prefix
+        then k :: acc
+        else acc)
+      t.digests []
+  in
+  List.iter (Hashtbl.remove t.digests) stale;
+  Mutex.unlock t.shard_mu;
+  Atomic.incr t.generation
 
 let source t name =
   match Hashtbl.find_opt t.sources name with
@@ -189,13 +444,158 @@ let index_info t name = Hashtbl.find_opt t.infos name
    injected one. The dataset must already be registered. *)
 let install_factory t name f =
   Hashtbl.replace t.factories name f;
+  Hashtbl.remove t.shard_layouts name;
   Hashtbl.replace t.sources name (f ())
 
-let invalidate t name =
-  Hashtbl.remove t.sources name;
-  Hashtbl.remove t.factories name;
-  Hashtbl.remove t.infos name;
-  Atomic.incr t.generation
+(* --- shard sets ------------------------------------------------------------ *)
+
+let shard_members t name = Hashtbl.find_opt t.shard_sets name
+
+let shard_parents t name =
+  Hashtbl.fold
+    (fun parent members acc -> if List.mem name members then parent :: acc else acc)
+    t.shard_sets []
+
+(* Register [name] as a shard set over already-registered [members]. The
+   parent gets its own catalog entry (element = the members' common
+   element; the location is a deliberately unresolvable blob so any path
+   that tries to read the parent as one byte image fails loudly instead
+   of silently reading nothing). Shard sets are append-only: immutable
+   members plus [add_shard]. *)
+let register_shard_set t ~name ~members =
+  if members = [] then
+    Perror.plan_error "shard set %s needs at least one member" name;
+  let ds =
+    List.map
+      (fun m ->
+        if String.equal m name then
+          Perror.plan_error "shard set %s cannot contain itself" name;
+        Catalog.find t.catalog m)
+      members
+  in
+  let first = List.hd ds in
+  List.iter
+    (fun (d : Dataset.t) ->
+      if d.element <> first.Dataset.element then
+        Perror.plan_error
+          "shard set %s: member %s has element type %a, expected %a" name
+          d.name Ptype.pp d.element Ptype.pp first.Dataset.element)
+    ds;
+  Catalog.register t.catalog
+    (Dataset.make ~name ~format:first.Dataset.format
+       ~location:(Dataset.Blob (name ^ "\x00shards"))
+       ~element:first.Dataset.element);
+  Hashtbl.replace t.shard_sets name members;
+  invalidate t name
+
+let add_shard t ~name ~member =
+  match shard_members t name with
+  | None -> Perror.plan_error "%s is not a shard set" name
+  | Some members ->
+    let d = Catalog.find t.catalog member in
+    let parent = Catalog.find t.catalog name in
+    if d.Dataset.element <> parent.Dataset.element then
+      Perror.plan_error "shard %s: element type %a does not match set %s"
+        member Ptype.pp d.Dataset.element name;
+    Hashtbl.replace t.shard_sets name (members @ [ member ]);
+    invalidate t name
+
+(* The shard layout the engine prunes against: present once the parent
+   view has been built (building it on demand here keeps callers simple).
+   Returns [None] for ordinary datasets. *)
+let shards t name =
+  if not (Hashtbl.mem t.shard_sets name) then None
+  else begin
+    (match Hashtbl.find_opt t.shard_layouts name with
+    | Some _ -> ()
+    | None -> ignore (source t name));
+    Hashtbl.find_opt t.shard_layouts name
+  end
+
+(* Build the pruning digest for one (member, path): row count, non-null
+   count, numeric min/max and a Bloom filter over canonical keys, in one
+   pass over a private member view. Any failure (missing path, parse
+   error, degraded member) yields [None] — pruning simply stands down for
+   that shard — and is not memoized, so a healed member gets a digest on
+   the next query. *)
+let shard_digest t ~member ~path =
+  let key = member ^ "\x00" ^ path in
+  let cached =
+    Mutex.lock t.shard_mu;
+    let c = Hashtbl.find_opt t.digests key in
+    Mutex.unlock t.shard_mu;
+    c
+  in
+  match cached with
+  | Some dg -> dg
+  | None ->
+    let dg =
+      match factory t member () with
+      | exception e when Fault.recoverable e -> None
+      | exception Perror.Plan_error _ -> None
+      | src -> (
+        match src.Source.field path with
+        | exception Perror.Plan_error _ -> None
+        | access -> (
+          let rows = src.Source.count in
+          let bloom = Proteus_storage.Bloom.create rows in
+          let nonnull = ref 0 in
+          let mn = ref infinity and mx = ref neg_infinity in
+          let all_numeric = ref true and keyed = ref true in
+          let observe_num f key =
+            incr nonnull;
+            if f < !mn then mn := f;
+            if f > !mx then mx := f;
+            Proteus_storage.Bloom.add bloom key
+          in
+          try
+            for i = 0 to rows - 1 do
+              if i land 1023 = 0 then Fault.check_cancel ();
+              src.Source.seek i;
+              match access.Access.get_val () with
+              | Value.Null -> ()
+              | Value.Int k | Value.Date k ->
+                observe_num (float_of_int k) (Proteus_storage.Bloom.key_int k)
+              | Value.Float f ->
+                (* OCaml's [compare] orders NaN below every float, so a data
+                   NaN satisfies [col < c] for any c: fold it to -inf so
+                   ordering tests can never prune a NaN-bearing shard. *)
+                if Float.is_nan f then begin
+                  incr nonnull;
+                  mn := neg_infinity;
+                  Proteus_storage.Bloom.add bloom (Proteus_storage.Bloom.key_float f)
+                end
+                else observe_num f (Proteus_storage.Bloom.key_float f)
+              | Value.String s ->
+                incr nonnull;
+                all_numeric := false;
+                Proteus_storage.Bloom.add bloom
+                  (Proteus_storage.Bloom.key_string s)
+              | _ ->
+                incr nonnull;
+                all_numeric := false;
+                keyed := false
+            done;
+            Some
+              {
+                sd_rows = rows;
+                sd_nonnull = !nonnull;
+                sd_min = !mn;
+                sd_max = !mx;
+                sd_all_numeric = !all_numeric;
+                sd_keyed = !keyed;
+                sd_bloom = bloom;
+              }
+          with
+          | e when Fault.recoverable e -> None
+          | Perror.Type_error _ -> None))
+    in
+    if dg <> None then begin
+      Mutex.lock t.shard_mu;
+      Hashtbl.replace t.digests key dg;
+      Mutex.unlock t.shard_mu
+    end;
+    dg
 
 (* --- segmented cache fills ------------------------------------------------ *)
 

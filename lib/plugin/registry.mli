@@ -137,3 +137,57 @@ val scan_view :
     sources with failing accessors. The shared source view is replaced
     eagerly so cold statistics are not re-collected through [f]. *)
 val install_factory : t -> string -> (unit -> Source.t) -> unit
+
+(** {1 Shard sets}
+
+    A dataset may be a {e shard set}: an ordered list of immutable member
+    datasets (each its own file and plug-in instance) scanned as one
+    concatenated row space. The concatenated view enumerates rows in
+    member order, so sharded execution is bit-identical to a single file
+    holding the same rows; the engine additionally prunes shards whose
+    digests prove a pushed-down conjunct empty (DESIGN.md section 14). *)
+
+(** One shard's slice of the concatenated row space. *)
+type shard_info = { sh_member : string; sh_offset : int; sh_rows : int }
+
+(** Pruning digest of one (member, path): row/non-null counts, min/max
+    over the numeric non-null values, and a Bloom filter over canonical
+    keys. [sd_all_numeric] gates ordering tests, [sd_keyed] gates
+    Bloom-absence tests — see DESIGN.md section 14 for soundness w.r.t.
+    [Expr.cmp] Null/float semantics. *)
+type shard_digest = {
+  sd_rows : int;
+  sd_nonnull : int;
+  sd_min : float;
+  sd_max : float;
+  sd_all_numeric : bool;
+  sd_keyed : bool;
+  sd_bloom : Proteus_storage.Bloom.t;
+}
+
+(** [register_shard_set t ~name ~members] registers [name] as a shard set
+    over the already-registered [members] (which must share one element
+    type) and gives it a catalog entry of its own. Raises [Plan_error] on
+    an empty member list, element mismatch, or unknown member. *)
+val register_shard_set : t -> name:string -> members:string list -> unit
+
+(** [add_shard t ~name ~member] appends one more (already-registered)
+    member to a shard set — the immutable-shard growth path. *)
+val add_shard : t -> name:string -> member:string -> unit
+
+(** [shard_members t name] is the member list when [name] is a shard set. *)
+val shard_members : t -> string -> string list option
+
+(** [shard_parents t name] lists the shard sets containing [name]. *)
+val shard_parents : t -> string -> string list
+
+(** [shards t name] is the shard layout the engine prunes against —
+    offsets and row counts in member order, matching the views the parent
+    factory last stamped out (a degraded member shows as an empty shard).
+    [None] for ordinary datasets. *)
+val shards : t -> string -> shard_info array option
+
+(** [shard_digest t ~member ~path] builds (lazily, memoized) the pruning
+    digest of one member for one dotted path. [None] when the digest is
+    unobtainable (unknown path, degraded member) — pruning stands down. *)
+val shard_digest : t -> member:string -> path:string -> shard_digest option

@@ -50,7 +50,12 @@ let set_caching ?(clear = false) t enabled =
 let register t d =
   Catalog.register t.catalog d;
   Registry.invalidate t.registry d.Dataset.name;
-  notify_invalidate t d.Dataset.name
+  notify_invalidate t d.Dataset.name;
+  List.iter
+    (fun parent ->
+      Manager.invalidate_dataset t.cache ~dataset:parent;
+      notify_invalidate t parent)
+    (Registry.shard_parents t.registry d.Dataset.name)
 
 let register_csv t ~name ?(config = Proteus_format.Csv.default_config) ~element
     ~contents () =
@@ -115,11 +120,22 @@ let register_columns_of t ~name ~element records =
   in
   register_columns t ~name ~element cols
 
+(* Invalidation must also reach shard sets containing [name]: the registry
+   already drops their concatenated indexes, but plan caches and the
+   server's engine cache key on the parent's dataset name. *)
+let invalidate_shard_parents t name =
+  List.iter
+    (fun parent ->
+      Manager.invalidate_dataset t.cache ~dataset:parent;
+      notify_invalidate t parent)
+    (Registry.shard_parents t.registry name)
+
 let drop t name =
   Catalog.remove t.catalog name;
   Registry.invalidate t.registry name;
   Manager.invalidate_dataset t.cache ~dataset:name;
-  notify_invalidate t name
+  notify_invalidate t name;
+  invalidate_shard_parents t name
 
 let append t ~name contents =
   let d = Catalog.find t.catalog name in
@@ -141,7 +157,75 @@ let append t ~name contents =
   (* drop and rebuild affected auxiliary structures (Section 4) *)
   Registry.invalidate t.registry name;
   Manager.invalidate_dataset t.cache ~dataset:name;
+  notify_invalidate t name;
+  invalidate_shard_parents t name
+
+(* {2 Shard sets} *)
+
+let register_shard_set t ~name ~members =
+  Registry.register_shard_set t.registry ~name ~members;
+  Manager.invalidate_dataset t.cache ~dataset:name;
   notify_invalidate t name
+
+let add_shard t ~name ~member =
+  Registry.add_shard t.registry ~name ~member;
+  Manager.invalidate_dataset t.cache ~dataset:name;
+  notify_invalidate t name
+
+let shard_member_name name i = Fmt.str "%s__s%d" name i
+
+let register_sharded_csv t ~name ?config ~element ~shards () =
+  let members =
+    List.mapi
+      (fun i contents ->
+        let m = shard_member_name name i in
+        register_csv t ~name:m ?config ~element ~contents ();
+        m)
+      shards
+  in
+  register_shard_set t ~name ~members
+
+let register_sharded_json t ~name ~element ~shards =
+  let members =
+    List.mapi
+      (fun i contents ->
+        let m = shard_member_name name i in
+        register_json t ~name:m ~element ~contents;
+        m)
+      shards
+  in
+  register_shard_set t ~name ~members
+
+(* Contiguous n-way split, sizes differing by at most one (the leading
+   chunks take the remainder), preserving record order — so the
+   concatenated shard set enumerates exactly the input sequence. *)
+let chunks n l =
+  let len = List.length l in
+  let n = max 1 (min n (max 1 len)) in
+  let base = len / n and extra = len mod n in
+  let rec take k acc l =
+    if k = 0 then (List.rev acc, l)
+    else match l with [] -> (List.rev acc, []) | x :: r -> take (k - 1) (x :: acc) r
+  in
+  let rec go i l =
+    if i = n then []
+    else
+      let sz = base + if i < extra then 1 else 0 in
+      let part, rest = take sz [] l in
+      part :: go (i + 1) rest
+  in
+  go 0 l
+
+let register_sharded_rows t ~name ~element ~shards records =
+  let members =
+    List.mapi
+      (fun i part ->
+        let m = shard_member_name name i in
+        register_rows t ~name:m ~element part;
+        m)
+      (chunks shards records)
+  in
+  register_shard_set t ~name ~members
 
 (* Column resolution against registered schemas: a column belongs to the
    unique table alias whose dataset's element type has a field of that

@@ -96,6 +96,48 @@ val register_columns :
     boxed records. *)
 val register_columns_of : t -> name:string -> element:Ptype.t -> Value.t list -> unit
 
+(** {1 Shard sets}
+
+    A dataset may be registered as a {e shard set}: an ordered list of
+    member datasets (each its own file and plug-in instance) queried as one
+    concatenated table. Scans fan out over shards as the outer dispense
+    unit and merge in member order, so results are bit-identical to a
+    single file holding the same rows; the engine prunes shards whose
+    zone-map/Bloom digests prove a pushed-down conjunct empty (DESIGN.md
+    section 14). Re-registering, dropping, or appending to a member
+    invalidates every containing shard set's derived structures. *)
+
+(** [register_shard_set db ~name ~members] registers [name] over the
+    already-registered [members] (which must share one element type). *)
+val register_shard_set : t -> name:string -> members:string list -> unit
+
+(** [add_shard db ~name ~member] appends one more registered dataset to a
+    shard set. *)
+val add_shard : t -> name:string -> member:string -> unit
+
+(** [register_sharded_csv db ~name ~element ~shards ()] registers each
+    contents string in [shards] as a CSV member dataset
+    ([name__s0], [name__s1], …) and the shard set [name] over them. *)
+val register_sharded_csv :
+  t ->
+  name:string ->
+  ?config:Proteus_format.Csv.config ->
+  element:Ptype.t ->
+  shards:string list ->
+  unit ->
+  unit
+
+(** [register_sharded_json db ~name ~element ~shards] — same for JSON
+    member contents. *)
+val register_sharded_json :
+  t -> name:string -> element:Ptype.t -> shards:string list -> unit
+
+(** [register_sharded_rows db ~name ~element ~shards records] splits the
+    records into [shards] contiguous binary-row members (sizes differing by
+    at most one, order preserved) and registers the shard set. *)
+val register_sharded_rows :
+  t -> name:string -> element:Ptype.t -> shards:int -> Value.t list -> unit
+
 (** [drop db name] unregisters a dataset and invalidates its indexes and
     caches (the paper's update handling). *)
 val drop : t -> string -> unit

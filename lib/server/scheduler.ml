@@ -26,11 +26,13 @@ type request = {
   rq_timeout_ms : int option;
   rq_domains : int;
   rq_batch_size : int option;
+  rq_client : string;
 }
 
-let request ?(params = []) ?timeout_ms ?(domains = 1) ?batch_size sql =
+let request ?(params = []) ?timeout_ms ?(domains = 1) ?batch_size ?(client = "")
+    sql =
   { rq_sql = sql; rq_params = params; rq_timeout_ms = timeout_ms;
-    rq_domains = domains; rq_batch_size = batch_size }
+    rq_domains = domains; rq_batch_size = batch_size; rq_client = client }
 
 type completion = {
   cp_outcome : Executor.outcome;
@@ -48,6 +50,12 @@ type ticket = {
 
 type job = { jb_req : request; jb_submitted : float; jb_ticket : ticket }
 
+(* Per-client round-robin instead of one global FIFO: each client id has
+   its own FIFO queue, and a ring of client ids with pending work rotates
+   one job per turn. A client streaming a deep backlog still runs in order
+   with itself, but can delay a newcomer by at most (clients - 1) queries —
+   not by its whole backlog. The invariant: a client id sits in [ring]
+   exactly once iff its queue is non-empty. *)
 type t = {
   db : Proteus.Db.t;
   cache : Engine_cache.t;
@@ -55,7 +63,9 @@ type t = {
   max_queue : int;
   mu : Mutex.t;
   nonempty : Condition.t;
-  queue : job Queue.t;
+  queues : (string, job Queue.t) Hashtbl.t;
+  ring : string Queue.t;
+  mutable queued : int;   (* total jobs waiting, across clients *)
   mutable stopping : bool;
   mutable doms : unit Domain.t list;
   mutable c_submitted : int;
@@ -123,51 +133,85 @@ let run_query t job =
        dead worker *)
     (Executor.Failed (Fault.empty_report, e), false, 0.)
 
+(* Dequeue the next job round-robin (lock held): take the ring's front
+   client, pop one of its jobs, and rotate it to the back iff it still has
+   work. *)
+let pop_next t =
+  let client = Queue.pop t.ring in
+  let q = Hashtbl.find t.queues client in
+  let job = Queue.pop q in
+  if Queue.is_empty q then Hashtbl.remove t.queues client
+  else Queue.push client t.ring;
+  t.queued <- t.queued - 1;
+  job
+
+let run_job t job =
+  let t_start = Unix.gettimeofday () in
+  let outcome, hit, compile_s = run_query t job in
+  let t_end = Unix.gettimeofday () in
+  let completion =
+    {
+      cp_outcome = outcome;
+      cp_hit = hit;
+      cp_compile_seconds = compile_s;
+      cp_wait_seconds = t_start -. job.jb_submitted;
+      cp_run_seconds = t_end -. t_start;
+    }
+  in
+  Mutex.lock t.mu;
+  t.c_completed <- t.c_completed + 1;
+  Mutex.unlock t.mu;
+  let tk = job.jb_ticket in
+  Mutex.lock tk.tk_mu;
+  tk.tk_result <- Some completion;
+  Condition.broadcast tk.tk_cond;
+  Mutex.unlock tk.tk_mu
+
 let worker t () =
   let rec loop () =
     Mutex.lock t.mu;
-    while Queue.is_empty t.queue && not t.stopping do
+    while t.queued = 0 && not t.stopping do
       Condition.wait t.nonempty t.mu
     done;
-    if Queue.is_empty t.queue then Mutex.unlock t.mu
+    if t.queued = 0 then Mutex.unlock t.mu
     else begin
-      let job = Queue.pop t.queue in
+      let job = pop_next t in
       Mutex.unlock t.mu;
-      let t_start = Unix.gettimeofday () in
-      let outcome, hit, compile_s = run_query t job in
-      let t_end = Unix.gettimeofday () in
-      let completion =
-        {
-          cp_outcome = outcome;
-          cp_hit = hit;
-          cp_compile_seconds = compile_s;
-          cp_wait_seconds = t_start -. job.jb_submitted;
-          cp_run_seconds = t_end -. t_start;
-        }
-      in
-      Mutex.lock t.mu;
-      t.c_completed <- t.c_completed + 1;
-      Mutex.unlock t.mu;
-      let tk = job.jb_ticket in
-      Mutex.lock tk.tk_mu;
-      tk.tk_result <- Some completion;
-      Condition.broadcast tk.tk_cond;
-      Mutex.unlock tk.tk_mu;
+      run_job t job;
       loop ()
     end
   in
   loop ()
+
+(* Pop and run one job on the calling thread; [false] when nothing waits.
+   With [~workers:0] this makes scheduling fully deterministic — the
+   fairness tests drive the round-robin one dequeue at a time. *)
+let drain_one t =
+  Mutex.lock t.mu;
+  if t.queued = 0 then begin
+    Mutex.unlock t.mu;
+    false
+  end
+  else begin
+    let job = pop_next t in
+    Mutex.unlock t.mu;
+    run_job t job;
+    true
+  end
 
 let create ?(workers = 2) ?(max_queue = 64) ?cache_capacity db =
   let t =
     {
       db;
       cache = Engine_cache.create ?capacity:cache_capacity db;
-      workers = max 1 workers;
+      (* 0 workers = no domains: jobs queue until [drain_one] (tests) *)
+      workers = max 0 workers;
       max_queue = max 1 max_queue;
       mu = Mutex.create ();
       nonempty = Condition.create ();
-      queue = Queue.create ();
+      queues = Hashtbl.create 8;
+      ring = Queue.create ();
+      queued = 0;
       stopping = false;
       doms = [];
       c_submitted = 0;
@@ -188,13 +232,24 @@ let submit t rq =
   Mutex.lock t.mu;
   let r =
     if t.stopping then Error `Shutting_down
-    else if Queue.length t.queue >= t.max_queue then begin
+    else if t.queued >= t.max_queue then begin
       t.c_rejected <- t.c_rejected + 1;
       Error `Overloaded
     end
     else begin
       t.c_submitted <- t.c_submitted + 1;
-      Queue.push job t.queue;
+      let client = rq.rq_client in
+      let q =
+        match Hashtbl.find_opt t.queues client with
+        | Some q -> q
+        | None ->
+          let q = Queue.create () in
+          Hashtbl.replace t.queues client q;
+          Queue.push client t.ring;
+          q
+      in
+      Queue.push job q;
+      t.queued <- t.queued + 1;
       Condition.broadcast t.nonempty;
       Ok job.jb_ticket
     end
@@ -241,7 +296,7 @@ let stats t =
       submitted = t.c_submitted;
       rejected = t.c_rejected;
       completed = t.c_completed;
-      queued = Queue.length t.queue;
+      queued = t.queued;
       workers = t.workers;
       max_queue = t.max_queue;
     }

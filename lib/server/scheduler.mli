@@ -1,18 +1,24 @@
 (** The session scheduler: concurrent queries over one shared session.
 
-    A fixed fleet of worker domains drains a bounded queue. Admission
-    control: at most [workers] queries in flight, at most [max_queue]
-    waiting — beyond that {!submit} answers [`Overloaded] immediately.
-    Deadlines are absolute from submit time (queue wait counts), enforced
-    through the cooperative cancellation token at morsel/batch boundaries.
-    Every query runs through the plan-shape {!Engine_cache}. *)
+    A fixed fleet of worker domains drains bounded per-client queues in
+    round-robin: each client id keeps FIFO order with itself, and a ring
+    of clients with pending work rotates one job per turn — a client
+    streaming a deep backlog delays a newcomer by at most one query per
+    other client, not by its whole backlog. Admission control: at most
+    [workers] queries in flight, at most [max_queue] waiting in total —
+    beyond that {!submit} answers [`Overloaded] immediately. Deadlines are
+    absolute from submit time (queue wait counts), enforced through the
+    cooperative cancellation token at morsel/batch boundaries. Every query
+    runs through the plan-shape {!Engine_cache}. *)
 
 open Proteus_model
 
 type t
 
 (** [create ?workers ?max_queue ?cache_capacity db] spawns the worker
-    domains (default 2) and the engine cache. *)
+    domains (default 2) and the engine cache. [~workers:0] spawns none:
+    jobs queue until {!drain_one} runs them on the calling thread — the
+    deterministic mode the fairness tests use. *)
 val create : ?workers:int -> ?max_queue:int -> ?cache_capacity:int -> Proteus.Db.t -> t
 
 type request = {
@@ -21,6 +27,7 @@ type request = {
   rq_timeout_ms : int option;
   rq_domains : int;
   rq_batch_size : int option;
+  rq_client : string;  (** round-robin fairness key; "" for anonymous *)
 }
 
 val request :
@@ -28,6 +35,7 @@ val request :
   ?timeout_ms:int ->
   ?domains:int ->
   ?batch_size:int ->
+  ?client:string ->
   string ->
   request
 
@@ -47,6 +55,11 @@ val await : ticket -> completion
 
 (** [run t rq] is {!submit} + {!await} on the calling thread. *)
 val run : t -> request -> (completion, [ `Overloaded | `Shutting_down ]) result
+
+(** [drain_one t] pops the next job round-robin and runs it on the calling
+    thread; [false] when nothing is queued. With [~workers:0] this drives
+    the scheduler fully deterministically. *)
+val drain_one : t -> bool
 
 (** Stops accepting work, drains the queue, joins the workers. *)
 val shutdown : t -> unit

@@ -108,11 +108,11 @@ let result_lines v =
 
 let exn_message e = one_line (Fmt.str "%a" Perror.pp_exn e)
 
-let handle_run sched cfg ~params ~timeout_ms sql out =
+let handle_run sched cfg ~client ~params ~timeout_ms sql out =
   let rq =
     Scheduler.request ~params
       ?timeout_ms:(match timeout_ms with Some _ as t -> t | None -> cfg.timeout_ms)
-      ~domains:cfg.domains ?batch_size:cfg.batch_size sql
+      ~domains:cfg.domains ?batch_size:cfg.batch_size ~client sql
   in
   match Scheduler.submit sched rq with
   | Error `Overloaded -> output_string out "err overloaded: queue full, retry later\n"
@@ -143,9 +143,14 @@ let split_command line =
     ( String.sub line 0 sp,
       String.trim (String.sub line (sp + 1) (String.length line - sp - 1)) )
 
+(* Each connection is its own scheduler client: concurrent connections
+   round-robin fairly instead of one backlog starving the rest. *)
+let client_counter = Atomic.make 0
+
 let handle_connection sched cfg fd =
   let inc = Unix.in_channel_of_descr fd in
   let out = Unix.out_channel_of_descr fd in
+  let client = Fmt.str "conn-%d" (Atomic.fetch_and_add client_counter 1) in
   let params = ref [] in
   let positional = ref 0 in
   let timeout_ms = ref None in
@@ -173,7 +178,7 @@ let handle_connection sched cfg fd =
                output_string out "ok\n"
              | _ -> output_string out "err error: timeout wants a positive integer\n")
            | "run" ->
-             handle_run sched cfg ~params:(List.rev !params)
+             handle_run sched cfg ~client ~params:(List.rev !params)
                ~timeout_ms:!timeout_ms rest out;
              params := [];
              positional := 0;

@@ -273,6 +273,75 @@ let test_explain_renders_costs () =
   Alcotest.(check bool) "names the join algorithm" true (contains "radix-hash");
   Alcotest.(check bool) "names both scans" true (contains "scan big" && contains "scan small")
 
+(* --- redundant-operator elimination ---------------------------------------- *)
+
+let count_ops pred p =
+  let rec go acc p =
+    List.fold_left go (acc + if pred p then 1 else 0) (Plan.children p)
+  in
+  go 0 p
+
+let is_select = function Plan.Select _ -> true | _ -> false
+let is_project = function Plan.Project _ -> true | _ -> false
+
+let test_true_selection_dropped () =
+  let plan =
+    Plan.reduce
+      [ Plan.agg ~name:"c" (Monoid.Primitive Monoid.Count) (Expr.int 1) ]
+      (Plan.select (Expr.bool true)
+         (Plan.select
+            Expr.(Field (var "b", "bk") <. int 100)
+            (Plan.scan ~dataset:"big" ~binding:"b" ())))
+  in
+  let optimized = check_preserves ~name:"true selection" plan in
+  Alcotest.(check int) "only the real selection survives" 1
+    (count_ops is_select optimized)
+
+let test_adjacent_projections_collapse () =
+  let bfield f = Expr.Field (Expr.var "b", f) in
+  let plan =
+    Plan.reduce
+      [ Plan.agg ~name:"s" (Monoid.Primitive Monoid.Sum) (Expr.Field (Expr.var "q", "twice")) ]
+      (Plan.project ~binding:"q"
+         ~fields:[ ("twice", Expr.(Field (var "p", "key") +. Field (var "p", "key"))) ]
+         (Plan.project ~binding:"p"
+            ~fields:[ ("key", bfield "bk"); ("g", bfield "bg") ]
+            (Plan.scan ~dataset:"big" ~binding:"b" ())))
+  in
+  let optimized = check_preserves ~name:"adjacent projections" plan in
+  Alcotest.(check bool) "collapsed to at most one projection" true
+    (count_ops is_project optimized <= 1)
+
+let test_identity_projection_dropped () =
+  let bfield f = Expr.Field (Expr.var "b", f) in
+  let plan =
+    Plan.reduce
+      [ Plan.agg ~name:"s" (Monoid.Primitive Monoid.Sum) (Expr.Field (Expr.var "r", "bk")) ]
+      (Plan.project ~binding:"r"
+         ~fields:[ ("bk", bfield "bk"); ("bg", bfield "bg") ]
+         (Plan.scan ~dataset:"big" ~binding:"b" ()))
+  in
+  let optimized = check_preserves ~name:"identity projection" plan in
+  Alcotest.(check int) "identity projection dropped" 0
+    (count_ops is_project optimized)
+
+let test_narrowing_projection_kept () =
+  (* the nest's aggregate reads the grouped record whole, so dropping the
+     projection would widen what the monoid sees — it must stay *)
+  let bfield f = Expr.Field (Expr.var "b", f) in
+  let plan =
+    Plan.nest
+      ~keys:[ ("g", Expr.Field (Expr.var "r", "bg")) ]
+      ~aggs:[ Plan.agg ~name:"rows" (Monoid.Collection Ptype.Bag) (Expr.var "r") ]
+      ~binding:"grp"
+      (Plan.project ~binding:"r"
+         ~fields:[ ("bg", bfield "bg") ]
+         (Plan.scan ~dataset:"big" ~binding:"b" ()))
+  in
+  let optimized = check_preserves ~name:"narrowing projection" plan in
+  Alcotest.(check int) "whole-record use keeps the projection" 1
+    (count_ops is_project optimized)
+
 (* --- randomized preservation ---------------------------------------------- *)
 
 let plan_gen : Plan.t QCheck2.Gen.t =
@@ -342,6 +411,14 @@ let () =
           Alcotest.test_case "projection pushdown" `Quick
             test_projection_pushdown_sets_fields;
           Alcotest.test_case "outer join untouched" `Quick test_outer_join_untouched;
+          Alcotest.test_case "true selection dropped" `Quick
+            test_true_selection_dropped;
+          Alcotest.test_case "adjacent projections collapse" `Quick
+            test_adjacent_projections_collapse;
+          Alcotest.test_case "identity projection dropped" `Quick
+            test_identity_projection_dropped;
+          Alcotest.test_case "narrowing projection kept" `Quick
+            test_narrowing_projection_kept;
         ] );
       ( "costing",
         [

@@ -534,6 +534,46 @@ let test_scheduler_deadline () =
       | Ok _ -> Alcotest.fail "expected a deadline expiry"
       | Error _ -> Alcotest.fail "rejected")
 
+let test_scheduler_fairness () =
+  (* workers:0 + drain_one makes the round-robin fully deterministic:
+     client a's backlog of 3 is submitted before client b's single query,
+     yet b runs second — a newcomer waits one turn, not a whole backlog *)
+  let db = make_db () in
+  let sched = Scheduler.create ~workers:0 db in
+  Fun.protect
+    ~finally:(fun () -> Scheduler.shutdown sched)
+    (fun () ->
+      let submit client v =
+        match
+          Scheduler.submit sched
+            (Scheduler.request ~client
+               (Fmt.str "SELECT COUNT(1) FROM items_row WHERE k < %d" v))
+        with
+        | Ok tk -> tk
+        | Error _ -> Alcotest.fail "rejected"
+      in
+      let a1 = submit "a" 1 and a2 = submit "a" 2 and a3 = submit "a" 3 in
+      let b1 = submit "b" 100 in
+      (* each drain_one runs exactly one job synchronously, so awaiting
+         right after is deterministic: the awaited ticket resolved iff its
+         turn just ran. Turn 1: a1 *)
+      Alcotest.(check bool) "turn 1" true (Scheduler.drain_one sched);
+      Alcotest.check check_value "a1 first" (Value.Int 1)
+        (complete (Scheduler.await a1).Scheduler.cp_outcome);
+      (* turn 2 must be b1, not a2: b entered the ring behind a, and a
+         rotated to the back after a1 *)
+      Alcotest.(check bool) "turn 2" true (Scheduler.drain_one sched);
+      Alcotest.check check_value "b1 second" (Value.Int 100)
+        (complete (Scheduler.await b1).Scheduler.cp_outcome);
+      (* a's remaining backlog drains in FIFO order with itself *)
+      Alcotest.(check bool) "turn 3" true (Scheduler.drain_one sched);
+      Alcotest.check check_value "a2 third" (Value.Int 2)
+        (complete (Scheduler.await a2).Scheduler.cp_outcome);
+      Alcotest.(check bool) "turn 4" true (Scheduler.drain_one sched);
+      Alcotest.check check_value "a3 fourth" (Value.Int 3)
+        (complete (Scheduler.await a3).Scheduler.cp_outcome);
+      Alcotest.(check bool) "queue drained" false (Scheduler.drain_one sched))
+
 let test_scheduler_parse_error () =
   let db = make_db () in
   let sched = Scheduler.create ~workers:1 db in
@@ -644,6 +684,7 @@ let () =
           Alcotest.test_case "params and hits" `Quick test_scheduler_params_and_hits;
           Alcotest.test_case "admission control" `Quick test_scheduler_overload;
           Alcotest.test_case "deadline" `Quick test_scheduler_deadline;
+          Alcotest.test_case "round-robin fairness" `Quick test_scheduler_fairness;
           Alcotest.test_case "parse error" `Quick test_scheduler_parse_error;
         ] );
       ("server", [ Alcotest.test_case "tcp roundtrip" `Quick test_tcp_roundtrip ]);
