@@ -92,5 +92,7 @@ let () =
   Server_fig.splice_json "BENCH_engine.json";
   Shards_fig.run_all ();
   Shards_fig.splice_json "BENCH_engine.json";
+  Resilience_fig.run_all ();
+  Resilience_fig.splice_json "BENCH_engine.json";
   Ablations.run_all ();
   run_bechamel (bechamel_suite je be)

@@ -144,6 +144,86 @@ let timeout_ms =
               checked cooperatively at morsel/batch boundaries, so parallel \
               workers stop within one morsel of it expiring. Exit code 3.")
 
+let retry_budget =
+  Arg.(
+    value
+    & opt int Proteus_resilience.Policy.(attempts default)
+    & info [ "retry-budget" ] ~docv:"N"
+        ~doc:"Attempts per shard member build: a recoverable failure is \
+              retried up to $(docv)-1 times with exponential backoff and \
+              decorrelated jitter (never sleeping past the query deadline), \
+              rebuilding the member from scratch each time. A member that \
+              exhausts its budget repeatedly trips its circuit breaker and \
+              is skipped outright until a cooldown probe heals it.")
+
+let hedge_ms =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "hedge-ms" ] ~docv:"N"
+        ~doc:"Straggler hedging floor: once a shard member's build has run \
+              longer than max($(docv) ms, 3x the fleet's smoothed member \
+              latency), dispatch one speculative duplicate and take the \
+              first finisher (the loser is cancelled cooperatively). 0 (the \
+              default) disables hedging. Results are bit-identical either \
+              way; see shards-hedged under $(b,--stats).")
+
+(* --retry-budget / --hedge-ms land on the db's plug-in registry, where
+   the shard scatter runs them. *)
+let configure_resilience db ~retry_budget ~hedge_ms =
+  let reg = Proteus.Db.registry db in
+  Proteus_plugin.Registry.set_retry_policy reg
+    (Proteus_resilience.Policy.of_attempts retry_budget);
+  if hedge_ms > 0 then
+    Proteus_plugin.Registry.set_hedge reg
+      (Some (Proteus_resilience.Hedge.create ~floor_ms:(float_of_int hedge_ms) ()))
+
+(* PROTEUS_FAULT_STALL="member=ms[:times][,member=ms[:times]...]" delays
+   the first [times] (default 1) builds of the named members by [ms]
+   milliseconds — the CI harness's slow-shard injection, wired through the
+   registry interposer so it survives retry-path invalidations. *)
+let install_env_stall db =
+  match Sys.getenv_opt "PROTEUS_FAULT_STALL" with
+  | None | Some "" -> ()
+  | Some spec ->
+    let parse_entry e =
+      match String.index_opt e '=' with
+      | None -> None
+      | Some eq -> (
+        let name = String.sub e 0 eq in
+        let rest = String.sub e (eq + 1) (String.length e - eq - 1) in
+        let ms, times =
+          match String.index_opt rest ':' with
+          | None -> (rest, "1")
+          | Some c ->
+            ( String.sub rest 0 c,
+              String.sub rest (c + 1) (String.length rest - c - 1) )
+        in
+        match (float_of_string_opt ms, int_of_string_opt times) with
+        | Some ms, Some times when ms >= 0. ->
+          Some (name, (ms, Atomic.make times))
+        | _ -> None)
+    in
+    let entries =
+      List.filter_map parse_entry (String.split_on_char ',' spec)
+    in
+    if entries <> [] then
+      Proteus_plugin.Registry.set_interposer (Proteus.Db.registry db)
+        (Some
+           (fun name genuine ->
+             match List.assoc_opt name entries with
+             | None -> genuine
+             | Some (ms, budget) ->
+               fun () ->
+                 let rec claim () =
+                   let n = Atomic.get budget in
+                   if n <= 0 then false
+                   else if Atomic.compare_and_set budget n (n - 1) then true
+                   else claim ()
+                 in
+                 if claim () then Unix.sleepf (ms /. 1000.);
+                 genuine ()))
+
 let stats =
   Arg.(
     value
@@ -347,7 +427,8 @@ let classify = function
   | _ -> 2
 
 let run jsons csvs q raw_params engine domains batch_size shards policy max_errors
-    timeout_ms stats no_cache promote promote_threshold repeat explain verbose format =
+    timeout_ms retry_budget hedge_ms stats no_cache promote promote_threshold
+    repeat explain verbose format =
   let params = parse_params raw_params in
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
@@ -360,6 +441,8 @@ let run jsons csvs q raw_params engine domains batch_size shards policy max_erro
   if no_cache then Proteus.Db.set_caching db false;
   begin
     register_inputs db ~shards ~verbose jsons csvs;
+    configure_resilience db ~retry_budget ~hedge_ms;
+    install_env_stall db;
     if explain then begin
       let plan =
         if is_comprehension q then Proteus.Db.plan_comprehension db q
@@ -450,14 +533,16 @@ let run jsons csvs q raw_params engine domains batch_size shards policy max_erro
   end
 
 let run jsons csvs q params engine domains batch_size shards policy max_errors
-    timeout_ms stats no_cache promote promote_threshold repeat explain verbose format =
+    timeout_ms retry_budget hedge_ms stats no_cache promote promote_threshold
+    repeat explain verbose format =
   let files =
     List.map (fun (n, p, _) -> (n, p, "json")) jsons
     @ List.map (fun (n, p, _) -> (n, p, "csv")) csvs
   in
   try
     run jsons csvs q params engine domains batch_size shards policy max_errors
-      timeout_ms stats no_cache promote promote_threshold repeat explain verbose format
+      timeout_ms retry_budget hedge_ms stats no_cache promote promote_threshold
+      repeat explain verbose format
   with
   | (Perror.Parse_error _ | Perror.Plan_error _ | Perror.Type_error _
     | Perror.Unsupported _ | Sys_error _) as e ->
@@ -504,8 +589,21 @@ let cache_arg =
         ~doc:"Plan-shape engine cache capacity: compiled engines kept for \
               re-binding, LRU-evicted beyond $(docv).")
 
+let drain_arg =
+  Arg.(
+    value
+    & opt int
+        Proteus_server.Server.default_config.Proteus_server.Server
+        .drain_timeout_ms
+    & info [ "drain-timeout-ms" ] ~docv:"N"
+        ~doc:"Graceful-shutdown budget: on SIGTERM the server stops \
+              accepting, lets queued and in-flight queries finish for up \
+              to $(docv) milliseconds, then cancels the stragglers \
+              cooperatively and exits.")
+
 let serve jsons csvs host port workers queue cache domains batch_size shards
-    timeout_ms no_cache promote promote_threshold verbose =
+    timeout_ms retry_budget hedge_ms drain_timeout_ms no_cache promote
+    promote_threshold verbose =
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Info)
@@ -522,6 +620,8 @@ let serve jsons csvs host port workers queue cache domains batch_size shards
   if no_cache then Proteus.Db.set_caching db false;
   try
     register_inputs db ~shards ~verbose:false jsons csvs;
+    configure_resilience db ~retry_budget ~hedge_ms;
+    install_env_stall db;
     let cfg =
       {
         Proteus_server.Server.host;
@@ -532,9 +632,17 @@ let serve jsons csvs host port workers queue cache domains batch_size shards
         domains;
         batch_size = (if batch_size = Proteus_engine.Compiled.default_batch_size then None else Some batch_size);
         timeout_ms;
+        drain_timeout_ms;
       }
     in
-    Proteus_server.Server.serve db cfg;
+    (* SIGTERM initiates the graceful drain: the accept loop notices the
+       flag at its next select tick (EINTR wakes it immediately) *)
+    let stop = Atomic.make false in
+    (try
+       Sys.set_signal Sys.sigterm
+         (Sys.Signal_handle (fun _ -> Atomic.set stop true))
+     with Invalid_argument _ -> ());
+    Proteus_server.Server.serve ~stop db cfg;
     0
   with
   | (Perror.Parse_error _ | Perror.Plan_error _ | Perror.Type_error _
@@ -555,8 +663,9 @@ let exits =
 let query_term =
   Term.(
     const run $ json_args $ csv_args $ query $ params_arg $ engine $ domains
-    $ batch_size $ shards_arg $ on_error $ max_errors $ timeout_ms $ stats
-    $ no_cache $ promote $ promote_threshold $ repeat $ explain $ verbose $ format)
+    $ batch_size $ shards_arg $ on_error $ max_errors $ timeout_ms
+    $ retry_budget $ hedge_ms $ stats $ no_cache $ promote $ promote_threshold
+    $ repeat $ explain $ verbose $ format)
 
 let serve_cmd =
   let doc = "serve concurrent queries over TCP (prepare-once/run-many)" in
@@ -569,16 +678,19 @@ let serve_cmd =
              "Registers the given datasets once, then accepts line-protocol \
               clients: $(b,run SQL) executes a query, $(b,param [NAME=]VALUE) \
               binds parameters for the next run, $(b,timeout MS) sets its \
-              deadline, $(b,stats) prints engine-cache and scheduler \
-              counters, $(b,ping)/$(b,quit) do what they say. Compiled \
-              engines are cached by plan shape: queries differing only in \
-              comparison constants re-bind parameter slots instead of \
-              re-compiling.";
+              deadline, $(b,stats) prints engine-cache, scheduler and \
+              resilience counters, $(b,health) reports drain state, queue \
+              depth and circuit-breaker states, $(b,ping)/$(b,quit) do what \
+              they say. Compiled engines are cached by plan shape: queries \
+              differing only in comparison constants re-bind parameter slots \
+              instead of re-compiling. SIGTERM drains gracefully (see \
+              $(b,--drain-timeout-ms)).";
          ])
     Term.(
       const serve $ json_args $ csv_args $ host_arg $ port_arg $ workers_arg
       $ queue_arg $ cache_arg $ domains $ batch_size $ shards_arg $ timeout_ms
-      $ no_cache $ promote $ promote_threshold $ verbose)
+      $ retry_budget $ hedge_ms $ drain_arg $ no_cache $ promote
+      $ promote_threshold $ verbose)
 
 let cmd =
   let doc = "query heterogeneous raw data files with one engine" in

@@ -833,7 +833,12 @@ let shard_arm (st : shard_state) ~joins =
       let pruned = ref 0 in
       Array.iteri
         (fun i (sh : Registry.shard_info) ->
-          if sh.Registry.sh_rows > 0 then begin
+          if
+            sh.Registry.sh_rows > 0
+            (* an open breaker means the scatter will skip this member
+               anyway — don't spend digest builds on it *)
+            && not (Registry.breaker_blocked st.ss_reg sh.Registry.sh_member)
+          then begin
             let prune =
               List.exists
                 (fun (path, t) ->

@@ -21,6 +21,10 @@ type snapshot = {
   errors_seen : int;
   rows_skipped : int;
   fields_nulled : int;
+  shards_retried : int;
+  shards_hedged : int;
+  breaker_open : int;
+  shed : int;
 }
 
 type phase = Scan | Build | Probe | Merge | Fill
@@ -84,7 +88,8 @@ let reset () =
   zero zone_checks;
   zero shards_pruned;
   zero dict_probes;
-  Proteus_model.Fault.reset_totals ()
+  Proteus_model.Fault.reset_totals ();
+  Proteus_resilience.Stats.reset ()
 
 let snapshot () =
   {
@@ -112,6 +117,11 @@ let snapshot () =
     errors_seen = Proteus_model.Fault.errors_total ();
     rows_skipped = Proteus_model.Fault.skipped_total ();
     fields_nulled = Proteus_model.Fault.nulled_total ();
+    (* likewise the resilience layer's totals *)
+    shards_retried = Proteus_resilience.Stats.retries_total ();
+    shards_hedged = Proteus_resilience.Stats.hedges_total ();
+    breaker_open = Proteus_resilience.Stats.breaker_open_total ();
+    shed = Proteus_resilience.Stats.shed_total ();
   }
 
 let add_tuples n = add tuples n
@@ -174,4 +184,7 @@ let pp ppf s =
   end;
   if s.errors_seen + s.rows_skipped + s.fields_nulled > 0 then
     Fmt.pf ppf " faults: errors=%d skipped=%d nulled=%d" s.errors_seen
-      s.rows_skipped s.fields_nulled
+      s.rows_skipped s.fields_nulled;
+  if s.shards_retried + s.shards_hedged + s.breaker_open + s.shed > 0 then
+    Fmt.pf ppf " shards-retried=%d shards-hedged=%d breaker-open=%d shed=%d"
+      s.shards_retried s.shards_hedged s.breaker_open s.shed

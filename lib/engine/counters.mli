@@ -46,6 +46,14 @@ type snapshot = {
   errors_seen : int;     (** recoverable data errors observed (fault layer) *)
   rows_skipped : int;    (** rows dropped by the [Skip_row] policy *)
   fields_nulled : int;   (** field reads substituted by [Null_fill] *)
+  shards_retried : int;
+      (** shard member build retries taken out of the retry budget
+          (resilience layer) *)
+  shards_hedged : int;   (** speculative straggler re-dispatches launched *)
+  breaker_open : int;    (** member builds skipped by an open circuit breaker *)
+  shed : int;
+      (** queries rejected at submit because their deadline was infeasible
+          given the scheduler's queue-wait estimate *)
 }
 
 (** Coarse execution phases for wall-clock attribution. [Scan] is pipeline

@@ -75,6 +75,10 @@ type ctx = {
   cx_errors : int Atomic.t;
   cx_mu : Mutex.t;
   cx_cells : (int, cell) Hashtbl.t;
+  cx_parent : ctx option;
+      (* a forked child (hedged build attempt) carries a private flag so it
+         can be cancelled alone, but chains to its parent: the parent's
+         cancellation reaches every child through [check_cancel] *)
 }
 
 (* The active fault context is domain-local: concurrent queries each install
@@ -136,27 +140,45 @@ let install ~policy ?(max_errors = max_int) ?deadline () =
       cx_errors = Atomic.make 0;
       cx_mu = Mutex.create ();
       cx_cells = Hashtbl.create 8;
+      cx_parent = None;
     }
   in
   set_morsel 0;
   set_ctx (Some ctx);
   ctx
 
+(* [fork parent] is a child context sharing the parent's policy, deadline,
+   budget and accounting cells, but with a private cancellation flag that
+   chains to the parent's: cancelling the child (a hedge loser) never
+   touches the parent or its other children, while cancelling the parent
+   reaches them all. *)
+let fork parent =
+  { parent with cx_flag = Atomic.make R_none; cx_parent = Some parent }
+
 let clear () = set_ctx None
 
 (* Cancel the active query (if any): peers observe the token at their next
    morsel/batch boundary. Used by the worker pool on the first failure and
    available for external cancellation. *)
+let cancel_ctx ctx = ignore (Atomic.compare_and_set ctx.cx_flag R_none R_cancel)
+
 let cancel () =
   match get_ctx () with
   | None -> ()
-  | Some ctx -> ignore (Atomic.compare_and_set ctx.cx_flag R_none R_cancel)
+  | Some ctx -> cancel_ctx ctx
+
+(* A context's effective flag: its own, or the nearest raised ancestor's. *)
+let rec raised_flag ctx =
+  match Atomic.get ctx.cx_flag with
+  | R_none -> (
+    match ctx.cx_parent with Some p -> raised_flag p | None -> R_none)
+  | r -> r
 
 let check_cancel () =
   match get_ctx () with
   | None -> ()
   | Some ctx -> (
-    match Atomic.get ctx.cx_flag with
+    match raised_flag ctx with
     | R_cancel -> raise Cancelled
     | R_deadline -> raise Timed_out
     | R_none -> (
@@ -169,6 +191,11 @@ let check_cancel () =
 let budget_hit ctx = Atomic.get ctx.cx_errors > ctx.cx_max_errors
 
 let deadline_hit ctx = Atomic.get ctx.cx_flag = R_deadline
+
+(* The active context's absolute deadline — retry backoffs consult it so a
+   sleep never outlives the query budget. *)
+let deadline () =
+  match get_ctx () with None -> None | Some c -> c.cx_deadline
 
 let record_in ctx ~source ~row ~skipped ~nulled e =
   let m = !(Domain.DLS.get morsel_key) in

@@ -38,6 +38,12 @@ type shard_digest = {
   sd_bloom : Proteus_storage.Bloom.t;
 }
 
+(* A factory interposer: wraps every factory thunk as it is (re)resolved,
+   so injected behaviour (latency, flakiness — the resilience test
+   harness) survives the invalidations the retry path performs. [None]
+   restores genuine factories on the next resolution. *)
+type interposer = string -> (unit -> Source.t) -> unit -> Source.t
+
 type t = {
   catalog : Catalog.t;
   mutable cache : Cache_iface.t;
@@ -51,11 +57,29 @@ type t = {
   digests : (string, shard_digest option) Hashtbl.t;
       (* keyed [member ^ "\x00" ^ path]; [None] memoizes "no digest
          obtainable" only transiently (failures are not memoized) *)
-  shard_mu : Mutex.t;  (* guards [digests]: arms run concurrently *)
+  shard_mu : Mutex.t;
+      (* guards [digests] and [breakers]: arms and member builds run
+         concurrently *)
+  build_mu : Mutex.t;
+      (* guards the memoization tables ([sources], [factories], [infos],
+         [shard_layouts]): hedged member builds resolve factories from
+         concurrent domains. Heavy work (index builds, thunk invocation)
+         runs outside it — a racing double-build is resolved by
+         first-install-wins. *)
   generation : int Atomic.t;
       (* bumped on every [invalidate] and [set_cache]: prepared engines
          capture the stamp and re-stage when it moved, so a prepared
          statement observes dataset updates and caching-mode flips *)
+  mutable interposer : interposer option;
+  mutable retry : Proteus_resilience.Policy.t;
+      (* member-build retry budget; the default preserves the original
+         "rebuild once from scratch" contract *)
+  mutable hedge : Proteus_resilience.Hedge.t option;
+      (* straggler hedging for member builds; [None] = off *)
+  mutable breaker_cfg : Proteus_resilience.Breaker.config;
+  breakers : (string, Proteus_resilience.Breaker.t) Hashtbl.t;
+      (* per-member circuit state, living beside the digest cache and
+         cleared with it on member re-registration *)
 }
 
 let create ?(cache = Cache_iface.disabled) catalog =
@@ -69,8 +93,24 @@ let create ?(cache = Cache_iface.disabled) catalog =
     shard_layouts = Hashtbl.create 4;
     digests = Hashtbl.create 16;
     shard_mu = Mutex.create ();
+    build_mu = Mutex.create ();
     generation = Atomic.make 0;
+    interposer = None;
+    retry = Proteus_resilience.Policy.default;
+    hedge = None;
+    breaker_cfg = Proteus_resilience.Breaker.default_config;
+    breakers = Hashtbl.create 8;
   }
+
+let with_lock mu f =
+  Mutex.lock mu;
+  match f () with
+  | v ->
+    Mutex.unlock mu;
+    v
+  | exception e ->
+    Mutex.unlock mu;
+    raise e
 
 let catalog t = t.catalog
 let cache t = t.cache
@@ -158,7 +198,7 @@ let build_factory t (d : Dataset.t) : unit -> Source.t =
         fixed_schema = Csv_index.is_fixed_width index;
       }
     in
-    Hashtbl.replace t.infos d.name info;
+    with_lock t.build_mu (fun () -> Hashtbl.replace t.infos d.name info);
     Log.info (fun m ->
         m "built CSV index for %s: %d rows, %.1f%% of input" d.name
           (Csv_index.row_count index)
@@ -177,7 +217,7 @@ let build_factory t (d : Dataset.t) : unit -> Source.t =
         fixed_schema = Json_index.is_fixed_schema index;
       }
     in
-    Hashtbl.replace t.infos d.name info;
+    with_lock t.build_mu (fun () -> Hashtbl.replace t.infos d.name info);
     Log.info (fun m ->
         m "built JSON index for %s: %d objects, %.1f%% of input%s" d.name
           (Json_index.object_count index)
@@ -334,44 +374,53 @@ let empty_view element =
   Binary_plugin.of_rowpage
     (Proteus_storage.Rowpage.of_records (Schema.of_type element) [])
 
+(* The member breaker, created on first use under the digest lock. *)
+let breaker t name =
+  with_lock t.shard_mu (fun () ->
+      match Hashtbl.find_opt t.breakers name with
+      | Some b -> b
+      | None ->
+        let b = Proteus_resilience.Breaker.create ~config:t.breaker_cfg () in
+        Hashtbl.replace t.breakers name b;
+        b)
+
+(* Resolution is memoized under [build_mu], but the heavy work — eager
+   index builds in [build_factory], thunk invocations — runs outside it:
+   a shard parent's thunk re-enters [factory] per member, and hedged
+   builds must be able to race. A racing double-resolution keeps the
+   first installed factory. *)
 let rec factory t name =
-  match Hashtbl.find_opt t.factories name with
+  match with_lock t.build_mu (fun () -> Hashtbl.find_opt t.factories name) with
   | Some f -> f
   | None ->
+    let shard_members =
+      with_lock t.build_mu (fun () -> Hashtbl.find_opt t.shard_sets name)
+    in
     let f =
-      match Hashtbl.find_opt t.shard_sets name with
+      match shard_members with
       | Some members -> shard_factory t name members
       | None -> build_factory t (Catalog.find t.catalog name)
     in
-    Hashtbl.replace t.factories name f;
-    f
+    let f = match t.interposer with Some ip -> ip name f | None -> f in
+    with_lock t.build_mu (fun () ->
+        match Hashtbl.find_opt t.factories name with
+        | Some existing -> existing
+        | None ->
+          Hashtbl.replace t.factories name f;
+          f)
 
 (* The parent factory of a shard set: each invocation stamps out fresh
    member views (cheap — heavy artifacts stay memoized per member) and
-   concatenates them. A member whose index build fails is rebuilt once
-   from scratch; if it fails again the failure propagates under
-   [Fail_fast] and otherwise the shard degrades to empty with one
-   reported skip. Failures are never memoized (member factories install
-   only on success), so a later [Fail_fast] query re-attempts the build. *)
+   concatenates them. Member builds go through {!build_member}: the
+   per-member circuit breaker, the straggler hedge, and the configured
+   retry budget (the default budget preserves the original "rebuild once
+   from scratch" contract). Failures are never memoized (member factories
+   install only on success), so a later [Fail_fast] query re-attempts the
+   build. *)
 and shard_factory t name members : unit -> Source.t =
   let element = (Catalog.find t.catalog name).Dataset.element in
   fun () ->
-    let views =
-      List.map
-        (fun m ->
-          match factory t m () with
-          | v -> v
-          | exception e when Fault.recoverable e -> (
-            invalidate t m;
-            match factory t m () with
-            | v -> v
-            | exception e2
-              when Fault.recoverable e2
-                   && (Fault.skipping () || Fault.null_filling ()) ->
-              Fault.record_skip ~source:m ~row:0 e2;
-              empty_view element))
-        members
-    in
+    let views = List.map (fun m -> build_member t ~element m) members in
     let varr = Array.of_list views in
     let layout =
       let off = ref 0 in
@@ -386,24 +435,84 @@ and shard_factory t name members : unit -> Source.t =
     (* refresh on every build: counts track member updates and
        degrade/heal transitions, and a pruning layout must describe the
        very views the engine just got *)
-    Hashtbl.replace t.shard_layouts name layout;
+    with_lock t.build_mu (fun () -> Hashtbl.replace t.shard_layouts name layout);
     concat_source ~element varr
 
-and invalidate t name =
-  Hashtbl.remove t.sources name;
-  Hashtbl.remove t.factories name;
-  Hashtbl.remove t.infos name;
-  Hashtbl.remove t.shard_layouts name;
-  (* a member update stales its parents' concat views, layouts and
-     digests *)
-  Hashtbl.iter
-    (fun parent members ->
-      if List.mem name members then begin
-        Hashtbl.remove t.sources parent;
-        Hashtbl.remove t.factories parent;
-        Hashtbl.remove t.shard_layouts parent
-      end)
-    t.shard_sets;
+(* One member view for the scatter, through the resilience ladder:
+
+   1. the breaker: an open member is skipped immediately (degraded to an
+      empty shard with one recorded skip under Skip_row/Null_fill, a
+      fast failure under Fail_fast) instead of re-paying its failure;
+   2. the hedge (when configured, and only under Fail_fast — degraded
+      policies record per-row errors into shared cells, and a speculative
+      duplicate would double-account them);
+   3. the retry budget: recoverable build failures are re-attempted with
+      backoff, invalidating the stale artifact before each retry.
+
+   Budget-exhausted recoverable failures feed the breaker; any success
+   closes it. *)
+and build_member t ~element m =
+  let module R = Proteus_resilience in
+  let degrade e =
+    if Fault.skipping () || Fault.null_filling () then begin
+      Fault.record_skip ~source:m ~row:0 e;
+      empty_view element
+    end
+    else raise e
+  in
+  let br = breaker t m in
+  match R.Breaker.admit br with
+  | R.Breaker.Reject ->
+    R.Stats.add_breaker_open 1;
+    degrade
+      (Perror.Parse_error
+         {
+           what = "shard:" ^ m;
+           pos = -1;
+           msg = "member unavailable: circuit breaker open";
+         })
+  | R.Breaker.Proceed -> (
+    let budgeted () =
+      R.Policy.run t.retry ~retryable:Fault.recoverable
+        ~on_retry:(fun ~attempt:_ _ ->
+          R.Stats.add_retries 1;
+          invalidate_artifacts t m)
+        (fun _ -> factory t m ())
+    in
+    let build =
+      match t.hedge with
+      | Some h when Fault.policy () = Fault.Fail_fast ->
+        fun () -> R.Hedge.run h ~key:m budgeted
+      | _ -> budgeted
+    in
+    match build () with
+    | v ->
+      R.Breaker.success br;
+      v
+    | exception e when Fault.recoverable e ->
+      R.Breaker.failure br;
+      degrade e)
+
+(* Invalidate the memoized artifacts of [name] (and stale parent state),
+   leaving its breaker alone: the retry path calls this between attempts,
+   and a breaker that reset on every retry could never accumulate the
+   consecutive failures that open it. *)
+and invalidate_artifacts t name =
+  with_lock t.build_mu (fun () ->
+      Hashtbl.remove t.sources name;
+      Hashtbl.remove t.factories name;
+      Hashtbl.remove t.infos name;
+      Hashtbl.remove t.shard_layouts name;
+      (* a member update stales its parents' concat views, layouts and
+         digests *)
+      Hashtbl.iter
+        (fun parent members ->
+          if List.mem name members then begin
+            Hashtbl.remove t.sources parent;
+            Hashtbl.remove t.factories parent;
+            Hashtbl.remove t.shard_layouts parent
+          end)
+        t.shard_sets);
   Mutex.lock t.shard_mu;
   let prefix = name ^ "\x00" in
   let stale =
@@ -419,14 +528,28 @@ and invalidate t name =
   Mutex.unlock t.shard_mu;
   Atomic.incr t.generation
 
+(* Full invalidation (re-registration, updates): artifacts plus the
+   member's breaker — a re-registered member starts with a clean circuit,
+   which is how a healed source comes back before its cooldown expires. *)
+let invalidate t name =
+  invalidate_artifacts t name;
+  with_lock t.shard_mu (fun () -> Hashtbl.remove t.breakers name)
+
 let source t name =
-  match Hashtbl.find_opt t.sources name with
+  match with_lock t.build_mu (fun () -> Hashtbl.find_opt t.sources name) with
   | Some s -> s
   | None ->
     let d = Catalog.find t.catalog name in
     let s = factory t name () in
-    Hashtbl.replace t.sources name s;
-    collect_stats t d s;
+    let s, fresh =
+      with_lock t.build_mu (fun () ->
+          match Hashtbl.find_opt t.sources name with
+          | Some existing -> (existing, false)
+          | None ->
+            Hashtbl.replace t.sources name s;
+            (s, true))
+    in
+    if fresh then collect_stats t d s;
     s
 
 let fresh_source t name =
@@ -443,9 +566,46 @@ let index_info t name = Hashtbl.find_opt t.infos name
    already happened over the genuine source, is not re-run over the
    injected one. The dataset must already be registered. *)
 let install_factory t name f =
-  Hashtbl.replace t.factories name f;
-  Hashtbl.remove t.shard_layouts name;
-  Hashtbl.replace t.sources name (f ())
+  let s = f () in
+  with_lock t.build_mu (fun () ->
+      Hashtbl.replace t.factories name f;
+      Hashtbl.remove t.shard_layouts name;
+      Hashtbl.replace t.sources name s)
+
+(* --- resilience configuration ---------------------------------------------- *)
+
+let set_interposer t ip =
+  t.interposer <- ip;
+  (* drop resolved factories so the (new) interposer wraps them on the
+     next resolution; memoized sources and heavy artifacts survive *)
+  with_lock t.build_mu (fun () -> Hashtbl.reset t.factories);
+  Atomic.incr t.generation
+
+let interposer t = t.interposer
+
+let set_retry_policy t p = t.retry <- p
+let retry_policy t = t.retry
+
+let set_hedge t h = t.hedge <- h
+let hedge t = t.hedge
+
+let set_breaker_config t cfg =
+  t.breaker_cfg <- cfg;
+  (* existing breakers keep their old config; drop them so the next
+     admission creates fresh ones under the new thresholds *)
+  with_lock t.shard_mu (fun () -> Hashtbl.reset t.breakers)
+
+let breaker_states t =
+  with_lock t.shard_mu (fun () ->
+      Hashtbl.fold
+        (fun m b acc -> (m, Proteus_resilience.Breaker.state b) :: acc)
+        t.breakers [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let breaker_blocked t name =
+  match with_lock t.shard_mu (fun () -> Hashtbl.find_opt t.breakers name) with
+  | None -> false
+  | Some b -> Proteus_resilience.Breaker.blocking b
 
 (* --- shard sets ------------------------------------------------------------ *)
 
@@ -506,10 +666,11 @@ let add_shard t ~name ~member =
 let shards t name =
   if not (Hashtbl.mem t.shard_sets name) then None
   else begin
-    (match Hashtbl.find_opt t.shard_layouts name with
+    (match with_lock t.build_mu (fun () -> Hashtbl.find_opt t.shard_layouts name)
+     with
     | Some _ -> ()
     | None -> ignore (source t name));
-    Hashtbl.find_opt t.shard_layouts name
+    with_lock t.build_mu (fun () -> Hashtbl.find_opt t.shard_layouts name)
   end
 
 (* Build the pruning digest for one (member, path): row count, non-null

@@ -50,8 +50,60 @@ val factory : t -> string -> unit -> Source.t
 val index_info : t -> string -> index_info option
 
 (** Invalidate the memoized index of a dataset (data updates: "drop and
-    rebuild affected auxiliary structures", Section 4). *)
+    rebuild affected auxiliary structures", Section 4). Also resets the
+    dataset's circuit breaker: a re-registered member starts with a clean
+    circuit. *)
 val invalidate : t -> string -> unit
+
+(** {1 Resilience}
+
+    The shard member build path runs through a resilience ladder
+    (DESIGN.md section 15): a per-member circuit {!Proteus_resilience.Breaker}
+    (open members are skipped without touching their plug-in), an optional
+    straggler {!Proteus_resilience.Hedge}, and a configurable retry budget
+    ({!Proteus_resilience.Policy}) replacing the historical rebuild-once. *)
+
+(** A factory interposer: [ip name genuine] wraps the genuine source
+    factory of dataset [name]. Applied at every factory {e resolution},
+    so — unlike {!install_factory} wrappers — it survives the retry
+    path's invalidations. The fault-injection harness uses it for latency
+    stalls and flaky members. *)
+type interposer = string -> (unit -> Source.t) -> unit -> Source.t
+
+(** Install (or clear) the interposer; resolved factories are dropped so
+    the change takes effect on the next build. *)
+val set_interposer : t -> interposer option -> unit
+
+val interposer : t -> interposer option
+
+(** The retry budget of shard member builds. The default,
+    {!Proteus_resilience.Policy.default} (2 attempts), preserves the
+    historical rebuild-once-from-scratch contract. *)
+val set_retry_policy : t -> Proteus_resilience.Policy.t -> unit
+
+val retry_policy : t -> Proteus_resilience.Policy.t
+
+(** The straggler hedge over member builds; [None] (the default) disables
+    hedging. Only armed under [Fail_fast] — degraded policies record
+    per-row errors into shared report cells, and a speculative duplicate
+    would double-account them. *)
+val set_hedge : t -> Proteus_resilience.Hedge.t option -> unit
+
+val hedge : t -> Proteus_resilience.Hedge.t option
+
+(** Breaker thresholds for member circuits; existing breakers are dropped
+    and recreated under the new config on next admission. *)
+val set_breaker_config : t -> Proteus_resilience.Breaker.config -> unit
+
+(** Current breaker states, sorted by member name — the server's [health]
+    verb. Only members that have been admitted at least once appear. *)
+val breaker_states : t -> (string * Proteus_resilience.Breaker.state) list
+
+(** Whether [name]'s breaker is currently rejecting admissions (open,
+    still cooling). Read-only — never claims the half-open probe slot;
+    the engine's shard arm consults this to skip digest work for members
+    the scatter will skip anyway. *)
+val breaker_blocked : t -> string -> bool
 
 (** A segmented cache-fill in flight: per-range column builders keyed by
     their start row, committed in ascending start order with one [Array.blit]

@@ -1,0 +1,26 @@
+(** Straggler hedging: per-key latency EWMAs drive a speculative second
+    dispatch of a slow build; the first finisher wins and the loser is
+    cancelled through a forked fault context. Both attempts build views
+    over the same memoized artifacts, so hedged and unhedged runs are
+    bit-identical. *)
+
+type t
+
+(** [create ?factor ?floor_ms ()] hedges a build whose elapsed time
+    crosses [max floor_ms (factor * median-of-EWMAs)]; factor defaults
+    to 3, floor to 0 (no history, no floor: hedging stands down). *)
+val create : ?factor:float -> ?floor_ms:float -> unit -> t
+
+(** The current EWMA (ms) of one key, if any build of it completed. *)
+val ewma : t -> string -> float option
+
+(** Record one build's latency by hand (tests). *)
+val note : t -> string -> float -> unit
+
+(** The current hedge trigger in ms; [<= 0.] means hedging stands down. *)
+val threshold_ms : t -> float
+
+(** [run t ~key f] runs [f ()] with hedging (see module doc). Exceptions
+    propagate only when every attempt that ran has failed — the first
+    failure's exception wins. Never hedges when {!threshold_ms} is 0. *)
+val run : t -> key:string -> (unit -> 'a) -> 'a

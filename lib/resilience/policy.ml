@@ -1,0 +1,74 @@
+(* Retry budgets: a bounded attempt loop with exponential backoff and
+   decorrelated jitter, aware of the active query deadline.
+
+   The jitter scheme is the "decorrelated" variant: each sleep is drawn
+   uniformly from [base, prev * 3] and capped, so concurrent retriers
+   spread out instead of thundering in lockstep while the expected sleep
+   still grows geometrically. Sleeps never cross the deadline of the
+   installed {!Proteus_model.Fault} context (or an explicit [?deadline]):
+   when no budget remains the last failure surfaces immediately — a
+   retry must never turn a recoverable error into a deadline miss. *)
+
+open Proteus_model
+
+type t = {
+  attempts : int;          (* total attempts, first included; >= 1 *)
+  base_backoff_ms : float; (* first sleep, and the jitter floor *)
+  max_backoff_ms : float;  (* cap on any single sleep *)
+}
+
+(* Two attempts preserves the pre-resilience shard contract ("a failed
+   member build is retried once from scratch") as the default. *)
+let default = { attempts = 2; base_backoff_ms = 1.; max_backoff_ms = 50. }
+
+let make ?(base_backoff_ms = default.base_backoff_ms)
+    ?(max_backoff_ms = default.max_backoff_ms) ~attempts () =
+  { attempts = max 1 attempts; base_backoff_ms; max_backoff_ms }
+
+let of_attempts attempts = make ~attempts ()
+
+let attempts p = p.attempts
+
+(* Sleep [ms], but never past [deadline]; [false] when the deadline has no
+   room left at all (the caller should surface its failure instead of
+   burning another attempt it cannot finish). *)
+let backoff_sleep ~deadline ms =
+  match deadline with
+  | None ->
+    Unix.sleepf (ms /. 1000.);
+    true
+  | Some d ->
+    let remaining_ms = (d -. Unix.gettimeofday ()) *. 1000. in
+    if remaining_ms <= 0. then false
+    else begin
+      Unix.sleepf (Float.min ms remaining_ms /. 1000.);
+      true
+    end
+
+(* [run ?deadline ?on_retry p ~retryable f] calls [f attempt] (1-based) up
+   to [p.attempts] times. Only [retryable] failures consume budget; others
+   propagate immediately. [on_retry] fires before each re-attempt (after
+   the backoff sleep) — the registry uses it to invalidate the stale
+   artifact and tick the retry counter. The deadline defaults to the
+   active fault context's. *)
+let run ?deadline ?(on_retry = fun ~attempt:_ _ -> ()) (p : t) ~retryable f =
+  let deadline =
+    match deadline with Some _ as d -> d | None -> Fault.deadline ()
+  in
+  let rec go attempt prev_sleep =
+    match f attempt with
+    | v -> v
+    | exception e when retryable e && attempt < p.attempts ->
+      Fault.check_cancel ();
+      let hi = Float.max p.base_backoff_ms (prev_sleep *. 3.) in
+      let span = Float.max 0. (hi -. p.base_backoff_ms) in
+      let ms =
+        Float.min p.max_backoff_ms
+          (p.base_backoff_ms +. if span > 0. then Random.float span else 0.)
+      in
+      if not (backoff_sleep ~deadline ms) then raise e;
+      Fault.check_cancel ();
+      on_retry ~attempt:(attempt + 1) e;
+      go (attempt + 1) ms
+  in
+  go 1 0.

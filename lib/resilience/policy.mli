@@ -1,0 +1,35 @@
+(** Retry budgets: bounded attempts with exponential backoff, decorrelated
+    jitter, and deadline-aware sleeps (never past the active
+    {!Proteus_model.Fault} deadline). *)
+
+type t = {
+  attempts : int;          (** total attempts, first included; >= 1 *)
+  base_backoff_ms : float; (** first sleep, and the jitter floor *)
+  max_backoff_ms : float;  (** cap on any single sleep *)
+}
+
+(** Two attempts, 1 ms base, 50 ms cap — the pre-resilience "retry once"
+    shard contract expressed as a budget. *)
+val default : t
+
+val make :
+  ?base_backoff_ms:float -> ?max_backoff_ms:float -> attempts:int -> unit -> t
+
+(** [of_attempts n] is {!default} with [n] total attempts. *)
+val of_attempts : int -> t
+
+val attempts : t -> int
+
+(** [run ?deadline ?on_retry p ~retryable f] calls [f attempt] (1-based)
+    up to [p.attempts] times, sleeping a jittered backoff between attempts
+    but never past [deadline] (default: the installed fault context's).
+    Non-[retryable] exceptions propagate immediately; a retryable failure
+    with no budget (or no deadline room) left re-raises. [on_retry] runs
+    after each backoff sleep, before the re-attempt. *)
+val run :
+  ?deadline:float ->
+  ?on_retry:(attempt:int -> exn -> unit) ->
+  t ->
+  retryable:(exn -> bool) ->
+  (int -> 'a) ->
+  'a

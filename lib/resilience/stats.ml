@@ -1,0 +1,26 @@
+(* Process-wide resilience totals, mirrored by the engine's proxy counters
+   exactly like [Fault.errors_total]: the subsystems tick them where the
+   event happens (a retry sleep, a hedge launch, a breaker-open skip, an
+   admission shed), and [Counters.snapshot]/[Counters.reset] read/zero them
+   through this one module so --stats and the server verbs agree. *)
+
+let g_retries = Atomic.make 0
+let g_hedges = Atomic.make 0
+let g_breaker_open = Atomic.make 0
+let g_shed = Atomic.make 0
+
+let add_retries n = ignore (Atomic.fetch_and_add g_retries n)
+let add_hedges n = ignore (Atomic.fetch_and_add g_hedges n)
+let add_breaker_open n = ignore (Atomic.fetch_and_add g_breaker_open n)
+let add_shed n = ignore (Atomic.fetch_and_add g_shed n)
+
+let retries_total () = Atomic.get g_retries
+let hedges_total () = Atomic.get g_hedges
+let breaker_open_total () = Atomic.get g_breaker_open
+let shed_total () = Atomic.get g_shed
+
+let reset () =
+  Atomic.set g_retries 0;
+  Atomic.set g_hedges 0;
+  Atomic.set g_breaker_open 0;
+  Atomic.set g_shed 0

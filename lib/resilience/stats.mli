@@ -1,0 +1,15 @@
+(** Process-wide resilience event totals (retries slept, hedges launched,
+    breaker-open skips, admission sheds). The engine's {!Counters} mirror
+    them into its snapshot the same way it mirrors the fault totals. *)
+
+val add_retries : int -> unit
+val add_hedges : int -> unit
+val add_breaker_open : int -> unit
+val add_shed : int -> unit
+
+val retries_total : unit -> int
+val hedges_total : unit -> int
+val breaker_open_total : unit -> int
+val shed_total : unit -> int
+
+val reset : unit -> unit

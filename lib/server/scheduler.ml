@@ -48,7 +48,16 @@ type ticket = {
   mutable tk_result : completion option;
 }
 
-type job = { jb_req : request; jb_submitted : float; jb_ticket : ticket }
+exception Shutting_down
+(** The payload of a [Failed] completion for a job flushed by a drain that
+    hit its timeout before the job could run. *)
+
+type job = {
+  jb_id : int;
+  jb_req : request;
+  jb_submitted : float;
+  jb_ticket : ticket;
+}
 
 (* Per-client round-robin instead of one global FIFO: each client id has
    its own FIFO queue, and a ring of client ids with pending work rotates
@@ -66,11 +75,20 @@ type t = {
   queues : (string, job Queue.t) Hashtbl.t;
   ring : string Queue.t;
   mutable queued : int;   (* total jobs waiting, across clients *)
+  mutable running : int;  (* jobs popped and not yet completed *)
   mutable stopping : bool;
   mutable doms : unit Domain.t list;
+  mutable next_id : int;
+  inflight : (int, Fault.ctx) Hashtbl.t;
+      (* job id -> the running query's fault context, so a drain that hits
+         its timeout can cancel in-flight work cooperatively *)
+  mutable ewma_run_s : float;
+      (* smoothed per-query service time; 0 until the first completion.
+         Drives deadline-infeasibility shedding at submit. *)
   mutable c_submitted : int;
   mutable c_rejected : int;
   mutable c_completed : int;
+  mutable c_shed : int;
 }
 
 let engine_cache t = t.cache
@@ -106,8 +124,17 @@ let run_query t job =
           ?batch_size:rq.rq_batch_size plan
       in
       let ctx = Fault.install ~policy:Fault.Fail_fast ?deadline () in
+      Mutex.lock t.mu;
+      Hashtbl.replace t.inflight job.jb_id ctx;
+      Mutex.unlock t.mu;
       let outcome =
-        Fun.protect ~finally:Fault.clear (fun () ->
+        Fun.protect
+          ~finally:(fun () ->
+            Mutex.lock t.mu;
+            Hashtbl.remove t.inflight job.jb_id;
+            Mutex.unlock t.mu;
+            Fault.clear ())
+          (fun () ->
             match Engine_cache.run lease with
             | v -> Executor.Completed (v, Fault.report ctx)
             | exception e ->
@@ -143,6 +170,9 @@ let pop_next t =
   if Queue.is_empty q then Hashtbl.remove t.queues client
   else Queue.push client t.ring;
   t.queued <- t.queued - 1;
+  (* counted as running from the pop, so a drain poll never sees the
+     window between dequeue and execution as idle *)
+  t.running <- t.running + 1;
   job
 
 let run_job t job =
@@ -160,6 +190,11 @@ let run_job t job =
   in
   Mutex.lock t.mu;
   t.c_completed <- t.c_completed + 1;
+  t.running <- t.running - 1;
+  let run_s = completion.cp_run_seconds in
+  t.ewma_run_s <-
+    (if t.ewma_run_s = 0. then run_s
+     else (0.8 *. t.ewma_run_s) +. (0.2 *. run_s));
   Mutex.unlock t.mu;
   let tk = job.jb_ticket in
   Mutex.lock tk.tk_mu;
@@ -212,19 +247,31 @@ let create ?(workers = 2) ?(max_queue = 64) ?cache_capacity db =
       queues = Hashtbl.create 8;
       ring = Queue.create ();
       queued = 0;
+      running = 0;
       stopping = false;
       doms = [];
+      next_id = 0;
+      inflight = Hashtbl.create 8;
+      ewma_run_s = 0.;
       c_submitted = 0;
       c_rejected = 0;
       c_completed = 0;
+      c_shed = 0;
     }
   in
   t.doms <- List.init t.workers (fun _ -> Domain.spawn (worker t));
   t
 
+(* Estimated queue wait (seconds) for a newcomer, lock held: jobs ahead of
+   it, each costing one smoothed service time, spread over the workers. 0
+   until the first completion seeds the EWMA. *)
+let est_wait_s t =
+  if t.ewma_run_s = 0. then 0.
+  else float_of_int t.queued *. t.ewma_run_s /. float_of_int (max 1 t.workers)
+
 let submit t rq =
   let job =
-    { jb_req = rq; jb_submitted = Unix.gettimeofday ();
+    { jb_id = 0; jb_req = rq; jb_submitted = Unix.gettimeofday ();
       jb_ticket =
         { tk_mu = Mutex.create (); tk_cond = Condition.create ();
           tk_result = None } }
@@ -236,8 +283,24 @@ let submit t rq =
       t.c_rejected <- t.c_rejected + 1;
       Error `Overloaded
     end
+    else if
+      (* deadline-infeasibility shedding: when the expected queue wait
+         alone already exceeds the query's whole budget, reject at submit
+         instead of burning a slot on a corpse. Conservative by design:
+         only sheds with a seeded service-time estimate and a non-empty
+         queue, so an idle scheduler never refuses work. *)
+      match rq.rq_timeout_ms with
+      | Some ms -> t.queued > 0 && est_wait_s t *. 1000. > float_of_int ms
+      | None -> false
+    then begin
+      t.c_shed <- t.c_shed + 1;
+      Proteus_resilience.Stats.add_shed 1;
+      Error `Infeasible
+    end
     else begin
       t.c_submitted <- t.c_submitted + 1;
+      t.next_id <- t.next_id + 1;
+      let job = { job with jb_id = t.next_id } in
       let client = rq.rq_client in
       let q =
         match Hashtbl.find_opt t.queues client with
@@ -272,21 +335,76 @@ let run t rq =
   | Ok tk -> Ok (await tk)
   | Error _ as e -> e
 
-let shutdown t =
+(* Timed-out drain: flush every still-queued job (its ticket resolves as
+   [Failed (_, Shutting_down)] — never a hang) and fire the cancellation
+   token of every in-flight query so workers come home at their next
+   morsel/batch boundary. *)
+let abort_pending t =
+  Mutex.lock t.mu;
+  let flushed =
+    Hashtbl.fold
+      (fun _ q acc -> Queue.fold (fun acc j -> j :: acc) acc q)
+      t.queues []
+  in
+  Hashtbl.reset t.queues;
+  Queue.clear t.ring;
+  t.queued <- 0;
+  Hashtbl.iter (fun _ ctx -> Fault.cancel_ctx ctx) t.inflight;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mu;
+  List.iter
+    (fun j ->
+      let tk = j.jb_ticket in
+      Mutex.lock tk.tk_mu;
+      tk.tk_result <-
+        Some
+          {
+            cp_outcome = Executor.Failed (Fault.empty_report, Shutting_down);
+            cp_hit = false;
+            cp_compile_seconds = 0.;
+            cp_wait_seconds = Unix.gettimeofday () -. j.jb_submitted;
+            cp_run_seconds = 0.;
+          };
+      Condition.broadcast tk.tk_cond;
+      Mutex.unlock tk.tk_mu)
+    flushed
+
+let shutdown ?drain_timeout_ms t =
   Mutex.lock t.mu;
   t.stopping <- true;
   Condition.broadcast t.nonempty;
   Mutex.unlock t.mu;
+  (match drain_timeout_ms with
+  | None -> ()
+  | Some ms ->
+    (* graceful drain: let queued + in-flight work finish, but only up to
+       the timeout — then flush the queue and cancel the stragglers *)
+    let deadline = Unix.gettimeofday () +. (float_of_int ms /. 1000.) in
+    let rec poll () =
+      Mutex.lock t.mu;
+      let busy = t.queued > 0 || t.running > 0 in
+      Mutex.unlock t.mu;
+      if busy then
+        if Unix.gettimeofday () >= deadline then abort_pending t
+        else begin
+          Unix.sleepf 0.005;
+          poll ()
+        end
+    in
+    poll ());
   List.iter Domain.join t.doms;
   t.doms <- []
 
 type stats = {
   submitted : int;
   rejected : int;
+  shed : int;
   completed : int;
   queued : int;
+  running : int;
   workers : int;
   max_queue : int;
+  ewma_run_ms : float;
 }
 
 let stats t =
@@ -295,15 +413,22 @@ let stats t =
     {
       submitted = t.c_submitted;
       rejected = t.c_rejected;
+      shed = t.c_shed;
       completed = t.c_completed;
       queued = t.queued;
+      running = t.running;
       workers = t.workers;
       max_queue = t.max_queue;
+      ewma_run_ms = t.ewma_run_s *. 1000.;
     }
   in
   Mutex.unlock t.mu;
   s
 
 let pp_stats ppf s =
-  Fmt.pf ppf "submitted=%d rejected=%d completed=%d queued=%d workers=%d max_queue=%d"
-    s.submitted s.rejected s.completed s.queued s.workers s.max_queue
+  Fmt.pf ppf
+    "submitted=%d rejected=%d shed=%d completed=%d queued=%d running=%d \
+     workers=%d max_queue=%d"
+    s.submitted s.rejected s.shed s.completed s.queued s.running s.workers
+    s.max_queue;
+  if s.ewma_run_ms > 0. then Fmt.pf ppf " ewma-run-ms=%.2f" s.ewma_run_ms

@@ -49,20 +49,38 @@ type completion = {
 
 type ticket
 
-val submit : t -> request -> (ticket, [ `Overloaded | `Shutting_down ]) result
+exception Shutting_down
+(** The [Failed] payload of a ticket flushed by a timed-out drain: the
+    query never ran, and never will. *)
+
+(** [`Infeasible]: the query carried a deadline the scheduler's queue-wait
+    estimate (queued jobs x smoothed service time / workers) already
+    exceeds — shed at submit instead of timing out after burning a slot.
+    Never answered while the queue is empty or before the first completion
+    seeds the estimate. *)
+val submit :
+  t -> request -> (ticket, [ `Overloaded | `Shutting_down | `Infeasible ]) result
 
 val await : ticket -> completion
 
 (** [run t rq] is {!submit} + {!await} on the calling thread. *)
-val run : t -> request -> (completion, [ `Overloaded | `Shutting_down ]) result
+val run :
+  t ->
+  request ->
+  (completion, [ `Overloaded | `Shutting_down | `Infeasible ]) result
 
 (** [drain_one t] pops the next job round-robin and runs it on the calling
     thread; [false] when nothing is queued. With [~workers:0] this drives
     the scheduler fully deterministically. *)
 val drain_one : t -> bool
 
-(** Stops accepting work, drains the queue, joins the workers. *)
-val shutdown : t -> unit
+(** [shutdown ?drain_timeout_ms t] stops accepting work and joins the
+    workers. Without a timeout the queue drains fully first (the historical
+    contract). With one, queued + in-flight queries get up to
+    [drain_timeout_ms] to finish; then still-queued jobs are flushed (their
+    tickets resolve as [Failed (_, Shutting_down)] — {!await} never hangs)
+    and in-flight queries are cancelled through their cooperative tokens. *)
+val shutdown : ?drain_timeout_ms:int -> t -> unit
 
 val engine_cache : t -> Engine_cache.t
 
@@ -70,11 +88,14 @@ val db : t -> Proteus.Db.t
 
 type stats = {
   submitted : int;
-  rejected : int;
+  rejected : int;   (** queue-bound rejections ([`Overloaded]) *)
+  shed : int;       (** deadline-infeasibility rejections ([`Infeasible]) *)
   completed : int;
   queued : int;
+  running : int;    (** popped and not yet completed *)
   workers : int;
   max_queue : int;
+  ewma_run_ms : float;  (** smoothed service time; 0 before any completion *)
 }
 
 val stats : t -> stats

@@ -12,14 +12,24 @@
      run SQL               ->  ok N          followed by N JSON result lines
                            |   err KIND: message
      stats                 ->  stats cache <counters> scheduler <counters>
+                                 resilience <counters>
+     health                ->  health <ok|draining> scheduler <counters>
+                                 breakers open=N half-open=N closed=N
      quit                  ->  bye           (connection closes)
 
-   [err] kinds: [overloaded] (admission control), [timeout], [cancelled],
-   [error] (parse/plan/data errors). Params and timeout reset after every
-   run. *)
+   [err] kinds: [overloaded] (admission control), [infeasible] (deadline
+   shedding), [timeout], [cancelled], [error] (parse/plan/data errors).
+   Params and timeout reset after every run.
+
+   Hardening: request lines are capped (an oversized line gets one [err
+   error:] reply and the connection closes), malformed input and EPIPE
+   mid-write close only their own connection (SIGPIPE is ignored), and
+   SIGTERM-initiated shutdown drains queued + in-flight queries up to
+   [drain_timeout_ms] before cancelling the stragglers. *)
 
 open Proteus_model
 module Executor = Proteus_engine.Executor
+module Registry = Proteus_plugin.Registry
 
 (* Parameter values on the wire / CLI: null, true/false, int, float,
    'single-quoted string' ('' escapes a quote), else the raw string. *)
@@ -83,6 +93,7 @@ type config = {
   domains : int;          (* per-query morsel parallelism *)
   batch_size : int option;
   timeout_ms : int option;  (* default per-query deadline *)
+  drain_timeout_ms : int;   (* graceful-shutdown budget for in-flight work *)
 }
 
 let default_config =
@@ -95,6 +106,7 @@ let default_config =
     domains = 1;
     batch_size = None;
     timeout_ms = None;
+    drain_timeout_ms = 2000;
   }
 
 let one_line s =
@@ -117,6 +129,8 @@ let handle_run sched cfg ~client ~params ~timeout_ms sql out =
   match Scheduler.submit sched rq with
   | Error `Overloaded -> output_string out "err overloaded: queue full, retry later\n"
   | Error `Shutting_down -> output_string out "err error: server shutting down\n"
+  | Error `Infeasible ->
+    output_string out "err infeasible: deadline cannot be met, try later\n"
   | Ok ticket -> (
     let c = Scheduler.await ticket in
     match c.Scheduler.cp_outcome with
@@ -129,12 +143,29 @@ let handle_run sched cfg ~client ~params ~timeout_ms sql out =
     | Executor.Failed (_, e) ->
       Printf.fprintf out "err error: %s\n" (exn_message e))
 
+let resilience_line () =
+  let module RS = Proteus_resilience.Stats in
+  Fmt.str "shards-retried=%d shards-hedged=%d breaker-open=%d shed=%d"
+    (RS.retries_total ()) (RS.hedges_total ()) (RS.breaker_open_total ())
+    (RS.shed_total ())
+
 let handle_stats sched out =
   let cs = Engine_cache.stats (Scheduler.engine_cache sched) in
   let ss = Scheduler.stats sched in
-  Printf.fprintf out "stats cache %s scheduler %s\n"
+  Printf.fprintf out "stats cache %s scheduler %s resilience %s\n"
     (Fmt.str "%a" Engine_cache.pp_stats cs)
     (Fmt.str "%a" Scheduler.pp_stats ss)
+    (resilience_line ())
+
+let handle_health sched ~draining out =
+  let module B = Proteus_resilience.Breaker in
+  let ss = Scheduler.stats sched in
+  let states = Registry.breaker_states (Proteus.Db.registry (Scheduler.db sched)) in
+  let count st = List.length (List.filter (fun (_, s) -> s = st) states) in
+  Printf.fprintf out "health %s scheduler %s breakers open=%d half-open=%d closed=%d\n"
+    (if Atomic.get draining then "draining" else "ok")
+    (Fmt.str "%a" Scheduler.pp_stats ss)
+    (count B.Open) (count B.Half_open) (count B.Closed)
 
 let split_command line =
   match String.index_opt line ' ' with
@@ -147,7 +178,31 @@ let split_command line =
    round-robin fairly instead of one backlog starving the rest. *)
 let client_counter = Atomic.make 0
 
-let handle_connection sched cfg fd =
+(* Request lines are read char-by-char into a capped buffer: a client
+   streaming an unbounded line (no LF) cannot balloon server memory. *)
+let max_request_line = 8192
+
+type request_line = Line of string | Too_long | Eof
+
+let read_request inc =
+  let buf = Buffer.create 128 in
+  let rec go () =
+    match input_char inc with
+    | exception End_of_file ->
+      if Buffer.length buf = 0 then Eof else Line (Buffer.contents buf)
+    | '\n' -> Line (Buffer.contents buf)
+    | _ when Buffer.length buf >= max_request_line -> Too_long
+    | c ->
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ()
+
+(* One connection, on its own thread. Any I/O failure — EPIPE mid-write
+   (SIGPIPE is ignored in [serve]), an abrupt disconnect, a closed
+   descriptor during drain — lands in the catch-all below and ends only
+   this connection; the accept loop never sees it. *)
+let handle_connection sched cfg ~draining fd =
   let inc = Unix.in_channel_of_descr fd in
   let out = Unix.out_channel_of_descr fd in
   let client = Fmt.str "conn-%d" (Atomic.fetch_and_add client_counter 1) in
@@ -157,9 +212,14 @@ let handle_connection sched cfg fd =
   let quit = ref false in
   (try
      while not !quit do
-       match input_line inc with
-       | exception End_of_file -> quit := true
-       | line -> (
+       match read_request inc with
+       | Eof -> quit := true
+       | Too_long ->
+         (* no resync point inside an oversized line: answer and close *)
+         output_string out "err error: request line too long\n";
+         flush out;
+         quit := true
+       | Line line ->
          let line = String.trim line in
          if line <> "" then begin
            let cmd, rest = split_command line in
@@ -184,20 +244,29 @@ let handle_connection sched cfg fd =
              positional := 0;
              timeout_ms := None
            | "stats" -> handle_stats sched out
+           | "health" -> handle_health sched ~draining out
            | "quit" ->
              output_string out "bye\n";
              quit := true
            | _ -> Printf.fprintf out "err protocol: unknown command %s\n" cmd);
            flush out
-         end)
+         end
      done
-   with Sys_error _ | Unix.Unix_error _ -> ());
-  (try Unix.close fd with Unix.Unix_error _ -> ())
+   with Sys_error _ | Unix.Unix_error _ -> ())
 
 (* [serve ?ready ?stop db cfg] blocks accepting connections until [stop]
    flips (checked every 200 ms). [ready] receives the bound port — pass
-   [port = 0] to bind an ephemeral one (tests). *)
+   [port = 0] to bind an ephemeral one (tests).
+
+   Shutdown is a graceful drain: stop accepting, give queued + in-flight
+   queries up to [cfg.drain_timeout_ms] to finish (stragglers are then
+   cancelled through their cooperative tokens and flushed), unblock any
+   connection parked on a read, and join every connection thread. Finished
+   connections are reaped continuously by the accept loop, so a long-lived
+   server does not accumulate dead thread handles. *)
 let serve ?ready ?stop db cfg =
+  (* a peer closing mid-write must surface as EPIPE, not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let sched =
     Scheduler.create ~workers:cfg.workers ~max_queue:cfg.max_queue
       ~cache_capacity:cfg.cache_capacity db
@@ -214,17 +283,70 @@ let serve ?ready ?stop db cfg =
   Option.iter (fun f -> f port) ready;
   Logs.app (fun m -> m "proteus server listening on %s:%d" cfg.host port);
   let stopped () = match stop with Some s -> Atomic.get s | None -> false in
-  let threads = ref [] in
+  let draining = Atomic.make false in
+  (* live connections: id -> (fd, thread, finished). The connection thread
+     flips [finished]; the owner (this loop) joins and closes. *)
+  let conns : (int, Unix.file_descr * Thread.t * bool Atomic.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let conns_mu = Mutex.create () in
+  let next_conn = ref 0 in
+  let reap ~wait =
+    let all =
+      Mutex.lock conns_mu;
+      let l = Hashtbl.fold (fun id c acc -> (id, c) :: acc) conns [] in
+      Mutex.unlock conns_mu;
+      l
+    in
+    List.iter
+      (fun (id, (fd, th, finished)) ->
+        if wait || Atomic.get finished then begin
+          Thread.join th;
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Mutex.lock conns_mu;
+          Hashtbl.remove conns id;
+          Mutex.unlock conns_mu
+        end)
+      all
+  in
   while not (stopped ()) do
-    match Unix.select [ sock ] [] [] 0.2 with
+    (match Unix.select [ sock ] [] [] 0.2 with
+    (* a signal (SIGTERM flipping [stop]) interrupts the select *)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | [], _, _ -> ()
-    | _ :: _, _, _ ->
-      let fd, _addr = Unix.accept sock in
-      threads := Thread.create (handle_connection sched cfg) fd :: !threads
+    | _ :: _, _, _ -> (
+      match Unix.accept sock with
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ()
+      | fd, _addr ->
+        incr next_conn;
+        let id = !next_conn in
+        let finished = Atomic.make false in
+        let th =
+          Thread.create
+            (fun () ->
+              Fun.protect
+                ~finally:(fun () -> Atomic.set finished true)
+                (fun () -> handle_connection sched cfg ~draining fd))
+            ()
+        in
+        Mutex.lock conns_mu;
+        Hashtbl.replace conns id (fd, th, finished);
+        Mutex.unlock conns_mu));
+    reap ~wait:false
   done;
+  Atomic.set draining true;
   (try Unix.close sock with Unix.Unix_error _ -> ());
-  List.iter Thread.join !threads;
-  Scheduler.shutdown sched
+  (* let queued + in-flight queries finish (bounded); connections blocked
+     in [await] resolve here *)
+  Scheduler.shutdown ~drain_timeout_ms:cfg.drain_timeout_ms sched;
+  (* unblock connections parked on reads; their threads exit on EOF *)
+  Mutex.lock conns_mu;
+  Hashtbl.iter
+    (fun _ (fd, _, _) ->
+      try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    conns;
+  Mutex.unlock conns_mu;
+  reap ~wait:true
 
 (* Test/CLI client helper: run [f] over a connected (input, output) channel
    pair, then close. *)

@@ -8,10 +8,20 @@
     - [timeout MS] → [ok] — deadline for the next [run], measured from
       submission
     - [run SQL] → [ok N] followed by [N] JSON result lines, or
-      [err KIND: message] with kind one of [overloaded], [timeout],
-      [cancelled], [error]
-    - [stats] → one line with engine-cache and scheduler counters
-    - [quit] → [bye] *)
+      [err KIND: message] with kind one of [overloaded], [infeasible]
+      (deadline shedding), [timeout], [cancelled], [error]
+    - [stats] → one line with engine-cache, scheduler and resilience
+      counters
+    - [health] → one line: [ok] or [draining], scheduler depth/counters,
+      and circuit-breaker states ([open=N half-open=N closed=N])
+    - [quit] → [bye]
+
+    Hardening: request lines are capped at 8 KiB (an oversized line gets
+    one [err error:] reply and the connection closes); EPIPE mid-write and
+    malformed input end only their own connection. SIGPIPE is ignored by
+    {!serve}. Shutdown ([stop] flipping, e.g. from SIGTERM) drains queued
+    and in-flight queries for up to [drain_timeout_ms] before cancelling
+    the stragglers cooperatively. *)
 
 open Proteus_model
 
@@ -24,6 +34,7 @@ type config = {
   domains : int;             (** per-query morsel parallelism *)
   batch_size : int option;
   timeout_ms : int option;   (** default per-query deadline *)
+  drain_timeout_ms : int;    (** graceful-shutdown budget for in-flight work *)
 }
 
 val default_config : config

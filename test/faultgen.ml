@@ -130,3 +130,55 @@ let inject reg ~dataset ~fail_at =
   in
   Registry.install_factory reg dataset (fun () -> wrap (genuine ()));
   seeks
+
+(* --- resilience injectors ------------------------------------------------ *)
+
+(* Compose [ip] with whatever interposer is already installed (ours runs
+   on the inside: the existing wrapper sees our wrapped factory). *)
+let add_interposer reg ip =
+  let prev = Registry.interposer reg in
+  Registry.set_interposer reg
+    (Some
+       (match prev with
+       | None -> ip
+       | Some outer -> fun name f -> outer name (ip name f)))
+
+(* [stall reg ~dataset ~ms ?times ()] delays the first [times] (default 1)
+   builds of [dataset] by [ms] milliseconds — a deterministic straggler.
+   Interposer-based, so it survives the retry path's invalidations (unlike
+   [install_factory] wrappers). Returns the count of stalled builds. *)
+let stall reg ~dataset ~ms ?(times = 1) () =
+  let hits = Atomic.make 0 in
+  let budget = Atomic.make times in
+  add_interposer reg (fun name genuine ->
+      if name <> dataset then genuine
+      else
+        fun () ->
+          let rec claim () =
+            let n = Atomic.get budget in
+            if n <= 0 then false
+            else if Atomic.compare_and_set budget n (n - 1) then true
+            else claim ()
+          in
+          if claim () then begin
+            Atomic.incr hits;
+            Unix.sleepf (float_of_int ms /. 1000.)
+          end;
+          genuine ());
+  hits
+
+(* [flaky reg ~dataset ~failures ()] makes the first [failures] builds of
+   [dataset] raise a recoverable [Parse_error], then heals — the retry
+   budget's canonical prey. Returns the total build-attempt counter. *)
+let flaky reg ~dataset ~failures () =
+  let calls = Atomic.make 0 in
+  add_interposer reg (fun name genuine ->
+      if name <> dataset then genuine
+      else
+        fun () ->
+          let n = 1 + Atomic.fetch_and_add calls 1 in
+          if n <= failures then
+            Perror.parse_error ~what:("flaky:" ^ dataset) ~pos:(-1)
+              "flaky member: injected failure %d of %d" n failures
+          else genuine ());
+  calls
