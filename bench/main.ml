@@ -94,5 +94,7 @@ let () =
   Shards_fig.splice_json "BENCH_engine.json";
   Resilience_fig.run_all ();
   Resilience_fig.splice_json "BENCH_engine.json";
+  Projection_fig.run_all ();
+  Projection_fig.splice_json "BENCH_engine.json";
   Ablations.run_all ();
   run_bechamel (bechamel_suite je be)

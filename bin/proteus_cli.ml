@@ -247,8 +247,21 @@ let promote =
               being read or filtered get zone maps (numeric: scans skip \
               whole morsels that cannot match a pushed-down comparison) or \
               dictionary encodings (strings: equality and LIKE run on codes, \
-              and the column becomes cacheable at all). Results are \
-              identical with or without promotion.")
+              and the column becomes cacheable at all). Range-filtered \
+              columns additionally get sorted projections (morsel skipping \
+              that works on unclustered data), and promoted JSON paths \
+              materialize pre-parsed slot columns straight from the \
+              structural index. Results are identical with or without \
+              promotion.")
+
+let no_projection =
+  Arg.(
+    value
+    & flag
+    & info [ "no-projection" ]
+        ~doc:"With $(b,--promote): keep zone maps and dictionary promotion \
+              but never build sorted projections (isolates their \
+              contribution; used by the benchmark harness).")
 
 let promote_threshold =
   Arg.(
@@ -428,14 +441,19 @@ let classify = function
 
 let run jsons csvs q raw_params engine domains batch_size shards policy max_errors
     timeout_ms retry_budget hedge_ms stats no_cache promote promote_threshold
-    repeat explain verbose format =
+    no_projection repeat explain verbose format =
   let params = parse_params raw_params in
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Info)
   end;
   let caching =
-    { Proteus_cache.Manager.default_config with promote; promote_threshold }
+    {
+      Proteus_cache.Manager.default_config with
+      promote;
+      promote_threshold;
+      promote_projections = not no_projection;
+    }
   in
   let db = Proteus.Db.create ~caching () in
   if no_cache then Proteus.Db.set_caching db false;
@@ -512,8 +530,11 @@ let run jsons csvs q raw_params engine domains batch_size shards policy max_erro
               cs.Proteus_cache.Manager.fill_commits cs.fill_segments cs.fill_rows
               cs.quarantined;
           if cs.Proteus_cache.Manager.promotions > 0 then
-            Fmt.epr "cache promotion: promotions=%d zone-maps=%d dict-columns=%d@."
-              cs.Proteus_cache.Manager.promotions cs.zone_maps cs.dict_columns;
+            Fmt.epr
+              "cache promotion: promotions=%d zone-maps=%d dict-columns=%d \
+               sorted-projections=%d slot-columns=%d@."
+              cs.Proteus_cache.Manager.promotions cs.zone_maps cs.dict_columns
+              cs.sorted_projections cs.slot_columns;
           Fmt.epr "%a" pp_report report
         end;
         0
@@ -534,7 +555,7 @@ let run jsons csvs q raw_params engine domains batch_size shards policy max_erro
 
 let run jsons csvs q params engine domains batch_size shards policy max_errors
     timeout_ms retry_budget hedge_ms stats no_cache promote promote_threshold
-    repeat explain verbose format =
+    no_projection repeat explain verbose format =
   let files =
     List.map (fun (n, p, _) -> (n, p, "json")) jsons
     @ List.map (fun (n, p, _) -> (n, p, "csv")) csvs
@@ -542,7 +563,7 @@ let run jsons csvs q params engine domains batch_size shards policy max_errors
   try
     run jsons csvs q params engine domains batch_size shards policy max_errors
       timeout_ms retry_budget hedge_ms stats no_cache promote promote_threshold
-      repeat explain verbose format
+      no_projection repeat explain verbose format
   with
   | (Perror.Parse_error _ | Perror.Plan_error _ | Perror.Type_error _
     | Perror.Unsupported _ | Sys_error _) as e ->
@@ -665,7 +686,7 @@ let query_term =
     const run $ json_args $ csv_args $ query $ params_arg $ engine $ domains
     $ batch_size $ shards_arg $ on_error $ max_errors $ timeout_ms
     $ retry_budget $ hedge_ms $ stats $ no_cache $ promote $ promote_threshold
-    $ repeat $ explain $ verbose $ format)
+    $ no_projection $ repeat $ explain $ verbose $ format)
 
 let serve_cmd =
   let doc = "serve concurrent queries over TCP (prepare-once/run-many)" in

@@ -16,6 +16,9 @@ type config = {
   subsumption : bool;
   promote : bool;
   promote_threshold : int;
+  promote_projections : bool;
+      (* build sorted projections for promoted numeric columns that saw
+         range predicates (off = zone maps only, the PR-6 behaviour) *)
 }
 
 let default_config =
@@ -28,6 +31,7 @@ let default_config =
     subsumption = true;
     promote = false;
     promote_threshold = 3;
+    promote_projections = true;
   }
 
 let config_disabled =
@@ -40,6 +44,7 @@ let config_disabled =
     subsumption = false;
     promote = false;
     promote_threshold = 3;
+    promote_projections = false;
   }
 
 type stats = {
@@ -59,6 +64,8 @@ type stats = {
   promotions : int;       (* columns promoted past the workload threshold *)
   zone_maps : int;        (* zone-map side structures built *)
   dict_columns : int;     (* string columns re-encoded as dictionaries *)
+  sorted_projections : int;  (* value-ordered copies + OID permutations *)
+  slot_columns : int;     (* columns pre-parsed straight from format indexes *)
 }
 
 type t = {
@@ -69,10 +76,12 @@ type t = {
       (* one lock over all manager state: lookups, stores, promotion
          accounting and eviction callbacks — concurrent sessions share one
          manager, and the arena's LRU mutates on every touch *)
-  mutable on_promote : (string -> string -> unit) option;
-      (* promotion hook (dataset, path), fired OUTSIDE the lock: the engine
-         cache invalidates compiled plans that baked in the pre-promotion
-         layout (no zone skip, undictionarized probes) *)
+  mutable on_promote : (string -> string -> unit) list;
+      (* promotion hooks (dataset, path), fired OUTSIDE the lock in
+         registration order: the db layer materializes pre-parsed slot
+         columns for promoted JSON paths, then the engine cache invalidates
+         compiled plans that baked in the pre-promotion layout (no zone
+         skip, undictionarized probes) *)
   mutable promo_fired : (string * string) list;  (* pending hook calls *)
   fields : (string * string, Column.t) Hashtbl.t;    (* (dataset, path) *)
   packed : (string, Cache_iface.packed * string list) Hashtbl.t;  (* key -> (cols, datasets) *)
@@ -82,6 +91,7 @@ type t = {
   access : (string * string, access_acc) Hashtbl.t;
   promoted : (string * string, unit) Hashtbl.t;
   zones : (string * string, Zonemap.t) Hashtbl.t;
+  projections : (string * string, Projection.t) Hashtbl.t;
   mutable field_hits : int;
   mutable field_misses : int;
   mutable field_stores : int;
@@ -98,11 +108,14 @@ type t = {
   mutable promotions : int;
   mutable zone_maps : int;
   mutable dict_columns : int;
+  mutable sorted_projections : int;
+  mutable slot_columns : int;
 }
 
 and access_acc = {
   mutable reads : int;      (* cache-lookup hits for the column *)
   mutable selective : int;  (* queries that compiled a comparison over it *)
+  mutable ranged : int;     (* of those, range (not equality) comparisons *)
 }
 
 and select_entry = {
@@ -118,7 +131,7 @@ let create ?(config = default_config) catalog =
     catalog;
     arena = Memory.Arena.of_mgr (Catalog.memory catalog);
     mu = Mutex.create ();
-    on_promote = None;
+    on_promote = [];
     promo_fired = [];
     fields = Hashtbl.create 32;
     packed = Hashtbl.create 16;
@@ -126,6 +139,7 @@ let create ?(config = default_config) catalog =
     access = Hashtbl.create 32;
     promoted = Hashtbl.create 8;
     zones = Hashtbl.create 8;
+    projections = Hashtbl.create 8;
     field_hits = 0;
     field_misses = 0;
     field_stores = 0;
@@ -142,6 +156,8 @@ let create ?(config = default_config) catalog =
     promotions = 0;
     zone_maps = 0;
     dict_columns = 0;
+    sorted_projections = 0;
+    slot_columns = 0;
   }
 
 (* Serialize every entry point; deliver promotion-hook notifications after
@@ -153,18 +169,17 @@ let with_mu t f =
   | v ->
     let fired = List.rev t.promo_fired in
     t.promo_fired <- [];
-    let hook = t.on_promote in
+    let hooks = t.on_promote in
     Mutex.unlock t.mu;
-    (match hook with
-    | Some h -> List.iter (fun (ds, p) -> h ds p) fired
-    | None -> ());
+    List.iter (fun (ds, p) -> List.iter (fun h -> h ds p) hooks) fired;
     v
   | exception e ->
     t.promo_fired <- [];
     Mutex.unlock t.mu;
     raise e
 
-let set_on_promote t h = with_mu t (fun () -> t.on_promote <- Some h)
+let set_on_promote t h =
+  with_mu t (fun () -> t.on_promote <- t.on_promote @ [ h ])
 
 let field_id dataset path = Fmt.str "field:%s:%s" dataset path
 
@@ -179,7 +194,7 @@ let access_acc t key =
   match Hashtbl.find_opt t.access key with
   | Some a -> a
   | None ->
-    let a = { reads = 0; selective = 0 } in
+    let a = { reads = 0; selective = 0; ranged = 0 } in
     Hashtbl.replace t.access key a;
     a
 
@@ -196,10 +211,32 @@ let build_zones t (dataset, path) col =
             zm.Zonemap.zone)
     | None -> ()
 
+(* Sorted projections are the second promotion tier: only columns whose
+   workload showed RANGE predicates earn the sort + permutation — equality
+   probes and plain reads are already served by zone maps/dictionaries, and
+   on unclustered data only the sorted copy can prove morsels empty. *)
+let build_projection t (dataset, path) col =
+  if
+    t.config.promote_projections
+    && (not (Hashtbl.mem t.projections (dataset, path)))
+    && (access_acc t (dataset, path)).ranged > 0
+  then
+    match Projection.of_column col with
+    | Some pr ->
+      Hashtbl.replace t.projections (dataset, path) pr;
+      t.sorted_projections <- t.sorted_projections + 1;
+      Stats.note_rich_layout (Catalog.stats t.catalog dataset) path;
+      Log.info (fun m ->
+          m "sorted projection for %s.%s: %d rows (%d bytes)" dataset path
+            (Projection.rows pr) (Projection.byte_size pr))
+    | None -> ()
+
 (* Past-threshold promotion: numeric columns gain a zone map (built in one
    pass when the column is already filled; otherwise at the next fill
-   commit), string columns re-encode as dictionaries in place. Costing
-   learns about it through the catalog statistics. *)
+   commit) and — when the workload showed range predicates — a sorted
+   projection; string columns re-encode as dictionaries in place and their
+   decoded entries get lexicographic zone maps. Costing learns about it
+   through the catalog statistics. *)
 let promote_now t dataset path =
   Hashtbl.replace t.promoted (dataset, path) ();
   t.promotions <- t.promotions + 1;
@@ -208,10 +245,13 @@ let promote_now t dataset path =
   (match Hashtbl.find_opt t.fields (dataset, path) with
   | Some col -> (
     build_zones t (dataset, path) col;
+    build_projection t (dataset, path) col;
     match Column.promote_strings col with
     | Some dcol when dcol != col ->
       Hashtbl.replace t.fields (dataset, path) dcol;
-      t.dict_columns <- t.dict_columns + 1
+      t.dict_columns <- t.dict_columns + 1;
+      (* the dictionary layout is what the string zone map is built over *)
+      build_zones t (dataset, path) dcol
     | Some _ | None -> ())
   | None -> ());
   Log.info (fun m -> m "promoted %s.%s" dataset path)
@@ -223,16 +263,37 @@ let maybe_promote t dataset path =
       promote_now t dataset path
   end
 
-let note_selective t ~dataset ~path =
+let note_selective t ~dataset ~path ~ranged =
   if t.config.promote then begin
     let acc = access_acc t (dataset, path) in
     acc.selective <- acc.selective + 1;
+    if ranged then begin
+      acc.ranged <- acc.ranged + 1;
+      (* range evidence arriving after promotion still upgrades the layout:
+         the column is in hand, so the projection builds right here *)
+      if is_promoted t ~dataset ~path then
+        match Hashtbl.find_opt t.fields (dataset, path) with
+        | Some col -> build_projection t (dataset, path) col
+        | None -> ()
+    end;
     maybe_promote t dataset path
   end
 
 let lookup_zones t ~dataset ~path =
   if is_promoted t ~dataset ~path then Hashtbl.find_opt t.zones (dataset, path)
   else None
+
+let lookup_projection t ~dataset ~path =
+  if is_promoted t ~dataset ~path then
+    Hashtbl.find_opt t.projections (dataset, path)
+  else None
+
+(* The registry reports a promotion-time materialization straight from a
+   format index (pre-parsed slot column) — bookkeeping + costing signal. *)
+let note_slot_column t ~dataset ~path =
+  t.slot_columns <- t.slot_columns + 1;
+  Stats.note_rich_layout (Catalog.stats t.catalog dataset) path;
+  Log.info (fun m -> m "slot column materialized for %s.%s" dataset path)
 
 let lookup_field t ~dataset ~path =
   match Hashtbl.find_opt t.fields (dataset, path) with
@@ -269,14 +330,19 @@ let store_field t ~dataset ~path ~bias col =
   (match
      Memory.Arena.put t.arena ~id ~size ~bias ~on_evict:(fun () ->
          Hashtbl.remove t.fields (dataset, path);
-         Hashtbl.remove t.zones (dataset, path))
+         Hashtbl.remove t.zones (dataset, path);
+         Hashtbl.remove t.projections (dataset, path))
    with
   | () ->
     Hashtbl.replace t.fields (dataset, path) col;
     t.field_stores <- t.field_stores + 1;
-    (* fill-session commit lands here: record the zone-map side structure
+    (* fill-session commit lands here: record the zone-map (and, for
+       promoted range-hot columns, the sorted-projection) side structures
        alongside the block while the column is in hand (one pass) *)
-    if t.config.promote then build_zones t (dataset, path) col;
+    if t.config.promote then begin
+      build_zones t (dataset, path) col;
+      if is_promoted t ~dataset ~path then build_projection t (dataset, path) col
+    end;
     Log.info (fun m -> m "cached %s.%s (%d bytes)" dataset path size)
   | exception Invalid_argument _ ->
     (* larger than the whole arena: skip caching rather than fail the query *)
@@ -436,14 +502,24 @@ let iface t : Cache_iface.t =
       (fun ~dataset ~segments ~rows ->
         with_mu t (fun () -> note_fill t ~dataset ~segments ~rows));
     note_selective =
-      (fun ~dataset ~path -> with_mu t (fun () -> note_selective t ~dataset ~path));
+      (fun ~dataset ~path ~ranged ->
+        with_mu t (fun () -> note_selective t ~dataset ~path ~ranged));
     lookup_zones =
       (fun ~dataset ~path -> with_mu t (fun () -> lookup_zones t ~dataset ~path));
+    lookup_projection =
+      (fun ~dataset ~path ->
+        with_mu t (fun () -> lookup_projection t ~dataset ~path));
+    note_slot_column =
+      (fun ~dataset ~path ->
+        with_mu t (fun () -> note_slot_column t ~dataset ~path));
   }
 
 let is_promoted t ~dataset ~path = with_mu t (fun () -> is_promoted t ~dataset ~path)
 
 let lookup_zones t ~dataset ~path = with_mu t (fun () -> lookup_zones t ~dataset ~path)
+
+let lookup_projection t ~dataset ~path =
+  with_mu t (fun () -> lookup_projection t ~dataset ~path)
 
 let stats t = with_mu t @@ fun () ->
   {
@@ -463,6 +539,8 @@ let stats t = with_mu t @@ fun () ->
     promotions = t.promotions;
     zone_maps = t.zone_maps;
     dict_columns = t.dict_columns;
+    sorted_projections = t.sorted_projections;
+    slot_columns = t.slot_columns;
   }
 
 let field_bytes_for t ~dataset = with_mu t @@ fun () ->
@@ -534,6 +612,7 @@ let invalidate_dataset t ~dataset = with_mu t @@ fun () ->
   in
   List.iter (Hashtbl.remove t.access) (adaptive_keys t.access);
   List.iter (Hashtbl.remove t.zones) (adaptive_keys t.zones);
+  List.iter (Hashtbl.remove t.projections) (adaptive_keys t.projections);
   List.iter
     (fun (ds, path) ->
       Hashtbl.remove t.promoted (ds, path);
@@ -554,4 +633,5 @@ let clear t = with_mu t @@ fun () ->
   Hashtbl.reset t.selects;
   Hashtbl.reset t.access;
   Hashtbl.reset t.promoted;
-  Hashtbl.reset t.zones
+  Hashtbl.reset t.zones;
+  Hashtbl.reset t.projections

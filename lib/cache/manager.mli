@@ -38,6 +38,12 @@ type config = {
   promote_threshold : int;
       (** accesses (reads + selective-conjunct compilations) before a column
           promotes; default 3 *)
+  promote_projections : bool;
+      (** adaptive storage 2.0: promoted numeric columns whose workload
+          showed range predicates additionally materialize a sorted
+          projection (value-ordered copy + OID permutation), so range scans
+          skip morsels even on unclustered data. Default true (inert unless
+          [promote] is on) *)
 }
 
 val default_config : config
@@ -54,9 +60,11 @@ val create : ?config:config -> Catalog.t -> t
 val iface : t -> Proteus_plugin.Cache_iface.t
 
 (** [set_on_promote t f] registers [f dataset path] to run after a column
-    promotes (outside the manager's lock). The server's engine cache uses it
-    to drop compiled plans that baked in the pre-promotion layout — no zone
-    skip, no dictionary probe. *)
+    promotes (outside the manager's lock). Hooks accumulate and fire in
+    registration order: the db layer materializes pre-parsed slot columns
+    for promoted JSON paths, then the server's engine cache drops compiled
+    plans that baked in the pre-promotion layout — no zone skip, no
+    dictionary probe. *)
 val set_on_promote : t -> (string -> string -> unit) -> unit
 
 (** {1 Introspection} *)
@@ -87,6 +95,12 @@ type stats = {
   zone_maps : int;  (** zone-map side structures built (at fill commit or
                         at promotion of an already-filled column) *)
   dict_columns : int;  (** string columns re-encoded as dictionaries *)
+  sorted_projections : int;
+      (** sorted projections built (value-ordered copy + OID permutation)
+          for promoted columns with observed range predicates *)
+  slot_columns : int;
+      (** typed columns materialized straight from format-index spans at
+          promotion (pre-parsed JSON slot columns) *)
 }
 
 val stats : t -> stats
@@ -96,9 +110,15 @@ val stats : t -> stats
 val is_promoted : t -> dataset:string -> path:string -> bool
 
 (** The zone map of a promoted column, when one exists ([None] for
-    unpromoted or non-numeric columns, and after eviction). *)
+    unpromoted or unsupported columns, and after eviction). *)
 val lookup_zones :
   t -> dataset:string -> path:string -> Proteus_storage.Zonemap.t option
+
+(** The sorted projection of a promoted column, when one was built ([None]
+    for unpromoted columns, columns without observed range predicates, and
+    after eviction). *)
+val lookup_projection :
+  t -> dataset:string -> path:string -> Proteus_storage.Projection.t option
 
 (** [bytes_for t ~dataset] is the total resident cache bytes built from one
     dataset (field caches plus materialized join sides and sigma-results). *)

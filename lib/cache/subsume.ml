@@ -2,16 +2,27 @@ open Proteus_model
 module Analysis = Proteus_algebra.Analysis
 
 (* A conjunct normalized to "path ⟨bound⟩": an upper and/or lower bound on a
-   numeric path. *)
-type bound = { value : float; strict : bool }
+   numeric or string path. Numerics order through float (mirroring
+   [Expr.cmp]'s int-vs-float semantics); strings order lexicographically.
+   Bounds of different kinds never imply one another. *)
+type key = K_num of float | K_str of string
+
+type bound = { value : key; strict : bool }
 
 type constraint_ = { path : string; upper : bound option; lower : bound option }
 
-let const_float (e : Expr.t) =
+let const_key (e : Expr.t) =
   match e with
-  | Expr.Const (Value.Int i) -> Some (float_of_int i)
-  | Expr.Const (Value.Float f) -> Some f
+  | Expr.Const (Value.Int i) -> Some (K_num (float_of_int i))
+  | Expr.Const (Value.Float f) -> Some (K_num f)
+  | Expr.Const (Value.String s) -> Some (K_str s)
   | _ -> None
+
+let key_compare a b =
+  match a, b with
+  | K_num x, K_num y -> Some (Float.compare x y)
+  | K_str x, K_str y -> Some (String.compare x y)
+  | K_num _, K_str _ | K_str _, K_num _ -> None
 
 let normalize (c : Expr.t) : constraint_ option =
   let mk path upper lower = Some { path; upper; lower } in
@@ -35,22 +46,24 @@ let normalize (c : Expr.t) : constraint_ option =
   in
   match c with
   | Expr.Binop (op, l, r) -> (
-    match Analysis.path_of l, const_float r with
+    match Analysis.path_of l, const_key r with
     | Some (_, p), Some k when p <> "" -> of_parts op p k
     | _ -> (
-      match Analysis.path_of r, const_float l with
+      match Analysis.path_of r, const_key l with
       | Some (_, p), Some k when p <> "" -> of_parts (flip op) p k
       | _ -> None))
   | _ -> None
 
 (* does the q-bound imply the c-bound? (all x under q's bound satisfy c's) *)
 let upper_implies (q : bound) (c : bound) =
-  q.value < c.value
-  || (Float.equal q.value c.value && (q.strict || not c.strict))
+  match key_compare q.value c.value with
+  | Some n -> n < 0 || (n = 0 && (q.strict || not c.strict))
+  | None -> false
 
 let lower_implies (q : bound) (c : bound) =
-  q.value > c.value
-  || (Float.equal q.value c.value && (q.strict || not c.strict))
+  match key_compare q.value c.value with
+  | Some n -> n > 0 || (n = 0 && (q.strict || not c.strict))
+  | None -> false
 
 let covers ~cached ~query =
   let cached_cs = List.map normalize (Expr.conjuncts cached) in

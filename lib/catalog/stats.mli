@@ -48,6 +48,15 @@ val drop_promoted : t -> string -> unit
 val promoted : t -> string -> bool
 val any_promoted : t -> bool
 
+(** Rich layouts go further than promotion: a sorted projection or a
+    pre-parsed slot column serves reads at (or below) binary-column cost
+    with morsel skipping on top, so costing discounts such scans more
+    aggressively. [drop_promoted] clears the rich mark too. *)
+
+val note_rich_layout : t -> string -> unit
+val rich_layout : t -> string -> bool
+val any_rich_layout : t -> bool
+
 val clear : t -> unit
 
 val pp : Format.formatter -> t -> unit

@@ -3,6 +3,8 @@ open Proteus_plugin
 module Plan = Proteus_algebra.Plan
 module Fingerprint = Proteus_algebra.Fingerprint
 module Zonemap = Proteus_storage.Zonemap
+module Projection = Proteus_storage.Projection
+module Bloom = Proteus_storage.Bloom
 
 module VH = Hashtbl.Make (struct
   type t = Value.t
@@ -460,6 +462,11 @@ type bfrag = {
       (* shard pruning state of a serial drive over a shard set (the
          parallel spine prunes at the fleet dispenser instead); Select
          compilation appends conjunct tests, the driver arms per run *)
+  mutable bf_joins : (int, shared_join) Hashtbl.t option;
+      (* set by a serial hash join probing this fragment: the build's
+         materialized key state, so the serial driver can arm shard
+         pruning and the join-side morsel/batch skip after the build runs
+         (the parallel spine arms at the fleet dispenser instead) *)
 }
 
 (* Compile one predicate into per-conjunct filters: a vectorized kernel
@@ -537,6 +544,10 @@ let zone_test op (v : Value.t) : Zonemap.test option =
   | Some o, Value.Int i -> Some (Zonemap.T_int (o, i))
   | Some o, Value.Date d -> Some (Zonemap.T_int (o, d)) (* dates cache as int columns *)
   | Some o, Value.Float f -> Some (Zonemap.T_float (o, f))
+  | Some o, Value.String s ->
+    (* dictionary-promoted string columns carry per-zone lexicographic
+       bounds; numeric zones answer "maybe" to a string test *)
+    Some (Zonemap.T_str (o, s))
   | _ -> None
 
 let zone_flip = function
@@ -609,6 +620,30 @@ let selective_paths ~binding pred =
   in
   List.sort_uniq String.compare paths
 
+(* The subset of selective paths pinned by a RANGE comparison (not mere
+   equality): the signal that a sorted projection — which turns range
+   conjuncts into contiguous sorted-position bands — would pay off. *)
+let ranged_paths ~binding pred =
+  let paths =
+    List.filter_map
+      (fun c ->
+        match c with
+        | Expr.Binop ((Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge), l, r) -> (
+          match path_of l, r with
+          | Some (v, path), (Expr.Const _ | Expr.Param _)
+            when String.equal v binding && path <> "" ->
+            Some path
+          | _ -> (
+            match l, path_of r with
+            | (Expr.Const _ | Expr.Param _), Some (v, path)
+              when String.equal v binding && path <> "" ->
+              Some path
+            | _ -> None))
+        | _ -> None)
+      (Expr.conjuncts pred)
+  in
+  List.sort_uniq String.compare paths
+
 (* Promotion feedback: report which columns selective comparisons touch,
    once per query compile (the template instance), like [count_lane]. *)
 let note_selective ctx ~dataset ~binding pred =
@@ -616,8 +651,11 @@ let note_selective ctx ~dataset ~binding pred =
   | Some p when p.par_worker > 0 -> ()
   | _ ->
     let cache = Registry.cache ctx.reg in
+    let ranged = ranged_paths ~binding pred in
     List.iter
-      (fun path -> cache.Cache_iface.note_selective ~dataset ~path)
+      (fun path ->
+        cache.Cache_iface.note_selective ~dataset ~path
+          ~ranged:(List.mem path ranged))
       (selective_paths ~binding pred)
 
 (* The morsel/batch skip test for a scan driving over the raw dataset:
@@ -631,33 +669,78 @@ let note_selective ctx ~dataset ~binding pred =
    any worker domain — pure zone reads plus atomic counter ticks. *)
 let zone_skip ctx ~dataset ~binding preds : (lo:int -> hi:int -> bool) option =
   let cache = Registry.cache ctx.reg in
-  let tests =
-    List.concat_map
-      (fun pred ->
-        List.filter_map
-          (fun (path, arm) ->
-            match cache.Cache_iface.lookup_zones ~dataset ~path with
-            | Some zm -> Some (zm, arm)
-            | None -> None)
-          (zone_conjuncts ctx.cenv ~binding pred))
-      preds
+  let conjs =
+    List.concat_map (fun pred -> zone_conjuncts ctx.cenv ~binding pred) preds
   in
-  match tests with
-  | [] -> None
-  | tests ->
+  let tests =
+    List.filter_map
+      (fun (path, arm) ->
+        match cache.Cache_iface.lookup_zones ~dataset ~path with
+        | Some zm -> Some (zm, arm)
+        | None -> None)
+      conjs
+  in
+  (* Sorted-projection tests, one per promoted path: the path's conjunct
+     arms resolve to a test list, one binary-search seek turns it into a
+     zone bitmap (memoized until the bound parameters change — workers race
+     on the memo benignly: recomputation is deterministic), and the morsel
+     test reads the bitmap. Where a zone map needs clustered data to skip,
+     the bitmap proves zones empty on any row order. *)
+  let proj_tests =
+    let by_path = Hashtbl.create 4 in
+    List.iter
+      (fun (path, arm) ->
+        let arms = try Hashtbl.find by_path path with Not_found -> [] in
+        Hashtbl.replace by_path path (arm :: arms))
+      conjs;
+    Hashtbl.fold
+      (fun path arms acc ->
+        match cache.Cache_iface.lookup_projection ~dataset ~path with
+        | None -> acc
+        | Some pr ->
+          let memo = Atomic.make None in
+          let test ~lo ~hi =
+            (* an arm whose parameter holds a non-orderable value yields no
+               test; the remaining conjuncts still bound a sound (wider)
+               band — fewer tests only marks MORE zones *)
+            let ts = List.filter_map (fun arm -> arm ()) arms in
+            if ts = [] then false
+            else
+              let bits =
+                match Atomic.get memo with
+                | Some (ts', bits) when ts' = ts -> bits
+                | _ ->
+                  Counters.add_sorted_seeks 1;
+                  let bits = Projection.zones_for pr ts in
+                  Atomic.set memo (Some (ts, bits));
+                  bits
+              in
+              match bits with
+              | None -> false
+              | Some b ->
+                Counters.add_zone_checks 1;
+                not (Projection.range_may_match pr b ~lo ~hi)
+          in
+          test :: acc)
+      by_path []
+  in
+  match tests, proj_tests with
+  | [], [] -> None
+  | _ ->
     Some
       (fun ~lo ~hi ->
         (match Fault.policy () with
         | Fault.Fail_fast -> true
         | Fault.Skip_row | Fault.Null_fill -> false)
-        && List.exists
-             (fun (zm, arm) ->
-               match arm () with
-               | None -> false
-               | Some test ->
-                 Counters.add_zone_checks 1;
-                 not (Zonemap.may_match_range zm ~lo ~hi test))
-             tests)
+        && (List.exists
+              (fun (zm, arm) ->
+                match arm () with
+                | None -> false
+                | Some test ->
+                  Counters.add_zone_checks 1;
+                  not (Zonemap.may_match_range zm ~lo ~hi test))
+              tests
+           || List.exists (fun t -> t ~lo ~hi) proj_tests))
 
 let zone_skip_merge a b =
   match a, b with
@@ -712,11 +795,21 @@ let digest_may_match (dg : Registry.shard_digest) (test : shard_test) =
   else
     match test with
     | St_none -> false
+    | St_cmp (Zonemap.T_str (op, s)) -> (
+      (* digests keep numeric min/max only: string ordering cannot be
+         refuted, string equality goes through the Bloom filter *)
+      match op with
+      | Zonemap.Eq ->
+        (not dg.sd_keyed)
+        || Proteus_storage.Bloom.mem dg.sd_bloom
+             (Proteus_storage.Bloom.key_string s)
+      | _ -> true)
     | St_cmp t -> (
       let op, c =
         match t with
         | Zonemap.T_int (op, c) -> (op, float_of_int c)
         | Zonemap.T_float (op, c) -> (op, c)
+        | Zonemap.T_str _ -> assert false (* handled above *)
       in
       if Float.is_nan c then true
       else
@@ -896,6 +989,156 @@ let shard_skip (st : shard_state) : lo:int -> hi:int -> bool =
          !ok
        end
 
+(* ------------------------------------------------------------------ *)
+(* Join-side pruning of probe morsels/batches. After an Inner hash-join
+   build materialized its keys, a probe row whose join key misses every
+   build key contributes nothing downstream — so a morsel whose promoted
+   key-column metadata (sorted projection, zone map, Bloom filter over
+   the build keys) proves every row a miss can skip outright, exactly
+   like a refuted pushed-down conjunct. Computed at arm time (after the
+   builds ran) once per run; the returned closure is safe on any worker
+   domain (pure reads + counter ticks). Left-outer joins pass unmatched
+   probe rows through and never prune; degraded fault policies stand the
+   test down per call, like [zone_skip]. *)
+
+(* distinct build keys when few enough to test per-key; None = use range *)
+let ikeys_small_set ks =
+  let n = Array.length ks in
+  if n = 0 || n > 1024 then None
+  else begin
+    let s = Array.copy ks in
+    Array.sort compare s;
+    let m = ref 1 in
+    for i = 1 to n - 1 do
+      if s.(i) <> s.(!m - 1) then begin
+        s.(!m) <- s.(i);
+        incr m
+      end
+    done;
+    if !m <= 64 then Some (Array.sub s 0 !m) else None
+  end
+
+let join_skip ctx ~dataset ~binding (joins : (int, shared_join) Hashtbl.t) :
+    (lo:int -> hi:int -> bool) option =
+  let cache = Registry.cache ctx.reg in
+  let tests =
+    Hashtbl.fold
+      (fun _ (sj : shared_join) acc ->
+        if sj.sj_kind <> Plan.Inner then acc
+        else if !(sj.sj_rows) = 0 then
+          (* empty Inner build: every probe morsel is provably empty *)
+          (fun ~lo:_ ~hi:_ -> true) :: acc
+        else
+          match sj.sj_left_key, sj.sj_mode with
+          | Some lk, `Radix -> (
+            match path_of lk with
+            | Some (v, path) when String.equal v binding && path <> "" -> (
+              let ks = !(sj.sj_ikeys) in
+              let n = Array.length ks in
+              if n = 0 then acc
+              else begin
+                let kmin = ref ks.(0) and kmax = ref ks.(0) in
+                Array.iter
+                  (fun k ->
+                    if k < !kmin then kmin := k;
+                    if k > !kmax then kmax := k)
+                  ks;
+                let kmin = !kmin and kmax = !kmax in
+                let small = ikeys_small_set ks in
+                let proj =
+                  match cache.Cache_iface.lookup_projection ~dataset ~path with
+                  | None -> None
+                  | Some pr -> (
+                    (* seek the build keys into a zone bitmap once, here at
+                       arm time: marked zones are the only ones that can
+                       hold a matching probe key *)
+                    let ts =
+                      match small with
+                      | Some s ->
+                        Projection.zones_union pr
+                          (Array.to_list
+                             (Array.map (fun k -> Zonemap.T_int (Zonemap.Eq, k)) s))
+                      | None ->
+                        Projection.zones_for pr
+                          [ Zonemap.T_int (Zonemap.Ge, kmin);
+                            Zonemap.T_int (Zonemap.Le, kmax) ]
+                    in
+                    match ts with
+                    | None -> None
+                    | Some bits ->
+                      Counters.add_sorted_seeks 1;
+                      Some
+                        (fun ~lo ~hi ->
+                          Counters.add_zone_checks 1;
+                          not (Projection.range_may_match pr bits ~lo ~hi)))
+                in
+                match proj with
+                | Some t -> t :: acc
+                | None -> (
+                  match cache.Cache_iface.lookup_zones ~dataset ~path with
+                  | None -> acc
+                  | Some zm -> (
+                    (* Bloom over the build keys refines zone ranges too
+                       narrow for min/max disjointness to refute *)
+                    let bloom = Bloom.create n in
+                    Array.iter (fun k -> Bloom.add bloom (Bloom.key_int k)) ks;
+                    match small with
+                    | Some s ->
+                      (fun ~lo ~hi ->
+                        Counters.add_zone_checks 1;
+                        not
+                          (Array.exists
+                             (fun k ->
+                               Zonemap.may_match_range zm ~lo ~hi
+                                 (Zonemap.T_int (Zonemap.Eq, k)))
+                             s))
+                      :: acc
+                    | None ->
+                      (fun ~lo ~hi ->
+                        Counters.add_zone_checks 1;
+                        match Zonemap.range_bounds zm ~lo ~hi with
+                        | None -> false
+                        | Some Zonemap.R_all_null ->
+                          (* Null never equals an Inner join key *)
+                          true
+                        | Some (Zonemap.R_float (zlo, zhi)) ->
+                          zhi < float_of_int kmin || zlo > float_of_int kmax
+                        | Some (Zonemap.R_int (zlo, zhi)) ->
+                          zhi < kmin || zlo > kmax
+                          || (* narrow overlap: every candidate key must
+                                also be Bloom-absent from the build *)
+                          (let plo = max zlo kmin and phi = min zhi kmax in
+                           phi - plo <= 256
+                           && begin
+                                let miss = ref true in
+                                let v = ref plo in
+                                while !miss && !v <= phi do
+                                  if Bloom.mem bloom (Bloom.key_int !v) then
+                                    miss := false;
+                                  incr v
+                                done;
+                                !miss
+                              end))
+                      :: acc))
+              end)
+            | _ -> acc)
+          | _ -> acc)
+      joins []
+  in
+  match tests with
+  | [] -> None
+  | tests ->
+    Some
+      (fun ~lo ~hi ->
+        (match Fault.policy () with
+        | Fault.Fail_fast -> true
+        | Fault.Skip_row | Fault.Null_fill -> false)
+        && List.exists (fun t -> t ~lo ~hi) tests
+        && begin
+             Counters.add_probe_morsels_skipped 1;
+             true
+           end)
+
 (* Feed the promotion signal and extend the fragment's zone skip for one
    predicate applying to the driving scan's rows — shared by Select filter
    nodes and root Reduce predicates. *)
@@ -966,11 +1209,18 @@ let bfrag_driver ctx (frag : bfrag) ~bs
   (* Zone skip at batch granularity: finer than the dispenser's morsel test
      (a batch inside a provably-empty zone drops even when its morsel
      survived), and the only skip the serial batch lane gets. *)
+  let jskip = ref None in
   let on_batch ~base ~len =
     Fault.check_cancel ();
-    match frag.bf_skip with
-    | Some test when test ~lo:base ~hi:(base + len) -> Counters.add_morsels_skipped 1
-    | _ -> work ~base ~len
+    let skip =
+      (match frag.bf_skip with
+      | Some test -> test ~lo:base ~hi:(base + len)
+      | None -> false)
+      || (match !jskip with
+         | Some test -> test ~lo:base ~hi:(base + len)
+         | None -> false)
+    in
+    if skip then Counters.add_morsels_skipped 1 else work ~base ~len
   in
   match ctx.par with
   | Some p when p.par_spine -> (
@@ -994,12 +1244,19 @@ let bfrag_driver ctx (frag : bfrag) ~bs
         in
         loop ())
   | _ -> (
-    (* serial drive: arm shard pruning at thunk start, each run — with no
-       fleet there is no shared-join table, so only conjunct tests apply *)
+    (* serial drive: arm shard pruning and the join-side skip at thunk
+       start, each run — a serial join's build already ran (build thunk
+       precedes the probe thunk), so [bf_joins] holds its final keys *)
     let arm () =
-      match frag.bf_shard with
-      | Some st -> shard_arm st ~joins:None
-      | None -> ()
+      (match frag.bf_shard with
+      | Some st -> shard_arm st ~joins:frag.bf_joins
+      | None -> ());
+      jskip :=
+        match frag.bf_joins, frag.bf_zone with
+        | Some joins, Some (dataset, binding)
+          when Option.is_none frag.bf_fill && Option.is_none frag.bf_session ->
+          join_skip ctx ~dataset ~binding joins
+        | _ -> None
     in
     match frag.bf_session with
     | None ->
@@ -1073,6 +1330,7 @@ let rec compile_bfrag (ctx : ctx) (p : Plan.t) : bfrag option =
           bf_skip = Option.map shard_skip shard_st;
           bf_zone = Some (dataset, binding);
           bf_shard = shard_st;
+          bf_joins = None;
         }
     | Plan.Select { pred; input = Plan.Scan { dataset; binding; _ } as scan_node }
       when select_paths ctx binding <> None -> (
@@ -1105,6 +1363,7 @@ let rec compile_bfrag (ctx : ctx) (p : Plan.t) : bfrag option =
             (* packed rows are not dataset OIDs: zone maps do not apply *)
             bf_zone = None;
             bf_shard = None;
+            bf_joins = None;
           }
       in
       match ctx.par with
@@ -1154,6 +1413,11 @@ type drive = {
       (** shard-pruning arm hook, called by the fleet driver after the
           build phases (so join-key tests see the materialized keys) and
           before any morsel is dispensed *)
+  dr_join_skip :
+    ((int, shared_join) Hashtbl.t -> (lo:int -> hi:int -> bool) option) option;
+      (** join-side morsel-skip maker: given the run's materialized build
+          state (post-build, like [dr_arm]), summarize the Inner-join keys
+          probing this scan and return a skip to merge onto the dispenser *)
 }
 
 (* Walk the spine to the driving scan. [None] means this sub-plan cannot
@@ -1182,6 +1446,7 @@ let rec spine_drive ?(preds = []) (actx : ctx) (p : Plan.t) : drive option =
           (* σ-packed rows are not dataset OIDs: zones do not apply *)
           dr_skip = None;
           dr_arm = None;
+          dr_join_skip = None;
         }
     | None ->
       if select_cache_should_store actx ~dataset ~binding ~pred then None
@@ -1195,18 +1460,19 @@ let rec spine_drive ?(preds = []) (actx : ctx) (p : Plan.t) : drive option =
 and drive_scan actx ~dataset ~binding ~preds =
   let required, whole = scan_required actx binding in
   let scan = Registry.scan actx.reg ~whole ~dataset ~required in
-  let dr_skip, dr_arm =
+  let dr_skip, dr_arm, dr_join_skip =
     (* a filling scan owns an OID-aligned segment for every morsel: never
        skip under an armed session *)
     match scan.Registry.sc_fill with
-    | Some _ -> (None, None)
+    | Some _ -> (None, None, None)
     | None ->
       let zskip = zone_skip actx ~dataset ~binding preds in
       let shard_st =
         make_shard_state actx.reg actx.cenv ~dataset ~binding ~preds
       in
       ( zone_skip_merge zskip (Option.map shard_skip shard_st),
-        Option.map (fun st joins -> shard_arm st ~joins) shard_st )
+        Option.map (fun st joins -> shard_arm st ~joins) shard_st,
+        Some (fun joins -> join_skip actx ~dataset ~binding joins) )
   in
   Some
     {
@@ -1215,6 +1481,7 @@ and drive_scan actx ~dataset ~binding ~preds =
       dr_fill = scan.Registry.sc_fill;
       dr_skip;
       dr_arm;
+      dr_join_skip;
     }
 
 (* Compile [domains] pipeline instances of [subplan] — worker 0 first: the
@@ -1285,6 +1552,16 @@ let compile_instances reg required ~slots ~batch ~domains ?(static = false)
        morsel — the pre-dispatch prune of scatter-gather execution *)
     (match drive.dr_arm with
     | Some arm -> arm (Some joins)
+    | None -> ());
+    (* join-side morsel skip, armed with the same post-build visibility:
+       merged onto the base skip for this run only (the reset above
+       re-installs the base, so no merge accumulates across runs) *)
+    (match drive.dr_join_skip with
+    | Some mk -> (
+      match mk joins with
+      | Some jskip ->
+        Pool.Dispenser.set_skip disp (zone_skip_merge drive.dr_skip (Some jskip))
+      | None -> ())
     | None -> ());
     for w = 1 to domains - 1 do
       runners.(w) <- wire w instances.(w)
@@ -2057,7 +2334,30 @@ and compile_join ctx ~kind ~algo ~left ~right ~left_key ~right_key ~pred =
           (match equi with Some (lk, _) when use_hash -> Some lk | _ -> None);
         sj_ikeys = ikey_vec;
       }
-  | None -> ());
+  | None -> (
+    (* serial lane: publish the same build state to the probe fragment, so
+       its driver (which runs after the build thunk) can arm shard pruning
+       and the join-side batch skip against the materialized keys — the
+       pruning that used to need the parallel fleet's build barrier *)
+    match left_lane with
+    | (`Spill (_, frag, _) | `Batch (_, frag, _, _, _))
+      when kind = Plan.Inner && mode = `Radix ->
+      let js = Hashtbl.create 1 in
+      Hashtbl.replace js 0
+        {
+          sj_cols = [];
+          sj_rows = mat_rows;
+          sj_radix = radix;
+          sj_table = table;
+          sj_mode = mode;
+          sj_kind = kind;
+          sj_residual = residual;
+          sj_left_key =
+            (match equi with Some (lk, _) when use_hash -> Some lk | _ -> None);
+          sj_ikeys = ikey_vec;
+        };
+      frag.bf_joins <- Some js
+    | _ -> ()));
   fun consumer ->
     let mat_consumer () =
       incr mat_rows;

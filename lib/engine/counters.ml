@@ -16,6 +16,9 @@ type snapshot = {
   morsels : int;
   morsels_skipped : int;
   zone_checks : int;
+  sorted_seeks : int;
+  probe_morsels_skipped : int;
+  slot_reads : int;
   shards_pruned : int;
   dict_probes : int;
   errors_seen : int;
@@ -57,6 +60,8 @@ let fill_ns = make_counter ()
 let morsels = make_counter ()
 let morsels_skipped = make_counter ()
 let zone_checks = make_counter ()
+let sorted_seeks = make_counter ()
+let probe_morsels_skipped = make_counter ()
 let shards_pruned = make_counter ()
 let dict_probes = make_counter ()
 
@@ -86,10 +91,13 @@ let reset () =
   zero morsels;
   zero morsels_skipped;
   zero zone_checks;
+  zero sorted_seeks;
+  zero probe_morsels_skipped;
   zero shards_pruned;
   zero dict_probes;
   Proteus_model.Fault.reset_totals ();
-  Proteus_resilience.Stats.reset ()
+  Proteus_resilience.Stats.reset ();
+  Proteus_plugin.Pstats.reset ()
 
 let snapshot () =
   {
@@ -110,6 +118,11 @@ let snapshot () =
     morsels = total morsels;
     morsels_skipped = total morsels_skipped;
     zone_checks = total zone_checks;
+    sorted_seeks = total sorted_seeks;
+    probe_morsels_skipped = total probe_morsels_skipped;
+    (* the plugin layer owns this one (slot-column routing happens at scan
+       construction, below the engine) — mirrored like the fault totals *)
+    slot_reads = Proteus_plugin.Pstats.slot_reads_total ();
     shards_pruned = total shards_pruned;
     dict_probes = total dict_probes;
     (* The fault layer owns these (it already accounts them atomically per
@@ -136,6 +149,8 @@ let add_lanes_tuple n = add lanes_tuple n
 let add_morsels n = add morsels n
 let add_morsels_skipped n = add morsels_skipped n
 let add_zone_checks n = add zone_checks n
+let add_sorted_seeks n = add sorted_seeks n
+let add_probe_morsels_skipped n = add probe_morsels_skipped n
 let add_shards_pruned n = add shards_pruned n
 let add_dict_probes n = add dict_probes n
 
@@ -175,6 +190,10 @@ let pp ppf s =
     Fmt.pf ppf " morsels=%d" s.morsels;
   if s.morsels_skipped > 0 || s.zone_checks > 0 then
     Fmt.pf ppf " zone-checks=%d morsels-skipped=%d" s.zone_checks s.morsels_skipped;
+  if s.sorted_seeks > 0 then Fmt.pf ppf " sorted-seeks=%d" s.sorted_seeks;
+  if s.probe_morsels_skipped > 0 then
+    Fmt.pf ppf " probe-morsels-skipped=%d" s.probe_morsels_skipped;
+  if s.slot_reads > 0 then Fmt.pf ppf " slot-reads=%d" s.slot_reads;
   if s.shards_pruned > 0 then Fmt.pf ppf " shards-pruned=%d" s.shards_pruned;
   if s.dict_probes > 0 then Fmt.pf ppf " dict-probes=%d" s.dict_probes;
   if s.scan_ns + s.build_ns + s.probe_ns + s.merge_ns + s.fill_ns > 0 then begin

@@ -36,6 +36,16 @@ type snapshot = {
       (** morsels/batches skipped outright because a zone map proved no row
           could satisfy a pushed-down comparison *)
   zone_checks : int;     (** zone-map range tests evaluated by scan drivers *)
+  sorted_seeks : int;
+      (** binary-search seeks into a sorted projection: one per range-conjunct
+          resolution that narrowed the value-ordered copy to a zone bitmap *)
+  probe_morsels_skipped : int;
+      (** probe-side morsels/batches skipped because the join build's key
+          summary (min/max, Bloom filter) proved them free of matches *)
+  slot_reads : int;
+      (** rows served from a pre-parsed slot column — a cache column the
+          registry materialized straight from format-index spans, skipping
+          numparse/span decoding (plugin-layer total, mirrored here) *)
   shards_pruned : int;
       (** shards excluded before dispatch because their digest (row count,
           min/max, Bloom filter) proved a pushed-down conjunct or
@@ -78,6 +88,8 @@ val add_lanes_tuple : int -> unit
 val add_morsels : int -> unit
 val add_morsels_skipped : int -> unit
 val add_zone_checks : int -> unit
+val add_sorted_seeks : int -> unit
+val add_probe_morsels_skipped : int -> unit
 val add_shards_pruned : int -> unit
 val add_dict_probes : int -> unit
 val add_phase_ns : phase -> int -> unit

@@ -14,10 +14,14 @@ let format_factor = function
    selective scans and dictionary codes replace string materialization.
    Halve the distance to the binary factor rather than claiming full
    conversion: only the promoted columns, not every accessed field, earned
-   the cheaper layout. *)
+   the cheaper layout. Rich layouts (sorted projections, pre-parsed slot
+   columns) go further — reads are binary-column speed with morsel
+   skipping on top, so the remaining distance quarters instead. *)
 let effective_format_factor st fmt =
   let f = format_factor fmt in
-  if Stats.any_promoted st then 1.0 +. ((f -. 1.0) /. 2.0) else f
+  if Stats.any_rich_layout st then 1.0 +. ((f -. 1.0) /. 4.0)
+  else if Stats.any_promoted st then 1.0 +. ((f -. 1.0) /. 2.0)
+  else f
 
 let default_cardinality = 1000
 

@@ -27,8 +27,14 @@ type t = {
   should_cache_select : dataset:string -> bool;
   quarantine : id:string -> unit;
   note_fill : dataset:string -> segments:int -> rows:int -> unit;
-  note_selective : dataset:string -> path:string -> unit;
+  note_selective : dataset:string -> path:string -> ranged:bool -> unit;
+      (* [ranged] marks a range (not just equality) comparison: the signal
+         that a sorted projection would pay off on this column *)
   lookup_zones : dataset:string -> path:string -> Zonemap.t option;
+  lookup_projection : dataset:string -> path:string -> Projection.t option;
+  note_slot_column : dataset:string -> path:string -> unit;
+      (* a promoted path was materialized straight from format-index spans
+         (pre-parsed slot column); feeds manager stats and costing *)
 }
 
 let disabled =
@@ -43,6 +49,8 @@ let disabled =
     should_cache_select = (fun ~dataset:_ -> false);
     quarantine = (fun ~id:_ -> ());
     note_fill = (fun ~dataset:_ ~segments:_ ~rows:_ -> ());
-    note_selective = (fun ~dataset:_ ~path:_ -> ());
+    note_selective = (fun ~dataset:_ ~path:_ ~ranged:_ -> ());
     lookup_zones = (fun ~dataset:_ ~path:_ -> None);
+    lookup_projection = (fun ~dataset:_ ~path:_ -> None);
+    note_slot_column = (fun ~dataset:_ ~path:_ -> ());
   }

@@ -47,15 +47,23 @@ type t = {
       (** account one committed segmented fill: [segments] per-range buffers
           were blit-assembled into [rows]-row cache columns for [dataset]
           (serial fills count as a single segment) *)
-  note_selective : dataset:string -> path:string -> unit;
+  note_selective : dataset:string -> path:string -> ranged:bool -> unit;
       (** workload feedback: the engine compiled a selective comparison
           conjunct over [dataset.path] — the promotion policy's signal that
           the column is hot (ticked once per query compilation, not per
-          tuple) *)
+          tuple). [ranged] marks a range (not just equality) comparison:
+          the additional signal that a sorted projection would pay off *)
   lookup_zones : dataset:string -> path:string -> Zonemap.t option;
       (** the zone map of a {e promoted} cached column, if any: per-zone
           min/max the scan drivers consult to skip whole morsels/batches
           that cannot satisfy a pushed-down comparison *)
+  lookup_projection : dataset:string -> path:string -> Projection.t option;
+      (** the sorted projection of a {e promoted} cached column, if any:
+          a value-ordered copy + OID permutation that proves morsels empty
+          under range conjuncts even when the data is unclustered *)
+  note_slot_column : dataset:string -> path:string -> unit;
+      (** the registry materialized a promoted path straight from a format
+          index (pre-parsed slot column) — manager stats/costing signal *)
 }
 
 (** A cache handle that never hits and never stores (caching disabled). *)

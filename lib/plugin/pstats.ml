@@ -1,0 +1,16 @@
+(* Plugin-layer observability totals, mirrored into the engine's [Counters]
+   snapshot (the engine depends on this library, not vice versa — the same
+   externally-owned-total pattern Fault and Resilience.Stats use).
+
+   [slot_reads] counts rows routed through a pre-parsed slot column: a scan
+   construction whose cache hit is served by a column the registry
+   materialized straight from format-index spans ticks the source's row
+   count once — the rows that would otherwise numparse/span-decode. *)
+
+let slot_reads = Atomic.make 0
+
+let add_slot_reads n = ignore (Atomic.fetch_and_add slot_reads n)
+
+let slot_reads_total () = Atomic.get slot_reads
+
+let reset () = Atomic.set slot_reads 0

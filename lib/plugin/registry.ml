@@ -80,6 +80,10 @@ type t = {
   breakers : (string, Proteus_resilience.Breaker.t) Hashtbl.t;
       (* per-member circuit state, living beside the digest cache and
          cleared with it on member re-registration *)
+  slot_cols : (string * string, unit) Hashtbl.t;
+      (* (dataset, path) pairs materialized straight from format-index
+         spans at promotion time: cache hits on them are slot reads
+         (guarded by [build_mu]; cleared on [invalidate]) *)
 }
 
 let create ?(cache = Cache_iface.disabled) catalog =
@@ -100,6 +104,7 @@ let create ?(cache = Cache_iface.disabled) catalog =
     hedge = None;
     breaker_cfg = Proteus_resilience.Breaker.default_config;
     breakers = Hashtbl.create 8;
+    slot_cols = Hashtbl.create 8;
   }
 
 let with_lock mu f =
@@ -503,6 +508,12 @@ and invalidate_artifacts t name =
       Hashtbl.remove t.factories name;
       Hashtbl.remove t.infos name;
       Hashtbl.remove t.shard_layouts name;
+      let stale_slots =
+        Hashtbl.fold
+          (fun (ds, p) () acc -> if String.equal ds name then (ds, p) :: acc else acc)
+          t.slot_cols []
+      in
+      List.iter (Hashtbl.remove t.slot_cols) stale_slots;
       (* a member update stales its parents' concat views, layouts and
          digests *)
       Hashtbl.iter
@@ -870,6 +881,62 @@ let make_fill (access : Access.t) builder : unit -> unit =
   | None, _, _, _, Some get -> fun () -> Builder.add_string builder (get ())
   | _ -> fun () -> Builder.add_value builder (access.Access.get_val ())
 
+(* Adaptive storage 2.0: promotion-time materialization of a typed column
+   straight from the dataset's format index. A JSON path that crossed the
+   promotion threshold is read once through its slot accessors (the
+   Json_index entry spans, resolved at accessor-construction time) into a
+   cache column, so every later promoted read serves binary values instead
+   of re-running numparse/span decoding per tuple. Fired from the manager's
+   promotion hook (outside its lock); recoverable failures abandon the
+   materialization without recording faults — the hook may run mid-query
+   and must never perturb that query's error accounting. *)
+let materialize_field t ~dataset ~path =
+  match Catalog.find_opt t.catalog dataset with
+  | Some d when d.Dataset.format = Dataset.Json -> (
+    try
+      let ty = Source.field_type d.element path in
+      let already =
+        match t.cache.Cache_iface.lookup_field ~dataset ~path with
+        | Some _ -> true
+        | None -> false
+      in
+      if
+        (not already)
+        && Ptype.is_primitive (Ptype.unwrap_option ty)
+        && t.cache.Cache_iface.should_cache_field ~dataset ~path ~ty
+      then begin
+        let src = fresh_source t dataset in
+        let access = src.Source.field path in
+        let builder = Proteus_storage.Column.Builder.create ty in
+        let fill = make_fill access builder in
+        for i = 0 to src.Source.count - 1 do
+          if i land 1023 = 0 then Fault.check_cancel ();
+          src.Source.seek i;
+          fill ()
+        done;
+        let col = Proteus_storage.Column.Builder.finish builder in
+        t.cache.Cache_iface.store_field ~dataset ~path
+          ~bias:(Dataset.bias d.Dataset.format) col;
+        (* confirm the install (the arena may refuse oversized blocks)
+           before claiming slot-read routing for the path *)
+        match t.cache.Cache_iface.lookup_field ~dataset ~path with
+        | Some _ ->
+          with_lock t.build_mu (fun () ->
+              Hashtbl.replace t.slot_cols (dataset, path) ());
+          t.cache.Cache_iface.note_slot_column ~dataset ~path
+        | None -> ()
+      end
+    with e when Fault.recoverable e ->
+      Log.debug (fun m ->
+          m "slot-column materialization of %s.%s abandoned: %s" dataset path
+            (Printexc.to_string e)))
+  | Some _ | None -> ()
+
+(* Is the cache hit for [(dataset, path)] served by a pre-parsed slot
+   column? Consulted once per scan construction for observability. *)
+let slot_column t ~dataset ~path =
+  with_lock t.build_mu (fun () -> Hashtbl.mem t.slot_cols (dataset, path))
+
 let scan_of t ~dataset ~required ~whole ~(raw : Source.t) ~fill ~session =
   let d = Catalog.find t.catalog dataset in
   let oid = ref 0 in
@@ -900,6 +967,11 @@ let scan_of t ~dataset ~required ~whole ~(raw : Source.t) ~fill ~session =
       | Some col ->
         let ty = Source.field_type d.element path in
         Hashtbl.replace routed path (Access.of_column col ~cur:oid ty);
+        (* slot-read accounting: rows this scan serves from a pre-parsed
+           slot column instead of span decoding (ticked at construction —
+           the read loop itself stays untouched) *)
+        if slot_column t ~dataset ~path then
+          Pstats.add_slot_reads raw.Source.count;
         hits := path :: !hits
       | None ->
         if fill && not (Fault.null_filling ()) then

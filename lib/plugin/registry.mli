@@ -49,6 +49,19 @@ val factory : t -> string -> unit -> Source.t
     JSON dataset. *)
 val index_info : t -> string -> index_info option
 
+(** [materialize_field t ~dataset ~path] eagerly materializes a promoted
+    JSON path into a typed cache column straight from the format index's
+    slot accessors (a {e pre-parsed slot column}), so later promoted reads
+    skip numparse/span decoding entirely. No-op for non-JSON datasets,
+    already-cached paths, and paths the cache policy rejects; recoverable
+    failures abandon the materialization silently. Wired as a promotion
+    hook by the db facade. *)
+val materialize_field : t -> dataset:string -> path:string -> unit
+
+(** Whether cache hits on [(dataset, path)] are served by a pre-parsed slot
+    column (observability; feeds the [slot-reads=] counter). *)
+val slot_column : t -> dataset:string -> path:string -> bool
+
 (** Invalidate the memoized index of a dataset (data updates: "drop and
     rebuild affected auxiliary structures", Section 4). Also resets the
     dataset's circuit breaker: a re-registered member starts with a clean

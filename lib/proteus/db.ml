@@ -31,6 +31,12 @@ let create ?cache_budget ?(caching = Manager.default_config) () =
   let catalog = Catalog.create ?cache_budget () in
   let cache = Manager.create ~config:caching catalog in
   let registry = Registry.create ~cache:(Manager.iface cache) catalog in
+  (* promotion-time slot columns: a hot JSON path materializes into a typed
+     cache column straight from the format index the moment it promotes
+     (registered first, so later hooks — e.g. the server's engine-cache
+     invalidation — observe the already-materialized layout) *)
+  Manager.set_on_promote cache (fun dataset path ->
+      Registry.materialize_field registry ~dataset ~path);
   { catalog; registry; cache; hooks = ref [] }
 
 let catalog t = t.catalog

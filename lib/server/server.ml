@@ -149,13 +149,32 @@ let resilience_line () =
     (RS.retries_total ()) (RS.hedges_total ()) (RS.breaker_open_total ())
     (RS.shed_total ())
 
+let promotion_line db =
+  let ps = Proteus.Db.cache_stats db in
+  Fmt.str
+    "promotions=%d zone-maps=%d dict-columns=%d sorted-projections=%d \
+     slot-columns=%d"
+    ps.Proteus_cache.Manager.promotions ps.zone_maps ps.dict_columns
+    ps.sorted_projections ps.slot_columns
+
+let engine_line () =
+  let module C = Proteus_engine.Counters in
+  let s = C.snapshot () in
+  Fmt.str
+    "morsels=%d morsels-skipped=%d sorted-seeks=%d probe-morsels-skipped=%d \
+     slot-reads=%d"
+    s.C.morsels s.C.morsels_skipped s.C.sorted_seeks s.C.probe_morsels_skipped
+    s.C.slot_reads
+
 let handle_stats sched out =
   let cs = Engine_cache.stats (Scheduler.engine_cache sched) in
   let ss = Scheduler.stats sched in
-  Printf.fprintf out "stats cache %s scheduler %s resilience %s\n"
+  Printf.fprintf out "stats cache %s scheduler %s resilience %s promotion %s engine %s\n"
     (Fmt.str "%a" Engine_cache.pp_stats cs)
     (Fmt.str "%a" Scheduler.pp_stats ss)
     (resilience_line ())
+    (promotion_line (Scheduler.db sched))
+    (engine_line ())
 
 let handle_health sched ~draining out =
   let module B = Proteus_resilience.Breaker in

@@ -17,6 +17,8 @@
 type bounds =
   | Z_int of int array * int array     (* per-zone lo / hi over non-nulls *)
   | Z_float of float array * float array
+  | Z_str of string array * string array
+      (* per-zone lexicographic lo / hi over decoded dictionary entries *)
 
 type t = {
   zone : int;        (* rows per zone (last zone may be short) *)
@@ -36,7 +38,7 @@ let zones t = Array.length t.empty
    was written constant-first. *)
 type op = Eq | Lt | Le | Gt | Ge
 
-type test = T_int of op * int | T_float of op * float
+type test = T_int of op * int | T_float of op * float | T_str of op * string
 
 let of_column ?zone (col : Column.t) : t option =
   let build n get_int get_float =
@@ -78,6 +80,34 @@ let of_column ?zone (col : Column.t) : t option =
       | None -> None
     end
   in
+  (* Strings share the loop shape but need an explicit first-value seed
+     (there is no lexicographic sentinel). Dictionary columns decode per
+     row — codes index a small dict, so the decode is one array read. *)
+  let build_str n get =
+    if n = 0 then None
+    else begin
+      let zone = match zone with Some z -> max 1 z | None -> zone_rows n in
+      let nz = (n + zone - 1) / zone in
+      let empty = Array.make nz true in
+      let lo = Array.make nz "" and hi = Array.make nz "" in
+      for i = 0 to n - 1 do
+        match get i with
+        | None -> ()
+        | Some v ->
+          let z = i / zone in
+          if empty.(z) then begin
+            empty.(z) <- false;
+            lo.(z) <- v;
+            hi.(z) <- v
+          end
+          else begin
+            if String.compare v lo.(z) < 0 then lo.(z) <- v;
+            if String.compare v hi.(z) > 0 then hi.(z) <- v
+          end
+      done;
+      Some { zone; rows = n; bounds = Z_str (lo, hi); empty }
+    end
+  in
   match col with
   | Column.Ints a ->
     build (Array.length a) (Some (fun i -> Some a.(i))) None
@@ -90,8 +120,12 @@ let of_column ?zone (col : Column.t) : t option =
   | Column.Nullmask (mask, Column.Floats a) ->
     build (Array.length a) None
       (Some (fun i -> if mask.(i) then None else Some a.(i)))
-  | Column.Bools _ | Column.Strings _ | Column.Dicts _ | Column.Nullmask _ ->
-    None
+  | Column.Dicts (codes, dict) ->
+    build_str (Array.length codes) (fun i -> Some dict.(codes.(i)))
+  | Column.Nullmask (mask, Column.Dicts (codes, dict)) ->
+    build_str (Array.length codes) (fun i ->
+        if mask.(i) then None else Some dict.(codes.(i)))
+  | Column.Bools _ | Column.Strings _ | Column.Nullmask _ -> None
 
 (* Can any non-null row of zone [z] satisfy [column op constant]?
    Conservative: [true] means "maybe", [false] is a proof of no match. *)
@@ -130,6 +164,18 @@ let zone_may_match t z (test : test) =
       | Le -> lo.(z) <= c
       | Gt -> hi.(z) > c
       | Ge -> hi.(z) >= c)
+    | Z_str (lo, hi), T_str (op, c) -> (
+      (* [Expr.cmp] orders strings with [String.compare] *)
+      let clo = String.compare lo.(z) c and chi = String.compare hi.(z) c in
+      match op with
+      | Eq -> clo <= 0 && chi >= 0
+      | Lt -> clo < 0
+      | Le -> clo <= 0
+      | Gt -> chi > 0
+      | Ge -> chi >= 0)
+    | Z_str _, (T_int _ | T_float _) | (Z_int _ | Z_float _), T_str _ ->
+      (* mixed-kind comparison: no proof either way *)
+      true
 
 (* Can any row in [\[lo, hi)] satisfy the test? Checks every overlapping
    zone, so it is exact for ranges of any alignment (batches need not line
@@ -145,10 +191,49 @@ let may_match_range t ~lo ~hi (test : test) =
     go z0 || hi > t.rows
   end
 
+(* Value bounds of the non-null rows in [\[lo, hi)], for join-probe pruning:
+   the caller intersects them with the build side's key range. [R_all_null]
+   is a proof the range holds no comparable value at all. [None] = no claim
+   (rows beyond coverage, or non-numeric bounds). Zone-granular, hence a
+   conservative superset for ranges not aligned to the zone grid. *)
+type range_info = R_all_null | R_int of int * int | R_float of float * float
+
+let range_bounds t ~lo ~hi : range_info option =
+  if hi <= lo then Some R_all_null
+  else if lo >= t.rows || hi > t.rows then None
+  else begin
+    let z0 = lo / t.zone and z1 = (hi - 1) / t.zone in
+    match t.bounds with
+    | Z_int (blo, bhi) ->
+      let mn = ref max_int and mx = ref min_int and seen = ref false in
+      for z = z0 to z1 do
+        if not t.empty.(z) then begin
+          seen := true;
+          if blo.(z) < !mn then mn := blo.(z);
+          if bhi.(z) > !mx then mx := bhi.(z)
+        end
+      done;
+      Some (if !seen then R_int (!mn, !mx) else R_all_null)
+    | Z_float (blo, bhi) ->
+      let mn = ref infinity and mx = ref neg_infinity and seen = ref false in
+      for z = z0 to z1 do
+        if not t.empty.(z) then begin
+          seen := true;
+          if blo.(z) < !mn then mn := blo.(z);
+          if bhi.(z) > !mx then mx := bhi.(z)
+        end
+      done;
+      Some (if !seen then R_float (!mn, !mx) else R_all_null)
+    | Z_str _ -> None
+  end
+
 let byte_size t =
   let b =
     match t.bounds with
     | Z_int (lo, hi) -> 8 * (Array.length lo + Array.length hi)
     | Z_float (lo, hi) -> 8 * (Array.length lo + Array.length hi)
+    | Z_str (lo, hi) ->
+      Array.fold_left (fun a s -> a + String.length s + 16) 0 lo
+      + Array.fold_left (fun a s -> a + String.length s + 16) 0 hi
   in
   b + Array.length t.empty
